@@ -1,0 +1,97 @@
+//! GTPQ satisfiability (Theorems 1 and 2).
+
+use gtpq_logic::sat;
+use gtpq_query::structural::StructuralAnalysis;
+use gtpq_query::Gtpq;
+
+/// Whether there exists *some* data graph on which the query has a non-empty
+/// answer.
+///
+/// Theorem 1: the query is satisfiable iff the root's attribute predicate and
+/// its complete structural predicate `fcs` are satisfiable.  For
+/// union-conjunctive queries (no negation) the formula is trivially
+/// satisfiable and the check degenerates to the attribute predicates, which
+/// is the linear-time case of Theorem 2.
+pub fn is_satisfiable(q: &Gtpq) -> bool {
+    if !q.node(q.root()).attr.is_satisfiable() {
+        return false;
+    }
+    if q.is_union_conjunctive() {
+        // Negation-free: satisfiable as long as every *backbone* node's
+        // attribute predicate can hold (predicate nodes can simply be absent).
+        return q
+            .node_ids()
+            .filter(|&u| q.is_backbone(u))
+            .all(|u| q.node(u).attr.is_satisfiable());
+    }
+    let analysis = StructuralAnalysis::new(q);
+    sat::is_satisfiable(analysis.root_complete())
+}
+
+#[cfg(test)]
+mod tests {
+    use gtpq_logic::BoolExpr;
+    use gtpq_query::fixtures::example_query;
+    use gtpq_query::{AttrPredicate, CmpOp, EdgeKind, GtpqBuilder};
+
+    use super::*;
+
+    #[test]
+    fn the_running_example_is_satisfiable() {
+        assert!(is_satisfiable(&example_query()));
+    }
+
+    #[test]
+    fn union_conjunctive_queries_are_satisfiable_when_attributes_are() {
+        let mut b = GtpqBuilder::new(AttrPredicate::label("a"));
+        let root = b.root_id();
+        let p1 = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
+        let p2 = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("c"));
+        b.set_structural(root, BoolExpr::or2(BoolExpr::Var(p1.var()), BoolExpr::Var(p2.var())));
+        b.mark_output(root);
+        assert!(is_satisfiable(&b.build().unwrap()));
+    }
+
+    #[test]
+    fn unsatisfiable_backbone_attribute_predicate() {
+        let mut b = GtpqBuilder::new(AttrPredicate::label("a"));
+        let root = b.root_id();
+        let child = b.backbone_child(
+            root,
+            EdgeKind::Descendant,
+            AttrPredicate::any()
+                .and("year", CmpOp::Gt, 5.into())
+                .and("year", CmpOp::Lt, 3.into()),
+        );
+        b.mark_output(child);
+        assert!(!is_satisfiable(&b.build().unwrap()));
+    }
+
+    #[test]
+    fn contradictory_structural_requirements_are_unsatisfiable() {
+        // Example-4-style contradiction: the root requires a `b` descendant to
+        // be absent, but a backbone sibling subtree that is subsumed by that
+        // predicate child forces its presence.
+        let mut b = GtpqBuilder::new(AttrPredicate::label("a"));
+        let root = b.root_id();
+        let forbidden = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
+        let required = b.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
+        b.set_structural(root, BoolExpr::not(BoolExpr::Var(forbidden.var())));
+        b.mark_output(required);
+        let q = b.build().unwrap();
+        assert!(
+            !is_satisfiable(&q),
+            "requiring and forbidding the same descendant cannot be satisfied"
+        );
+    }
+
+    #[test]
+    fn plain_negation_is_satisfiable() {
+        let mut b = GtpqBuilder::new(AttrPredicate::label("a"));
+        let root = b.root_id();
+        let p = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
+        b.set_structural(root, BoolExpr::not(BoolExpr::Var(p.var())));
+        b.mark_output(root);
+        assert!(is_satisfiable(&b.build().unwrap()));
+    }
+}

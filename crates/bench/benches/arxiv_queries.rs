@@ -1,0 +1,40 @@
+//! Fig. 9(b)/(c): random-query evaluation time on the arXiv-like graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpq_baselines::{HgJoin, TpqAlgorithm, TwigStackD};
+use gtpq_bench::workloads::arxiv_graph_small;
+use gtpq_core::GteaEngine;
+use gtpq_datagen::{random_queries, RandomQueryConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_arxiv_queries");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let g = arxiv_graph_small();
+    let engine = GteaEngine::new(&g);
+    let twig_d = TwigStackD::new(&g);
+    let hg_star = HgJoin::graph_based(&g);
+    for &size in &[5usize, 9, 13] {
+        let queries = random_queries(
+            &g,
+            &RandomQueryConfig {
+                count: 5,
+                ..RandomQueryConfig::with_size(size)
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("GTEA", size), &queries, |b, qs| {
+            b.iter(|| qs.iter().map(|q| engine.evaluate(q).len()).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("HGJoin*", size), &queries, |b, qs| {
+            b.iter(|| qs.iter().map(|q| hg_star.evaluate(q).0.len()).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("TwigStackD", size), &queries, |b, qs| {
+            b.iter(|| qs.iter().map(|q| twig_d.evaluate(q).0.len()).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

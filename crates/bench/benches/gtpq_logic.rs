@@ -1,0 +1,39 @@
+//! Fig. 12(b)-(d) / Tables 4-5: GTPQs with disjunction and negation —
+//! GTEA versus decompose-and-merge over the conjunctive baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpq_baselines::{evaluate_gtpq_with, TwigStack, TwigStackD};
+use gtpq_bench::workloads::xmark_graph;
+use gtpq_core::GteaEngine;
+use gtpq_datagen::{fig11_gtpq, Fig11Predicate};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12bcd_gtpq_logic");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let g = xmark_graph(0.5);
+    let engine = GteaEngine::new(&g);
+    let twig = TwigStack::new(&g);
+    let twig_d = TwigStackD::new(&g);
+    for (name, variant) in [
+        ("DIS1", Fig11Predicate::Dis1),
+        ("NEG1", Fig11Predicate::Neg1),
+        ("DIS_NEG2", Fig11Predicate::DisNeg2),
+    ] {
+        let q = fig11_gtpq(variant, 0, 3);
+        group.bench_with_input(BenchmarkId::new("GTEA", name), &q, |b, q| {
+            b.iter(|| engine.evaluate(q))
+        });
+        group.bench_with_input(BenchmarkId::new("TwigStack+dm", name), &q, |b, q| {
+            b.iter(|| evaluate_gtpq_with(&twig, q).0)
+        });
+        group.bench_with_input(BenchmarkId::new("TwigStackD+dm", name), &q, |b, q| {
+            b.iter(|| evaluate_gtpq_with(&twig_d, q).0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 12(a) / Table 3: GTEA time as the output-node set grows (Q4-Q8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpq_bench::workloads::xmark_graph;
+use gtpq_core::GteaEngine;
+use gtpq_datagen::fig11_output_variant;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12a_output_nodes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let g = xmark_graph(1.0);
+    let engine = GteaEngine::new(&g);
+    for which in 4..=8u32 {
+        let q = fig11_output_variant(which, 0, 3);
+        group.bench_with_input(BenchmarkId::new("GTEA", format!("Q{which}")), &q, |b, q| {
+            b.iter(|| engine.evaluate(q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

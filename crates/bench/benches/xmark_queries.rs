@@ -1,0 +1,38 @@
+//! Fig. 8(b): evaluation time of Q1/Q2/Q3 on the smallest XMark scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpq_baselines::{TpqAlgorithm, TwigStack, TwigStackD};
+use gtpq_bench::workloads::xmark_graph;
+use gtpq_core::GteaEngine;
+use gtpq_datagen::{xmark_q1, xmark_q2, xmark_q3};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_xmark_queries");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let g = xmark_graph(0.5);
+    let engine = GteaEngine::new(&g);
+    let twig = TwigStack::new(&g);
+    let twig_d = TwigStackD::new(&g);
+    let queries = [
+        ("Q1", xmark_q1(0)),
+        ("Q2", xmark_q2(0, 3)),
+        ("Q3", xmark_q3(0, 3, 7)),
+    ];
+    for (name, q) in &queries {
+        group.bench_with_input(BenchmarkId::new("GTEA", name), q, |b, q| {
+            b.iter(|| engine.evaluate(q))
+        });
+        group.bench_with_input(BenchmarkId::new("TwigStack", name), q, |b, q| {
+            b.iter(|| twig.evaluate(q))
+        });
+        group.bench_with_input(BenchmarkId::new("TwigStackD", name), q, |b, q| {
+            b.iter(|| twig_d.evaluate(q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

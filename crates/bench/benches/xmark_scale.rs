@@ -1,0 +1,42 @@
+//! Fig. 8(a): Q1 evaluation time versus XMark data size, per algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpq_baselines::{HgJoin, TpqAlgorithm, Twig2Stack, TwigStack, TwigStackD};
+use gtpq_bench::workloads::xmark_graph;
+use gtpq_core::GteaEngine;
+use gtpq_datagen::xmark_q1;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_xmark_scale");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let q = xmark_q1(0);
+    for &scale in &[0.5, 1.0, 2.0] {
+        let g = xmark_graph(scale);
+        let engine = GteaEngine::new(&g);
+        group.bench_with_input(BenchmarkId::new("GTEA", scale), &q, |b, q| {
+            b.iter(|| engine.evaluate(q))
+        });
+        let twig_d = TwigStackD::new(&g);
+        group.bench_with_input(BenchmarkId::new("TwigStackD", scale), &q, |b, q| {
+            b.iter(|| twig_d.evaluate(q))
+        });
+        let hg = HgJoin::tuple_based(&g);
+        group.bench_with_input(BenchmarkId::new("HGJoin+", scale), &q, |b, q| {
+            b.iter(|| hg.evaluate(q))
+        });
+        let twig = TwigStack::new(&g);
+        group.bench_with_input(BenchmarkId::new("TwigStack", scale), &q, |b, q| {
+            b.iter(|| twig.evaluate(q))
+        });
+        let twig2 = Twig2Stack::new(&g);
+        group.bench_with_input(BenchmarkId::new("Twig2Stack", scale), &q, |b, q| {
+            b.iter(|| twig2.evaluate(q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

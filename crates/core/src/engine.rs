@@ -1,0 +1,261 @@
+//! The GTEA evaluation engine.
+
+use gtpq_graph::DataGraph;
+use gtpq_query::{Gtpq, ResultSet};
+use gtpq_reach::ThreeHop;
+
+use crate::collect::collect_results;
+use crate::matching::MatchingGraph;
+use crate::options::GteaOptions;
+use crate::prime::{PrimeSubtree, ShrunkPrime};
+use crate::prune::{initial_candidates, prune_downward, prune_upward};
+use crate::stats::EvalStats;
+
+/// Evaluates GTPQs over one data graph.
+///
+/// The 3-hop reachability index is built once per graph when the engine is
+/// created; evaluation time reported by the benchmarks therefore excludes
+/// index construction, matching the paper's methodology.
+pub struct GteaEngine<'g> {
+    graph: &'g DataGraph,
+    index: ThreeHop,
+    options: GteaOptions,
+}
+
+impl<'g> GteaEngine<'g> {
+    /// Builds the engine (and its reachability index) for `graph`.
+    pub fn new(graph: &'g DataGraph) -> Self {
+        Self::with_options(graph, GteaOptions::default())
+    }
+
+    /// Builds the engine with explicit options (used by the ablation benches).
+    pub fn with_options(graph: &'g DataGraph, options: GteaOptions) -> Self {
+        Self {
+            graph,
+            index: ThreeHop::new(graph),
+            options,
+        }
+    }
+
+    /// The data graph the engine evaluates against.
+    pub fn graph(&self) -> &DataGraph {
+        self.graph
+    }
+
+    /// The underlying 3-hop index.
+    pub fn index(&self) -> &ThreeHop {
+        &self.index
+    }
+
+    /// Evaluates `q`, returning only the answer.
+    pub fn evaluate(&self, q: &Gtpq) -> ResultSet {
+        self.evaluate_with_stats(q).0
+    }
+
+    /// Evaluates `q`, returning the answer together with evaluation statistics.
+    pub fn evaluate_with_stats(&self, q: &Gtpq) -> (ResultSet, EvalStats) {
+        let mut stats = EvalStats::default();
+        let g = self.graph;
+
+        // Step 1: candidate selection.
+        let mut mat = initial_candidates(q, g, &mut stats);
+
+        // Step 2a: downward structural constraints.
+        prune_downward(q, g, &self.index, &self.options, &mut mat, &mut stats);
+
+        // Early exit: every backbone node needs at least one candidate.
+        if q
+            .node_ids()
+            .filter(|&u| q.is_backbone(u))
+            .any(|u| mat[u.index()].is_empty())
+        {
+            return (ResultSet::new(q.output_nodes().to_vec()), stats);
+        }
+
+        // Step 2b: upward structural constraints on the prime subtree.
+        let prime = PrimeSubtree::new(q);
+        stats.prime_subtree_size = prime.len() as u64;
+        if self.options.upward_pruning {
+            prune_upward(q, g, &self.index, &self.options, &prime, &mut mat, &mut stats);
+            if prime.nodes.iter().any(|&u| mat[u.index()].is_empty()) {
+                return (ResultSet::new(q.output_nodes().to_vec()), stats);
+            }
+        }
+
+        // Step 3: shrunk prime subtree and its maximal matching graph.
+        let shrunk = ShrunkPrime::new(q, &prime, &mat, self.options.shrink_prime_subtree);
+        stats.shrunk_subtree_size = shrunk.len() as u64;
+        let matching = MatchingGraph::build(q, g, &self.index, &shrunk, &mat, &mut stats);
+
+        // Step 4: enumerate the answer.
+        let results = collect_results(q, &shrunk, &matching, &mat, &mut stats);
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use gtpq_graph::{GraphBuilder, NodeId};
+    use gtpq_logic::BoolExpr;
+    use gtpq_query::fixtures::{example_answer_pairs, example_graph, example_query};
+    use gtpq_query::{naive, AttrPredicate, EdgeKind, GtpqBuilder};
+
+    use super::*;
+
+    #[test]
+    fn engine_reproduces_the_running_example() {
+        let g = example_graph();
+        let q = example_query();
+        let engine = GteaEngine::new(&g);
+        let (results, stats) = engine.evaluate_with_stats(&q);
+        let expected = example_answer_pairs();
+        assert_eq!(results.len(), expected.len());
+        for (a, b) in expected {
+            assert!(results.contains(&[NodeId(a - 1), NodeId(b - 1)]));
+        }
+        assert!(stats.total_time() > std::time::Duration::ZERO);
+        assert!(stats.prime_subtree_size >= stats.shrunk_subtree_size);
+        assert_eq!(stats.result_tuples, results.len() as u64);
+    }
+
+    #[test]
+    fn engine_agrees_with_naive_on_the_example_for_all_option_combinations() {
+        let g = example_graph();
+        let q = example_query();
+        let expected = naive::evaluate(&q, &g);
+        for options in [
+            GteaOptions::default(),
+            GteaOptions::without_upward_pruning(),
+            GteaOptions::without_contours(),
+            GteaOptions::without_shrinking(),
+        ] {
+            let engine = GteaEngine::with_options(&g, options);
+            let got = engine.evaluate(&q);
+            assert!(got.same_answer(&expected), "options {options:?}");
+        }
+    }
+
+    #[test]
+    fn empty_answer_when_a_backbone_node_has_no_candidates() {
+        let g = example_graph();
+        let mut b = GtpqBuilder::new(AttrPredicate::label("a1"));
+        let root = b.root_id();
+        let child = b.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("zzz"));
+        b.mark_output(child);
+        let q = b.build().unwrap();
+        let engine = GteaEngine::new(&g);
+        assert!(engine.evaluate(&q).is_empty());
+    }
+
+    #[test]
+    fn pc_edges_are_enforced_exactly() {
+        // a -> b, a -> c -> b2: `a / b` must only match the direct child.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node_with_label("a");
+        let b1 = gb.add_node_with_label("b");
+        let c = gb.add_node_with_label("c");
+        let b2 = gb.add_node_with_label("b");
+        gb.add_edge(a, b1);
+        gb.add_edge(a, c);
+        gb.add_edge(c, b2);
+        let g = gb.build();
+        let mut qb = GtpqBuilder::new(AttrPredicate::label("a"));
+        let root = qb.root_id();
+        let child = qb.backbone_child(root, EdgeKind::Child, AttrPredicate::label("b"));
+        qb.mark_output(root);
+        qb.mark_output(child);
+        let q = qb.build().unwrap();
+        let engine = GteaEngine::new(&g);
+        let results = engine.evaluate(&q);
+        let expected = naive::evaluate(&q, &g);
+        assert!(results.same_answer(&expected));
+        assert_eq!(results.len(), 1);
+        assert!(results.contains(&[a, b1]));
+    }
+
+    #[test]
+    fn negated_pc_child_is_handled_exactly() {
+        // Query: a with NO b child (PC edge under negation). a1 has a b child,
+        // a2 only has a b descendant (through c), a3 has nothing.
+        let mut gb = GraphBuilder::new();
+        let a1 = gb.add_node_with_label("a");
+        let a2 = gb.add_node_with_label("a");
+        let a3 = gb.add_node_with_label("a");
+        let b1 = gb.add_node_with_label("b");
+        let c = gb.add_node_with_label("c");
+        let b2 = gb.add_node_with_label("b");
+        gb.add_edge(a1, b1);
+        gb.add_edge(a2, c);
+        gb.add_edge(c, b2);
+        let _ = a3;
+        let g = gb.build();
+        let mut qb = GtpqBuilder::new(AttrPredicate::label("a"));
+        let root = qb.root_id();
+        let p = qb.predicate_child(root, EdgeKind::Child, AttrPredicate::label("b"));
+        qb.set_structural(root, BoolExpr::not(BoolExpr::Var(p.var())));
+        qb.mark_output(root);
+        let q = qb.build().unwrap();
+        let engine = GteaEngine::new(&g);
+        let results = engine.evaluate(&q);
+        let expected = naive::evaluate(&q, &g);
+        assert!(results.same_answer(&expected));
+        assert_eq!(results.len(), 2);
+        assert!(results.contains(&[a2]));
+        assert!(results.contains(&[a3]));
+    }
+
+    #[test]
+    fn union_conjunctive_and_negation_queries_agree_with_naive() {
+        let g = example_graph();
+        let engine = GteaEngine::new(&g);
+        // Disjunction: a1 root with (c-child-with-e2) OR (b-descendant).
+        let mut qb = GtpqBuilder::new(AttrPredicate::label("a1"));
+        let root = qb.root_id();
+        let pc = qb.predicate_child(
+            root,
+            EdgeKind::Descendant,
+            gtpq_query::fixtures::label_prefix("c"),
+        );
+        let pb = qb.predicate_child(
+            root,
+            EdgeKind::Descendant,
+            gtpq_query::fixtures::label_prefix("b"),
+        );
+        qb.set_structural(root, BoolExpr::or2(BoolExpr::Var(pc.var()), BoolExpr::Var(pb.var())));
+        qb.mark_output(root);
+        let q = qb.build().unwrap();
+        assert!(engine.evaluate(&q).same_answer(&naive::evaluate(&q, &g)));
+
+        // Negation: a1 nodes with no g1 descendant.
+        let mut qb = GtpqBuilder::new(AttrPredicate::label("a1"));
+        let root = qb.root_id();
+        let pg = qb.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("g1"));
+        qb.set_structural(root, BoolExpr::not(BoolExpr::Var(pg.var())));
+        qb.mark_output(root);
+        let q = qb.build().unwrap();
+        let results = engine.evaluate(&q);
+        assert!(results.same_answer(&naive::evaluate(&q, &g)));
+    }
+
+    #[test]
+    fn cyclic_graph_is_supported() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node_with_label("a");
+        let b = gb.add_node_with_label("b");
+        let c = gb.add_node_with_label("c");
+        gb.add_edge(a, b);
+        gb.add_edge(b, c);
+        gb.add_edge(c, a);
+        let g = gb.build();
+        let mut qb = GtpqBuilder::new(AttrPredicate::label("b"));
+        let root = qb.root_id();
+        let child = qb.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("a"));
+        qb.mark_output(root);
+        qb.mark_output(child);
+        let q = qb.build().unwrap();
+        let engine = GteaEngine::new(&g);
+        let results = engine.evaluate(&q);
+        assert!(results.same_answer(&naive::evaluate(&q, &g)));
+        assert_eq!(results.len(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! GTEA — the GTPQ evaluation algorithm of the paper (§4).
+//!
+//! The engine evaluates a [`Gtpq`](gtpq_query::Gtpq) over a
+//! [`DataGraph`](gtpq_graph::DataGraph) in four steps:
+//!
+//! 1. **Candidate selection** — `mat(u) = {v | v ∼ u}` for every query node.
+//! 2. **Two-round pruning** — [`prune::prune_downward`] removes candidates
+//!    that violate *downward* structural constraints (the subtree pattern
+//!    below their query node, including disjunction and negation), then
+//!    [`prune::prune_upward`] removes candidates of the *prime subtree* that
+//!    are not reachable from any candidate of their parent.  Both rounds use
+//!    the 3-hop index and the contour merging of Procedure 2 instead of
+//!    pairwise reachability probes.
+//! 3. **Maximal matching graph** — matches of the *shrunk prime subtree* are
+//!    represented as a graph (each data node stored once, one edge per
+//!    matched query edge) rather than as tuples, the paper's key device for
+//!    keeping intermediate results small.
+//! 4. **Result enumeration** — [`collect`] walks the matching graph once and
+//!    assembles the output tuples, adding back the constant columns of
+//!    output nodes that were shrunk away.
+//!
+//! Parent-child (PC) query edges are supported with the strategy of §4.4:
+//! they are treated as AD edges during pruning unless their variable occurs
+//! under negation (those are checked exactly), and adjacency is enforced when
+//! the matching graph is built.
+//!
+//! [`EvalStats`] records the counters behind the paper's I/O-cost experiment
+//! (Fig. 10): data nodes accessed, index elements looked up, and the size of
+//! the intermediate representation.
+
+pub mod collect;
+pub mod engine;
+pub mod matching;
+pub mod options;
+pub mod prime;
+pub mod prune;
+pub mod stats;
+
+pub use engine::GteaEngine;
+pub use options::GteaOptions;
+pub use stats::EvalStats;

@@ -1,0 +1,133 @@
+//! The maximal matching graph (§4.3).
+//!
+//! Instead of materializing intermediate matches as tuples, GTEA groups the
+//! surviving candidates by query node and connects a pair of data nodes by an
+//! edge whenever the corresponding query nodes are connected in the (shrunk)
+//! prime subtree and the data nodes satisfy the edge's relationship.  Each
+//! data node is stored at most once per query node and each relationship by a
+//! single edge, so the representation is at most quadratic even when the
+//! number of matches is exponential.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use gtpq_graph::{DataGraph, NodeId};
+use gtpq_query::{EdgeKind, Gtpq, QueryNodeId};
+use gtpq_reach::ThreeHop;
+
+use crate::prime::ShrunkPrime;
+use crate::stats::EvalStats;
+
+/// The maximal matching graph of a shrunk prime subtree.
+#[derive(Clone, Debug, Default)]
+pub struct MatchingGraph {
+    /// Branch lists: for a `(query node, candidate)` pair, one list of matched
+    /// data nodes per shrunk child (in the order of
+    /// [`ShrunkPrime::children_of`]).
+    branches: HashMap<(QueryNodeId, NodeId), Vec<Vec<NodeId>>>,
+    /// Number of data-node occurrences in the graph.
+    pub node_count: usize,
+    /// Number of edges in the graph.
+    pub edge_count: usize,
+}
+
+impl MatchingGraph {
+    /// Builds the matching graph for the shrunk prime subtree.
+    pub fn build(
+        q: &Gtpq,
+        g: &DataGraph,
+        index: &ThreeHop,
+        shrunk: &ShrunkPrime,
+        mat: &[Vec<NodeId>],
+        stats: &mut EvalStats,
+    ) -> Self {
+        let start = Instant::now();
+        index.reset_lookups();
+        let mut graph = MatchingGraph::default();
+        for &u in &shrunk.nodes {
+            graph.node_count += mat[u.index()].len();
+            let children = shrunk.children_of(u).to_vec();
+            if children.is_empty() {
+                continue;
+            }
+            // Precompute candidate sets of children for PC adjacency checks.
+            let child_sets: Vec<HashSet<NodeId>> = children
+                .iter()
+                .map(|c| mat[c.index()].iter().copied().collect())
+                .collect();
+            for &v in &mat[u.index()] {
+                let mut lists: Vec<Vec<NodeId>> = Vec::with_capacity(children.len());
+                for (ci, &child) in children.iter().enumerate() {
+                    let matched: Vec<NodeId> = match q.incoming_edge(child) {
+                        Some(EdgeKind::Child) => {
+                            stats.index_lookups += g.out_degree(v) as u64;
+                            g.children(v)
+                                .iter()
+                                .copied()
+                                .filter(|c| child_sets[ci].contains(c))
+                                .collect()
+                        }
+                        _ => {
+                            let view = index.source_view(v);
+                            mat[child.index()]
+                                .iter()
+                                .copied()
+                                .filter(|&t| index.view_reaches(&view, t))
+                                .collect()
+                        }
+                    };
+                    graph.edge_count += matched.len();
+                    lists.push(matched);
+                }
+                graph.branches.insert((u, v), lists);
+            }
+        }
+        stats.index_lookups += index.lookup_count();
+        stats.intermediate_size += 2 * (graph.node_count + graph.edge_count) as u64;
+        stats.matching_graph_time += start.elapsed();
+        graph
+    }
+
+    /// The branch lists of a `(query node, candidate)` pair; one inner list per
+    /// shrunk child of the query node.
+    pub fn branches_of(&self, u: QueryNodeId, v: NodeId) -> Option<&Vec<Vec<NodeId>>> {
+        self.branches.get(&(u, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use gtpq_query::fixtures::{example_graph, example_query};
+
+    use crate::options::GteaOptions;
+    use crate::prime::{PrimeSubtree, ShrunkPrime};
+    use crate::prune::{initial_candidates, prune_downward, prune_upward};
+
+    use super::*;
+
+    #[test]
+    fn matching_graph_of_the_running_example() {
+        let g = example_graph();
+        let q = example_query();
+        let index = ThreeHop::new(&g);
+        let options = GteaOptions::default();
+        let mut stats = EvalStats::default();
+        let mut mat = initial_candidates(&q, &g, &mut stats);
+        prune_downward(&q, &g, &index, &options, &mut mat, &mut stats);
+        let prime = PrimeSubtree::new(&q);
+        prune_upward(&q, &g, &index, &options, &prime, &mut mat, &mut stats);
+        let shrunk = ShrunkPrime::new(&q, &prime, &mat, false);
+        let graph = MatchingGraph::build(&q, &g, &index, &shrunk, &mat, &mut stats);
+        // Root candidate v1 has two branch lists (u2 and u3 children).
+        let root_branches = graph.branches_of(QueryNodeId(0), NodeId(0)).unwrap();
+        assert_eq!(root_branches.len(), 2);
+        assert_eq!(root_branches[0], vec![NodeId(2), NodeId(7)]);
+        assert_eq!(root_branches[1], vec![NodeId(2)]);
+        // u3's candidate v3 points to the three d1 nodes for u4.
+        let u3_branches = graph.branches_of(QueryNodeId(2), NodeId(2)).unwrap();
+        assert_eq!(u3_branches[0], vec![NodeId(10), NodeId(11), NodeId(13)]);
+        assert!(graph.node_count >= 6);
+        assert!(graph.edge_count >= 6);
+        assert!(stats.intermediate_size > 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Evaluation options (used by the ablation benchmarks).
+
+/// Tuning knobs of the GTEA engine.
+///
+/// Defaults correspond to the algorithm exactly as described in the paper;
+/// the flags exist so the ablation benchmarks can quantify each design
+/// decision (DESIGN.md §3).
+#[derive(Clone, Copy, Debug)]
+pub struct GteaOptions {
+    /// Run the upward pruning round (Procedure 7).  Disabling it leaves more
+    /// candidates in the matching graph but still produces correct answers.
+    pub upward_pruning: bool,
+    /// Use merged contours (Procedure 2) for set reachability during pruning.
+    /// When disabled, the engine probes the 3-hop index pairwise per
+    /// candidate/target, as a traditional structural-join algorithm would.
+    pub use_contours: bool,
+    /// Shrink the prime subtree by removing query nodes with a single
+    /// remaining candidate (§4.3).  Disabling keeps the full prime subtree.
+    pub shrink_prime_subtree: bool,
+}
+
+impl Default for GteaOptions {
+    fn default() -> Self {
+        Self {
+            upward_pruning: true,
+            use_contours: true,
+            shrink_prime_subtree: true,
+        }
+    }
+}
+
+impl GteaOptions {
+    /// The configuration used by the ablation that disables the upward round.
+    pub fn without_upward_pruning() -> Self {
+        Self {
+            upward_pruning: false,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration used by the ablation that replaces contour merging
+    /// with pairwise index probes.
+    pub fn without_contours() -> Self {
+        Self {
+            use_contours: false,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration used by the ablation that keeps the full prime subtree.
+    pub fn without_shrinking() -> Self {
+        Self {
+            shrink_prime_subtree: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let o = GteaOptions::default();
+        assert!(o.upward_pruning && o.use_contours && o.shrink_prime_subtree);
+    }
+
+    #[test]
+    fn ablation_constructors_flip_one_flag() {
+        assert!(!GteaOptions::without_upward_pruning().upward_pruning);
+        assert!(!GteaOptions::without_contours().use_contours);
+        assert!(!GteaOptions::without_shrinking().shrink_prime_subtree);
+    }
+}

@@ -1,0 +1,260 @@
+//! The two-round pruning process (§4.2, Procedures 6 and 7).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use gtpq_graph::{DataGraph, NodeId};
+use gtpq_logic::valuation::eval_with;
+use gtpq_query::{EdgeKind, Gtpq, QueryNodeId};
+use gtpq_reach::ThreeHop;
+
+use crate::options::GteaOptions;
+use crate::prime::PrimeSubtree;
+use crate::stats::EvalStats;
+
+/// Selects the initial candidate matching nodes `mat(u)` for every query node.
+pub fn initial_candidates(q: &Gtpq, g: &DataGraph, stats: &mut EvalStats) -> Vec<Vec<NodeId>> {
+    let start = Instant::now();
+    let mut mat: Vec<Vec<NodeId>> = vec![Vec::new(); q.size()];
+    for u in q.node_ids() {
+        mat[u.index()] = q.candidates(g, u);
+        stats.initial_candidates += mat[u.index()].len() as u64;
+        stats.input_nodes += g.node_count() as u64;
+    }
+    stats.candidate_time += start.elapsed();
+    mat
+}
+
+/// `PruneDownward` (Procedure 6): removes candidates that do not satisfy the
+/// downward structural constraints of their query node.
+///
+/// Processes query nodes bottom-up; for every internal node `u` and candidate
+/// `v`, a truth value is assigned to each child's variable from the
+/// reachability of `v` into the (already pruned) candidate set of the child,
+/// and `v` is kept only when the extended structural predicate `fext(u)`
+/// evaluates to true.  AD children are answered through merged predecessor
+/// contours (Proposition 7); PC children are answered exactly through the
+/// adjacency lists.
+pub fn prune_downward(
+    q: &Gtpq,
+    g: &DataGraph,
+    index: &ThreeHop,
+    options: &GteaOptions,
+    mat: &mut [Vec<NodeId>],
+    stats: &mut EvalStats,
+) {
+    let start = Instant::now();
+    index.reset_lookups();
+    for u in q.bottom_up_order() {
+        if q.node(u).is_leaf() {
+            continue;
+        }
+        let fext = q.fext(u);
+        let children = q.children(u).to_vec();
+
+        // Per-child acceleration structures.
+        let mut ad_contours = Vec::with_capacity(children.len());
+        let mut pc_sets: Vec<Option<HashSet<NodeId>>> = Vec::with_capacity(children.len());
+        for &c in &children {
+            match q.incoming_edge(c) {
+                Some(EdgeKind::Child) => {
+                    ad_contours.push(None);
+                    pc_sets.push(Some(mat[c.index()].iter().copied().collect()));
+                }
+                _ => {
+                    let contour = if options.use_contours {
+                        Some(index.merge_pred_lists(&mat[c.index()]))
+                    } else {
+                        None
+                    };
+                    ad_contours.push(contour);
+                    pc_sets.push(None);
+                }
+            }
+        }
+
+        let candidates = std::mem::take(&mut mat[u.index()]);
+        stats.input_nodes += candidates.len() as u64;
+        let adjacency_lookups = std::cell::Cell::new(0u64);
+        let mut kept = Vec::with_capacity(candidates.len());
+        for v in candidates {
+            let value = eval_with(&fext, &|var| {
+                let child = QueryNodeId::from_var(var);
+                let Some(pos) = children.iter().position(|&c| c == child) else {
+                    return false;
+                };
+                match q.incoming_edge(child) {
+                    Some(EdgeKind::Child) => {
+                        let set = pc_sets[pos].as_ref().expect("PC child has a set");
+                        adjacency_lookups.set(adjacency_lookups.get() + g.out_degree(v) as u64);
+                        g.children(v).iter().any(|c| set.contains(c))
+                    }
+                    _ => match &ad_contours[pos] {
+                        Some(contour) => index.node_reaches_set(v, contour),
+                        None => mat[child.index()]
+                            .iter()
+                            .any(|&t| gtpq_reach::Reachability::reaches(index, v, t)),
+                    },
+                }
+            });
+            if value {
+                kept.push(v);
+            }
+        }
+        stats.index_lookups += adjacency_lookups.get();
+        mat[u.index()] = kept;
+    }
+    for u in q.node_ids() {
+        stats.candidates_after_downward += mat[u.index()].len() as u64;
+    }
+    stats.index_lookups += index.lookup_count();
+    stats.prune_down_time += start.elapsed();
+}
+
+/// `PruneUpward` (Procedure 7): removes candidates of prime-subtree nodes that
+/// are not reachable from any candidate of their prime parent.
+///
+/// Processes the prime subtree top-down; AD edges are answered through merged
+/// successor contours, PC edges exactly through the adjacency lists.
+pub fn prune_upward(
+    q: &Gtpq,
+    g: &DataGraph,
+    index: &ThreeHop,
+    options: &GteaOptions,
+    prime: &PrimeSubtree,
+    mat: &mut [Vec<NodeId>],
+    stats: &mut EvalStats,
+) {
+    let start = Instant::now();
+    index.reset_lookups();
+    for &u in &prime.nodes {
+        for &child in prime.children_of(u) {
+            let candidates = std::mem::take(&mut mat[child.index()]);
+            stats.input_nodes += candidates.len() as u64;
+            let kept: Vec<NodeId> = match q.incoming_edge(child) {
+                Some(EdgeKind::Child) => {
+                    let parents: HashSet<NodeId> = mat[u.index()].iter().copied().collect();
+                    candidates
+                        .into_iter()
+                        .filter(|&v| {
+                            stats.index_lookups += g.in_degree(v) as u64;
+                            g.parents(v).iter().any(|p| parents.contains(p))
+                        })
+                        .collect()
+                }
+                _ => {
+                    if options.use_contours {
+                        let contour = index.merge_succ_lists(&mat[u.index()]);
+                        candidates
+                            .into_iter()
+                            .filter(|&v| index.set_reaches_node(&contour, v))
+                            .collect()
+                    } else {
+                        candidates
+                            .into_iter()
+                            .filter(|&v| {
+                                mat[u.index()]
+                                    .iter()
+                                    .any(|&s| gtpq_reach::Reachability::reaches(index, s, v))
+                            })
+                            .collect()
+                    }
+                }
+            };
+            mat[child.index()] = kept;
+        }
+    }
+    for &u in &prime.nodes {
+        stats.candidates_after_upward += mat[u.index()].len() as u64;
+    }
+    stats.index_lookups += index.lookup_count();
+    stats.prune_up_time += start.elapsed();
+}
+
+#[cfg(test)]
+mod tests {
+    use gtpq_query::fixtures::{example_graph, example_query};
+    use gtpq_query::naive;
+
+    use super::*;
+
+    #[test]
+    fn downward_pruning_matches_naive_downward_semantics() {
+        let g = example_graph();
+        let q = example_query();
+        let index = ThreeHop::new(&g);
+        let options = GteaOptions::default();
+        let mut stats = EvalStats::default();
+        let mut mat = initial_candidates(&q, &g, &mut stats);
+        prune_downward(&q, &g, &index, &options, &mut mat, &mut stats);
+        let table = naive::downward_matches(&q, &g);
+        for u in q.node_ids() {
+            let expected: Vec<NodeId> = g
+                .nodes()
+                .filter(|&v| table[u.index()][v.index()])
+                .collect();
+            assert_eq!(mat[u.index()], expected, "mismatch at {u}");
+        }
+        assert!(stats.initial_candidates > 0);
+        assert!(stats.candidates_after_downward <= stats.initial_candidates);
+    }
+
+    #[test]
+    fn downward_pruning_without_contours_gives_the_same_result() {
+        let g = example_graph();
+        let q = example_query();
+        let index = ThreeHop::new(&g);
+        let mut stats = EvalStats::default();
+        let mut with_contours = initial_candidates(&q, &g, &mut stats);
+        prune_downward(
+            &q,
+            &g,
+            &index,
+            &GteaOptions::default(),
+            &mut with_contours,
+            &mut stats,
+        );
+        let mut without = initial_candidates(&q, &g, &mut stats);
+        prune_downward(
+            &q,
+            &g,
+            &index,
+            &GteaOptions::without_contours(),
+            &mut without,
+            &mut stats,
+        );
+        assert_eq!(with_contours, without);
+    }
+
+    #[test]
+    fn upward_pruning_keeps_only_reachable_candidates() {
+        let g = example_graph();
+        let q = example_query();
+        let index = ThreeHop::new(&g);
+        let options = GteaOptions::default();
+        let mut stats = EvalStats::default();
+        let mut mat = initial_candidates(&q, &g, &mut stats);
+        prune_downward(&q, &g, &index, &options, &mut mat, &mut stats);
+        let prime = PrimeSubtree::new(&q);
+        prune_upward(&q, &g, &index, &options, &prime, &mut mat, &mut stats);
+        // Every surviving candidate of a prime child is reachable from a
+        // surviving candidate of its prime parent.
+        for &u in &prime.nodes {
+            for &c in prime.children_of(u) {
+                for &v in &mat[c.index()] {
+                    assert!(
+                        mat[u.index()]
+                            .iter()
+                            .any(|&p| gtpq_graph::traversal::is_reachable(&g, p, v)),
+                        "candidate {v} of {c} unreachable from candidates of {u}"
+                    );
+                }
+            }
+        }
+        // In the running example the root keeps v1 only, u2 keeps v3/v8, u4
+        // keeps the three d1 nodes under v3.
+        assert_eq!(mat[0], vec![NodeId(0)]);
+        assert_eq!(mat[1], vec![NodeId(2), NodeId(7)]);
+        assert_eq!(mat[3], vec![NodeId(10), NodeId(11), NodeId(13)]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Evaluation statistics (the paper's I/O-cost metrics, Appendix C.1).
+
+use std::time::Duration;
+
+/// Counters and timings collected during one evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct EvalStats {
+    /// Number of data-node accesses (`#input` in Fig. 10): candidates scanned
+    /// during candidate selection and the two pruning rounds.
+    pub input_nodes: u64,
+    /// Number of index elements looked up (`#index` in Fig. 10): 3-hop hop-list
+    /// entries read plus adjacency entries scanned for PC edges.
+    pub index_lookups: u64,
+    /// Size of the intermediate results (`#intermediate` in Fig. 10): twice the
+    /// number of nodes plus edges of the maximal matching graph, following the
+    /// paper's accounting.
+    pub intermediate_size: u64,
+    /// Total number of initial candidate matching nodes (Σ |mat(u)|).
+    pub initial_candidates: u64,
+    /// Candidates remaining after the downward pruning round.
+    pub candidates_after_downward: u64,
+    /// Candidates of the prime subtree remaining after the upward round.
+    pub candidates_after_upward: u64,
+    /// Number of query nodes in the prime subtree.
+    pub prime_subtree_size: u64,
+    /// Number of query nodes in the shrunk prime subtree.
+    pub shrunk_subtree_size: u64,
+    /// Number of result tuples produced.
+    pub result_tuples: u64,
+    /// Time spent selecting candidates.
+    pub candidate_time: Duration,
+    /// Time spent in the downward pruning round.
+    pub prune_down_time: Duration,
+    /// Time spent in the upward pruning round.
+    pub prune_up_time: Duration,
+    /// Time spent building the maximal matching graph.
+    pub matching_graph_time: Duration,
+    /// Time spent enumerating results.
+    pub enumerate_time: Duration,
+}
+
+impl EvalStats {
+    /// Total pruning (filtering) time — the quantity compared against
+    /// TwigStackD's pre-filtering in Fig. 9(d).
+    pub fn filtering_time(&self) -> Duration {
+        self.prune_down_time + self.prune_up_time
+    }
+
+    /// Total evaluation time.
+    pub fn total_time(&self) -> Duration {
+        self.candidate_time
+            + self.prune_down_time
+            + self.prune_up_time
+            + self.matching_graph_time
+            + self.enumerate_time
+    }
+
+    /// Fraction of candidates removed by the two pruning rounds, over the
+    /// query nodes of the prime subtree (1.0 = everything pruned).
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.initial_candidates == 0 {
+            return 0.0;
+        }
+        1.0 - self.candidates_after_downward as f64 / self.initial_candidates as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let stats = EvalStats {
+            initial_candidates: 100,
+            candidates_after_downward: 25,
+            prune_down_time: Duration::from_millis(3),
+            prune_up_time: Duration::from_millis(2),
+            enumerate_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        assert_eq!(stats.filtering_time(), Duration::from_millis(5));
+        assert_eq!(stats.total_time(), Duration::from_millis(10));
+        assert!((stats.pruning_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(EvalStats::default().pruning_ratio(), 0.0);
+    }
+}

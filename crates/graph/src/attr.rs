@@ -1,0 +1,133 @@
+//! Node attribute values.
+//!
+//! A node attribute is a pair `(name, value)` where the name is an interned
+//! [`Symbol`](crate::Symbol) and the value is an [`AttrValue`].  Query
+//! attribute predicates compare these values with the six comparison
+//! operators of the paper (`<, <=, =, !=, >, >=`); comparisons across value
+//! kinds are defined to be false rather than an error, matching the
+//! "no matching element" semantics of `v ∼ u`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::symbol::Symbol;
+
+/// The value of a node attribute.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Integer-typed value (years, prices, group ids, ...).
+    Int(i64),
+    /// String-typed value (tags, names, titles, ...).
+    Str(String),
+}
+
+impl AttrValue {
+    /// Total comparison between two values of the same kind.
+    ///
+    /// Returns `None` when the kinds differ (an `Int` is never comparable to a
+    /// `Str`), which callers translate into "predicate not satisfied".
+    pub fn partial_cmp_same_kind(&self, other: &AttrValue) -> Option<Ordering> {
+        match (self, other) {
+            (AttrValue::Int(a), AttrValue::Int(b)) => Some(a.cmp(b)),
+            (AttrValue::Str(a), AttrValue::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor from `&str`.
+    pub fn str(s: &str) -> Self {
+        AttrValue::Str(s.to_owned())
+    }
+
+    /// Convenience constructor from `i64`.
+    pub fn int(i: i64) -> Self {
+        AttrValue::Int(i)
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// One attribute of a data node: an interned name plus a value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Interned attribute name.
+    pub name: Symbol,
+    /// Attribute value.
+    pub value: AttrValue,
+}
+
+impl Attribute {
+    /// Creates a new attribute.
+    pub fn new(name: Symbol, value: AttrValue) -> Self {
+        Self { name, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_kind_comparison() {
+        assert_eq!(
+            AttrValue::int(3).partial_cmp_same_kind(&AttrValue::int(5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            AttrValue::str("b").partial_cmp_same_kind(&AttrValue::str("a")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            AttrValue::str("b").partial_cmp_same_kind(&AttrValue::str("b")),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn cross_kind_comparison_is_none() {
+        assert_eq!(
+            AttrValue::int(3).partial_cmp_same_kind(&AttrValue::str("3")),
+            None
+        );
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(AttrValue::int(42).to_string(), "42");
+        assert_eq!(AttrValue::str("alice").to_string(), "alice");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(AttrValue::from(7i64), AttrValue::Int(7));
+        assert_eq!(AttrValue::from("x"), AttrValue::Str("x".into()));
+        assert_eq!(AttrValue::from(String::from("y")), AttrValue::Str("y".into()));
+    }
+}

@@ -1,0 +1,262 @@
+//! Strongly connected component condensation.
+//!
+//! Reachability indexes (3-hop, interval, SSPI) are defined on DAGs.  General
+//! data graphs are first condensed: every SCC collapses to a single component
+//! node, and reachability between original nodes is answered through the
+//! component DAG.  Two distinct nodes of the same SCC always reach each other;
+//! a node reaches itself iff its SCC contains a cycle (size > 1 or self-loop).
+
+use crate::graph::{DataGraph, NodeId};
+
+/// Identifier of a strongly connected component in a [`Condensation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompId(pub u32);
+
+impl CompId {
+    /// The component id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The SCC condensation of a [`DataGraph`].
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// Component of each original node.
+    comp_of: Vec<CompId>,
+    /// Members of each component.
+    members: Vec<Vec<NodeId>>,
+    /// Whether the component contains a cycle (size > 1 or a self-loop).
+    cyclic: Vec<bool>,
+    /// Sorted, de-duplicated adjacency between components (excluding self edges).
+    comp_out: Vec<Vec<CompId>>,
+    comp_in: Vec<Vec<CompId>>,
+    /// Components in topological order (sources first).
+    topo: Vec<CompId>,
+}
+
+impl Condensation {
+    /// Computes the condensation of `g` using Tarjan's algorithm (iterative).
+    pub fn new(g: &DataGraph) -> Self {
+        let n = g.node_count();
+        let mut index = vec![u32::MAX; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut next_index = 0u32;
+        let mut comp_of = vec![CompId(u32::MAX); n];
+        let mut members: Vec<Vec<NodeId>> = Vec::new();
+
+        // Iterative Tarjan: (node, child cursor) call frames.
+        let mut call_stack: Vec<(NodeId, usize)> = Vec::new();
+        for start in g.nodes() {
+            if index[start.index()] != u32::MAX {
+                continue;
+            }
+            call_stack.push((start, 0));
+            index[start.index()] = next_index;
+            lowlink[start.index()] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start.index()] = true;
+
+            while let Some(&mut (v, ref mut cursor)) = call_stack.last_mut() {
+                let children = g.children(v);
+                if *cursor < children.len() {
+                    let w = children[*cursor];
+                    *cursor += 1;
+                    if index[w.index()] == u32::MAX {
+                        index[w.index()] = next_index;
+                        lowlink[w.index()] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w.index()] = true;
+                        call_stack.push((w, 0));
+                    } else if on_stack[w.index()] {
+                        lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(&(parent, _)) = call_stack.last() {
+                        lowlink[parent.index()] =
+                            lowlink[parent.index()].min(lowlink[v.index()]);
+                    }
+                    if lowlink[v.index()] == index[v.index()] {
+                        let comp = CompId(members.len() as u32);
+                        let mut group = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w.index()] = false;
+                            comp_of[w.index()] = comp;
+                            group.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        group.sort_unstable();
+                        members.push(group);
+                    }
+                }
+            }
+        }
+
+        let c = members.len();
+        let mut cyclic = vec![false; c];
+        let mut comp_out: Vec<Vec<CompId>> = vec![Vec::new(); c];
+        let mut comp_in: Vec<Vec<CompId>> = vec![Vec::new(); c];
+        for (ci, group) in members.iter().enumerate() {
+            if group.len() > 1 {
+                cyclic[ci] = true;
+            }
+        }
+        for u in g.nodes() {
+            let cu = comp_of[u.index()];
+            for &v in g.children(u) {
+                let cv = comp_of[v.index()];
+                if cu == cv {
+                    if u == v || members[cu.index()].len() > 1 {
+                        cyclic[cu.index()] = true;
+                    }
+                } else {
+                    comp_out[cu.index()].push(cv);
+                    comp_in[cv.index()].push(cu);
+                }
+            }
+        }
+        for list in comp_out.iter_mut().chain(comp_in.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        // Tarjan emits components in reverse topological order.
+        let topo: Vec<CompId> = (0..c as u32).rev().map(CompId).collect();
+
+        Self {
+            comp_of,
+            members,
+            cyclic,
+            comp_out,
+            comp_in,
+            topo,
+        }
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The component containing node `v`.
+    #[inline]
+    pub fn component_of(&self, v: NodeId) -> CompId {
+        self.comp_of[v.index()]
+    }
+
+    /// Original nodes belonging to component `c`.
+    pub fn members(&self, c: CompId) -> &[NodeId] {
+        &self.members[c.index()]
+    }
+
+    /// Whether component `c` contains a cycle.
+    pub fn is_cyclic(&self, c: CompId) -> bool {
+        self.cyclic[c.index()]
+    }
+
+    /// Successor components of `c` in the condensation DAG.
+    pub fn successors(&self, c: CompId) -> &[CompId] {
+        &self.comp_out[c.index()]
+    }
+
+    /// Predecessor components of `c` in the condensation DAG.
+    pub fn predecessors(&self, c: CompId) -> &[CompId] {
+        &self.comp_in[c.index()]
+    }
+
+    /// Components in topological order (sources first).
+    pub fn topological_order(&self) -> &[CompId] {
+        &self.topo
+    }
+
+    /// Whether the original graph was already acyclic.
+    pub fn input_was_dag(&self) -> bool {
+        !self.cyclic.iter().any(|&c| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::traversal::is_reachable;
+
+    use super::*;
+
+    #[test]
+    fn dag_condensation_is_identity_like() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..4).map(|_| b.add_node()).collect();
+        b.add_edge(v[0], v[1]);
+        b.add_edge(v[1], v[2]);
+        b.add_edge(v[0], v[3]);
+        let g = b.build();
+        let c = Condensation::new(&g);
+        assert_eq!(c.component_count(), 4);
+        assert!(c.input_was_dag());
+        // Topological order respects edges.
+        let order = c.topological_order();
+        let pos = |comp: CompId| order.iter().position(|&x| x == comp).unwrap();
+        assert!(pos(c.component_of(v[0])) < pos(c.component_of(v[1])));
+        assert!(pos(c.component_of(v[1])) < pos(c.component_of(v[2])));
+    }
+
+    #[test]
+    fn cycle_collapses_to_single_component() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..5).map(|_| b.add_node()).collect();
+        // cycle 0 -> 1 -> 2 -> 0, plus 2 -> 3 -> 4
+        b.add_edge(v[0], v[1]);
+        b.add_edge(v[1], v[2]);
+        b.add_edge(v[2], v[0]);
+        b.add_edge(v[2], v[3]);
+        b.add_edge(v[3], v[4]);
+        let g = b.build();
+        let c = Condensation::new(&g);
+        assert_eq!(c.component_count(), 3);
+        let comp0 = c.component_of(v[0]);
+        assert_eq!(comp0, c.component_of(v[1]));
+        assert_eq!(comp0, c.component_of(v[2]));
+        assert!(c.is_cyclic(comp0));
+        assert!(!c.is_cyclic(c.component_of(v[3])));
+        assert!(!c.input_was_dag());
+    }
+
+    #[test]
+    fn self_loop_marks_component_cyclic() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node();
+        b.add_edge(a, a);
+        let g = b.build();
+        let c = Condensation::new(&g);
+        assert_eq!(c.component_count(), 1);
+        assert!(c.is_cyclic(c.component_of(a)));
+        assert!(is_reachable(&g, a, a));
+    }
+
+    #[test]
+    fn condensation_edges_are_deduplicated() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..4).map(|_| b.add_node()).collect();
+        // {0,1} cycle, {2,3} cycle, two parallel cross edges.
+        b.add_edge(v[0], v[1]);
+        b.add_edge(v[1], v[0]);
+        b.add_edge(v[2], v[3]);
+        b.add_edge(v[3], v[2]);
+        b.add_edge(v[0], v[2]);
+        b.add_edge(v[1], v[3]);
+        let g = b.build();
+        let c = Condensation::new(&g);
+        assert_eq!(c.component_count(), 2);
+        let c0 = c.component_of(v[0]);
+        assert_eq!(c.successors(c0).len(), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! The immutable attributed data graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attr::{AttrValue, Attribute};
+use crate::symbol::{Symbol, SymbolTable};
+
+/// Identifier of a node in a [`DataGraph`]. Dense, starting at zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An immutable directed graph whose nodes carry attribute tuples.
+///
+/// Built through [`GraphBuilder`](crate::GraphBuilder); adjacency lists are
+/// sorted and de-duplicated at build time so neighbourhood scans are cache
+/// friendly and membership tests can binary-search.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DataGraph {
+    pub(crate) symbols: SymbolTable,
+    pub(crate) out_edges: Vec<Vec<NodeId>>,
+    pub(crate) in_edges: Vec<Vec<NodeId>>,
+    pub(crate) attrs: Vec<Vec<Attribute>>,
+    pub(crate) edge_count: usize,
+}
+
+impl DataGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Children (direct successors) of `v`, sorted by id.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.out_edges[v.index()]
+    }
+
+    /// Parents (direct predecessors) of `v`, sorted by id.
+    #[inline]
+    pub fn parents(&self, v: NodeId) -> &[NodeId] {
+        &self.in_edges[v.index()]
+    }
+
+    /// Whether the edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_edges[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_edges[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_edges[v.index()].len()
+    }
+
+    /// The attribute tuple `f(v)` of node `v`.
+    #[inline]
+    pub fn attributes(&self, v: NodeId) -> &[Attribute] {
+        &self.attrs[v.index()]
+    }
+
+    /// Looks up the value of the attribute named `name` on node `v`.
+    pub fn attribute_value(&self, v: NodeId, name: &str) -> Option<&AttrValue> {
+        let sym = self.symbols.get(name)?;
+        self.attribute_value_sym(v, sym)
+    }
+
+    /// Looks up the value of the attribute with interned name `name` on `v`.
+    pub fn attribute_value_sym(&self, v: NodeId, name: Symbol) -> Option<&AttrValue> {
+        self.attrs[v.index()]
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| &a.value)
+    }
+
+    /// The symbol table interning attribute names.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Resolves an attribute-name symbol to its string.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.symbols.resolve(sym)
+    }
+
+    /// Returns the nodes whose attribute `name` equals `value`.
+    ///
+    /// Linear scan; used by tests and small examples. Candidate selection in
+    /// the engines goes through the query crate's predicate evaluation.
+    pub fn nodes_with_attr(&self, name: &str, value: &AttrValue) -> Vec<NodeId> {
+        let Some(sym) = self.symbols.get(name) else {
+            return Vec::new();
+        };
+        self.nodes()
+            .filter(|&v| self.attribute_value_sym(v, sym) == Some(value))
+            .collect()
+    }
+
+    /// Total number of attribute entries across all nodes.
+    pub fn attribute_count(&self) -> usize {
+        self.attrs.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::LABEL_ATTR;
+
+    use super::*;
+
+    fn sample() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("A");
+        let c = b.add_node_with_label("B");
+        let d = b.add_node_with_label("B");
+        b.add_edge(a, c);
+        b.add_edge(a, d);
+        b.add_edge(c, d);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = sample();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_queried() {
+        let g = sample();
+        assert_eq!(g.children(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let g = sample();
+        assert_eq!(
+            g.attribute_value(NodeId(0), LABEL_ATTR),
+            Some(&AttrValue::str("A"))
+        );
+        assert_eq!(g.attribute_value(NodeId(0), "missing"), None);
+        assert_eq!(
+            g.nodes_with_attr(LABEL_ATTR, &AttrValue::str("B")),
+            vec![NodeId(1), NodeId(2)]
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Plain-text serialization of data graphs.
+//!
+//! The format is line oriented and meant for examples, debugging and moving
+//! small fixtures around — not for bulk storage:
+//!
+//! ```text
+//! # comment
+//! node 0 label=person name=Alice age:int=42
+//! node 1 label=inproceedings
+//! edge 1 0
+//! ```
+//!
+//! Attribute values are strings by default; an `:int` suffix on the name
+//! parses the value as an integer.  The format is whitespace separated, so
+//! string values must not contain spaces.
+
+use std::fmt::Write as _;
+
+use crate::attr::AttrValue;
+use crate::builder::GraphBuilder;
+use crate::graph::{DataGraph, NodeId};
+
+/// Errors produced while parsing the text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not start with `node`, `edge` or `#`.
+    UnknownDirective { line: usize, found: String },
+    /// A node/edge id could not be parsed or referenced an undeclared node.
+    BadId { line: usize, token: String },
+    /// An attribute was not of the form `name=value`.
+    BadAttribute { line: usize, token: String },
+    /// Node ids must be declared densely, in order, starting from zero.
+    NonDenseNode { line: usize, expected: u32, found: u32 },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownDirective { line, found } => {
+                write!(f, "line {line}: unknown directive `{found}`")
+            }
+            ParseError::BadId { line, token } => write!(f, "line {line}: bad id `{token}`"),
+            ParseError::BadAttribute { line, token } => {
+                write!(f, "line {line}: bad attribute `{token}`")
+            }
+            ParseError::NonDenseNode {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: node ids must be dense, expected {expected} found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes `g` to the text format.
+pub fn to_text(g: &DataGraph) -> String {
+    let mut out = String::new();
+    for v in g.nodes() {
+        let _ = write!(out, "node {}", v.0);
+        for attr in g.attributes(v) {
+            let name = g.resolve(attr.name);
+            match &attr.value {
+                AttrValue::Int(i) => {
+                    let _ = write!(out, " {name}:int={i}");
+                }
+                AttrValue::Str(s) => {
+                    let _ = write!(out, " {name}={s}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    for u in g.nodes() {
+        for &v in g.children(u) {
+            let _ = writeln!(out, "edge {} {}", u.0, v.0);
+        }
+    }
+    out
+}
+
+/// Parses the text format back into a [`DataGraph`].
+pub fn from_text(text: &str) -> Result<DataGraph, ParseError> {
+    let mut builder = GraphBuilder::new();
+    let mut edges: Vec<(u32, u32, usize)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            Some("node") => {
+                let id_tok = parts.next().unwrap_or("");
+                let id: u32 = id_tok.parse().map_err(|_| ParseError::BadId {
+                    line,
+                    token: id_tok.to_owned(),
+                })?;
+                let expected = builder.node_count() as u32;
+                if id != expected {
+                    return Err(ParseError::NonDenseNode {
+                        line,
+                        expected,
+                        found: id,
+                    });
+                }
+                let v = builder.add_node();
+                for tok in parts {
+                    let (name, value) = tok.split_once('=').ok_or(ParseError::BadAttribute {
+                        line,
+                        token: tok.to_owned(),
+                    })?;
+                    if let Some(stripped) = name.strip_suffix(":int") {
+                        let i: i64 = value.parse().map_err(|_| ParseError::BadAttribute {
+                            line,
+                            token: tok.to_owned(),
+                        })?;
+                        builder.set_attr(v, stripped, AttrValue::Int(i));
+                    } else {
+                        builder.set_attr(v, name, AttrValue::str(value));
+                    }
+                }
+            }
+            Some("edge") => {
+                let u_tok = parts.next().unwrap_or("");
+                let v_tok = parts.next().unwrap_or("");
+                let u: u32 = u_tok.parse().map_err(|_| ParseError::BadId {
+                    line,
+                    token: u_tok.to_owned(),
+                })?;
+                let v: u32 = v_tok.parse().map_err(|_| ParseError::BadId {
+                    line,
+                    token: v_tok.to_owned(),
+                })?;
+                edges.push((u, v, line));
+            }
+            Some(other) => {
+                return Err(ParseError::UnknownDirective {
+                    line,
+                    found: other.to_owned(),
+                })
+            }
+            None => {}
+        }
+    }
+    let n = builder.node_count() as u32;
+    for (u, v, line) in edges {
+        if u >= n || v >= n {
+            return Err(ParseError::BadId {
+                line,
+                token: format!("{u}->{v}"),
+            });
+        }
+        builder.add_edge(NodeId(u), NodeId(v));
+    }
+    Ok(builder.build())
+}
+
+/// Serializes `g` to Graphviz DOT, labelling nodes with their `label` attribute.
+pub fn to_dot(g: &DataGraph) -> String {
+    let mut out = String::from("digraph data {\n");
+    for v in g.nodes() {
+        let label = g
+            .attribute_value(v, crate::LABEL_ATTR)
+            .map(|l| l.to_string())
+            .unwrap_or_default();
+        let _ = writeln!(out, "  n{} [label=\"{} {}\"];", v.0, v, label);
+    }
+    for u in g.nodes() {
+        for &v in g.children(u) {
+            let _ = writeln!(out, "  n{} -> n{};", u.0, v.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::LABEL_ATTR;
+
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("person");
+        b.set_attr(a, "age", AttrValue::int(42));
+        let c = b.add_node_with_label("paper");
+        b.add_edge(a, c);
+        let g = b.build();
+        let text = to_text(&g);
+        let g2 = from_text(&text).unwrap();
+        assert_eq!(g2.node_count(), 2);
+        assert_eq!(g2.edge_count(), 1);
+        assert_eq!(g2.attribute_value(a, "age"), Some(&AttrValue::int(42)));
+        assert_eq!(
+            g2.attribute_value(NodeId(1), LABEL_ATTR),
+            Some(&AttrValue::str("paper"))
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = from_text("# hello\n\nnode 0 label=a\n").unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn bad_directive_is_reported() {
+        let err = from_text("vertex 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownDirective { line: 1, .. }));
+        assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn non_dense_node_ids_are_rejected() {
+        let err = from_text("node 1 label=a\n").unwrap_err();
+        assert!(matches!(err, ParseError::NonDenseNode { .. }));
+    }
+
+    #[test]
+    fn dangling_edge_is_rejected() {
+        let err = from_text("node 0\nedge 0 3\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadId { line: 2, .. }));
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("x");
+        let c = b.add_node_with_label("y");
+        b.add_edge(a, c);
+        let dot = to_dot(&b.build());
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("digraph"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Attributed directed data-graph model used throughout the GTPQ system.
+//!
+//! A *data graph* (paper §2) is a directed graph `G = (V, E, f)` where every
+//! node carries a tuple of attribute/value pairs.  Two nodes are in a
+//! *parent-child* (PC) relationship when connected by an edge and in an
+//! *ancestor-descendant* (AD) relationship when connected by a non-empty
+//! directed path.
+//!
+//! The crate provides:
+//! * [`DataGraph`] — an immutable, adjacency-list graph with interned
+//!   attribute names and per-node attribute tuples,
+//! * [`GraphBuilder`] — the only way to construct a [`DataGraph`],
+//! * [`Condensation`] — Tarjan SCC condensation producing the DAG on which
+//!   reachability indexes are built,
+//! * traversal helpers (BFS descendants/ancestors, naive reachability used as
+//!   a test oracle), and
+//! * simple statistics and a text serialization format used by the examples.
+
+pub mod attr;
+pub mod builder;
+pub mod condensation;
+pub mod graph;
+pub mod io;
+pub mod stats;
+pub mod symbol;
+pub mod traversal;
+
+pub use attr::{AttrValue, Attribute};
+pub use builder::GraphBuilder;
+pub use condensation::Condensation;
+pub use graph::{DataGraph, NodeId};
+pub use stats::GraphStats;
+pub use symbol::{Symbol, SymbolTable};
+
+/// Attribute name conventionally used for the single "label" of a node in the
+/// synthetic datasets (XMark tags, arXiv label groups, ...).
+pub const LABEL_ATTR: &str = "label";
+
+/// Attribute name conventionally used for free-text values (author names,
+/// titles, ...) in the DBLP-style examples.
+pub const VALUE_ATTR: &str = "value";

@@ -1,0 +1,317 @@
+//! Propositional formula AST.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a propositional variable.
+///
+/// In GTPQ structural predicates, variable `VarId(i)` is the variable `p_u`
+/// of the query node with id `i`, so the mapping between query nodes and
+/// variables is the identity and needs no table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A propositional formula over [`VarId`] variables.
+///
+/// Connectives are n-ary conjunction and disjunction plus negation, which is
+/// exactly the propositional language of GTPQ structural predicates.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoolExpr {
+    /// The constant `1` (true). `fs(u) = 1` for nodes with no predicate children.
+    True,
+    /// The constant `0` (false).
+    False,
+    /// A propositional variable.
+    Var(VarId),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// N-ary conjunction. An empty conjunction is `True`.
+    And(Vec<BoolExpr>),
+    /// N-ary disjunction. An empty disjunction is `False`.
+    Or(Vec<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Variable constructor.
+    pub fn var(id: u32) -> Self {
+        BoolExpr::Var(VarId(id))
+    }
+
+    /// Negation with light simplification of constants and double negation.
+    pub fn not(e: BoolExpr) -> Self {
+        match e {
+            BoolExpr::True => BoolExpr::False,
+            BoolExpr::False => BoolExpr::True,
+            BoolExpr::Not(inner) => *inner,
+            other => BoolExpr::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction of an iterator of formulas with constant folding.
+    pub fn and<I: IntoIterator<Item = BoolExpr>>(items: I) -> Self {
+        let mut out = Vec::new();
+        for item in items {
+            match item {
+                BoolExpr::True => {}
+                BoolExpr::False => return BoolExpr::False,
+                BoolExpr::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => BoolExpr::True,
+            1 => out.pop().expect("len checked"),
+            _ => BoolExpr::And(out),
+        }
+    }
+
+    /// Disjunction of an iterator of formulas with constant folding.
+    pub fn or<I: IntoIterator<Item = BoolExpr>>(items: I) -> Self {
+        let mut out = Vec::new();
+        for item in items {
+            match item {
+                BoolExpr::False => {}
+                BoolExpr::True => return BoolExpr::True,
+                BoolExpr::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => BoolExpr::False,
+            1 => out.pop().expect("len checked"),
+            _ => BoolExpr::Or(out),
+        }
+    }
+
+    /// Binary conjunction.
+    pub fn and2(a: BoolExpr, b: BoolExpr) -> Self {
+        BoolExpr::and([a, b])
+    }
+
+    /// Binary disjunction.
+    pub fn or2(a: BoolExpr, b: BoolExpr) -> Self {
+        BoolExpr::or([a, b])
+    }
+
+    /// Material implication `a → b` as `¬a ∨ b`.
+    pub fn implies(a: BoolExpr, b: BoolExpr) -> Self {
+        BoolExpr::or2(BoolExpr::not(a), b)
+    }
+
+    /// Exclusive or `a ⊕ b` as `(a ∧ ¬b) ∨ (¬a ∧ b)`.
+    pub fn xor(a: BoolExpr, b: BoolExpr) -> Self {
+        BoolExpr::or2(
+            BoolExpr::and2(a.clone(), BoolExpr::not(b.clone())),
+            BoolExpr::and2(BoolExpr::not(a), b),
+        )
+    }
+
+    /// The set of variables occurring in the formula, sorted.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut set = BTreeSet::new();
+        self.collect_vars(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            BoolExpr::True | BoolExpr::False => {}
+            BoolExpr::Var(v) => {
+                out.insert(*v);
+            }
+            BoolExpr::Not(e) => e.collect_vars(out),
+            BoolExpr::And(items) | BoolExpr::Or(items) => {
+                for item in items {
+                    item.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the variable occurs in the formula.
+    pub fn contains_var(&self, var: VarId) -> bool {
+        match self {
+            BoolExpr::True | BoolExpr::False => false,
+            BoolExpr::Var(v) => *v == var,
+            BoolExpr::Not(e) => e.contains_var(var),
+            BoolExpr::And(items) | BoolExpr::Or(items) => {
+                items.iter().any(|e| e.contains_var(var))
+            }
+        }
+    }
+
+    /// Whether the formula contains no negation (union-conjunctive check).
+    pub fn is_negation_free(&self) -> bool {
+        match self {
+            BoolExpr::True | BoolExpr::False | BoolExpr::Var(_) => true,
+            BoolExpr::Not(_) => false,
+            BoolExpr::And(items) | BoolExpr::Or(items) => {
+                items.iter().all(BoolExpr::is_negation_free)
+            }
+        }
+    }
+
+    /// Whether the formula uses only conjunction over variables/constants
+    /// (conjunctive GTPQ check).
+    pub fn is_conjunctive(&self) -> bool {
+        match self {
+            BoolExpr::True | BoolExpr::False | BoolExpr::Var(_) => true,
+            BoolExpr::Not(_) | BoolExpr::Or(_) => false,
+            BoolExpr::And(items) => items.iter().all(BoolExpr::is_conjunctive),
+        }
+    }
+
+    /// Number of AST nodes; a rough size measure used in tests and stats.
+    pub fn size(&self) -> usize {
+        match self {
+            BoolExpr::True | BoolExpr::False | BoolExpr::Var(_) => 1,
+            BoolExpr::Not(e) => 1 + e.size(),
+            BoolExpr::And(items) | BoolExpr::Or(items) => {
+                1 + items.iter().map(BoolExpr::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn fmt_prec(e: &BoolExpr, f: &mut fmt::Formatter<'_>, parent_or: bool) -> fmt::Result {
+            match e {
+                BoolExpr::True => write!(f, "1"),
+                BoolExpr::False => write!(f, "0"),
+                BoolExpr::Var(v) => write!(f, "{v}"),
+                BoolExpr::Not(inner) => {
+                    write!(f, "!")?;
+                    match **inner {
+                        BoolExpr::And(_) | BoolExpr::Or(_) => {
+                            write!(f, "(")?;
+                            fmt_prec(inner, f, false)?;
+                            write!(f, ")")
+                        }
+                        _ => fmt_prec(inner, f, false),
+                    }
+                }
+                BoolExpr::And(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " & ")?;
+                        }
+                        match item {
+                            BoolExpr::Or(_) => {
+                                write!(f, "(")?;
+                                fmt_prec(item, f, false)?;
+                                write!(f, ")")?;
+                            }
+                            _ => fmt_prec(item, f, false)?,
+                        }
+                    }
+                    Ok(())
+                }
+                BoolExpr::Or(items) => {
+                    if parent_or {
+                        write!(f, "(")?;
+                    }
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " | ")?;
+                        }
+                        fmt_prec(item, f, false)?;
+                    }
+                    if parent_or {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        fmt_prec(self, f, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_constructors_fold_constants() {
+        assert_eq!(BoolExpr::and([BoolExpr::True, BoolExpr::var(1)]), BoolExpr::var(1));
+        assert_eq!(
+            BoolExpr::and([BoolExpr::False, BoolExpr::var(1)]),
+            BoolExpr::False
+        );
+        assert_eq!(BoolExpr::or([BoolExpr::False, BoolExpr::var(2)]), BoolExpr::var(2));
+        assert_eq!(BoolExpr::or([BoolExpr::True, BoolExpr::var(2)]), BoolExpr::True);
+        assert_eq!(BoolExpr::and(Vec::<BoolExpr>::new()), BoolExpr::True);
+        assert_eq!(BoolExpr::or(Vec::<BoolExpr>::new()), BoolExpr::False);
+    }
+
+    #[test]
+    fn nested_connectives_are_flattened() {
+        let e = BoolExpr::and([
+            BoolExpr::and([BoolExpr::var(1), BoolExpr::var(2)]),
+            BoolExpr::var(3),
+        ]);
+        assert_eq!(
+            e,
+            BoolExpr::And(vec![BoolExpr::var(1), BoolExpr::var(2), BoolExpr::var(3)])
+        );
+    }
+
+    #[test]
+    fn double_negation_is_removed() {
+        let e = BoolExpr::not(BoolExpr::not(BoolExpr::var(5)));
+        assert_eq!(e, BoolExpr::var(5));
+    }
+
+    #[test]
+    fn variables_are_sorted_and_deduplicated() {
+        let e = BoolExpr::or2(
+            BoolExpr::and2(BoolExpr::var(3), BoolExpr::var(1)),
+            BoolExpr::var(3),
+        );
+        assert_eq!(e.variables(), vec![VarId(1), VarId(3)]);
+        assert!(e.contains_var(VarId(1)));
+        assert!(!e.contains_var(VarId(2)));
+    }
+
+    #[test]
+    fn classification_predicates() {
+        let conj = BoolExpr::and2(BoolExpr::var(1), BoolExpr::var(2));
+        let disj = BoolExpr::or2(BoolExpr::var(1), BoolExpr::var(2));
+        let neg = BoolExpr::not(BoolExpr::var(1));
+        assert!(conj.is_conjunctive() && conj.is_negation_free());
+        assert!(!disj.is_conjunctive() && disj.is_negation_free());
+        assert!(!neg.is_negation_free() && !neg.is_conjunctive());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = BoolExpr::and2(
+            BoolExpr::or2(BoolExpr::var(1), BoolExpr::not(BoolExpr::var(2))),
+            BoolExpr::var(3),
+        );
+        assert_eq!(e.to_string(), "(p1 | !p2) & p3");
+    }
+
+    #[test]
+    fn size_counts_ast_nodes() {
+        let e = BoolExpr::and2(BoolExpr::var(1), BoolExpr::not(BoolExpr::var(2)));
+        assert_eq!(e.size(), 4);
+    }
+}

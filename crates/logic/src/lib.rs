@@ -1,0 +1,27 @@
+//! Propositional logic engine for GTPQ structural predicates.
+//!
+//! Structural predicates of the paper (§2) are propositional formulas over
+//! variables `p_u` associated with query nodes, built from conjunction,
+//! disjunction and negation.  The fundamental-problem algorithms (§3) need
+//! substitution, implication/tautology checking and satisfiability, and the
+//! baseline comparison needs CNF conversion (the B-twig "OR-block"
+//! normalisation).  This crate provides all of that:
+//!
+//! * [`BoolExpr`] — the formula AST with smart constructors,
+//! * [`Valuation`] — truth assignments and evaluation,
+//! * [`transform`] — substitution, renaming, simplification, NNF, CNF,
+//! * [`sat`] — a DPLL SAT solver plus tautology / implication / equivalence
+//!   checks (and a brute-force reference used in tests),
+//! * [`parser`] — a tiny text syntax (`"p1 & (!p2 | p3)"`) used by examples
+//!   and the query DSL.
+
+pub mod expr;
+pub mod parser;
+pub mod sat;
+pub mod transform;
+pub mod valuation;
+
+pub use expr::{BoolExpr, VarId};
+pub use parser::{parse, ParseError};
+pub use sat::{brute_force_satisfiable, equivalent, implies, is_satisfiable, is_tautology};
+pub use valuation::Valuation;

@@ -1,0 +1,230 @@
+//! A tiny parser for propositional formulas.
+//!
+//! Grammar (standard precedence `!` > `&` > `|`):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( '|' and )*
+//! and     := unary ( '&' unary )*
+//! unary   := '!' unary | atom
+//! atom    := '1' | '0' | ident | '(' expr ')'
+//! ident   := 'p'? [0-9]+  |  name           (names resolved by a callback)
+//! ```
+//!
+//! Numeric identifiers (`p3` or `3`) map directly to [`VarId`]s; symbolic
+//! names are resolved through a user-supplied lookup so the query DSL can use
+//! query-node names (`bidder | seller`).
+
+use crate::expr::{BoolExpr, VarId};
+
+/// Error produced by the formula parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a formula whose variables are numeric (`p1`, `2`, ...).
+pub fn parse(input: &str) -> Result<BoolExpr, ParseError> {
+    parse_with(input, &mut |name, pos| {
+        Err(ParseError {
+            position: pos,
+            message: format!("unknown variable name `{name}` (only numeric variables allowed)"),
+        })
+    })
+}
+
+/// Parses a formula, resolving non-numeric identifiers through `resolve`.
+pub fn parse_with<F>(input: &str, resolve: &mut F) -> Result<BoolExpr, ParseError>
+where
+    F: FnMut(&str, usize) -> Result<VarId, ParseError>,
+{
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    let expr = parser.parse_or(resolve)?;
+    parser.skip_ws();
+    if parser.pos != parser.input.len() {
+        return Err(ParseError {
+            position: parser.pos,
+            message: "unexpected trailing input".to_owned(),
+        });
+    }
+    Ok(expr)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn parse_or<F>(&mut self, resolve: &mut F) -> Result<BoolExpr, ParseError>
+    where
+        F: FnMut(&str, usize) -> Result<VarId, ParseError>,
+    {
+        let mut items = vec![self.parse_and(resolve)?];
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            items.push(self.parse_and(resolve)?);
+        }
+        Ok(BoolExpr::or(items))
+    }
+
+    fn parse_and<F>(&mut self, resolve: &mut F) -> Result<BoolExpr, ParseError>
+    where
+        F: FnMut(&str, usize) -> Result<VarId, ParseError>,
+    {
+        let mut items = vec![self.parse_unary(resolve)?];
+        while self.peek() == Some(b'&') {
+            self.pos += 1;
+            items.push(self.parse_unary(resolve)?);
+        }
+        Ok(BoolExpr::and(items))
+    }
+
+    fn parse_unary<F>(&mut self, resolve: &mut F) -> Result<BoolExpr, ParseError>
+    where
+        F: FnMut(&str, usize) -> Result<VarId, ParseError>,
+    {
+        match self.peek() {
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(BoolExpr::not(self.parse_unary(resolve)?))
+            }
+            _ => self.parse_atom(resolve),
+        }
+    }
+
+    fn parse_atom<F>(&mut self, resolve: &mut F) -> Result<BoolExpr, ParseError>
+    where
+        F: FnMut(&str, usize) -> Result<VarId, ParseError>,
+    {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.parse_or(resolve)?;
+                if self.peek() != Some(b')') {
+                    return Err(ParseError {
+                        position: self.pos,
+                        message: "expected `)`".to_owned(),
+                    });
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.input.len()
+                    && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let token = std::str::from_utf8(&self.input[start..self.pos])
+                    .expect("ascii slice is valid utf8");
+                match token {
+                    "1" | "true" => Ok(BoolExpr::True),
+                    "0" | "false" => Ok(BoolExpr::False),
+                    _ => {
+                        // `p<digits>` or bare digits are numeric variables.
+                        let numeric = token.strip_prefix('p').unwrap_or(token);
+                        if !numeric.is_empty() && numeric.bytes().all(|b| b.is_ascii_digit()) {
+                            let id: u32 = numeric.parse().map_err(|_| ParseError {
+                                position: start,
+                                message: format!("variable id `{numeric}` out of range"),
+                            })?;
+                            Ok(BoolExpr::Var(VarId(id)))
+                        } else {
+                            resolve(token, start).map(BoolExpr::Var)
+                        }
+                    }
+                }
+            }
+            other => Err(ParseError {
+                position: self.pos,
+                message: format!("expected formula atom, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_precedence_correctly() {
+        let e = parse("p1 | p2 & !p3").unwrap();
+        assert_eq!(
+            e,
+            BoolExpr::or2(
+                BoolExpr::var(1),
+                BoolExpr::and2(BoolExpr::var(2), BoolExpr::not(BoolExpr::var(3)))
+            )
+        );
+    }
+
+    #[test]
+    fn parses_parentheses_and_constants() {
+        let e = parse("(p1 | p2) & 1 & !0").unwrap();
+        assert_eq!(e, BoolExpr::or2(BoolExpr::var(1), BoolExpr::var(2)));
+        assert_eq!(parse("1").unwrap(), BoolExpr::True);
+        assert_eq!(parse("false").unwrap(), BoolExpr::False);
+    }
+
+    #[test]
+    fn bare_digits_are_variables_unless_constant() {
+        assert_eq!(parse("5").unwrap(), BoolExpr::var(5));
+        assert_eq!(parse("p12").unwrap(), BoolExpr::var(12));
+    }
+
+    #[test]
+    fn named_variables_need_resolver() {
+        assert!(parse("bidder | seller").is_err());
+        let e = parse_with("bidder | seller", &mut |name, _| {
+            Ok(VarId(if name == "bidder" { 10 } else { 20 }))
+        })
+        .unwrap();
+        assert_eq!(e, BoolExpr::or2(BoolExpr::var(10), BoolExpr::var(20)));
+    }
+
+    #[test]
+    fn reports_errors_with_positions() {
+        let err = parse("p1 &").unwrap_err();
+        assert!(err.position >= 4);
+        let err = parse("(p1").unwrap_err();
+        assert!(err.message.contains(")"));
+        let err = parse("p1 p2").unwrap_err();
+        assert!(err.message.contains("trailing"));
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn round_trips_display() {
+        let original = "(p1 | !p2) & p3";
+        let parsed = parse(original).unwrap();
+        assert_eq!(parse(&parsed.to_string()).unwrap(), parsed);
+    }
+}

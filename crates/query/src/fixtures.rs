@@ -1,0 +1,172 @@
+//! Shared test/example fixture modelled on the paper's running example
+//! (Fig. 2): a 16-node data graph and a 10-node GTPQ exercising conjunction,
+//! disjunction and negation in the structural predicates.
+//!
+//! The published figure cannot be reconstructed verbatim from the text, so
+//! the edge set here is our own; all expectations asserted in tests are
+//! hand-computed for *this* graph.  The fixture keeps the shape of the
+//! paper's example: `a`-labelled roots, two `c`-branches with different
+//! structural predicates, a negated `g` condition and a disjunctive
+//! `e`-condition below a `b` node.
+
+use gtpq_graph::{DataGraph, GraphBuilder, NodeId};
+use gtpq_logic::BoolExpr;
+
+use crate::builder::GtpqBuilder;
+use crate::node::EdgeKind;
+use crate::predicate::{AttrPredicate, CmpOp};
+use crate::query::Gtpq;
+
+/// An attribute predicate matching every label starting with `prefix`
+/// (mimics the paper's `Y_j` convention where `C1` matches `c1`, `c2`, ...).
+pub fn label_prefix(prefix: &str) -> AttrPredicate {
+    let mut upper = prefix.to_owned();
+    upper.push('~'); // '~' sorts after all alphanumeric characters
+    AttrPredicate::any()
+        .and(gtpq_graph::LABEL_ATTR, CmpOp::Ge, prefix.into())
+        .and(gtpq_graph::LABEL_ATTR, CmpOp::Lt, upper.as_str().into())
+}
+
+/// The data graph of the running example. `v_k` of the paper is `NodeId(k-1)`.
+pub fn example_graph() -> DataGraph {
+    let mut b = GraphBuilder::new();
+    for k in 1..=16 {
+        let label = match k {
+            1 | 2 | 4 => "a1",
+            3 | 8 => "c1",
+            5 => "c2",
+            6 | 7 => "b1",
+            9 | 10 | 15 => "e1",
+            11 | 12 | 14 => "d1",
+            13 => "e2",
+            16 => "g1",
+            _ => unreachable!(),
+        };
+        b.add_node_with_label(label);
+    }
+    let edges_1based = [
+        (1, 2),
+        (1, 3),
+        (2, 4),
+        (3, 7),
+        (3, 8),
+        (4, 8),
+        (4, 5),
+        (5, 6),
+        (5, 9),
+        (6, 9),
+        (7, 11),
+        (7, 10),
+        (3, 11),
+        (8, 11),
+        (8, 12),
+        (11, 14),
+        (11, 13),
+        (12, 13),
+        (12, 15),
+        (13, 16),
+        (14, 15),
+    ];
+    for (x, y) in edges_1based {
+        b.add_edge(NodeId(x - 1), NodeId(y - 1));
+    }
+    b.build()
+}
+
+/// The GTPQ of the running example.
+///
+/// Tree (all edges AD; `*` marks output nodes, `[P]` predicate nodes):
+///
+/// ```text
+/// u1 (a1)
+/// ├── u2* (c*)   fs = p_u5
+/// │   └── u5 [P] (e2)
+/// └── u3  (c*)   fs = !p_u6 | (p_u7 & p_u8)
+///     ├── u4* (d1)
+///     ├── u6 [P] (g1)
+///     ├── u7 [P] (b*)  fs = p_u9 | p_u10
+///     │   ├── u9  [P] (e*)
+///     │   └── u10 [P] (e*)
+///     └── u8 [P] (d1)
+/// ```
+///
+/// The paper's `u_k` is `QueryNodeId(k-1)`.
+pub fn example_query() -> Gtpq {
+    let mut b = GtpqBuilder::new(AttrPredicate::label("a1"));
+    let u1 = b.root_id();
+    let u2 = b.backbone_child(u1, EdgeKind::Descendant, label_prefix("c"));
+    let u3 = b.backbone_child(u1, EdgeKind::Descendant, label_prefix("c"));
+    let u4 = b.backbone_child(u3, EdgeKind::Descendant, AttrPredicate::label("d1"));
+    let u5 = b.predicate_child(u2, EdgeKind::Descendant, AttrPredicate::label("e2"));
+    let u6 = b.predicate_child(u3, EdgeKind::Descendant, AttrPredicate::label("g1"));
+    let u7 = b.predicate_child(u3, EdgeKind::Descendant, label_prefix("b"));
+    let u8 = b.predicate_child(u3, EdgeKind::Descendant, AttrPredicate::label("d1"));
+    let u9 = b.predicate_child(u7, EdgeKind::Descendant, label_prefix("e"));
+    let u10 = b.predicate_child(u7, EdgeKind::Descendant, label_prefix("e"));
+    b.set_structural(u2, BoolExpr::Var(u5.var()));
+    b.set_structural(
+        u3,
+        BoolExpr::or2(
+            BoolExpr::not(BoolExpr::Var(u6.var())),
+            BoolExpr::and2(BoolExpr::Var(u7.var()), BoolExpr::Var(u8.var())),
+        ),
+    );
+    b.set_structural(
+        u7,
+        BoolExpr::or2(BoolExpr::Var(u9.var()), BoolExpr::Var(u10.var())),
+    );
+    b.set_name(u1, "u1");
+    b.set_name(u2, "u2");
+    b.set_name(u3, "u3");
+    b.set_name(u4, "u4");
+    b.mark_output(u2);
+    b.mark_output(u4);
+    b.build().expect("example query is well formed")
+}
+
+/// The hand-computed answer of [`example_query`] on [`example_graph`], as
+/// 1-based `(v for u2, v for u4)` pairs.
+///
+/// Derivation: after downward matching, `u2` can only be matched by `v3` and
+/// `v8` (the only `c`-nodes reaching the `e2` node `v13`), `u3` only by `v3`
+/// (it reaches the `g1` node `v16`, so the negated branch fails, but it also
+/// reaches a matching `b`-node `v7` and a `d1`-node, satisfying the
+/// disjunction's other arm; `v8` reaches `v16` but no `b`-node, and `v5`
+/// reaches no `d1` backbone child), and `u1` only by `v1` (the only `a1` node
+/// reaching both a `u2`- and a `u3`-candidate).  The `d1` descendants of `v3`
+/// are `v11`, `v12`, `v14`.
+pub fn example_answer_pairs() -> Vec<(u32, u32)> {
+    vec![(3, 11), (3, 12), (3, 14), (8, 11), (8, 12), (8, 14)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_has_expected_shape() {
+        let g = example_graph();
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 21);
+    }
+
+    #[test]
+    fn query_has_expected_shape() {
+        let q = example_query();
+        assert_eq!(q.size(), 10);
+        assert_eq!(q.output_nodes().len(), 2);
+        assert!(!q.is_conjunctive());
+        assert!(!q.is_union_conjunctive());
+    }
+
+    #[test]
+    fn label_prefix_matches_correctly() {
+        let g = example_graph();
+        let q_c = label_prefix("c");
+        // c1 nodes: v3, v8; c2: v5.
+        assert!(q_c.matches(&g, NodeId(2)));
+        assert!(q_c.matches(&g, NodeId(4)));
+        assert!(q_c.matches(&g, NodeId(7)));
+        assert!(!q_c.matches(&g, NodeId(0)));
+    }
+}

@@ -1,0 +1,40 @@
+//! Generalized tree pattern queries (GTPQs) over graph-structured data.
+//!
+//! A GTPQ (paper §2) is a directed tree of *query nodes* split into
+//! *backbone* and *predicate* nodes.  Every node carries an *attribute
+//! predicate* (a conjunction of comparisons against node attributes) and
+//! every internal node carries a *structural predicate*: a propositional
+//! formula over the variables of its predicate children, expressing which
+//! combinations of child subtree matches are acceptable (this is where the
+//! logical AND/OR/NOT operators of the title live).  A subset of the backbone
+//! nodes are *output nodes*; the answer to the query is the set of
+//! output-node image tuples over all matches.
+//!
+//! This crate defines the query model and everything derived purely from the
+//! query itself:
+//!
+//! * [`AttrPredicate`] / [`CmpOp`] — attribute predicates and their
+//!   evaluation against data nodes,
+//! * [`Gtpq`] and [`GtpqBuilder`] — the query tree, with validation of the
+//!   structural restrictions of Definition §2,
+//! * [`structural`] — extended (`fext`), transitive (`ftr`) and complete
+//!   (`fcs`) structural predicates, independently-constraint nodes,
+//!   similarity (`⊳`) and subsumption (`⊴`),
+//! * [`naive`] — a direct implementation of the semantics used as the
+//!   correctness oracle for every evaluation algorithm in the workspace,
+//! * [`result`] — the answer representation shared by all engines.
+
+pub mod builder;
+pub mod fixtures;
+pub mod naive;
+pub mod node;
+pub mod predicate;
+pub mod query;
+pub mod result;
+pub mod structural;
+
+pub use builder::{GtpqBuilder, QueryError};
+pub use node::{EdgeKind, NodeKind, QueryNode, QueryNodeId};
+pub use predicate::{AttrComparison, AttrPredicate, CmpOp};
+pub use query::Gtpq;
+pub use result::ResultSet;

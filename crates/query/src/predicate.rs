@@ -1,0 +1,347 @@
+//! Attribute predicates: conjunctions of `attribute op constant` comparisons.
+
+use gtpq_graph::{AttrValue, DataGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The six comparison operators of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to an ordering of `left` relative to `right`.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single atomic comparison `attr op value`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AttrComparison {
+    /// Attribute name.
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant compared against.
+    pub value: AttrValue,
+}
+
+impl std::fmt::Display for AttrComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {}", self.attr, self.op, self.value)
+    }
+}
+
+/// An attribute predicate `fa(u)`: a conjunction of atomic comparisons.
+///
+/// The empty predicate is satisfied by every data node (wildcard / `*`).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AttrPredicate {
+    /// The conjuncts.
+    pub comparisons: Vec<AttrComparison>,
+}
+
+impl AttrPredicate {
+    /// The wildcard predicate satisfied by every node.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Predicate `label = value` — the common case in the synthetic datasets.
+    pub fn label(value: &str) -> Self {
+        Self::eq(gtpq_graph::LABEL_ATTR, AttrValue::str(value))
+    }
+
+    /// Predicate `attr = value`.
+    pub fn eq(attr: &str, value: AttrValue) -> Self {
+        Self {
+            comparisons: vec![AttrComparison {
+                attr: attr.to_owned(),
+                op: CmpOp::Eq,
+                value,
+            }],
+        }
+    }
+
+    /// Adds a comparison, returning `self` for chaining.
+    pub fn and(mut self, attr: &str, op: CmpOp, value: AttrValue) -> Self {
+        self.comparisons.push(AttrComparison {
+            attr: attr.to_owned(),
+            op,
+            value,
+        });
+        self
+    }
+
+    /// Whether data node `v` of graph `g` satisfies the predicate (`v ∼ u`).
+    ///
+    /// Every comparison must find an attribute of the same name whose value
+    /// compares as required; comparisons across value kinds fail.
+    pub fn matches(&self, g: &DataGraph, v: NodeId) -> bool {
+        self.comparisons.iter().all(|cmp| {
+            g.attribute_value(v, &cmp.attr)
+                .and_then(|actual| actual.partial_cmp_same_kind(&cmp.value))
+                .is_some_and(|ord| cmp.op.eval(ord))
+        })
+    }
+
+    /// Whether the predicate is satisfiable *in isolation*: no two comparisons
+    /// on the same attribute contradict each other.
+    ///
+    /// Used by the satisfiability and minimization algorithms (§3), which
+    /// remove query nodes whose attribute predicate can never hold.
+    pub fn is_satisfiable(&self) -> bool {
+        // Group comparisons by attribute and check that the implied interval /
+        // (in)equality constraints are consistent.
+        let mut attrs: Vec<&str> = self.comparisons.iter().map(|c| c.attr.as_str()).collect();
+        attrs.sort_unstable();
+        attrs.dedup();
+        for attr in attrs {
+            let cs: Vec<&AttrComparison> = self
+                .comparisons
+                .iter()
+                .filter(|c| c.attr == attr)
+                .collect();
+            if !Self::attr_group_satisfiable(&cs) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn attr_group_satisfiable(cs: &[&AttrComparison]) -> bool {
+        // Mixed kinds on one attribute can never all hold.
+        let all_int = cs.iter().all(|c| matches!(c.value, AttrValue::Int(_)));
+        let all_str = cs.iter().all(|c| matches!(c.value, AttrValue::Str(_)));
+        if !all_int && !all_str {
+            return false;
+        }
+        if all_str {
+            // Only handle equality-style reasoning for strings.
+            let eqs: Vec<&AttrValue> = cs
+                .iter()
+                .filter(|c| c.op == CmpOp::Eq)
+                .map(|c| &c.value)
+                .collect();
+            if eqs.windows(2).any(|w| w[0] != w[1]) {
+                return false;
+            }
+            if let Some(eq) = eqs.first() {
+                if cs
+                    .iter()
+                    .any(|c| c.op == CmpOp::Ne && &c.value == *eq)
+                {
+                    return false;
+                }
+            }
+            // Range operators over strings: conservatively treat as satisfiable
+            // unless they directly contradict an equality.
+            if let Some(eq) = eqs.first() {
+                for c in cs {
+                    if let Some(ord) = eq.partial_cmp_same_kind(&c.value) {
+                        if !c.op.eval(ord) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            return true;
+        }
+        // Integers: compute the feasible interval plus not-equal points.
+        let mut lo = i64::MIN;
+        let mut hi = i64::MAX;
+        let mut eq: Option<i64> = None;
+        let mut ne: Vec<i64> = Vec::new();
+        for c in cs {
+            let AttrValue::Int(val) = c.value else {
+                unreachable!("kind checked above")
+            };
+            match c.op {
+                CmpOp::Lt => hi = hi.min(val.saturating_sub(1)),
+                CmpOp::Le => hi = hi.min(val),
+                CmpOp::Gt => lo = lo.max(val.saturating_add(1)),
+                CmpOp::Ge => lo = lo.max(val),
+                CmpOp::Eq => match eq {
+                    Some(e) if e != val => return false,
+                    _ => eq = Some(val),
+                },
+                CmpOp::Ne => ne.push(val),
+            }
+        }
+        if lo > hi {
+            return false;
+        }
+        if let Some(e) = eq {
+            if e < lo || e > hi || ne.contains(&e) {
+                return false;
+            }
+            return true;
+        }
+        // The interval must contain a point not excluded by !=.
+        let width = (hi as i128) - (lo as i128) + 1;
+        ne.sort_unstable();
+        ne.dedup();
+        let excluded = ne.iter().filter(|&&x| x >= lo && x <= hi).count() as i128;
+        width > excluded
+    }
+
+    /// The paper's `u2 ⊢ u1` test: for every comparison `A op a1` of `self`
+    /// (playing `u1`) there is a comparison `A op a2` of `other` (playing
+    /// `u2`) such that any node satisfying `other`'s comparison also satisfies
+    /// this one (a2 ≤ a1 for `<`/`<=`, a2 ≥ a1 for `>`/`>=`, equal values for
+    /// `=`/`!=`).
+    pub fn entailed_by(&self, other: &AttrPredicate) -> bool {
+        self.comparisons.iter().all(|c1| {
+            other.comparisons.iter().any(|c2| {
+                if c1.attr != c2.attr || c1.op != c2.op {
+                    return false;
+                }
+                let Some(ord) = c2.value.partial_cmp_same_kind(&c1.value) else {
+                    return false;
+                };
+                match c1.op {
+                    CmpOp::Lt | CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt | CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                    CmpOp::Eq | CmpOp::Ne => ord == std::cmp::Ordering::Equal,
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Display for AttrPredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.comparisons.is_empty() {
+            return f.write_str("*");
+        }
+        for (i, c) in self.comparisons.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" & ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use gtpq_graph::GraphBuilder;
+
+    use super::*;
+
+    #[test]
+    fn matches_label_and_ranges() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node_with_attrs([
+            ("label", AttrValue::str("proceedings")),
+            ("year", AttrValue::int(2005)),
+        ]);
+        let g = b.build();
+        assert!(AttrPredicate::label("proceedings").matches(&g, v));
+        assert!(!AttrPredicate::label("inproceedings").matches(&g, v));
+        let range = AttrPredicate::any()
+            .and("year", CmpOp::Ge, AttrValue::int(2000))
+            .and("year", CmpOp::Le, AttrValue::int(2010));
+        assert!(range.matches(&g, v));
+        let range_miss = AttrPredicate::any().and("year", CmpOp::Gt, AttrValue::int(2005));
+        assert!(!range_miss.matches(&g, v));
+        assert!(AttrPredicate::any().matches(&g, v));
+        // Missing attribute or kind mismatch fails.
+        assert!(!AttrPredicate::eq("missing", AttrValue::int(1)).matches(&g, v));
+        assert!(!AttrPredicate::eq("year", AttrValue::str("2005")).matches(&g, v));
+    }
+
+    #[test]
+    fn satisfiability_of_integer_ranges() {
+        let ok = AttrPredicate::any()
+            .and("year", CmpOp::Ge, AttrValue::int(2000))
+            .and("year", CmpOp::Le, AttrValue::int(2010));
+        assert!(ok.is_satisfiable());
+        let empty = AttrPredicate::any()
+            .and("year", CmpOp::Gt, AttrValue::int(2010))
+            .and("year", CmpOp::Lt, AttrValue::int(2000));
+        assert!(!empty.is_satisfiable());
+        let pinched = AttrPredicate::any()
+            .and("year", CmpOp::Ge, AttrValue::int(5))
+            .and("year", CmpOp::Le, AttrValue::int(5))
+            .and("year", CmpOp::Ne, AttrValue::int(5));
+        assert!(!pinched.is_satisfiable());
+        let eq_conflict = AttrPredicate::any()
+            .and("year", CmpOp::Eq, AttrValue::int(3))
+            .and("year", CmpOp::Eq, AttrValue::int(4));
+        assert!(!eq_conflict.is_satisfiable());
+    }
+
+    #[test]
+    fn satisfiability_of_string_predicates() {
+        let ok = AttrPredicate::label("person");
+        assert!(ok.is_satisfiable());
+        let conflict = AttrPredicate::label("a").and("label", CmpOp::Eq, AttrValue::str("b"));
+        assert!(!conflict.is_satisfiable());
+        let ne_conflict = AttrPredicate::label("a").and("label", CmpOp::Ne, AttrValue::str("a"));
+        assert!(!ne_conflict.is_satisfiable());
+        let mixed_kind = AttrPredicate::eq("x", AttrValue::int(1)).and(
+            "x",
+            CmpOp::Eq,
+            AttrValue::str("1"),
+        );
+        assert!(!mixed_kind.is_satisfiable());
+    }
+
+    #[test]
+    fn entailment_follows_the_paper_rules() {
+        // u1 asks year <= 2010, u2 asks year <= 2005: u2 ⊢ u1.
+        let u1 = AttrPredicate::any().and("year", CmpOp::Le, AttrValue::int(2010));
+        let u2 = AttrPredicate::any().and("year", CmpOp::Le, AttrValue::int(2005));
+        assert!(u1.entailed_by(&u2));
+        assert!(!u2.entailed_by(&u1));
+        // Equal labels entail each other.
+        let a = AttrPredicate::label("x");
+        assert!(a.entailed_by(&a.clone()));
+        // Wildcard is entailed by everything.
+        assert!(AttrPredicate::any().entailed_by(&a));
+        assert!(!a.entailed_by(&AttrPredicate::any()));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AttrPredicate::any().to_string(), "*");
+        let p = AttrPredicate::label("person").and("age", CmpOp::Ge, AttrValue::int(18));
+        assert_eq!(p.to_string(), "label = person & age >= 18");
+    }
+}

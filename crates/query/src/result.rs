@@ -1,0 +1,112 @@
+//! Answer representation shared by every evaluation algorithm.
+
+use std::collections::BTreeSet;
+
+use gtpq_graph::NodeId;
+
+use crate::node::QueryNodeId;
+
+/// The answer `Q(G)` to a GTPQ: a set of tuples, each holding the images of
+/// the output nodes of one match.
+///
+/// Tuples follow the order of [`output`](ResultSet::output); the set is kept
+/// sorted/deduplicated so result sets from different algorithms compare with
+/// plain equality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultSet {
+    /// The output query nodes, in tuple-coordinate order.
+    pub output: Vec<QueryNodeId>,
+    /// The result tuples.
+    pub tuples: BTreeSet<Vec<NodeId>>,
+}
+
+impl ResultSet {
+    /// Creates an empty result set over the given output nodes.
+    pub fn new(output: Vec<QueryNodeId>) -> Self {
+        Self {
+            output,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Inserts a tuple (must have one image per output node).
+    pub fn insert(&mut self, tuple: Vec<NodeId>) {
+        debug_assert_eq!(tuple.len(), self.output.len());
+        self.tuples.insert(tuple);
+    }
+
+    /// Number of result tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the answer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Whether the tuple is part of the answer.
+    pub fn contains(&self, tuple: &[NodeId]) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterates over the result tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<NodeId>> {
+        self.tuples.iter()
+    }
+
+    /// Whether two result sets are the same answer, tolerating a different
+    /// ordering of the output coordinates.
+    pub fn same_answer(&self, other: &ResultSet) -> bool {
+        if self.output.len() != other.output.len() {
+            return false;
+        }
+        // Map other's coordinate order onto ours.
+        let Some(perm): Option<Vec<usize>> = self
+            .output
+            .iter()
+            .map(|u| other.output.iter().position(|o| o == u))
+            .collect()
+        else {
+            return false;
+        };
+        if self.tuples.len() != other.tuples.len() {
+            return false;
+        }
+        other
+            .tuples
+            .iter()
+            .map(|t| perm.iter().map(|&i| t[i]).collect::<Vec<_>>())
+            .all(|t| self.tuples.contains(&t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut r = ResultSet::new(vec![QueryNodeId(1), QueryNodeId(2)]);
+        r.insert(vec![NodeId(3), NodeId(4)]);
+        r.insert(vec![NodeId(3), NodeId(4)]);
+        r.insert(vec![NodeId(5), NodeId(6)]);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[NodeId(3), NodeId(4)]));
+        assert!(!r.is_empty());
+        assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    fn same_answer_tolerates_coordinate_permutations() {
+        let mut a = ResultSet::new(vec![QueryNodeId(1), QueryNodeId(2)]);
+        a.insert(vec![NodeId(10), NodeId(20)]);
+        let mut b = ResultSet::new(vec![QueryNodeId(2), QueryNodeId(1)]);
+        b.insert(vec![NodeId(20), NodeId(10)]);
+        assert!(a.same_answer(&b));
+        b.insert(vec![NodeId(21), NodeId(11)]);
+        assert!(!a.same_answer(&b));
+        let c = ResultSet::new(vec![QueryNodeId(3)]);
+        assert!(!a.same_answer(&c));
+    }
+}

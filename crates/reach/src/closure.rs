@@ -1,0 +1,173 @@
+//! Bitset transitive closure — the exact reachability oracle.
+//!
+//! Quadratic memory (one bit per component pair), so it is only used for
+//! small/medium graphs, as a correctness oracle for the other indexes, and by
+//! the naive semantic query evaluator in tests.
+
+use gtpq_graph::condensation::CompId;
+use gtpq_graph::{Condensation, DataGraph, NodeId};
+
+use crate::Reachability;
+
+/// Dense bitset over component ids.
+#[derive(Clone, Debug, Default)]
+struct BitRow {
+    words: Vec<u64>,
+}
+
+impl BitRow {
+    fn new(bits: usize) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    fn union_with(&mut self, other: &BitRow) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Exact transitive closure of a data graph, built on its SCC condensation.
+pub struct TransitiveClosure {
+    condensation: Condensation,
+    /// `rows[c]` holds the set of components strictly reachable from `c`
+    /// (excluding `c` itself unless `c` lies on a cycle through other comps —
+    /// cyclicity of `c` itself is tracked by the condensation).
+    rows: Vec<BitRow>,
+}
+
+impl TransitiveClosure {
+    /// Builds the closure for `g`.
+    pub fn new(g: &DataGraph) -> Self {
+        let condensation = Condensation::new(g);
+        let n = condensation.component_count();
+        let mut rows: Vec<BitRow> = (0..n).map(|_| BitRow::new(n)).collect();
+        // Reverse topological order: children before parents.
+        let topo: Vec<CompId> = condensation.topological_order().to_vec();
+        for &c in topo.iter().rev() {
+            let succs: Vec<CompId> = condensation.successors(c).to_vec();
+            for s in succs {
+                let (row_c, row_s) = Self::two_rows(&mut rows, c.index(), s.index());
+                row_c.set(s.index());
+                row_c.union_with(row_s);
+            }
+        }
+        Self { condensation, rows }
+    }
+
+    fn two_rows(rows: &mut [BitRow], a: usize, b: usize) -> (&mut BitRow, &BitRow) {
+        assert_ne!(a, b);
+        if a < b {
+            let (left, right) = rows.split_at_mut(b);
+            (&mut left[a], &right[0])
+        } else {
+            let (left, right) = rows.split_at_mut(a);
+            (&mut right[0], &left[b])
+        }
+    }
+
+    /// Whether component `a` reaches component `b` (strictly, through edges of
+    /// the condensation DAG).
+    pub fn comp_reaches(&self, a: CompId, b: CompId) -> bool {
+        self.rows[a.index()].get(b.index())
+    }
+
+    /// The condensation the closure was built on.
+    pub fn condensation(&self) -> &Condensation {
+        &self.condensation
+    }
+}
+
+impl Reachability for TransitiveClosure {
+    fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        let cu = self.condensation.component_of(u);
+        let cv = self.condensation.component_of(v);
+        if cu == cv {
+            return u != v || self.condensation.is_cyclic(cu);
+        }
+        self.comp_reaches(cu, cv)
+    }
+
+    fn index_entries(&self) -> usize {
+        self.rows.iter().map(BitRow::count_ones).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "transitive-closure"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use gtpq_graph::traversal::is_reachable;
+    use gtpq_graph::GraphBuilder;
+
+    use super::*;
+
+    fn check_against_bfs(g: &DataGraph) {
+        let tc = TransitiveClosure::new(g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(
+                    tc.reaches(u, v),
+                    is_reachable(g, u, v),
+                    "mismatch for {u} -> {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_dag() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..4).map(|_| b.add_node()).collect();
+        b.add_edge(v[0], v[1]);
+        b.add_edge(v[0], v[2]);
+        b.add_edge(v[1], v[3]);
+        b.add_edge(v[2], v[3]);
+        check_against_bfs(&b.build());
+    }
+
+    #[test]
+    fn graph_with_cycles() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..6).map(|_| b.add_node()).collect();
+        b.add_edge(v[0], v[1]);
+        b.add_edge(v[1], v[2]);
+        b.add_edge(v[2], v[0]); // cycle {0,1,2}
+        b.add_edge(v[2], v[3]);
+        b.add_edge(v[3], v[4]);
+        b.add_edge(v[5], v[5]); // isolated self loop
+        check_against_bfs(&b.build());
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..4).map(|_| b.add_node()).collect();
+        b.add_edge(v[0], v[1]);
+        b.add_edge(v[2], v[3]);
+        let g = b.build();
+        let tc = TransitiveClosure::new(&g);
+        assert!(tc.reaches(v[0], v[1]));
+        assert!(!tc.reaches(v[0], v[3]));
+        assert_eq!(tc.name(), "transitive-closure");
+        assert_eq!(tc.index_entries(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Interval (region) encoding for trees and forests.
+//!
+//! The classical `(start, end, level)` labelling assigned by a depth-first
+//! traversal: `u` is an ancestor of `v` iff `start(u) < start(v) && end(v) <=
+//! end(u)`.  This is the node encoding that the tree-structured baselines
+//! (TwigStack, Twig2Stack) rely on, and that the paper points out does *not*
+//! generalise to graphs — which is exactly why it lives here as a
+//! forest-only index.
+
+use gtpq_graph::{DataGraph, NodeId};
+
+use crate::Reachability;
+
+/// Region label of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Preorder rank (start of the interval).
+    pub start: u32,
+    /// End of the interval: strictly larger than the start of every descendant.
+    pub end: u32,
+    /// Depth in the tree (roots have level 0).
+    pub level: u32,
+}
+
+/// Interval labelling of a forest.
+#[derive(Clone, Debug)]
+pub struct IntervalIndex {
+    regions: Vec<Region>,
+}
+
+/// Error returned when the input graph is not a forest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotAForest {
+    /// A node with more than one parent, or on a cycle.
+    pub offending: NodeId,
+}
+
+impl std::fmt::Display for NotAForest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph is not a forest: node {} has multiple parents or lies on a cycle",
+            self.offending
+        )
+    }
+}
+
+impl std::error::Error for NotAForest {}
+
+impl IntervalIndex {
+    /// Builds the labelling.  Fails when some node has in-degree greater than
+    /// one or the graph contains a cycle.
+    pub fn new(g: &DataGraph) -> Result<Self, NotAForest> {
+        for v in g.nodes() {
+            if g.in_degree(v) > 1 {
+                return Err(NotAForest { offending: v });
+            }
+        }
+        let n = g.node_count();
+        let mut regions = vec![
+            Region {
+                start: 0,
+                end: 0,
+                level: 0
+            };
+            n
+        ];
+        let mut visited = vec![false; n];
+        let mut counter: u32 = 0;
+        for root in g.nodes() {
+            if g.in_degree(root) != 0 || visited[root.index()] {
+                continue;
+            }
+            // Iterative DFS assigning start on entry and end on exit.
+            let mut stack: Vec<(NodeId, usize, u32)> = vec![(root, 0, 0)];
+            visited[root.index()] = true;
+            regions[root.index()].start = counter;
+            regions[root.index()].level = 0;
+            counter += 1;
+            while let Some(&mut (v, ref mut cursor, level)) = stack.last_mut() {
+                let children = g.children(v);
+                if *cursor < children.len() {
+                    let c = children[*cursor];
+                    *cursor += 1;
+                    if visited[c.index()] {
+                        return Err(NotAForest { offending: c });
+                    }
+                    visited[c.index()] = true;
+                    regions[c.index()].start = counter;
+                    regions[c.index()].level = level + 1;
+                    counter += 1;
+                    stack.push((c, 0, level + 1));
+                } else {
+                    regions[v.index()].end = counter;
+                    counter += 1;
+                    stack.pop();
+                }
+            }
+        }
+        // Any unvisited node lies on a cycle (no in-degree-zero entry point).
+        if let Some(v) = g.nodes().find(|v| !visited[v.index()]) {
+            return Err(NotAForest { offending: v });
+        }
+        Ok(Self { regions })
+    }
+
+    /// The region label of `v`.
+    #[inline]
+    pub fn region(&self, v: NodeId) -> Region {
+        self.regions[v.index()]
+    }
+
+    /// Whether `u` is a proper ancestor of `v`.
+    #[inline]
+    pub fn is_ancestor(&self, u: NodeId, v: NodeId) -> bool {
+        let ru = self.regions[u.index()];
+        let rv = self.regions[v.index()];
+        ru.start < rv.start && rv.end <= ru.end
+    }
+
+    /// Whether `u` is the parent of `v` according to the levels (ancestor with
+    /// a level difference of one).
+    #[inline]
+    pub fn is_parent(&self, u: NodeId, v: NodeId) -> bool {
+        self.is_ancestor(u, v)
+            && self.regions[v.index()].level == self.regions[u.index()].level + 1
+    }
+}
+
+impl Reachability for IntervalIndex {
+    fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        self.is_ancestor(u, v)
+    }
+
+    fn index_entries(&self) -> usize {
+        self.regions.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "interval"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use gtpq_graph::traversal::is_reachable;
+    use gtpq_graph::GraphBuilder;
+
+    use super::*;
+
+    fn tree() -> DataGraph {
+        //        0
+        //      /   \
+        //     1     2
+        //    / \     \
+        //   3   4     5
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..6).map(|_| b.add_node()).collect();
+        b.add_edge(v[0], v[1]);
+        b.add_edge(v[0], v[2]);
+        b.add_edge(v[1], v[3]);
+        b.add_edge(v[1], v[4]);
+        b.add_edge(v[2], v[5]);
+        b.build()
+    }
+
+    #[test]
+    fn matches_bfs_reachability_on_tree() {
+        let g = tree();
+        let idx = IntervalIndex::new(&g).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(idx.reaches(u, v), is_reachable(&g, u, v), "{u} -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn levels_and_parenthood() {
+        let g = tree();
+        let idx = IntervalIndex::new(&g).unwrap();
+        assert_eq!(idx.region(NodeId(0)).level, 0);
+        assert_eq!(idx.region(NodeId(3)).level, 2);
+        assert!(idx.is_parent(NodeId(1), NodeId(3)));
+        assert!(!idx.is_parent(NodeId(0), NodeId(3)));
+        assert!(idx.is_ancestor(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn rejects_dags_and_cycles() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..3).map(|_| b.add_node()).collect();
+        b.add_edge(v[0], v[2]);
+        b.add_edge(v[1], v[2]);
+        let err = IntervalIndex::new(&b.build()).unwrap_err();
+        assert_eq!(err.offending, NodeId(2));
+        assert!(err.to_string().contains("not a forest"));
+
+        let mut b = GraphBuilder::new();
+        let a = b.add_node();
+        let c = b.add_node();
+        b.add_edge(a, c);
+        b.add_edge(c, a);
+        assert!(IntervalIndex::new(&b.build()).is_err());
+    }
+
+    #[test]
+    fn forest_with_multiple_roots() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..4).map(|_| b.add_node()).collect();
+        b.add_edge(v[0], v[1]);
+        b.add_edge(v[2], v[3]);
+        let idx = IntervalIndex::new(&b.build()).unwrap();
+        assert!(idx.is_ancestor(v[0], v[1]));
+        assert!(!idx.is_ancestor(v[0], v[3]));
+        assert_eq!(idx.name(), "interval");
+        assert_eq!(idx.index_entries(), 4);
+    }
+}

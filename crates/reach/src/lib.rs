@@ -1,0 +1,61 @@
+//! Reachability indexes for GTPQ evaluation.
+//!
+//! The paper's evaluation algorithm (GTEA) answers large numbers of
+//! ancestor-descendant (AD) checks through the *3-hop* reachability index and
+//! accelerates set-to-set checks by merging index lists into *contours*
+//! (Procedure 2, `MergePredLists`).  The baselines need other labelings:
+//! interval (region) encoding for holistic twig joins on trees and an
+//! SSPI-style index for TwigStackD.  This crate provides them all behind the
+//! common [`Reachability`] trait, plus a bitset transitive closure used as a
+//! correctness oracle:
+//!
+//! * [`TransitiveClosure`] — exact oracle, O(V·V/64) memory,
+//! * [`ChainDecomposition`] — chain cover of the SCC condensation,
+//! * [`ThreeHop`] — chain cover + `Lin`/`Lout` hop lists, contour merging,
+//! * [`IntervalIndex`] — pre/post-order region encoding for forests,
+//! * [`Sspi`] — spanning-tree intervals + surplus predecessor lists.
+//!
+//! All indexes are built on the SCC condensation so they accept arbitrary
+//! directed graphs; the AD relationship of the paper ("non-empty path") is
+//! preserved: a node reaches itself only when it lies on a cycle.
+
+pub mod chain;
+pub mod closure;
+pub mod contour;
+pub mod interval;
+pub mod sspi;
+pub mod three_hop;
+
+use gtpq_graph::{DataGraph, NodeId};
+
+pub use chain::{ChainDecomposition, ChainId, ChainPos};
+pub use closure::TransitiveClosure;
+pub use contour::{PredContour, SuccContour};
+pub use interval::IntervalIndex;
+pub use sspi::Sspi;
+pub use three_hop::ThreeHop;
+
+/// A reachability index: answers whether there is a *non-empty* directed path
+/// from `u` to `v` (the ancestor-descendant relationship of the paper).
+pub trait Reachability {
+    /// Whether `u` reaches `v` by a non-empty path.
+    fn reaches(&self, u: NodeId, v: NodeId) -> bool;
+
+    /// Number of entries stored by the index (used in space comparisons).
+    fn index_entries(&self) -> usize;
+
+    /// Short human-readable name of the index.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds the index named by `kind` ("closure", "3hop", or "sspi").
+///
+/// Convenience for examples and the experiment harness.
+pub fn build_index(kind: &str, g: &DataGraph) -> Box<dyn Reachability> {
+    match kind {
+        "closure" => Box::new(TransitiveClosure::new(g)),
+        "3hop" => Box::new(ThreeHop::new(g)),
+        "sspi" => Box::new(Sspi::new(g)),
+        other => panic!("unknown reachability index kind `{other}`"),
+    }
+}

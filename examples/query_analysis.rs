@@ -1,0 +1,73 @@
+//! Static query analysis: satisfiability, containment and minimization of
+//! GTPQs (paper §3), without touching any data graph.
+//!
+//! Run with `cargo run --example query_analysis`.
+
+use gtpq::analysis::{contained_in, equivalent, is_satisfiable, minimize};
+use gtpq::prelude::*;
+
+/// Builds "conference papers with an `author` child and a `title` child",
+/// optionally also requiring the author to be absent (an unsatisfiable
+/// combination when both are asked for).
+fn paper_query(require_author: bool, forbid_author: bool) -> Gtpq {
+    let mut b = GtpqBuilder::new(AttrPredicate::label("inproceedings"));
+    let root = b.root_id();
+    let title = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("title"));
+    let author = b.predicate_child(root, EdgeKind::Child, AttrPredicate::label("author"));
+    let fs = match (require_author, forbid_author) {
+        (true, true) => BoolExpr::and2(
+            BoolExpr::Var(author.var()),
+            BoolExpr::not(BoolExpr::Var(author.var())),
+        ),
+        (true, false) => BoolExpr::Var(author.var()),
+        (false, true) => BoolExpr::not(BoolExpr::Var(author.var())),
+        (false, false) => BoolExpr::True,
+    };
+    b.set_structural(root, fs);
+    b.mark_output(title);
+    b.build().unwrap()
+}
+
+fn main() {
+    let with_author = paper_query(true, false);
+    let without_author = paper_query(false, true);
+    let contradictory = paper_query(true, true);
+    let unconstrained = paper_query(false, false);
+
+    println!("satisfiability:");
+    println!("  author required        -> {}", is_satisfiable(&with_author));
+    println!("  author forbidden       -> {}", is_satisfiable(&without_author));
+    println!("  required AND forbidden -> {}", is_satisfiable(&contradictory));
+    assert!(!is_satisfiable(&contradictory));
+
+    println!("\ncontainment:");
+    println!(
+        "  (author required) ⊑ (unconstrained) -> {}",
+        contained_in(&with_author, &unconstrained)
+    );
+    println!(
+        "  (unconstrained) ⊑ (author required) -> {}",
+        contained_in(&unconstrained, &with_author)
+    );
+    assert!(contained_in(&with_author, &unconstrained));
+    assert!(!contained_in(&unconstrained, &with_author));
+    assert!(equivalent(&with_author, &with_author));
+
+    // Minimization: a duplicated predicate branch is redundant.
+    let mut b = GtpqBuilder::new(AttrPredicate::label("inproceedings"));
+    let root = b.root_id();
+    let title = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("title"));
+    let a1 = b.predicate_child(root, EdgeKind::Child, AttrPredicate::label("author"));
+    let a2 = b.predicate_child(root, EdgeKind::Child, AttrPredicate::label("author"));
+    b.set_structural(root, BoolExpr::and2(BoolExpr::Var(a1.var()), BoolExpr::Var(a2.var())));
+    b.mark_output(title);
+    let redundant = b.build().unwrap();
+    let minimal = minimize(&redundant);
+    println!(
+        "\nminimization: {} nodes -> {} nodes (equivalent: {})",
+        redundant.size(),
+        minimal.size(),
+        equivalent(&redundant, &minimal)
+    );
+    assert!(minimal.size() < redundant.size());
+}

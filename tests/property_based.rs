@@ -1,0 +1,172 @@
+//! Property-based tests over the core invariants:
+//! * reachability indexes agree with the BFS oracle on arbitrary graphs,
+//! * formula transformations preserve logical equivalence and DPLL agrees
+//!   with brute force,
+//! * GTEA agrees with the naive semantic evaluator on random graphs and
+//!   random (conjunctive and logical) queries.
+
+use gtpq::logic::transform::{simplify, to_cnf, to_nnf};
+use gtpq::logic::{brute_force_satisfiable, is_satisfiable, BoolExpr};
+use gtpq::prelude::*;
+use gtpq::query::naive;
+use gtpq::reach::{Reachability, Sspi, ThreeHop, TransitiveClosure};
+use proptest::prelude::*;
+
+/// Strategy: a random directed graph with `n` nodes labelled from a small
+/// alphabet and a set of random edges (cycles allowed).
+fn graph_strategy(max_nodes: usize) -> impl Strategy<Value = DataGraph> {
+    (2..max_nodes).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 3));
+        let labels = proptest::collection::vec(0u8..4, n);
+        (Just(n), edges, labels).prop_map(|(n, edges, labels)| {
+            let mut b = GraphBuilder::new();
+            let nodes: Vec<NodeId> = labels
+                .iter()
+                .map(|&l| b.add_node_with_label(&format!("l{l}")))
+                .collect();
+            for (x, y) in edges {
+                if x != y {
+                    b.add_edge(nodes[x], nodes[y]);
+                }
+            }
+            let _ = n;
+            b.build()
+        })
+    })
+}
+
+/// Strategy: a random propositional formula over a handful of variables.
+fn formula_strategy() -> impl Strategy<Value = BoolExpr> {
+    let leaf = prop_oneof![
+        (0u32..5).prop_map(BoolExpr::var),
+        Just(BoolExpr::True),
+        Just(BoolExpr::False),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(BoolExpr::not),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(BoolExpr::and),
+            proptest::collection::vec(inner, 1..3).prop_map(BoolExpr::or),
+        ]
+    })
+}
+
+/// Strategy: a random small query over the `l0..l3` label alphabet, either
+/// conjunctive or with one disjunctive / negated predicate pair at the root.
+fn query_strategy() -> impl Strategy<Value = Gtpq> {
+    (
+        0u8..4,
+        proptest::collection::vec((0u8..4, prop::bool::ANY), 1..4),
+        0u8..3,
+    )
+        .prop_map(|(root_label, children, mode)| {
+            let mut b = GtpqBuilder::new(AttrPredicate::label(&format!("l{root_label}")));
+            let root = b.root_id();
+            let mut predicate_vars = Vec::new();
+            for (label, is_child_edge) in children {
+                let edge = if is_child_edge {
+                    EdgeKind::Child
+                } else {
+                    EdgeKind::Descendant
+                };
+                let attr = AttrPredicate::label(&format!("l{label}"));
+                if predicate_vars.len() < 2 && mode > 0 {
+                    let p = b.predicate_child(root, edge, attr);
+                    predicate_vars.push(BoolExpr::Var(p.var()));
+                } else {
+                    let c = b.backbone_child(root, edge, attr);
+                    b.mark_output(c);
+                }
+            }
+            match (mode, predicate_vars.as_slice()) {
+                (1, [a]) => b.set_structural(root, BoolExpr::not(a.clone())),
+                (1, [a, bb]) => b.set_structural(
+                    root,
+                    BoolExpr::or2(a.clone(), BoolExpr::not(bb.clone())),
+                ),
+                (2, [a]) => b.set_structural(root, a.clone()),
+                (2, [a, bb]) => b.set_structural(root, BoolExpr::or2(a.clone(), bb.clone())),
+                _ => {}
+            }
+            b.mark_output(root);
+            b.build().expect("generated queries are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reachability_indexes_agree_with_the_oracle(g in graph_strategy(24)) {
+        let closure = TransitiveClosure::new(&g);
+        let three_hop = ThreeHop::new(&g);
+        let sspi = Sspi::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let expected = gtpq::graph::traversal::is_reachable(&g, u, v);
+                prop_assert_eq!(closure.reaches(u, v), expected, "closure {} -> {}", u, v);
+                prop_assert_eq!(three_hop.reaches(u, v), expected, "3-hop {} -> {}", u, v);
+                prop_assert_eq!(sspi.reaches(u, v), expected, "sspi {} -> {}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn contour_queries_agree_with_pairwise_reachability(g in graph_strategy(20)) {
+        let index = ThreeHop::new(&g);
+        let targets: Vec<NodeId> = g.nodes().filter(|v| v.0 % 3 == 0).collect();
+        prop_assume!(!targets.is_empty());
+        let cp = index.merge_pred_lists(&targets);
+        let cs = index.merge_succ_lists(&targets);
+        for v in g.nodes() {
+            let reaches_any = targets
+                .iter()
+                .any(|&t| gtpq::graph::traversal::is_reachable(&g, v, t));
+            prop_assert_eq!(index.node_reaches_set(v, &cp), reaches_any);
+            let reached_by_any = targets
+                .iter()
+                .any(|&t| gtpq::graph::traversal::is_reachable(&g, t, v));
+            prop_assert_eq!(index.set_reaches_node(&cs, v), reached_by_any);
+        }
+    }
+
+    #[test]
+    fn formula_transformations_preserve_equivalence(f in formula_strategy()) {
+        let nnf = to_nnf(&f);
+        let simplified = simplify(&f);
+        prop_assert!(gtpq::logic::sat::brute_force_equivalent(&f, &nnf));
+        prop_assert!(gtpq::logic::sat::brute_force_equivalent(&f, &simplified));
+        // CNF round-trips through clause rebuilding.
+        let cnf = to_cnf(&f);
+        let rebuilt = BoolExpr::and(cnf.clauses.iter().map(|clause| {
+            BoolExpr::or(clause.iter().map(|lit| {
+                if lit.positive {
+                    BoolExpr::Var(lit.var)
+                } else {
+                    BoolExpr::not(BoolExpr::Var(lit.var))
+                }
+            }))
+        }));
+        prop_assert!(gtpq::logic::sat::brute_force_equivalent(&f, &rebuilt));
+        prop_assert_eq!(is_satisfiable(&f), brute_force_satisfiable(&f));
+    }
+
+    #[test]
+    fn gtea_agrees_with_the_naive_evaluator(
+        g in graph_strategy(18),
+        q in query_strategy(),
+    ) {
+        let expected = naive::evaluate(&q, &g);
+        for options in [GteaOptions::default(), GteaOptions::without_shrinking()] {
+            let engine = GteaEngine::with_options(&g, options);
+            let got = engine.evaluate(&q);
+            prop_assert!(
+                got.same_answer(&expected),
+                "options {:?}: got {:?} expected {:?}",
+                options,
+                got.tuples,
+                expected.tuples
+            );
+        }
+    }
+}
