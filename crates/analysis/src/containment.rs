@@ -71,7 +71,15 @@ fn search(
             return false;
         }
         mapping.insert(u, to.root());
-        if search(from, to, nodes, idx + 1, mapping, from_analysis, to_analysis) {
+        if search(
+            from,
+            to,
+            nodes,
+            idx + 1,
+            mapping,
+            from_analysis,
+            to_analysis,
+        ) {
             return true;
         }
         mapping.remove(&u);
@@ -82,7 +90,15 @@ fn search(
         // The parent was left unmapped (a skipped predicate subtree); the whole
         // subtree stays unmapped, which is only allowed for predicate nodes.
         if !from.is_backbone(u) {
-            return search(from, to, nodes, idx + 1, mapping, from_analysis, to_analysis);
+            return search(
+                from,
+                to,
+                nodes,
+                idx + 1,
+                mapping,
+                from_analysis,
+                to_analysis,
+            );
         }
         return false;
     };
@@ -102,7 +118,15 @@ fn search(
             continue;
         }
         mapping.insert(u, cand);
-        if search(from, to, nodes, idx + 1, mapping, from_analysis, to_analysis) {
+        if search(
+            from,
+            to,
+            nodes,
+            idx + 1,
+            mapping,
+            from_analysis,
+            to_analysis,
+        ) {
             return true;
         }
         mapping.remove(&u);
@@ -111,7 +135,15 @@ fn search(
     // final implication check, which is the sound direction (the implication
     // must hold for every value of the free variable).
     if !from.is_backbone(u)
-        && search(from, to, nodes, idx + 1, mapping, from_analysis, to_analysis)
+        && search(
+            from,
+            to,
+            nodes,
+            idx + 1,
+            mapping,
+            from_analysis,
+            to_analysis,
+        )
     {
         return true;
     }
@@ -139,10 +171,7 @@ fn check_complete(
         return false;
     }
     // Formula condition on the complete structural predicates of the roots.
-    let rename: HashMap<VarId, VarId> = mapping
-        .iter()
-        .map(|(f, t)| (f.var(), t.var()))
-        .collect();
+    let rename: HashMap<VarId, VarId> = mapping.iter().map(|(f, t)| (f.var(), t.var())).collect();
     let renamed = rename_vars(from_analysis.root_complete(), &rename);
     implies(to_analysis.root_complete(), &renamed)
 }
@@ -249,8 +278,10 @@ mod tests {
         };
         let q_or = build_or();
         let q_b = build_b();
-        assert!(contained_in(&q_b, &q_or), "requiring b is stricter than b ∨ c");
+        assert!(
+            contained_in(&q_b, &q_or),
+            "requiring b is stricter than b ∨ c"
+        );
         assert!(!contained_in(&q_or, &q_b));
     }
 }
-

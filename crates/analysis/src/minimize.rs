@@ -23,8 +23,7 @@ pub fn minimize(q: &Gtpq) -> Gtpq {
     let mut removed = vec![false; q.size()];
     let mut fs: Vec<BoolExpr> = q.node_ids().map(|u| q.fs(u).clone()).collect();
 
-    let protects_output =
-        |q: &Gtpq, u: QueryNodeId| q.subtree(u).iter().any(|&d| q.is_output(d));
+    let protects_output = |q: &Gtpq, u: QueryNodeId| q.subtree(u).iter().any(|&d| q.is_output(d));
 
     // Step 1: unsatisfiable attribute predicates.
     for u in q.node_ids().skip(1) {
@@ -193,7 +192,10 @@ mod tests {
             root,
             BoolExpr::or2(
                 BoolExpr::and2(BoolExpr::Var(p1.var()), BoolExpr::Var(p2.var())),
-                BoolExpr::and2(BoolExpr::not(BoolExpr::Var(p1.var())), BoolExpr::Var(p2.var())),
+                BoolExpr::and2(
+                    BoolExpr::not(BoolExpr::Var(p1.var())),
+                    BoolExpr::Var(p2.var()),
+                ),
             ),
         );
         b.set_structural(p1, BoolExpr::Var(p1c.var()));

@@ -47,7 +47,10 @@ mod tests {
         let root = b.root_id();
         let p1 = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
         let p2 = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("c"));
-        b.set_structural(root, BoolExpr::or2(BoolExpr::Var(p1.var()), BoolExpr::Var(p2.var())));
+        b.set_structural(
+            root,
+            BoolExpr::or2(BoolExpr::Var(p1.var()), BoolExpr::Var(p2.var())),
+        );
         b.mark_output(root);
         assert!(is_satisfiable(&b.build().unwrap()));
     }

@@ -25,10 +25,7 @@ use crate::{Restrictions, TpqAlgorithm};
 
 /// Evaluates a general GTPQ through the decompose-and-merge strategy on top
 /// of a conjunctive baseline algorithm.
-pub fn evaluate_gtpq_with(
-    algo: &dyn TpqAlgorithm,
-    q: &Gtpq,
-) -> (ResultSet, BaselineStats) {
+pub fn evaluate_gtpq_with(algo: &dyn TpqAlgorithm, q: &Gtpq) -> (ResultSet, BaselineStats) {
     let start = Instant::now();
     let g = algo.graph();
     let mut stats = BaselineStats::default();
@@ -82,11 +79,7 @@ pub fn evaluate_gtpq_with(
         for (pos, new_node) in skeleton_results.output.iter().enumerate() {
             assignment.insert(reverse[new_node], tuple[pos]);
         }
-        let projected: Vec<NodeId> = q
-            .output_nodes()
-            .iter()
-            .map(|u| assignment[u])
-            .collect();
+        let projected: Vec<NodeId> = q.output_nodes().iter().map(|u| assignment[u]).collect();
         results.insert(projected);
     }
     stats.total_time = start.elapsed();
@@ -104,7 +97,9 @@ fn probe_query(
 ) -> (Gtpq, Restrictions) {
     let mut b = GtpqBuilder::new(q.node(u).attr.clone());
     let root = b.root_id();
-    let edge = q.incoming_edge(child).expect("children have incoming edges");
+    let edge = q
+        .incoming_edge(child)
+        .expect("children have incoming edges");
     let probe_child = b.backbone_child(root, edge, AttrPredicate::any());
     b.mark_output(root);
     let probe = b.build().expect("probe queries are valid");
@@ -167,7 +162,10 @@ mod tests {
         let twig = TwigStack::new(&g);
         let (result, stats) = evaluate_gtpq_with(&twig, &q);
         assert!(result.same_answer(&expected));
-        assert!(stats.subqueries > 1, "decomposition must run several subqueries");
+        assert!(
+            stats.subqueries > 1,
+            "decomposition must run several subqueries"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ use gtpq_query::{EdgeKind, Gtpq, QueryNodeId, ResultSet};
 use gtpq_reach::{Reachability, ThreeHop};
 
 use crate::stats::BaselineStats;
-use crate::{restricted_candidates, Restrictions, TpqAlgorithm};
+use crate::{restricted_candidates, Assignment, AssignmentMemo, Restrictions, TpqAlgorithm};
+
+/// Per-unit match graphs: root match → per-child candidate lists.
+type UnitGraphs = HashMap<QueryNodeId, HashMap<NodeId, Vec<Vec<NodeId>>>>;
 
 /// HGJoin evaluator.
 pub struct HgJoin<'g> {
@@ -117,8 +120,7 @@ impl<'g> HgJoin<'g> {
                 })
                 .collect();
             if lists.iter().all(|l| !l.is_empty()) {
-                stats.intermediate_results +=
-                    1 + lists.iter().map(|l| l.len() as u64).sum::<u64>();
+                stats.intermediate_results += 1 + lists.iter().map(|l| l.len() as u64).sum::<u64>();
                 out.insert(v, lists);
             }
         }
@@ -153,17 +155,13 @@ impl TpqAlgorithm for HgJoin<'_> {
         let mut results = ResultSet::new(q.output_nodes().to_vec());
         if self.graph_intermediates {
             // HGJoin*: per-unit match graphs joined implicitly at enumeration.
-            let mut unit_graphs: HashMap<QueryNodeId, HashMap<NodeId, Vec<Vec<NodeId>>>> =
-                HashMap::new();
+            let mut unit_graphs: UnitGraphs = HashMap::new();
             for &u in &internal {
                 unit_graphs.insert(u, self.unit_graph(q, u, &mat, &mut stats));
             }
-            let mut memo: HashMap<(QueryNodeId, NodeId), Rc<Vec<Vec<(QueryNodeId, NodeId)>>>> =
-                HashMap::new();
+            let mut memo: AssignmentMemo = HashMap::new();
             for &v in &mat[q.root().index()] {
-                for assignment in
-                    enumerate_graph(q, &unit_graphs, q.root(), v, &mut memo).iter()
-                {
+                for assignment in enumerate_graph(q, &unit_graphs, q.root(), v, &mut memo).iter() {
                     insert_projection(q, assignment, &mut results);
                 }
             }
@@ -242,11 +240,11 @@ fn insert_projection(q: &Gtpq, assignment: &[(QueryNodeId, NodeId)], results: &m
 
 fn enumerate_graph(
     q: &Gtpq,
-    units: &HashMap<QueryNodeId, HashMap<NodeId, Vec<Vec<NodeId>>>>,
+    units: &UnitGraphs,
     u: QueryNodeId,
     v: NodeId,
-    memo: &mut HashMap<(QueryNodeId, NodeId), Rc<Vec<Vec<(QueryNodeId, NodeId)>>>>,
-) -> Rc<Vec<Vec<(QueryNodeId, NodeId)>>> {
+    memo: &mut AssignmentMemo,
+) -> Rc<Vec<Assignment>> {
     if let Some(cached) = memo.get(&(u, v)) {
         return Rc::clone(cached);
     }

@@ -46,6 +46,14 @@ pub use twigstack_d::TwigStackD;
 /// decompose-and-merge wrapper (`None` entries mean "no restriction").
 pub type Restrictions = Vec<Option<Vec<NodeId>>>;
 
+/// One match projection: a sorted `(query node, data node)` assignment.
+/// Shared by the enumeration phases of the baseline evaluators.
+pub(crate) type Assignment = Vec<(gtpq_query::QueryNodeId, NodeId)>;
+
+/// Shared, memoized projections per (query node, data node).
+pub(crate) type AssignmentMemo =
+    std::collections::HashMap<(gtpq_query::QueryNodeId, NodeId), std::rc::Rc<Vec<Assignment>>>;
+
 /// A conjunctive tree-pattern-query evaluation algorithm.
 pub trait TpqAlgorithm {
     /// Short name used in experiment output.

@@ -23,7 +23,7 @@ use gtpq_query::{EdgeKind, Gtpq, QueryNodeId, ResultSet};
 use gtpq_reach::{Reachability, ThreeHop};
 
 use crate::stats::BaselineStats;
-use crate::{restricted_candidates, Restrictions, TpqAlgorithm};
+use crate::{restricted_candidates, Assignment, AssignmentMemo, Restrictions, TpqAlgorithm};
 
 /// Twig2Stack-style evaluator.
 pub struct Twig2Stack<'g> {
@@ -55,7 +55,10 @@ impl TpqAlgorithm for Twig2Stack<'_> {
         q: &Gtpq,
         restrict: Option<&Restrictions>,
     ) -> (ResultSet, BaselineStats) {
-        assert!(q.is_conjunctive(), "Twig2Stack only handles conjunctive TPQs");
+        assert!(
+            q.is_conjunctive(),
+            "Twig2Stack only handles conjunctive TPQs"
+        );
         let start = Instant::now();
         let mut stats = BaselineStats::default();
         let mut mat = restricted_candidates(q, self.graph, restrict, &mut stats);
@@ -103,8 +106,7 @@ impl TpqAlgorithm for Twig2Stack<'_> {
 
         // Enumerate results from the hierarchical link structure.
         let mut results = ResultSet::new(q.output_nodes().to_vec());
-        let mut memo: HashMap<(QueryNodeId, NodeId), Rc<Vec<Vec<(QueryNodeId, NodeId)>>>> =
-            HashMap::new();
+        let mut memo: AssignmentMemo = HashMap::new();
         for &v in &mat[q.root().index()] {
             for assignment in enumerate(q, &links, q.root(), v, &mut memo).iter() {
                 let tuple: Option<Vec<NodeId>> = q
@@ -127,8 +129,8 @@ fn enumerate(
     links: &HashMap<(QueryNodeId, NodeId), Vec<Vec<NodeId>>>,
     u: QueryNodeId,
     v: NodeId,
-    memo: &mut HashMap<(QueryNodeId, NodeId), Rc<Vec<Vec<(QueryNodeId, NodeId)>>>>,
-) -> Rc<Vec<Vec<(QueryNodeId, NodeId)>>> {
+    memo: &mut AssignmentMemo,
+) -> Rc<Vec<Assignment>> {
     if let Some(cached) = memo.get(&(u, v)) {
         return Rc::clone(cached);
     }

@@ -44,10 +44,8 @@ impl<'g> TwigStack<'g> {
         mat: &[Vec<NodeId>],
         stats: &mut BaselineStats,
     ) -> Vec<Vec<NodeId>> {
-        let mut solutions: Vec<Vec<NodeId>> = mat[path[0].index()]
-            .iter()
-            .map(|&v| vec![v])
-            .collect();
+        let mut solutions: Vec<Vec<NodeId>> =
+            mat[path[0].index()].iter().map(|&v| vec![v]).collect();
         for window in path.windows(2) {
             let (_parent, child) = (window[0], window[1]);
             let child_candidates = &mat[child.index()];
@@ -92,7 +90,10 @@ impl TpqAlgorithm for TwigStack<'_> {
         q: &Gtpq,
         restrict: Option<&Restrictions>,
     ) -> (ResultSet, BaselineStats) {
-        assert!(q.is_conjunctive(), "TwigStack only handles conjunctive TPQs");
+        assert!(
+            q.is_conjunctive(),
+            "TwigStack only handles conjunctive TPQs"
+        );
         let start = Instant::now();
         let mut stats = BaselineStats::default();
         let mat = restricted_candidates(q, self.graph, restrict, &mut stats);
@@ -146,11 +147,7 @@ impl TpqAlgorithm for TwigStack<'_> {
 
         let mut results = ResultSet::new(q.output_nodes().to_vec());
         for assignment in joined {
-            let tuple: Vec<NodeId> = q
-                .output_nodes()
-                .iter()
-                .map(|u| assignment[u])
-                .collect();
+            let tuple: Vec<NodeId> = q.output_nodes().iter().map(|u| assignment[u]).collect();
             results.insert(tuple);
         }
         stats.total_time = start.elapsed();
@@ -215,7 +212,11 @@ mod tests {
         let g = gb.build();
         let mut qb = gtpq_query::GtpqBuilder::new(gtpq_query::AttrPredicate::label("a"));
         let root = qb.root_id();
-        let child = qb.backbone_child(root, EdgeKind::Descendant, gtpq_query::AttrPredicate::label("b"));
+        let child = qb.backbone_child(
+            root,
+            EdgeKind::Descendant,
+            gtpq_query::AttrPredicate::label("b"),
+        );
         qb.mark_output(child);
         let q = qb.build().unwrap();
         let twig = TwigStack::new(&g);

@@ -19,7 +19,7 @@ use gtpq_query::{EdgeKind, Gtpq, QueryNodeId, ResultSet};
 use gtpq_reach::{Reachability, Sspi};
 
 use crate::stats::BaselineStats;
-use crate::{restricted_candidates, Restrictions, TpqAlgorithm};
+use crate::{restricted_candidates, Assignment, AssignmentMemo, Restrictions, TpqAlgorithm};
 
 /// TwigStackD evaluator.
 pub struct TwigStackD<'g> {
@@ -45,12 +45,7 @@ impl<'g> TwigStackD<'g> {
 
     /// The pre-filtering phase: a bottom-up and a top-down sweep over the
     /// candidate lists, using pairwise SSPI probes.
-    pub fn prefilter(
-        &self,
-        q: &Gtpq,
-        mat: &mut [Vec<NodeId>],
-        stats: &mut BaselineStats,
-    ) {
+    pub fn prefilter(&self, q: &Gtpq, mat: &mut [Vec<NodeId>], stats: &mut BaselineStats) {
         let start = Instant::now();
         self.sspi.reset_visits();
         // Bottom-up: keep candidates that can reach a candidate of every child.
@@ -108,7 +103,10 @@ impl TpqAlgorithm for TwigStackD<'_> {
         q: &Gtpq,
         restrict: Option<&Restrictions>,
     ) -> (ResultSet, BaselineStats) {
-        assert!(q.is_conjunctive(), "TwigStackD only handles conjunctive TPQs");
+        assert!(
+            q.is_conjunctive(),
+            "TwigStackD only handles conjunctive TPQs"
+        );
         let start = Instant::now();
         let mut stats = BaselineStats::default();
         let mut mat = restricted_candidates(q, self.graph, restrict, &mut stats);
@@ -145,8 +143,7 @@ impl TpqAlgorithm for TwigStackD<'_> {
 
         // Enumerate answers from the pools.
         let mut results = ResultSet::new(q.output_nodes().to_vec());
-        let mut memo: HashMap<(QueryNodeId, NodeId), Rc<Vec<Vec<(QueryNodeId, NodeId)>>>> =
-            HashMap::new();
+        let mut memo: AssignmentMemo = HashMap::new();
         for &v in &mat[q.root().index()] {
             for assignment in expand(q, &pools, q.root(), v, &mut memo).iter() {
                 let tuple: Option<Vec<NodeId>> = q
@@ -169,8 +166,8 @@ fn expand(
     pools: &HashMap<(QueryNodeId, NodeId), Vec<Vec<NodeId>>>,
     u: QueryNodeId,
     v: NodeId,
-    memo: &mut HashMap<(QueryNodeId, NodeId), Rc<Vec<Vec<(QueryNodeId, NodeId)>>>>,
-) -> Rc<Vec<Vec<(QueryNodeId, NodeId)>>> {
+    memo: &mut AssignmentMemo,
+) -> Rc<Vec<Assignment>> {
     if let Some(cached) = memo.get(&(u, v)) {
         return Rc::clone(cached);
     }
@@ -214,7 +211,9 @@ fn expand(
 #[cfg(test)]
 mod tests {
     use gtpq_core::GteaEngine;
-    use gtpq_datagen::{generate_arxiv, generate_xmark, random_queries, ArxivConfig, RandomQueryConfig, XmarkConfig};
+    use gtpq_datagen::{
+        generate_arxiv, generate_xmark, random_queries, ArxivConfig, RandomQueryConfig, XmarkConfig,
+    };
     use gtpq_datagen::{xmark_q1, xmark_q3};
 
     use super::*;

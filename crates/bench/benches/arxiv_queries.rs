@@ -27,7 +27,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| qs.iter().map(|q| engine.evaluate(q).len()).sum::<usize>())
         });
         group.bench_with_input(BenchmarkId::new("HGJoin*", size), &queries, |b, qs| {
-            b.iter(|| qs.iter().map(|q| hg_star.evaluate(q).0.len()).sum::<usize>())
+            b.iter(|| {
+                qs.iter()
+                    .map(|q| hg_star.evaluate(q).0.len())
+                    .sum::<usize>()
+            })
         });
         group.bench_with_input(BenchmarkId::new("TwigStackD", size), &queries, |b, qs| {
             b.iter(|| qs.iter().map(|q| twig_d.evaluate(q).0.len()).sum::<usize>())

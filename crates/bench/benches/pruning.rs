@@ -37,8 +37,10 @@ fn bench(c: &mut Criterion) {
                     qs.iter()
                         .map(|q| {
                             let mut stats = BaselineStats::default();
-                            let mut mat: Vec<Vec<gtpq_graph::NodeId>> =
-                                q.node_ids().map(|u| q.candidates(twig_d_graph(&twig_d), u)).collect();
+                            let mut mat: Vec<Vec<gtpq_graph::NodeId>> = q
+                                .node_ids()
+                                .map(|u| q.candidates(twig_d_graph(&twig_d), u))
+                                .collect();
                             twig_d.prefilter(q, &mut mat, &mut stats);
                             stats.filtering_time
                         })

@@ -1,0 +1,99 @@
+//! Throughput of the query service front end: batched vs. sequential
+//! evaluation and cold vs. warm result cache over an XMark workload.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpq_bench::workloads::xmark_graph;
+use gtpq_datagen::{random_queries, xmark_q1, xmark_q2, xmark_q3, RandomQueryConfig};
+use gtpq_graph::DataGraph;
+use gtpq_query::Gtpq;
+use gtpq_service::{QueryService, ServiceConfig};
+
+fn workload(g: &DataGraph) -> Vec<Gtpq> {
+    let mut queries = vec![xmark_q1(0), xmark_q2(0, 3), xmark_q3(0, 3, 7)];
+    queries.extend(random_queries(g, &RandomQueryConfig::with_size(4)));
+    queries
+}
+
+fn cold_service(graph: &Arc<DataGraph>, threads: usize) -> QueryService {
+    QueryService::with_config(
+        Arc::clone(graph),
+        ServiceConfig {
+            threads,
+            cache_capacity: 0, // every query runs the engine
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+fn warm_service(graph: &Arc<DataGraph>, threads: usize, queries: &[Gtpq]) -> QueryService {
+    let service = QueryService::with_config(
+        Arc::clone(graph),
+        ServiceConfig {
+            threads,
+            ..ServiceConfig::default()
+        },
+    );
+    for q in queries {
+        service.evaluate(q); // prime the result cache
+    }
+    service
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let graph = Arc::new(xmark_graph(0.5));
+    let queries = workload(&graph);
+    let threads = 4;
+
+    let sequential_cold = cold_service(&graph, 1);
+    group.bench_with_input(
+        BenchmarkId::new("sequential", "cold"),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| sequential_cold.evaluate(q))
+                    .collect::<Vec<_>>()
+            })
+        },
+    );
+
+    let batched_cold = cold_service(&graph, threads);
+    group.bench_with_input(
+        BenchmarkId::new("batched", "cold"),
+        &queries,
+        |b, queries| b.iter(|| batched_cold.evaluate_batch(queries)),
+    );
+
+    let sequential_warm = warm_service(&graph, 1, &queries);
+    group.bench_with_input(
+        BenchmarkId::new("sequential", "warm"),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| sequential_warm.evaluate(q))
+                    .collect::<Vec<_>>()
+            })
+        },
+    );
+
+    let batched_warm = warm_service(&graph, threads, &queries);
+    group.bench_with_input(
+        BenchmarkId::new("batched", "warm"),
+        &queries,
+        |b, queries| b.iter(|| batched_warm.evaluate_batch(queries)),
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 use gtpq_baselines::{evaluate_gtpq_with, HgJoin, TpqAlgorithm, Twig2Stack, TwigStack, TwigStackD};
 use gtpq_core::{GteaEngine, GteaOptions};
 use gtpq_datagen::{
-    fig11_gtpq, fig11_output_variant, random_queries, xmark_q1, xmark_q2, xmark_q3,
-    Fig11Predicate, RandomQueryConfig,
+    fig11_gtpq, fig11_output_variant, random_queries, xmark_q1, xmark_q2, xmark_q3, Fig11Predicate,
+    RandomQueryConfig,
 };
 use gtpq_graph::{DataGraph, GraphStats};
 use gtpq_query::Gtpq;
@@ -41,8 +41,8 @@ pub fn run_experiment(id: &str) -> Result<(), String> {
         "ablation" => ablation(),
         "all" => {
             for id in [
-                "table1", "table2", "fig8a", "fig8b", "fig9a", "fig9b", "fig9c", "fig9d",
-                "fig10", "fig12a", "fig12b", "fig12c", "fig12d", "ablation",
+                "table1", "table2", "fig8a", "fig8b", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
+                "fig12a", "fig12b", "fig12c", "fig12d", "ablation",
             ] {
                 run_experiment(id)?;
                 println!();
@@ -70,13 +70,20 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// Table 1: statistics of the XMark-like datasets per scale factor.
 fn table1() -> Result<(), String> {
     println!("== Table 1: XMark dataset statistics (scaled-down generator) ==");
-    println!("{:>6} {:>12} {:>12} {:>10} {:>8}", "scale", "nodes", "edges", "size(MB)", "labels");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>8}",
+        "scale", "nodes", "edges", "size(MB)", "labels"
+    );
     for &scale in &XMARK_SCALES {
         let g = xmark_graph(scale);
         let s = GraphStats::compute(&g);
         println!(
             "{:>6} {:>12} {:>12} {:>10.2} {:>8}",
-            scale, s.nodes, s.edges, s.approx_megabytes(), s.distinct_labels
+            scale,
+            s.nodes,
+            s.edges,
+            s.approx_megabytes(),
+            s.distinct_labels
         );
     }
     Ok(())
@@ -139,7 +146,7 @@ fn fig8a() -> Result<(), String> {
     for &scale in &XMARK_SCALES {
         let g = xmark_graph(scale);
         let groups = label_groups();
-        let mut totals = vec![0f64; 5];
+        let mut totals = [0f64; 5];
         for &(p, _, _) in groups.iter().take(3) {
             let q = xmark_q1(p);
             for (i, (_, t)) in run_all_algorithms(&g, &q).into_iter().enumerate() {
@@ -170,11 +177,14 @@ fn fig8b() -> Result<(), String> {
     );
     let groups = label_groups();
     for (qi, make) in [
-        ("Q1", Box::new(|(p, _, _): (u32, u32, u32)| xmark_q1(p)) as Box<dyn Fn(_) -> Gtpq>),
+        (
+            "Q1",
+            Box::new(|(p, _, _): (u32, u32, u32)| xmark_q1(p)) as Box<dyn Fn(_) -> Gtpq>,
+        ),
         ("Q2", Box::new(|(p, i, _)| xmark_q2(p, i))),
         ("Q3", Box::new(|(p, i, s)| xmark_q3(p, i, s))),
     ] {
-        let mut totals = vec![0f64; 5];
+        let mut totals = [0f64; 5];
         for &grp in groups.iter().take(3) {
             let q = make(grp);
             for (i, (_, t)) in run_all_algorithms(&g, &q).into_iter().enumerate() {
@@ -227,14 +237,20 @@ fn fig9a() -> Result<(), String> {
     println!("== Fig. 9(a): result-size distribution of random arXiv queries ==");
     let g = arxiv_graph();
     let engine = GteaEngine::new(&g);
-    println!("{:>6} {:>8} {:>12} {:>12}", "size", "#queries", "avg-small", "avg-large");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12}",
+        "size", "#queries", "avg-small", "avg-large"
+    );
     for &size in &ARXIV_QUERY_SIZES {
         let (small, large) = arxiv_query_groups(&g, size);
         let avg = |qs: &[Gtpq]| {
             if qs.is_empty() {
                 0.0
             } else {
-                qs.iter().map(|q| engine.evaluate(q).len() as f64).sum::<f64>() / qs.len() as f64
+                qs.iter()
+                    .map(|q| engine.evaluate(q).len() as f64)
+                    .sum::<f64>()
+                    / qs.len() as f64
             }
         };
         println!(
@@ -251,7 +267,11 @@ fn fig9a() -> Result<(), String> {
 /// Fig. 9(b)/(c): query time vs query size on the arXiv graph for the
 /// small-result (`false`) or large-result (`true`) group.
 fn fig9bc(large_group: bool) -> Result<(), String> {
-    let label = if large_group { "(c) large results" } else { "(b) small results" };
+    let label = if large_group {
+        "(c) large results"
+    } else {
+        "(b) small results"
+    };
     println!("== Fig. 9{label}: query time (ms) vs query size on arXiv ==");
     let g = arxiv_graph();
     println!(
@@ -382,7 +402,10 @@ fn fig12a() -> Result<(), String> {
     println!("== Fig. 12(a)/Table 3: GTEA time (ms) varying output nodes (Q4-Q8) ==");
     let g = xmark_graph(2.0);
     let engine = GteaEngine::new(&g);
-    println!("{:>4} {:>10} {:>10} {:>10}", "Q", "#outputs", "results", "time(ms)");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10}",
+        "Q", "#outputs", "results", "time(ms)"
+    );
     for which in 4..=8u32 {
         let q = fig11_output_variant(which, 10, 3);
         let (res, t) = timed(|| engine.evaluate(&q));
@@ -443,7 +466,10 @@ fn ablation() -> Result<(), String> {
     println!("== Ablation: GTEA design decisions on XMark scale 1.0, Q3 ==");
     let g = xmark_graph(1.0);
     let q = xmark_q3(0, 3, 7);
-    println!("{:>24} {:>10} {:>14}", "configuration", "time(ms)", "#intermediate");
+    println!(
+        "{:>24} {:>10} {:>14}",
+        "configuration", "time(ms)", "#intermediate"
+    );
     for (name, options) in [
         ("full", GteaOptions::default()),
         ("no upward pruning", GteaOptions::without_upward_pruning()),

@@ -40,7 +40,11 @@ pub fn collect_results(
     for &root in &shrunk.roots {
         let mut partials: Vec<Partial> = Vec::new();
         for &v in &mat[root.index()] {
-            partials.extend(collect_node(q, shrunk, graph, root, v, &mut memo).iter().cloned());
+            partials.extend(
+                collect_node(q, shrunk, graph, root, v, &mut memo)
+                    .iter()
+                    .cloned(),
+            );
         }
         partials.sort();
         partials.dedup();
@@ -100,13 +104,14 @@ fn collect_node(
     if !children.is_empty() {
         let branches = graph.branches_of(u, v);
         for (ci, &child) in children.iter().enumerate() {
-            let pointed: &[NodeId] = branches
-                .map(|b| b[ci].as_slice())
-                .unwrap_or(&[]);
+            let pointed: &[NodeId] = branches.map(|b| b[ci].as_slice()).unwrap_or(&[]);
             let mut branch_results: Vec<Partial> = Vec::new();
             for &v2 in pointed {
-                branch_results
-                    .extend(collect_node(q, shrunk, graph, child, v2, memo).iter().cloned());
+                branch_results.extend(
+                    collect_node(q, shrunk, graph, child, v2, memo)
+                        .iter()
+                        .cloned(),
+                );
             }
             branch_results.sort();
             branch_results.dedup();
@@ -157,7 +162,8 @@ mod tests {
         prune_upward(&q, &g, &index, &options, &prime, &mut mat, &mut stats);
         for shrink in [true, false] {
             let shrunk = ShrunkPrime::new(&q, &prime, &mat, shrink);
-            let graph = crate::matching::MatchingGraph::build(&q, &g, &index, &shrunk, &mat, &mut stats);
+            let graph =
+                crate::matching::MatchingGraph::build(&q, &g, &index, &shrunk, &mat, &mut stats);
             let results = collect_results(&q, &shrunk, &graph, &mat, &mut stats);
             let expected = example_answer_pairs();
             assert_eq!(results.len(), expected.len(), "shrink={shrink}");

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use gtpq_graph::{DataGraph, NodeId};
 use gtpq_query::{EdgeKind, Gtpq, QueryNodeId};
-use gtpq_reach::ThreeHop;
+use gtpq_reach::Reachability;
 
 use crate::prime::ShrunkPrime;
 use crate::stats::EvalStats;
@@ -33,16 +33,16 @@ pub struct MatchingGraph {
 
 impl MatchingGraph {
     /// Builds the matching graph for the shrunk prime subtree.
-    pub fn build(
+    pub fn build<R: Reachability + ?Sized>(
         q: &Gtpq,
         g: &DataGraph,
-        index: &ThreeHop,
+        index: &R,
         shrunk: &ShrunkPrime,
         mat: &[Vec<NodeId>],
         stats: &mut EvalStats,
     ) -> Self {
         let start = Instant::now();
-        index.reset_lookups();
+        let lookups_before = index.lookup_count();
         let mut graph = MatchingGraph::default();
         for &u in &shrunk.nodes {
             graph.node_count += mat[u.index()].len();
@@ -68,11 +68,11 @@ impl MatchingGraph {
                                 .collect()
                         }
                         _ => {
-                            let view = index.source_view(v);
+                            let probe = index.source_probe(v);
                             mat[child.index()]
                                 .iter()
                                 .copied()
-                                .filter(|&t| index.view_reaches(&view, t))
+                                .filter(|&t| probe(t))
                                 .collect()
                         }
                     };
@@ -82,7 +82,7 @@ impl MatchingGraph {
                 graph.branches.insert((u, v), lists);
             }
         }
-        stats.index_lookups += index.lookup_count();
+        stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
         stats.intermediate_size += 2 * (graph.node_count + graph.edge_count) as u64;
         stats.matching_graph_time += start.elapsed();
         graph
@@ -98,6 +98,7 @@ impl MatchingGraph {
 #[cfg(test)]
 mod tests {
     use gtpq_query::fixtures::{example_graph, example_query};
+    use gtpq_reach::ThreeHop;
 
     use crate::options::GteaOptions;
     use crate::prime::{PrimeSubtree, ShrunkPrime};

@@ -183,7 +183,10 @@ mod tests {
         assert_eq!(prime.len(), 4);
         assert!(prime.contains(QueryNodeId(2)));
         assert!(!prime.contains(QueryNodeId(5)));
-        assert_eq!(prime.children_of(QueryNodeId(0)), &[QueryNodeId(1), QueryNodeId(2)]);
+        assert_eq!(
+            prime.children_of(QueryNodeId(0)),
+            &[QueryNodeId(1), QueryNodeId(2)]
+        );
         assert_eq!(prime.children_of(QueryNodeId(2)), &[QueryNodeId(3)]);
         assert!(!prime.is_empty());
     }

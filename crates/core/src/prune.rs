@@ -6,7 +6,7 @@ use std::time::Instant;
 use gtpq_graph::{DataGraph, NodeId};
 use gtpq_logic::valuation::eval_with;
 use gtpq_query::{EdgeKind, Gtpq, QueryNodeId};
-use gtpq_reach::ThreeHop;
+use gtpq_reach::{Probe, Reachability};
 
 use crate::options::GteaOptions;
 use crate::prime::PrimeSubtree;
@@ -32,19 +32,21 @@ pub fn initial_candidates(q: &Gtpq, g: &DataGraph, stats: &mut EvalStats) -> Vec
 /// `v`, a truth value is assigned to each child's variable from the
 /// reachability of `v` into the (already pruned) candidate set of the child,
 /// and `v` is kept only when the extended structural predicate `fext(u)`
-/// evaluates to true.  AD children are answered through merged predecessor
-/// contours (Proposition 7); PC children are answered exactly through the
-/// adjacency lists.
-pub fn prune_downward(
+/// evaluates to true.  AD children are answered through the backend's
+/// prepared predecessor probe (merged contours + Proposition 7 on 3-hop);
+/// PC children are answered exactly through the adjacency lists.
+pub fn prune_downward<R: Reachability + ?Sized>(
     q: &Gtpq,
     g: &DataGraph,
-    index: &ThreeHop,
+    index: &R,
     options: &GteaOptions,
     mat: &mut [Vec<NodeId>],
     stats: &mut EvalStats,
 ) {
     let start = Instant::now();
-    index.reset_lookups();
+    // Delta, not reset: the index may be shared with concurrent queries
+    // (QueryService), and a reset here would wipe their in-flight counts.
+    let lookups_before = index.lookup_count();
     for u in q.bottom_up_order() {
         if q.node(u).is_leaf() {
             continue;
@@ -53,21 +55,21 @@ pub fn prune_downward(
         let children = q.children(u).to_vec();
 
         // Per-child acceleration structures.
-        let mut ad_contours = Vec::with_capacity(children.len());
+        let mut ad_probes: Vec<Option<Probe<'_>>> = Vec::with_capacity(children.len());
         let mut pc_sets: Vec<Option<HashSet<NodeId>>> = Vec::with_capacity(children.len());
         for &c in &children {
             match q.incoming_edge(c) {
                 Some(EdgeKind::Child) => {
-                    ad_contours.push(None);
+                    ad_probes.push(None);
                     pc_sets.push(Some(mat[c.index()].iter().copied().collect()));
                 }
                 _ => {
-                    let contour = if options.use_contours {
-                        Some(index.merge_pred_lists(&mat[c.index()]))
+                    let probe = if options.use_contours {
+                        Some(index.pred_probe(&mat[c.index()]))
                     } else {
                         None
                     };
-                    ad_contours.push(contour);
+                    ad_probes.push(probe);
                     pc_sets.push(None);
                 }
             }
@@ -89,11 +91,9 @@ pub fn prune_downward(
                         adjacency_lookups.set(adjacency_lookups.get() + g.out_degree(v) as u64);
                         g.children(v).iter().any(|c| set.contains(c))
                     }
-                    _ => match &ad_contours[pos] {
-                        Some(contour) => index.node_reaches_set(v, contour),
-                        None => mat[child.index()]
-                            .iter()
-                            .any(|&t| gtpq_reach::Reachability::reaches(index, v, t)),
+                    _ => match &ad_probes[pos] {
+                        Some(probe) => probe(v),
+                        None => mat[child.index()].iter().any(|&t| index.reaches(v, t)),
                     },
                 }
             });
@@ -107,26 +107,27 @@ pub fn prune_downward(
     for u in q.node_ids() {
         stats.candidates_after_downward += mat[u.index()].len() as u64;
     }
-    stats.index_lookups += index.lookup_count();
+    stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
     stats.prune_down_time += start.elapsed();
 }
 
 /// `PruneUpward` (Procedure 7): removes candidates of prime-subtree nodes that
 /// are not reachable from any candidate of their prime parent.
 ///
-/// Processes the prime subtree top-down; AD edges are answered through merged
-/// successor contours, PC edges exactly through the adjacency lists.
-pub fn prune_upward(
+/// Processes the prime subtree top-down; AD edges are answered through the
+/// backend's prepared successor probe (merged contours on 3-hop), PC edges
+/// exactly through the adjacency lists.
+pub fn prune_upward<R: Reachability + ?Sized>(
     q: &Gtpq,
     g: &DataGraph,
-    index: &ThreeHop,
+    index: &R,
     options: &GteaOptions,
     prime: &PrimeSubtree,
     mat: &mut [Vec<NodeId>],
     stats: &mut EvalStats,
 ) {
     let start = Instant::now();
-    index.reset_lookups();
+    let lookups_before = index.lookup_count();
     for &u in &prime.nodes {
         for &child in prime.children_of(u) {
             let candidates = std::mem::take(&mut mat[child.index()]);
@@ -144,19 +145,12 @@ pub fn prune_upward(
                 }
                 _ => {
                     if options.use_contours {
-                        let contour = index.merge_succ_lists(&mat[u.index()]);
-                        candidates
-                            .into_iter()
-                            .filter(|&v| index.set_reaches_node(&contour, v))
-                            .collect()
+                        let probe = index.succ_probe(&mat[u.index()]);
+                        candidates.into_iter().filter(|&v| probe(v)).collect()
                     } else {
                         candidates
                             .into_iter()
-                            .filter(|&v| {
-                                mat[u.index()]
-                                    .iter()
-                                    .any(|&s| gtpq_reach::Reachability::reaches(index, s, v))
-                            })
+                            .filter(|&v| mat[u.index()].iter().any(|&s| index.reaches(s, v)))
                             .collect()
                     }
                 }
@@ -167,7 +161,7 @@ pub fn prune_upward(
     for &u in &prime.nodes {
         stats.candidates_after_upward += mat[u.index()].len() as u64;
     }
-    stats.index_lookups += index.lookup_count();
+    stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
     stats.prune_up_time += start.elapsed();
 }
 
@@ -175,6 +169,7 @@ pub fn prune_upward(
 mod tests {
     use gtpq_query::fixtures::{example_graph, example_query};
     use gtpq_query::naive;
+    use gtpq_reach::ThreeHop;
 
     use super::*;
 
@@ -189,10 +184,8 @@ mod tests {
         prune_downward(&q, &g, &index, &options, &mut mat, &mut stats);
         let table = naive::downward_matches(&q, &g);
         for u in q.node_ids() {
-            let expected: Vec<NodeId> = g
-                .nodes()
-                .filter(|&v| table[u.index()][v.index()])
-                .collect();
+            let expected: Vec<NodeId> =
+                g.nodes().filter(|&v| table[u.index()][v.index()]).collect();
             assert_eq!(mat[u.index()], expected, "mismatch at {u}");
         }
         assert!(stats.initial_candidates > 0);

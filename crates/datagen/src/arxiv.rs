@@ -131,9 +131,17 @@ mod tests {
         let stats = GraphStats::compute(&g);
         // ~9.5k nodes, ~28k edges, ~1.1k labels in the paper; we target the
         // same order of magnitude.
-        assert!((8000..=11000).contains(&stats.nodes), "nodes = {}", stats.nodes);
+        assert!(
+            (8000..=11000).contains(&stats.nodes),
+            "nodes = {}",
+            stats.nodes
+        );
         assert!(stats.edges > 2 * stats.nodes, "edges = {}", stats.edges);
-        assert!(stats.distinct_labels > 500, "labels = {}", stats.distinct_labels);
+        assert!(
+            stats.distinct_labels > 500,
+            "labels = {}",
+            stats.distinct_labels
+        );
     }
 
     #[test]
@@ -162,7 +170,10 @@ mod tests {
         for u in g.nodes().take(cfg.papers) {
             for &v in g.children(u) {
                 if v.index() < cfg.papers {
-                    assert!(v.index() < u.index(), "citation {u} -> {v} goes forward in time");
+                    assert!(
+                        v.index() < u.index(),
+                        "citation {u} -> {v} goes forward in time"
+                    );
                 }
             }
         }

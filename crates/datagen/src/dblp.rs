@@ -47,7 +47,7 @@ pub fn generate_dblp(papers: usize, seed: u64) -> DataGraph {
         b.add_edge(paper, title);
         let year = b.add_node_with_attrs([
             ("label", AttrValue::str("year")),
-            ("year", AttrValue::Int(1995 + rng.gen_range(0..20))),
+            ("year", AttrValue::Int(1995 + rng.gen_range(0..20i64))),
         ]);
         b.add_edge(paper, year);
         // One to three authors.
@@ -83,10 +83,18 @@ mod tests {
     #[test]
     fn contains_the_expected_structure() {
         let g = generate_dblp(100, 1);
-        assert!(!g.nodes_with_attr("label", &AttrValue::str("inproceedings")).is_empty());
-        assert!(!g.nodes_with_attr("label", &AttrValue::str("proceedings")).is_empty());
-        assert!(!g.nodes_with_attr("value", &AttrValue::str("Alice")).is_empty());
-        assert!(!g.nodes_with_attr("value", &AttrValue::str("Bob")).is_empty());
+        assert!(!g
+            .nodes_with_attr("label", &AttrValue::str("inproceedings"))
+            .is_empty());
+        assert!(!g
+            .nodes_with_attr("label", &AttrValue::str("proceedings"))
+            .is_empty());
+        assert!(!g
+            .nodes_with_attr("value", &AttrValue::str("Alice"))
+            .is_empty());
+        assert!(!g
+            .nodes_with_attr("value", &AttrValue::str("Bob"))
+            .is_empty());
         // Proceedings are shared: some node has in-degree > 1 (dblp root + crossrefs).
         assert!(g.nodes().any(|v| g.in_degree(v) > 1));
     }

@@ -45,7 +45,11 @@ pub fn xmark_q1(person_group: u32) -> Gtpq {
     let bidder = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("bidder"));
     let person_ref = b.backbone_child(bidder, EdgeKind::Child, AttrPredicate::label("person_ref"));
     let person = b.backbone_child(person_ref, EdgeKind::Child, person_label(person_group));
-    let _education = b.backbone_child(person, EdgeKind::Descendant, AttrPredicate::label("education"));
+    let _education = b.backbone_child(
+        person,
+        EdgeKind::Descendant,
+        AttrPredicate::label("education"),
+    );
     let address = b.backbone_child(person, EdgeKind::Child, AttrPredicate::label("address"));
     let _city = b.backbone_child(address, EdgeKind::Child, AttrPredicate::label("city"));
     let _current = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("current"));
@@ -60,7 +64,11 @@ pub fn xmark_q2(person_group: u32, item_group: u32) -> Gtpq {
     let bidder = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("bidder"));
     let person_ref = b.backbone_child(bidder, EdgeKind::Child, AttrPredicate::label("person_ref"));
     let person = b.backbone_child(person_ref, EdgeKind::Child, person_label(person_group));
-    let _education = b.backbone_child(person, EdgeKind::Descendant, AttrPredicate::label("education"));
+    let _education = b.backbone_child(
+        person,
+        EdgeKind::Descendant,
+        AttrPredicate::label("education"),
+    );
     let address = b.backbone_child(person, EdgeKind::Child, AttrPredicate::label("address"));
     let _city = b.backbone_child(address, EdgeKind::Child, AttrPredicate::label("city"));
     let _current = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("current"));
@@ -78,7 +86,11 @@ pub fn xmark_q3(person_group: u32, item_group: u32, seller_group: u32) -> Gtpq {
     let bidder = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("bidder"));
     let person_ref = b.backbone_child(bidder, EdgeKind::Child, AttrPredicate::label("person_ref"));
     let person = b.backbone_child(person_ref, EdgeKind::Child, person_label(person_group));
-    let _education = b.backbone_child(person, EdgeKind::Descendant, AttrPredicate::label("education"));
+    let _education = b.backbone_child(
+        person,
+        EdgeKind::Descendant,
+        AttrPredicate::label("education"),
+    );
     let address = b.backbone_child(person, EdgeKind::Child, AttrPredicate::label("address"));
     let _city = b.backbone_child(address, EdgeKind::Child, AttrPredicate::label("city"));
     let _current = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("current"));
@@ -87,7 +99,11 @@ pub fn xmark_q3(person_group: u32, item_group: u32, seller_group: u32) -> Gtpq {
     let _location = b.backbone_child(item, EdgeKind::Child, AttrPredicate::label("location"));
     let seller = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("seller"));
     let seller_person = b.backbone_child(seller, EdgeKind::Child, person_label(seller_group));
-    let _profile = b.backbone_child(seller_person, EdgeKind::Child, AttrPredicate::label("profile"));
+    let _profile = b.backbone_child(
+        seller_person,
+        EdgeKind::Child,
+        AttrPredicate::label("profile"),
+    );
     b.mark_all_backbone_output();
     b.build().expect("Q3 is well formed")
 }
@@ -152,10 +168,7 @@ impl Fig11Predicate {
 
     fn negates_education(self) -> bool {
         use Fig11Predicate::*;
-        matches!(
-            self,
-            Neg1 | Neg2 | Neg3 | DisNeg1 | DisNeg3 | DisNeg4
-        )
+        matches!(self, Neg1 | Neg2 | Neg3 | DisNeg1 | DisNeg3 | DisNeg4)
     }
 
     fn splits_item_children(self) -> bool {
@@ -176,33 +189,54 @@ pub fn fig11_gtpq(variant: Fig11Predicate, person_group: u32, item_group: u32) -
     let root = b.root_id();
 
     // Bidder branch: bidder -> person -> {education, address -> city}.
-    let add_bidder = |b: &mut GtpqBuilder, predicate: bool| -> (QueryNodeId, QueryNodeId, QueryNodeId) {
-        let add_child = |b: &mut GtpqBuilder, parent, edge, attr, pred: bool| {
-            if pred {
-                b.predicate_child(parent, edge, attr)
-            } else {
-                b.backbone_child(parent, edge, attr)
-            }
+    let add_bidder =
+        |b: &mut GtpqBuilder, predicate: bool| -> (QueryNodeId, QueryNodeId, QueryNodeId) {
+            let add_child = |b: &mut GtpqBuilder, parent, edge, attr, pred: bool| {
+                if pred {
+                    b.predicate_child(parent, edge, attr)
+                } else {
+                    b.backbone_child(parent, edge, attr)
+                }
+            };
+            let bidder = add_child(
+                b,
+                root,
+                EdgeKind::Child,
+                AttrPredicate::label("bidder"),
+                predicate,
+            );
+            let person = add_child(
+                b,
+                bidder,
+                EdgeKind::Descendant,
+                person_label(person_group),
+                predicate,
+            );
+            let education = b.predicate_child(
+                person,
+                EdgeKind::Descendant,
+                AttrPredicate::label("education"),
+            );
+            // Education is always a predicate child; whether `fs(person)`
+            // negates it or keeps it conjunctive is decided by `person_fs`
+            // below.
+            let education_node = education;
+            let address = add_child(
+                b,
+                person,
+                EdgeKind::Child,
+                AttrPredicate::label("address"),
+                predicate,
+            );
+            let _city = add_child(
+                b,
+                address,
+                EdgeKind::Child,
+                AttrPredicate::label("city"),
+                predicate,
+            );
+            (bidder, person, education_node)
         };
-        let bidder = add_child(b, root, EdgeKind::Child, AttrPredicate::label("bidder"), predicate);
-        let person = add_child(
-            b,
-            bidder,
-            EdgeKind::Descendant,
-            person_label(person_group),
-            predicate,
-        );
-        let education = b.predicate_child(person, EdgeKind::Descendant, AttrPredicate::label("education"));
-        let education_node = if education_pred {
-            education
-        } else {
-            // Keep education as an ordinary (conjunctive) predicate child.
-            education
-        };
-        let address = add_child(b, person, EdgeKind::Child, AttrPredicate::label("address"), predicate);
-        let _city = add_child(b, address, EdgeKind::Child, AttrPredicate::label("city"), predicate);
-        (bidder, person, education_node)
-    };
     let (bidder, bidder_person, bidder_education) = add_bidder(&mut b, bidder_pred);
 
     // Item branch: item -> {location, mailbox -> mail}.
@@ -232,9 +266,17 @@ pub fn fig11_gtpq(variant: Fig11Predicate, person_group: u32, item_group: u32) -
         b.backbone_child(seller, EdgeKind::Child, person_label(person_group))
     };
     let profile = if seller_pred {
-        b.predicate_child(seller_person, EdgeKind::Child, AttrPredicate::label("profile"))
+        b.predicate_child(
+            seller_person,
+            EdgeKind::Child,
+            AttrPredicate::label("profile"),
+        )
     } else {
-        b.backbone_child(seller_person, EdgeKind::Child, AttrPredicate::label("profile"))
+        b.backbone_child(
+            seller_person,
+            EdgeKind::Child,
+            AttrPredicate::label("profile"),
+        )
     };
     let _ = profile;
 
@@ -256,7 +298,11 @@ pub fn fig11_gtpq(variant: Fig11Predicate, person_group: u32, item_group: u32) -
         ),
         DisNeg4 => BoolExpr::or2(
             BoolExpr::and([BoolExpr::not(vb.clone()), vs.clone(), vi.clone()]),
-            BoolExpr::and([vb.clone(), BoolExpr::not(vs.clone()), BoolExpr::not(vi.clone())]),
+            BoolExpr::and([
+                vb.clone(),
+                BoolExpr::not(vs.clone()),
+                BoolExpr::not(vi.clone()),
+            ]),
         ),
     };
     // Only mention variables of children that are predicate nodes.
@@ -334,10 +380,7 @@ pub fn fig11_output_variant(which: u32, person_group: u32, item_group: u32) -> G
             v.extend(find("location"));
             v
         }
-        _ => base
-            .node_ids()
-            .filter(|&u| base.is_backbone(u))
-            .collect(),
+        _ => base.node_ids().filter(|&u| base.is_backbone(u)).collect(),
     };
     outputs.retain(|&u| base.is_backbone(u));
     outputs.sort_unstable();
@@ -393,8 +436,11 @@ pub fn dblp_queries() -> Vec<(&'static str, Gtpq)> {
         );
         let title = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("title"));
         let year = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("year"));
-        let proceedings =
-            b.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("proceedings"));
+        let proceedings = b.backbone_child(
+            root,
+            EdgeKind::Descendant,
+            AttrPredicate::label("proceedings"),
+        );
         let conf_title =
             b.backbone_child(proceedings, EdgeKind::Child, AttrPredicate::label("title"));
         let conf_year = b.predicate_child(
@@ -423,7 +469,10 @@ pub fn dblp_queries() -> Vec<(&'static str, Gtpq)> {
         (
             "Q3",
             build(&|a, bb| {
-                BoolExpr::and2(BoolExpr::Var(a.var()), BoolExpr::not(BoolExpr::Var(bb.var())))
+                BoolExpr::and2(
+                    BoolExpr::Var(a.var()),
+                    BoolExpr::not(BoolExpr::Var(bb.var())),
+                )
             }),
         ),
     ]
@@ -613,7 +662,10 @@ mod tests {
         assert_eq!(queries.len(), 3);
         let g = generate_dblp(200, 11);
         let engine = GteaEngine::new(&g);
-        let sizes: Vec<usize> = queries.iter().map(|(_, q)| engine.evaluate(q).len()).collect();
+        let sizes: Vec<usize> = queries
+            .iter()
+            .map(|(_, q)| engine.evaluate(q).len())
+            .collect();
         // Disjunction returns at least as much as conjunction; conjunction and
         // negation partition the Alice-papers.
         assert!(sizes[1] >= sizes[0]);

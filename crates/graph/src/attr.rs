@@ -128,6 +128,9 @@ mod tests {
     fn conversions() {
         assert_eq!(AttrValue::from(7i64), AttrValue::Int(7));
         assert_eq!(AttrValue::from("x"), AttrValue::Str("x".into()));
-        assert_eq!(AttrValue::from(String::from("y")), AttrValue::Str("y".into()));
+        assert_eq!(
+            AttrValue::from(String::from("y")),
+            AttrValue::Str("y".into())
+        );
     }
 }

@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn with_capacity_and_attr_list() {
         let mut b = GraphBuilder::with_capacity(4, 4);
-        let v = b.add_node_with_attrs([("label", AttrValue::str("person")), ("age", AttrValue::int(30))]);
+        let v = b.add_node_with_attrs([
+            ("label", AttrValue::str("person")),
+            ("age", AttrValue::int(30)),
+        ]);
         let g = b.build();
         assert_eq!(g.attribute_value(v, "age"), Some(&AttrValue::int(30)));
         assert_eq!(g.attributes(v).len(), 2);

@@ -79,8 +79,7 @@ impl Condensation {
                 } else {
                     call_stack.pop();
                     if let Some(&(parent, _)) = call_stack.last() {
-                        lowlink[parent.index()] =
-                            lowlink[parent.index()].min(lowlink[v.index()]);
+                        lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
                     }
                     if lowlink[v.index()] == index[v.index()] {
                         let comp = CompId(members.len() as u32);

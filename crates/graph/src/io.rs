@@ -30,7 +30,11 @@ pub enum ParseError {
     /// An attribute was not of the form `name=value`.
     BadAttribute { line: usize, token: String },
     /// Node ids must be declared densely, in order, starting from zero.
-    NonDenseNode { line: usize, expected: u32, found: u32 },
+    NonDenseNode {
+        line: usize,
+        expected: u32,
+        found: u32,
+    },
 }
 
 impl std::fmt::Display for ParseError {

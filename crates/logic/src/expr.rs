@@ -54,6 +54,10 @@ impl BoolExpr {
     }
 
     /// Negation with light simplification of constants and double negation.
+    ///
+    /// Deliberately an associated constructor (like [`var`](Self::var)), not
+    /// the `std::ops::Not` trait: it consumes an operand by value.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: BoolExpr) -> Self {
         match e {
             BoolExpr::True => BoolExpr::False,
@@ -150,9 +154,7 @@ impl BoolExpr {
             BoolExpr::True | BoolExpr::False => false,
             BoolExpr::Var(v) => *v == var,
             BoolExpr::Not(e) => e.contains_var(var),
-            BoolExpr::And(items) | BoolExpr::Or(items) => {
-                items.iter().any(|e| e.contains_var(var))
-            }
+            BoolExpr::And(items) | BoolExpr::Or(items) => items.iter().any(|e| e.contains_var(var)),
         }
     }
 
@@ -250,13 +252,22 @@ mod tests {
 
     #[test]
     fn smart_constructors_fold_constants() {
-        assert_eq!(BoolExpr::and([BoolExpr::True, BoolExpr::var(1)]), BoolExpr::var(1));
+        assert_eq!(
+            BoolExpr::and([BoolExpr::True, BoolExpr::var(1)]),
+            BoolExpr::var(1)
+        );
         assert_eq!(
             BoolExpr::and([BoolExpr::False, BoolExpr::var(1)]),
             BoolExpr::False
         );
-        assert_eq!(BoolExpr::or([BoolExpr::False, BoolExpr::var(2)]), BoolExpr::var(2));
-        assert_eq!(BoolExpr::or([BoolExpr::True, BoolExpr::var(2)]), BoolExpr::True);
+        assert_eq!(
+            BoolExpr::or([BoolExpr::False, BoolExpr::var(2)]),
+            BoolExpr::var(2)
+        );
+        assert_eq!(
+            BoolExpr::or([BoolExpr::True, BoolExpr::var(2)]),
+            BoolExpr::True
+        );
         assert_eq!(BoolExpr::and(Vec::<BoolExpr>::new()), BoolExpr::True);
         assert_eq!(BoolExpr::or(Vec::<BoolExpr>::new()), BoolExpr::False);
     }

@@ -138,7 +138,8 @@ impl<'a> Parser<'a> {
             Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
                 let start = self.pos;
                 while self.pos < self.input.len()
-                    && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+                    && (self.input[self.pos].is_ascii_alphanumeric()
+                        || self.input[self.pos] == b'_')
                 {
                     self.pos += 1;
                 }

@@ -131,10 +131,7 @@ fn find_pure_literal(clauses: &[Vec<Literal>]) -> Option<Literal> {
     polarity
         .into_iter()
         .find(|(_, (pos, neg))| pos != neg)
-        .map(|(var, (pos, _))| Literal {
-            var,
-            positive: pos,
-        })
+        .map(|(var, (pos, _))| Literal { var, positive: pos })
 }
 
 fn most_frequent_var(clauses: &[Vec<Literal>]) -> Option<VarId> {
@@ -193,7 +190,10 @@ mod tests {
 
     #[test]
     fn simple_sat_and_unsat() {
-        let sat = BoolExpr::and2(BoolExpr::var(1), BoolExpr::or2(BoolExpr::var(2), BoolExpr::var(3)));
+        let sat = BoolExpr::and2(
+            BoolExpr::var(1),
+            BoolExpr::or2(BoolExpr::var(2), BoolExpr::var(3)),
+        );
         assert!(is_satisfiable(&sat));
         let unsat = BoolExpr::and2(BoolExpr::var(1), BoolExpr::not(BoolExpr::var(1)));
         assert!(!is_satisfiable(&unsat));
@@ -221,7 +221,10 @@ mod tests {
         let b = BoolExpr::var(1);
         assert!(implies(&a, &b));
         assert!(!implies(&b, &a));
-        assert!(equivalent(&a, &BoolExpr::and2(BoolExpr::var(2), BoolExpr::var(1))));
+        assert!(equivalent(
+            &a,
+            &BoolExpr::and2(BoolExpr::var(2), BoolExpr::var(1))
+        ));
     }
 
     #[test]
@@ -230,7 +233,10 @@ mod tests {
             BoolExpr::and([
                 BoolExpr::or2(BoolExpr::var(0), BoolExpr::var(1)),
                 BoolExpr::or2(BoolExpr::not(BoolExpr::var(0)), BoolExpr::var(2)),
-                BoolExpr::or2(BoolExpr::not(BoolExpr::var(1)), BoolExpr::not(BoolExpr::var(2))),
+                BoolExpr::or2(
+                    BoolExpr::not(BoolExpr::var(1)),
+                    BoolExpr::not(BoolExpr::var(2)),
+                ),
             ]),
             BoolExpr::and([
                 BoolExpr::var(0),

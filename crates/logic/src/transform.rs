@@ -18,7 +18,11 @@ use crate::expr::{BoolExpr, VarId};
 pub fn substitute_const(expr: &BoolExpr, var: VarId, value: bool) -> BoolExpr {
     substitute(expr, &|v| {
         if v == var {
-            Some(if value { BoolExpr::True } else { BoolExpr::False })
+            Some(if value {
+                BoolExpr::True
+            } else {
+                BoolExpr::False
+            })
         } else {
             None
         }
@@ -85,7 +89,11 @@ fn dedup_connective(expr: BoolExpr, is_and: bool) -> BoolExpr {
         // Complementary pair check over literals.
         let complement = BoolExpr::not(item.clone());
         if kept.contains(&complement) {
-            return if is_and { BoolExpr::False } else { BoolExpr::True };
+            return if is_and {
+                BoolExpr::False
+            } else {
+                BoolExpr::True
+            };
         }
         kept.push(item);
     }
@@ -266,13 +274,19 @@ mod tests {
         // (p1 & !p2) | (p3 & (p1 | p2))
         BoolExpr::or2(
             BoolExpr::and2(BoolExpr::var(1), BoolExpr::not(BoolExpr::var(2))),
-            BoolExpr::and2(BoolExpr::var(3), BoolExpr::or2(BoolExpr::var(1), BoolExpr::var(2))),
+            BoolExpr::and2(
+                BoolExpr::var(3),
+                BoolExpr::or2(BoolExpr::var(1), BoolExpr::var(2)),
+            ),
         )
     }
 
     #[test]
     fn substitute_const_folds() {
-        let e = BoolExpr::and2(BoolExpr::var(1), BoolExpr::or2(BoolExpr::var(2), BoolExpr::var(3)));
+        let e = BoolExpr::and2(
+            BoolExpr::var(1),
+            BoolExpr::or2(BoolExpr::var(2), BoolExpr::var(3)),
+        );
         assert_eq!(substitute_const(&e, VarId(1), false), BoolExpr::False);
         assert_eq!(
             substitute_const(&e, VarId(2), true),
@@ -295,14 +309,20 @@ mod tests {
         let sub = substitute_map(&e, &map);
         assert_eq!(
             sub,
-            BoolExpr::and2(BoolExpr::var(1), BoolExpr::or2(BoolExpr::var(5), BoolExpr::var(6)))
+            BoolExpr::and2(
+                BoolExpr::var(1),
+                BoolExpr::or2(BoolExpr::var(5), BoolExpr::var(6))
+            )
         );
     }
 
     #[test]
     fn simplify_removes_duplicates_and_complements() {
         let e = BoolExpr::And(vec![BoolExpr::var(1), BoolExpr::var(1), BoolExpr::var(2)]);
-        assert_eq!(simplify(&e), BoolExpr::and2(BoolExpr::var(1), BoolExpr::var(2)));
+        assert_eq!(
+            simplify(&e),
+            BoolExpr::and2(BoolExpr::var(1), BoolExpr::var(2))
+        );
         let contradiction = BoolExpr::And(vec![BoolExpr::var(1), BoolExpr::not(BoolExpr::var(1))]);
         assert_eq!(simplify(&contradiction), BoolExpr::False);
         let tautology = BoolExpr::Or(vec![BoolExpr::var(1), BoolExpr::not(BoolExpr::var(1))]);
@@ -311,7 +331,10 @@ mod tests {
 
     #[test]
     fn nnf_pushes_negation_to_variables() {
-        let e = BoolExpr::not(BoolExpr::and2(BoolExpr::var(1), BoolExpr::not(BoolExpr::var(2))));
+        let e = BoolExpr::not(BoolExpr::and2(
+            BoolExpr::var(1),
+            BoolExpr::not(BoolExpr::var(2)),
+        ));
         let nnf = to_nnf(&e);
         assert_eq!(
             nnf,
@@ -357,9 +380,9 @@ mod tests {
     fn cnf_blowup_is_observable() {
         // (a1 & b1) | (a2 & b2) | ... : CNF has 2^k clauses.
         let k = 4;
-        let dnf = BoolExpr::or((0..k).map(|i| {
-            BoolExpr::and2(BoolExpr::var(2 * i), BoolExpr::var(2 * i + 1))
-        }));
+        let dnf = BoolExpr::or(
+            (0..k).map(|i| BoolExpr::and2(BoolExpr::var(2 * i), BoolExpr::var(2 * i + 1))),
+        );
         let cnf = to_cnf(&dnf);
         assert_eq!(cnf.len(), 1 << k);
     }

@@ -92,7 +92,10 @@ mod tests {
         let mut v = Valuation::new(3);
         v.set(VarId(0), true);
         v.set(VarId(2), true);
-        let e = BoolExpr::and2(BoolExpr::var(0), BoolExpr::or2(BoolExpr::var(1), BoolExpr::var(2)));
+        let e = BoolExpr::and2(
+            BoolExpr::var(0),
+            BoolExpr::or2(BoolExpr::var(1), BoolExpr::var(2)),
+        );
         assert!(v.eval(&e));
         let e2 = BoolExpr::and2(BoolExpr::var(0), BoolExpr::var(1));
         assert!(!v.eval(&e2));

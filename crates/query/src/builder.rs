@@ -187,7 +187,10 @@ impl GtpqBuilder {
                     && self.nodes[child.index()].parent == Some(u)
                     && self.nodes[child.index()].kind == NodeKind::Predicate;
                 if !is_pred_child {
-                    return Err(QueryError::ForeignVariable { node: u, var: child });
+                    return Err(QueryError::ForeignVariable {
+                        node: u,
+                        var: child,
+                    });
                 }
             }
         }

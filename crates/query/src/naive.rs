@@ -17,6 +17,11 @@ use crate::query::Gtpq;
 use crate::result::ResultSet;
 use crate::QueryNodeId;
 
+/// One match projection: a sorted `(query node, data node)` assignment.
+type Assignment = Vec<(QueryNodeId, NodeId)>;
+/// Memo of [`subtree_assignments`]: projections per (query node, data node).
+type AssignmentMemo = HashMap<(QueryNodeId, NodeId), Vec<Assignment>>;
+
 /// Evaluates `q` on `g` by direct application of the semantics.
 pub fn evaluate(q: &Gtpq, g: &DataGraph) -> ResultSet {
     let sat = downward_matches(q, g);
@@ -63,7 +68,7 @@ fn enumerate(q: &Gtpq, g: &DataGraph, sat: &[Vec<bool>]) -> ResultSet {
     let output = q.output_nodes().to_vec();
     let mut results = ResultSet::new(output.clone());
     let root = q.root();
-    let mut memo: HashMap<(QueryNodeId, NodeId), Vec<Vec<(QueryNodeId, NodeId)>>> = HashMap::new();
+    let mut memo: AssignmentMemo = HashMap::new();
     for v in g.nodes() {
         if !sat[root.index()][v.index()] {
             continue;
@@ -94,8 +99,8 @@ fn subtree_assignments(
     sat: &[Vec<bool>],
     u: QueryNodeId,
     v: NodeId,
-    memo: &mut HashMap<(QueryNodeId, NodeId), Vec<Vec<(QueryNodeId, NodeId)>>>,
-) -> Vec<Vec<(QueryNodeId, NodeId)>> {
+    memo: &mut AssignmentMemo,
+) -> Vec<Assignment> {
     if let Some(cached) = memo.get(&(u, v)) {
         return cached.clone();
     }

@@ -131,11 +131,8 @@ impl AttrPredicate {
         attrs.sort_unstable();
         attrs.dedup();
         for attr in attrs {
-            let cs: Vec<&AttrComparison> = self
-                .comparisons
-                .iter()
-                .filter(|c| c.attr == attr)
-                .collect();
+            let cs: Vec<&AttrComparison> =
+                self.comparisons.iter().filter(|c| c.attr == attr).collect();
             if !Self::attr_group_satisfiable(&cs) {
                 return false;
             }
@@ -161,10 +158,7 @@ impl AttrPredicate {
                 return false;
             }
             if let Some(eq) = eqs.first() {
-                if cs
-                    .iter()
-                    .any(|c| c.op == CmpOp::Ne && &c.value == *eq)
-                {
+                if cs.iter().any(|c| c.op == CmpOp::Ne && &c.value == *eq) {
                     return false;
                 }
             }
@@ -315,11 +309,8 @@ mod tests {
         assert!(!conflict.is_satisfiable());
         let ne_conflict = AttrPredicate::label("a").and("label", CmpOp::Ne, AttrValue::str("a"));
         assert!(!ne_conflict.is_satisfiable());
-        let mixed_kind = AttrPredicate::eq("x", AttrValue::int(1)).and(
-            "x",
-            CmpOp::Eq,
-            AttrValue::str("1"),
-        );
+        let mixed_kind =
+            AttrPredicate::eq("x", AttrValue::int(1)).and("x", CmpOp::Eq, AttrValue::str("1"));
         assert!(!mixed_kind.is_satisfiable());
     }
 

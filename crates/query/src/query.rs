@@ -190,10 +190,7 @@ impl Gtpq {
 
     /// Display name of a node: its explicit name, or `u<i>`.
     pub fn display_name(&self, u: QueryNodeId) -> String {
-        self.node(u)
-            .name
-            .clone()
-            .unwrap_or_else(|| u.to_string())
+        self.node(u).name.clone().unwrap_or_else(|| u.to_string())
     }
 
     /// A compact multi-line description of the query (for logs and examples).
@@ -259,7 +256,10 @@ mod tests {
                 BoolExpr::and2(BoolExpr::Var(u7.var()), BoolExpr::Var(u8.var())),
             ),
         );
-        b.set_structural(u7, BoolExpr::or2(BoolExpr::Var(u9.var()), BoolExpr::Var(u10.var())));
+        b.set_structural(
+            u7,
+            BoolExpr::or2(BoolExpr::Var(u9.var()), BoolExpr::Var(u10.var())),
+        );
         b.mark_output(u2);
         b.mark_output(u4);
         b.build().expect("figure 2 query is well formed")
@@ -273,7 +273,10 @@ mod tests {
         assert_eq!(q.output_nodes(), &[QueryNodeId(1), QueryNodeId(3)]);
         assert!(q.is_backbone(QueryNodeId(1)));
         assert!(!q.is_backbone(QueryNodeId(4)));
-        assert_eq!(q.backbone_children(q.root()), vec![QueryNodeId(1), QueryNodeId(2)]);
+        assert_eq!(
+            q.backbone_children(q.root()),
+            vec![QueryNodeId(1), QueryNodeId(2)]
+        );
         assert_eq!(q.predicate_children(QueryNodeId(2)).len(), 3);
         assert!(!q.is_conjunctive());
         assert!(!q.is_union_conjunctive());
@@ -296,10 +299,7 @@ mod tests {
         let q = figure2_query();
         // fext(u1) = p_u2 & p_u3 (two backbone children, fs = 1).
         let fext = q.fext(q.root());
-        assert_eq!(
-            fext,
-            BoolExpr::and2(BoolExpr::var(1), BoolExpr::var(2))
-        );
+        assert_eq!(fext, BoolExpr::and2(BoolExpr::var(1), BoolExpr::var(2)));
         // fext(u3) includes its backbone child u4 and fs(u3).
         let fext3 = q.fext(QueryNodeId(2));
         assert!(fext3.contains_var(QueryNodeId(3).var()));

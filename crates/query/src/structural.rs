@@ -224,12 +224,7 @@ pub fn subsumed(
 /// attribute predicates are set to false, and for every pair of nodes `u1`,
 /// `u2` in two distinct subtrees of `u` with `u2 ⊴ u1`, the clause
 /// `¬p_{u1} ∨ (p_{u2} ∧ fext(u2))` is conjoined.
-pub fn complete_predicate(
-    q: &Gtpq,
-    u: QueryNodeId,
-    icn: &[bool],
-    ftr: &[BoolExpr],
-) -> BoolExpr {
+pub fn complete_predicate(q: &Gtpq, u: QueryNodeId, icn: &[bool], ftr: &[BoolExpr]) -> BoolExpr {
     let mut fcs = ftr[u.index()].clone();
     for d in q.descendants(u) {
         if !q.node(d).attr.is_satisfiable() {
@@ -346,7 +341,10 @@ mod tests {
             root,
             BoolExpr::or2(
                 BoolExpr::and2(BoolExpr::Var(p1.var()), BoolExpr::Var(p2.var())),
-                BoolExpr::and2(BoolExpr::not(BoolExpr::Var(p1.var())), BoolExpr::Var(p2.var())),
+                BoolExpr::and2(
+                    BoolExpr::not(BoolExpr::Var(p1.var())),
+                    BoolExpr::Var(p2.var()),
+                ),
             ),
         );
         b.mark_output(root);
@@ -368,7 +366,10 @@ mod tests {
             root,
             BoolExpr::or2(
                 BoolExpr::and2(BoolExpr::Var(p1.var()), BoolExpr::Var(p2.var())),
-                BoolExpr::and2(BoolExpr::not(BoolExpr::Var(p1.var())), BoolExpr::Var(p2.var())),
+                BoolExpr::and2(
+                    BoolExpr::not(BoolExpr::Var(p1.var())),
+                    BoolExpr::Var(p2.var()),
+                ),
             ),
         );
         b.set_structural(p1, BoolExpr::Var(p1c.var()));
@@ -387,7 +388,10 @@ mod tests {
         let root = b.root_id();
         let p1 = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
         let p2 = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
-        b.set_structural(root, BoolExpr::and2(BoolExpr::Var(p1.var()), BoolExpr::Var(p2.var())));
+        b.set_structural(
+            root,
+            BoolExpr::and2(BoolExpr::Var(p1.var()), BoolExpr::Var(p2.var())),
+        );
         b.mark_output(root);
         let q = b.build().unwrap();
         let icn = independently_constraint_nodes(&q);
@@ -405,14 +409,23 @@ mod tests {
         let root = b.root_id();
         let u2 = b.predicate_child(root, EdgeKind::Child, AttrPredicate::label("b"));
         let u6 = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
-        b.set_structural(root, BoolExpr::and2(BoolExpr::Var(u2.var()), BoolExpr::Var(u6.var())));
+        b.set_structural(
+            root,
+            BoolExpr::and2(BoolExpr::Var(u2.var()), BoolExpr::Var(u6.var())),
+        );
         b.mark_output(root);
         let q = b.build().unwrap();
         let icn = independently_constraint_nodes(&q);
         let ftr = transitive_predicates(&q, &icn);
         assert!(similar(&q, u2, u6, &icn, &ftr));
-        assert!(!subsumed(&q, u2, u6, &icn, &ftr), "PC child needs a PC sibling");
-        assert!(subsumed(&q, u6, u2, &icn, &ftr), "AD child subsumed by PC sibling");
+        assert!(
+            !subsumed(&q, u2, u6, &icn, &ftr),
+            "PC child needs a PC sibling"
+        );
+        assert!(
+            subsumed(&q, u6, u2, &icn, &ftr),
+            "AD child subsumed by PC sibling"
+        );
     }
 
     #[test]

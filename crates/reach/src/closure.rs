@@ -38,6 +38,10 @@ impl BitRow {
         }
     }
 
+    fn intersects(&self, other: &BitRow) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
     fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
@@ -110,6 +114,36 @@ impl Reachability for TransitiveClosure {
 
     fn name(&self) -> &'static str {
         "transitive-closure"
+    }
+
+    /// One bitset of target components, one row intersection per probe.
+    fn pred_probe<'s>(&'s self, targets: &[NodeId]) -> crate::Probe<'s> {
+        let n = self.condensation.component_count();
+        let mut target_bits = BitRow::new(n);
+        for &t in targets {
+            target_bits.set(self.condensation.component_of(t).index());
+        }
+        Box::new(move |v| {
+            let cv = self.condensation.component_of(v);
+            // Cross-component reach, or a target shares v's cyclic component
+            // (the non-empty-path self-reach case).
+            self.rows[cv.index()].intersects(&target_bits)
+                || (target_bits.get(cv.index()) && self.condensation.is_cyclic(cv))
+        })
+    }
+
+    /// Union of the sources' closure rows, one bit test per probe.
+    fn succ_probe<'s>(&'s self, sources: &[NodeId]) -> crate::Probe<'s> {
+        let n = self.condensation.component_count();
+        let mut reachable = BitRow::new(n);
+        for &s in sources {
+            let cs = self.condensation.component_of(s);
+            reachable.union_with(&self.rows[cs.index()]);
+            if self.condensation.is_cyclic(cs) {
+                reachable.set(cs.index());
+            }
+        }
+        Box::new(move |v| reachable.get(self.condensation.component_of(v).index()))
     }
 }
 

@@ -122,8 +122,7 @@ impl IntervalIndex {
     /// a level difference of one).
     #[inline]
     pub fn is_parent(&self, u: NodeId, v: NodeId) -> bool {
-        self.is_ancestor(u, v)
-            && self.regions[v.index()].level == self.regions[u.index()].level + 1
+        self.is_ancestor(u, v) && self.regions[v.index()].level == self.regions[u.index()].level + 1
     }
 }
 

@@ -10,33 +10,63 @@
 //! correctness oracle:
 //!
 //! * [`TransitiveClosure`] — exact oracle, O(V·V/64) memory,
-//! * [`ChainDecomposition`] — chain cover of the SCC condensation,
+//! * [`ChainDecomposition`] — chain cover of the SCC condensation, and
+//!   [`ChainCover`] — the dense per-(component, chain) reachability table on
+//!   top of it,
 //! * [`ThreeHop`] — chain cover + `Lin`/`Lout` hop lists, contour merging,
+//! * [`ContourIndex`] — fully materialized per-component successor contours
+//!   (the lists 3-hop compresses), sparse rows,
 //! * [`IntervalIndex`] — pre/post-order region encoding for forests,
 //! * [`Sspi`] — spanning-tree intervals + surplus predecessor lists.
 //!
 //! All indexes are built on the SCC condensation so they accept arbitrary
 //! directed graphs; the AD relationship of the paper ("non-empty path") is
 //! preserved: a node reaches itself only when it lies on a cycle.
+//!
+//! ## Pluggable backends
+//!
+//! The GTEA engine (`gtpq-core`) is generic over [`Reachability`], so any
+//! index here can drive evaluation.  Beyond the point probe
+//! [`reaches`](Reachability::reaches), the trait exposes three *prepared
+//! probes* — [`pred_probe`](Reachability::pred_probe),
+//! [`succ_probe`](Reachability::succ_probe) and
+//! [`source_probe`](Reachability::source_probe) — that let a backend amortize
+//! work across a batch of checks against one node set (3-hop answers them
+//! with merged contours, the closure with bitset unions); the default
+//! implementations fall back to pairwise `reaches`.  Use
+//! [`select_backend`] to pick a backend from graph statistics, or
+//! [`build_index`] to name one explicitly.
 
 pub mod chain;
 pub mod closure;
 pub mod contour;
 pub mod interval;
+pub mod select;
 pub mod sspi;
 pub mod three_hop;
 
+use std::sync::Arc;
+
 use gtpq_graph::{DataGraph, NodeId};
 
-pub use chain::{ChainDecomposition, ChainId, ChainPos};
+pub use chain::{ChainCover, ChainDecomposition, ChainId, ChainPos};
 pub use closure::TransitiveClosure;
-pub use contour::{PredContour, SuccContour};
+pub use contour::{ContourIndex, PredContour, SuccContour};
 pub use interval::IntervalIndex;
+pub use select::{build_selected, select_backend, BackendKind, BackendSelection, GraphProfile};
 pub use sspi::Sspi;
 pub use three_hop::ThreeHop;
 
+/// A prepared membership probe returned by the set-probe methods of
+/// [`Reachability`]: call it once per node to test against the prepared set.
+pub type Probe<'s> = Box<dyn Fn(NodeId) -> bool + 's>;
+
 /// A reachability index: answers whether there is a *non-empty* directed path
 /// from `u` to `v` (the ancestor-descendant relationship of the paper).
+///
+/// Implementations must be cheap to probe after construction; construction
+/// cost and memory are reported through [`index_entries`](Self::index_entries)
+/// so experiments can compare space/time trade-offs.
 pub trait Reachability {
     /// Whether `u` reaches `v` by a non-empty path.
     fn reaches(&self, u: NodeId, v: NodeId) -> bool;
@@ -46,16 +76,109 @@ pub trait Reachability {
 
     /// Short human-readable name of the index.
     fn name(&self) -> &'static str;
+
+    /// Cumulative number of index elements looked up since construction (or
+    /// the last [`reset_lookups`](Self::reset_lookups)) — the `#index`
+    /// I/O-cost metric of Fig. 10.  Backends without instrumentation
+    /// report 0.
+    ///
+    /// The counter is a property of the (possibly shared) index, so callers
+    /// wanting a per-stage figure should take start/end deltas rather than
+    /// resetting; when several queries probe one index concurrently, each
+    /// query's delta is an upper bound that may include the others' lookups.
+    fn lookup_count(&self) -> u64 {
+        0
+    }
+
+    /// Resets the lookup counter.  No-op for uninstrumented backends.
+    fn reset_lookups(&self) {}
+
+    /// Prepares a probe answering "does `v` reach *some* member of
+    /// `targets`?" for many different `v`.
+    ///
+    /// The default copies `targets` and probes pairwise; 3-hop overrides it
+    /// with a merged predecessor contour (Procedure 2 + Proposition 7), the
+    /// transitive closure with a bitset union.
+    fn pred_probe<'s>(&'s self, targets: &[NodeId]) -> Probe<'s> {
+        let targets = targets.to_vec();
+        Box::new(move |v| targets.iter().any(|&t| self.reaches(v, t)))
+    }
+
+    /// Prepares a probe answering "does *some* member of `sources` reach
+    /// `v`?" for many different `v`.
+    fn succ_probe<'s>(&'s self, sources: &[NodeId]) -> Probe<'s> {
+        let sources = sources.to_vec();
+        Box::new(move |v| sources.iter().any(|&s| self.reaches(s, v)))
+    }
+
+    /// Prepares a probe answering "does `source` reach `v`?" for many
+    /// different `v` (one source, many targets — the matching-graph pattern).
+    fn source_probe<'s>(&'s self, source: NodeId) -> Probe<'s> {
+        Box::new(move |v| self.reaches(source, v))
+    }
 }
 
-/// Builds the index named by `kind` ("closure", "3hop", or "sspi").
+macro_rules! forward_reachability {
+    () => {
+        fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+            (**self).reaches(u, v)
+        }
+        fn index_entries(&self) -> usize {
+            (**self).index_entries()
+        }
+        fn name(&self) -> &'static str {
+            (**self).name()
+        }
+        fn lookup_count(&self) -> u64 {
+            (**self).lookup_count()
+        }
+        fn reset_lookups(&self) {
+            (**self).reset_lookups()
+        }
+        fn pred_probe<'s>(&'s self, targets: &[NodeId]) -> Probe<'s> {
+            (**self).pred_probe(targets)
+        }
+        fn succ_probe<'s>(&'s self, sources: &[NodeId]) -> Probe<'s> {
+            (**self).succ_probe(sources)
+        }
+        fn source_probe<'s>(&'s self, source: NodeId) -> Probe<'s> {
+            (**self).source_probe(source)
+        }
+    };
+}
+
+impl<T: Reachability + ?Sized> Reachability for &T {
+    forward_reachability!();
+}
+
+impl<T: Reachability + ?Sized> Reachability for Box<T> {
+    forward_reachability!();
+}
+
+impl<T: Reachability + ?Sized> Reachability for Arc<T> {
+    forward_reachability!();
+}
+
+/// A reachability backend that can be shared across threads (what
+/// [`select_backend`] and the query service hand out).
+pub type SharedIndex = Arc<dyn Reachability + Send + Sync>;
+
+/// Builds the index named by `kind`: `"closure"`, `"3hop"`, `"chain"`,
+/// `"contour"`, `"sspi"` or `"interval"` (the latter panics when `g` is not
+/// a forest — use [`BackendKind::Interval`] + [`IntervalIndex::new`] to
+/// handle that case gracefully).
 ///
 /// Convenience for examples and the experiment harness.
-pub fn build_index(kind: &str, g: &DataGraph) -> Box<dyn Reachability> {
+pub fn build_index(kind: &str, g: &DataGraph) -> Box<dyn Reachability + Send + Sync> {
     match kind {
         "closure" => Box::new(TransitiveClosure::new(g)),
         "3hop" => Box::new(ThreeHop::new(g)),
+        "chain" => Box::new(ChainCover::new(g)),
+        "contour" => Box::new(ContourIndex::new(g)),
         "sspi" => Box::new(Sspi::new(g)),
+        "interval" => Box::new(
+            IntervalIndex::new(g).expect("`interval` backend requires a forest-shaped graph"),
+        ),
         other => panic!("unknown reachability index kind `{other}`"),
     }
 }

@@ -1,0 +1,253 @@
+//! Heuristic reachability-backend selection from graph statistics.
+//!
+//! The GTEA engine accepts any [`Reachability`] backend; which one wins
+//! depends on the shape of the data graph.  The rules encoded here follow the
+//! paper's own measurements (§5.2) and the backends' asymptotics:
+//!
+//! * **forest** → [`IntervalIndex`]: O(1) probes, one region per node;
+//! * **small graph** → [`TransitiveClosure`]: exact bitset, fastest probes,
+//!   quadratic memory is irrelevant below a few thousand components;
+//! * **heavily cyclic graph** (condensation much smaller than the graph) →
+//!   [`ContourIndex`]: materialized successor contours stay small once the
+//!   SCCs collapse;
+//! * **sparse, shallow, tree-like graph** → [`Sspi`]: interval cover plus few
+//!   surplus edges;
+//! * **everything else** → [`ThreeHop`]: the paper's index, the scalable
+//!   default.
+//!
+//! [`ChainCover`](crate::ChainCover) is never auto-selected: its dense
+//! (component × chain) table is a space/time trade-off the operator must opt
+//! into explicitly via [`BackendKind::Chain`].
+
+use std::sync::Arc;
+
+use gtpq_graph::{Condensation, DataGraph};
+
+use crate::{
+    ChainCover, ContourIndex, IntervalIndex, SharedIndex, Sspi, ThreeHop, TransitiveClosure,
+};
+
+/// The reachability backends the service can run on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Exact bitset transitive closure.
+    Closure,
+    /// 3-hop chain cover + hop lists (the paper's index).
+    ThreeHop,
+    /// Dense per-(component, chain) table.
+    Chain,
+    /// Materialized per-component successor contours.
+    Contour,
+    /// Spanning-tree intervals + surplus predecessor lists.
+    Sspi,
+    /// Pre/post-order regions; forests only.
+    Interval,
+}
+
+impl BackendKind {
+    /// The `build_index` string naming this backend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Closure => "closure",
+            BackendKind::ThreeHop => "3hop",
+            BackendKind::Chain => "chain",
+            BackendKind::Contour => "contour",
+            BackendKind::Sspi => "sspi",
+            BackendKind::Interval => "interval",
+        }
+    }
+
+    /// Builds this backend for `g` as a thread-shareable index.
+    ///
+    /// [`BackendKind::Interval`] falls back to [`ThreeHop`] when `g` is not a
+    /// forest (the only fallible construction).
+    pub fn build_shared(self, g: &DataGraph) -> SharedIndex {
+        match self {
+            BackendKind::Closure => Arc::new(TransitiveClosure::new(g)),
+            BackendKind::ThreeHop => Arc::new(ThreeHop::new(g)),
+            BackendKind::Chain => Arc::new(ChainCover::new(g)),
+            BackendKind::Contour => Arc::new(ContourIndex::new(g)),
+            BackendKind::Sspi => Arc::new(Sspi::new(g)),
+            BackendKind::Interval => match IntervalIndex::new(g) {
+                Ok(idx) => Arc::new(idx),
+                Err(_) => Arc::new(ThreeHop::new(g)),
+            },
+        }
+    }
+}
+
+/// The statistics the selector looks at (exposed for logging/metrics).
+#[derive(Clone, Copy, Debug)]
+pub struct GraphProfile {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Edges per node.
+    pub density: f64,
+    /// Whether the graph is already acyclic.
+    pub is_dag: bool,
+    /// Whether every node has in-degree ≤ 1 and the graph is acyclic
+    /// (a forest of rooted trees).
+    pub is_forest: bool,
+    /// Number of strongly connected components.
+    pub condensation_size: usize,
+}
+
+impl GraphProfile {
+    /// Computes the profile of `g` (builds one transient condensation,
+    /// O(V + E)).
+    pub fn compute(g: &DataGraph) -> Self {
+        let cond = Condensation::new(g);
+        let nodes = g.node_count();
+        let edges = g.edge_count();
+        let is_dag = cond.input_was_dag();
+        let is_forest = is_dag && g.nodes().all(|v| g.in_degree(v) <= 1);
+        Self {
+            nodes,
+            edges,
+            density: if nodes == 0 {
+                0.0
+            } else {
+                edges as f64 / nodes as f64
+            },
+            is_dag,
+            is_forest,
+            condensation_size: cond.component_count(),
+        }
+    }
+}
+
+/// A backend choice together with the evidence behind it.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendSelection {
+    /// The chosen backend.
+    pub kind: BackendKind,
+    /// One-line human-readable justification (for logs and metrics).
+    pub reason: &'static str,
+    /// The statistics the decision was based on.
+    pub profile: GraphProfile,
+}
+
+/// Components below which the quadratic bitset closure is unbeatable
+/// (4096² bits = 2 MiB of rows).
+const CLOSURE_MAX_COMPONENTS: usize = 4096;
+
+/// Picks a reachability backend for `g` from its statistics.
+pub fn select_backend(g: &DataGraph) -> BackendSelection {
+    let profile = GraphProfile::compute(g);
+    let (kind, reason) = if profile.is_forest {
+        (BackendKind::Interval, "forest: O(1) interval containment")
+    } else if profile.condensation_size <= CLOSURE_MAX_COMPONENTS {
+        (
+            BackendKind::Closure,
+            "small condensation: exact bitset closure fits in cache",
+        )
+    } else if profile.condensation_size * 4 <= profile.nodes {
+        (
+            BackendKind::Contour,
+            "heavily cyclic: SCCs collapse, materialized contours stay small",
+        )
+    } else if profile.is_dag && profile.density < 1.2 {
+        (
+            BackendKind::Sspi,
+            "sparse tree-like DAG: interval cover + few surplus edges",
+        )
+    } else {
+        (
+            BackendKind::ThreeHop,
+            "general graph: 3-hop chain cover + hop lists",
+        )
+    };
+    BackendSelection {
+        kind,
+        reason,
+        profile,
+    }
+}
+
+/// Builds the auto-selected backend for `g`.
+pub fn build_selected(g: &DataGraph) -> (SharedIndex, BackendSelection) {
+    let selection = select_backend(g);
+    (selection.kind.build_shared(g), selection)
+}
+
+// Compile-time guarantee that every backend can be shared across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TransitiveClosure>();
+    assert_send_sync::<ThreeHop>();
+    assert_send_sync::<ChainCover>();
+    assert_send_sync::<ContourIndex>();
+    assert_send_sync::<Sspi>();
+    assert_send_sync::<IntervalIndex>();
+};
+
+#[cfg(test)]
+mod tests {
+    use gtpq_graph::GraphBuilder;
+
+    use super::*;
+
+    fn path_graph(n: usize) -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..n).map(|_| b.add_node()).collect();
+        for i in 1..n {
+            b.add_edge(v[i - 1], v[i]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn forests_select_interval() {
+        let sel = select_backend(&path_graph(10));
+        assert_eq!(sel.kind, BackendKind::Interval);
+        assert!(sel.profile.is_forest);
+    }
+
+    #[test]
+    fn small_non_forest_selects_closure() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..6).map(|_| b.add_node()).collect();
+        // Diamond: in-degree 2 at the bottom, not a forest.
+        b.add_edge(v[0], v[1]);
+        b.add_edge(v[0], v[2]);
+        b.add_edge(v[1], v[3]);
+        b.add_edge(v[2], v[3]);
+        let sel = select_backend(&b.build());
+        assert_eq!(sel.kind, BackendKind::Closure);
+        assert!(!sel.profile.is_forest);
+        assert!(sel.profile.is_dag);
+    }
+
+    #[test]
+    fn interval_falls_back_to_three_hop_off_forests() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node();
+        let y = b.add_node();
+        b.add_edge(x, y);
+        b.add_edge(y, x);
+        let g = b.build();
+        let idx = BackendKind::Interval.build_shared(&g);
+        assert_eq!(idx.name(), "3-hop");
+        assert!(idx.reaches(x, x));
+    }
+
+    #[test]
+    fn every_kind_builds_and_answers() {
+        let g = path_graph(5);
+        for kind in [
+            BackendKind::Closure,
+            BackendKind::ThreeHop,
+            BackendKind::Chain,
+            BackendKind::Contour,
+            BackendKind::Sspi,
+            BackendKind::Interval,
+        ] {
+            let idx = kind.build_shared(&g);
+            assert!(idx.reaches(gtpq_graph::NodeId(0), gtpq_graph::NodeId(4)));
+            assert!(!idx.reaches(gtpq_graph::NodeId(4), gtpq_graph::NodeId(0)));
+            assert!(!kind.as_str().is_empty());
+        }
+    }
+}

@@ -29,8 +29,9 @@ pub struct Sspi {
     /// Surplus predecessors: non-tree in-edges of each component.
     surplus_in: Vec<Vec<CompId>>,
     /// Number of surplus entries visited since the last reset (for I/O cost
-    /// accounting in Fig. 10).
-    visits: std::cell::Cell<u64>,
+    /// accounting in Fig. 10).  Atomic so a shared index can serve
+    /// concurrent queries.
+    visits: std::sync::atomic::AtomicU64,
 }
 
 impl Sspi {
@@ -122,7 +123,7 @@ impl Sspi {
             start,
             end,
             surplus_in,
-            visits: std::cell::Cell::new(0),
+            visits: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -149,7 +150,8 @@ impl Sspi {
             let mut cursor = Some(c);
             while let Some(x) = cursor {
                 for &p in &self.surplus_in[x.index()] {
-                    self.visits.set(self.visits.get() + 1);
+                    self.visits
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if p == a || self.tree_contains(a, p) {
                         return true;
                     }
@@ -166,12 +168,12 @@ impl Sspi {
 
     /// Number of surplus-predecessor entries visited since the last reset.
     pub fn visit_count(&self) -> u64 {
-        self.visits.get()
+        self.visits.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Resets the visit counter.
     pub fn reset_visits(&self) {
-        self.visits.set(0);
+        self.visits.store(0, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// The SCC condensation the index is built on.
@@ -196,6 +198,14 @@ impl Reachability for Sspi {
 
     fn name(&self) -> &'static str {
         "sspi"
+    }
+
+    fn lookup_count(&self) -> u64 {
+        self.visit_count()
+    }
+
+    fn reset_lookups(&self) {
+        self.reset_visits()
     }
 }
 

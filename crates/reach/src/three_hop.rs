@@ -25,8 +25,8 @@
 //! difference only affects the constant factor of the index size, which is
 //! recorded in DESIGN.md as a documented substitution.
 
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use gtpq_graph::condensation::CompId;
 use gtpq_graph::{Condensation, DataGraph, NodeId};
@@ -50,8 +50,9 @@ pub struct ThreeHop {
     next_ptr: Vec<Option<CompId>>,
     /// Backward tracing pointer: previous component down the chain with a non-empty `Lin`.
     prev_ptr: Vec<Option<CompId>>,
-    /// Number of hop-list elements looked up since the last reset (Fig. 10 "#index").
-    lookups: Cell<u64>,
+    /// Number of hop-list elements looked up since the last reset (Fig. 10
+    /// "#index").  Atomic so a shared index can serve concurrent queries.
+    lookups: AtomicU64,
 }
 
 impl ThreeHop {
@@ -115,11 +116,7 @@ impl ThreeHop {
             };
             for (&chain, &sid) in &succ_full[comp] {
                 let derivable = next_on_chain
-                    .map(|nx| {
-                        succ_full[nx.index()]
-                            .get(&chain)
-                            .is_some_and(|&s| s <= sid)
-                    })
+                    .map(|nx| succ_full[nx.index()].get(&chain).is_some_and(|&s| s <= sid))
                     .unwrap_or(false);
                 if !derivable {
                     lout[comp].push(Hop { chain, sid });
@@ -127,11 +124,7 @@ impl ThreeHop {
             }
             for (&chain, &sid) in &pred_full[comp] {
                 let derivable = prev_on_chain
-                    .map(|pv| {
-                        pred_full[pv.index()]
-                            .get(&chain)
-                            .is_some_and(|&s| s >= sid)
-                    })
+                    .map(|pv| pred_full[pv.index()].get(&chain).is_some_and(|&s| s >= sid))
                     .unwrap_or(false);
                 if !derivable {
                     lin[comp].push(Hop { chain, sid });
@@ -169,7 +162,7 @@ impl ThreeHop {
             lin,
             next_ptr,
             prev_ptr,
-            lookups: Cell::new(0),
+            lookups: AtomicU64::new(0),
         }
     }
 
@@ -204,16 +197,16 @@ impl ThreeHop {
     /// Number of hop-list elements looked up since the last
     /// [`reset_lookups`](Self::reset_lookups).
     pub fn lookup_count(&self) -> u64 {
-        self.lookups.get()
+        self.lookups.load(Ordering::Relaxed)
     }
 
     /// Resets the lookup counter.
     pub fn reset_lookups(&self) {
-        self.lookups.set(0);
+        self.lookups.store(0, Ordering::Relaxed);
     }
 
     fn count_lookup(&self, n: usize) {
-        self.lookups.set(self.lookups.get() + n as u64);
+        self.lookups.fetch_add(n as u64, Ordering::Relaxed);
     }
 
     /// The complete successor entries `X_v` of a component, *excluding* the
@@ -475,6 +468,32 @@ impl Reachability for ThreeHop {
     fn name(&self) -> &'static str {
         "3-hop"
     }
+
+    fn lookup_count(&self) -> u64 {
+        ThreeHop::lookup_count(self)
+    }
+
+    fn reset_lookups(&self) {
+        ThreeHop::reset_lookups(self)
+    }
+
+    /// Merged predecessor contour + Proposition 7 instead of pairwise probes.
+    fn pred_probe<'s>(&'s self, targets: &[NodeId]) -> crate::Probe<'s> {
+        let contour = self.merge_pred_lists(targets);
+        Box::new(move |v| self.node_reaches_set(v, &contour))
+    }
+
+    /// Merged successor contour + Proposition 7 instead of pairwise probes.
+    fn succ_probe<'s>(&'s self, sources: &[NodeId]) -> crate::Probe<'s> {
+        let contour = self.merge_succ_lists(sources);
+        Box::new(move |v| self.set_reaches_node(&contour, v))
+    }
+
+    /// One complete-successor-entry computation shared by all targets.
+    fn source_probe<'s>(&'s self, source: NodeId) -> crate::Probe<'s> {
+        let view = self.source_view(source);
+        Box::new(move |v| self.view_reaches(&view, v))
+    }
 }
 
 fn merge_min(map: &mut HashMap<ChainId, u32>, chain: ChainId, sid: u32) {
@@ -577,10 +596,7 @@ mod tests {
 
     #[test]
     fn contours_answer_set_reachability() {
-        let g = build(
-            &[(0, 1), (1, 2), (3, 4), (4, 2), (2, 5), (5, 6), (3, 6)],
-            7,
-        );
+        let g = build(&[(0, 1), (1, 2), (3, 4), (4, 2), (2, 5), (5, 6), (3, 6)], 7);
         let idx = ThreeHop::new(&g);
         let targets = vec![NodeId(5), NodeId(6)];
         let cp = idx.merge_pred_lists(&targets);
@@ -621,9 +637,18 @@ mod tests {
     }
 
     #[test]
-    fn source_view_matches_pairwise_reaches(){
+    fn source_view_matches_pairwise_reaches() {
         let g = build(
-            &[(0, 1), (1, 2), (3, 4), (4, 2), (2, 5), (5, 6), (3, 6), (6, 3)],
+            &[
+                (0, 1),
+                (1, 2),
+                (3, 4),
+                (4, 2),
+                (2, 5),
+                (5, 6),
+                (3, 6),
+                (6, 3),
+            ],
             8,
         );
         let idx = ThreeHop::new(&g);

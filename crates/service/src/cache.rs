@@ -1,0 +1,365 @@
+//! LRU result cache keyed by canonical query form.
+//!
+//! Entries are bucketed by the canonical *skeleton* (tree shape + predicates,
+//! no output marks).  A lookup hits when the bucket holds an entry whose
+//! output nodes sit at the same canonical positions and whose query is
+//! confirmed equivalent by [`gtpq_analysis::equivalent`] — so syntactically
+//! different spellings of one pattern share a slot, and a normalization bug
+//! can cost a miss but never a wrong answer.  When the incoming query labels
+//! or orders its output coordinates differently from the cached one, the
+//! tuples are permuted into the caller's coordinate order before being
+//! handed out.
+//!
+//! Eviction is least-recently-used over all entries.  The victim search is a
+//! linear scan: capacities are small (hundreds), evictions happen only on
+//! insert, and keeping the structure a plain `HashMap` keeps hits — the hot
+//! path — allocation-free.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gtpq_query::{Gtpq, ResultSet};
+
+use crate::canon::CanonicalQuery;
+
+struct CacheEntry {
+    key: String,
+    query: Arc<Gtpq>,
+    output_positions: Vec<usize>,
+    results: Arc<ResultSet>,
+    last_used: u64,
+}
+
+impl CacheEntry {
+    /// Whether a query with canonical form `canon` hits this entry.
+    ///
+    /// Equal full keys prove equivalence outright (canonicalization is
+    /// sound), so the common warm path — resubmitting the same query — never
+    /// pays for the containment search in [`gtpq_analysis::equivalent`].
+    fn matches(&self, canon: &CanonicalQuery, q: &Gtpq) -> bool {
+        if !same_position_set(&self.output_positions, &canon.output_positions) {
+            return false;
+        }
+        // The skeleton already matched; this confirms true equivalence
+        // (Theorem 4) so a normalization gap cannot produce a stale hit.
+        self.key == canon.key || gtpq_analysis::equivalent(q, &self.query)
+    }
+}
+
+/// An LRU cache from canonicalized queries to shared result sets.
+pub struct ResultCache {
+    capacity: usize,
+    buckets: HashMap<String, Vec<CacheEntry>>,
+    len: usize,
+    tick: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` result sets (0 disables
+    /// caching: every lookup misses and inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            buckets: HashMap::new(),
+            len: 0,
+            tick: 0,
+        }
+    }
+
+    /// Number of cached result sets.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up `q` (with canonical form `canon`), returning results in
+    /// `q`'s own output coordinates on a hit.
+    ///
+    /// A hit through an entry with a different output orientation permutes
+    /// the cached tuples once and stores the permuted set as its own entry,
+    /// so repeated requests in that spelling are allocation-free after the
+    /// first.
+    pub fn lookup(&mut self, canon: &CanonicalQuery, q: &Gtpq) -> Option<Arc<ResultSet>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let bucket = self.buckets.get_mut(&canon.skeleton)?;
+        // Prefer the entry in this query's own orientation (equal key) —
+        // including orientation entries stored by earlier permuted hits.
+        if let Some(entry) = bucket.iter_mut().find(|e| e.key == canon.key) {
+            entry.last_used = tick;
+            if entry.results.output == q.output_nodes() {
+                return Some(Arc::clone(&entry.results));
+            }
+            return Some(Arc::new(permute_results(
+                &entry.results,
+                &entry.output_positions,
+                canon,
+                q,
+            )));
+        }
+        let mut permuted = None;
+        for entry in bucket.iter_mut() {
+            if !entry.matches(canon, q) {
+                continue;
+            }
+            entry.last_used = tick;
+            permuted = Some(Arc::new(permute_results(
+                &entry.results,
+                &entry.output_positions,
+                canon,
+                q,
+            )));
+            break;
+        }
+        let results = permuted?;
+        self.insert(canon, Arc::new(q.clone()), Arc::clone(&results));
+        Some(results)
+    }
+
+    /// Inserts a freshly computed result set, evicting the LRU entry when
+    /// full.
+    ///
+    /// When an entry with the same canonical key is already cached —
+    /// concurrent misses on one hot query race lookup-then-insert — the
+    /// existing entry is kept (and refreshed) instead of storing a
+    /// duplicate, so racing threads cannot crowd distinct queries out of the
+    /// cache.  Equivalent queries with *different* keys (other output
+    /// orientation or spelling) do get their own entry: that is how
+    /// [`lookup`](Self::lookup) caches permuted orientations.
+    pub fn insert(&mut self, canon: &CanonicalQuery, q: Arc<Gtpq>, results: Arc<ResultSet>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(bucket) = self.buckets.get_mut(&canon.skeleton) {
+            if let Some(entry) = bucket.iter_mut().find(|e| e.key == canon.key) {
+                entry.last_used = self.tick;
+                return;
+            }
+        }
+        if self.len >= self.capacity {
+            self.evict_lru();
+        }
+        self.buckets
+            .entry(canon.skeleton.clone())
+            .or_default()
+            .push(CacheEntry {
+                key: canon.key.clone(),
+                query: q,
+                output_positions: canon.output_positions.clone(),
+                results,
+                last_used: self.tick,
+            });
+        self.len += 1;
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .buckets
+            .iter()
+            .flat_map(|(k, entries)| entries.iter().map(move |e| (e.last_used, k)))
+            .min_by_key(|&(t, _)| t)
+            .map(|(_, k)| k.clone());
+        if let Some(key) = victim {
+            let entries = self.buckets.get_mut(&key).expect("victim bucket exists");
+            let (idx, _) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .expect("victim bucket is non-empty");
+            entries.remove(idx);
+            if entries.is_empty() {
+                self.buckets.remove(&key);
+            }
+            self.len -= 1;
+        }
+    }
+}
+
+fn same_position_set(a: &[usize], b: &[usize]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    sa == sb
+}
+
+/// Rewrites cached tuples into the coordinate order of the incoming query.
+fn permute_results(
+    cached: &ResultSet,
+    cached_positions: &[usize],
+    canon: &CanonicalQuery,
+    q: &Gtpq,
+) -> ResultSet {
+    let perm: Vec<usize> = canon
+        .output_positions
+        .iter()
+        .map(|p| {
+            cached_positions
+                .iter()
+                .position(|cp| cp == p)
+                .expect("position sets were checked equal")
+        })
+        .collect();
+    let mut out = ResultSet::new(q.output_nodes().to_vec());
+    for tuple in cached.iter() {
+        out.insert(perm.iter().map(|&j| tuple[j]).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use gtpq_graph::NodeId;
+    use gtpq_query::{AttrPredicate, EdgeKind, GtpqBuilder};
+
+    use crate::canon::canonicalize;
+
+    use super::*;
+
+    fn two_output_query(swap: bool) -> Gtpq {
+        let mut b = GtpqBuilder::new(AttrPredicate::label("a"));
+        let root = b.root_id();
+        let labels = if swap { ["c", "b"] } else { ["b", "c"] };
+        for l in labels {
+            let n = b.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label(l));
+            b.mark_output(n);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exact_resubmission_hits_without_copying() {
+        let q = Arc::new(two_output_query(false));
+        let canon = canonicalize(&q);
+        let mut results = ResultSet::new(q.output_nodes().to_vec());
+        results.insert(vec![NodeId(1), NodeId(2)]);
+        let results = Arc::new(results);
+        let mut cache = ResultCache::new(4);
+        cache.insert(&canon, Arc::clone(&q), Arc::clone(&results));
+        let hit = cache.lookup(&canon, &q).expect("hit");
+        assert!(Arc::ptr_eq(&hit, &results));
+    }
+
+    #[test]
+    fn swapped_sibling_spelling_hits_with_permuted_tuples() {
+        let q1 = Arc::new(two_output_query(false));
+        let q2 = two_output_query(true);
+        let c1 = canonicalize(&q1);
+        let c2 = canonicalize(&q2);
+        assert_eq!(c1.skeleton, c2.skeleton);
+        // q1 tuples: (b-match, c-match).
+        let mut results = ResultSet::new(q1.output_nodes().to_vec());
+        results.insert(vec![NodeId(10), NodeId(20)]);
+        let mut cache = ResultCache::new(4);
+        cache.insert(&c1, Arc::clone(&q1), Arc::new(results));
+        // q2 marks c first, so its tuples must come back as (c, b).
+        let hit = cache.lookup(&c2, &q2).expect("hit");
+        assert_eq!(hit.output, q2.output_nodes());
+        assert!(hit.contains(&[NodeId(20), NodeId(10)]));
+        assert_eq!(hit.len(), 1);
+        // The permuted orientation is now cached: the next lookup returns the
+        // very same set without re-permuting.
+        let again = cache.lookup(&c2, &q2).expect("hit");
+        assert!(Arc::ptr_eq(&hit, &again));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn different_output_marks_miss() {
+        let base = two_output_query(false);
+        let q_single = {
+            let mut b = GtpqBuilder::new(AttrPredicate::label("a"));
+            let root = b.root_id();
+            let n = b.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
+            let _ = b.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("c"));
+            b.mark_output(n);
+            b.build().unwrap()
+        };
+        let mut cache = ResultCache::new(4);
+        let cb = canonicalize(&base);
+        cache.insert(
+            &cb,
+            Arc::new(base.clone()),
+            Arc::new(ResultSet::new(base.output_nodes().to_vec())),
+        );
+        assert!(cache.lookup(&canonicalize(&q_single), &q_single).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_entries() {
+        let queries: Vec<Arc<Gtpq>> = ["x", "y", "z"]
+            .iter()
+            .map(|l| {
+                let mut b = GtpqBuilder::new(AttrPredicate::label(l));
+                let root = b.root_id();
+                b.mark_output(root);
+                Arc::new(b.build().unwrap())
+            })
+            .collect();
+        let canons: Vec<_> = queries.iter().map(|q| canonicalize(q)).collect();
+        let mut cache = ResultCache::new(2);
+        let empty = |q: &Gtpq| Arc::new(ResultSet::new(q.output_nodes().to_vec()));
+        cache.insert(&canons[0], Arc::clone(&queries[0]), empty(&queries[0]));
+        cache.insert(&canons[1], Arc::clone(&queries[1]), empty(&queries[1]));
+        // Touch entry 0 so entry 1 is the LRU victim.
+        assert!(cache.lookup(&canons[0], &queries[0]).is_some());
+        cache.insert(&canons[2], Arc::clone(&queries[2]), empty(&queries[2]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&canons[0], &queries[0]).is_some());
+        assert!(cache.lookup(&canons[1], &queries[1]).is_none());
+        assert!(cache.lookup(&canons[2], &queries[2]).is_some());
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_one_entry() {
+        // Two threads missing on the same query both insert; the second
+        // insert must refresh the first entry, not duplicate it.  A swapped
+        // spelling has a different key and gets its own orientation entry.
+        let q = Arc::new(two_output_query(false));
+        let canon = canonicalize(&q);
+        let mut results = ResultSet::new(q.output_nodes().to_vec());
+        results.insert(vec![NodeId(1), NodeId(2)]);
+        let results = Arc::new(results);
+        let mut cache = ResultCache::new(4);
+        cache.insert(&canon, Arc::clone(&q), Arc::clone(&results));
+        cache.insert(&canon, Arc::clone(&q), Arc::clone(&results));
+        assert_eq!(cache.len(), 1, "same key must share one slot");
+        let swapped = Arc::new(two_output_query(true));
+        cache.insert(
+            &canonicalize(&swapped),
+            Arc::clone(&swapped),
+            Arc::clone(&results),
+        );
+        assert_eq!(cache.len(), 2, "other orientation gets its own entry");
+        assert!(cache.lookup(&canon, &q).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let q = Arc::new(two_output_query(false));
+        let canon = canonicalize(&q);
+        let mut cache = ResultCache::new(0);
+        cache.insert(
+            &canon,
+            Arc::clone(&q),
+            Arc::new(ResultSet::new(q.output_nodes().to_vec())),
+        );
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&canon, &q).is_none());
+    }
+
+    #[test]
+    fn position_set_comparison() {
+        assert!(same_position_set(&[1, 2], &[2, 1]));
+        assert!(!same_position_set(&[1, 2], &[1, 3]));
+        assert!(!same_position_set(&[1], &[1, 1]));
+    }
+}

@@ -1,0 +1,42 @@
+//! # gtpq-service — a concurrent query service over the GTEA engine
+//!
+//! The evaluation crates answer one query at a time against one index; this
+//! crate is the multi-tenant front end the ROADMAP's production scenario
+//! needs.  A [`QueryService`]:
+//!
+//! * owns an `Arc<DataGraph>` and **one shared reachability index**, either
+//!   pinned via [`ServiceConfig::backend`] or chosen by
+//!   [`gtpq_reach::select_backend`] from the graph's statistics (DAG-ness,
+//!   density, condensation size),
+//! * evaluates queries **concurrently** — all methods take `&self`, and
+//!   [`QueryService::evaluate_batch`] fans a batch out over a work-stealing
+//!   thread pool while preserving input order,
+//! * answers repeated queries from an **equivalence-aware LRU result cache**
+//!   ([`ResultCache`]): queries are keyed by a canonical form
+//!   ([`canonicalize`]) so syntactically different spellings of one pattern
+//!   hit the same slot, with `gtpq_analysis::equivalent` confirming every hit,
+//! * aggregates **service metrics** ([`MetricsSnapshot`]): QPS, cache hit
+//!   rate, and per-stage timing rollups from the engine's `EvalStats`.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gtpq_query::fixtures::{example_graph, example_query};
+//! use gtpq_service::QueryService;
+//!
+//! let service = QueryService::new(Arc::new(example_graph()));
+//! let q = example_query();
+//! let cold = service.evaluate(&q);
+//! let warm = service.evaluate(&q); // served from the cache
+//! assert!(Arc::ptr_eq(&cold, &warm));
+//! assert_eq!(service.metrics().cache_hits, 1);
+//! ```
+
+pub mod cache;
+pub mod canon;
+pub mod metrics;
+pub mod service;
+
+pub use cache::ResultCache;
+pub use canon::{canonicalize, CanonicalQuery};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use service::{QueryService, ServiceConfig};

@@ -1,0 +1,207 @@
+//! Aggregate service metrics: QPS, cache hit rate, per-stage timing rollups.
+//!
+//! All counters are relaxed atomics so the hot path never takes a lock; a
+//! [`MetricsSnapshot`] is a consistent-enough point-in-time copy for
+//! dashboards and tests (individual counters may be skewed by in-flight
+//! queries, which is the usual contract for service counters).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use gtpq_core::EvalStats;
+
+/// Internal atomic counters of a [`QueryService`](crate::QueryService).
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    started: Instant,
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    batches: AtomicU64,
+    eval_nanos: AtomicU64,
+    candidate_nanos: AtomicU64,
+    prune_down_nanos: AtomicU64,
+    prune_up_nanos: AtomicU64,
+    matching_nanos: AtomicU64,
+    enumerate_nanos: AtomicU64,
+    input_nodes: AtomicU64,
+    index_lookups: AtomicU64,
+    result_tuples: AtomicU64,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            eval_nanos: AtomicU64::new(0),
+            candidate_nanos: AtomicU64::new(0),
+            prune_down_nanos: AtomicU64::new(0),
+            prune_up_nanos: AtomicU64::new(0),
+            matching_nanos: AtomicU64::new(0),
+            enumerate_nanos: AtomicU64::new(0),
+            input_nodes: AtomicU64::new(0),
+            index_lookups: AtomicU64::new(0),
+            result_tuples: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self, stats: &EvalStats) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let add = |counter: &AtomicU64, d: Duration| {
+            counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        };
+        add(&self.eval_nanos, stats.total_time());
+        add(&self.candidate_nanos, stats.candidate_time);
+        add(&self.prune_down_nanos, stats.prune_down_time);
+        add(&self.prune_up_nanos, stats.prune_up_time);
+        add(&self.matching_nanos, stats.matching_graph_time);
+        add(&self.enumerate_nanos, stats.enumerate_time);
+        self.input_nodes
+            .fetch_add(stats.input_nodes, Ordering::Relaxed);
+        self.index_lookups
+            .fetch_add(stats.index_lookups, Ordering::Relaxed);
+        self.result_tuples
+            .fetch_add(stats.result_tuples, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        MetricsSnapshot {
+            uptime,
+            queries,
+            cache_hits: hits,
+            cache_misses: misses,
+            batches: self.batches.load(Ordering::Relaxed),
+            eval_time: Duration::from_nanos(self.eval_nanos.load(Ordering::Relaxed)),
+            candidate_time: Duration::from_nanos(self.candidate_nanos.load(Ordering::Relaxed)),
+            prune_down_time: Duration::from_nanos(self.prune_down_nanos.load(Ordering::Relaxed)),
+            prune_up_time: Duration::from_nanos(self.prune_up_nanos.load(Ordering::Relaxed)),
+            matching_time: Duration::from_nanos(self.matching_nanos.load(Ordering::Relaxed)),
+            enumerate_time: Duration::from_nanos(self.enumerate_nanos.load(Ordering::Relaxed)),
+            input_nodes: self.input_nodes.load(Ordering::Relaxed),
+            index_lookups: self.index_lookups.load(Ordering::Relaxed),
+            result_tuples: self.result_tuples.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of the service counters, with derived rates.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricsSnapshot {
+    /// Time since the service was created.
+    pub uptime: Duration,
+    /// Queries answered (hits + misses).
+    pub queries: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that ran the engine.
+    pub cache_misses: u64,
+    /// `evaluate_batch` calls served.
+    pub batches: u64,
+    /// Total engine evaluation time across cache misses (sum over queries,
+    /// not wall clock: concurrent queries overlap).
+    pub eval_time: Duration,
+    /// Candidate-selection time rollup.
+    pub candidate_time: Duration,
+    /// Downward-pruning time rollup.
+    pub prune_down_time: Duration,
+    /// Upward-pruning time rollup.
+    pub prune_up_time: Duration,
+    /// Matching-graph construction time rollup.
+    pub matching_time: Duration,
+    /// Result-enumeration time rollup.
+    pub enumerate_time: Duration,
+    /// Data-node accesses rollup (`#input`, Fig. 10).
+    pub input_nodes: u64,
+    /// Index-element lookups rollup (`#index`, Fig. 10).
+    pub index_lookups: u64,
+    /// Result tuples produced by engine runs.
+    pub result_tuples: u64,
+}
+
+impl MetricsSnapshot {
+    /// Queries per second since service creation.
+    pub fn qps(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / secs
+        }
+    }
+
+    /// Fraction of queries served from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean engine time per cache miss.
+    pub fn mean_eval_time(&self) -> Duration {
+        if self.cache_misses == 0 {
+            Duration::ZERO
+        } else {
+            self.eval_time / self.cache_misses as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollups_accumulate_and_rates_derive() {
+        let m = ServiceMetrics::new();
+        let stats = EvalStats {
+            candidate_time: Duration::from_millis(2),
+            prune_down_time: Duration::from_millis(3),
+            result_tuples: 7,
+            input_nodes: 11,
+            ..Default::default()
+        };
+        m.record_miss(&stats);
+        m.record_miss(&stats);
+        m.record_hit();
+        m.record_batch();
+        let snap = m.snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.result_tuples, 14);
+        assert_eq!(snap.input_nodes, 22);
+        assert_eq!(snap.candidate_time, Duration::from_millis(4));
+        assert_eq!(snap.eval_time, Duration::from_millis(10));
+        assert_eq!(snap.mean_eval_time(), Duration::from_millis(5));
+        assert!((snap.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert!(snap.qps() > 0.0);
+    }
+
+    #[test]
+    fn idle_snapshot_has_zero_rates() {
+        let snap = ServiceMetrics::new().snapshot();
+        assert_eq!(snap.hit_rate(), 0.0);
+        assert_eq!(snap.mean_eval_time(), Duration::ZERO);
+    }
+}

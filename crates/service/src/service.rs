@@ -1,0 +1,348 @@
+//! The concurrent query service.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gtpq_core::{EvalStats, GteaEngine, GteaOptions};
+use gtpq_graph::DataGraph;
+use gtpq_query::{Gtpq, ResultSet};
+use gtpq_reach::{build_selected, BackendKind, BackendSelection, SharedIndex};
+
+use crate::cache::ResultCache;
+use crate::canon::canonicalize;
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+
+/// Configuration of a [`QueryService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Reachability backend; `None` lets [`gtpq_reach::select_backend`] pick one from the
+    /// graph's statistics.
+    pub backend: Option<BackendKind>,
+    /// Worker threads used by [`QueryService::evaluate_batch`].  Defaults to
+    /// the machine's available parallelism.
+    pub threads: usize,
+    /// Result-cache capacity in result sets; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Engine options forwarded to every evaluation.
+    pub options: GteaOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            backend: None,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            cache_capacity: 256,
+            options: GteaOptions::default(),
+        }
+    }
+}
+
+/// A thread-safe, multi-query front end over the GTEA engine.
+///
+/// The service owns the data graph and one shared reachability index (built
+/// once, chosen per [`ServiceConfig::backend`]), answers queries through an
+/// equivalence-aware LRU result cache, and fans batches out over a thread
+/// pool.  All methods take `&self`: one service instance can be wrapped in an
+/// `Arc` and shared across any number of request threads.
+///
+/// ```
+/// use std::sync::Arc;
+/// use gtpq_graph::GraphBuilder;
+/// use gtpq_query::{AttrPredicate, EdgeKind, GtpqBuilder};
+/// use gtpq_service::QueryService;
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_node_with_label("a");
+/// let c = b.add_node_with_label("b");
+/// b.add_edge(a, c);
+/// let service = QueryService::new(Arc::new(b.build()));
+///
+/// let mut qb = GtpqBuilder::new(AttrPredicate::label("a"));
+/// let root = qb.root_id();
+/// let child = qb.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
+/// qb.mark_output(child);
+/// let q = qb.build().unwrap();
+///
+/// assert_eq!(service.evaluate(&q).len(), 1);
+/// assert_eq!(service.evaluate(&q).len(), 1); // served from the cache
+/// assert_eq!(service.metrics().cache_hits, 1);
+/// ```
+pub struct QueryService {
+    graph: Arc<DataGraph>,
+    index: SharedIndex,
+    selection: Option<BackendSelection>,
+    config: ServiceConfig,
+    cache: Mutex<ResultCache>,
+    metrics: ServiceMetrics,
+}
+
+impl QueryService {
+    /// Builds a service with the default configuration (auto-selected
+    /// backend, machine parallelism, 256-entry cache).
+    pub fn new(graph: Arc<DataGraph>) -> Self {
+        Self::with_config(graph, ServiceConfig::default())
+    }
+
+    /// Builds a service with an explicit configuration.
+    pub fn with_config(graph: Arc<DataGraph>, config: ServiceConfig) -> Self {
+        let (index, selection) = match config.backend {
+            Some(kind) => (kind.build_shared(&graph), None),
+            None => {
+                let (index, selection) = build_selected(&graph);
+                (index, Some(selection))
+            }
+        };
+        Self {
+            graph,
+            index,
+            selection,
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            config,
+            metrics: ServiceMetrics::new(),
+        }
+    }
+
+    /// The data graph the service answers queries over.
+    pub fn graph(&self) -> &Arc<DataGraph> {
+        &self.graph
+    }
+
+    /// Name of the reachability backend in use.
+    pub fn backend_name(&self) -> &'static str {
+        self.index.name()
+    }
+
+    /// The auto-selection decision, when the backend was not pinned.
+    pub fn backend_selection(&self) -> Option<&BackendSelection> {
+        self.selection.as_ref()
+    }
+
+    /// Evaluates one query, consulting the result cache first.
+    pub fn evaluate(&self, q: &Gtpq) -> Arc<ResultSet> {
+        self.evaluate_with_stats(q).0
+    }
+
+    /// Evaluates one query, returning per-query engine statistics.
+    ///
+    /// On a cache hit the engine never runs, so the returned stats are
+    /// `EvalStats::default()`; aggregate hit/miss counts live in
+    /// [`metrics`](Self::metrics).
+    pub fn evaluate_with_stats(&self, q: &Gtpq) -> (Arc<ResultSet>, EvalStats) {
+        let canon = (self.config.cache_capacity > 0).then(|| canonicalize(q));
+        if let Some(canon) = &canon {
+            let hit = self
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .lookup(canon, q);
+            if let Some(results) = hit {
+                self.metrics.record_hit();
+                return (results, EvalStats::default());
+            }
+        }
+        let engine =
+            GteaEngine::with_backend(&self.graph, Arc::clone(&self.index), self.config.options);
+        let (results, stats) = engine.evaluate_with_stats(q);
+        let results = Arc::new(results);
+        if let Some(canon) = &canon {
+            self.cache.lock().expect("cache lock poisoned").insert(
+                canon,
+                Arc::new(q.clone()),
+                Arc::clone(&results),
+            );
+        }
+        self.metrics.record_miss(&stats);
+        (results, stats)
+    }
+
+    /// Evaluates a batch of queries across the worker pool, preserving input
+    /// order in the returned answers.
+    ///
+    /// Workers steal queries from a shared cursor, so skewed workloads load-
+    /// balance; answers are identical to evaluating the batch sequentially
+    /// (the cache is shared, so duplicate queries within one batch may be
+    /// served from it).
+    pub fn evaluate_batch(&self, queries: &[Gtpq]) -> Vec<Arc<ResultSet>> {
+        self.metrics.record_batch();
+        let workers = self.config.threads.min(queries.len()).max(1);
+        if workers == 1 {
+            return queries.iter().map(|q| self.evaluate(q)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut answers: Vec<Option<Arc<ResultSet>>> = vec![None; queries.len()];
+        let chunks = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            local.push((i, self.evaluate(&queries[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (i, r) in chunks.into_iter().flatten() {
+            answers[i] = Some(r);
+        }
+        answers
+            .into_iter()
+            .map(|r| r.expect("every query was assigned to a worker"))
+            .collect()
+    }
+
+    /// Point-in-time aggregate metrics (QPS, hit rate, stage rollups).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Number of result sets currently cached.
+    pub fn cached_results(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").len()
+    }
+}
+
+// The whole point of the service: it can be shared across request threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryService>();
+};
+
+#[cfg(test)]
+mod tests {
+    use gtpq_graph::GraphBuilder;
+    use gtpq_query::fixtures::{example_graph, example_query};
+    use gtpq_query::naive;
+    use gtpq_query::{AttrPredicate, EdgeKind, GtpqBuilder};
+
+    use super::*;
+
+    fn service_for_example() -> QueryService {
+        QueryService::new(Arc::new(example_graph()))
+    }
+
+    #[test]
+    fn evaluate_matches_naive_and_caches() {
+        let service = service_for_example();
+        let q = example_query();
+        let expected = naive::evaluate(&q, service.graph());
+        let cold = service.evaluate(&q);
+        assert!(cold.same_answer(&expected));
+        let warm = service.evaluate(&q);
+        assert!(Arc::ptr_eq(&cold, &warm), "second call must be a cache hit");
+        let m = service.metrics();
+        assert_eq!(m.queries, 2);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        assert!(m.hit_rate() > 0.49);
+        assert_eq!(service.cached_results(), 1);
+    }
+
+    #[test]
+    fn stats_are_reported_on_misses_only() {
+        let service = service_for_example();
+        let q = example_query();
+        let (_, cold_stats) = service.evaluate_with_stats(&q);
+        assert!(cold_stats.initial_candidates > 0);
+        let (_, warm_stats) = service.evaluate_with_stats(&q);
+        assert_eq!(warm_stats.initial_candidates, 0);
+    }
+
+    #[test]
+    fn pinned_backend_is_used() {
+        let service = QueryService::with_config(
+            Arc::new(example_graph()),
+            ServiceConfig {
+                backend: Some(BackendKind::Sspi),
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(service.backend_name(), "sspi");
+        assert!(service.backend_selection().is_none());
+        let q = example_query();
+        assert!(service
+            .evaluate(&q)
+            .same_answer(&naive::evaluate(&q, service.graph())));
+    }
+
+    #[test]
+    fn auto_selection_exposes_its_reasoning() {
+        let service = service_for_example();
+        let selection = service.backend_selection().expect("auto mode");
+        assert!(!selection.reason.is_empty());
+        assert_eq!(
+            selection.kind.build_shared(service.graph()).name(),
+            service.backend_name()
+        );
+    }
+
+    #[test]
+    fn batch_preserves_order_and_matches_sequential() {
+        let service = QueryService::with_config(
+            Arc::new(example_graph()),
+            ServiceConfig {
+                threads: 4,
+                cache_capacity: 0, // force every query through the engine
+                ..ServiceConfig::default()
+            },
+        );
+        let mut queries = Vec::new();
+        for label in ["a1", "b1", "c1", "d1", "e1", "g1"] {
+            let mut b = GtpqBuilder::new(AttrPredicate::label(label));
+            let root = b.root_id();
+            b.mark_output(root);
+            queries.push(b.build().unwrap());
+            let mut b = GtpqBuilder::new(AttrPredicate::label("a1"));
+            let root = b.root_id();
+            let child = b.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label(label));
+            b.mark_output(child);
+            queries.push(b.build().unwrap());
+        }
+        let batched = service.evaluate_batch(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batched) {
+            let expected = naive::evaluate(q, service.graph());
+            assert!(got.same_answer(&expected));
+        }
+        assert_eq!(service.metrics().batches, 1);
+        assert_eq!(service.metrics().queries, queries.len() as u64);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let service = service_for_example();
+        assert!(service.evaluate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn works_on_cyclic_graphs() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node_with_label("a");
+        let b = gb.add_node_with_label("b");
+        let c = gb.add_node_with_label("c");
+        gb.add_edge(a, b);
+        gb.add_edge(b, c);
+        gb.add_edge(c, a);
+        let g = Arc::new(gb.build());
+        let service = QueryService::new(Arc::clone(&g));
+        let mut qb = GtpqBuilder::new(AttrPredicate::label("b"));
+        let root = qb.root_id();
+        let child = qb.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("a"));
+        qb.mark_output(root);
+        qb.mark_output(child);
+        let q = qb.build().unwrap();
+        assert!(service.evaluate(&q).same_answer(&naive::evaluate(&q, &g)));
+    }
+}

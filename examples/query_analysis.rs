@@ -35,9 +35,18 @@ fn main() {
     let unconstrained = paper_query(false, false);
 
     println!("satisfiability:");
-    println!("  author required        -> {}", is_satisfiable(&with_author));
-    println!("  author forbidden       -> {}", is_satisfiable(&without_author));
-    println!("  required AND forbidden -> {}", is_satisfiable(&contradictory));
+    println!(
+        "  author required        -> {}",
+        is_satisfiable(&with_author)
+    );
+    println!(
+        "  author forbidden       -> {}",
+        is_satisfiable(&without_author)
+    );
+    println!(
+        "  required AND forbidden -> {}",
+        is_satisfiable(&contradictory)
+    );
     assert!(!is_satisfiable(&contradictory));
 
     println!("\ncontainment:");
@@ -59,7 +68,10 @@ fn main() {
     let title = b.backbone_child(root, EdgeKind::Child, AttrPredicate::label("title"));
     let a1 = b.predicate_child(root, EdgeKind::Child, AttrPredicate::label("author"));
     let a2 = b.predicate_child(root, EdgeKind::Child, AttrPredicate::label("author"));
-    b.set_structural(root, BoolExpr::and2(BoolExpr::Var(a1.var()), BoolExpr::Var(a2.var())));
+    b.set_structural(
+        root,
+        BoolExpr::and2(BoolExpr::Var(a1.var()), BoolExpr::Var(a2.var())),
+    );
     b.mark_output(title);
     let redundant = b.build().unwrap();
     let minimal = minimize(&redundant);

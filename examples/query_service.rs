@@ -1,0 +1,65 @@
+//! The service layer: share one graph + reachability index across many
+//! queries, let the selector pick the backend, and watch the cache work.
+//!
+//! Run with `cargo run --release --example query_service`.
+
+use std::sync::Arc;
+
+use gtpq::datagen::{generate_xmark, random_queries, xmark_q1, RandomQueryConfig, XmarkConfig};
+use gtpq::prelude::*;
+
+fn main() {
+    let graph = Arc::new(generate_xmark(&XmarkConfig::with_scale(0.1)));
+    println!(
+        "XMark-like graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // The service profiles the graph and picks a reachability backend.
+    let service = QueryService::new(Arc::clone(&graph));
+    let selection = service.backend_selection().expect("auto-selected");
+    println!(
+        "backend: {} ({}); profile: {:?}",
+        service.backend_name(),
+        selection.reason,
+        selection.profile
+    );
+
+    // A mixed workload: one of the paper's XMark queries plus random
+    // patterns sampled from the graph itself.
+    let mut queries = vec![xmark_q1(0)];
+    queries.extend(random_queries(&graph, &RandomQueryConfig::with_size(4)));
+
+    // Cold: every query runs the full GTEA pipeline, fanned out over the
+    // worker pool.
+    let cold = service.evaluate_batch(&queries);
+    println!(
+        "cold batch: {} queries, {} total tuples",
+        queries.len(),
+        cold.iter().map(|r| r.len()).sum::<usize>()
+    );
+
+    // Warm: the same batch is answered from the result cache.
+    service.evaluate_batch(&queries);
+
+    let m = service.metrics();
+    println!(
+        "metrics: {} queries in {} batches, hit rate {:.0}%, {:.0} q/s",
+        m.queries,
+        m.batches,
+        100.0 * m.hit_rate(),
+        m.qps()
+    );
+    println!(
+        "engine time {:?} (candidates {:?}, pruning {:?}, matching {:?}, enumeration {:?})",
+        m.eval_time,
+        m.candidate_time,
+        m.prune_down_time + m.prune_up_time,
+        m.matching_time,
+        m.enumerate_time
+    );
+    // At least the whole warm batch hits; equivalent random queries inside
+    // the cold batch can add more.
+    assert!(m.cache_hits >= queries.len() as u64);
+}

@@ -42,7 +42,10 @@ fn main() {
     );
     qb.set_structural(
         root,
-        BoolExpr::and2(BoolExpr::Var(alice.var()), BoolExpr::not(BoolExpr::Var(bob.var()))),
+        BoolExpr::and2(
+            BoolExpr::Var(alice.var()),
+            BoolExpr::not(BoolExpr::Var(bob.var())),
+        ),
     );
     qb.mark_output(root);
     let query = qb.build().expect("valid query");

@@ -7,7 +7,9 @@
 use std::time::Instant;
 
 use gtpq::baselines::{TpqAlgorithm, TwigStack, TwigStackD};
-use gtpq::datagen::{fig11_gtpq, generate_xmark, xmark_q1, xmark_q2, xmark_q3, Fig11Predicate, XmarkConfig};
+use gtpq::datagen::{
+    fig11_gtpq, generate_xmark, xmark_q1, xmark_q2, xmark_q3, Fig11Predicate, XmarkConfig,
+};
 use gtpq::prelude::*;
 
 fn main() {

@@ -19,6 +19,7 @@
 //! | [`engine`] | `gtpq-core` | the GTEA evaluation engine |
 //! | [`baselines`] | `gtpq-baselines` | TwigStack, Twig2Stack, TwigStackD, HGJoin, decompose-and-merge |
 //! | [`datagen`] | `gtpq-datagen` | XMark-like / arXiv-like / DBLP-like generators and query workloads |
+//! | [`service`] | `gtpq-service` | concurrent query service: shared index, result cache, metrics |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use gtpq_graph as graph;
 pub use gtpq_logic as logic;
 pub use gtpq_query as query;
 pub use gtpq_reach as reach;
+pub use gtpq_service as service;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
@@ -69,4 +71,6 @@ pub mod prelude {
     pub use gtpq_query::{
         AttrPredicate, CmpOp, EdgeKind, Gtpq, GtpqBuilder, QueryNodeId, ResultSet,
     };
+    pub use gtpq_reach::{select_backend, BackendKind, Reachability};
+    pub use gtpq_service::{QueryService, ServiceConfig};
 }

@@ -23,11 +23,26 @@ fn all_algorithms_agree_on_xmark_conjunctive_queries() {
     for group in 0..4 {
         let q = xmark_q1(group);
         let expected = engine.evaluate(&q);
-        assert!(twig.evaluate(&q).0.same_answer(&expected), "TwigStack, group {group}");
-        assert!(twig2.evaluate(&q).0.same_answer(&expected), "Twig2Stack, group {group}");
-        assert!(twig_d.evaluate(&q).0.same_answer(&expected), "TwigStackD, group {group}");
-        assert!(hg_plus.evaluate(&q).0.same_answer(&expected), "HGJoin+, group {group}");
-        assert!(hg_star.evaluate(&q).0.same_answer(&expected), "HGJoin*, group {group}");
+        assert!(
+            twig.evaluate(&q).0.same_answer(&expected),
+            "TwigStack, group {group}"
+        );
+        assert!(
+            twig2.evaluate(&q).0.same_answer(&expected),
+            "Twig2Stack, group {group}"
+        );
+        assert!(
+            twig_d.evaluate(&q).0.same_answer(&expected),
+            "TwigStackD, group {group}"
+        );
+        assert!(
+            hg_plus.evaluate(&q).0.same_answer(&expected),
+            "HGJoin+, group {group}"
+        );
+        assert!(
+            hg_star.evaluate(&q).0.same_answer(&expected),
+            "HGJoin*, group {group}"
+        );
     }
 }
 
@@ -62,7 +77,10 @@ fn gtpq_suite_is_consistent_across_engines_and_satisfiable() {
         let expected = naive::evaluate(&q, &graph);
         assert!(engine.evaluate(&q).same_answer(&expected), "GTEA on {name}");
         let (merged, _) = evaluate_gtpq_with(&twig_d, &q);
-        assert!(merged.same_answer(&expected), "decompose-and-merge on {name}");
+        assert!(
+            merged.same_answer(&expected),
+            "decompose-and-merge on {name}"
+        );
     }
 }
 

@@ -1,141 +1,203 @@
 //! Property-based tests over the core invariants:
-//! * reachability indexes agree with the BFS oracle on arbitrary graphs,
+//! * every reachability backend agrees with the BFS oracle (and therefore
+//!   with `TransitiveClosure`) on random DAGs and random cyclic graphs,
 //! * formula transformations preserve logical equivalence and DPLL agrees
 //!   with brute force,
 //! * GTEA agrees with the naive semantic evaluator on random graphs and
 //!   random (conjunctive and logical) queries.
+//!
+//! The harness is a deterministic seed sweep over the vendored `rand` PRNG
+//! (the build image has no network, so `proptest` is unavailable): every
+//! failure message carries the seed, which reproduces the case exactly.
 
 use gtpq::logic::transform::{simplify, to_cnf, to_nnf};
 use gtpq::logic::{brute_force_satisfiable, is_satisfiable, BoolExpr};
 use gtpq::prelude::*;
 use gtpq::query::naive;
-use gtpq::reach::{Reachability, Sspi, ThreeHop, TransitiveClosure};
-use proptest::prelude::*;
+use gtpq::reach::{build_index, ThreeHop};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random directed graph with `n` nodes labelled from a small
-/// alphabet and a set of random edges (cycles allowed).
-fn graph_strategy(max_nodes: usize) -> impl Strategy<Value = DataGraph> {
-    (2..max_nodes).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 3));
-        let labels = proptest::collection::vec(0u8..4, n);
-        (Just(n), edges, labels).prop_map(|(n, edges, labels)| {
-            let mut b = GraphBuilder::new();
-            let nodes: Vec<NodeId> = labels
-                .iter()
-                .map(|&l| b.add_node_with_label(&format!("l{l}")))
-                .collect();
-            for (x, y) in edges {
-                if x != y {
-                    b.add_edge(nodes[x], nodes[y]);
-                }
-            }
-            let _ = n;
-            b.build()
-        })
-    })
+const CASES: u64 = 48;
+
+/// Named backend constructors cross-validated against the oracle.
+const BACKENDS: [&str; 5] = ["closure", "3hop", "chain", "contour", "sspi"];
+
+/// A random directed graph: `n` nodes labelled from a 4-letter alphabet and
+/// up to `3n` random edges.  `dag_only` restricts edges to point from lower
+/// to higher node id, which guarantees acyclicity.
+fn random_graph(rng: &mut StdRng, max_nodes: usize, dag_only: bool) -> DataGraph {
+    let n = rng.gen_range(2..max_nodes);
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|_| b.add_node_with_label(&format!("l{}", rng.gen_range(0u8..4))))
+        .collect();
+    for _ in 0..rng.gen_range(0..n * 3) {
+        let x = rng.gen_range(0..n);
+        let y = rng.gen_range(0..n);
+        if x == y {
+            continue;
+        }
+        let (x, y) = if dag_only && x > y { (y, x) } else { (x, y) };
+        b.add_edge(nodes[x], nodes[y]);
+    }
+    b.build()
 }
 
-/// Strategy: a random propositional formula over a handful of variables.
-fn formula_strategy() -> impl Strategy<Value = BoolExpr> {
-    let leaf = prop_oneof![
-        (0u32..5).prop_map(BoolExpr::var),
-        Just(BoolExpr::True),
-        Just(BoolExpr::False),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(BoolExpr::not),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(BoolExpr::and),
-            proptest::collection::vec(inner, 1..3).prop_map(BoolExpr::or),
-        ]
-    })
+/// A random propositional formula of bounded depth over 5 variables.
+fn random_formula(rng: &mut StdRng, depth: u32) -> BoolExpr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0u8..4) {
+            0 => BoolExpr::True,
+            1 => BoolExpr::False,
+            _ => BoolExpr::var(rng.gen_range(0u32..5)),
+        };
+    }
+    match rng.gen_range(0u8..3) {
+        0 => BoolExpr::not(random_formula(rng, depth - 1)),
+        1 => BoolExpr::and((0..rng.gen_range(1..3usize)).map(|_| random_formula(rng, depth - 1))),
+        _ => BoolExpr::or((0..rng.gen_range(1..3usize)).map(|_| random_formula(rng, depth - 1))),
+    }
 }
 
-/// Strategy: a random small query over the `l0..l3` label alphabet, either
-/// conjunctive or with one disjunctive / negated predicate pair at the root.
-fn query_strategy() -> impl Strategy<Value = Gtpq> {
-    (
-        0u8..4,
-        proptest::collection::vec((0u8..4, prop::bool::ANY), 1..4),
-        0u8..3,
-    )
-        .prop_map(|(root_label, children, mode)| {
-            let mut b = GtpqBuilder::new(AttrPredicate::label(&format!("l{root_label}")));
-            let root = b.root_id();
-            let mut predicate_vars = Vec::new();
-            for (label, is_child_edge) in children {
-                let edge = if is_child_edge {
-                    EdgeKind::Child
-                } else {
-                    EdgeKind::Descendant
-                };
-                let attr = AttrPredicate::label(&format!("l{label}"));
-                if predicate_vars.len() < 2 && mode > 0 {
-                    let p = b.predicate_child(root, edge, attr);
-                    predicate_vars.push(BoolExpr::Var(p.var()));
-                } else {
-                    let c = b.backbone_child(root, edge, attr);
-                    b.mark_output(c);
-                }
-            }
-            match (mode, predicate_vars.as_slice()) {
-                (1, [a]) => b.set_structural(root, BoolExpr::not(a.clone())),
-                (1, [a, bb]) => b.set_structural(
-                    root,
-                    BoolExpr::or2(a.clone(), BoolExpr::not(bb.clone())),
-                ),
-                (2, [a]) => b.set_structural(root, a.clone()),
-                (2, [a, bb]) => b.set_structural(root, BoolExpr::or2(a.clone(), bb.clone())),
-                _ => {}
-            }
-            b.mark_output(root);
-            b.build().expect("generated queries are valid")
-        })
+/// A random small query over the `l0..l3` label alphabet, either conjunctive
+/// or with one disjunctive / negated predicate pair at the root.
+fn random_query(rng: &mut StdRng) -> Gtpq {
+    let root_label = rng.gen_range(0u8..4);
+    let n_children = rng.gen_range(1..4usize);
+    let mode = rng.gen_range(0u8..3);
+    let mut b = GtpqBuilder::new(AttrPredicate::label(&format!("l{root_label}")));
+    let root = b.root_id();
+    let mut predicate_vars = Vec::new();
+    for _ in 0..n_children {
+        let edge = if rng.gen_bool(0.5) {
+            EdgeKind::Child
+        } else {
+            EdgeKind::Descendant
+        };
+        let attr = AttrPredicate::label(&format!("l{}", rng.gen_range(0u8..4)));
+        if predicate_vars.len() < 2 && mode > 0 {
+            let p = b.predicate_child(root, edge, attr);
+            predicate_vars.push(BoolExpr::Var(p.var()));
+        } else {
+            let c = b.backbone_child(root, edge, attr);
+            b.mark_output(c);
+        }
+    }
+    match (mode, predicate_vars.as_slice()) {
+        (1, [a]) => b.set_structural(root, BoolExpr::not(a.clone())),
+        (1, [a, bb]) => b.set_structural(root, BoolExpr::or2(a.clone(), BoolExpr::not(bb.clone()))),
+        (2, [a]) => b.set_structural(root, a.clone()),
+        (2, [a, bb]) => b.set_structural(root, BoolExpr::or2(a.clone(), bb.clone())),
+        _ => {}
+    }
+    b.mark_output(root);
+    b.build().expect("generated queries are valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn reachability_indexes_agree_with_the_oracle(g in graph_strategy(24)) {
-        let closure = TransitiveClosure::new(&g);
-        let three_hop = ThreeHop::new(&g);
-        let sspi = Sspi::new(&g);
+#[test]
+fn all_backends_agree_with_the_oracle_on_dags_and_cyclic_graphs() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Even seeds exercise guaranteed-acyclic graphs, odd seeds allow
+        // cycles, so both condensation regimes are covered.
+        let dag_only = seed % 2 == 0;
+        let g = random_graph(&mut rng, 24, dag_only);
+        let indexes: Vec<_> = BACKENDS.iter().map(|k| (k, build_index(k, &g))).collect();
         for u in g.nodes() {
             for v in g.nodes() {
                 let expected = gtpq::graph::traversal::is_reachable(&g, u, v);
-                prop_assert_eq!(closure.reaches(u, v), expected, "closure {} -> {}", u, v);
-                prop_assert_eq!(three_hop.reaches(u, v), expected, "3-hop {} -> {}", u, v);
-                prop_assert_eq!(sspi.reaches(u, v), expected, "sspi {} -> {}", u, v);
+                for (kind, index) in &indexes {
+                    assert_eq!(
+                        index.reaches(u, v),
+                        expected,
+                        "seed {seed} ({}): backend {kind} disagrees with oracle on {u} -> {v}",
+                        if dag_only { "dag" } else { "cyclic" },
+                    );
+                }
             }
         }
     }
+}
 
-    #[test]
-    fn contour_queries_agree_with_pairwise_reachability(g in graph_strategy(20)) {
+#[test]
+fn prepared_probes_agree_with_pairwise_reachability() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(&mut rng, 20, seed % 2 == 0);
+        let targets: Vec<NodeId> = g.nodes().filter(|v| v.0 % 3 == 0).collect();
+        if targets.is_empty() {
+            continue;
+        }
+        for (kind, index) in BACKENDS.iter().map(|k| (k, build_index(k, &g))) {
+            let pred = index.pred_probe(&targets);
+            let succ = index.succ_probe(&targets);
+            for v in g.nodes() {
+                let reaches_any = targets
+                    .iter()
+                    .any(|&t| gtpq::graph::traversal::is_reachable(&g, v, t));
+                assert_eq!(
+                    pred(v),
+                    reaches_any,
+                    "seed {seed}: {kind} pred_probe at {v}"
+                );
+                let reached_by_any = targets
+                    .iter()
+                    .any(|&t| gtpq::graph::traversal::is_reachable(&g, t, v));
+                assert_eq!(
+                    succ(v),
+                    reached_by_any,
+                    "seed {seed}: {kind} succ_probe at {v}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn contour_queries_agree_with_pairwise_reachability() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(&mut rng, 20, false);
         let index = ThreeHop::new(&g);
         let targets: Vec<NodeId> = g.nodes().filter(|v| v.0 % 3 == 0).collect();
-        prop_assume!(!targets.is_empty());
+        if targets.is_empty() {
+            continue;
+        }
         let cp = index.merge_pred_lists(&targets);
         let cs = index.merge_succ_lists(&targets);
         for v in g.nodes() {
             let reaches_any = targets
                 .iter()
                 .any(|&t| gtpq::graph::traversal::is_reachable(&g, v, t));
-            prop_assert_eq!(index.node_reaches_set(v, &cp), reaches_any);
+            assert_eq!(index.node_reaches_set(v, &cp), reaches_any, "seed {seed}");
             let reached_by_any = targets
                 .iter()
                 .any(|&t| gtpq::graph::traversal::is_reachable(&g, t, v));
-            prop_assert_eq!(index.set_reaches_node(&cs, v), reached_by_any);
+            assert_eq!(
+                index.set_reaches_node(&cs, v),
+                reached_by_any,
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn formula_transformations_preserve_equivalence(f in formula_strategy()) {
+#[test]
+fn formula_transformations_preserve_equivalence() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = random_formula(&mut rng, 3);
         let nnf = to_nnf(&f);
         let simplified = simplify(&f);
-        prop_assert!(gtpq::logic::sat::brute_force_equivalent(&f, &nnf));
-        prop_assert!(gtpq::logic::sat::brute_force_equivalent(&f, &simplified));
+        assert!(
+            gtpq::logic::sat::brute_force_equivalent(&f, &nnf),
+            "seed {seed}: NNF changed meaning of {f}"
+        );
+        assert!(
+            gtpq::logic::sat::brute_force_equivalent(&f, &simplified),
+            "seed {seed}: simplify changed meaning of {f}"
+        );
         // CNF round-trips through clause rebuilding.
         let cnf = to_cnf(&f);
         let rebuilt = BoolExpr::and(cnf.clauses.iter().map(|clause| {
@@ -147,23 +209,53 @@ proptest! {
                 }
             }))
         }));
-        prop_assert!(gtpq::logic::sat::brute_force_equivalent(&f, &rebuilt));
-        prop_assert_eq!(is_satisfiable(&f), brute_force_satisfiable(&f));
+        assert!(
+            gtpq::logic::sat::brute_force_equivalent(&f, &rebuilt),
+            "seed {seed}: CNF changed meaning of {f}"
+        );
+        assert_eq!(
+            is_satisfiable(&f),
+            brute_force_satisfiable(&f),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn gtea_agrees_with_the_naive_evaluator(
-        g in graph_strategy(18),
-        q in query_strategy(),
-    ) {
+#[test]
+fn gtea_agrees_with_the_naive_evaluator() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(&mut rng, 18, false);
+        let q = random_query(&mut rng);
         let expected = naive::evaluate(&q, &g);
         for options in [GteaOptions::default(), GteaOptions::without_shrinking()] {
             let engine = GteaEngine::with_options(&g, options);
             let got = engine.evaluate(&q);
-            prop_assert!(
+            assert!(
                 got.same_answer(&expected),
-                "options {:?}: got {:?} expected {:?}",
+                "seed {seed}, options {:?}: got {:?} expected {:?}",
                 options,
+                got.tuples,
+                expected.tuples
+            );
+        }
+    }
+}
+
+#[test]
+fn gtea_agrees_with_naive_under_every_backend() {
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(&mut rng, 16, seed % 2 == 0);
+        let q = random_query(&mut rng);
+        let expected = naive::evaluate(&q, &g);
+        for kind in BACKENDS {
+            let index = build_index(kind, &g);
+            let engine = GteaEngine::with_backend(&g, index, GteaOptions::default());
+            let got = engine.evaluate(&q);
+            assert!(
+                got.same_answer(&expected),
+                "seed {seed}: backend {kind} disagrees with naive: got {:?} expected {:?}",
                 got.tuples,
                 expected.tuples
             );

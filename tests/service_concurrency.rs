@@ -1,0 +1,143 @@
+//! Concurrency tests for the query service: answers under concurrent load
+//! must be identical to single-threaded evaluation, and the cache-hit path
+//! must hand out the same result set as the cold path.
+
+use std::sync::Arc;
+
+use gtpq::datagen::{generate_xmark, XmarkConfig};
+use gtpq::datagen::{random_queries, xmark_q1, xmark_q2, xmark_q3, RandomQueryConfig};
+use gtpq::prelude::*;
+use gtpq::query::fixtures::{example_graph, example_query};
+use gtpq::query::naive;
+
+/// A mixed workload over the running-example graph: the paper's example
+/// query plus label point-lookups and descendant probes, some of them
+/// deliberately repeated so threads race on the cache.
+fn fixture_workload() -> Vec<Gtpq> {
+    let mut queries = vec![example_query()];
+    for label in ["a1", "b1", "c1", "d1", "e1", "f1", "g1"] {
+        let mut b = GtpqBuilder::new(AttrPredicate::label(label));
+        let root = b.root_id();
+        b.mark_output(root);
+        queries.push(b.build().unwrap());
+        let mut b = GtpqBuilder::new(AttrPredicate::label("a1"));
+        let root = b.root_id();
+        let child = b.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label(label));
+        b.mark_output(child);
+        queries.push(b.build().unwrap());
+    }
+    let repeats: Vec<Gtpq> = queries.iter().take(4).cloned().collect();
+    queries.extend(repeats);
+    queries
+}
+
+#[test]
+fn n_threads_of_mixed_queries_match_single_threaded_naive() {
+    let graph = Arc::new(example_graph());
+    let service = Arc::new(QueryService::new(Arc::clone(&graph)));
+    let queries = Arc::new(fixture_workload());
+    let threads = 8;
+    let answers: Vec<Vec<Arc<ResultSet>>> = std::thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                let queries = Arc::clone(&queries);
+                scope.spawn(move || {
+                    // Each thread walks the workload from a different offset
+                    // so different queries are in flight at the same time.
+                    (0..queries.len())
+                        .map(|i| service.evaluate(&queries[(i + t) % queries.len()]))
+                        .collect()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("query thread panicked"))
+            .collect()
+    });
+    let expected: Vec<ResultSet> = queries.iter().map(|q| naive::evaluate(q, &graph)).collect();
+    for (t, per_thread) in answers.iter().enumerate() {
+        for (i, got) in per_thread.iter().enumerate() {
+            let q = (i + t) % queries.len();
+            assert!(
+                got.same_answer(&expected[q]),
+                "thread {t}, query {q}: concurrent answer diverged from naive"
+            );
+        }
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.queries, (threads * queries.len()) as u64);
+    assert!(
+        metrics.cache_hits > 0,
+        "repeated queries must hit the cache"
+    );
+}
+
+#[test]
+fn batch_over_four_threads_matches_sequential_on_xmark() {
+    let graph = Arc::new(generate_xmark(&XmarkConfig::with_scale(0.05)));
+    let mut queries = vec![xmark_q1(0), xmark_q2(0, 3), xmark_q3(0, 3, 7)];
+    queries.extend(random_queries(&graph, &RandomQueryConfig::with_size(4)));
+    assert!(
+        queries.len() > 10,
+        "workload should mix fixed and random queries"
+    );
+
+    // Sequential reference: a single-threaded, cache-less service.
+    let sequential = QueryService::with_config(
+        Arc::clone(&graph),
+        ServiceConfig {
+            threads: 1,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    let expected: Vec<Arc<ResultSet>> = queries.iter().map(|q| sequential.evaluate(q)).collect();
+
+    let service = QueryService::with_config(
+        Arc::clone(&graph),
+        ServiceConfig {
+            threads: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let batched = service.evaluate_batch(&queries);
+    assert_eq!(batched.len(), expected.len());
+    for ((q, got), want) in queries.iter().zip(&batched).zip(&expected) {
+        assert!(
+            got.same_answer(want),
+            "batched answer diverged from sequential for {q:?}"
+        );
+    }
+    // Same batch again: answers unchanged, everything served from the cache.
+    let hits_before = service.metrics().cache_hits;
+    let warm = service.evaluate_batch(&queries);
+    for (got, want) in warm.iter().zip(&expected) {
+        assert!(got.same_answer(want));
+    }
+    assert!(service.metrics().cache_hits >= hits_before + queries.len() as u64);
+}
+
+#[test]
+fn cache_hit_path_returns_the_same_result_set_as_cold() {
+    let service = Arc::new(QueryService::new(Arc::new(example_graph())));
+    let q = example_query();
+    let cold = service.evaluate(&q);
+    // Warm hits from many threads at once: all must be the very same set.
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let service = Arc::clone(&service);
+            let q = q.clone();
+            let cold = Arc::clone(&cold);
+            scope.spawn(move || {
+                let warm = service.evaluate(&q);
+                assert!(
+                    Arc::ptr_eq(&warm, &cold),
+                    "cache hit must return the cold result set, not a copy"
+                );
+            });
+        }
+    });
+    assert_eq!(service.metrics().cache_hits, 8);
+    assert_eq!(service.metrics().cache_misses, 1);
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build image has no network access, so this vendored crate implements
+//! the slice of the criterion API the workspace benches use — groups,
+//! `bench_with_input`/`bench_function`, `BenchmarkId`, the `criterion_group!`
+//! / `criterion_main!` macros and `black_box` — on top of plain wall-clock
+//! timing.  It warms up for `warm_up_time`, then collects `sample_size`
+//! samples (bounded by `measurement_time`) and prints min/median/mean per
+//! benchmark.  No statistics, plots or baselines: enough to compare
+//! configurations in CI logs, not a replacement for real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Per-iteration timer handed to the closure of `bench_*`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    warm_up: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then sampling.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let run_start = Instant::now();
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if run_start.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the routine untimed before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Upper bound on the total sampling time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+            warm_up: self.warm_up,
+            budget: self.budget,
+        };
+        f(&mut b, input);
+        self.criterion.report(&self.name, &id.name, &mut b.samples);
+        self
+    }
+
+    /// Runs one benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            budget: Duration::from_millis(1000),
+        }
+    }
+
+    fn report(&mut self, group: &str, bench: &str, samples: &mut [Duration]) {
+        if samples.is_empty() {
+            println!("{group}/{bench}: no samples");
+            return;
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{group}/{bench}: min {min:?}  median {median:?}  mean {mean:?}  (n={})",
+            samples.len()
+        );
+    }
+}
+
+/// Mirrors `criterion_group!`: bundles bench functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: the binary entry point for `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,6 @@
+//! Offline stand-in for `serde`: re-exports the no-op derive macros.
+//!
+//! See `vendor/serde_derive` for the rationale.  Only the derive names are
+//! provided because that is the entire surface the workspace consumes.
+
+pub use serde_derive::{Deserialize, Serialize};

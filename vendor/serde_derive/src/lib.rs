@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! declarations for a future wire format; nothing serializes today and the
+//! build environment has no network access to fetch the real crate.  These
+//! derives therefore expand to nothing, while still accepting the `#[serde]`
+//! helper attributes (e.g. `#[serde(skip)]`) that appear in the sources.
+//! Swap this vendored crate for the real `serde`/`serde_derive` when a
+//! serialization feature actually lands.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
