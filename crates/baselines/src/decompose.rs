@@ -30,11 +30,15 @@ pub fn evaluate_gtpq_with(algo: &dyn TpqAlgorithm, q: &Gtpq) -> (ResultSet, Base
     let g = algo.graph();
     let mut stats = BaselineStats::default();
 
-    // Downward satisfaction sets, bottom-up.
+    // Downward satisfaction sets, bottom-up.  Candidate selection goes
+    // through the inverted index with the same `#input` accounting as
+    // `restricted_candidates`: only individually verified nodes count.
     let mut sat: Vec<HashSet<NodeId>> = vec![HashSet::new(); q.size()];
     for u in q.bottom_up_order() {
-        let candidates = q.candidates(g, u);
-        stats.input_nodes += g.node_count() as u64;
+        let selection = q.candidates_indexed(g, u);
+        stats.input_nodes += selection.verified;
+        stats.index_lookups += selection.posting_entries;
+        let candidates = selection.nodes;
         if q.node(u).is_leaf() {
             sat[u.index()] = candidates.into_iter().collect();
             continue;

@@ -80,7 +80,8 @@ pub trait TpqAlgorithm {
     fn graph(&self) -> &DataGraph;
 }
 
-/// Computes the initial candidates of every query node, applying restrictions.
+/// Computes the initial candidates of every query node through the attribute
+/// inverted index, applying restrictions.
 pub(crate) fn restricted_candidates(
     q: &Gtpq,
     g: &DataGraph,
@@ -88,12 +89,16 @@ pub(crate) fn restricted_candidates(
     stats: &mut BaselineStats,
 ) -> Vec<Vec<NodeId>> {
     let mut mat: Vec<Vec<NodeId>> = Vec::with_capacity(q.size());
+    let mut allowed = gtpq_graph::NodeBitSet::new(g.node_count());
     for u in q.node_ids() {
-        stats.input_nodes += g.node_count() as u64;
-        let mut candidates = q.candidates(g, u);
+        let selection = q.candidates_indexed(g, u);
+        stats.input_nodes += selection.verified;
+        stats.index_lookups += selection.posting_entries;
+        let mut candidates = selection.nodes;
         if let Some(r) = restrict.and_then(|r| r[u.index()].as_ref()) {
-            let allowed: std::collections::HashSet<NodeId> = r.iter().copied().collect();
-            candidates.retain(|v| allowed.contains(v));
+            allowed.clear();
+            allowed.extend_from_slice(r);
+            candidates.retain(|&v| allowed.contains(v));
         }
         mat.push(candidates);
     }

@@ -1,0 +1,122 @@
+//! Candidate selection: full node scan vs. the attribute inverted index.
+//!
+//! For every query node of a workload the scan path tests each data node
+//! against the attribute predicate (`Gtpq::candidates`, O(|V|·|fa|)), while
+//! the indexed path intersects posting lists (`Gtpq::candidates_indexed`).
+//! The arXiv workload (≈10k nodes, ≈1.1k labels) is where the paper's
+//! selective predicates live — the indexed path touches a few posting
+//! entries per query node instead of the whole node table.
+//!
+//! Set `GTPQ_BENCH_QUICK=1` for the CI smoke run (fewer samples, smaller
+//! budget); the recorded baseline lives in
+//! `crates/bench/baselines/BENCH_candidate_selection.json`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpq_bench::workloads::{arxiv_graph, xmark_graph};
+use gtpq_datagen::{random_queries, xmark_q1, xmark_q2, xmark_q3, RandomQueryConfig};
+use gtpq_graph::{AttrValue, DataGraph};
+use gtpq_query::{AttrPredicate, CmpOp, EdgeKind, Gtpq, GtpqBuilder};
+
+fn quick() -> bool {
+    std::env::var("GTPQ_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Representative arXiv queries: selective label equalities plus a
+/// label-and-year-range conjunction per query.
+fn arxiv_workload(g: &DataGraph) -> Vec<Gtpq> {
+    let mut queries = Vec::new();
+    for i in 0..10u32 {
+        let mut b = GtpqBuilder::new(
+            AttrPredicate::label(&format!("paper{}", i * 13 % 900))
+                .and("year", CmpOp::Ge, AttrValue::int(1996))
+                .and("year", CmpOp::Le, AttrValue::int(2002)),
+        );
+        let root = b.root_id();
+        let cited = b.backbone_child(
+            root,
+            EdgeKind::Descendant,
+            AttrPredicate::label(&format!("paper{}", i * 31 % 900)),
+        );
+        let _author = b.backbone_child(
+            root,
+            EdgeKind::Descendant,
+            AttrPredicate::label(&format!("auth{}", i * 7 % 230)),
+        );
+        b.mark_output(cited);
+        queries.push(b.build().expect("arxiv bench query is well formed"));
+    }
+    queries.extend(random_queries(g, &RandomQueryConfig::with_size(5)));
+    queries
+}
+
+fn xmark_workload(g: &DataGraph) -> Vec<Gtpq> {
+    let mut queries = vec![xmark_q1(0), xmark_q2(0, 3), xmark_q3(0, 3, 7)];
+    queries.extend(random_queries(g, &RandomQueryConfig::with_size(4)));
+    queries
+}
+
+/// Sum of candidate-set sizes through the full scan.
+fn scan_all(g: &DataGraph, queries: &[Gtpq]) -> usize {
+    let mut total = 0;
+    for q in queries {
+        for u in q.node_ids() {
+            total += q.candidates(g, u).len();
+        }
+    }
+    total
+}
+
+/// Sum of candidate-set sizes through the inverted index.
+fn index_all(g: &DataGraph, queries: &[Gtpq]) -> usize {
+    let mut total = 0;
+    for q in queries {
+        for u in q.node_ids() {
+            total += q.candidates_indexed(g, u).nodes.len();
+        }
+    }
+    total
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_selection");
+    if quick() {
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(50));
+        group.measurement_time(Duration::from_millis(200));
+    } else {
+        group.sample_size(20);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(1500));
+    }
+
+    let workloads = [("arxiv", arxiv_graph()), ("xmark", xmark_graph(0.5))];
+    for (name, graph) in workloads {
+        let queries = if name == "arxiv" {
+            arxiv_workload(&graph)
+        } else {
+            xmark_workload(&graph)
+        };
+        // The two paths must select identical candidate sets.
+        for q in &queries {
+            for u in q.node_ids() {
+                assert_eq!(
+                    q.candidates_indexed(&graph, u).nodes,
+                    q.candidates(&graph, u),
+                    "index/scan mismatch on {name}"
+                );
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("scan", name), &queries, |b, queries| {
+            b.iter(|| scan_all(&graph, queries))
+        });
+        group.bench_with_input(BenchmarkId::new("index", name), &queries, |b, queries| {
+            b.iter(|| index_all(&graph, queries))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

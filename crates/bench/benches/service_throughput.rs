@@ -43,9 +43,15 @@ fn warm_service(graph: &Arc<DataGraph>, threads: usize, queries: &[Gtpq]) -> Que
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_throughput");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(800));
+    if std::env::var("GTPQ_BENCH_QUICK").is_ok_and(|v| v != "0") {
+        group.sample_size(3);
+        group.warm_up_time(std::time::Duration::from_millis(50));
+        group.measurement_time(std::time::Duration::from_millis(200));
+    } else {
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(800));
+    }
     let graph = Arc::new(xmark_graph(0.5));
     let queries = workload(&graph);
     let threads = 4;

@@ -1,9 +1,8 @@
 //! The two-round pruning process (§4.2, Procedures 6 and 7).
 
-use std::collections::HashSet;
 use std::time::Instant;
 
-use gtpq_graph::{DataGraph, NodeId};
+use gtpq_graph::{DataGraph, NodeBitSet, NodeId};
 use gtpq_logic::valuation::eval_with;
 use gtpq_query::{EdgeKind, Gtpq, QueryNodeId};
 use gtpq_reach::{Probe, Reachability};
@@ -12,14 +11,30 @@ use crate::options::GteaOptions;
 use crate::prime::PrimeSubtree;
 use crate::stats::EvalStats;
 
-/// Selects the initial candidate matching nodes `mat(u)` for every query node.
+/// Selects the initial candidate matching nodes `mat(u)` for every query node
+/// through the graph's attribute inverted index.
+///
+/// Indexable predicates (equalities, integer ranges) are answered by
+/// posting-list intersection without touching any node; only non-indexable
+/// comparisons (`!=`, string ranges) verify an index-restricted superset per
+/// node.  `stats.input_nodes` counts exactly the nodes whose attribute tuples
+/// were read (the seed charged `|V|` once per query node, inflating the
+/// figure-level `#input` metric `|Q|`-fold); index-served candidates and
+/// scanned nodes are reported separately as `index_hits` / `scanned_nodes`,
+/// and posting entries read count towards `index_lookups`.
 pub fn initial_candidates(q: &Gtpq, g: &DataGraph, stats: &mut EvalStats) -> Vec<Vec<NodeId>> {
     let start = Instant::now();
     let mut mat: Vec<Vec<NodeId>> = vec![Vec::new(); q.size()];
     for u in q.node_ids() {
-        mat[u.index()] = q.candidates(g, u);
-        stats.initial_candidates += mat[u.index()].len() as u64;
-        stats.input_nodes += g.node_count() as u64;
+        let selection = q.candidates_indexed(g, u);
+        stats.initial_candidates += selection.nodes.len() as u64;
+        stats.input_nodes += selection.verified;
+        stats.scanned_nodes += selection.verified;
+        stats.index_lookups += selection.posting_entries;
+        if selection.from_index {
+            stats.index_hits += selection.nodes.len() as u64;
+        }
+        mat[u.index()] = selection.nodes;
     }
     stats.candidate_time += start.elapsed();
     mat
@@ -47,21 +62,33 @@ pub fn prune_downward<R: Reachability + ?Sized>(
     // Delta, not reset: the index may be shared with concurrent queries
     // (QueryService), and a reset here would wipe their in-flight counts.
     let lookups_before = index.lookup_count();
+    // Scratch bitsets for PC-child candidate membership, hoisted out of the
+    // bottom-up loop and reused across every internal query node (cleared in
+    // O(touched), not re-allocated).
+    let mut pc_pool: Vec<NodeBitSet> = Vec::new();
     for u in q.bottom_up_order() {
         if q.node(u).is_leaf() {
             continue;
         }
         let fext = q.fext(u);
-        let children = q.children(u).to_vec();
+        let children = q.children(u);
 
         // Per-child acceleration structures.
         let mut ad_probes: Vec<Option<Probe<'_>>> = Vec::with_capacity(children.len());
-        let mut pc_sets: Vec<Option<HashSet<NodeId>>> = Vec::with_capacity(children.len());
-        for &c in &children {
+        let mut pc_slots: Vec<Option<usize>> = Vec::with_capacity(children.len());
+        let mut pc_used = 0usize;
+        for &c in children {
             match q.incoming_edge(c) {
                 Some(EdgeKind::Child) => {
+                    if pc_used == pc_pool.len() {
+                        pc_pool.push(NodeBitSet::new(g.node_count()));
+                    }
+                    let bits = &mut pc_pool[pc_used];
+                    bits.clear();
+                    bits.extend_from_slice(&mat[c.index()]);
                     ad_probes.push(None);
-                    pc_sets.push(Some(mat[c.index()].iter().copied().collect()));
+                    pc_slots.push(Some(pc_used));
+                    pc_used += 1;
                 }
                 _ => {
                     let probe = if options.use_contours {
@@ -70,39 +97,40 @@ pub fn prune_downward<R: Reachability + ?Sized>(
                         None
                     };
                     ad_probes.push(probe);
-                    pc_sets.push(None);
+                    pc_slots.push(None);
                 }
             }
         }
 
-        let candidates = std::mem::take(&mut mat[u.index()]);
+        let mut candidates = std::mem::take(&mut mat[u.index()]);
         stats.input_nodes += candidates.len() as u64;
         let adjacency_lookups = std::cell::Cell::new(0u64);
-        let mut kept = Vec::with_capacity(candidates.len());
-        for v in candidates {
-            let value = eval_with(&fext, &|var| {
-                let child = QueryNodeId::from_var(var);
-                let Some(pos) = children.iter().position(|&c| c == child) else {
-                    return false;
-                };
-                match q.incoming_edge(child) {
-                    Some(EdgeKind::Child) => {
-                        let set = pc_sets[pos].as_ref().expect("PC child has a set");
-                        adjacency_lookups.set(adjacency_lookups.get() + g.out_degree(v) as u64);
-                        g.children(v).iter().any(|c| set.contains(c))
+        {
+            let mat_ref: &[Vec<NodeId>] = mat;
+            let pool_ref: &[NodeBitSet] = &pc_pool;
+            candidates.retain(|&v| {
+                eval_with(&fext, &|var| {
+                    let child = QueryNodeId::from_var(var);
+                    let Some(pos) = children.iter().position(|&c| c == child) else {
+                        return false;
+                    };
+                    match q.incoming_edge(child) {
+                        Some(EdgeKind::Child) => {
+                            let bits =
+                                &pool_ref[pc_slots[pos].expect("PC child has a bitset slot")];
+                            adjacency_lookups.set(adjacency_lookups.get() + g.out_degree(v) as u64);
+                            g.children(v).iter().any(|&c| bits.contains(c))
+                        }
+                        _ => match &ad_probes[pos] {
+                            Some(probe) => probe(v),
+                            None => mat_ref[child.index()].iter().any(|&t| index.reaches(v, t)),
+                        },
                     }
-                    _ => match &ad_probes[pos] {
-                        Some(probe) => probe(v),
-                        None => mat[child.index()].iter().any(|&t| index.reaches(v, t)),
-                    },
-                }
+                })
             });
-            if value {
-                kept.push(v);
-            }
         }
         stats.index_lookups += adjacency_lookups.get();
-        mat[u.index()] = kept;
+        mat[u.index()] = candidates;
     }
     for u in q.node_ids() {
         stats.candidates_after_downward += mat[u.index()].len() as u64;
@@ -128,34 +156,31 @@ pub fn prune_upward<R: Reachability + ?Sized>(
 ) {
     let start = Instant::now();
     let lookups_before = index.lookup_count();
+    // One parent-membership bitset reused across every prime edge.
+    let mut parent_bits = NodeBitSet::new(g.node_count());
     for &u in &prime.nodes {
         for &child in prime.children_of(u) {
-            let candidates = std::mem::take(&mut mat[child.index()]);
+            let mut candidates = std::mem::take(&mut mat[child.index()]);
             stats.input_nodes += candidates.len() as u64;
-            let kept: Vec<NodeId> = match q.incoming_edge(child) {
+            match q.incoming_edge(child) {
                 Some(EdgeKind::Child) => {
-                    let parents: HashSet<NodeId> = mat[u.index()].iter().copied().collect();
-                    candidates
-                        .into_iter()
-                        .filter(|&v| {
-                            stats.index_lookups += g.in_degree(v) as u64;
-                            g.parents(v).iter().any(|p| parents.contains(p))
-                        })
-                        .collect()
+                    parent_bits.clear();
+                    parent_bits.extend_from_slice(&mat[u.index()]);
+                    candidates.retain(|&v| {
+                        stats.index_lookups += g.in_degree(v) as u64;
+                        g.parents(v).iter().any(|&p| parent_bits.contains(p))
+                    });
                 }
                 _ => {
                     if options.use_contours {
                         let probe = index.succ_probe(&mat[u.index()]);
-                        candidates.into_iter().filter(|&v| probe(v)).collect()
+                        candidates.retain(|&v| probe(v));
                     } else {
-                        candidates
-                            .into_iter()
-                            .filter(|&v| mat[u.index()].iter().any(|&s| index.reaches(s, v)))
-                            .collect()
+                        candidates.retain(|&v| mat[u.index()].iter().any(|&s| index.reaches(s, v)));
                     }
                 }
-            };
-            mat[child.index()] = kept;
+            }
+            mat[child.index()] = candidates;
         }
     }
     for &u in &prime.nodes {
@@ -190,6 +215,52 @@ mod tests {
         }
         assert!(stats.initial_candidates > 0);
         assert!(stats.candidates_after_downward <= stats.initial_candidates);
+    }
+
+    #[test]
+    fn candidate_selection_counts_only_touched_nodes() {
+        let g = example_graph();
+        let q = example_query();
+        let mut stats = EvalStats::default();
+        let mat = initial_candidates(&q, &g, &mut stats);
+        // The seed charged |V| once per query node; the indexed path reads
+        // posting lists instead, so `#input` stays below the |Q|·|V| blowup.
+        assert!(
+            stats.input_nodes < (q.size() * g.node_count()) as u64,
+            "input_nodes = {} for |Q| = {}, |V| = {}",
+            stats.input_nodes,
+            q.size(),
+            g.node_count()
+        );
+        // During selection, exactly the individually verified nodes count as
+        // data accesses (the example query's prefix predicates are string
+        // ranges, which verify an index-restricted superset).
+        assert_eq!(stats.input_nodes, stats.scanned_nodes);
+        assert!(stats.index_lookups > 0);
+        // The indexed selection equals the full scan.
+        for u in q.node_ids() {
+            assert_eq!(mat[u.index()], q.candidates(&g, u), "mismatch at {u}");
+        }
+
+        // A pure label-equality query is served entirely from the index.
+        let mut b = gtpq_query::GtpqBuilder::new(gtpq_query::AttrPredicate::label("a1"));
+        let root = b.root_id();
+        let child = b.backbone_child(
+            root,
+            EdgeKind::Descendant,
+            gtpq_query::AttrPredicate::label("b1"),
+        );
+        b.mark_output(child);
+        let eq_query = b.build().unwrap();
+        let mut eq_stats = EvalStats::default();
+        let eq_mat = initial_candidates(&eq_query, &g, &mut eq_stats);
+        assert_eq!(eq_stats.scanned_nodes, 0);
+        assert_eq!(eq_stats.input_nodes, 0);
+        assert_eq!(eq_stats.index_hits, eq_stats.initial_candidates);
+        assert_eq!(eq_stats.index_serve_rate(), 1.0);
+        for u in eq_query.node_ids() {
+            assert_eq!(eq_mat[u.index()], eq_query.candidates(&g, u));
+        }
     }
 
     #[test]

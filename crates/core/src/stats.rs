@@ -17,6 +17,12 @@ pub struct EvalStats {
     pub intermediate_size: u64,
     /// Total number of initial candidate matching nodes (Σ |mat(u)|).
     pub initial_candidates: u64,
+    /// Initial candidates served without per-node attribute checks
+    /// (posting-list intersections, or trivially for wildcard predicates).
+    pub index_hits: u64,
+    /// Nodes whose attribute tuples were individually checked during
+    /// candidate selection (verification of non-indexable comparisons).
+    pub scanned_nodes: u64,
     /// Candidates remaining after the downward pruning round.
     pub candidates_after_downward: u64,
     /// Candidates of the prime subtree remaining after the upward round.
@@ -63,6 +69,23 @@ impl EvalStats {
         }
         1.0 - self.candidates_after_downward as f64 / self.initial_candidates as f64
     }
+
+    /// Fraction of initial candidates served straight from the attribute
+    /// inverted index (1.0 = no node scanned during candidate selection).
+    pub fn index_serve_rate(&self) -> f64 {
+        serve_rate(self.index_hits, self.scanned_nodes)
+    }
+}
+
+/// Shared serve-rate formula: index-served over everything touched during
+/// candidate selection (0.0 when idle).  Used by [`EvalStats`] and by the
+/// service-level metrics snapshot so the two reports cannot drift apart.
+pub fn serve_rate(index_hits: u64, scanned_nodes: u64) -> f64 {
+    let touched = index_hits + scanned_nodes;
+    if touched == 0 {
+        return 0.0;
+    }
+    index_hits as f64 / touched as f64
 }
 
 #[cfg(test)]
@@ -83,5 +106,16 @@ mod tests {
         assert_eq!(stats.total_time(), Duration::from_millis(10));
         assert!((stats.pruning_ratio() - 0.75).abs() < 1e-9);
         assert_eq!(EvalStats::default().pruning_ratio(), 0.0);
+    }
+
+    #[test]
+    fn index_serve_rate_splits_hits_and_scans() {
+        let stats = EvalStats {
+            index_hits: 30,
+            scanned_nodes: 10,
+            ..Default::default()
+        };
+        assert!((stats.index_serve_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(EvalStats::default().index_serve_rate(), 0.0);
     }
 }

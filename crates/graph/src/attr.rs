@@ -15,7 +15,10 @@ use serde::{Deserialize, Serialize};
 use crate::symbol::Symbol;
 
 /// The value of a node attribute.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Eq`/`Hash` let `(attribute, value)` pairs key the build-time inverted
+/// index ([`AttrIndex`](crate::AttrIndex)).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AttrValue {
     /// Integer-typed value (years, prices, group ids, ...).
     Int(i64),

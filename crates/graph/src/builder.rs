@@ -92,30 +92,27 @@ impl GraphBuilder {
         self.edges.len()
     }
 
-    /// Finalizes the graph: sorts and de-duplicates adjacency lists.
+    /// Finalizes the graph: sorts and de-duplicates the edge list, packs it
+    /// into forward and reverse CSR arrays, and builds the attribute inverted
+    /// index.
     pub fn build(self) -> DataGraph {
         let n = self.attrs.len();
-        let mut out_edges: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut in_edges: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for &(u, v) in &self.edges {
-            out_edges[u.index()].push(v);
-            in_edges[v.index()].push(u);
-        }
-        let mut edge_count = 0;
-        for list in out_edges.iter_mut() {
-            list.sort_unstable();
-            list.dedup();
-            edge_count += list.len();
-        }
-        for list in in_edges.iter_mut() {
-            list.sort_unstable();
-            list.dedup();
-        }
+        let mut fwd_pairs: Vec<(u32, NodeId)> = self.edges.iter().map(|&(u, v)| (u.0, v)).collect();
+        fwd_pairs.sort_unstable();
+        fwd_pairs.dedup();
+        let edge_count = fwd_pairs.len();
+        let mut rev_pairs: Vec<(u32, NodeId)> =
+            fwd_pairs.iter().map(|&(u, v)| (v.0, NodeId(u))).collect();
+        rev_pairs.sort_unstable();
+        let fwd = crate::csr::Csr::from_sorted_pairs(n, &fwd_pairs);
+        let rev = crate::csr::Csr::from_sorted_pairs(n, &rev_pairs);
+        let index = crate::index::AttrIndex::build(&self.attrs);
         DataGraph {
             symbols: self.symbols,
-            out_edges,
-            in_edges,
+            fwd,
+            rev,
             attrs: self.attrs,
+            index,
             edge_count,
         }
     }

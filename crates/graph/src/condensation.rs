@@ -6,6 +6,7 @@
 //! component DAG.  Two distinct nodes of the same SCC always reach each other;
 //! a node reaches itself iff its SCC contains a cycle (size > 1 or self-loop).
 
+use crate::csr::Csr;
 use crate::graph::{DataGraph, NodeId};
 
 /// Identifier of a strongly connected component in a [`Condensation`].
@@ -21,17 +22,24 @@ impl CompId {
 }
 
 /// The SCC condensation of a [`DataGraph`].
+///
+/// Component membership and the condensation DAG are CSR-packed (flat offset
+/// plus target arrays, see [`Csr`]); [`successors`](Self::successors),
+/// [`predecessors`](Self::predecessors) and [`members`](Self::members) hand
+/// out borrowed slices that reachability backends read directly during index
+/// construction — no per-component heap lists, nothing to copy.
 #[derive(Clone, Debug)]
 pub struct Condensation {
     /// Component of each original node.
     comp_of: Vec<CompId>,
-    /// Members of each component.
-    members: Vec<Vec<NodeId>>,
+    /// Members of each component, CSR-packed, each run sorted.
+    members: Csr<NodeId>,
     /// Whether the component contains a cycle (size > 1 or a self-loop).
     cyclic: Vec<bool>,
-    /// Sorted, de-duplicated adjacency between components (excluding self edges).
-    comp_out: Vec<Vec<CompId>>,
-    comp_in: Vec<Vec<CompId>>,
+    /// Sorted, de-duplicated adjacency between components (excluding self
+    /// edges), CSR-packed.
+    comp_out: Csr<CompId>,
+    comp_in: Csr<CompId>,
     /// Components in topological order (sources first).
     topo: Vec<CompId>,
 }
@@ -102,8 +110,8 @@ impl Condensation {
 
         let c = members.len();
         let mut cyclic = vec![false; c];
-        let mut comp_out: Vec<Vec<CompId>> = vec![Vec::new(); c];
-        let mut comp_in: Vec<Vec<CompId>> = vec![Vec::new(); c];
+        let mut out_pairs: Vec<(u32, CompId)> = Vec::new();
+        let mut in_pairs: Vec<(u32, CompId)> = Vec::new();
         for (ci, group) in members.iter().enumerate() {
             if group.len() > 1 {
                 cyclic[ci] = true;
@@ -118,15 +126,16 @@ impl Condensation {
                         cyclic[cu.index()] = true;
                     }
                 } else {
-                    comp_out[cu.index()].push(cv);
-                    comp_in[cv.index()].push(cu);
+                    out_pairs.push((cu.0, cv));
+                    in_pairs.push((cv.0, cu));
                 }
             }
         }
-        for list in comp_out.iter_mut().chain(comp_in.iter_mut()) {
-            list.sort_unstable();
-            list.dedup();
-        }
+        // `from_pairs` sorts and de-duplicates, so parallel condensation
+        // edges collapse here.
+        let comp_out = Csr::from_pairs(c, out_pairs);
+        let comp_in = Csr::from_pairs(c, in_pairs);
+        let members = Csr::from_runs(c, members);
 
         // Tarjan emits components in reverse topological order.
         let topo: Vec<CompId> = (0..c as u32).rev().map(CompId).collect();
@@ -154,7 +163,7 @@ impl Condensation {
 
     /// Original nodes belonging to component `c`.
     pub fn members(&self, c: CompId) -> &[NodeId] {
-        &self.members[c.index()]
+        self.members.neighbors(c.index())
     }
 
     /// Whether component `c` contains a cycle.
@@ -162,14 +171,16 @@ impl Condensation {
         self.cyclic[c.index()]
     }
 
-    /// Successor components of `c` in the condensation DAG.
+    /// Successor components of `c` in the condensation DAG (a borrowed CSR
+    /// slice, sorted and de-duplicated).
     pub fn successors(&self, c: CompId) -> &[CompId] {
-        &self.comp_out[c.index()]
+        self.comp_out.neighbors(c.index())
     }
 
-    /// Predecessor components of `c` in the condensation DAG.
+    /// Predecessor components of `c` in the condensation DAG (a borrowed CSR
+    /// slice, sorted and de-duplicated).
     pub fn predecessors(&self, c: CompId) -> &[CompId] {
-        &self.comp_in[c.index()]
+        self.comp_in.neighbors(c.index())
     }
 
     /// Components in topological order (sources first).

@@ -1,0 +1,156 @@
+//! Flat compressed-sparse-row adjacency.
+//!
+//! One `u32` offset array plus one flat target array replace the seed's
+//! `Vec<Vec<NodeId>>`: the neighbourhood of node `v` is the contiguous slice
+//! `targets[offsets[v] .. offsets[v + 1]]`, sorted by id.  Scanning a
+//! neighbourhood touches one cache line stream instead of chasing a per-node
+//! heap pointer, and the whole structure is two allocations regardless of the
+//! node count.
+
+use serde::{Deserialize, Serialize};
+
+/// CSR adjacency from dense `u32`-indexed sources to targets of type `T`.
+///
+/// Used with `T = NodeId` for the data graph (forward and reverse) and with
+/// `T = CompId` for the SCC condensation DAG, so reachability backends can
+/// borrow the very same slices during index construction.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Csr<T> {
+    /// `offsets[v] .. offsets[v + 1]` delimits the neighbour run of `v`.
+    offsets: Vec<u32>,
+    /// All neighbour runs, concatenated in source order; each run is sorted.
+    targets: Vec<T>,
+}
+
+impl<T: Copy + Ord> Csr<T> {
+    /// Builds the CSR from `(source, target)` pairs.
+    ///
+    /// Pairs are sorted and de-duplicated here, so callers can hand over the
+    /// raw insertion-order edge list.  `n` is the number of source nodes.
+    pub fn from_pairs(n: usize, mut pairs: Vec<(u32, T)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        Self::from_sorted_pairs(n, &pairs)
+    }
+
+    /// Builds the CSR from pairs already sorted by `(source, target)` with no
+    /// duplicates.
+    ///
+    /// # Panics
+    /// Panics when a pair's source is `>= n` or when the target count
+    /// overflows the `u32` offsets — both would otherwise corrupt the
+    /// structure silently.
+    pub fn from_sorted_pairs(n: usize, pairs: &[(u32, T)]) -> Self {
+        assert!(
+            pairs.len() <= u32::MAX as usize,
+            "CSR target count overflows u32 offsets"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(pairs.len());
+        let mut cursor = 0usize;
+        offsets.push(0);
+        for v in 0..n as u32 {
+            while cursor < pairs.len() && pairs[cursor].0 == v {
+                targets.push(pairs[cursor].1);
+                cursor += 1;
+            }
+            offsets.push(targets.len() as u32);
+        }
+        assert_eq!(cursor, pairs.len(), "pair source out of range");
+        Self { offsets, targets }
+    }
+
+    /// Builds a CSR with `n` sources by flattening per-source runs produced in
+    /// source order.  `runs` yields `(source, sorted run)`; sources must be
+    /// visited in increasing order and every source exactly once.
+    pub fn from_runs<I, R>(n: usize, runs: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: IntoIterator<Item = T>,
+    {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for run in runs {
+            targets.extend(run);
+            assert!(
+                targets.len() <= u32::MAX as usize,
+                "CSR target count overflows u32 offsets"
+            );
+            offsets.push(targets.len() as u32);
+        }
+        assert_eq!(offsets.len(), n + 1, "one run per source expected");
+        Self { offsets, targets }
+    }
+
+    /// Number of source nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether the CSR has no source nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sorted neighbour slice of source `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[T] {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of source `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Total number of stored targets.
+    #[inline]
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether `(v, t)` is stored (binary search on the sorted run).
+    #[inline]
+    pub fn contains(&self, v: usize, t: T) -> bool {
+        self.neighbors(v).binary_search(&t).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_dedups() {
+        let csr = Csr::from_pairs(3, vec![(1u32, 2u32), (0, 2), (0, 1), (0, 2)]);
+        assert_eq!(csr.len(), 3);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[2]);
+        assert_eq!(csr.neighbors(2), &[] as &[u32]);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.target_count(), 3);
+        assert!(csr.contains(0, 2));
+        assert!(!csr.contains(2, 0));
+    }
+
+    #[test]
+    fn from_runs_flattens_in_order() {
+        let csr = Csr::from_runs(3, vec![vec![5u32, 7], vec![], vec![1]]);
+        assert_eq!(csr.neighbors(0), &[5, 7]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn empty_csr() {
+        let csr: Csr<u32> = Csr::from_pairs(0, Vec::new());
+        assert!(csr.is_empty());
+        assert_eq!(csr.target_count(), 0);
+    }
+}

@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::attr::{AttrValue, Attribute};
+use crate::csr::Csr;
+use crate::index::AttrIndex;
 use crate::symbol::{Symbol, SymbolTable};
 
 /// Identifier of a node in a [`DataGraph`]. Dense, starting at zero.
@@ -25,15 +27,24 @@ impl std::fmt::Display for NodeId {
 
 /// An immutable directed graph whose nodes carry attribute tuples.
 ///
-/// Built through [`GraphBuilder`](crate::GraphBuilder); adjacency lists are
-/// sorted and de-duplicated at build time so neighbourhood scans are cache
-/// friendly and membership tests can binary-search.
+/// Built through [`GraphBuilder`](crate::GraphBuilder).  Adjacency is stored
+/// as two flat CSR arrays (forward and reverse), so [`children`](Self::children)
+/// and [`parents`](Self::parents) hand out contiguous sorted slices of one
+/// shared allocation — neighbourhood scans are cache friendly, membership
+/// tests binary-search, and reachability backends borrow the slices directly
+/// during index construction.  A build-time [`AttrIndex`] maps every
+/// `(attribute, value)` pair to its sorted posting list, which is how the
+/// engines select candidates without scanning all nodes (see
+/// [`nodes_with`](Self::nodes_with)).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DataGraph {
     pub(crate) symbols: SymbolTable,
-    pub(crate) out_edges: Vec<Vec<NodeId>>,
-    pub(crate) in_edges: Vec<Vec<NodeId>>,
+    /// Forward CSR: `fwd.neighbors(v)` = children of `v`, sorted.
+    pub(crate) fwd: Csr<NodeId>,
+    /// Reverse CSR: `rev.neighbors(v)` = parents of `v`, sorted.
+    pub(crate) rev: Csr<NodeId>,
     pub(crate) attrs: Vec<Vec<Attribute>>,
+    pub(crate) index: AttrIndex,
     pub(crate) edge_count: usize,
 }
 
@@ -41,7 +52,7 @@ impl DataGraph {
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.out_edges.len()
+        self.attrs.len()
     }
 
     /// Number of directed edges.
@@ -58,30 +69,30 @@ impl DataGraph {
     /// Children (direct successors) of `v`, sorted by id.
     #[inline]
     pub fn children(&self, v: NodeId) -> &[NodeId] {
-        &self.out_edges[v.index()]
+        self.fwd.neighbors(v.index())
     }
 
     /// Parents (direct predecessors) of `v`, sorted by id.
     #[inline]
     pub fn parents(&self, v: NodeId) -> &[NodeId] {
-        &self.in_edges[v.index()]
+        self.rev.neighbors(v.index())
     }
 
     /// Whether the edge `(u, v)` exists.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.out_edges[u.index()].binary_search(&v).is_ok()
+        self.fwd.contains(u.index(), v)
     }
 
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out_edges[v.index()].len()
+        self.fwd.degree(v.index())
     }
 
     /// In-degree of `v`.
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.in_edges[v.index()].len()
+        self.rev.degree(v.index())
     }
 
     /// The attribute tuple `f(v)` of node `v`.
@@ -114,17 +125,42 @@ impl DataGraph {
         self.symbols.resolve(sym)
     }
 
-    /// Returns the nodes whose attribute `name` equals `value`.
-    ///
-    /// Linear scan; used by tests and small examples. Candidate selection in
-    /// the engines goes through the query crate's predicate evaluation.
+    /// The attribute inverted index built alongside the graph.
+    #[inline]
+    pub fn attr_index(&self) -> &AttrIndex {
+        &self.index
+    }
+
+    /// The sorted posting list of nodes whose attribute `name` equals `value`
+    /// — an O(1) dictionary probe plus a borrowed slice, no node scan.
+    pub fn nodes_with(&self, name: &str, value: &AttrValue) -> &[NodeId] {
+        match self.symbols.get(name) {
+            Some(sym) => self.index.nodes_eq(sym, value),
+            None => &[],
+        }
+    }
+
+    /// The sorted posting list of nodes carrying attribute `name` at all.
+    pub fn nodes_with_attr_name(&self, name: &str) -> &[NodeId] {
+        match self.symbols.get(name) {
+            Some(sym) => self.index.nodes_with_name(sym),
+            None => &[],
+        }
+    }
+
+    /// Nodes whose integer attribute `name` lies in `[lo, hi]`, sorted by id.
+    pub fn nodes_with_int_range(&self, name: &str, lo: i64, hi: i64) -> Vec<NodeId> {
+        match self.symbols.get(name) {
+            Some(sym) => self.index.nodes_int_range(sym, lo, hi),
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns the nodes whose attribute `name` equals `value`, as an owned
+    /// vector (answered by the inverted index; kept for API compatibility —
+    /// prefer [`nodes_with`](Self::nodes_with) to avoid the allocation).
     pub fn nodes_with_attr(&self, name: &str, value: &AttrValue) -> Vec<NodeId> {
-        let Some(sym) = self.symbols.get(name) else {
-            return Vec::new();
-        };
-        self.nodes()
-            .filter(|&v| self.attribute_value_sym(v, sym) == Some(value))
-            .collect()
+        self.nodes_with(name, value).to_vec()
     }
 
     /// Total number of attribute entries across all nodes.
@@ -180,5 +216,19 @@ mod tests {
             g.nodes_with_attr(LABEL_ATTR, &AttrValue::str("B")),
             vec![NodeId(1), NodeId(2)]
         );
+    }
+
+    #[test]
+    fn posting_lists_answer_without_scanning() {
+        let g = sample();
+        assert_eq!(
+            g.nodes_with(LABEL_ATTR, &AttrValue::str("B")),
+            &[NodeId(1), NodeId(2)]
+        );
+        assert_eq!(g.nodes_with(LABEL_ATTR, &AttrValue::str("Z")), &[]);
+        assert_eq!(g.nodes_with("missing", &AttrValue::str("B")), &[]);
+        assert_eq!(g.nodes_with_attr_name(LABEL_ATTR).len(), 3);
+        assert_eq!(g.nodes_with_attr_name("missing"), &[]);
+        assert!(g.attr_index().entry_count() > 0);
     }
 }

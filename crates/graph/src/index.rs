@@ -1,0 +1,240 @@
+//! Build-time attribute inverted index.
+//!
+//! For every `(attribute, value)` pair present in the graph the index stores a
+//! sorted posting list of the nodes carrying exactly that pair, plus two
+//! coarser access paths:
+//!
+//! * a per-attribute-name posting list (every node carrying the attribute,
+//!   whatever its value) — the fallback superset for predicates the exact
+//!   postings cannot answer (`!=`, string ranges), and
+//! * a per-attribute sorted `(int value, node)` run answering integer range
+//!   predicates (`<, <=, >, >=`) with two binary searches.
+//!
+//! All posting lists live in two flat arrays (offsets + nodes), mirroring the
+//! CSR adjacency layout; the dictionaries map interned keys to slots.  Posting
+//! lists are sorted by node id, so conjunctive predicates intersect them with
+//! the galloping merge of [`crate::bitset`].
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attr::{AttrValue, Attribute};
+use crate::graph::NodeId;
+use crate::symbol::Symbol;
+
+/// The inverted index over node attributes, built by
+/// [`GraphBuilder::build`](crate::GraphBuilder::build).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AttrIndex {
+    /// attr → value → slot into the value posting arrays.  Two levels so an
+    /// equality probe borrows the caller's `&AttrValue` — no owned key, no
+    /// clone on the hot candidate-selection path.
+    value_slots: HashMap<Symbol, HashMap<AttrValue, u32>>,
+    value_offsets: Vec<u32>,
+    value_nodes: Vec<NodeId>,
+    /// attr → slot into the name posting arrays.
+    name_slots: HashMap<Symbol, u32>,
+    name_offsets: Vec<u32>,
+    name_nodes: Vec<NodeId>,
+    /// attr → `(int value, node)` pairs sorted by value then node.
+    int_runs: HashMap<Symbol, Vec<(i64, NodeId)>>,
+}
+
+impl AttrIndex {
+    /// Builds the index from the per-node attribute tuples (node order gives
+    /// posting lists sorted by id for free).
+    pub fn build(attrs: &[Vec<Attribute>]) -> Self {
+        let mut by_value: HashMap<(Symbol, AttrValue), Vec<NodeId>> = HashMap::new();
+        let mut by_name: HashMap<Symbol, Vec<NodeId>> = HashMap::new();
+        let mut int_runs: HashMap<Symbol, Vec<(i64, NodeId)>> = HashMap::new();
+        for (i, tuple) in attrs.iter().enumerate() {
+            let v = NodeId(i as u32);
+            for attr in tuple {
+                by_value
+                    .entry((attr.name, attr.value.clone()))
+                    .or_default()
+                    .push(v);
+                by_name.entry(attr.name).or_default().push(v);
+                if let AttrValue::Int(value) = attr.value {
+                    int_runs.entry(attr.name).or_default().push((value, v));
+                }
+            }
+        }
+        for run in int_runs.values_mut() {
+            run.sort_unstable();
+        }
+
+        let mut value_slots: HashMap<Symbol, HashMap<AttrValue, u32>> = HashMap::new();
+        let mut value_offsets = Vec::with_capacity(by_value.len() + 1);
+        let mut value_nodes = Vec::new();
+        value_offsets.push(0);
+        // Deterministic slot order keeps rebuilt indexes comparable.
+        fn value_key(v: &AttrValue) -> (u8, i64, &str) {
+            match v {
+                AttrValue::Int(i) => (0, *i, ""),
+                AttrValue::Str(s) => (1, 0, s.as_str()),
+            }
+        }
+        let mut value_keys: Vec<(Symbol, AttrValue)> = by_value.keys().cloned().collect();
+        value_keys.sort_unstable_by(|a, b| (a.0, value_key(&a.1)).cmp(&(b.0, value_key(&b.1))));
+        for (slot, (sym, value)) in value_keys.into_iter().enumerate() {
+            let nodes = &by_value[&(sym, value.clone())];
+            value_slots
+                .entry(sym)
+                .or_default()
+                .insert(value, slot as u32);
+            value_nodes.extend_from_slice(nodes);
+            value_offsets.push(value_nodes.len() as u32);
+        }
+
+        let mut name_slots = HashMap::with_capacity(by_name.len());
+        let mut name_offsets = Vec::with_capacity(by_name.len() + 1);
+        let mut name_nodes = Vec::new();
+        name_offsets.push(0);
+        let mut name_keys: Vec<Symbol> = by_name.keys().copied().collect();
+        name_keys.sort_unstable();
+        for key in name_keys {
+            let nodes = &by_name[&key];
+            name_slots.insert(key, name_slots.len() as u32);
+            name_nodes.extend_from_slice(nodes);
+            name_offsets.push(name_nodes.len() as u32);
+        }
+
+        Self {
+            value_slots,
+            value_offsets,
+            value_nodes,
+            name_slots,
+            name_offsets,
+            name_nodes,
+            int_runs,
+        }
+    }
+
+    /// Sorted posting list of nodes where `attr = value` (empty when the pair
+    /// never occurs).
+    pub fn nodes_eq(&self, attr: Symbol, value: &AttrValue) -> &[NodeId] {
+        match self.value_slots.get(&attr).and_then(|m| m.get(value)) {
+            Some(&slot) => {
+                let lo = self.value_offsets[slot as usize] as usize;
+                let hi = self.value_offsets[slot as usize + 1] as usize;
+                &self.value_nodes[lo..hi]
+            }
+            None => &[],
+        }
+    }
+
+    /// Sorted posting list of nodes carrying attribute `attr` at all.
+    pub fn nodes_with_name(&self, attr: Symbol) -> &[NodeId] {
+        match self.name_slots.get(&attr) {
+            Some(&slot) => {
+                let lo = self.name_offsets[slot as usize] as usize;
+                let hi = self.name_offsets[slot as usize + 1] as usize;
+                &self.name_nodes[lo..hi]
+            }
+            None => &[],
+        }
+    }
+
+    /// Nodes whose integer-valued attribute `attr` lies in `[lo, hi]`
+    /// (inclusive), sorted by id.
+    pub fn nodes_int_range(&self, attr: Symbol, lo: i64, hi: i64) -> Vec<NodeId> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let Some(run) = self.int_runs.get(&attr) else {
+            return Vec::new();
+        };
+        let start = run.partition_point(|&(v, _)| v < lo);
+        let end = run.partition_point(|&(v, _)| v <= hi);
+        let mut nodes: Vec<NodeId> = run[start..end].iter().map(|&(_, v)| v).collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Number of `(attr, value)` posting lists.
+    pub fn value_posting_count(&self) -> usize {
+        self.value_slots.values().map(HashMap::len).sum()
+    }
+
+    /// Total number of posting entries across every access path.
+    pub fn entry_count(&self) -> usize {
+        self.value_nodes.len()
+            + self.name_nodes.len()
+            + self.int_runs.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Number of distinct values of attribute `attr` present in the graph.
+    pub fn distinct_values(&self, attr: Symbol) -> usize {
+        self.value_slots.get(&attr).map_or(0, HashMap::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::LABEL_ATTR;
+
+    use super::*;
+
+    fn sample() -> (crate::DataGraph, Symbol, Symbol) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("x");
+        b.set_attr(a, "year", AttrValue::int(2000));
+        let c = b.add_node_with_label("y");
+        b.set_attr(c, "year", AttrValue::int(2005));
+        let d = b.add_node_with_label("x");
+        b.set_attr(d, "year", AttrValue::int(2010));
+        let _e = b.add_node(); // no attributes at all
+        let g = b.build();
+        let label = g.symbols().get(LABEL_ATTR).unwrap();
+        let year = g.symbols().get("year").unwrap();
+        (g, label, year)
+    }
+
+    #[test]
+    fn eq_postings_are_sorted_and_exact() {
+        let (g, label, _) = sample();
+        let idx = g.attr_index();
+        assert_eq!(
+            idx.nodes_eq(label, &AttrValue::str("x")),
+            &[NodeId(0), NodeId(2)]
+        );
+        assert_eq!(idx.nodes_eq(label, &AttrValue::str("y")), &[NodeId(1)]);
+        assert_eq!(idx.nodes_eq(label, &AttrValue::str("zz")), &[]);
+        assert_eq!(idx.value_posting_count(), 5); // x, y + three years
+        assert_eq!(idx.distinct_values(label), 2);
+    }
+
+    #[test]
+    fn name_postings_cover_every_carrier() {
+        let (g, label, year) = sample();
+        let idx = g.attr_index();
+        assert_eq!(
+            idx.nodes_with_name(label),
+            &[NodeId(0), NodeId(1), NodeId(2)]
+        );
+        assert_eq!(idx.nodes_with_name(year).len(), 3);
+    }
+
+    #[test]
+    fn int_ranges_answer_inclusive_bounds() {
+        let (g, _, year) = sample();
+        let idx = g.attr_index();
+        assert_eq!(
+            idx.nodes_int_range(year, 2000, 2005),
+            vec![NodeId(0), NodeId(1)]
+        );
+        assert_eq!(idx.nodes_int_range(year, 2006, i64::MAX), vec![NodeId(2)]);
+        assert_eq!(idx.nodes_int_range(year, 3000, 4000), Vec::<NodeId>::new());
+        assert_eq!(idx.nodes_int_range(year, 10, 5), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn entry_count_sums_all_paths() {
+        let (g, _, _) = sample();
+        // 6 value entries + 6 name entries + 3 int-run entries.
+        assert_eq!(g.attr_index().entry_count(), 15);
+    }
+}

@@ -7,28 +7,56 @@
 //! directed path.
 //!
 //! The crate provides:
-//! * [`DataGraph`] — an immutable, adjacency-list graph with interned
-//!   attribute names and per-node attribute tuples,
+//! * [`DataGraph`] — an immutable graph with flat CSR adjacency, interned
+//!   attribute names, per-node attribute tuples and a build-time attribute
+//!   inverted index ([`AttrIndex`]),
 //! * [`GraphBuilder`] — the only way to construct a [`DataGraph`],
 //! * [`Condensation`] — Tarjan SCC condensation producing the DAG on which
-//!   reachability indexes are built,
+//!   reachability indexes are built (also CSR-packed),
+//! * [`NodeBitSet`] and galloping sorted-slice intersection — the scratch
+//!   structures of the pruning hot path,
 //! * traversal helpers (BFS descendants/ancestors, naive reachability used as
 //!   a test oracle), and
 //! * simple statistics and a text serialization format used by the examples.
+//!
+//! # Memory layout
+//!
+//! Adjacency is *compressed sparse row*: a `u32` offset array of length
+//! `|V| + 1` plus one flat `NodeId` array of length `|E|`, stored twice
+//! (forward and reverse).  The neighbourhood of `v` is the contiguous sorted
+//! slice `targets[offsets[v] .. offsets[v+1]]`; there are exactly four
+//! adjacency allocations per graph, independent of `|V|`.  The attribute
+//! inverted index uses the same offsets-plus-flat-array shape for its posting
+//! lists, keyed by interned `(attribute, value)` pairs, with a per-attribute
+//! sorted `(int value, node)` run for integer range predicates.
+//!
+//! | operation | seed (`Vec<Vec<NodeId>>` + scans) | CSR + inverted index |
+//! |-----------|-----------------------------------|----------------------|
+//! | `children(v)` / `parents(v)` | pointer chase into a per-node heap `Vec` | slice into one flat array |
+//! | `has_edge(u, v)` | `O(log deg u)` | `O(log deg u)` (same, better locality) |
+//! | nodes with `attr = value` | `O(\|V\| · \|f(v)\|)` scan | `O(1)` probe + `O(k)` posting slice |
+//! | nodes with `attr` in `[lo, hi]` (int) | `O(\|V\| · \|f(v)\|)` scan | `O(log \|run\| + k)` |
+//! | conjunction of predicates | full scan testing each node | galloping posting intersection, `O(k_min · log k_max)` |
+//! | build | `O(\|V\|)` allocations | `O(\|E\| log \|E\|)` sort, `O(1)` allocations |
 
 pub mod attr;
+pub mod bitset;
 pub mod builder;
 pub mod condensation;
+pub mod csr;
 pub mod graph;
+pub mod index;
 pub mod io;
 pub mod stats;
 pub mod symbol;
 pub mod traversal;
 
 pub use attr::{AttrValue, Attribute};
+pub use bitset::{intersect_many, intersect_sorted, intersect_sorted_into, NodeBitSet};
 pub use builder::GraphBuilder;
 pub use condensation::Condensation;
 pub use graph::{DataGraph, NodeId};
+pub use index::AttrIndex;
 pub use stats::GraphStats;
 pub use symbol::{Symbol, SymbolTable};
 

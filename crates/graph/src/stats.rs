@@ -28,13 +28,12 @@ pub struct GraphStats {
 impl GraphStats {
     /// Computes statistics for `g`.
     pub fn compute(g: &DataGraph) -> Self {
-        let mut labels: Vec<String> = g
-            .nodes()
-            .filter_map(|v| g.attribute_value(v, crate::LABEL_ATTR))
-            .map(|v| v.to_string())
-            .collect();
-        labels.sort_unstable();
-        labels.dedup();
+        // Distinct label values come straight from the inverted index.
+        let distinct_labels = g
+            .symbols()
+            .get(crate::LABEL_ATTR)
+            .map(|sym| g.attr_index().distinct_values(sym))
+            .unwrap_or(0);
 
         let max_out_degree = g.nodes().map(|v| g.out_degree(v)).max().unwrap_or(0);
         let max_in_degree = g.nodes().map(|v| g.in_degree(v)).max().unwrap_or(0);
@@ -48,14 +47,17 @@ impl GraphStats {
         };
         let max_depth = reached.iter().copied().max().unwrap_or(0);
 
-        let approx_bytes = g.node_count() * std::mem::size_of::<Vec<NodeId>>() * 2
+        // CSR layout: two offset arrays plus two flat target arrays, the
+        // attribute tuples, and the inverted-index posting entries.
+        let approx_bytes = (g.node_count() + 1) * std::mem::size_of::<u32>() * 2
             + g.edge_count() * std::mem::size_of::<NodeId>() * 2
-            + g.attribute_count() * 24;
+            + g.attribute_count() * 24
+            + g.attr_index().entry_count() * std::mem::size_of::<NodeId>();
 
         Self {
             nodes: g.node_count(),
             edges: g.edge_count(),
-            distinct_labels: labels.len(),
+            distinct_labels,
             max_out_degree,
             max_in_degree,
             avg_depth,

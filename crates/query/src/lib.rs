@@ -35,6 +35,6 @@ pub mod structural;
 
 pub use builder::{GtpqBuilder, QueryError};
 pub use node::{EdgeKind, NodeKind, QueryNode, QueryNodeId};
-pub use predicate::{AttrComparison, AttrPredicate, CmpOp};
+pub use predicate::{AttrComparison, AttrPredicate, CandidateSelection, CmpOp};
 pub use query::Gtpq;
 pub use result::ResultSet;

@@ -1,6 +1,6 @@
 //! Attribute predicates: conjunctions of `attribute op constant` comparisons.
 
-use gtpq_graph::{AttrValue, DataGraph, NodeId};
+use gtpq_graph::{intersect_many, AttrValue, DataGraph, NodeId, Symbol};
 use serde::{Deserialize, Serialize};
 
 /// The six comparison operators of the paper.
@@ -64,6 +64,22 @@ impl std::fmt::Display for AttrComparison {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{} {} {}", self.attr, self.op, self.value)
     }
+}
+
+/// The outcome of index-backed candidate selection
+/// ([`AttrPredicate::select_candidates`]).
+#[derive(Clone, Debug)]
+pub struct CandidateSelection {
+    /// The selected candidates, sorted by node id.
+    pub nodes: Vec<NodeId>,
+    /// Whether the set was served without scanning per-node attribute data
+    /// (posting-list intersections, or trivially for the wildcard).
+    pub from_index: bool,
+    /// Number of nodes whose attribute tuples were individually checked
+    /// (zero when `from_index`).
+    pub verified: u64,
+    /// Number of inverted-index posting entries read.
+    pub posting_entries: u64,
 }
 
 /// An attribute predicate `fa(u)`: a conjunction of atomic comparisons.
@@ -213,6 +229,117 @@ impl AttrPredicate {
         width > excluded
     }
 
+    /// Selects the candidate set `{v | v ∼ self}` through the graph's
+    /// attribute inverted index.
+    ///
+    /// Every comparison contributes a sorted node set:
+    /// * `=` probes the exact `(attr, value)` posting list,
+    /// * `<, <=, >, >=` over integers binary-search the per-attribute sorted
+    ///   value run,
+    /// * `!=` and string ranges fall back to the per-attribute-name posting
+    ///   list (every node carrying the attribute) and mark the selection for
+    ///   per-node verification.
+    ///
+    /// The sets are intersected with a galloping merge (smallest list first);
+    /// when any comparison was only approximated, the survivors are verified
+    /// with [`matches`](Self::matches).  Only the wildcard predicate has no
+    /// indexable comparison — it selects every node without touching any
+    /// attribute data.
+    pub fn select_candidates(&self, g: &DataGraph) -> CandidateSelection {
+        if self.comparisons.is_empty() {
+            // Wildcard: every node matches and no attribute data is touched,
+            // so the selection counts as served without scanning.
+            return CandidateSelection {
+                nodes: g.nodes().collect(),
+                from_index: true,
+                verified: 0,
+                posting_entries: 0,
+            };
+        }
+        let index = g.attr_index();
+        let mut slices: Vec<&[NodeId]> = Vec::new();
+        // Integer range bounds merged per attribute, so `year >= a AND
+        // year <= b` costs one index probe of the final interval instead of
+        // two near-full runs.  i128 bounds avoid the ±1 overflow at the i64
+        // extremes.
+        let mut int_bounds: Vec<(Symbol, i128, i128)> = Vec::new();
+        let mut posting_entries = 0u64;
+        let mut needs_verify = false;
+        let tighten =
+            |sym: Symbol, lo: i128, hi: i128, bounds: &mut Vec<(Symbol, i128, i128)>| match bounds
+                .iter_mut()
+                .find(|(s, _, _)| *s == sym)
+            {
+                Some((_, blo, bhi)) => {
+                    *blo = (*blo).max(lo);
+                    *bhi = (*bhi).min(hi);
+                }
+                None => bounds.push((sym, lo, hi)),
+            };
+        for cmp in &self.comparisons {
+            let Some(sym) = g.symbols().get(&cmp.attr) else {
+                // The attribute never occurs in the graph: nothing matches.
+                return CandidateSelection {
+                    nodes: Vec::new(),
+                    from_index: true,
+                    verified: 0,
+                    posting_entries,
+                };
+            };
+            match (cmp.op, &cmp.value) {
+                (CmpOp::Eq, value) => {
+                    let posting = index.nodes_eq(sym, value);
+                    posting_entries += posting.len() as u64;
+                    slices.push(posting);
+                }
+                (CmpOp::Lt, AttrValue::Int(v)) => {
+                    tighten(sym, i64::MIN as i128, *v as i128 - 1, &mut int_bounds)
+                }
+                (CmpOp::Le, AttrValue::Int(v)) => {
+                    tighten(sym, i64::MIN as i128, *v as i128, &mut int_bounds)
+                }
+                (CmpOp::Gt, AttrValue::Int(v)) => {
+                    tighten(sym, *v as i128 + 1, i64::MAX as i128, &mut int_bounds)
+                }
+                (CmpOp::Ge, AttrValue::Int(v)) => {
+                    tighten(sym, *v as i128, i64::MAX as i128, &mut int_bounds)
+                }
+                _ => {
+                    // `!=` or a range over strings: restrict to the nodes
+                    // carrying the attribute, verify the survivors per node.
+                    let posting = index.nodes_with_name(sym);
+                    posting_entries += posting.len() as u64;
+                    slices.push(posting);
+                    needs_verify = true;
+                }
+            }
+        }
+        let ranges: Vec<Vec<NodeId>> = int_bounds
+            .iter()
+            .map(|&(sym, lo, hi)| {
+                if lo > hi {
+                    return Vec::new(); // contradictory bounds
+                }
+                let run = index.nodes_int_range(sym, lo as i64, hi as i64);
+                posting_entries += run.len() as u64;
+                run
+            })
+            .collect();
+        slices.extend(ranges.iter().map(Vec::as_slice));
+        let mut nodes = intersect_many(&slices, g.node_count());
+        let mut verified = 0u64;
+        if needs_verify {
+            verified = nodes.len() as u64;
+            nodes.retain(|&v| self.matches(g, v));
+        }
+        CandidateSelection {
+            nodes,
+            from_index: !needs_verify,
+            verified,
+            posting_entries,
+        }
+    }
+
     /// The paper's `u2 ⊢ u1` test: for every comparison `A op a1` of `self`
     /// (playing `u1`) there is a comparison `A op a2` of `other` (playing
     /// `u2`) such that any node satisfying `other`'s comparison also satisfies
@@ -312,6 +439,86 @@ mod tests {
         let mixed_kind =
             AttrPredicate::eq("x", AttrValue::int(1)).and("x", CmpOp::Eq, AttrValue::str("1"));
         assert!(!mixed_kind.is_satisfiable());
+    }
+
+    fn scan(p: &AttrPredicate, g: &gtpq_graph::DataGraph) -> Vec<gtpq_graph::NodeId> {
+        g.nodes().filter(|&v| p.matches(g, v)).collect()
+    }
+
+    #[test]
+    fn index_selection_agrees_with_the_scan() {
+        let mut b = GraphBuilder::new();
+        for (label, year) in [
+            ("a", 1999),
+            ("b", 2003),
+            ("a", 2005),
+            ("c", 2005),
+            ("a", 2011),
+        ] {
+            let v = b.add_node_with_label(label);
+            b.set_attr(v, "year", AttrValue::int(year));
+        }
+        let extra = b.add_node(); // carries no attributes at all
+        let _ = extra;
+        let g = b.build();
+        let predicates = [
+            AttrPredicate::any(),
+            AttrPredicate::label("a"),
+            AttrPredicate::label("a").and("year", CmpOp::Ge, AttrValue::int(2005)),
+            AttrPredicate::any()
+                .and("year", CmpOp::Gt, AttrValue::int(2000))
+                .and("year", CmpOp::Lt, AttrValue::int(2011)),
+            AttrPredicate::any().and("year", CmpOp::Ne, AttrValue::int(2005)),
+            AttrPredicate::any().and("label", CmpOp::Ge, AttrValue::str("b")),
+            AttrPredicate::eq("missing", AttrValue::int(1)),
+            AttrPredicate::label("a").and("label", CmpOp::Eq, AttrValue::str("b")),
+        ];
+        for p in &predicates {
+            let sel = p.select_candidates(&g);
+            assert_eq!(sel.nodes, scan(p, &g), "predicate {p}");
+            if sel.from_index {
+                assert_eq!(sel.verified, 0, "predicate {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_selection_reports_its_access_path() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node_with_label("x");
+        b.set_attr(v, "year", AttrValue::int(2000));
+        let g = b.build();
+        // Pure equality: fully index-served.
+        let sel = AttrPredicate::label("x").select_candidates(&g);
+        assert!(sel.from_index);
+        assert!(sel.posting_entries > 0);
+        // `!=` needs verification against the name posting list.
+        let sel = AttrPredicate::any()
+            .and("year", CmpOp::Ne, AttrValue::int(1))
+            .select_candidates(&g);
+        assert!(!sel.from_index);
+        assert_eq!(sel.verified, 1);
+        assert_eq!(sel.nodes, vec![v]);
+        // Wildcard: every node, no attribute data touched — counts as served
+        // without scanning.
+        let sel = AttrPredicate::any().select_candidates(&g);
+        assert!(sel.from_index);
+        assert_eq!(sel.verified, 0);
+        assert_eq!(sel.posting_entries, 0);
+    }
+
+    #[test]
+    fn index_selection_handles_extreme_integer_bounds() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node();
+        b.set_attr(v, "w", AttrValue::int(i64::MIN));
+        let g = b.build();
+        let lt_min = AttrPredicate::any().and("w", CmpOp::Lt, AttrValue::int(i64::MIN));
+        assert!(lt_min.select_candidates(&g).nodes.is_empty());
+        let gt_max = AttrPredicate::any().and("w", CmpOp::Gt, AttrValue::int(i64::MAX));
+        assert!(gt_max.select_candidates(&g).nodes.is_empty());
+        let le_min = AttrPredicate::any().and("w", CmpOp::Le, AttrValue::int(i64::MIN));
+        assert_eq!(le_min.select_candidates(&g).nodes, vec![v]);
     }
 
     #[test]

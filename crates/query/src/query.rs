@@ -5,6 +5,7 @@ use gtpq_logic::BoolExpr;
 use serde::{Deserialize, Serialize};
 
 use crate::node::{EdgeKind, NodeKind, QueryNode, QueryNodeId};
+use crate::predicate::CandidateSelection;
 
 /// A generalized tree pattern query `Q = (Vb, Vp, Vo, Eq, fa, fe, fs)`.
 ///
@@ -183,9 +184,23 @@ impl Gtpq {
         self.nodes[u.index()].attr.matches(g, v)
     }
 
-    /// The candidate matching nodes `mat(u) = {v | v ∼ u}` of a query node.
+    /// The candidate matching nodes `mat(u) = {v | v ∼ u}` of a query node,
+    /// computed by a full node scan.
+    ///
+    /// Kept as the oracle for the index-backed path and for benchmarking;
+    /// the engines call [`candidates_indexed`](Self::candidates_indexed).
     pub fn candidates(&self, g: &DataGraph, u: QueryNodeId) -> Vec<NodeId> {
         g.nodes().filter(|&v| self.matches_attr(g, v, u)).collect()
+    }
+
+    /// The candidate matching nodes of a query node, served through the
+    /// graph's attribute inverted index (posting-list intersection with a
+    /// per-node verification fallback for non-indexable comparisons).
+    ///
+    /// Returns the same node set as [`candidates`](Self::candidates), sorted
+    /// by id, plus selection statistics.
+    pub fn candidates_indexed(&self, g: &DataGraph, u: QueryNodeId) -> CandidateSelection {
+        self.nodes[u.index()].attr.select_candidates(g)
     }
 
     /// Display name of a node: its explicit name, or `u<i>`.

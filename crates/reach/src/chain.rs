@@ -174,9 +174,9 @@ impl ChainCover {
         let cc = chains.chain_count();
         let mut table = vec![u32::MAX; n * cc];
         // Reverse topological order: successors are complete before their
-        // predecessors merge them in.
-        let topo: Vec<CompId> = cond.topological_order().to_vec();
-        for &c in topo.iter().rev() {
+        // predecessors merge them in.  Borrows the condensation CSR slices
+        // directly — nothing is copied during construction.
+        for &c in cond.topological_order().iter().rev() {
             let base = c.index() * cc;
             for &s in cond.successors(c) {
                 let spos = chains.position(s);

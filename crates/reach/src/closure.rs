@@ -62,11 +62,10 @@ impl TransitiveClosure {
         let condensation = Condensation::new(g);
         let n = condensation.component_count();
         let mut rows: Vec<BitRow> = (0..n).map(|_| BitRow::new(n)).collect();
-        // Reverse topological order: children before parents.
-        let topo: Vec<CompId> = condensation.topological_order().to_vec();
-        for &c in topo.iter().rev() {
-            let succs: Vec<CompId> = condensation.successors(c).to_vec();
-            for s in succs {
+        // Reverse topological order: children before parents.  The borrowed
+        // condensation CSR slices are read directly; only `rows` is mutated.
+        for &c in condensation.topological_order().iter().rev() {
+            for &s in condensation.successors(c) {
                 let (row_c, row_s) = Self::two_rows(&mut rows, c.index(), s.index());
                 row_c.set(s.index());
                 row_c.union_with(row_s);

@@ -152,7 +152,7 @@ impl ContourIndex {
         let chains = ChainDecomposition::from_condensation(&cond);
         let n = cond.component_count();
         let mut full: Vec<HashMap<ChainId, u32>> = vec![HashMap::new(); n];
-        let topo: Vec<CompId> = cond.topological_order().to_vec();
+        let topo: &[CompId] = cond.topological_order();
         for &c in topo.iter().rev() {
             let my_chain = chains.position(c).chain;
             let mut map: HashMap<ChainId, u32> = HashMap::new();

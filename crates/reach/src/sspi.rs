@@ -45,8 +45,8 @@ impl Sspi {
         let mut tree_children: Vec<Vec<CompId>> = vec![Vec::new(); n];
         let mut in_tree = vec![false; n];
         let mut queue: VecDeque<CompId> = VecDeque::new();
-        let topo: Vec<CompId> = cond.topological_order().to_vec();
-        for &c in &topo {
+        let topo: &[CompId] = cond.topological_order();
+        for &c in topo {
             if cond.predecessors(c).is_empty() {
                 in_tree[c.index()] = true;
                 queue.push_back(c);
@@ -63,7 +63,7 @@ impl Sspi {
             }
         }
         // Any component not reached (only possible in exotic cases) becomes a root.
-        for &c in &topo {
+        for &c in topo {
             if !in_tree[c.index()] {
                 in_tree[c.index()] = true;
                 queue.push_back(c);
@@ -84,7 +84,7 @@ impl Sspi {
         let mut start = vec![0u32; n];
         let mut end = vec![0u32; n];
         let mut counter = 0u32;
-        for &root in &topo {
+        for &root in topo {
             if tree_parent[root.index()].is_some() {
                 continue;
             }
@@ -109,7 +109,7 @@ impl Sspi {
 
         // Surplus predecessors: in-edges that are not spanning-tree edges.
         let mut surplus_in: Vec<Vec<CompId>> = vec![Vec::new(); n];
-        for &c in &topo {
+        for &c in topo {
             for &p in cond.predecessors(c) {
                 if tree_parent[c.index()] != Some(p) {
                     surplus_in[c.index()].push(p);

@@ -65,7 +65,7 @@ impl ThreeHop {
         // Full entry/exit maps per component (chain -> extreme sid), computed
         // in (reverse) topological order; own-chain entries are omitted.
         let mut succ_full: Vec<HashMap<ChainId, u32>> = vec![HashMap::new(); n];
-        let topo: Vec<CompId> = cond.topological_order().to_vec();
+        let topo: &[CompId] = cond.topological_order();
         for &c in topo.iter().rev() {
             let my_chain = chains.position(c).chain;
             let mut map: HashMap<ChainId, u32> = HashMap::new();
@@ -84,7 +84,7 @@ impl ThreeHop {
         }
 
         let mut pred_full: Vec<HashMap<ChainId, u32>> = vec![HashMap::new(); n];
-        for &c in &topo {
+        for &c in topo {
             let my_chain = chains.position(c).chain;
             let mut map: HashMap<ChainId, u32> = HashMap::new();
             for &parent in cond.predecessors(c) {

@@ -26,6 +26,8 @@ pub struct ServiceMetrics {
     enumerate_nanos: AtomicU64,
     input_nodes: AtomicU64,
     index_lookups: AtomicU64,
+    index_hits: AtomicU64,
+    scanned_nodes: AtomicU64,
     result_tuples: AtomicU64,
 }
 
@@ -45,6 +47,8 @@ impl ServiceMetrics {
             enumerate_nanos: AtomicU64::new(0),
             input_nodes: AtomicU64::new(0),
             index_lookups: AtomicU64::new(0),
+            index_hits: AtomicU64::new(0),
+            scanned_nodes: AtomicU64::new(0),
             result_tuples: AtomicU64::new(0),
         }
     }
@@ -70,6 +74,10 @@ impl ServiceMetrics {
             .fetch_add(stats.input_nodes, Ordering::Relaxed);
         self.index_lookups
             .fetch_add(stats.index_lookups, Ordering::Relaxed);
+        self.index_hits
+            .fetch_add(stats.index_hits, Ordering::Relaxed);
+        self.scanned_nodes
+            .fetch_add(stats.scanned_nodes, Ordering::Relaxed);
         self.result_tuples
             .fetch_add(stats.result_tuples, Ordering::Relaxed);
     }
@@ -97,6 +105,8 @@ impl ServiceMetrics {
             enumerate_time: Duration::from_nanos(self.enumerate_nanos.load(Ordering::Relaxed)),
             input_nodes: self.input_nodes.load(Ordering::Relaxed),
             index_lookups: self.index_lookups.load(Ordering::Relaxed),
+            index_hits: self.index_hits.load(Ordering::Relaxed),
+            scanned_nodes: self.scanned_nodes.load(Ordering::Relaxed),
             result_tuples: self.result_tuples.load(Ordering::Relaxed),
         }
     }
@@ -132,6 +142,12 @@ pub struct MetricsSnapshot {
     pub input_nodes: u64,
     /// Index-element lookups rollup (`#index`, Fig. 10).
     pub index_lookups: u64,
+    /// Candidates served straight from the attribute inverted index during
+    /// candidate selection.
+    pub index_hits: u64,
+    /// Nodes individually verified during candidate selection (the scan
+    /// remainder the inverted index could not serve exactly).
+    pub scanned_nodes: u64,
     /// Result tuples produced by engine runs.
     pub result_tuples: u64,
 }
@@ -156,6 +172,12 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Fraction of initial candidates served straight from the inverted
+    /// index across all engine runs (0.0 when idle).
+    pub fn index_serve_rate(&self) -> f64 {
+        gtpq_core::stats::serve_rate(self.index_hits, self.scanned_nodes)
+    }
+
     /// Mean engine time per cache miss.
     pub fn mean_eval_time(&self) -> Duration {
         if self.cache_misses == 0 {
@@ -178,6 +200,8 @@ mod tests {
             prune_down_time: Duration::from_millis(3),
             result_tuples: 7,
             input_nodes: 11,
+            index_hits: 9,
+            scanned_nodes: 3,
             ..Default::default()
         };
         m.record_miss(&stats);
@@ -191,6 +215,9 @@ mod tests {
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.result_tuples, 14);
         assert_eq!(snap.input_nodes, 22);
+        assert_eq!(snap.index_hits, 18);
+        assert_eq!(snap.scanned_nodes, 6);
+        assert!((snap.index_serve_rate() - 0.75).abs() < 1e-9);
         assert_eq!(snap.candidate_time, Duration::from_millis(4));
         assert_eq!(snap.eval_time, Duration::from_millis(10));
         assert_eq!(snap.mean_eval_time(), Duration::from_millis(5));
@@ -202,6 +229,7 @@ mod tests {
     fn idle_snapshot_has_zero_rates() {
         let snap = ServiceMetrics::new().snapshot();
         assert_eq!(snap.hit_rate(), 0.0);
+        assert_eq!(snap.index_serve_rate(), 0.0);
         assert_eq!(snap.mean_eval_time(), Duration::ZERO);
     }
 }

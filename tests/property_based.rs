@@ -221,6 +221,81 @@ fn formula_transformations_preserve_equivalence() {
     }
 }
 
+/// A random attribute predicate exercising every access path of the inverted
+/// index: equalities, integer ranges, `!=`, string ranges, conjunctions,
+/// unknown attributes and the wildcard.
+fn random_predicate(rng: &mut StdRng) -> AttrPredicate {
+    let mut p = match rng.gen_range(0u8..6) {
+        0 => AttrPredicate::any(),
+        1 => AttrPredicate::label(&format!("l{}", rng.gen_range(0u8..4))),
+        2 => {
+            let op = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][rng.gen_range(0..4usize)];
+            AttrPredicate::any().and("year", op, AttrValue::int(rng.gen_range(1995..2010)))
+        }
+        3 => AttrPredicate::any().and("year", CmpOp::Ne, AttrValue::int(rng.gen_range(1995..2010))),
+        4 => AttrPredicate::any().and(
+            "label",
+            [CmpOp::Ge, CmpOp::Lt][rng.gen_range(0..2usize)],
+            AttrValue::str(&format!("l{}", rng.gen_range(0u8..4))),
+        ),
+        _ => AttrPredicate::eq("nowhere", AttrValue::int(1)),
+    };
+    if rng.gen_bool(0.4) {
+        p = p.and("year", CmpOp::Ge, AttrValue::int(rng.gen_range(1995..2010)));
+    }
+    p
+}
+
+#[test]
+fn index_backed_candidates_equal_the_full_scan() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Richer graph: labels plus an integer attribute on most nodes.
+        let n = rng.gen_range(2..40usize);
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            let v = b.add_node_with_label(&format!("l{}", rng.gen_range(0u8..4)));
+            if rng.gen_bool(0.8) {
+                b.set_attr(v, "year", AttrValue::int(rng.gen_range(1995..2010)));
+            }
+        }
+        let g = b.build();
+
+        // Random queries whose nodes carry random predicates.
+        let mut qb = GtpqBuilder::new(random_predicate(&mut rng));
+        let root = qb.root_id();
+        for _ in 0..rng.gen_range(1..4usize) {
+            let c = qb.backbone_child(root, EdgeKind::Descendant, random_predicate(&mut rng));
+            qb.mark_output(c);
+        }
+        qb.mark_output(root);
+        let q = qb.build().expect("generated query is valid");
+
+        for u in q.node_ids() {
+            let selection = q.candidates_indexed(&g, u);
+            assert_eq!(
+                selection.nodes,
+                q.candidates(&g, u),
+                "seed {seed}: index/scan mismatch at {u}"
+            );
+            if selection.from_index {
+                assert_eq!(selection.verified, 0, "seed {seed}");
+            }
+        }
+
+        // And the engine-level candidate selection agrees too.
+        let mut stats = EvalStats::default();
+        let mat = gtpq::engine::prune::initial_candidates(&q, &g, &mut stats);
+        for u in q.node_ids() {
+            assert_eq!(mat[u.index()], q.candidates(&g, u), "seed {seed} at {u}");
+        }
+        assert!(
+            stats.input_nodes <= (q.size() * g.node_count()) as u64,
+            "seed {seed}: input_nodes over-counted"
+        );
+    }
+}
+
 #[test]
 fn gtea_agrees_with_the_naive_evaluator() {
     for seed in 0..CASES {
