@@ -1,0 +1,683 @@
+//! # gtpq-cli — interactive front end for the textual GTPQ query language
+//!
+//! The `gtpq-cli` binary loads one of the synthetic datasets
+//! (`gtpq-datagen`), builds a [`QueryService`] with a chosen (or
+//! auto-selected) reachability backend, and evaluates queries written in the
+//! textual query language (`docs/QUERY_LANGUAGE.md`) — either one-shot via
+//! `--query`, or as a REPL reading from stdin:
+//!
+//! ```text
+//! $ gtpq-cli --dataset dblp
+//! gtpq> inproceedings {
+//!   ...>     / [label = title]*
+//!   ...>     where / [label = author, value = Alice]
+//!   ...> }
+//! title
+//! ------
+//! v17:title
+//! ...
+//! 12 rows
+//! ```
+//!
+//! Everything except reading stdin/stdout lives in this library crate so the
+//! whole surface is testable: argument parsing ([`CliOptions::parse`]), the
+//! REPL loop ([`repl`]) over arbitrary readers/writers, and query execution
+//! ([`Session`]).
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use gtpq_graph::DataGraph;
+use gtpq_query::Gtpq;
+use gtpq_reach::BackendKind;
+use gtpq_service::{QueryService, ServiceConfig};
+
+/// Usage text printed by `--help` and on argument errors.
+pub const USAGE: &str = "\
+gtpq-cli — evaluate textual GTPQ queries against a generated dataset
+
+USAGE:
+    gtpq-cli [OPTIONS]                 start a REPL on stdin
+    gtpq-cli [OPTIONS] --query TEXT    evaluate one query and exit
+
+OPTIONS:
+    --dataset NAME    dblp | arxiv | xmark          [default: dblp]
+    --scale FACTOR    dataset size multiplier       [default: 1.0]
+    --seed N          generator seed                [default: 42]
+    --backend NAME    auto | closure | 3hop | chain | contour | sspi | interval
+                                                    [default: auto]
+    --query TEXT      one-shot query text (see docs/QUERY_LANGUAGE.md)
+    --stats           print per-query evaluation statistics
+    --limit N         result rows to print          [default: 20]
+    --help            this text
+
+REPL COMMANDS:
+    :help             command list
+    :explain QUERY    parse a query and print its tree without evaluating it
+    :stats [on|off]   toggle per-query statistics
+    :limit N          result rows to print
+    :backend          backend in use (and why it was auto-selected)
+    :metrics          service counters (queries, cache hit rate, timings)
+    :quit             exit (also :q, :exit, Ctrl-D)
+
+Queries may span multiple lines; input is evaluated once all brackets are
+balanced. `#` starts a comment.";
+
+/// The datasets the CLI can generate in-process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// Small DBLP-like bibliography graph (Example 1 of the paper).
+    Dblp,
+    /// arXiv-like citation/authorship graph (dense, cyclic-free, deep).
+    Arxiv,
+    /// XMark-like auction graph with IDREF cross edges.
+    Xmark,
+}
+
+impl Dataset {
+    /// Parses a `--dataset` argument.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "dblp" => Ok(Dataset::Dblp),
+            "arxiv" => Ok(Dataset::Arxiv),
+            "xmark" => Ok(Dataset::Xmark),
+            other => Err(format!(
+                "unknown dataset `{other}` (expected dblp, arxiv or xmark)"
+            )),
+        }
+    }
+
+    /// The dataset name as written on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Dblp => "dblp",
+            Dataset::Arxiv => "arxiv",
+            Dataset::Xmark => "xmark",
+        }
+    }
+
+    /// Generates the data graph at the given scale and seed.
+    pub fn generate(self, scale: f64, seed: u64) -> DataGraph {
+        match self {
+            Dataset::Dblp => {
+                let papers = ((240.0 * scale).round() as usize).max(8);
+                gtpq_datagen::generate_dblp(papers, seed)
+            }
+            Dataset::Arxiv => {
+                let base = gtpq_datagen::ArxivConfig::small();
+                gtpq_datagen::generate_arxiv(&gtpq_datagen::ArxivConfig {
+                    papers: ((base.papers as f64 * scale).round() as usize).max(8),
+                    authors: ((base.authors as f64 * scale).round() as usize).max(4),
+                    seed,
+                    ..base
+                })
+            }
+            Dataset::Xmark => {
+                let mut config = gtpq_datagen::XmarkConfig::with_scale(0.1 * scale);
+                config.seed = seed;
+                gtpq_datagen::generate_xmark(&config)
+            }
+        }
+    }
+}
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct CliOptions {
+    /// Dataset to generate and serve.
+    pub dataset: Dataset,
+    /// Dataset scale multiplier.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Pinned reachability backend; `None` = auto-select from graph stats.
+    pub backend: Option<BackendKind>,
+    /// One-shot query; `None` starts the REPL.
+    pub query: Option<String>,
+    /// Whether to print per-query [`EvalStats`](gtpq_core::EvalStats).
+    pub show_stats: bool,
+    /// Maximum result rows printed per query.
+    pub limit: usize,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            dataset: Dataset::Dblp,
+            scale: 1.0,
+            seed: 42,
+            backend: None,
+            query: None,
+            show_stats: false,
+            limit: 20,
+            help: false,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses command-line arguments (everything after the binary name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut opts = Self::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut value_of = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--dataset" => opts.dataset = Dataset::parse(&value_of("--dataset")?)?,
+                "--scale" => {
+                    let v = value_of("--scale")?;
+                    opts.scale = v
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|s| s.is_finite() && *s > 0.0)
+                        .ok_or_else(|| format!("invalid --scale `{v}`"))?;
+                }
+                "--seed" => {
+                    let v = value_of("--seed")?;
+                    opts.seed = v.parse().map_err(|_| format!("invalid --seed `{v}`"))?;
+                }
+                "--backend" => {
+                    let v = value_of("--backend")?;
+                    opts.backend = parse_backend(&v)?;
+                }
+                "--query" => opts.query = Some(value_of("--query")?),
+                "--stats" => opts.show_stats = true,
+                "--limit" => {
+                    let v = value_of("--limit")?;
+                    opts.limit = v
+                        .parse()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| format!("invalid --limit `{v}` (expected N > 0)"))?;
+                }
+                "--help" | "-h" => opts.help = true,
+                other => return Err(format!("unknown argument `{other}` (try --help)")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Parses a `--backend` argument; `auto` means auto-selection (`None`).
+pub fn parse_backend(s: &str) -> Result<Option<BackendKind>, String> {
+    let kind = match s {
+        "auto" => return Ok(None),
+        "closure" => BackendKind::Closure,
+        "3hop" => BackendKind::ThreeHop,
+        "chain" => BackendKind::Chain,
+        "contour" => BackendKind::Contour,
+        "sspi" => BackendKind::Sspi,
+        "interval" => BackendKind::Interval,
+        other => {
+            return Err(format!(
+                "unknown backend `{other}` (expected auto, closure, 3hop, chain, \
+                 contour, sspi or interval)"
+            ))
+        }
+    };
+    Ok(Some(kind))
+}
+
+/// What the REPL should do after handling one input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Keep reading input; the string is the rendered output.
+    Continue(String),
+    /// Exit the REPL.
+    Quit,
+}
+
+/// A loaded dataset plus the query service answering over it — the state
+/// behind both the REPL and the one-shot mode.
+pub struct Session {
+    service: QueryService,
+    dataset: Dataset,
+    show_stats: bool,
+    limit: usize,
+}
+
+impl Session {
+    /// Generates the dataset and builds the service described by `opts`.
+    pub fn new(opts: &CliOptions) -> Self {
+        let graph = Arc::new(opts.dataset.generate(opts.scale, opts.seed));
+        let service = QueryService::with_config(
+            graph,
+            ServiceConfig {
+                backend: opts.backend,
+                ..ServiceConfig::default()
+            },
+        );
+        Self {
+            service,
+            dataset: opts.dataset,
+            show_stats: opts.show_stats,
+            limit: opts.limit.max(1),
+        }
+    }
+
+    /// The underlying query service (tests compare REPL answers against
+    /// direct builder-constructed evaluation through this).
+    pub fn service(&self) -> &QueryService {
+        &self.service
+    }
+
+    /// One line describing the loaded graph and backend, shown at REPL start.
+    pub fn banner(&self) -> String {
+        let g = self.service.graph();
+        let why = self
+            .service
+            .backend_selection()
+            .map(|s| format!(" (auto: {})", s.reason))
+            .unwrap_or_default();
+        format!(
+            "dataset {} — {} nodes, {} edges; backend {}{}",
+            self.dataset.name(),
+            g.node_count(),
+            g.edge_count(),
+            self.service.backend_name(),
+            why
+        )
+    }
+
+    /// Handles one complete REPL input: a `:command` or a query text.
+    pub fn handle(&mut self, input: &str) -> Outcome {
+        let trimmed = input.trim();
+        if trimmed.is_empty() {
+            return Outcome::Continue(String::new());
+        }
+        if let Some(command) = trimmed.strip_prefix(':') {
+            self.handle_command(command)
+        } else {
+            Outcome::Continue(self.run_query(trimmed))
+        }
+    }
+
+    fn handle_command(&mut self, command: &str) -> Outcome {
+        let (word, rest) = match command.split_once(char::is_whitespace) {
+            Some((w, r)) => (w, r.trim()),
+            None => (command, ""),
+        };
+        let out = match word {
+            "q" | "quit" | "exit" => return Outcome::Quit,
+            "help" => USAGE.to_owned(),
+            "backend" => {
+                let why = self
+                    .service
+                    .backend_selection()
+                    .map(|s| format!(" (auto-selected: {})", s.reason))
+                    .unwrap_or_else(|| " (pinned)".to_owned());
+                format!("backend: {}{}", self.service.backend_name(), why)
+            }
+            "metrics" => {
+                let m = self.service.metrics();
+                format!(
+                    "queries: {} ({} hits, {} misses, hit rate {:.0}%)\n\
+                     engine time: {:.3?} (candidates {:.3?}, prune {:.3?}, \
+                     matching {:.3?}, enumerate {:.3?})\n\
+                     index: {} hits, {} scanned nodes, {} lookups\n\
+                     cached result sets: {}",
+                    m.queries,
+                    m.cache_hits,
+                    m.cache_misses,
+                    100.0 * m.hit_rate(),
+                    m.eval_time,
+                    m.candidate_time,
+                    m.prune_down_time + m.prune_up_time,
+                    m.matching_time,
+                    m.enumerate_time,
+                    m.index_hits,
+                    m.scanned_nodes,
+                    m.index_lookups,
+                    self.service.cached_results(),
+                )
+            }
+            "stats" => {
+                self.show_stats = match rest {
+                    "on" => true,
+                    "off" => false,
+                    "" => !self.show_stats,
+                    other => {
+                        return Outcome::Continue(format!(
+                            "expected `:stats on` or `:stats off`, got `{other}`"
+                        ))
+                    }
+                };
+                format!("stats {}", if self.show_stats { "on" } else { "off" })
+            }
+            "limit" => match rest.parse::<usize>() {
+                Ok(n) if n > 0 => {
+                    self.limit = n;
+                    format!("limit {n}")
+                }
+                _ => format!("expected `:limit N` with N > 0, got `{rest}`"),
+            },
+            "explain" => match rest.parse::<Gtpq>() {
+                Ok(q) => {
+                    let mut out = q.to_pretty_string();
+                    let _ = write!(
+                        out,
+                        "\n{} nodes, {} output nodes; {}\ncanonical: {}",
+                        q.size(),
+                        q.output_nodes().len(),
+                        if q.is_conjunctive() {
+                            "conjunctive"
+                        } else if q.is_union_conjunctive() {
+                            "union-conjunctive (uses OR)"
+                        } else {
+                            "general (uses NOT)"
+                        },
+                        q,
+                    );
+                    out
+                }
+                Err(e) => e.render(rest),
+            },
+            other => format!("unknown command `:{other}` (try :help)"),
+        };
+        Outcome::Continue(out)
+    }
+
+    /// Parses and evaluates one query, rendering a result table (and stats,
+    /// when enabled) or a caret-annotated parse error.
+    pub fn run_query(&mut self, text: &str) -> String {
+        match self.try_query(text) {
+            Ok(rendered) | Err(rendered) => rendered,
+        }
+    }
+
+    /// Like [`run_query`](Self::run_query), but keeps success and failure
+    /// apart: `Err` carries the rendered parse diagnostic (the one-shot mode
+    /// turns it into a non-zero exit code).
+    pub fn try_query(&mut self, text: &str) -> Result<String, String> {
+        let q = text.parse::<Gtpq>().map_err(|e| e.render(text))?;
+        let (results, stats) = self.service.evaluate_with_stats(&q);
+        let mut out = render_table(self.service.graph(), &q, &results, self.limit);
+        if self.show_stats {
+            let _ = write!(out, "\n{}", render_stats(&stats));
+        }
+        Ok(out)
+    }
+}
+
+/// Renders a result set as an aligned text table; one column per output
+/// node (headed by its display name), one row per result tuple, capped at
+/// `limit` rows.
+pub fn render_table(
+    g: &DataGraph,
+    q: &Gtpq,
+    results: &gtpq_query::ResultSet,
+    limit: usize,
+) -> String {
+    let headers: Vec<String> = results.output.iter().map(|&u| q.display_name(u)).collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for tuple in results.iter().take(limit) {
+        rows.push(
+            tuple
+                .iter()
+                .map(|&v| match g.attribute_value(v, gtpq_graph::LABEL_ATTR) {
+                    Some(label) => format!("v{}:{}", v.0, label),
+                    None => format!("v{}", v.0),
+                })
+                .collect(),
+        );
+    }
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r[i].chars().count())
+                .chain([h.chars().count()])
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:<width$}", width = widths[i]);
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &headers);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    write_row(&mut out, &rule);
+    for row in &rows {
+        write_row(&mut out, row);
+    }
+    if results.len() > rows.len() {
+        let _ = writeln!(out, "… and {} more", results.len() - rows.len());
+    }
+    let _ = write!(
+        out,
+        "{} row{}",
+        results.len(),
+        if results.len() == 1 { "" } else { "s" }
+    );
+    out
+}
+
+/// Renders per-query [`EvalStats`](gtpq_core::EvalStats) as two short lines.
+pub fn render_stats(stats: &gtpq_core::EvalStats) -> String {
+    if stats.total_time() == std::time::Duration::ZERO && stats.initial_candidates == 0 {
+        return "stats: served from the result cache".to_owned();
+    }
+    format!(
+        "stats: {} candidates → {} after ↓prune → {} after ↑prune; \
+         index serve rate {:.0}%\n\
+         time: {:.3?} total (candidates {:.3?}, prune {:.3?}, matching {:.3?}, \
+         enumerate {:.3?})",
+        stats.initial_candidates,
+        stats.candidates_after_downward,
+        stats.candidates_after_upward,
+        100.0 * stats.index_serve_rate(),
+        stats.total_time(),
+        stats.candidate_time,
+        stats.prune_down_time + stats.prune_up_time,
+        stats.matching_graph_time,
+        stats.enumerate_time,
+    )
+}
+
+/// Whether every `(`, `[` and `{` in `s` has been closed, ignoring string
+/// literals and `#` comments.  The REPL keeps reading lines until the buffer
+/// is balanced, so queries can span multiple lines.
+///
+/// String literals cannot span lines (the tokenizer reports `unterminated
+/// string literal` at a newline), so a quote with no closing quote on its
+/// own line counts as plain text here — the broken chunk still balances,
+/// gets dispatched, and the parser reports the error, instead of one bad
+/// quote silently swallowing every following line.
+pub fn delimiters_balanced(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut depth = 0i64;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                // Find the closing quote on the same line; escapes cannot
+                // hide a newline.
+                let mut j = i + 1;
+                let mut closed = None;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    match bytes[j] {
+                        b'\\' if bytes.get(j + 1) == Some(&b'\n') => break,
+                        b'\\' => j += 2,
+                        b'"' => {
+                            closed = Some(j);
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                i = match closed {
+                    Some(j) => j + 1,
+                    None => i + 1, // unterminated: not a string after all
+                };
+            }
+            b'(' | b'[' | b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    depth <= 0
+}
+
+/// Runs the REPL: reads lines from `input`, accumulates them until all
+/// brackets are balanced, and writes rendered output to `out`.  When
+/// `interactive`, prompts (`gtpq> ` / `  ...> `) are printed too.
+pub fn repl(
+    session: &mut Session,
+    input: impl BufRead,
+    mut out: impl Write,
+    interactive: bool,
+) -> std::io::Result<()> {
+    if interactive {
+        writeln!(out, "{}", session.banner())?;
+        writeln!(out, "type :help for commands, :quit to exit")?;
+        write!(out, "gtpq> ")?;
+        out.flush()?;
+    }
+    let mut buffer = String::new();
+    for line in input.lines() {
+        let line = line?;
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if delimiters_balanced(&buffer) {
+            let chunk = std::mem::take(&mut buffer);
+            match session.handle(&chunk) {
+                Outcome::Quit => return Ok(()),
+                Outcome::Continue(text) => {
+                    if !text.is_empty() {
+                        writeln!(out, "{text}")?;
+                    }
+                }
+            }
+        }
+        if interactive {
+            write!(
+                out,
+                "{}",
+                if buffer.is_empty() {
+                    "gtpq> "
+                } else {
+                    "  ...> "
+                }
+            )?;
+            out.flush()?;
+        }
+    }
+    // Evaluate a trailing unbalanced chunk so its parse error is reported.
+    if !buffer.trim().is_empty() {
+        if let Outcome::Continue(text) = session.handle(&buffer) {
+            if !text.is_empty() {
+                writeln!(out, "{text}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One-shot mode: evaluates `query` and writes the result table (plus stats
+/// when enabled) to `out`.  Returns `Err` with the rendered diagnostic when
+/// the query does not parse.
+pub fn run_once(
+    session: &mut Session,
+    query: &str,
+    mut out: impl Write,
+) -> std::io::Result<Result<(), String>> {
+    match session.try_query(query) {
+        Err(diagnostic) => Ok(Err(diagnostic)),
+        Ok(rendered) => {
+            writeln!(out, "{rendered}")?;
+            Ok(Ok(()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_with_defaults_and_overrides() {
+        let opts = CliOptions::parse(Vec::new()).unwrap();
+        assert_eq!(opts.dataset, Dataset::Dblp);
+        assert_eq!(opts.limit, 20);
+        let opts = CliOptions::parse(
+            [
+                "--dataset",
+                "arxiv",
+                "--scale",
+                "0.5",
+                "--seed",
+                "7",
+                "--backend",
+                "closure",
+                "--stats",
+                "--limit",
+                "5",
+                "--query",
+                "a*",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.dataset, Dataset::Arxiv);
+        assert_eq!(opts.scale, 0.5);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.backend, Some(BackendKind::Closure));
+        assert!(opts.show_stats);
+        assert_eq!(opts.limit, 5);
+        assert_eq!(opts.query.as_deref(), Some("a*"));
+    }
+
+    #[test]
+    fn options_reject_bad_input() {
+        assert!(CliOptions::parse(["--dataset".into(), "nope".into()]).is_err());
+        assert!(CliOptions::parse(["--scale".into(), "-1".into()]).is_err());
+        assert!(CliOptions::parse(["--backend".into(), "nope".into()]).is_err());
+        assert!(CliOptions::parse(["--what".into()]).is_err());
+        assert!(CliOptions::parse(["--seed".into()]).is_err());
+        assert!(CliOptions::parse(["--limit".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn balance_tracking_handles_strings_and_comments() {
+        assert!(delimiters_balanced("a { /b* }"));
+        assert!(!delimiters_balanced("a { /b*"));
+        assert!(!delimiters_balanced("a { where (//b"));
+        assert!(delimiters_balanced("a { /\"un{bal\" }"));
+        assert!(delimiters_balanced("a # { comment\n"));
+        assert!(delimiters_balanced("} } stray closers never block input"));
+        // A quote with no closer on its line is plain text, so a broken line
+        // balances (and is dispatched to the parser) instead of swallowing
+        // everything after it.
+        assert!(delimiters_balanced("a* { /\"oops }"));
+        assert!(delimiters_balanced("a* { /\"oops }\nb*\n"));
+        assert!(!delimiters_balanced("a* { /\"closed\""));
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end tests of the CLI: REPL behaviour over piped input, one-shot
+//! mode, and (the tentpole acceptance check) a textual query evaluated
+//! through the REPL machinery against a generated arXiv graph matching the
+//! builder-constructed equivalent exactly.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+use gtpq_cli::{repl, CliOptions, Dataset, Outcome, Session};
+use gtpq_query::{AttrPredicate, CmpOp, EdgeKind, GtpqBuilder};
+
+fn arxiv_session() -> Session {
+    let opts =
+        CliOptions::parse(["--dataset", "arxiv", "--scale", "0.4", "--stats"].map(String::from))
+            .unwrap();
+    Session::new(&opts)
+}
+
+#[test]
+fn textual_query_matches_builder_query_on_arxiv() {
+    let mut session = arxiv_session();
+    // "papers from 1996–2002 citing a paper3 paper and written by an auth7
+    // author, returning the citing paper" — textual form ...
+    let text = "[label = paper3, year >= 1996, year <= 2002]* {
+        where (//paper3) & (//auth7)
+    }";
+    // ... and the same query through the builder.
+    let mut b = GtpqBuilder::new(
+        AttrPredicate::label("paper3")
+            .and("year", CmpOp::Ge, 1996.into())
+            .and("year", CmpOp::Le, 2002.into()),
+    );
+    let root = b.root_id();
+    let _cited = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("paper3"));
+    let _author = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("auth7"));
+    b.set_structural(
+        root,
+        gtpq_logic::BoolExpr::and2(gtpq_logic::BoolExpr::var(1), gtpq_logic::BoolExpr::var(2)),
+    );
+    b.mark_output(root);
+    let built = b.build().unwrap();
+
+    let from_text = session.service().evaluate_text(text).unwrap();
+    let from_builder = session.service().evaluate(&built);
+    assert_eq!(from_text.output, from_builder.output);
+    assert_eq!(from_text.tuples, from_builder.tuples);
+    assert!(!from_text.is_empty(), "query should match generated data");
+
+    // The REPL path renders the same answer (count line agrees).
+    let rendered = session.run_query(text);
+    let n = from_builder.len();
+    let count_line = format!("{n} row{}", if n == 1 { "" } else { "s" });
+    assert!(rendered.contains(&count_line), "{rendered}");
+    assert!(rendered.contains("stats:"), "{rendered}");
+}
+
+#[test]
+fn repl_accumulates_multiline_queries_and_handles_commands() {
+    let opts =
+        CliOptions::parse(["--dataset", "dblp", "--scale", "0.3"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts);
+    let input = "\
+:stats on
+inproceedings {
+    / [label = title]*
+    where / [label = author, value = Alice]
+}
+:metrics
+:limit 2
+inproceedings { / [label = title]* where / [label = author, value = Alice] }
+:quit
+";
+    let mut out = Vec::new();
+    repl(&mut session, input.as_bytes(), &mut out, false).unwrap();
+    let out = String::from_utf8(out).unwrap();
+    assert!(out.contains("stats on"), "{out}");
+    assert!(out.contains("title"), "{out}");
+    assert!(out.contains("rows"), "{out}");
+    assert!(out.contains("stats:"), "{out}");
+    assert!(out.contains("hit rate"), "{out}");
+    // The second (identical) query is served from the cache.
+    assert!(out.contains("served from the result cache"), "{out}");
+    assert_eq!(session.service().metrics().cache_hits, 1);
+}
+
+#[test]
+fn repl_reports_parse_errors_without_dying() {
+    let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts);
+    let mut out = Vec::new();
+    repl(
+        &mut session,
+        "inproceedings ] oops\ndblp*\n".as_bytes(),
+        &mut out,
+        false,
+    )
+    .unwrap();
+    let out = String::from_utf8(out).unwrap();
+    assert!(out.contains("parse error"), "{out}");
+    assert!(out.contains('^'), "{out}");
+    // The next query still runs.
+    assert!(out.contains("1 row"), "{out}");
+}
+
+#[test]
+fn unterminated_string_does_not_swallow_later_input() {
+    let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts);
+    let mut out = Vec::new();
+    repl(
+        &mut session,
+        "dblp* { /\"oops }\ndblp*\n".as_bytes(),
+        &mut out,
+        false,
+    )
+    .unwrap();
+    let out = String::from_utf8(out).unwrap();
+    assert!(out.contains("unterminated string"), "{out}");
+    // The second query is evaluated, not absorbed into the broken chunk.
+    assert!(out.contains("1 row"), "{out}");
+}
+
+#[test]
+fn explain_shows_the_tree_without_evaluating() {
+    let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts);
+    let before = session.service().metrics().queries;
+    let Outcome::Continue(out) = session.handle(":explain a* { //b where (//c) | !(//d) }") else {
+        panic!("explain must not quit")
+    };
+    assert!(out.contains("4 nodes"), "{out}");
+    assert!(out.contains("general (uses NOT)"), "{out}");
+    assert!(out.contains("canonical:"), "{out}");
+    assert_eq!(session.service().metrics().queries, before);
+}
+
+#[test]
+fn binary_one_shot_evaluates_a_query() {
+    let output = Command::new(env!("CARGO_BIN_EXE_gtpq-cli"))
+        .args([
+            "--dataset",
+            "dblp",
+            "--scale",
+            "0.3",
+            "--stats",
+            "--query",
+            "inproceedings { /[label = title]* where /[label = author, value = Alice] }",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("title"), "{stdout}");
+    assert!(stdout.contains("rows"), "{stdout}");
+    assert!(stdout.contains("stats:"), "{stdout}");
+}
+
+#[test]
+fn binary_reports_parse_errors_on_stderr() {
+    let output = Command::new(env!("CARGO_BIN_EXE_gtpq-cli"))
+        .args(["--scale", "0.2", "--query", "a* {"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("unbalanced `{`"), "{stderr}");
+}
+
+#[test]
+fn binary_repl_reads_stdin_until_quit() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gtpq-cli"))
+        .args(["--scale", "0.2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"dblp*\n:quit\n")
+        .unwrap();
+    let output = child.wait_with_output().expect("binary exits");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("v0:dblp"), "{stdout}");
+}
+
+#[test]
+fn datasets_generate_at_small_scale() {
+    for dataset in [Dataset::Dblp, Dataset::Arxiv, Dataset::Xmark] {
+        let g = dataset.generate(0.1, 1);
+        assert!(g.node_count() > 0, "{}", dataset.name());
+        assert!(g.edge_count() > 0, "{}", dataset.name());
+    }
+}

@@ -28,7 +28,7 @@ pub mod xmark;
 pub use arxiv::{generate_arxiv, ArxivConfig};
 pub use dblp::generate_dblp;
 pub use queries::{
-    dblp_queries, fig11_gtpq, fig11_output_variant, random_queries, xmark_q1, xmark_q2, xmark_q3,
-    Fig11Predicate, RandomQueryConfig,
+    dblp_queries, fig11_gtpq, fig11_output_variant, random_queries, random_text_query, xmark_q1,
+    xmark_q2, xmark_q3, Fig11Predicate, RandomQueryConfig,
 };
 pub use xmark::{generate_xmark, XmarkConfig};

@@ -12,7 +12,7 @@
 
 use gtpq_graph::{DataGraph, NodeId};
 use gtpq_logic::BoolExpr;
-use gtpq_query::{AttrPredicate, CmpOp, EdgeKind, Gtpq, GtpqBuilder, QueryNodeId};
+use gtpq_query::{AttrPredicate, CmpOp, EdgeKind, Gtpq, GtpqBuilder, NodeKind, QueryNodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -572,6 +572,204 @@ fn sample_query(g: &DataGraph, config: &RandomQueryConfig, rng: &mut StdRng) -> 
     b.build().ok()
 }
 
+/// Generates one random GTPQ in the *canonical textual form* of the query
+/// language (`gtpq_query::parse`): nodes are created in pre-order, each
+/// node's backbone children come before its predicate children, structural
+/// predicates mention their children in creation order, and orphan predicate
+/// children (ones `fs` never mentions) come last.
+///
+/// For such queries `parse(q.to_string()) == q` holds exactly, which is what
+/// the round-trip property test in `tests/query_text.rs` and the
+/// `text_parse` benchmark exercise.  Fully deterministic in `seed`;
+/// `max_nodes` bounds the query size (the result has at least one node and
+/// at least one output node).
+pub fn random_text_query(seed: u64, max_nodes: usize) -> Gtpq {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = TextQueryGen {
+        rng: &mut rng,
+        budget: max_nodes.max(1) - 1,
+        names: 0,
+        builder: GtpqBuilder::new(AttrPredicate::label("seed")), // replaced below
+    };
+    let root_attr = gen.random_attr();
+    gen.builder = GtpqBuilder::new(root_attr);
+    let root = gen.builder.root_id();
+    gen.decorate(root, NodeKind::Backbone);
+    gen.populate(root, NodeKind::Backbone, 0);
+    let mut builder = gen.builder;
+    // `decorate` marks outputs in pre-order; fall back to the root so the
+    // query validates.
+    match builder.clone().build() {
+        Ok(q) => q,
+        Err(_) => {
+            builder.mark_output(root);
+            builder.build().expect("root output makes the query valid")
+        }
+    }
+}
+
+struct TextQueryGen<'r> {
+    rng: &'r mut StdRng,
+    budget: usize,
+    names: usize,
+    builder: GtpqBuilder,
+}
+
+impl TextQueryGen<'_> {
+    fn random_attr(&mut self) -> AttrPredicate {
+        const LABELS: [&str; 8] = [
+            "a",
+            "b",
+            "paper3",
+            "open_auction",
+            "person",
+            "item_ref",
+            "bidder",
+            "auth7",
+        ];
+        const ATTRS: [&str; 3] = ["year", "value", "price"];
+        const OPS: [CmpOp; 6] = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        match self.rng.gen_range(0..10u32) {
+            0 => AttrPredicate::any(),
+            1 => AttrPredicate::label("two words"), // non-identifier label
+            2..=6 => AttrPredicate::label(LABELS[self.rng.gen_range(0..LABELS.len())]),
+            _ => {
+                let mut p = AttrPredicate::any();
+                for _ in 0..self.rng.gen_range(1..=2u32) {
+                    let attr = ATTRS[self.rng.gen_range(0..ATTRS.len())];
+                    let op = OPS[self.rng.gen_range(0..OPS.len())];
+                    let value = if self.rng.gen_bool(0.6) {
+                        gtpq_graph::AttrValue::Int(self.rng.gen_range(-5..2020i64))
+                    } else {
+                        gtpq_graph::AttrValue::str(LABELS[self.rng.gen_range(0..LABELS.len())])
+                    };
+                    p = p.and(attr, op, value);
+                }
+                p
+            }
+        }
+    }
+
+    fn random_edge(&mut self) -> EdgeKind {
+        if self.rng.gen_bool(0.5) {
+            EdgeKind::Descendant
+        } else {
+            EdgeKind::Child
+        }
+    }
+
+    /// Names and output-marks a freshly created node (names feed the
+    /// formula back-references; output marks must happen in pre-order to
+    /// match the parser).  Returns the name, if one was assigned.
+    fn decorate(&mut self, u: QueryNodeId, kind: NodeKind) -> Option<String> {
+        let mut name = None;
+        if self.rng.gen_bool(0.15) {
+            let n = format!("n{}", self.names);
+            self.names += 1;
+            self.builder.set_name(u, &n);
+            name = Some(n);
+        }
+        if kind == NodeKind::Backbone && self.rng.gen_bool(0.4) {
+            self.builder.mark_output(u);
+        }
+        name
+    }
+
+    /// Creates the children of `u` in canonical order: backbone subtrees
+    /// first (depth-first), then the predicate children woven into a random
+    /// structural predicate, then possibly one orphan predicate child.
+    fn populate(&mut self, u: QueryNodeId, kind: NodeKind, depth: usize) {
+        if depth >= 4 {
+            return;
+        }
+        if kind == NodeKind::Backbone {
+            let n_backbone = self.rng.gen_range(0..=2u32);
+            for _ in 0..n_backbone {
+                if self.budget == 0 {
+                    break;
+                }
+                self.budget -= 1;
+                let edge = self.random_edge();
+                let attr = self.random_attr();
+                let child = self.builder.backbone_child(u, edge, attr);
+                self.decorate(child, NodeKind::Backbone);
+                self.populate(child, NodeKind::Backbone, depth + 1);
+            }
+        }
+        let n_pred = self.rng.gen_range(0..=2u32);
+        let mut leaves: Vec<(QueryNodeId, Option<String>)> = Vec::new();
+        for _ in 0..n_pred {
+            if self.budget == 0 {
+                break;
+            }
+            self.budget -= 1;
+            let edge = self.random_edge();
+            let attr = self.random_attr();
+            let child = self.builder.predicate_child(u, edge, attr);
+            let name = self.decorate(child, NodeKind::Predicate);
+            self.populate(child, NodeKind::Predicate, depth + 1);
+            leaves.push((child, name));
+        }
+        if !leaves.is_empty() {
+            // Named children may be referenced a second time (the parser's
+            // back-reference form); repeats must come after the first
+            // occurrence, so they are appended to the leaf sequence.
+            let mut vars: Vec<QueryNodeId> = leaves.iter().map(|(c, _)| *c).collect();
+            if let Some((c, Some(_))) = leaves.iter().find(|(_, n)| n.is_some()) {
+                if self.rng.gen_bool(0.2) {
+                    vars.push(*c);
+                }
+            }
+            let fs = self.random_formula(&vars);
+            self.builder.set_structural(u, fs);
+        }
+        // Occasionally add a predicate child the formula never mentions.
+        if self.budget > 0 && self.rng.gen_bool(0.1) {
+            self.budget -= 1;
+            let edge = self.random_edge();
+            let attr = self.random_attr();
+            let child = self.builder.predicate_child(u, edge, attr);
+            self.decorate(child, NodeKind::Predicate);
+            self.populate(child, NodeKind::Predicate, depth + 1);
+        }
+    }
+
+    /// A random formula whose leaves are exactly `vars`, in order (split
+    /// recursively, negate leaves occasionally).  Built through the folding
+    /// `BoolExpr` constructors so the AST is in the same flattened form the
+    /// parser produces.
+    fn random_formula(&mut self, vars: &[QueryNodeId]) -> BoolExpr {
+        match vars {
+            [] => BoolExpr::True,
+            [v] => {
+                let leaf = BoolExpr::Var(v.var());
+                if self.rng.gen_bool(0.25) {
+                    BoolExpr::not(leaf)
+                } else {
+                    leaf
+                }
+            }
+            _ => {
+                let split = self.rng.gen_range(1..vars.len());
+                let left = self.random_formula(&vars[..split]);
+                let right = self.random_formula(&vars[split..]);
+                if self.rng.gen_bool(0.5) {
+                    BoolExpr::and2(left, right)
+                } else {
+                    BoolExpr::or2(left, right)
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use gtpq_core::GteaEngine;
@@ -582,6 +780,20 @@ mod tests {
     use crate::xmark::{generate_xmark, XmarkConfig};
 
     use super::*;
+
+    #[test]
+    fn random_text_queries_round_trip_through_the_parser() {
+        for seed in 0..64 {
+            let q = random_text_query(seed, 12);
+            assert!(q.size() <= 12);
+            assert!(!q.output_nodes().is_empty());
+            let text = q.to_string();
+            let reparsed: Gtpq = text
+                .parse()
+                .unwrap_or_else(|e| panic!("seed {seed}: `{text}` failed to re-parse: {e}"));
+            assert_eq!(reparsed, q, "seed {seed}: `{text}`");
+        }
+    }
 
     #[test]
     fn xmark_queries_have_expected_sizes_and_are_conjunctive() {

@@ -1,7 +1,7 @@
 //! Node attribute values.
 //!
 //! A node attribute is a pair `(name, value)` where the name is an interned
-//! [`Symbol`](crate::Symbol) and the value is an [`AttrValue`].  Query
+//! [`Symbol`] and the value is an [`AttrValue`].  Query
 //! attribute predicates compare these values with the six comparison
 //! operators of the paper (`<, <=, =, !=, >, >=`); comparisons across value
 //! kinds are defined to be false rather than an error, matching the

@@ -1,4 +1,4 @@
-//! Dense bitsets over [`NodeId`](crate::NodeId)s and sorted-slice set
+//! Dense bitsets over [`NodeId`]s and sorted-slice set
 //! operations — the per-query scratch structures of the pruning hot path.
 //!
 //! [`NodeBitSet`] replaces the per-child `HashSet<NodeId>` membership sets of

@@ -191,58 +191,103 @@ impl BoolExpr {
     }
 }
 
-impl fmt::Display for BoolExpr {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn fmt_prec(e: &BoolExpr, f: &mut fmt::Formatter<'_>, parent_or: bool) -> fmt::Result {
-            match e {
-                BoolExpr::True => write!(f, "1"),
-                BoolExpr::False => write!(f, "0"),
-                BoolExpr::Var(v) => write!(f, "{v}"),
-                BoolExpr::Not(inner) => {
-                    write!(f, "!")?;
-                    match **inner {
-                        BoolExpr::And(_) | BoolExpr::Or(_) => {
-                            write!(f, "(")?;
-                            fmt_prec(inner, f, false)?;
-                            write!(f, ")")
-                        }
-                        _ => fmt_prec(inner, f, false),
-                    }
-                }
-                BoolExpr::And(items) => {
-                    for (i, item) in items.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, " & ")?;
-                        }
-                        match item {
-                            BoolExpr::Or(_) => {
-                                write!(f, "(")?;
-                                fmt_prec(item, f, false)?;
-                                write!(f, ")")?;
-                            }
-                            _ => fmt_prec(item, f, false)?,
-                        }
-                    }
-                    Ok(())
-                }
-                BoolExpr::Or(items) => {
-                    if parent_or {
+/// Adapter returned by [`BoolExpr::display_with`]: renders a formula with a
+/// caller-supplied variable renderer while keeping the operator precedence
+/// and parenthesization rules of the plain [`Display`](fmt::Display) output.
+pub struct DisplayWith<'e, F> {
+    expr: &'e BoolExpr,
+    atom: F,
+}
+
+impl<F> DisplayWith<'_, F>
+where
+    F: Fn(VarId, &mut fmt::Formatter<'_>) -> fmt::Result,
+{
+    // Or never nests directly inside Or (the smart constructors flatten it),
+    // so the only parenthesization needed is around Or-in-And and around
+    // compound operands of Not.
+    fn fmt_prec(&self, e: &BoolExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match e {
+            BoolExpr::True => write!(f, "1"),
+            BoolExpr::False => write!(f, "0"),
+            BoolExpr::Var(v) => (self.atom)(*v, f),
+            BoolExpr::Not(inner) => {
+                write!(f, "!")?;
+                match **inner {
+                    BoolExpr::And(_) | BoolExpr::Or(_) => {
                         write!(f, "(")?;
+                        self.fmt_prec(inner, f)?;
+                        write!(f, ")")
                     }
-                    for (i, item) in items.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, " | ")?;
-                        }
-                        fmt_prec(item, f, false)?;
-                    }
-                    if parent_or {
-                        write!(f, ")")?;
-                    }
-                    Ok(())
+                    _ => self.fmt_prec(inner, f),
                 }
             }
+            BoolExpr::And(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    match item {
+                        BoolExpr::Or(_) => {
+                            write!(f, "(")?;
+                            self.fmt_prec(item, f)?;
+                            write!(f, ")")?;
+                        }
+                        _ => self.fmt_prec(item, f)?,
+                    }
+                }
+                Ok(())
+            }
+            BoolExpr::Or(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    self.fmt_prec(item, f)?;
+                }
+                Ok(())
+            }
         }
-        fmt_prec(self, f, false)
+    }
+}
+
+impl<F> fmt::Display for DisplayWith<'_, F>
+where
+    F: Fn(VarId, &mut fmt::Formatter<'_>) -> fmt::Result,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(self.expr, f)
+    }
+}
+
+impl BoolExpr {
+    /// Renders the formula with a custom variable renderer, reusing the
+    /// precedence and parenthesization machinery of the [`fmt::Display`]
+    /// implementation.
+    ///
+    /// The GTPQ query language uses this to print structural predicates with
+    /// each variable expanded into the pattern of the predicate child it
+    /// stands for.  The renderer is a `Fn` (not `FnMut`) because formatting
+    /// takes `&self`; stateful renderers can capture a
+    /// [`RefCell`](std::cell::RefCell).
+    ///
+    /// ```
+    /// use gtpq_logic::BoolExpr;
+    /// let e = BoolExpr::or2(BoolExpr::var(1), BoolExpr::not(BoolExpr::var(2)));
+    /// let text = format!("{}", e.display_with(|v, f| write!(f, "<{}>", v.0)));
+    /// assert_eq!(text, "<1> | !<2>");
+    /// ```
+    pub fn display_with<F>(&self, atom: F) -> DisplayWith<'_, F>
+    where
+        F: Fn(VarId, &mut fmt::Formatter<'_>) -> fmt::Result,
+    {
+        DisplayWith { expr: self, atom }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.display_with(|v, f| write!(f, "{v}")).fmt(f)
     }
 }
 

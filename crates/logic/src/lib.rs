@@ -21,7 +21,7 @@ pub mod sat;
 pub mod transform;
 pub mod valuation;
 
-pub use expr::{BoolExpr, VarId};
+pub use expr::{BoolExpr, DisplayWith, VarId};
 pub use parser::{parse, ParseError};
 pub use sat::{brute_force_satisfiable, equivalent, implies, is_satisfiable, is_tautology};
 pub use valuation::Valuation;

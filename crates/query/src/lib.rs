@@ -20,14 +20,20 @@
 //! * [`structural`] — extended (`fext`), transitive (`ftr`) and complete
 //!   (`fcs`) structural predicates, independently-constraint nodes,
 //!   similarity (`⊳`) and subsumption (`⊴`),
+//! * [`parse`] — the textual query language: tokenizer, span-carrying
+//!   recursive-descent parser ([`parse_query`], `FromStr`) and the
+//!   canonical printer (`Display`, [`Gtpq::to_pretty_string`]),
 //! * [`naive`] — a direct implementation of the semantics used as the
 //!   correctness oracle for every evaluation algorithm in the workspace,
 //! * [`result`] — the answer representation shared by all engines.
+
+#![warn(missing_docs)]
 
 pub mod builder;
 pub mod fixtures;
 pub mod naive;
 pub mod node;
+pub mod parse;
 pub mod predicate;
 pub mod query;
 pub mod result;
@@ -35,6 +41,7 @@ pub mod structural;
 
 pub use builder::{GtpqBuilder, QueryError};
 pub use node::{EdgeKind, NodeKind, QueryNode, QueryNodeId};
+pub use parse::{parse_query, ParseError, TextSpan};
 pub use predicate::{AttrComparison, AttrPredicate, CandidateSelection, CmpOp};
 pub use query::Gtpq;
 pub use result::ResultSet;

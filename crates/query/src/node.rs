@@ -68,7 +68,7 @@ impl std::fmt::Display for EdgeKind {
 }
 
 /// One node of a GTPQ.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct QueryNode {
     /// Backbone or predicate.
     pub kind: NodeKind,

@@ -13,7 +13,7 @@ use crate::predicate::CandidateSelection;
 /// structural restrictions of the definition (tree shape, predicate nodes may
 /// only have predicate children, output nodes are backbone nodes, structural
 /// predicates only mention predicate children).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Gtpq {
     pub(crate) nodes: Vec<QueryNode>,
     pub(crate) output: Vec<QueryNodeId>,

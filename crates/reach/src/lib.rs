@@ -37,6 +37,8 @@
 //! [`select_backend`] to pick a backend from graph statistics, or
 //! [`build_index`] to name one explicitly.
 
+#![warn(missing_docs)]
+
 pub mod chain;
 pub mod closure;
 pub mod contour;

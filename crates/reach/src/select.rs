@@ -1,6 +1,7 @@
 //! Heuristic reachability-backend selection from graph statistics.
 //!
-//! The GTEA engine accepts any [`Reachability`] backend; which one wins
+//! The GTEA engine accepts any [`Reachability`](crate::Reachability)
+//! backend; which one wins
 //! depends on the shape of the data graph.  The rules encoded here follow the
 //! paper's own measurements (§5.2) and the backends' asymptotics:
 //!
@@ -15,7 +16,7 @@
 //! * **everything else** → [`ThreeHop`]: the paper's index, the scalable
 //!   default.
 //!
-//! [`ChainCover`](crate::ChainCover) is never auto-selected: its dense
+//! [`ChainCover`] is never auto-selected: its dense
 //! (component × chain) table is a space/time trade-off the operator must opt
 //! into explicitly via [`BackendKind::Chain`].
 

@@ -30,6 +30,13 @@
 //! assert!(Arc::ptr_eq(&cold, &warm));
 //! assert_eq!(service.metrics().cache_hits, 1);
 //! ```
+//!
+//! Queries also arrive as *text*: [`QueryService::evaluate_text`] parses
+//! the query language of `gtpq_query::parse` (reference:
+//! `docs/QUERY_LANGUAGE.md`) and runs the result through the same cache
+//! and engine path.
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod canon;

@@ -5,7 +5,7 @@ use std::sync::{Arc, Mutex};
 
 use gtpq_core::{EvalStats, GteaEngine, GteaOptions};
 use gtpq_graph::DataGraph;
-use gtpq_query::{Gtpq, ResultSet};
+use gtpq_query::{Gtpq, ParseError, ResultSet};
 use gtpq_reach::{build_selected, BackendKind, BackendSelection, SharedIndex};
 
 use crate::cache::ResultCache;
@@ -123,6 +123,41 @@ impl QueryService {
     /// Evaluates one query, consulting the result cache first.
     pub fn evaluate(&self, q: &Gtpq) -> Arc<ResultSet> {
         self.evaluate_with_stats(q).0
+    }
+
+    /// Parses `text` as the GTPQ query language (see
+    /// [`gtpq_query::parse`]) and evaluates the query, consulting the
+    /// result cache first.
+    ///
+    /// Textually different spellings of one pattern share a cache slot: the
+    /// cache key is the canonical form of the *parsed* query, which is
+    /// insensitive to whitespace, comments, sibling order and formula
+    /// spelling.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use gtpq_query::fixtures::example_graph;
+    /// use gtpq_service::QueryService;
+    ///
+    /// let service = QueryService::new(Arc::new(example_graph()));
+    /// let cold = service.evaluate_text("a1 { //b1* }").unwrap();
+    /// let warm = service.evaluate_text("a1 {   //b1*   } # same query").unwrap();
+    /// assert!(Arc::ptr_eq(&cold, &warm));
+    /// assert!(service.evaluate_text("a1 { //b1* ").is_err());
+    /// ```
+    pub fn evaluate_text(&self, text: &str) -> Result<Arc<ResultSet>, ParseError> {
+        Ok(self.evaluate_text_with_stats(text)?.0)
+    }
+
+    /// Parses `text` and evaluates it, returning per-query engine statistics
+    /// (see [`evaluate_with_stats`](Self::evaluate_with_stats) for the
+    /// cache-hit behaviour of the stats).
+    pub fn evaluate_text_with_stats(
+        &self,
+        text: &str,
+    ) -> Result<(Arc<ResultSet>, EvalStats), ParseError> {
+        let q = gtpq_query::parse_query(text)?;
+        Ok(self.evaluate_with_stats(&q))
     }
 
     /// Evaluates one query, returning per-query engine statistics.
@@ -318,6 +353,28 @@ mod tests {
         }
         assert_eq!(service.metrics().batches, 1);
         assert_eq!(service.metrics().queries, queries.len() as u64);
+    }
+
+    #[test]
+    fn evaluate_text_matches_the_builder_query() {
+        let service = service_for_example();
+        let mut b = GtpqBuilder::new(AttrPredicate::label("a1"));
+        let root = b.root_id();
+        let child = b.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("d1"));
+        b.mark_output(child);
+        let built = b.build().unwrap();
+        let from_text = service.evaluate_text("a1 { //d1* }").unwrap();
+        assert!(from_text.same_answer(&service.evaluate(&built)));
+        // ... and the parsed query shares the cache slot with the built one.
+        assert!(service.metrics().cache_hits >= 1);
+    }
+
+    #[test]
+    fn evaluate_text_reports_parse_errors_with_spans() {
+        let service = service_for_example();
+        let err = service.evaluate_text("a1 { //d1* ").unwrap_err();
+        assert!(err.message.contains("unbalanced `{`"));
+        assert_eq!(err.span.start, 3);
     }
 
     #[test]

@@ -69,7 +69,8 @@ pub mod prelude {
     pub use gtpq_graph::{AttrValue, DataGraph, GraphBuilder, NodeId};
     pub use gtpq_logic::BoolExpr;
     pub use gtpq_query::{
-        AttrPredicate, CmpOp, EdgeKind, Gtpq, GtpqBuilder, QueryNodeId, ResultSet,
+        parse_query, AttrPredicate, CmpOp, EdgeKind, Gtpq, GtpqBuilder, ParseError, QueryNodeId,
+        ResultSet, TextSpan,
     };
     pub use gtpq_reach::{select_backend, BackendKind, Reachability};
     pub use gtpq_service::{QueryService, ServiceConfig};

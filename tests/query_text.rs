@@ -1,0 +1,209 @@
+//! End-to-end tests of the textual query language:
+//!
+//! * every ` ```gtpq ` block in `docs/QUERY_LANGUAGE.md` parses, and blocks
+//!   tagged `# dataset: <name>` evaluate non-emptily on that generated
+//!   dataset — the reference doc cannot rot,
+//! * the `parse(display(q)) == q` round-trip property over random
+//!   generated queries,
+//! * parser failure modes assert exact error spans,
+//! * `QueryService::evaluate_text` agrees with builder-constructed
+//!   evaluation.
+
+use std::sync::Arc;
+
+use gtpq::datagen::{generate_arxiv, generate_dblp, generate_xmark, ArxivConfig, XmarkConfig};
+use gtpq::prelude::*;
+use gtpq_datagen::random_text_query;
+
+const QUERY_LANGUAGE_MD: &str = include_str!("../docs/QUERY_LANGUAGE.md");
+
+/// Extracts the ` ```gtpq ` fenced blocks of the language reference.
+fn doc_blocks() -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in QUERY_LANGUAGE_MD.lines() {
+        match &mut current {
+            None if line.trim() == "```gtpq" => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if line.trim() == "```" {
+                    blocks.push(current.take().expect("inside a block"));
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```gtpq block in the doc");
+    blocks
+}
+
+fn dataset_of(block: &str) -> Option<&'static str> {
+    let tag = block
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("# dataset:").map(str::trim))?;
+    Some(match tag {
+        "dblp" => "dblp",
+        "arxiv" => "arxiv",
+        "xmark" => "xmark",
+        other => panic!("unknown dataset tag `{other}` in the doc"),
+    })
+}
+
+#[test]
+fn every_doc_example_parses() {
+    let blocks = doc_blocks();
+    assert!(
+        blocks.len() >= 4,
+        "the language reference should carry several gtpq examples"
+    );
+    for block in &blocks {
+        block
+            .parse::<Gtpq>()
+            .unwrap_or_else(|e| panic!("doc example failed to parse:\n{}", e.render(block)));
+    }
+}
+
+#[test]
+fn doc_dataset_examples_evaluate_nonempty() {
+    let blocks = doc_blocks();
+    let tagged: Vec<(&'static str, &String)> = blocks
+        .iter()
+        .filter_map(|b| dataset_of(b).map(|d| (d, b)))
+        .collect();
+    let names: Vec<&str> = tagged.iter().map(|(d, _)| *d).collect();
+    for expected in ["dblp", "arxiv", "xmark"] {
+        assert!(
+            names.contains(&expected),
+            "the doc needs a worked {expected} example (found {names:?})"
+        );
+    }
+    for (dataset, block) in tagged {
+        let graph = Arc::new(match dataset {
+            "dblp" => generate_dblp(240, 42),
+            "arxiv" => generate_arxiv(&ArxivConfig::small()),
+            "xmark" => generate_xmark(&XmarkConfig::with_scale(0.1)),
+            _ => unreachable!(),
+        });
+        let service = QueryService::new(graph);
+        let results = service
+            .evaluate_text(block)
+            .unwrap_or_else(|e| panic!("{dataset} example failed:\n{}", e.render(block)));
+        assert!(
+            !results.is_empty(),
+            "{dataset} doc example returns no rows:\n{block}"
+        );
+    }
+}
+
+#[test]
+fn parse_display_round_trips_over_random_queries() {
+    for seed in 0..300u64 {
+        let max_nodes = 2 + (seed % 14) as usize;
+        let q = random_text_query(seed, max_nodes);
+        let text = q.to_string();
+        let reparsed: Gtpq = text
+            .parse()
+            .unwrap_or_else(|e: ParseError| panic!("seed {seed}: `{text}`:\n{}", e.render(&text)));
+        assert_eq!(reparsed, q, "seed {seed}: `{text}`");
+        // The pretty printer speaks the same language.
+        let pretty = q.to_pretty_string();
+        assert_eq!(
+            pretty.parse::<Gtpq>().expect("pretty form parses"),
+            q,
+            "seed {seed} (pretty): `{pretty}`"
+        );
+    }
+}
+
+#[test]
+fn parser_failure_modes_carry_spans() {
+    // (input, expected message fragment, expected span start..end)
+    let cases: &[(&str, &str, (usize, usize))] = &[
+        ("a* { where (//b }", "unbalanced `(`", (11, 12)),
+        ("a* { //b", "unbalanced `{`", (3, 4)),
+        ("a* { ///b }", "expected a node pattern", (7, 8)),
+        ("[price = 1.5]*", "floating-point", (9, 12)),
+        ("[price @ 3]*", "unexpected character `@`", (7, 8)),
+        (
+            "a* { where missing }",
+            "unknown predicate-child name",
+            (11, 18),
+        ),
+        ("a { //b }", "no output node", (0, 9)),
+        ("a* { where //b* }", "cannot be an output node", (14, 15)),
+        (
+            "a* { where //b { /c } }",
+            "cannot have backbone children",
+            (17, 18),
+        ),
+        ("a* extra", "trailing input", (3, 8)),
+        ("where*", "reserved word", (0, 5)),
+        (r#"a* { /"unterminated }"#, "unterminated string", (6, 21)),
+    ];
+    for &(input, fragment, (start, end)) in cases {
+        let err = input.parse::<Gtpq>().expect_err(input);
+        assert!(
+            err.message.contains(fragment),
+            "`{input}`: message `{}` missing `{fragment}`",
+            err.message
+        );
+        assert_eq!(
+            (err.span.start, err.span.end),
+            (start, end),
+            "`{input}`: wrong span for `{}`",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn evaluate_text_agrees_with_the_builder_everywhere() {
+    let graph = Arc::new(generate_dblp(160, 7));
+    let service = QueryService::new(Arc::clone(&graph));
+
+    // Disjunction + negation, built both ways.
+    let text = "inproceedings* {
+        where ((/[label = author, value = Carol]) | (/[label = author, value = Dave]))
+            & !(/[label = author, value = Erin])
+    }";
+    let mut b = GtpqBuilder::new(AttrPredicate::label("inproceedings"));
+    let root = b.root_id();
+    let carol = b.predicate_child(
+        root,
+        EdgeKind::Child,
+        AttrPredicate::label("author").and("value", CmpOp::Eq, "Carol".into()),
+    );
+    let dave = b.predicate_child(
+        root,
+        EdgeKind::Child,
+        AttrPredicate::label("author").and("value", CmpOp::Eq, "Dave".into()),
+    );
+    let erin = b.predicate_child(
+        root,
+        EdgeKind::Child,
+        AttrPredicate::label("author").and("value", CmpOp::Eq, "Erin".into()),
+    );
+    b.set_structural(
+        root,
+        BoolExpr::and2(
+            BoolExpr::or2(BoolExpr::Var(carol.var()), BoolExpr::Var(dave.var())),
+            BoolExpr::not(BoolExpr::Var(erin.var())),
+        ),
+    );
+    b.mark_output(root);
+    let built = b.build().unwrap();
+
+    let from_text = service.evaluate_text(text).unwrap();
+    let from_builder = service.evaluate(&built);
+    assert_eq!(from_text.output, from_builder.output);
+    assert_eq!(from_text.tuples, from_builder.tuples);
+    assert!(!from_text.is_empty());
+    // Identical structure ⇒ the builder query was a cache hit.
+    assert_eq!(service.metrics().cache_hits, 1);
+
+    // And both agree with the naive semantic oracle.
+    let expected = gtpq_query::naive::evaluate(&built, &graph);
+    assert!(from_text.same_answer(&expected));
+}
