@@ -54,7 +54,10 @@ OPTIONS:
 
 REPL COMMANDS:
     :help             command list
-    :explain QUERY    parse a query and print its tree without evaluating it
+    :explain QUERY    parse a query, print its tree and the physical plan
+                      (chosen backend, per-operator row estimates)
+    :explain analyze QUERY
+                      run the query and append actual per-operator rows
     :stats [on|off]   toggle per-query statistics
     :limit N          result rows to print
     :backend          backend in use (and why it was auto-selected)
@@ -316,12 +319,17 @@ impl Session {
             }
             "metrics" => {
                 let m = self.service.metrics();
+                let mut backends = self.service.built_backends();
+                backends.sort_unstable();
                 format!(
                     "queries: {} ({} hits, {} misses, hit rate {:.0}%)\n\
                      engine time: {:.3?} (candidates {:.3?}, prune {:.3?}, \
                      matching {:.3?}, enumerate {:.3?})\n\
-                     index: {} hits, {} scanned nodes, {} lookups\n\
-                     cached result sets: {}",
+                     planner: {:.3?} planning, {} plan hits / {} misses, \
+                     estimation error {:.0}%\n\
+                     index: {} hits, {} scanned nodes, {} lookups; \
+                     backends built: {}\n\
+                     cached result sets: {}, cached plans: {}",
                     m.queries,
                     m.cache_hits,
                     m.cache_misses,
@@ -331,10 +339,16 @@ impl Session {
                     m.prune_down_time + m.prune_up_time,
                     m.matching_time,
                     m.enumerate_time,
+                    m.plan_time,
+                    m.plan_cache_hits,
+                    m.plan_cache_misses,
+                    100.0 * m.estimation_error(),
                     m.index_hits,
                     m.scanned_nodes,
                     m.index_lookups,
+                    backends.join(", "),
                     self.service.cached_results(),
+                    self.service.cached_plans(),
                 )
             }
             "stats" => {
@@ -357,30 +371,67 @@ impl Session {
                 }
                 _ => format!("expected `:limit N` with N > 0, got `{rest}`"),
             },
-            "explain" => match rest.parse::<Gtpq>() {
-                Ok(q) => {
-                    let mut out = q.to_pretty_string();
-                    let _ = write!(
-                        out,
-                        "\n{} nodes, {} output nodes; {}\ncanonical: {}",
-                        q.size(),
-                        q.output_nodes().len(),
-                        if q.is_conjunctive() {
-                            "conjunctive"
-                        } else if q.is_union_conjunctive() {
-                            "union-conjunctive (uses OR)"
-                        } else {
-                            "general (uses NOT)"
-                        },
-                        q,
-                    );
-                    out
+            "explain" => {
+                let (analyze, text) = match rest.strip_prefix("analyze") {
+                    Some(tail) if tail.starts_with(char::is_whitespace) || tail.is_empty() => {
+                        (true, tail.trim())
+                    }
+                    _ => (false, rest),
+                };
+                match text.parse::<Gtpq>() {
+                    Ok(q) => self.explain(&q, analyze),
+                    // `analyze` might be the query's own root label rather
+                    // than the keyword: if the keyword-stripped tail does
+                    // not parse but the full input does, explain that.
+                    Err(e) => match analyze.then(|| rest.parse::<Gtpq>()) {
+                        Some(Ok(q)) => self.explain(&q, false),
+                        _ => e.render(text),
+                    },
                 }
-                Err(e) => e.render(rest),
-            },
+            }
             other => format!("unknown command `:{other}` (try :help)"),
         };
         Outcome::Continue(out)
+    }
+
+    /// Renders `:explain` output: the parsed query tree, its shape summary,
+    /// and the physical plan with per-operator estimates.  With `analyze`,
+    /// the query is executed (bypassing the result cache) and each
+    /// operator's actual row count and time are appended, followed by the
+    /// run's stats summary.
+    fn explain(&self, q: &Gtpq, analyze: bool) -> String {
+        let mut out = q.to_pretty_string();
+        let _ = write!(
+            out,
+            "\n{} nodes, {} output nodes; {}\ncanonical: {}\n\n",
+            q.size(),
+            q.output_nodes().len(),
+            if q.is_conjunctive() {
+                "conjunctive"
+            } else if q.is_union_conjunctive() {
+                "union-conjunctive (uses OR)"
+            } else {
+                "general (uses NOT)"
+            },
+            q,
+        );
+        if analyze {
+            let (results, stats, plan) = self.service.analyze(q);
+            let _ = write!(out, "{}", plan.render_with_actuals(q, &stats));
+            let _ = write!(
+                out,
+                "\n{} row{} in {:.3?} (estimation error {:.0}%)\n{}",
+                results.len(),
+                if results.len() == 1 { "" } else { "s" },
+                stats.total_time(),
+                100.0 * stats.estimation_error(),
+                render_stats(&stats),
+            );
+        } else {
+            let plan = self.service.plan_for(q);
+            let _ = write!(out, "{}", plan.render(q));
+        }
+        out
     }
 
     /// Parses and evaluates one query, rendering a result table (and stats,
@@ -477,13 +528,14 @@ pub fn render_stats(stats: &gtpq_core::EvalStats) -> String {
     format!(
         "stats: {} candidates → {} after ↓prune → {} after ↑prune; \
          index serve rate {:.0}%\n\
-         time: {:.3?} total (candidates {:.3?}, prune {:.3?}, matching {:.3?}, \
-         enumerate {:.3?})",
+         time: {:.3?} total (plan {:.3?}, candidates {:.3?}, prune {:.3?}, \
+         matching {:.3?}, enumerate {:.3?})",
         stats.initial_candidates,
         stats.candidates_after_downward,
         stats.candidates_after_upward,
         100.0 * stats.index_serve_rate(),
         stats.total_time(),
+        stats.plan_time,
         stats.candidate_time,
         stats.prune_down_time + stats.prune_up_time,
         stats.matching_graph_time,

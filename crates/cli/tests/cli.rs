@@ -121,7 +121,7 @@ fn unterminated_string_does_not_swallow_later_input() {
 }
 
 #[test]
-fn explain_shows_the_tree_without_evaluating() {
+fn explain_shows_the_tree_and_plan_without_evaluating() {
     let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
     let mut session = Session::new(&opts);
     let before = session.service().metrics().queries;
@@ -131,7 +131,43 @@ fn explain_shows_the_tree_without_evaluating() {
     assert!(out.contains("4 nodes"), "{out}");
     assert!(out.contains("general (uses NOT)"), "{out}");
     assert!(out.contains("canonical:"), "{out}");
+    // The physical plan follows the tree: operators, backend, estimates.
+    assert!(out.contains("QueryPlan"), "{out}");
+    assert!(out.contains("IndexScan"), "{out}");
+    assert!(out.contains("PruneDown"), "{out}");
+    assert!(out.contains("est. probes"), "{out}");
+    assert!(out.contains("est "), "{out}");
+    // ... but nothing ran: no actuals, no queries counted.
+    assert!(!out.contains("actual"), "{out}");
     assert_eq!(session.service().metrics().queries, before);
+}
+
+#[test]
+fn explain_analyze_runs_the_query_and_appends_actuals() {
+    let opts = CliOptions::parse(["--scale", "0.3"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts);
+    let Outcome::Continue(out) =
+        session.handle(":explain analyze inproceedings { /[label = title]* }")
+    else {
+        panic!("explain must not quit")
+    };
+    assert!(out.contains("QueryPlan"), "{out}");
+    assert!(out.contains("→ actual"), "{out}");
+    assert!(out.contains("Collect"), "{out}");
+    assert!(out.contains("estimation error"), "{out}");
+    assert!(out.contains("stats:"), "{out}");
+    // A malformed analyze target reports a parse error, not a panic.
+    let Outcome::Continue(err) = session.handle(":explain analyze a* {") else {
+        panic!("explain must not quit")
+    };
+    assert!(err.contains("parse error"), "{err}");
+    // A query whose *root label* is `analyze` still explains (no keyword
+    // swallowing): the stripped tail fails to parse, the full input wins.
+    let Outcome::Continue(out) = session.handle(":explain analyze { /[label = x]* }") else {
+        panic!("explain must not quit")
+    };
+    assert!(out.contains("QueryPlan"), "{out}");
+    assert!(!out.contains("→ actual"), "{out}");
 }
 
 #[test]

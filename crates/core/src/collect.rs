@@ -144,6 +144,7 @@ mod tests {
     use gtpq_reach::ThreeHop;
 
     use crate::options::GteaOptions;
+    use crate::plan::PruneStep;
     use crate::prime::{PrimeSubtree, ShrunkPrime};
     use crate::prune::{initial_candidates, prune_downward, prune_upward};
 
@@ -157,9 +158,17 @@ mod tests {
         let options = GteaOptions::default();
         let mut stats = EvalStats::default();
         let mut mat = initial_candidates(&q, &g, &mut stats);
-        prune_downward(&q, &g, &index, &options, &mut mat, &mut stats);
+        prune_downward(
+            &q,
+            &g,
+            &index,
+            &options,
+            &PruneStep::bottom_up(&q),
+            &mut mat,
+            &mut stats,
+        );
         let prime = PrimeSubtree::new(&q);
-        prune_upward(&q, &g, &index, &options, &prime, &mut mat, &mut stats);
+        prune_upward(&q, &g, &index, &options, &prime, 0, &mut mat, &mut stats);
         for shrink in [true, false] {
             let shrunk = ShrunkPrime::new(&q, &prime, &mat, shrink);
             let graph =

@@ -1,5 +1,7 @@
 //! The GTEA evaluation engine.
 
+use std::time::Instant;
+
 use gtpq_graph::DataGraph;
 use gtpq_query::{Gtpq, ResultSet};
 use gtpq_reach::{Reachability, ThreeHop};
@@ -7,9 +9,10 @@ use gtpq_reach::{Reachability, ThreeHop};
 use crate::collect::collect_results;
 use crate::matching::MatchingGraph;
 use crate::options::GteaOptions;
+use crate::plan::{execute_candidates, Planner, QueryPlan};
 use crate::prime::{PrimeSubtree, ShrunkPrime};
-use crate::prune::{initial_candidates, prune_downward, prune_upward};
-use crate::stats::EvalStats;
+use crate::prune::{prune_downward, prune_upward};
+use crate::stats::{EvalStats, OperatorStats};
 
 /// Evaluates GTPQs over one data graph.
 ///
@@ -66,21 +69,67 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
         &self.options
     }
 
+    /// Builds the cost-based plan the engine would execute for `q` (the
+    /// planner orders prune work by estimated candidate-set size; it
+    /// recommends no backend switch because the engine's backend is fixed —
+    /// the query service plans with a graph profile to get one).
+    pub fn plan(&self, q: &Gtpq) -> QueryPlan {
+        Planner::new(self.graph).plan(q)
+    }
+
     /// Evaluates `q`, returning only the answer.
     pub fn evaluate(&self, q: &Gtpq) -> ResultSet {
         self.evaluate_with_stats(q).0
     }
 
-    /// Evaluates `q`, returning the answer together with evaluation statistics.
+    /// Evaluates `q`: builds the default cost-based plan, then executes it.
+    /// The returned statistics include planning time and per-operator
+    /// estimated-vs-actual cardinalities.
     pub fn evaluate_with_stats(&self, q: &Gtpq) -> (ResultSet, EvalStats) {
+        let plan_start = Instant::now();
+        let plan = self.plan(q);
+        let plan_time = plan_start.elapsed();
+        let (results, mut stats) = self.evaluate_planned(q, &plan);
+        stats.plan_time = plan_time;
+        (results, stats)
+    }
+
+    /// Executes an explicit physical plan for `q`.
+    ///
+    /// The answer is identical to [`evaluate`](Self::evaluate) for *any*
+    /// plan: candidate steps missing from the plan default to index scans
+    /// and the downward-prune order is repaired to a valid children-first
+    /// order.  Only performance (and the recorded estimates) can
+    /// differ.  The plan's backend recommendation is ignored here — the
+    /// engine probes whatever index it was built with; the query service
+    /// resolves recommendations against its shared-index catalog.
+    pub fn evaluate_planned(&self, q: &Gtpq, plan: &QueryPlan) -> (ResultSet, EvalStats) {
         let mut stats = EvalStats::default();
         let g = self.graph;
 
-        // Step 1: candidate selection.
-        let mut mat = initial_candidates(q, g, &mut stats);
+        // Step 1: candidate selection along the plan's access paths.
+        let mut mat = execute_candidates(q, g, plan, &mut stats);
 
-        // Step 2a: downward structural constraints.
-        prune_downward(q, g, &self.index, &self.options, &mut mat, &mut stats);
+        // A backbone node with no candidates at all cannot gain any during
+        // pruning: the answer is empty before any reachability work starts.
+        if q.node_ids()
+            .filter(|&u| q.is_backbone(u))
+            .any(|u| mat[u.index()].is_empty())
+        {
+            return (ResultSet::new(q.output_nodes().to_vec()), stats);
+        }
+
+        // Step 2a: downward structural constraints, in plan order.
+        let steps = plan.normalized_prune_down(q);
+        prune_downward(
+            q,
+            g,
+            &self.index,
+            &self.options,
+            &steps,
+            &mut mat,
+            &mut stats,
+        );
 
         // Early exit: every backbone node needs at least one candidate.
         if q.node_ids()
@@ -100,6 +149,7 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
                 &self.index,
                 &self.options,
                 &prime,
+                plan.upward_estimated_rows,
                 &mut mat,
                 &mut stats,
             );
@@ -111,10 +161,24 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
         // Step 3: shrunk prime subtree and its maximal matching graph.
         let shrunk = ShrunkPrime::new(q, &prime, &mat, self.options.shrink_prime_subtree);
         stats.shrunk_subtree_size = shrunk.len() as u64;
+        let matching_start = Instant::now();
         let matching = MatchingGraph::build(q, g, &self.index, &shrunk, &mat, &mut stats);
+        stats.operators.push(OperatorStats {
+            label: "MatchingGraph".to_owned(),
+            estimated_rows: plan.matching_estimated_rows,
+            actual_rows: (matching.node_count + matching.edge_count) as u64,
+            time: matching_start.elapsed(),
+        });
 
         // Step 4: enumerate the answer.
+        let collect_start = Instant::now();
         let results = collect_results(q, &shrunk, &matching, &mat, &mut stats);
+        stats.operators.push(OperatorStats {
+            label: "Collect".to_owned(),
+            estimated_rows: plan.collect_estimated_rows,
+            actual_rows: results.len() as u64,
+            time: collect_start.elapsed(),
+        });
         (results, stats)
     }
 }
@@ -289,6 +353,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn planned_evaluation_matches_default_for_perturbed_plans() {
+        let g = example_graph();
+        let q = example_query();
+        let engine = GteaEngine::new(&g);
+        let expected = engine.evaluate(&q);
+
+        // The default plan round-trips.
+        let plan = engine.plan(&q);
+        assert!(engine.evaluate_planned(&q, &plan).0.same_answer(&expected));
+
+        // Shuffled prune order is repaired by the executor.
+        let mut shuffled = plan.clone();
+        shuffled.prune_down.reverse();
+        assert!(engine
+            .evaluate_planned(&q, &shuffled)
+            .0
+            .same_answer(&expected));
+
+        // Forced full scans select identical candidates.
+        let mut scans = plan.clone();
+        for step in &mut scans.candidates {
+            step.access = crate::plan::AccessPath::FullScan;
+        }
+        let (results, stats) = engine.evaluate_planned(&q, &scans);
+        assert!(results.same_answer(&expected));
+        assert!(stats.scanned_nodes >= (q.size() * g.node_count()) as u64);
+
+        // The fixed seed pipeline agrees too.
+        let fixed = QueryPlan::fixed_pipeline(&q);
+        assert!(engine.evaluate_planned(&q, &fixed).0.same_answer(&expected));
+    }
+
+    #[test]
+    fn stats_record_planning_and_operators() {
+        let g = example_graph();
+        let q = example_query();
+        let engine = GteaEngine::new(&g);
+        let (_, stats) = engine.evaluate_with_stats(&q);
+        // One operator per candidate step, per internal-node prune step,
+        // plus PruneUp, MatchingGraph and Collect.
+        let internal = q.node_ids().filter(|&u| !q.node(u).is_leaf()).count();
+        assert_eq!(stats.operators.len(), q.size() + internal + 3);
+        assert!(stats
+            .operators
+            .iter()
+            .any(|o| o.label.starts_with("IndexScan")));
+        assert!(stats.operators.iter().any(|o| o.label == "Collect"));
+        // Candidate estimates are upper bounds, so never below the actuals.
+        for o in stats.operators.iter().filter(|o| o.label.contains("Scan")) {
+            assert!(o.estimated_rows >= o.actual_rows, "{}", o.label);
+        }
+        // evaluate_planned alone reports no plan time; evaluate does.
+        let (_, planned_stats) = engine.evaluate_planned(&q, &engine.plan(&q));
+        assert_eq!(planned_stats.plan_time, std::time::Duration::ZERO);
     }
 
     #[test]

@@ -1,9 +1,20 @@
-//! GTEA — the GTPQ evaluation algorithm of the paper (§4).
+//! GTEA — the GTPQ evaluation algorithm of the paper (§4), behind a
+//! cost-based query planner.
 //!
-//! The engine evaluates a [`Gtpq`](gtpq_query::Gtpq) over a
+//! Evaluation is split into *planning* and *execution*: the [`plan`] module
+//! builds an explicit physical-operator plan ([`QueryPlan`]) from data-graph
+//! statistics (inverted-index posting lengths predict per-query-node
+//! candidate counts), and the engine executes it.  [`GteaEngine::evaluate`]
+//! is exactly "build the default plan, execute it";
+//! [`GteaEngine::evaluate_planned`] executes an explicit plan, which the
+//! query service uses for plan caching and per-query backend selection and
+//! the tests use to prove that any plan returns the same answer.
+//!
+//! The executed pipeline evaluates a [`Gtpq`](gtpq_query::Gtpq) over a
 //! [`DataGraph`](gtpq_graph::DataGraph) in four steps:
 //!
-//! 1. **Candidate selection** — `mat(u) = {v | v ∼ u}` for every query node.
+//! 1. **Candidate selection** — `mat(u) = {v | v ∼ u}` for every query node,
+//!    each through the plan's access path (index scan or full scan).
 //! 2. **Two-round pruning** — [`prune::prune_downward`] removes candidates
 //!    that violate *downward* structural constraints (the subtree pattern
 //!    below their query node, including disjunction and negation), then
@@ -32,10 +43,12 @@ pub mod collect;
 pub mod engine;
 pub mod matching;
 pub mod options;
+pub mod plan;
 pub mod prime;
 pub mod prune;
 pub mod stats;
 
 pub use engine::GteaEngine;
 pub use options::GteaOptions;
-pub use stats::EvalStats;
+pub use plan::{AccessPath, CandidateStep, Planner, PruneStep, QueryPlan};
+pub use stats::{EvalStats, OperatorStats};

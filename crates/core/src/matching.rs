@@ -101,6 +101,7 @@ mod tests {
     use gtpq_reach::ThreeHop;
 
     use crate::options::GteaOptions;
+    use crate::plan::PruneStep;
     use crate::prime::{PrimeSubtree, ShrunkPrime};
     use crate::prune::{initial_candidates, prune_downward, prune_upward};
 
@@ -114,9 +115,17 @@ mod tests {
         let options = GteaOptions::default();
         let mut stats = EvalStats::default();
         let mut mat = initial_candidates(&q, &g, &mut stats);
-        prune_downward(&q, &g, &index, &options, &mut mat, &mut stats);
+        prune_downward(
+            &q,
+            &g,
+            &index,
+            &options,
+            &PruneStep::bottom_up(&q),
+            &mut mat,
+            &mut stats,
+        );
         let prime = PrimeSubtree::new(&q);
-        prune_upward(&q, &g, &index, &options, &prime, &mut mat, &mut stats);
+        prune_upward(&q, &g, &index, &options, &prime, 0, &mut mat, &mut stats);
         let shrunk = ShrunkPrime::new(&q, &prime, &mat, false);
         let graph = MatchingGraph::build(&q, &g, &index, &shrunk, &mat, &mut stats);
         // Root candidate v1 has two branch lists (u2 and u3 children).

@@ -1,0 +1,716 @@
+//! Cost-based query planning: an explicit physical-operator plan IR plus the
+//! planner that builds one from data-graph statistics.
+//!
+//! The seed engine ran one hard-wired pipeline (candidates → prune down →
+//! prune up → match → collect) with the candidate and prune work ordered by
+//! query-node id.  This module makes the pipeline an explicit, inspectable
+//! value — a [`QueryPlan`] — chosen per query by a [`Planner`]:
+//!
+//! * **Candidate selection** becomes one operator per query node, either an
+//!   [`AccessPath::IndexScan`] (posting-list intersection through the
+//!   attribute inverted index) or an [`AccessPath::FullScan`] (predicate test
+//!   per node).  The planner estimates each node's candidate count from
+//!   posting lengths ([`Gtpq::estimate_candidates`]) and falls back to a full
+//!   scan only when the index cannot restrict the node set meaningfully.
+//! * **Downward pruning** is ordered by estimated candidate-set size instead
+//!   of query-node id: among the internal nodes whose (internal) children
+//!   have already been processed, the cheapest is pruned first, so small
+//!   candidate sets shrink their parents before the expensive nodes run.
+//!   Any requested order is repaired to a valid children-first order by
+//!   [`QueryPlan::normalized_prune_down`], which makes arbitrary plan
+//!   perturbations safe to execute.
+//! * **The reachability backend** is recommended per query: the planner
+//!   estimates the number of set-probe calls the prune rounds will issue and
+//!   weights each backend's [`cost hints`](BackendKind::cost_hints) by it
+//!   (pre-built indexes have their construction cost treated as sunk).  The
+//!   engine itself executes on whatever backend it holds; the query service
+//!   resolves the recommendation against its shared-index catalog.
+//!
+//! The executor records estimated-vs-actual cardinalities and per-operator
+//! wall times into [`EvalStats::operators`](crate::EvalStats), which both
+//! `:explain analyze` and the plan-quality benchmarks read back.
+
+use std::time::Instant;
+
+use gtpq_graph::{DataGraph, NodeId};
+use gtpq_query::{CandidateSelection, EdgeKind, Gtpq, QueryNodeId};
+use gtpq_reach::{select_backend_for_query, BackendKind, GraphProfile};
+
+use crate::prime::PrimeSubtree;
+use crate::stats::{EvalStats, OperatorStats};
+
+/// Folds one indexed candidate selection into the evaluation counters —
+/// shared by [`execute_candidates`] and
+/// [`prune::initial_candidates`](crate::prune::initial_candidates) so the
+/// two paths cannot drift in how they account index hits vs scanned nodes.
+pub(crate) fn record_selection(selection: &CandidateSelection, stats: &mut EvalStats) {
+    stats.initial_candidates += selection.nodes.len() as u64;
+    stats.input_nodes += selection.verified;
+    stats.scanned_nodes += selection.verified;
+    stats.index_lookups += selection.posting_entries;
+    if selection.from_index {
+        stats.index_hits += selection.nodes.len() as u64;
+    }
+}
+
+/// How one query node's initial candidates are selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Posting-list intersection through the attribute inverted index
+    /// (per-node verification only for non-indexable comparisons).
+    IndexScan,
+    /// Predicate test against every data node.
+    FullScan,
+}
+
+impl AccessPath {
+    /// The operator name used in plan rendering and operator stats.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessPath::IndexScan => "IndexScan",
+            AccessPath::FullScan => "FullScan",
+        }
+    }
+}
+
+/// One candidate-selection operator.
+#[derive(Clone, Debug)]
+pub struct CandidateStep {
+    /// The query node whose candidates this step selects.
+    pub node: QueryNodeId,
+    /// The chosen access path.
+    pub access: AccessPath,
+    /// Estimated number of candidates produced.
+    pub estimated_rows: u64,
+}
+
+/// One downward-prune operator (an internal query node).
+#[derive(Clone, Copy, Debug)]
+pub struct PruneStep {
+    /// The internal query node whose candidate set this step prunes.
+    pub node: QueryNodeId,
+    /// Estimated number of candidates surviving the step.
+    pub estimated_rows: u64,
+}
+
+impl PruneStep {
+    /// The seed's prune order: every internal node, bottom-up by query-node
+    /// id, with no estimates.  The planner-less baseline order.
+    pub fn bottom_up(q: &Gtpq) -> Vec<PruneStep> {
+        q.bottom_up_order()
+            .into_iter()
+            .filter(|&u| !q.node(u).is_leaf())
+            .map(|node| PruneStep {
+                node,
+                estimated_rows: 0,
+            })
+            .collect()
+    }
+}
+
+/// The planner's reachability-backend recommendation.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannedBackend {
+    /// Recommended backend; `None` means "use whatever the engine holds"
+    /// (the planner had no graph profile to weigh backends with).
+    pub kind: Option<BackendKind>,
+    /// One-line justification, for `:explain` and logs.
+    pub reason: &'static str,
+}
+
+/// An explicit physical plan for one query: the operator pipeline the engine
+/// executes, with per-operator cardinality estimates.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// Candidate selection, one step per query node, in execution order.
+    pub candidates: Vec<CandidateStep>,
+    /// Downward-prune steps over internal query nodes.  Executed in a
+    /// children-first repair of this order (see
+    /// [`normalized_prune_down`](Self::normalized_prune_down)).
+    ///
+    /// There is deliberately no switch for the upward round: it is
+    /// load-bearing for correctness (the shrunk-prime Cartesian product
+    /// assumes upward-pruned candidate sets), so a plan may only carry its
+    /// estimate, not disable it.
+    pub prune_down: Vec<PruneStep>,
+    /// Estimated candidates surviving the upward round (over prime nodes).
+    pub upward_estimated_rows: u64,
+    /// Estimated size (nodes + edges) of the maximal matching graph.
+    pub matching_estimated_rows: u64,
+    /// Estimated number of result tuples.
+    pub collect_estimated_rows: u64,
+    /// Estimated number of reachability set-probe calls both prune rounds
+    /// will issue — the weight behind the backend recommendation.
+    pub estimated_probes: u64,
+    /// The backend recommendation.
+    pub backend: PlannedBackend,
+}
+
+impl QueryPlan {
+    /// The seed's hard-wired pipeline as an explicit plan: index scans
+    /// everywhere, prune order by query-node id (bottom-up), no backend
+    /// recommendation, no estimates.  Used as the planner-less baseline by
+    /// the plan-quality benchmarks and tests.
+    pub fn fixed_pipeline(q: &Gtpq) -> Self {
+        QueryPlan {
+            candidates: q
+                .node_ids()
+                .map(|node| CandidateStep {
+                    node,
+                    access: AccessPath::IndexScan,
+                    estimated_rows: 0,
+                })
+                .collect(),
+            prune_down: PruneStep::bottom_up(q),
+            upward_estimated_rows: 0,
+            matching_estimated_rows: 0,
+            collect_estimated_rows: 0,
+            estimated_probes: 0,
+            backend: PlannedBackend {
+                kind: None,
+                reason: "fixed pipeline (no planning)",
+            },
+        }
+    }
+
+    /// Repairs [`prune_down`](Self::prune_down) into a valid execution order:
+    /// children before parents (downward pruning is exact only bottom-up),
+    /// honouring the plan's relative order among independent nodes, with any
+    /// internal nodes missing from the plan appended bottom-up.
+    ///
+    /// This is what makes arbitrary plan perturbations safe: a shuffled or
+    /// truncated prune list still executes as *some* children-first order, so
+    /// the answer cannot change — only the pruning efficiency can.
+    pub fn normalized_prune_down(&self, q: &Gtpq) -> Vec<PruneStep> {
+        let internal: Vec<QueryNodeId> = q
+            .bottom_up_order()
+            .into_iter()
+            .filter(|&u| !q.node(u).is_leaf())
+            .collect();
+        // Requested sequence: first occurrence wins, unknown nodes dropped,
+        // missing internal nodes appended in bottom-up order (estimate 0).
+        let mut requested: Vec<PruneStep> = Vec::with_capacity(internal.len());
+        for step in &self.prune_down {
+            if internal.contains(&step.node) && !requested.iter().any(|s| s.node == step.node) {
+                requested.push(*step);
+            }
+        }
+        for &u in &internal {
+            if !requested.iter().any(|s| s.node == u) {
+                requested.push(PruneStep {
+                    node: u,
+                    estimated_rows: 0,
+                });
+            }
+        }
+        // Greedy topological emit: repeatedly take the first requested step
+        // whose internal children have all been emitted.  Terminates because
+        // the query is a tree (some leaf-most requested node is always
+        // ready); O(n²) on query sizes that are tens of nodes at most.
+        let mut order: Vec<PruneStep> = Vec::with_capacity(requested.len());
+        let mut done = vec![false; q.size()];
+        while order.len() < requested.len() {
+            let next = requested
+                .iter()
+                .position(|s| {
+                    !done[s.node.index()]
+                        && q.children(s.node)
+                            .iter()
+                            .all(|&c| q.node(c).is_leaf() || done[c.index()])
+                })
+                .expect("a tree always has a ready internal node");
+            done[requested[next].node.index()] = true;
+            order.push(requested[next]);
+        }
+        order
+    }
+
+    /// Renders the plan as an indented operator tree with estimates, e.g.
+    ///
+    /// ```text
+    /// QueryPlan (backend: closure — per-query: …; est. probes 42)
+    ///   IndexScan u1 [label = b1]      est 2 rows
+    ///   …
+    ///   PruneDown u0                   est 1 rows
+    ///   PruneUp (prime subtree)        est 3 rows
+    ///   MatchingGraph                  est 6 rows
+    ///   Collect                        est 4 rows
+    /// ```
+    pub fn render(&self, q: &Gtpq) -> String {
+        self.render_lines(q, None)
+    }
+
+    /// Like [`render`](Self::render), but appends each operator's actual row
+    /// count from an executed run's recorded operator stats (matched by
+    /// operator label; operators the run never reached — e.g. after an
+    /// empty-candidate early exit — show only their estimate).
+    pub fn render_with_actuals(&self, q: &Gtpq, stats: &EvalStats) -> String {
+        self.render_lines(q, Some(stats))
+    }
+
+    fn render_lines(&self, q: &Gtpq, stats: Option<&EvalStats>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let backend = match self.backend.kind {
+            Some(kind) => kind.as_str(),
+            None => "engine default",
+        };
+        let _ = writeln!(
+            out,
+            "QueryPlan (backend: {backend} — {}; est. probes {})",
+            self.backend.reason, self.estimated_probes
+        );
+        let actual = |label: &str| -> String {
+            match stats.and_then(|s| s.operators.iter().find(|o| o.label == label)) {
+                Some(o) => format!(" → actual {} rows in {:.3?}", o.actual_rows, o.time),
+                None => String::new(),
+            }
+        };
+        for step in &self.candidates {
+            let label = format!("{} {}", step.access.name(), step.node);
+            let detail = format!("[{}]", q.node(step.node).attr);
+            let _ = writeln!(
+                out,
+                "  {label:<14} {detail:<28} est {} rows{}",
+                step.estimated_rows,
+                actual(&label),
+            );
+        }
+        for step in self.normalized_prune_down(q) {
+            let label = format!("PruneDown {}", step.node);
+            let _ = writeln!(
+                out,
+                "  {label:<43} est {} rows{}",
+                step.estimated_rows,
+                actual(&label),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<43} est {} rows{}",
+            "PruneUp (prime subtree)",
+            self.upward_estimated_rows,
+            actual("PruneUp"),
+        );
+        let _ = writeln!(
+            out,
+            "  {:<43} est {} rows{}",
+            "MatchingGraph",
+            self.matching_estimated_rows,
+            actual("MatchingGraph"),
+        );
+        let _ = write!(
+            out,
+            "  {:<43} est {} rows{}",
+            "Collect",
+            self.collect_estimated_rows,
+            actual("Collect"),
+        );
+        out
+    }
+}
+
+/// Builds [`QueryPlan`]s for one data graph.
+///
+/// Construction is cheap (no graph analysis); per-query planning costs
+/// O(|Q| · comparisons · log) posting-length probes.  Hand the planner a
+/// [`GraphProfile`] (computed once per graph) to enable per-query backend
+/// recommendations, and the set of already-built backends so their
+/// construction cost counts as sunk.
+#[derive(Clone, Debug)]
+pub struct Planner<'g> {
+    graph: &'g DataGraph,
+    profile: Option<GraphProfile>,
+    prebuilt: Vec<BackendKind>,
+}
+
+impl<'g> Planner<'g> {
+    /// A planner with no graph profile: plans order work by selectivity but
+    /// recommend no backend switch.
+    pub fn new(graph: &'g DataGraph) -> Self {
+        Self {
+            graph,
+            profile: None,
+            prebuilt: Vec::new(),
+        }
+    }
+
+    /// Enables backend recommendations from a precomputed profile.
+    pub fn with_profile(mut self, profile: GraphProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Declares backends whose indexes already exist (sunk build cost).
+    pub fn with_prebuilt(mut self, kinds: &[BackendKind]) -> Self {
+        self.prebuilt = kinds.to_vec();
+        self
+    }
+
+    /// Builds the cost-based plan for `q`.
+    pub fn plan(&self, q: &Gtpq) -> QueryPlan {
+        let g = self.graph;
+        let n = g.node_count() as u64;
+
+        // Per-node candidate estimates from posting lengths.
+        let est: Vec<u64> = q
+            .node_ids()
+            .map(|u| q.estimate_candidates(g, u) as u64)
+            .collect();
+
+        // Access paths: index scans unless the predicate needs per-node
+        // verification *and* the index restricts less than ~10% of the node
+        // table — then the posting intersection is pure overhead on top of a
+        // near-full verification scan.
+        let mut candidates: Vec<CandidateStep> = q
+            .node_ids()
+            .map(|u| {
+                let attr = &q.node(u).attr;
+                let indexable = attr.is_fully_indexable();
+                let access =
+                    if !attr.comparisons.is_empty() && !indexable && est[u.index()] * 10 >= n * 9 {
+                        AccessPath::FullScan
+                    } else {
+                        AccessPath::IndexScan
+                    };
+                CandidateStep {
+                    node: u,
+                    access,
+                    estimated_rows: est[u.index()],
+                }
+            })
+            .collect();
+        // Cheapest selections first: the executor stops at the first empty
+        // backbone selection, so a guaranteed-empty posting (estimate 0 is
+        // an upper bound) answers the whole query with one probe.
+        candidates.sort_by_key(|s| s.estimated_rows);
+
+        // Crude post-prune survivor estimate: every child constraint roughly
+        // halves a candidate set, capped at 1/16th.  Deliberately simple —
+        // the executor records the actuals so the model can be judged.
+        let est_out = |u: QueryNodeId| -> u64 {
+            let shift = q.children(u).len().min(4) as u32;
+            (est[u.index()] >> shift).max(1)
+        };
+
+        // Downward prune steps: children-first, cheapest candidate set first
+        // among the ready nodes (normalized_prune_down preserves this order
+        // because it is already a valid children-first order).
+        let mut internal: Vec<QueryNodeId> =
+            q.node_ids().filter(|&u| !q.node(u).is_leaf()).collect();
+        let mut prune_down: Vec<PruneStep> = Vec::with_capacity(internal.len());
+        let mut done = vec![false; q.size()];
+        while !internal.is_empty() {
+            let ready = internal
+                .iter()
+                .enumerate()
+                .filter(|(_, &u)| {
+                    q.children(u)
+                        .iter()
+                        .all(|&c| q.node(c).is_leaf() || done[c.index()])
+                })
+                .min_by_key(|(_, &u)| est[u.index()])
+                .map(|(i, _)| i)
+                .expect("a tree always has a ready internal node");
+            let u = internal.swap_remove(ready);
+            done[u.index()] = true;
+            prune_down.push(PruneStep {
+                node: u,
+                estimated_rows: est_out(u),
+            });
+        }
+
+        // Probe estimate: downward issues one prepared-probe call per
+        // candidate of an internal node per AD child; upward one per
+        // candidate of each prime child reached through an AD edge.
+        let prime = PrimeSubtree::new(q);
+        let mut probes: u64 = 0;
+        for u in q.node_ids() {
+            if q.node(u).is_leaf() {
+                continue;
+            }
+            let ad_children = q
+                .children(u)
+                .iter()
+                .filter(|&&c| q.incoming_edge(c) != Some(EdgeKind::Child))
+                .count() as u64;
+            probes = probes.saturating_add(est[u.index()].saturating_mul(ad_children));
+        }
+        let mut upward_estimated_rows: u64 = 0;
+        for &u in &prime.nodes {
+            upward_estimated_rows = upward_estimated_rows.saturating_add(est_out(u));
+            for &c in prime.children_of(u) {
+                if q.incoming_edge(c) != Some(EdgeKind::Child) {
+                    probes = probes.saturating_add(est_out(c));
+                }
+            }
+        }
+
+        let backend = match &self.profile {
+            Some(profile) => {
+                let sel = select_backend_for_query(profile, probes, &self.prebuilt);
+                PlannedBackend {
+                    kind: Some(sel.kind),
+                    reason: sel.reason,
+                }
+            }
+            None => PlannedBackend {
+                kind: None,
+                reason: "engine-default backend (no graph profile)",
+            },
+        };
+
+        let matching_estimated_rows = upward_estimated_rows.saturating_mul(2);
+        let collect_estimated_rows = q
+            .output_nodes()
+            .iter()
+            .map(|&u| est_out(u))
+            .fold(1u64, u64::saturating_mul)
+            .min(1 << 40);
+
+        QueryPlan {
+            candidates,
+            prune_down,
+            upward_estimated_rows,
+            matching_estimated_rows,
+            collect_estimated_rows,
+            estimated_probes: probes,
+            backend,
+        }
+    }
+}
+
+/// Executes the candidate-selection operators of `plan` in plan order,
+/// returning the initial `mat(u)` sets and recording one operator per step.
+///
+/// Selection stops as soon as a *backbone* node selects zero candidates: a
+/// backbone node needs an image in every match, so the answer is empty no
+/// matter what the remaining nodes would select, and the engine returns
+/// before any of the unselected (left empty) sets are read.  The planner
+/// orders steps by ascending estimate, so guaranteed-empty postings
+/// (estimate 0 — the estimate is an upper bound) bail out after one probe.
+///
+/// Robust against hand-written plans: query nodes missing from the plan are
+/// appended as index scans, steps naming unknown nodes are ignored, and
+/// duplicate steps keep the first occurrence.
+pub fn execute_candidates(
+    q: &Gtpq,
+    g: &DataGraph,
+    plan: &QueryPlan,
+    stats: &mut EvalStats,
+) -> Vec<Vec<NodeId>> {
+    let start = Instant::now();
+    let mut order: Vec<CandidateStep> = Vec::with_capacity(q.size());
+    let mut seen = vec![false; q.size()];
+    for step in &plan.candidates {
+        if step.node.index() < q.size() && !seen[step.node.index()] {
+            seen[step.node.index()] = true;
+            order.push(step.clone());
+        }
+    }
+    for u in q.node_ids() {
+        if !seen[u.index()] {
+            order.push(CandidateStep {
+                node: u,
+                access: AccessPath::IndexScan,
+                estimated_rows: 0,
+            });
+        }
+    }
+    let mut mat: Vec<Vec<NodeId>> = vec![Vec::new(); q.size()];
+    for step in &order {
+        let u = step.node;
+        let op_start = Instant::now();
+        let nodes = match step.access {
+            AccessPath::IndexScan => {
+                let selection = q.candidates_indexed(g, u);
+                record_selection(&selection, stats);
+                selection.nodes
+            }
+            AccessPath::FullScan => {
+                stats.input_nodes += g.node_count() as u64;
+                stats.scanned_nodes += g.node_count() as u64;
+                let nodes = q.candidates(g, u);
+                stats.initial_candidates += nodes.len() as u64;
+                nodes
+            }
+        };
+        stats.operators.push(OperatorStats {
+            label: format!("{} {}", step.access.name(), u),
+            estimated_rows: step.estimated_rows,
+            actual_rows: nodes.len() as u64,
+            time: op_start.elapsed(),
+        });
+        let emptied_backbone = nodes.is_empty() && q.is_backbone(u);
+        mat[u.index()] = nodes;
+        if emptied_backbone {
+            break;
+        }
+    }
+    stats.candidate_time += start.elapsed();
+    mat
+}
+
+#[cfg(test)]
+mod tests {
+    use gtpq_query::fixtures::{example_graph, example_query};
+    use gtpq_query::{AttrPredicate, CmpOp, GtpqBuilder};
+
+    use super::*;
+
+    #[test]
+    fn default_plan_orders_prune_by_selectivity_and_stays_topological() {
+        let g = example_graph();
+        let q = example_query();
+        let plan = Planner::new(&g).plan(&q);
+        assert_eq!(plan.candidates.len(), q.size());
+        // Every internal node appears exactly once.
+        let internal: Vec<QueryNodeId> = q.node_ids().filter(|&u| !q.node(u).is_leaf()).collect();
+        assert_eq!(plan.prune_down.len(), internal.len());
+        // Children-first: every step's internal children precede it.
+        let pos = |u: QueryNodeId| plan.prune_down.iter().position(|s| s.node == u).unwrap();
+        for &u in &internal {
+            for &c in q.children(u) {
+                if !q.node(c).is_leaf() {
+                    assert!(pos(c) < pos(u), "{c} must be pruned before {u}");
+                }
+            }
+        }
+        assert!(plan.estimated_probes > 0);
+    }
+
+    #[test]
+    fn estimates_upper_bound_actual_candidates() {
+        let g = example_graph();
+        let q = example_query();
+        let plan = Planner::new(&g).plan(&q);
+        for step in &plan.candidates {
+            let actual = q.candidates(&g, step.node).len() as u64;
+            assert!(
+                step.estimated_rows >= actual,
+                "{}: est {} < actual {}",
+                step.node,
+                step.estimated_rows,
+                actual
+            );
+        }
+    }
+
+    #[test]
+    fn full_scan_is_chosen_only_when_the_index_cannot_restrict() {
+        let g = example_graph();
+        // Label prefixes are string ranges (non-indexable) over the label
+        // name posting, which covers every node — the planner should scan.
+        let mut b = GtpqBuilder::new(AttrPredicate::any().and(
+            gtpq_graph::LABEL_ATTR,
+            CmpOp::Ge,
+            gtpq_graph::AttrValue::str(""),
+        ));
+        b.mark_output(b.root_id());
+        let q = b.build().unwrap();
+        let plan = Planner::new(&g).plan(&q);
+        assert_eq!(plan.candidates[0].access, AccessPath::FullScan);
+        // A selective equality stays on the index.
+        let mut b = GtpqBuilder::new(AttrPredicate::label("a1"));
+        b.mark_output(b.root_id());
+        let q = b.build().unwrap();
+        let plan = Planner::new(&g).plan(&q);
+        assert_eq!(plan.candidates[0].access, AccessPath::IndexScan);
+    }
+
+    #[test]
+    fn normalization_repairs_shuffled_and_truncated_orders() {
+        let g = example_graph();
+        let q = example_query();
+        let mut plan = Planner::new(&g).plan(&q);
+        plan.prune_down.reverse();
+        let order = plan.normalized_prune_down(&q);
+        let pos = |u: QueryNodeId| order.iter().position(|s| s.node == u).unwrap();
+        for step in &order {
+            for &c in q.children(step.node) {
+                if !q.node(c).is_leaf() {
+                    assert!(pos(c) < pos(step.node));
+                }
+            }
+        }
+        // Truncated: missing internal nodes are appended.
+        plan.prune_down.truncate(1);
+        assert_eq!(
+            plan.normalized_prune_down(&q).len(),
+            q.node_ids().filter(|&u| !q.node(u).is_leaf()).count()
+        );
+        // Garbage steps are ignored.
+        plan.prune_down.push(PruneStep {
+            node: QueryNodeId(999),
+            estimated_rows: 1,
+        });
+        assert!(plan
+            .normalized_prune_down(&q)
+            .iter()
+            .all(|s| s.node.index() < q.size()));
+    }
+
+    #[test]
+    fn backend_recommendation_requires_a_profile() {
+        let g = example_graph();
+        let q = example_query();
+        let plan = Planner::new(&g).plan(&q);
+        assert!(plan.backend.kind.is_none());
+        let profile = GraphProfile::compute(&g);
+        let plan = Planner::new(&g)
+            .with_profile(profile)
+            .with_prebuilt(&[BackendKind::ThreeHop])
+            .plan(&q);
+        assert!(plan.backend.kind.is_some());
+        assert!(!plan.backend.reason.is_empty());
+    }
+
+    #[test]
+    fn fixed_pipeline_mirrors_the_seed_shape() {
+        let g = example_graph();
+        let q = example_query();
+        let plan = QueryPlan::fixed_pipeline(&q);
+        assert_eq!(plan.candidates.len(), q.size());
+        assert!(plan
+            .candidates
+            .iter()
+            .all(|s| s.access == AccessPath::IndexScan));
+        assert!(plan.backend.kind.is_none());
+        // Its prune order is already children-first, so normalization is a
+        // no-op reordering-wise.
+        let normalized = plan.normalized_prune_down(&q);
+        let ids: Vec<QueryNodeId> = plan.prune_down.iter().map(|s| s.node).collect();
+        let norm_ids: Vec<QueryNodeId> = normalized.iter().map(|s| s.node).collect();
+        assert_eq!(ids, norm_ids);
+        let _ = g;
+    }
+
+    #[test]
+    fn rendering_mentions_every_operator() {
+        let g = example_graph();
+        let q = example_query();
+        let plan = Planner::new(&g).plan(&q);
+        let text = plan.render(&q);
+        assert!(text.contains("QueryPlan"));
+        assert!(text.contains("IndexScan u0"));
+        assert!(text.contains("PruneDown"));
+        assert!(text.contains("PruneUp"));
+        assert!(text.contains("MatchingGraph"));
+        assert!(text.contains("Collect"));
+        assert!(text.contains("est. probes"));
+    }
+
+    #[test]
+    fn execute_candidates_defaults_missing_steps_to_index_scans() {
+        let g = example_graph();
+        let q = example_query();
+        let mut plan = Planner::new(&g).plan(&q);
+        plan.candidates.clear();
+        let mut stats = EvalStats::default();
+        let mat = execute_candidates(&q, &g, &plan, &mut stats);
+        for u in q.node_ids() {
+            assert_eq!(mat[u.index()], q.candidates(&g, u));
+        }
+        assert_eq!(stats.operators.len(), q.size());
+    }
+}

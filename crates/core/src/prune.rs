@@ -8,8 +8,9 @@ use gtpq_query::{EdgeKind, Gtpq, QueryNodeId};
 use gtpq_reach::{Probe, Reachability};
 
 use crate::options::GteaOptions;
+use crate::plan::PruneStep;
 use crate::prime::PrimeSubtree;
-use crate::stats::EvalStats;
+use crate::stats::{EvalStats, OperatorStats};
 
 /// Selects the initial candidate matching nodes `mat(u)` for every query node
 /// through the graph's attribute inverted index.
@@ -27,13 +28,7 @@ pub fn initial_candidates(q: &Gtpq, g: &DataGraph, stats: &mut EvalStats) -> Vec
     let mut mat: Vec<Vec<NodeId>> = vec![Vec::new(); q.size()];
     for u in q.node_ids() {
         let selection = q.candidates_indexed(g, u);
-        stats.initial_candidates += selection.nodes.len() as u64;
-        stats.input_nodes += selection.verified;
-        stats.scanned_nodes += selection.verified;
-        stats.index_lookups += selection.posting_entries;
-        if selection.from_index {
-            stats.index_hits += selection.nodes.len() as u64;
-        }
+        crate::plan::record_selection(&selection, stats);
         mat[u.index()] = selection.nodes;
     }
     stats.candidate_time += start.elapsed();
@@ -43,18 +38,22 @@ pub fn initial_candidates(q: &Gtpq, g: &DataGraph, stats: &mut EvalStats) -> Vec
 /// `PruneDownward` (Procedure 6): removes candidates that do not satisfy the
 /// downward structural constraints of their query node.
 ///
-/// Processes query nodes bottom-up; for every internal node `u` and candidate
-/// `v`, a truth value is assigned to each child's variable from the
-/// reachability of `v` into the (already pruned) candidate set of the child,
-/// and `v` is kept only when the extended structural predicate `fext(u)`
-/// evaluates to true.  AD children are answered through the backend's
-/// prepared predecessor probe (merged contours + Proposition 7 on 3-hop);
-/// PC children are answered exactly through the adjacency lists.
+/// Processes the internal query nodes in the order given by `steps` — the
+/// plan's (already normalized, children-first) downward-prune order; for
+/// every internal node `u` and candidate `v`, a truth value is assigned to
+/// each child's variable from the reachability of `v` into the (already
+/// pruned) candidate set of the child, and `v` is kept only when the
+/// extended structural predicate `fext(u)` evaluates to true.  AD children
+/// are answered through the backend's prepared predecessor probe (merged
+/// contours + Proposition 7 on 3-hop); PC children are answered exactly
+/// through the adjacency lists.  One [`OperatorStats`] entry is recorded per
+/// step.
 pub fn prune_downward<R: Reachability + ?Sized>(
     q: &Gtpq,
     g: &DataGraph,
     index: &R,
     options: &GteaOptions,
+    steps: &[PruneStep],
     mat: &mut [Vec<NodeId>],
     stats: &mut EvalStats,
 ) {
@@ -63,13 +62,15 @@ pub fn prune_downward<R: Reachability + ?Sized>(
     // (QueryService), and a reset here would wipe their in-flight counts.
     let lookups_before = index.lookup_count();
     // Scratch bitsets for PC-child candidate membership, hoisted out of the
-    // bottom-up loop and reused across every internal query node (cleared in
+    // loop and reused across every internal query node (cleared in
     // O(touched), not re-allocated).
     let mut pc_pool: Vec<NodeBitSet> = Vec::new();
-    for u in q.bottom_up_order() {
-        if q.node(u).is_leaf() {
+    for step in steps {
+        let u = step.node;
+        if u.index() >= q.size() || q.node(u).is_leaf() {
             continue;
         }
+        let op_start = Instant::now();
         let fext = q.fext(u);
         let children = q.children(u);
 
@@ -130,7 +131,21 @@ pub fn prune_downward<R: Reachability + ?Sized>(
             });
         }
         stats.index_lookups += adjacency_lookups.get();
+        stats.operators.push(OperatorStats {
+            label: format!("PruneDown {u}"),
+            estimated_rows: step.estimated_rows,
+            actual_rows: candidates.len() as u64,
+            time: op_start.elapsed(),
+        });
+        let emptied_backbone = candidates.is_empty() && q.is_backbone(u);
         mat[u.index()] = candidates;
+        // A backbone node with no candidates forces an empty answer, and
+        // later steps can only shrink their own sets — skip them.  This is
+        // where the plan's selectivity ordering pays: cheap, selective nodes
+        // run first, so doomed queries bail before the expensive ones.
+        if emptied_backbone {
+            break;
+        }
     }
     for u in q.node_ids() {
         stats.candidates_after_downward += mat[u.index()].len() as u64;
@@ -144,13 +159,17 @@ pub fn prune_downward<R: Reachability + ?Sized>(
 ///
 /// Processes the prime subtree top-down; AD edges are answered through the
 /// backend's prepared successor probe (merged contours on 3-hop), PC edges
-/// exactly through the adjacency lists.
+/// exactly through the adjacency lists.  Recorded as one `PruneUp` operator
+/// whose actual rows are the surviving prime-subtree candidates;
+/// `estimated_rows` is the plan's survivor estimate (0 for unplanned calls).
+#[allow(clippy::too_many_arguments)] // mirrors prune_downward plus the plan estimate
 pub fn prune_upward<R: Reachability + ?Sized>(
     q: &Gtpq,
     g: &DataGraph,
     index: &R,
     options: &GteaOptions,
     prime: &PrimeSubtree,
+    estimated_rows: u64,
     mat: &mut [Vec<NodeId>],
     stats: &mut EvalStats,
 ) {
@@ -187,6 +206,12 @@ pub fn prune_upward<R: Reachability + ?Sized>(
         stats.candidates_after_upward += mat[u.index()].len() as u64;
     }
     stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
+    stats.operators.push(OperatorStats {
+        label: "PruneUp".to_owned(),
+        estimated_rows,
+        actual_rows: stats.candidates_after_upward,
+        time: start.elapsed(),
+    });
     stats.prune_up_time += start.elapsed();
 }
 
@@ -206,7 +231,15 @@ mod tests {
         let options = GteaOptions::default();
         let mut stats = EvalStats::default();
         let mut mat = initial_candidates(&q, &g, &mut stats);
-        prune_downward(&q, &g, &index, &options, &mut mat, &mut stats);
+        prune_downward(
+            &q,
+            &g,
+            &index,
+            &options,
+            &PruneStep::bottom_up(&q),
+            &mut mat,
+            &mut stats,
+        );
         let table = naive::downward_matches(&q, &g);
         for u in q.node_ids() {
             let expected: Vec<NodeId> =
@@ -275,6 +308,7 @@ mod tests {
             &g,
             &index,
             &GteaOptions::default(),
+            &PruneStep::bottom_up(&q),
             &mut with_contours,
             &mut stats,
         );
@@ -284,6 +318,7 @@ mod tests {
             &g,
             &index,
             &GteaOptions::without_contours(),
+            &PruneStep::bottom_up(&q),
             &mut without,
             &mut stats,
         );
@@ -298,9 +333,17 @@ mod tests {
         let options = GteaOptions::default();
         let mut stats = EvalStats::default();
         let mut mat = initial_candidates(&q, &g, &mut stats);
-        prune_downward(&q, &g, &index, &options, &mut mat, &mut stats);
+        prune_downward(
+            &q,
+            &g,
+            &index,
+            &options,
+            &PruneStep::bottom_up(&q),
+            &mut mat,
+            &mut stats,
+        );
         let prime = PrimeSubtree::new(&q);
-        prune_upward(&q, &g, &index, &options, &prime, &mut mat, &mut stats);
+        prune_upward(&q, &g, &index, &options, &prime, 0, &mut mat, &mut stats);
         // Every surviving candidate of a prime child is reachable from a
         // surviving candidate of its prime parent.
         for &u in &prime.nodes {

@@ -2,6 +2,34 @@
 
 use std::time::Duration;
 
+/// Estimated-vs-actual cardinality and wall time of one physical operator.
+///
+/// Recorded by the plan executor for every candidate-selection step, every
+/// downward-prune step, the upward round, the matching-graph build and the
+/// collect phase, in execution order.  `estimated_rows` comes from the plan's
+/// cost model, `actual_rows` is what the operator really produced — the pair
+/// is the feedback signal for judging (and later improving) the cost model.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OperatorStats {
+    /// Stable operator label (`IndexScan u0`, `PruneDown u2`, `PruneUp`,
+    /// `MatchingGraph`, `Collect`), matching the plan's rendering.
+    pub label: String,
+    /// Rows the planner estimated this operator would produce.
+    pub estimated_rows: u64,
+    /// Rows the operator actually produced.
+    pub actual_rows: u64,
+    /// Wall time spent in the operator.
+    pub time: Duration,
+}
+
+impl OperatorStats {
+    /// Relative cardinality estimation error `|est − actual| / max(actual, 1)`.
+    pub fn relative_error(&self) -> f64 {
+        let actual = self.actual_rows.max(1) as f64;
+        (self.estimated_rows as f64 - self.actual_rows as f64).abs() / actual
+    }
+}
+
 /// Counters and timings collected during one evaluation.
 #[derive(Clone, Debug, Default)]
 pub struct EvalStats {
@@ -43,6 +71,12 @@ pub struct EvalStats {
     pub matching_graph_time: Duration,
     /// Time spent enumerating results.
     pub enumerate_time: Duration,
+    /// Time spent building the query plan (zero when a pre-built plan was
+    /// executed via `evaluate_planned`).
+    pub plan_time: Duration,
+    /// Per-operator estimated-vs-actual cardinalities and wall times, in
+    /// execution order.
+    pub operators: Vec<OperatorStats>,
 }
 
 impl EvalStats {
@@ -52,13 +86,47 @@ impl EvalStats {
         self.prune_down_time + self.prune_up_time
     }
 
-    /// Total evaluation time.
+    /// Total evaluation time, planning included.
     pub fn total_time(&self) -> Duration {
-        self.candidate_time
+        self.plan_time
+            + self.candidate_time
             + self.prune_down_time
             + self.prune_up_time
             + self.matching_graph_time
             + self.enumerate_time
+    }
+
+    /// Sum of estimated rows across recorded operators.
+    pub fn estimated_rows(&self) -> u64 {
+        self.operators.iter().map(|o| o.estimated_rows).sum()
+    }
+
+    /// Sum of actual rows across recorded operators.
+    pub fn actual_rows(&self) -> u64 {
+        self.operators.iter().map(|o| o.actual_rows).sum()
+    }
+
+    /// Sum of `|estimated − actual|` across recorded operators — the
+    /// cancellation-proof absolute error the service metrics aggregate
+    /// (an over-estimate cannot hide an under-estimate).
+    pub fn absolute_estimation_error(&self) -> u64 {
+        self.operators
+            .iter()
+            .map(|o| o.estimated_rows.abs_diff(o.actual_rows))
+            .sum()
+    }
+
+    /// Mean relative cardinality-estimation error over the recorded
+    /// operators (0.0 when none were recorded — e.g. on a cache hit).
+    pub fn estimation_error(&self) -> f64 {
+        if self.operators.is_empty() {
+            return 0.0;
+        }
+        self.operators
+            .iter()
+            .map(OperatorStats::relative_error)
+            .sum::<f64>()
+            / self.operators.len() as f64
     }
 
     /// Fraction of candidates removed by the two pruning rounds, over the
@@ -106,6 +174,40 @@ mod tests {
         assert_eq!(stats.total_time(), Duration::from_millis(10));
         assert!((stats.pruning_ratio() - 0.75).abs() < 1e-9);
         assert_eq!(EvalStats::default().pruning_ratio(), 0.0);
+    }
+
+    #[test]
+    fn operator_rollups_and_estimation_error() {
+        let stats = EvalStats {
+            operators: vec![
+                OperatorStats {
+                    label: "IndexScan u0".into(),
+                    estimated_rows: 10,
+                    actual_rows: 10,
+                    time: Duration::from_millis(1),
+                },
+                OperatorStats {
+                    label: "PruneDown u0".into(),
+                    estimated_rows: 6,
+                    actual_rows: 4,
+                    time: Duration::from_millis(2),
+                },
+            ],
+            plan_time: Duration::from_millis(1),
+            ..Default::default()
+        };
+        assert_eq!(stats.estimated_rows(), 16);
+        assert_eq!(stats.actual_rows(), 14);
+        // Errors: 0.0 and 0.5 → mean 0.25.
+        assert!((stats.estimation_error() - 0.25).abs() < 1e-9);
+        assert_eq!(stats.total_time(), Duration::from_millis(1));
+        assert_eq!(EvalStats::default().estimation_error(), 0.0);
+        // actual = 0 divides by 1, not by zero.
+        let zero = OperatorStats {
+            estimated_rows: 3,
+            ..Default::default()
+        };
+        assert!((zero.relative_error() - 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -153,6 +153,31 @@ impl AttrIndex {
         nodes
     }
 
+    /// Length of the `attr = value` posting list without materializing it
+    /// (O(1); the cost-model input behind `IndexScan` row estimates).
+    pub fn count_eq(&self, attr: Symbol, value: &AttrValue) -> usize {
+        self.nodes_eq(attr, value).len()
+    }
+
+    /// Number of nodes carrying attribute `attr` at all (O(1)).
+    pub fn count_with_name(&self, attr: Symbol) -> usize {
+        self.nodes_with_name(attr).len()
+    }
+
+    /// Number of nodes whose integer-valued `attr` lies in `[lo, hi]`,
+    /// computed by two binary searches without building the node list.
+    pub fn count_int_range(&self, attr: Symbol, lo: i64, hi: i64) -> usize {
+        if lo > hi {
+            return 0;
+        }
+        let Some(run) = self.int_runs.get(&attr) else {
+            return 0;
+        };
+        let start = run.partition_point(|&(v, _)| v < lo);
+        let end = run.partition_point(|&(v, _)| v <= hi);
+        end - start
+    }
+
     /// Number of `(attr, value)` posting lists.
     pub fn value_posting_count(&self) -> usize {
         self.value_slots.values().map(HashMap::len).sum()
@@ -229,6 +254,21 @@ mod tests {
         assert_eq!(idx.nodes_int_range(year, 2006, i64::MAX), vec![NodeId(2)]);
         assert_eq!(idx.nodes_int_range(year, 3000, 4000), Vec::<NodeId>::new());
         assert_eq!(idx.nodes_int_range(year, 10, 5), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn count_accessors_agree_with_posting_lengths() {
+        let (g, label, year) = sample();
+        let idx = g.attr_index();
+        assert_eq!(idx.count_eq(label, &AttrValue::str("x")), 2);
+        assert_eq!(idx.count_eq(label, &AttrValue::str("zz")), 0);
+        assert_eq!(idx.count_with_name(year), 3);
+        assert_eq!(
+            idx.count_int_range(year, 2000, 2005),
+            idx.nodes_int_range(year, 2000, 2005).len()
+        );
+        assert_eq!(idx.count_int_range(year, 10, 5), 0);
+        assert_eq!(idx.count_int_range(year, 3000, 4000), 0);
     }
 
     #[test]

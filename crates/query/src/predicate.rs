@@ -340,6 +340,72 @@ impl AttrPredicate {
         }
     }
 
+    /// Whether every comparison is answered exactly by the inverted index
+    /// (no `!=`, no string range): [`select_candidates`](Self::select_candidates)
+    /// would return `from_index = true` whenever this holds.
+    pub fn is_fully_indexable(&self) -> bool {
+        self.comparisons.iter().all(|cmp| {
+            matches!(
+                (cmp.op, &cmp.value),
+                (CmpOp::Eq, _)
+                    | (CmpOp::Lt, AttrValue::Int(_))
+                    | (CmpOp::Le, AttrValue::Int(_))
+                    | (CmpOp::Gt, AttrValue::Int(_))
+                    | (CmpOp::Ge, AttrValue::Int(_))
+            )
+        })
+    }
+
+    /// Estimates `|{v | v ∼ self}|` from inverted-index posting lengths
+    /// without materializing any candidate set.
+    ///
+    /// Each comparison contributes an upper bound (exact posting length for
+    /// `=`, range-run count for integer ranges, name-posting length for `!=`
+    /// and string ranges); a conjunction can only shrink the set, so the
+    /// minimum over the contributions is itself an upper bound.  The wildcard
+    /// estimates `|V|` exactly.  Cost: O(comparisons · log) — this is the
+    /// planner's selectivity oracle, so it must stay far cheaper than
+    /// selection itself.
+    pub fn estimate_candidates(&self, g: &DataGraph) -> usize {
+        let mut est = g.node_count();
+        // Integer bounds merge per attribute exactly as in
+        // `select_candidates`, so `year >= a AND year <= b` estimates the
+        // final interval rather than two loose half-ranges.
+        let mut int_bounds: Vec<(&str, i128, i128)> = Vec::new();
+        for cmp in &self.comparisons {
+            let bound = match (cmp.op, &cmp.value) {
+                (CmpOp::Eq, value) => g.posting_len(&cmp.attr, value),
+                (CmpOp::Lt, AttrValue::Int(v)) => {
+                    merge_bound(&mut int_bounds, &cmp.attr, i64::MIN as i128, *v as i128 - 1);
+                    continue;
+                }
+                (CmpOp::Le, AttrValue::Int(v)) => {
+                    merge_bound(&mut int_bounds, &cmp.attr, i64::MIN as i128, *v as i128);
+                    continue;
+                }
+                (CmpOp::Gt, AttrValue::Int(v)) => {
+                    merge_bound(&mut int_bounds, &cmp.attr, *v as i128 + 1, i64::MAX as i128);
+                    continue;
+                }
+                (CmpOp::Ge, AttrValue::Int(v)) => {
+                    merge_bound(&mut int_bounds, &cmp.attr, *v as i128, i64::MAX as i128);
+                    continue;
+                }
+                _ => g.posting_len_attr_name(&cmp.attr),
+            };
+            est = est.min(bound);
+        }
+        for (attr, lo, hi) in int_bounds {
+            let bound = if lo > hi {
+                0
+            } else {
+                g.posting_len_int_range(attr, lo as i64, hi as i64)
+            };
+            est = est.min(bound);
+        }
+        est
+    }
+
     /// The paper's `u2 ⊢ u1` test: for every comparison `A op a1` of `self`
     /// (playing `u1`) there is a comparison `A op a2` of `other` (playing
     /// `u2`) such that any node satisfying `other`'s comparison also satisfies
@@ -361,6 +427,17 @@ impl AttrPredicate {
                 }
             })
         })
+    }
+}
+
+/// Tightens (or inserts) the merged integer interval for `attr`.
+fn merge_bound<'a>(bounds: &mut Vec<(&'a str, i128, i128)>, attr: &'a str, lo: i128, hi: i128) {
+    match bounds.iter_mut().find(|(a, _, _)| *a == attr) {
+        Some((_, blo, bhi)) => {
+            *blo = (*blo).max(lo);
+            *bhi = (*bhi).min(hi);
+        }
+        None => bounds.push((attr, lo, hi)),
     }
 }
 
@@ -519,6 +596,63 @@ mod tests {
         assert!(gt_max.select_candidates(&g).nodes.is_empty());
         let le_min = AttrPredicate::any().and("w", CmpOp::Le, AttrValue::int(i64::MIN));
         assert_eq!(le_min.select_candidates(&g).nodes, vec![v]);
+    }
+
+    #[test]
+    fn estimates_upper_bound_the_selection() {
+        let mut b = GraphBuilder::new();
+        for (label, year) in [
+            ("a", 1999),
+            ("b", 2003),
+            ("a", 2005),
+            ("c", 2005),
+            ("a", 2011),
+        ] {
+            let v = b.add_node_with_label(label);
+            b.set_attr(v, "year", AttrValue::int(year));
+        }
+        let _bare = b.add_node();
+        let g = b.build();
+        let predicates = [
+            AttrPredicate::any(),
+            AttrPredicate::label("a"),
+            AttrPredicate::label("a").and("year", CmpOp::Ge, AttrValue::int(2005)),
+            AttrPredicate::any()
+                .and("year", CmpOp::Gt, AttrValue::int(2000))
+                .and("year", CmpOp::Lt, AttrValue::int(2011)),
+            AttrPredicate::any().and("year", CmpOp::Ne, AttrValue::int(2005)),
+            AttrPredicate::any().and("label", CmpOp::Ge, AttrValue::str("b")),
+            AttrPredicate::eq("missing", AttrValue::int(1)),
+            AttrPredicate::any()
+                .and("year", CmpOp::Gt, AttrValue::int(2010))
+                .and("year", CmpOp::Lt, AttrValue::int(2000)),
+        ];
+        for p in &predicates {
+            let est = p.estimate_candidates(&g);
+            let actual = p.select_candidates(&g).nodes.len();
+            assert!(est >= actual, "estimate {est} < actual {actual} for {p}");
+            assert!(est <= g.node_count(), "estimate blew past |V| for {p}");
+        }
+        // Fully-indexable estimates are exact (posting lengths are exact and
+        // the min over conjuncts only over-approximates multi-attribute
+        // conjunctions).
+        assert_eq!(AttrPredicate::label("a").estimate_candidates(&g), 3);
+        assert_eq!(AttrPredicate::any().estimate_candidates(&g), 6);
+    }
+
+    #[test]
+    fn indexability_classification() {
+        assert!(AttrPredicate::any().is_fully_indexable());
+        assert!(AttrPredicate::label("x").is_fully_indexable());
+        assert!(AttrPredicate::any()
+            .and("year", CmpOp::Ge, AttrValue::int(2000))
+            .is_fully_indexable());
+        assert!(!AttrPredicate::any()
+            .and("year", CmpOp::Ne, AttrValue::int(2000))
+            .is_fully_indexable());
+        assert!(!AttrPredicate::any()
+            .and("label", CmpOp::Ge, AttrValue::str("b"))
+            .is_fully_indexable());
     }
 
     #[test]

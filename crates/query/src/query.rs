@@ -203,6 +203,15 @@ impl Gtpq {
         self.nodes[u.index()].attr.select_candidates(g)
     }
 
+    /// Estimated candidate count of a query node, from inverted-index
+    /// posting lengths (see
+    /// [`AttrPredicate::estimate_candidates`](crate::AttrPredicate::estimate_candidates)).
+    /// An
+    /// upper bound on `|mat(u)|`; never touches node attribute data.
+    pub fn estimate_candidates(&self, g: &DataGraph, u: QueryNodeId) -> usize {
+        self.nodes[u.index()].attr.estimate_candidates(g)
+    }
+
     /// Display name of a node: its explicit name, or `u<i>`.
     pub fn display_name(&self, u: QueryNodeId) -> String {
         self.node(u).name.clone().unwrap_or_else(|| u.to_string())

@@ -55,7 +55,10 @@ pub use chain::{ChainCover, ChainDecomposition, ChainId, ChainPos};
 pub use closure::TransitiveClosure;
 pub use contour::{ContourIndex, PredContour, SuccContour};
 pub use interval::IntervalIndex;
-pub use select::{build_selected, select_backend, BackendKind, BackendSelection, GraphProfile};
+pub use select::{
+    build_selected, select_backend, select_backend_for_query, BackendCostHints, BackendKind,
+    BackendSelection, GraphProfile,
+};
 pub use sspi::Sspi;
 pub use three_hop::ThreeHop;
 

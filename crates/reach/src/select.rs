@@ -130,6 +130,74 @@ pub struct BackendSelection {
     pub profile: GraphProfile,
 }
 
+/// Relative cost hints of one backend on one graph, in planner units
+/// (1.0 ≈ one cache-friendly array probe).  The query planner weighs
+/// `build` (paid once, then shared via [`SharedIndex`]) against
+/// `probe × estimated probe count` to pick a backend *per query*; the
+/// absolute scale is irrelevant, only the ratios matter.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendCostHints {
+    /// Estimated construction cost (0 marks an already-built backend).
+    pub build: f64,
+    /// Estimated cost per reachability probe.
+    pub probe: f64,
+    /// Whether the backend can serve this graph at all
+    /// ([`BackendKind::Interval`] requires a forest).
+    pub supported: bool,
+}
+
+impl BackendKind {
+    /// Cost hints for this backend on a graph with the given profile.
+    ///
+    /// The constants encode the backends' asymptotics on the SCC condensation
+    /// (`n` components, `e` edges): the closure probes in O(1) but builds a
+    /// quadratic bitset; 3-hop builds near-linearithmically and probes
+    /// through hop-list merges; contours materialize per-component successor
+    /// lists; SSPI is interval-cheap on tree-like graphs but pays for surplus
+    /// edges as density grows; interval probes in O(1) on forests.
+    /// [`BackendKind::Chain`]'s dense (component × chain) table stays opt-in:
+    /// `supported` is false so the planner never auto-selects it.
+    pub fn cost_hints(self, profile: &GraphProfile) -> BackendCostHints {
+        let n = profile.condensation_size.max(1) as f64;
+        let e = profile.edges.max(1) as f64;
+        let hints = |build: f64, probe: f64| BackendCostHints {
+            build,
+            probe,
+            supported: true,
+        };
+        match self {
+            // One bitset row per component: n²/64 words to fill.
+            BackendKind::Closure => hints(n * n / 64.0, 1.0),
+            // Chain decomposition + hop lists: ~e·log n build, merged-list probes.
+            BackendKind::ThreeHop => hints(e * n.log2().max(1.0), 8.0),
+            // Materialized contours: ~n·density lists, binary-searched probes.
+            BackendKind::Contour => hints(n * profile.density.max(1.0) * 4.0, 6.0),
+            // Spanning-tree intervals + surplus lists; probes degrade with
+            // the surplus-edge count, i.e. with density beyond tree-like.
+            BackendKind::Sspi => hints(n + e, 2.0 + 8.0 * (profile.density - 1.0).max(0.0)),
+            BackendKind::Interval => BackendCostHints {
+                build: n,
+                probe: 1.0,
+                supported: profile.is_forest,
+            },
+            BackendKind::Chain => BackendCostHints {
+                build: n * n,
+                probe: 2.0,
+                supported: false,
+            },
+        }
+    }
+
+    /// The backends the per-query planner may choose among.
+    pub const AUTO_CANDIDATES: [BackendKind; 5] = [
+        BackendKind::Closure,
+        BackendKind::ThreeHop,
+        BackendKind::Contour,
+        BackendKind::Sspi,
+        BackendKind::Interval,
+    ];
+}
+
 /// Components below which the quadratic bitset closure is unbeatable
 /// (4096² bits = 2 MiB of rows).
 const CLOSURE_MAX_COMPONENTS: usize = 4096;
@@ -164,6 +232,57 @@ pub fn select_backend(g: &DataGraph) -> BackendSelection {
         kind,
         reason,
         profile,
+    }
+}
+
+/// Picks a reachability backend for one *query*, weighting per-backend cost
+/// hints by the query's estimated probe count.
+///
+/// `prebuilt` lists backends whose index already exists (their build cost is
+/// sunk, so it is charged as zero); anything else pays
+/// [`BackendCostHints::build`] up front.  With a small probe estimate the
+/// sunk-cost term dominates and the prebuilt backend wins; with a large one
+/// the planner will pay for a cheaper-probing index once and amortize it —
+/// exactly the [`select_backend`] trade-offs, but driven by the workload
+/// instead of graph shape alone.
+pub fn select_backend_for_query(
+    profile: &GraphProfile,
+    estimated_probes: u64,
+    prebuilt: &[BackendKind],
+) -> BackendSelection {
+    let mut best: Option<(f64, BackendKind)> = None;
+    for kind in BackendKind::AUTO_CANDIDATES {
+        let hints = kind.cost_hints(profile);
+        if !hints.supported {
+            continue;
+        }
+        let build = if prebuilt.contains(&kind) {
+            0.0
+        } else {
+            hints.build
+        };
+        let cost = build + hints.probe * estimated_probes as f64;
+        if best.is_none_or(|(c, _)| cost < c) {
+            best = Some((cost, kind));
+        }
+    }
+    match best {
+        Some((_, kind)) => BackendSelection {
+            kind,
+            reason: if prebuilt.contains(&kind) {
+                "per-query: lowest probe cost among prebuilt indexes"
+            } else {
+                "per-query: probe savings amortize a new index build"
+            },
+            profile: *profile,
+        },
+        // Every candidate unsupported cannot happen (closure always is), but
+        // degrade gracefully to the static selector's default.
+        None => BackendSelection {
+            kind: BackendKind::ThreeHop,
+            reason: "fallback: no supported backend candidate",
+            profile: *profile,
+        },
     }
 }
 
@@ -232,6 +351,57 @@ mod tests {
         let idx = BackendKind::Interval.build_shared(&g);
         assert_eq!(idx.name(), "3-hop");
         assert!(idx.reaches(x, x));
+    }
+
+    #[test]
+    fn cost_hints_are_positive_and_gate_support() {
+        let profile = GraphProfile::compute(&path_graph(10));
+        for kind in BackendKind::AUTO_CANDIDATES {
+            let hints = kind.cost_hints(&profile);
+            assert!(hints.build >= 0.0 && hints.probe > 0.0, "{kind:?}");
+        }
+        assert!(BackendKind::Interval.cost_hints(&profile).supported);
+        assert!(!BackendKind::Chain.cost_hints(&profile).supported);
+        // Off forests the interval index is unsupported.
+        let mut b = GraphBuilder::new();
+        let x = b.add_node();
+        let y = b.add_node();
+        b.add_edge(x, y);
+        b.add_edge(y, x);
+        let cyclic = GraphProfile::compute(&b.build());
+        assert!(!BackendKind::Interval.cost_hints(&cyclic).supported);
+    }
+
+    #[test]
+    fn per_query_selection_sticks_with_prebuilt_for_few_probes() {
+        // A large diamond-ish DAG profile where building anything costs more
+        // than a handful of probes could save.
+        let profile = GraphProfile {
+            nodes: 100_000,
+            edges: 250_000,
+            density: 2.5,
+            is_dag: true,
+            is_forest: false,
+            condensation_size: 100_000,
+        };
+        let sel = select_backend_for_query(&profile, 10, &[BackendKind::ThreeHop]);
+        assert_eq!(sel.kind, BackendKind::ThreeHop);
+        // With a huge probe budget the O(1)-probe closure amortizes its
+        // quadratic build on a small condensation.
+        let small = GraphProfile {
+            condensation_size: 500,
+            nodes: 500,
+            edges: 1_000,
+            density: 2.0,
+            ..profile
+        };
+        let sel = select_backend_for_query(&small, 1_000_000, &[BackendKind::ThreeHop]);
+        assert_eq!(sel.kind, BackendKind::Closure);
+        // On a forest with a prebuilt interval index, nothing beats it.
+        let forest = GraphProfile::compute(&path_graph(64));
+        let sel = select_backend_for_query(&forest, 1_000, &[BackendKind::Interval]);
+        assert_eq!(sel.kind, BackendKind::Interval);
+        assert!(!sel.reason.is_empty());
     }
 
     #[test]

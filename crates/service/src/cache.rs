@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use gtpq_core::QueryPlan;
 use gtpq_query::{Gtpq, ResultSet};
 
 use crate::canon::CanonicalQuery;
@@ -177,6 +178,93 @@ impl ResultCache {
             }
             self.len -= 1;
         }
+    }
+}
+
+/// LRU cache from canonical query keys to shared physical plans.
+///
+/// Sits beside [`ResultCache`]: results answer repeated queries outright,
+/// while plans survive result evictions and serve every execution of a
+/// recurring query shape without re-planning.  Keyed by the canonical key —
+/// but a plan's steps are bound to one spelling's `QueryNodeId` numbering,
+/// and respellings of one pattern (which share a canonical key) can number
+/// their nodes differently.  Each entry therefore stores the query it was
+/// planned for and a lookup hits only on an exact structural match; a
+/// permuted respelling misses and re-plans (planning is microseconds),
+/// taking over the slot.
+struct PlanEntry {
+    query: Arc<Gtpq>,
+    plan: Arc<QueryPlan>,
+    last_used: u64,
+}
+
+/// An LRU plan cache safe against respelling permutations (each entry keeps
+/// the query it was planned for; see the module comment above).
+pub struct PlanCache {
+    capacity: usize,
+    entries: HashMap<String, PlanEntry>,
+    tick: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the plan cached under `key` *for exactly this query*,
+    /// refreshing its recency.  An entry planned for a differently-numbered
+    /// respelling misses.
+    pub fn lookup(&mut self, key: &str, q: &Gtpq) -> Option<Arc<QueryPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        if *entry.query != *q {
+            return None;
+        }
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.plan))
+    }
+
+    /// Caches a plan for `q`, evicting the least-recently-used entry when
+    /// full (an existing entry under the same key is replaced in place).
+    pub fn insert(&mut self, key: &str, q: Arc<Gtpq>, plan: Arc<QueryPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(key) {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            key.to_owned(),
+            PlanEntry {
+                query: q,
+                plan,
+                last_used: self.tick,
+            },
+        );
     }
 }
 
@@ -361,5 +449,46 @@ mod tests {
         assert!(same_position_set(&[1, 2], &[2, 1]));
         assert!(!same_position_set(&[1, 2], &[1, 3]));
         assert!(!same_position_set(&[1], &[1, 1]));
+    }
+
+    #[test]
+    fn plan_cache_is_lru_over_canonical_keys() {
+        let q = Arc::new(two_output_query(false));
+        let plan = Arc::new(gtpq_core::QueryPlan::fixed_pipeline(&q));
+        let mut cache = PlanCache::new(2);
+        assert!(cache.is_empty());
+        cache.insert("a", Arc::clone(&q), Arc::clone(&plan));
+        cache.insert("b", Arc::clone(&q), Arc::clone(&plan));
+        assert!(cache.lookup("a", &q).is_some()); // refresh a
+        cache.insert("c", Arc::clone(&q), Arc::clone(&plan)); // evicts b
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("b", &q).is_none());
+        assert!(cache.lookup("a", &q).is_some());
+        assert!(cache.lookup("c", &q).is_some());
+        // Zero capacity disables insertion.
+        let mut off = PlanCache::new(0);
+        off.insert("a", Arc::clone(&q), Arc::clone(&plan));
+        assert!(off.lookup("a", &q).is_none());
+    }
+
+    #[test]
+    fn plan_cache_misses_for_a_different_spelling_of_the_same_key() {
+        // Plans bind QueryNodeIds; a structurally different query must never
+        // receive a plan cached under the same canonical key.
+        let planned_for = Arc::new(two_output_query(false));
+        let other = two_output_query(true);
+        assert_ne!(*planned_for, other);
+        let plan = Arc::new(gtpq_core::QueryPlan::fixed_pipeline(&planned_for));
+        let mut cache = PlanCache::new(4);
+        cache.insert("shared-key", Arc::clone(&planned_for), plan);
+        assert!(cache.lookup("shared-key", &planned_for).is_some());
+        assert!(cache.lookup("shared-key", &other).is_none());
+        // Re-planning takes over the slot in place.
+        let other = Arc::new(other);
+        let other_plan = Arc::new(gtpq_core::QueryPlan::fixed_pipeline(&other));
+        cache.insert("shared-key", Arc::clone(&other), other_plan);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup("shared-key", &other).is_some());
+        assert!(cache.lookup("shared-key", &planned_for).is_none());
     }
 }

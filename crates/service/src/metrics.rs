@@ -29,6 +29,12 @@ pub struct ServiceMetrics {
     index_hits: AtomicU64,
     scanned_nodes: AtomicU64,
     result_tuples: AtomicU64,
+    plan_nanos: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    estimated_rows: AtomicU64,
+    actual_rows: AtomicU64,
+    estimation_error_rows: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -50,7 +56,21 @@ impl ServiceMetrics {
             index_hits: AtomicU64::new(0),
             scanned_nodes: AtomicU64::new(0),
             result_tuples: AtomicU64::new(0),
+            plan_nanos: AtomicU64::new(0),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
+            estimated_rows: AtomicU64::new(0),
+            actual_rows: AtomicU64::new(0),
+            estimation_error_rows: AtomicU64::new(0),
         }
+    }
+
+    pub(crate) fn record_plan_hit(&self) {
+        self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_plan_miss(&self) {
+        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_hit(&self) {
@@ -80,6 +100,13 @@ impl ServiceMetrics {
             .fetch_add(stats.scanned_nodes, Ordering::Relaxed);
         self.result_tuples
             .fetch_add(stats.result_tuples, Ordering::Relaxed);
+        add(&self.plan_nanos, stats.plan_time);
+        self.estimated_rows
+            .fetch_add(stats.estimated_rows(), Ordering::Relaxed);
+        self.actual_rows
+            .fetch_add(stats.actual_rows(), Ordering::Relaxed);
+        self.estimation_error_rows
+            .fetch_add(stats.absolute_estimation_error(), Ordering::Relaxed);
     }
 
     pub(crate) fn record_batch(&self) {
@@ -108,6 +135,12 @@ impl ServiceMetrics {
             index_hits: self.index_hits.load(Ordering::Relaxed),
             scanned_nodes: self.scanned_nodes.load(Ordering::Relaxed),
             result_tuples: self.result_tuples.load(Ordering::Relaxed),
+            plan_time: Duration::from_nanos(self.plan_nanos.load(Ordering::Relaxed)),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            estimated_rows: self.estimated_rows.load(Ordering::Relaxed),
+            actual_rows: self.actual_rows.load(Ordering::Relaxed),
+            estimation_error_rows: self.estimation_error_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -150,6 +183,19 @@ pub struct MetricsSnapshot {
     pub scanned_nodes: u64,
     /// Result tuples produced by engine runs.
     pub result_tuples: u64,
+    /// Planning time rollup (zero for plan-cache hits).
+    pub plan_time: Duration,
+    /// Evaluations that reused a cached physical plan.
+    pub plan_cache_hits: u64,
+    /// Evaluations that built a fresh physical plan.
+    pub plan_cache_misses: u64,
+    /// Sum of the planner's per-operator row estimates across engine runs.
+    pub estimated_rows: u64,
+    /// Sum of the rows those operators actually produced.
+    pub actual_rows: u64,
+    /// Sum of per-operator `|estimated − actual|` across engine runs
+    /// (absolute, so over- and under-estimates cannot cancel).
+    pub estimation_error_rows: u64,
 }
 
 impl MetricsSnapshot {
@@ -176,6 +222,26 @@ impl MetricsSnapshot {
     /// index across all engine runs (0.0 when idle).
     pub fn index_serve_rate(&self) -> f64 {
         gtpq_core::stats::serve_rate(self.index_hits, self.scanned_nodes)
+    }
+
+    /// Fraction of engine runs that reused a cached physical plan
+    /// (0.0 when no plans were requested).
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Aggregate cardinality-estimation error of the cost model: the sum of
+    /// per-operator `|estimated − actual|` over the sum of actual rows
+    /// (0.0 = estimates exactly matched the executed cardinalities; errors
+    /// are accumulated per operator, so an over-estimate cannot cancel an
+    /// under-estimate).
+    pub fn estimation_error(&self) -> f64 {
+        self.estimation_error_rows as f64 / self.actual_rows.max(1) as f64
     }
 
     /// Mean engine time per cache miss.
@@ -231,5 +297,70 @@ mod tests {
         assert_eq!(snap.hit_rate(), 0.0);
         assert_eq!(snap.index_serve_rate(), 0.0);
         assert_eq!(snap.mean_eval_time(), Duration::ZERO);
+        assert_eq!(snap.plan_hit_rate(), 0.0);
+        assert_eq!(snap.estimation_error(), 0.0);
+    }
+
+    #[test]
+    fn plan_metrics_roll_up() {
+        use gtpq_core::OperatorStats;
+        let m = ServiceMetrics::new();
+        m.record_plan_miss();
+        m.record_plan_hit();
+        m.record_plan_hit();
+        let stats = EvalStats {
+            plan_time: Duration::from_millis(2),
+            operators: vec![
+                OperatorStats {
+                    label: "IndexScan u0".into(),
+                    estimated_rows: 12,
+                    actual_rows: 8,
+                    time: Duration::from_millis(1),
+                },
+                OperatorStats {
+                    label: "Collect".into(),
+                    estimated_rows: 4,
+                    actual_rows: 4,
+                    time: Duration::from_millis(1),
+                },
+            ],
+            ..Default::default()
+        };
+        m.record_miss(&stats);
+        let snap = m.snapshot();
+        assert_eq!(snap.plan_cache_hits, 2);
+        assert_eq!(snap.plan_cache_misses, 1);
+        assert!((snap.plan_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(snap.plan_time, Duration::from_millis(2));
+        assert_eq!(snap.estimated_rows, 16);
+        assert_eq!(snap.actual_rows, 12);
+        assert_eq!(snap.estimation_error_rows, 4);
+        assert!((snap.estimation_error() - 4.0 / 12.0).abs() < 1e-9);
+        // Opposite-signed errors accumulate instead of canceling.
+        let canceling = EvalStats {
+            operators: vec![
+                OperatorStats {
+                    label: "a".into(),
+                    estimated_rows: 100,
+                    actual_rows: 10,
+                    time: Duration::ZERO,
+                },
+                OperatorStats {
+                    label: "b".into(),
+                    estimated_rows: 10,
+                    actual_rows: 100,
+                    time: Duration::ZERO,
+                },
+            ],
+            ..Default::default()
+        };
+        m.record_miss(&canceling);
+        let snap = m.snapshot();
+        assert_eq!(snap.estimated_rows, snap.actual_rows + 4);
+        assert_eq!(snap.estimation_error_rows, 4 + 180);
+        assert!(
+            snap.estimation_error() > 1.0,
+            "10x-wrong model must not read 0%"
+        );
     }
 }

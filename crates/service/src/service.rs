@@ -1,15 +1,17 @@
 //! The concurrent query service.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use gtpq_core::{EvalStats, GteaEngine, GteaOptions};
+use gtpq_core::{EvalStats, GteaEngine, GteaOptions, Planner, QueryPlan};
 use gtpq_graph::DataGraph;
 use gtpq_query::{Gtpq, ParseError, ResultSet};
-use gtpq_reach::{build_selected, BackendKind, BackendSelection, SharedIndex};
+use gtpq_reach::{build_selected, BackendKind, BackendSelection, GraphProfile, SharedIndex};
 
-use crate::cache::ResultCache;
-use crate::canon::canonicalize;
+use crate::cache::{PlanCache, ResultCache};
+use crate::canon::{canonicalize, CanonicalQuery};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 
 /// Configuration of a [`QueryService`].
@@ -23,6 +25,12 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// Result-cache capacity in result sets; 0 disables caching.
     pub cache_capacity: usize,
+    /// Plan-cache capacity in physical plans; 0 disables plan caching.
+    pub plan_cache_capacity: usize,
+    /// Whether the planner may pick a reachability backend per query (built
+    /// lazily, then shared through the backend catalog).  Ignored — treated
+    /// as `false` — when [`backend`](Self::backend) pins one explicitly.
+    pub per_query_backend: bool,
     /// Engine options forwarded to every evaluation.
     pub options: GteaOptions,
 }
@@ -35,6 +43,8 @@ impl Default for ServiceConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             cache_capacity: 256,
+            plan_cache_capacity: 256,
+            per_query_backend: true,
             options: GteaOptions::default(),
         }
     }
@@ -73,9 +83,15 @@ impl Default for ServiceConfig {
 pub struct QueryService {
     graph: Arc<DataGraph>,
     index: SharedIndex,
+    default_kind: BackendKind,
     selection: Option<BackendSelection>,
+    profile: GraphProfile,
     config: ServiceConfig,
     cache: Mutex<ResultCache>,
+    plans: Mutex<PlanCache>,
+    /// Per-query backend catalog: indexes built on demand by the planner's
+    /// recommendation, shared across all subsequent queries.
+    backends: Mutex<HashMap<BackendKind, SharedIndex>>,
     metrics: ServiceMetrics,
 }
 
@@ -88,18 +104,28 @@ impl QueryService {
 
     /// Builds a service with an explicit configuration.
     pub fn with_config(graph: Arc<DataGraph>, config: ServiceConfig) -> Self {
-        let (index, selection) = match config.backend {
-            Some(kind) => (kind.build_shared(&graph), None),
+        let (index, default_kind, selection, profile) = match config.backend {
+            Some(kind) => (
+                kind.build_shared(&graph),
+                kind,
+                None,
+                GraphProfile::compute(&graph),
+            ),
             None => {
                 let (index, selection) = build_selected(&graph);
-                (index, Some(selection))
+                (index, selection.kind, Some(selection), selection.profile)
             }
         };
+        let backends = HashMap::from([(default_kind, Arc::clone(&index))]);
         Self {
             graph,
             index,
+            default_kind,
             selection,
+            profile,
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            plans: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
+            backends: Mutex::new(backends),
             config,
             metrics: ServiceMetrics::new(),
         }
@@ -166,31 +192,143 @@ impl QueryService {
     /// `EvalStats::default()`; aggregate hit/miss counts live in
     /// [`metrics`](Self::metrics).
     pub fn evaluate_with_stats(&self, q: &Gtpq) -> (Arc<ResultSet>, EvalStats) {
-        let canon = (self.config.cache_capacity > 0).then(|| canonicalize(q));
-        if let Some(canon) = &canon {
-            let hit = self
-                .cache
-                .lock()
-                .expect("cache lock poisoned")
-                .lookup(canon, q);
-            if let Some(results) = hit {
-                self.metrics.record_hit();
-                return (results, EvalStats::default());
+        let canon = (self.config.cache_capacity > 0 || self.config.plan_cache_capacity > 0)
+            .then(|| canonicalize(q));
+        if self.config.cache_capacity > 0 {
+            if let Some(canon) = &canon {
+                let hit = self
+                    .cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .lookup(canon, q);
+                if let Some(results) = hit {
+                    self.metrics.record_hit();
+                    return (results, EvalStats::default());
+                }
             }
         }
-        let engine =
-            GteaEngine::with_backend(&self.graph, Arc::clone(&self.index), self.config.options);
-        let (results, stats) = engine.evaluate_with_stats(q);
-        let results = Arc::new(results);
-        if let Some(canon) = &canon {
-            self.cache.lock().expect("cache lock poisoned").insert(
-                canon,
-                Arc::new(q.clone()),
-                Arc::clone(&results),
-            );
+        let (results, stats) = self.run_planned(q, canon.as_ref());
+        if self.config.cache_capacity > 0 {
+            if let Some(canon) = &canon {
+                self.cache.lock().expect("cache lock poisoned").insert(
+                    canon,
+                    Arc::new(q.clone()),
+                    Arc::clone(&results),
+                );
+            }
         }
         self.metrics.record_miss(&stats);
         (results, stats)
+    }
+
+    /// Plans (or recalls the cached plan for) `q` without evaluating it —
+    /// the physical plan `:explain` renders.
+    ///
+    /// The plan is built with the service's graph profile and the set of
+    /// already-built backends, so it carries a per-query backend
+    /// recommendation; it lands in the plan cache, pre-warming a later
+    /// evaluation of the same pattern.
+    pub fn plan_for(&self, q: &Gtpq) -> Arc<QueryPlan> {
+        let canon = (self.config.plan_cache_capacity > 0).then(|| canonicalize(q));
+        self.obtain_plan(q, canon.as_ref()).0
+    }
+
+    /// Evaluates `q` unconditionally through the engine (no result-cache
+    /// lookup or insertion), returning the executed plan alongside the
+    /// answer and statistics — the machinery behind `:explain analyze`.
+    /// Plan cache and metrics behave as for a cache miss.
+    pub fn analyze(&self, q: &Gtpq) -> (Arc<ResultSet>, EvalStats, Arc<QueryPlan>) {
+        let canon = (self.config.plan_cache_capacity > 0).then(|| canonicalize(q));
+        let (plan, plan_time) = self.obtain_plan(q, canon.as_ref());
+        let (results, stats) = self.execute_plan(q, &plan, plan_time);
+        self.metrics.record_miss(&stats);
+        (results, stats, plan)
+    }
+
+    /// Runs the planning + execution pipeline for a result-cache miss.
+    fn run_planned(&self, q: &Gtpq, canon: Option<&CanonicalQuery>) -> (Arc<ResultSet>, EvalStats) {
+        let (plan, plan_time) = self.obtain_plan(q, canon);
+        self.execute_plan(q, &plan, plan_time)
+    }
+
+    /// Looks the plan up in the plan cache, building and caching it on a
+    /// miss.  Returns the plan and the time spent planning (zero on a hit).
+    fn obtain_plan(&self, q: &Gtpq, canon: Option<&CanonicalQuery>) -> (Arc<QueryPlan>, Duration) {
+        if let Some(canon) = canon {
+            let hit = self
+                .plans
+                .lock()
+                .expect("plan cache lock poisoned")
+                .lookup(&canon.key, q);
+            if let Some(plan) = hit {
+                self.metrics.record_plan_hit();
+                return (plan, Duration::ZERO);
+            }
+        }
+        let start = Instant::now();
+        let prebuilt: Vec<BackendKind> = self
+            .backends
+            .lock()
+            .expect("backend catalog lock poisoned")
+            .keys()
+            .copied()
+            .collect();
+        let plan = Arc::new(
+            Planner::new(&self.graph)
+                .with_profile(self.profile)
+                .with_prebuilt(&prebuilt)
+                .plan(q),
+        );
+        let plan_time = start.elapsed();
+        self.metrics.record_plan_miss();
+        if let Some(canon) = canon {
+            self.plans.lock().expect("plan cache lock poisoned").insert(
+                &canon.key,
+                Arc::new(q.clone()),
+                Arc::clone(&plan),
+            );
+        }
+        (plan, plan_time)
+    }
+
+    /// Executes `plan`, resolving its backend recommendation against the
+    /// shared catalog.
+    fn execute_plan(
+        &self,
+        q: &Gtpq,
+        plan: &QueryPlan,
+        plan_time: Duration,
+    ) -> (Arc<ResultSet>, EvalStats) {
+        let index = self.resolve_backend(plan);
+        let engine = GteaEngine::with_backend(&self.graph, index, self.config.options);
+        let (results, mut stats) = engine.evaluate_planned(q, plan);
+        stats.plan_time = plan_time;
+        (Arc::new(results), stats)
+    }
+
+    /// The index the plan runs on: the plan's recommended backend (built
+    /// lazily into the catalog, then shared) when per-query selection is
+    /// enabled and no backend was pinned; the service default otherwise.
+    ///
+    /// The catalog lock is never held across an index build — concurrent
+    /// queries whose backend is already cataloged must not stall behind a
+    /// potentially expensive construction.  Two threads racing on the same
+    /// missing backend may both build it; the first insert wins and the
+    /// loser's copy is dropped.
+    fn resolve_backend(&self, plan: &QueryPlan) -> SharedIndex {
+        let per_query = self.config.per_query_backend && self.config.backend.is_none();
+        let Some(kind) = plan.backend.kind.filter(|_| per_query) else {
+            return Arc::clone(&self.index);
+        };
+        {
+            let backends = self.backends.lock().expect("backend catalog lock poisoned");
+            if let Some(index) = backends.get(&kind) {
+                return Arc::clone(index);
+            }
+        }
+        let built = kind.build_shared(&self.graph);
+        let mut backends = self.backends.lock().expect("backend catalog lock poisoned");
+        Arc::clone(backends.entry(kind).or_insert(built))
     }
 
     /// Evaluates a batch of queries across the worker pool, preserving input
@@ -246,6 +384,27 @@ impl QueryService {
     /// Number of result sets currently cached.
     pub fn cached_results(&self) -> usize {
         self.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Number of physical plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.lock().expect("plan cache lock poisoned").len()
+    }
+
+    /// Names of the reachability backends built so far (the default plus any
+    /// the planner asked for), in no particular order.
+    pub fn built_backends(&self) -> Vec<&'static str> {
+        self.backends
+            .lock()
+            .expect("backend catalog lock poisoned")
+            .keys()
+            .map(|k| k.as_str())
+            .collect()
+    }
+
+    /// The backend kind the service was built with (pinned or auto-selected).
+    pub fn default_backend(&self) -> BackendKind {
+        self.default_kind
     }
 }
 
@@ -375,6 +534,98 @@ mod tests {
         let err = service.evaluate_text("a1 { //d1* ").unwrap_err();
         assert!(err.message.contains("unbalanced `{`"));
         assert_eq!(err.span.start, 3);
+    }
+
+    #[test]
+    fn plans_are_cached_alongside_results() {
+        let service = QueryService::with_config(
+            Arc::new(example_graph()),
+            ServiceConfig {
+                cache_capacity: 0, // results never cached: every call runs the engine
+                ..ServiceConfig::default()
+            },
+        );
+        let q = example_query();
+        assert_eq!(service.cached_plans(), 0);
+        let (_, cold) = service.evaluate_with_stats(&q);
+        assert!(cold.plan_time > std::time::Duration::ZERO);
+        assert_eq!(service.cached_plans(), 1);
+        // Second run re-executes but reuses the plan.
+        let (_, warm) = service.evaluate_with_stats(&q);
+        assert_eq!(warm.plan_time, std::time::Duration::ZERO);
+        assert!(warm.initial_candidates > 0, "the engine really ran");
+        let m = service.metrics();
+        assert_eq!(m.plan_cache_misses, 1);
+        assert_eq!(m.plan_cache_hits, 1);
+        assert!((m.plan_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_for_exposes_the_physical_plan() {
+        let service = service_for_example();
+        let q = example_query();
+        let plan = service.plan_for(&q);
+        assert_eq!(plan.candidates.len(), q.size());
+        assert!(
+            plan.backend.kind.is_some(),
+            "profile enables recommendation"
+        );
+        let rendered = plan.render(&q);
+        assert!(rendered.contains("QueryPlan"));
+        // plan_for warms the plan cache for the later evaluation.
+        assert_eq!(service.cached_plans(), 1);
+        let (_, stats) = service.evaluate_with_stats(&q);
+        assert_eq!(stats.plan_time, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn analyze_bypasses_the_result_cache_and_reports_actuals() {
+        let service = service_for_example();
+        let q = example_query();
+        let expected = naive::evaluate(&q, service.graph());
+        // Warm the result cache, then analyze: the engine must run anyway.
+        service.evaluate(&q);
+        let (results, stats, plan) = service.analyze(&q);
+        assert!(results.same_answer(&expected));
+        assert!(!stats.operators.is_empty());
+        let rendered = plan.render_with_actuals(&q, &stats);
+        assert!(rendered.contains("actual"));
+        // Cached results stayed untouched (analyze inserted nothing new).
+        assert_eq!(service.cached_results(), 1);
+    }
+
+    #[test]
+    fn per_query_backend_builds_into_the_catalog() {
+        let service = service_for_example();
+        let q = example_query();
+        let before = service.built_backends().len();
+        assert_eq!(before, 1, "only the default is prebuilt");
+        let (results, _) = service.evaluate_with_stats(&q);
+        assert!(results.same_answer(&naive::evaluate(&q, service.graph())));
+        // plan_for returns the plan cached by the evaluation, whose
+        // recommended backend the executor built into the catalog.
+        let plan = service.plan_for(&q);
+        let recommended = plan.backend.kind.expect("profile present").as_str();
+        assert!(
+            service.built_backends().contains(&recommended),
+            "{recommended} missing from {:?}",
+            service.built_backends()
+        );
+    }
+
+    #[test]
+    fn pinned_backend_disables_per_query_switching() {
+        let service = QueryService::with_config(
+            Arc::new(example_graph()),
+            ServiceConfig {
+                backend: Some(BackendKind::Sspi),
+                ..ServiceConfig::default()
+            },
+        );
+        let q = example_query();
+        service.evaluate(&q);
+        assert_eq!(service.built_backends(), vec!["sspi"]);
+        assert_eq!(service.default_backend(), BackendKind::Sspi);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use gtpq_service as service;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use gtpq_core::{EvalStats, GteaEngine, GteaOptions};
+    pub use gtpq_core::{EvalStats, GteaEngine, GteaOptions, Planner, QueryPlan};
     pub use gtpq_graph::{AttrValue, DataGraph, GraphBuilder, NodeId};
     pub use gtpq_logic::BoolExpr;
     pub use gtpq_query::{

@@ -317,6 +317,57 @@ fn gtea_agrees_with_the_naive_evaluator() {
     }
 }
 
+/// The tentpole equivalence property: executing *any* physical plan — the
+/// planner's default, a shuffled prune order, forced full scans, the upward
+/// round disabled, the seed's fixed pipeline — returns a `ResultSet`
+/// identical to the default `evaluate`, under every reachability backend.
+/// Plans may only change performance, never answers.
+#[test]
+fn planned_evaluation_is_equivalent_to_default_for_perturbed_plans() {
+    use gtpq::engine::plan::AccessPath;
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(&mut rng, 16, seed % 2 == 0);
+        let q = random_query(&mut rng);
+        let baseline = GteaEngine::new(&g);
+        let expected = baseline.evaluate(&q);
+        let plan = baseline.plan(&q);
+
+        // Randomly shuffled prune order (repaired by the executor).
+        let mut shuffled = plan.clone();
+        for i in (1..shuffled.prune_down.len()).rev() {
+            shuffled.prune_down.swap(i, rng.gen_range(0..=i));
+        }
+        // Forced full scans on every query node.
+        let mut scans = plan.clone();
+        for step in &mut scans.candidates {
+            step.access = AccessPath::FullScan;
+        }
+        // The seed's fixed pipeline.
+        let fixed = QueryPlan::fixed_pipeline(&q);
+
+        for kind in BACKENDS {
+            let index = build_index(kind, &g);
+            let engine = GteaEngine::with_backend(&g, index, GteaOptions::default());
+            for (name, perturbed) in [
+                ("default", &plan),
+                ("shuffled", &shuffled),
+                ("full-scan", &scans),
+                ("fixed", &fixed),
+            ] {
+                let got = engine.evaluate_planned(&q, perturbed);
+                assert!(
+                    got.0.same_answer(&expected),
+                    "seed {seed}: plan `{name}` on backend {kind} changed the answer: \
+                     got {:?} expected {:?}",
+                    got.0.tuples,
+                    expected.tuples
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn gtea_agrees_with_naive_under_every_backend() {
     for seed in 0..CASES / 2 {
