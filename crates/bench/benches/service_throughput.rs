@@ -8,12 +8,19 @@ use gtpq_bench::workloads::xmark_graph;
 use gtpq_datagen::{random_queries, xmark_q1, xmark_q2, xmark_q3, RandomQueryConfig};
 use gtpq_graph::DataGraph;
 use gtpq_query::Gtpq;
-use gtpq_service::{QueryService, ServiceConfig};
+use gtpq_service::{QueryRequest, QueryService, ServiceConfig};
 
 fn workload(g: &DataGraph) -> Vec<Gtpq> {
     let mut queries = vec![xmark_q1(0), xmark_q2(0, 3), xmark_q3(0, 3, 7)];
     queries.extend(random_queries(g, &RandomQueryConfig::with_size(4)));
     queries
+}
+
+fn requests(queries: &[Gtpq]) -> Vec<QueryRequest> {
+    queries
+        .iter()
+        .map(|q| QueryRequest::query(q.clone()))
+        .collect()
 }
 
 fn cold_service(graph: &Arc<DataGraph>, threads: usize) -> QueryService {
@@ -36,7 +43,7 @@ fn warm_service(graph: &Arc<DataGraph>, threads: usize, queries: &[Gtpq]) -> Que
         },
     );
     for q in queries {
-        service.evaluate(q); // prime the result cache
+        let _ = service.submit(&QueryRequest::query(q.clone())); // prime the cache
     }
     service
 }
@@ -54,49 +61,36 @@ fn bench(c: &mut Criterion) {
     }
     let graph = Arc::new(xmark_graph(0.5));
     let queries = workload(&graph);
+    let reqs = requests(&queries);
     let threads = 4;
 
     let sequential_cold = cold_service(&graph, 1);
-    group.bench_with_input(
-        BenchmarkId::new("sequential", "cold"),
-        &queries,
-        |b, queries| {
-            b.iter(|| {
-                queries
-                    .iter()
-                    .map(|q| sequential_cold.evaluate(q))
-                    .collect::<Vec<_>>()
-            })
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("sequential", "cold"), &reqs, |b, reqs| {
+        b.iter(|| {
+            reqs.iter()
+                .map(|r| sequential_cold.submit(r).expect("workload is satisfiable"))
+                .collect::<Vec<_>>()
+        })
+    });
 
     let batched_cold = cold_service(&graph, threads);
-    group.bench_with_input(
-        BenchmarkId::new("batched", "cold"),
-        &queries,
-        |b, queries| b.iter(|| batched_cold.evaluate_batch(queries)),
-    );
+    group.bench_with_input(BenchmarkId::new("batched", "cold"), &reqs, |b, reqs| {
+        b.iter(|| batched_cold.submit_batch(reqs))
+    });
 
     let sequential_warm = warm_service(&graph, 1, &queries);
-    group.bench_with_input(
-        BenchmarkId::new("sequential", "warm"),
-        &queries,
-        |b, queries| {
-            b.iter(|| {
-                queries
-                    .iter()
-                    .map(|q| sequential_warm.evaluate(q))
-                    .collect::<Vec<_>>()
-            })
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("sequential", "warm"), &reqs, |b, reqs| {
+        b.iter(|| {
+            reqs.iter()
+                .map(|r| sequential_warm.submit(r).expect("workload is satisfiable"))
+                .collect::<Vec<_>>()
+        })
+    });
 
     let batched_warm = warm_service(&graph, threads, &queries);
-    group.bench_with_input(
-        BenchmarkId::new("batched", "warm"),
-        &queries,
-        |b, queries| b.iter(|| batched_warm.evaluate_batch(queries)),
-    );
+    group.bench_with_input(BenchmarkId::new("batched", "warm"), &reqs, |b, reqs| {
+        b.iter(|| batched_warm.submit_batch(reqs))
+    });
 
     group.finish();
 }

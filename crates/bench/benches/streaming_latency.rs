@@ -1,0 +1,220 @@
+//! Streaming latency: time-to-first-row and limit-10 latency vs full
+//! materialization on the arXiv and XMark workloads.
+//!
+//! Three measurements per workload:
+//!
+//! * `full` — `GteaEngine::execute` with no limit (materializes the whole
+//!   answer through the streaming enumerator),
+//! * `limit10` — `GteaEngine::execute` with `limit = 10` pushed down (the
+//!   enumerator stops after 10 rows plus one look-ahead row),
+//! * `first_row` — `GteaEngine::match_stream` + one `next_row` call (the
+//!   latency until a caller sees the first row).
+//!
+//! The acceptance bar (recorded in
+//! `crates/bench/baselines/BENCH_streaming_latency.json`): `limit10` must be
+//! measurably faster than `full`, and a correctness pre-pass asserts that
+//! the limited rows are exactly the first 10 rows of the full materialized
+//! order and that `EvalStats::enumerated_rows ≤ 11` under the limit.
+//!
+//! Set `GTPQ_BENCH_QUICK=1` for the CI smoke run.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpq_bench::workloads::{arxiv_graph_small, xmark_graph};
+use gtpq_core::{ExecCtl, ExecOptions, GteaEngine, QueryPlan};
+use gtpq_datagen::{xmark_q1, xmark_q2, xmark_q3};
+use gtpq_graph::{AttrValue, DataGraph};
+use gtpq_query::{AttrPredicate, CmpOp, EdgeKind, Gtpq, GtpqBuilder};
+
+fn quick() -> bool {
+    std::env::var("GTPQ_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Broad two-output join queries: many result rows, so limit pushdown has
+/// real work to skip.
+fn arxiv_workload() -> Vec<Gtpq> {
+    let mut queries = Vec::new();
+    // Every 1990s paper with any citation, returning (paper, cited).
+    for (lo, hi) in [(1990, 1999), (1995, 2004), (1992, 2002)] {
+        let mut b = GtpqBuilder::new(
+            AttrPredicate::any()
+                .and("year", CmpOp::Ge, AttrValue::int(lo))
+                .and("year", CmpOp::Le, AttrValue::int(hi)),
+        );
+        let root = b.root_id();
+        let cited = b.backbone_child(
+            root,
+            EdgeKind::Descendant,
+            AttrPredicate::any().and("year", CmpOp::Ge, AttrValue::int(lo - 5)),
+        );
+        b.mark_output(root);
+        b.mark_output(cited);
+        queries.push(b.build().expect("arxiv streaming query is well formed"));
+    }
+    queries
+}
+
+fn xmark_workload() -> Vec<Gtpq> {
+    let mut queries = vec![xmark_q1(0), xmark_q2(0, 3), xmark_q3(0, 3, 7)];
+    // Broad joins: every person paired with every reachable profile /
+    // address leaf, per label group — thousands of result rows.
+    for group in 0..3u32 {
+        let mut b = GtpqBuilder::new(AttrPredicate::label("people"));
+        let root = b.root_id();
+        let person = b.backbone_child(
+            root,
+            EdgeKind::Descendant,
+            AttrPredicate::label(&format!("person{group}")),
+        );
+        let leaf = b.backbone_child(person, EdgeKind::Descendant, AttrPredicate::any());
+        b.mark_output(person);
+        b.mark_output(leaf);
+        queries.push(b.build().expect("xmark streaming query is well formed"));
+    }
+    // Cross-component products: `site` has a single candidate, so shrinking
+    // splits the two output subtrees into separate components whose answers
+    // combine by Cartesian product — the worst case for materialization and
+    // the best case for the ranked product stream.
+    for group in 0..3u32 {
+        let mut b = GtpqBuilder::new(AttrPredicate::label("site"));
+        let root = b.root_id();
+        let person = b.backbone_child(
+            root,
+            EdgeKind::Descendant,
+            AttrPredicate::label(&format!("person{group}")),
+        );
+        let item = b.backbone_child(
+            root,
+            EdgeKind::Descendant,
+            AttrPredicate::label(&format!("item{}", group + 3)),
+        );
+        b.mark_output(person);
+        b.mark_output(item);
+        queries.push(b.build().expect("xmark product query is well formed"));
+    }
+    queries
+}
+
+/// Full materialization through the streaming executor.
+fn run_full(engine: &GteaEngine<'_>, work: &[(Gtpq, QueryPlan)]) -> usize {
+    work.iter()
+        .map(|(q, plan)| {
+            engine
+                .execute(q, plan, ExecOptions::unbounded())
+                .expect("unbounded execution cannot be interrupted")
+                .results
+                .len()
+        })
+        .sum()
+}
+
+/// Limit-10 pushdown: enumeration stops after 10 rows per query.
+fn run_limit10(engine: &GteaEngine<'_>, work: &[(Gtpq, QueryPlan)]) -> usize {
+    work.iter()
+        .map(|(q, plan)| {
+            engine
+                .execute(q, plan, ExecOptions::unbounded().with_limit(10))
+                .expect("unbounded execution cannot be interrupted")
+                .results
+                .len()
+        })
+        .sum()
+}
+
+/// Time to first row: build the stream, pull one row.
+fn run_first_row(engine: &GteaEngine<'_>, work: &[(Gtpq, QueryPlan)]) -> usize {
+    work.iter()
+        .map(|(q, plan)| {
+            let (mut stream, _) = engine
+                .match_stream(q, plan, ExecCtl::unbounded())
+                .expect("unbounded execution cannot be interrupted");
+            stream
+                .next_row()
+                .expect("unbounded streams cannot be interrupted")
+                .map(|_| 1)
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+/// Pre-pass: limited windows must be prefixes of the full order, truncation
+/// must bound enumeration, and the workload must be big enough to matter.
+fn assert_pushdown_contract(name: &str, engine: &GteaEngine<'_>, work: &[(Gtpq, QueryPlan)]) {
+    let mut total_rows = 0usize;
+    for (q, plan) in work {
+        let full = engine
+            .execute(q, plan, ExecOptions::unbounded())
+            .expect("unbounded");
+        total_rows += full.results.len();
+        let limited = engine
+            .execute(q, plan, ExecOptions::unbounded().with_limit(10))
+            .expect("unbounded");
+        let expected: Vec<_> = full.results.iter().take(10).cloned().collect();
+        let got: Vec<_> = limited.results.iter().cloned().collect();
+        assert_eq!(
+            got, expected,
+            "{name}: limited rows must prefix the full order"
+        );
+        assert!(
+            limited.stats.enumerated_rows <= 11,
+            "{name}: limit 10 enumerated {} rows",
+            limited.stats.enumerated_rows
+        );
+        assert_eq!(limited.truncated, full.results.len() > 10, "{name}");
+        assert!(
+            limited.stats.enumerated_rows <= full.stats.enumerated_rows,
+            "{name}: pushdown must not enumerate more than full evaluation"
+        );
+    }
+    assert!(
+        total_rows > 100,
+        "{name}: workload too small ({total_rows} rows) for limit pushdown to matter"
+    );
+}
+
+fn prepare(graph: &DataGraph, queries: Vec<Gtpq>) -> Vec<(Gtpq, QueryPlan)> {
+    queries
+        .into_iter()
+        .map(|q| {
+            let plan = gtpq_core::Planner::new(graph).plan(&q);
+            (q, plan)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_latency");
+    if quick() {
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(50));
+        group.measurement_time(Duration::from_millis(200));
+    } else {
+        group.sample_size(15);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(1500));
+    }
+
+    let workloads = [
+        ("arxiv", arxiv_graph_small(), arxiv_workload()),
+        ("xmark", xmark_graph(0.5), xmark_workload()),
+    ];
+    for (name, graph, queries) in workloads {
+        let engine = GteaEngine::new(&graph);
+        let work = prepare(&graph, queries);
+        assert_pushdown_contract(name, &engine, &work);
+        group.bench_with_input(BenchmarkId::new("full", name), &work, |b, work| {
+            b.iter(|| run_full(&engine, work))
+        });
+        group.bench_with_input(BenchmarkId::new("limit10", name), &work, |b, work| {
+            b.iter(|| run_limit10(&engine, work))
+        });
+        group.bench_with_input(BenchmarkId::new("first_row", name), &work, |b, work| {
+            b.iter(|| run_first_row(&engine, work))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

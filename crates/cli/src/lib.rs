@@ -27,11 +27,12 @@
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
 use gtpq_graph::DataGraph;
 use gtpq_query::Gtpq;
 use gtpq_reach::BackendKind;
-use gtpq_service::{QueryService, ServiceConfig};
+use gtpq_service::{QueryError, QueryRequest, QueryService, ServiceConfig};
 
 /// Usage text printed by `--help` and on argument errors.
 pub const USAGE: &str = "\
@@ -49,7 +50,9 @@ OPTIONS:
                                                     [default: auto]
     --query TEXT      one-shot query text (see docs/QUERY_LANGUAGE.md)
     --stats           print per-query evaluation statistics
-    --limit N         result rows to print          [default: 20]
+    --limit N         result rows to fetch (pushed into the engine: the
+                      enumerator stops after N rows)  [default: 20]
+    --timeout MS      per-query deadline in milliseconds [default: none]
     --help            this text
 
 REPL COMMANDS:
@@ -59,7 +62,8 @@ REPL COMMANDS:
     :explain analyze QUERY
                       run the query and append actual per-operator rows
     :stats [on|off]   toggle per-query statistics
-    :limit N          result rows to print
+    :limit N|none     result rows to fetch (real pushdown, not display trim)
+    :timeout MS|off   per-query deadline in milliseconds
     :backend          backend in use (and why it was auto-selected)
     :metrics          service counters (queries, cache hit rate, timings)
     :quit             exit (also :q, :exit, Ctrl-D)
@@ -140,8 +144,10 @@ pub struct CliOptions {
     pub query: Option<String>,
     /// Whether to print per-query [`EvalStats`](gtpq_core::EvalStats).
     pub show_stats: bool,
-    /// Maximum result rows printed per query.
+    /// Result-row window pushed down into the engine per query.
     pub limit: usize,
+    /// Per-query deadline in milliseconds; `None` = no deadline.
+    pub timeout_ms: Option<u64>,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -156,6 +162,7 @@ impl Default for CliOptions {
             query: None,
             show_stats: false,
             limit: 20,
+            timeout_ms: None,
             help: false,
         }
     }
@@ -198,6 +205,13 @@ impl CliOptions {
                         .ok()
                         .filter(|n| *n > 0)
                         .ok_or_else(|| format!("invalid --limit `{v}` (expected N > 0)"))?;
+                }
+                "--timeout" => {
+                    let v = value_of("--timeout")?;
+                    opts.timeout_ms = Some(
+                        v.parse()
+                            .map_err(|_| format!("invalid --timeout `{v}` (expected ms)"))?,
+                    );
                 }
                 "--help" | "-h" => opts.help = true,
                 other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -242,7 +256,8 @@ pub struct Session {
     service: QueryService,
     dataset: Dataset,
     show_stats: bool,
-    limit: usize,
+    limit: Option<usize>,
+    timeout: Option<Duration>,
 }
 
 impl Session {
@@ -260,7 +275,8 @@ impl Session {
             service,
             dataset: opts.dataset,
             show_stats: opts.show_stats,
-            limit: opts.limit.max(1),
+            limit: Some(opts.limit.max(1)),
+            timeout: opts.timeout_ms.map(Duration::from_millis),
         }
     }
 
@@ -323,17 +339,22 @@ impl Session {
                 backends.sort_unstable();
                 format!(
                     "queries: {} ({} hits, {} misses, hit rate {:.0}%)\n\
+                     requests: {} timed out, {} cancelled, {} truncated by limit\n\
                      engine time: {:.3?} (candidates {:.3?}, prune {:.3?}, \
                      matching {:.3?}, enumerate {:.3?})\n\
                      planner: {:.3?} planning, {} plan hits / {} misses, \
                      estimation error {:.0}%\n\
                      index: {} hits, {} scanned nodes, {} lookups; \
                      backends built: {}\n\
+                     enumerated rows: {} ({} emitted)\n\
                      cached result sets: {}, cached plans: {}",
                     m.queries,
                     m.cache_hits,
                     m.cache_misses,
                     100.0 * m.hit_rate(),
+                    m.timed_out,
+                    m.cancelled,
+                    m.rows_truncated,
                     m.eval_time,
                     m.candidate_time,
                     m.prune_down_time + m.prune_up_time,
@@ -347,6 +368,8 @@ impl Session {
                     m.scanned_nodes,
                     m.index_lookups,
                     backends.join(", "),
+                    m.enumerated_rows,
+                    m.result_tuples,
                     self.service.cached_results(),
                     self.service.cached_plans(),
                 )
@@ -364,12 +387,31 @@ impl Session {
                 };
                 format!("stats {}", if self.show_stats { "on" } else { "off" })
             }
-            "limit" => match rest.parse::<usize>() {
-                Ok(n) if n > 0 => {
-                    self.limit = n;
-                    format!("limit {n}")
+            "limit" => match rest {
+                "none" | "off" => {
+                    self.limit = None;
+                    "limit none (full answers)".to_owned()
                 }
-                _ => format!("expected `:limit N` with N > 0, got `{rest}`"),
+                _ => match rest.parse::<usize>() {
+                    Ok(n) if n > 0 => {
+                        self.limit = Some(n);
+                        format!("limit {n}")
+                    }
+                    _ => format!("expected `:limit N` (N > 0) or `:limit none`, got `{rest}`"),
+                },
+            },
+            "timeout" => match rest {
+                "off" | "none" => {
+                    self.timeout = None;
+                    "timeout off".to_owned()
+                }
+                _ => match rest.parse::<u64>() {
+                    Ok(ms) => {
+                        self.timeout = Some(Duration::from_millis(ms));
+                        format!("timeout {ms}ms")
+                    }
+                    Err(_) => format!("expected `:timeout MS` or `:timeout off`, got `{rest}`"),
+                },
             },
             "explain" => {
                 let (analyze, text) = match rest.strip_prefix("analyze") {
@@ -416,17 +458,29 @@ impl Session {
             q,
         );
         if analyze {
-            let (results, stats, plan) = self.service.analyze(q);
-            let _ = write!(out, "{}", plan.render_with_actuals(q, &stats));
-            let _ = write!(
-                out,
-                "\n{} row{} in {:.3?} (estimation error {:.0}%)\n{}",
-                results.len(),
-                if results.len() == 1 { "" } else { "s" },
-                stats.total_time(),
-                100.0 * stats.estimation_error(),
-                render_stats(&stats),
-            );
+            let request = QueryRequest::query(q.clone())
+                .with_stats()
+                .with_plan()
+                .with_bypass_cache();
+            match self.service.submit(&request) {
+                Err(e) => {
+                    let _ = write!(out, "{e}");
+                }
+                Ok(outcome) => {
+                    let stats = outcome.stats.unwrap_or_default();
+                    let plan = outcome.plan.expect("requested with_plan");
+                    let _ = write!(out, "{}", plan.render_with_actuals(q, &stats));
+                    let _ = write!(
+                        out,
+                        "\n{} row{} in {:.3?} (estimation error {:.0}%)\n{}",
+                        outcome.rows.len(),
+                        if outcome.rows.len() == 1 { "" } else { "s" },
+                        stats.total_time(),
+                        100.0 * stats.estimation_error(),
+                        render_stats(&stats),
+                    );
+                }
+            }
         } else {
             let plan = self.service.plan_for(q);
             let _ = write!(out, "{}", plan.render(q));
@@ -443,13 +497,38 @@ impl Session {
     }
 
     /// Like [`run_query`](Self::run_query), but keeps success and failure
-    /// apart: `Err` carries the rendered parse diagnostic (the one-shot mode
-    /// turns it into a non-zero exit code).
+    /// apart: `Err` carries the rendered diagnostic — a caret-annotated
+    /// parse error, a timeout, a cancellation or an unsatisfiability notice
+    /// (the one-shot mode turns it into a non-zero exit code).
+    ///
+    /// The session's limit is *pushed down*: the engine's enumerator stops
+    /// after `limit` rows instead of materializing the full answer and
+    /// trimming at print time, and the session's timeout rides along as the
+    /// request deadline.
     pub fn try_query(&mut self, text: &str) -> Result<String, String> {
+        // Parse once up front: the request carries the parsed tree, and the
+        // same `Gtpq` later renders the result table's column names.
         let q = text.parse::<Gtpq>().map_err(|e| e.render(text))?;
-        let (results, stats) = self.service.evaluate_with_stats(&q);
-        let mut out = render_table(self.service.graph(), &q, &results, self.limit);
+        let mut request = QueryRequest::query(q.clone()).with_stats();
+        if let Some(limit) = self.limit {
+            request = request.with_limit(limit);
+        }
+        if let Some(budget) = self.timeout {
+            request = request.with_deadline(budget);
+        }
+        let outcome = self.service.submit(&request).map_err(|e| match e {
+            QueryError::Parse(parse) => parse.render(text),
+            QueryError::Timeout { budget } => {
+                format!(
+                    "query timed out after {:?} (raise with :timeout MS)",
+                    budget
+                )
+            }
+            other => other.to_string(),
+        })?;
+        let mut out = render_table(self.service.graph(), &q, &outcome.rows, outcome.truncated);
         if self.show_stats {
+            let stats = outcome.stats.unwrap_or_default();
             let _ = write!(out, "\n{}", render_stats(&stats));
         }
         Ok(out)
@@ -457,17 +536,18 @@ impl Session {
 }
 
 /// Renders a result set as an aligned text table; one column per output
-/// node (headed by its display name), one row per result tuple, capped at
-/// `limit` rows.
+/// node (headed by its display name), one row per result tuple.  The rows
+/// were already limited by the engine's pushdown; `truncated` marks that
+/// more rows exist past the fetched window.
 pub fn render_table(
     g: &DataGraph,
     q: &Gtpq,
     results: &gtpq_query::ResultSet,
-    limit: usize,
+    truncated: bool,
 ) -> String {
     let headers: Vec<String> = results.output.iter().map(|&u| q.display_name(u)).collect();
     let mut rows: Vec<Vec<String>> = Vec::new();
-    for tuple in results.iter().take(limit) {
+    for tuple in results.iter() {
         rows.push(
             tuple
                 .iter()
@@ -508,14 +588,16 @@ pub fn render_table(
     for row in &rows {
         write_row(&mut out, row);
     }
-    if results.len() > rows.len() {
-        let _ = writeln!(out, "… and {} more", results.len() - rows.len());
-    }
     let _ = write!(
         out,
-        "{} row{}",
+        "{} row{}{}",
         results.len(),
-        if results.len() == 1 { "" } else { "s" }
+        if results.len() == 1 { "" } else { "s" },
+        if truncated {
+            " (limit reached; more rows exist — raise with :limit)"
+        } else {
+            ""
+        }
     );
     out
 }

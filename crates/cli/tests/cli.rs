@@ -8,6 +8,7 @@ use std::process::{Command, Stdio};
 
 use gtpq_cli::{repl, CliOptions, Dataset, Outcome, Session};
 use gtpq_query::{AttrPredicate, CmpOp, EdgeKind, GtpqBuilder};
+use gtpq_service::QueryRequest;
 
 fn arxiv_session() -> Session {
     let opts =
@@ -40,8 +41,16 @@ fn textual_query_matches_builder_query_on_arxiv() {
     b.mark_output(root);
     let built = b.build().unwrap();
 
-    let from_text = session.service().evaluate_text(text).unwrap();
-    let from_builder = session.service().evaluate(&built);
+    let from_text = session
+        .service()
+        .submit(&QueryRequest::text(text))
+        .unwrap()
+        .rows;
+    let from_builder = session
+        .service()
+        .submit(&QueryRequest::query(built))
+        .unwrap()
+        .rows;
     assert_eq!(from_text.output, from_builder.output);
     assert_eq!(from_text.tuples, from_builder.tuples);
     assert!(!from_text.is_empty(), "query should match generated data");
@@ -221,6 +230,58 @@ fn binary_repl_reads_stdin_until_quit() {
     assert!(output.status.success(), "{output:?}");
     let stdout = String::from_utf8(output.stdout).unwrap();
     assert!(stdout.contains("v0:dblp"), "{stdout}");
+}
+
+#[test]
+fn repl_timeout_yields_a_clean_timeout_error() {
+    // A zero-millisecond deadline must produce a clean `timed out` message —
+    // not a panic, not an empty table.
+    let mut session = arxiv_session();
+    let input = "\
+:timeout 0
+paper3*
+:timeout off
+paper3*
+:quit
+";
+    let mut out = Vec::new();
+    repl(&mut session, input.as_bytes(), &mut out, false).unwrap();
+    let out = String::from_utf8(out).unwrap();
+    assert!(out.contains("timeout 0ms"), "{out}");
+    assert!(out.contains("timed out"), "{out}");
+    assert!(
+        !out.contains("0 rows\n"),
+        "a timeout must not render as an empty table: {out}"
+    );
+    // After :timeout off the same query completes.
+    assert!(out.contains("rows"), "{out}");
+    assert_eq!(session.service().metrics().timed_out, 1);
+}
+
+#[test]
+fn limit_is_pushed_down_not_display_trimmed() {
+    let mut session = arxiv_session(); // --stats is on
+    let query = "[year >= 1990]*";
+    let Outcome::Continue(_) = session.handle(":limit none") else {
+        panic!(":limit must not quit");
+    };
+    let Outcome::Continue(full) = session.handle(query) else {
+        panic!("query must not quit");
+    };
+    assert!(!full.contains("limit reached"), "{full}");
+    let Outcome::Continue(_) = session.handle(":limit 2") else {
+        panic!(":limit must not quit");
+    };
+    let Outcome::Continue(limited) = session.handle(query) else {
+        panic!("query must not quit");
+    };
+    // The limited run fetches exactly 2 rows and flags the cut.
+    assert!(limited.contains("2 rows (limit reached"), "{limited}");
+    // The limited rows are the first rows of the full table.
+    let full_rows: Vec<&str> = full.lines().skip(2).take(2).collect();
+    let limited_rows: Vec<&str> = limited.lines().skip(2).take(2).collect();
+    assert_eq!(full_rows, limited_rows, "pushdown preserves row order");
+    assert!(session.service().metrics().rows_truncated >= 1);
 }
 
 #[test]

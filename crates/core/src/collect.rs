@@ -1,28 +1,27 @@
-//! Result enumeration from the maximal matching graph (`CollectResults`,
+//! Result materialization from the maximal matching graph (`CollectResults`,
 //! Procedure 5).
-
-use std::collections::HashMap;
-use std::rc::Rc;
-use std::time::Instant;
+//!
+//! Since the streaming redesign this is a thin wrapper: the actual
+//! enumeration lives in [`MatchStream`], which
+//! produces distinct tuples one at a time in `ResultSet` order; this function
+//! simply drains the stream to completion for callers that want the whole
+//! answer at once.
 
 use gtpq_graph::NodeId;
-use gtpq_query::{Gtpq, QueryNodeId, ResultSet};
+use gtpq_query::{Gtpq, ResultSet};
 
+use crate::exec::ExecCtl;
 use crate::matching::MatchingGraph;
 use crate::prime::ShrunkPrime;
 use crate::stats::EvalStats;
+use crate::stream::MatchStream;
 
-/// A partial result: assignments of output nodes within one shrunk component,
-/// kept sorted by query node so identical projections deduplicate.
-type Partial = Vec<(QueryNodeId, NodeId)>;
-
-/// Enumerates the answer from the maximal matching graph.
+/// Materializes the full answer from the maximal matching graph by draining
+/// a [`MatchStream`].
 ///
-/// Each shrunk component is traversed once (with memoization on
-/// `(query node, candidate)` pairs, so shared sub-results are merged in
-/// advance exactly as the paper describes for non-output nodes); the
-/// component results are combined by Cartesian product and the constant
-/// columns of shrunk-away output nodes are appended.
+/// Borrow-friendly (the stream machinery gets clones); the engine's
+/// [`execute`](crate::GteaEngine::execute) path moves its pipeline state into
+/// the stream instead and supports limits and deadlines.
 pub fn collect_results(
     q: &Gtpq,
     shrunk: &ShrunkPrime,
@@ -30,111 +29,24 @@ pub fn collect_results(
     mat: &[Vec<NodeId>],
     stats: &mut EvalStats,
 ) -> ResultSet {
-    let start = Instant::now();
-    let output = q.output_nodes().to_vec();
-    let mut results = ResultSet::new(output.clone());
-
-    // Results per component.
-    let mut component_results: Vec<Vec<Partial>> = Vec::with_capacity(shrunk.roots.len());
-    let mut memo: HashMap<(QueryNodeId, NodeId), Rc<Vec<Partial>>> = HashMap::new();
-    for &root in &shrunk.roots {
-        let mut partials: Vec<Partial> = Vec::new();
-        for &v in &mat[root.index()] {
-            partials.extend(
-                collect_node(q, shrunk, graph, root, v, &mut memo)
-                    .iter()
-                    .cloned(),
-            );
-        }
-        partials.sort();
-        partials.dedup();
-        if partials.is_empty() {
-            // One component has no matches: the whole answer is empty.
-            stats.enumerate_time += start.elapsed();
-            return results;
-        }
-        component_results.push(partials);
-    }
-
-    // Cartesian product across components plus constant columns.
-    let constants: Partial = shrunk.constant_outputs.clone();
-    let mut combined: Vec<Partial> = vec![constants];
-    for comp in component_results {
-        let mut next = Vec::with_capacity(combined.len() * comp.len());
-        for base in &combined {
-            for extra in &comp {
-                let mut merged = base.clone();
-                merged.extend_from_slice(extra);
-                next.push(merged);
-            }
-        }
-        combined = next;
-    }
-
-    for assignment in combined {
-        let tuple: Option<Vec<NodeId>> = output
-            .iter()
-            .map(|u| assignment.iter().find(|(qu, _)| qu == u).map(|&(_, v)| v))
-            .collect();
-        if let Some(tuple) = tuple {
-            results.insert(tuple);
-        }
+    let mut stream = MatchStream::build(
+        q,
+        shrunk.clone(),
+        graph.clone(),
+        mat.to_vec(),
+        ExecCtl::unbounded(),
+    );
+    let mut results = ResultSet::new(q.output_nodes().to_vec());
+    while let Some(row) = stream
+        .next_row()
+        .expect("unbounded streams cannot be interrupted")
+    {
+        results.insert(row);
     }
     stats.result_tuples = results.len() as u64;
-    stats.enumerate_time += start.elapsed();
+    stats.enumerated_rows += stream.rows_enumerated();
+    stats.enumerate_time += stream.enumerate_time();
     results
-}
-
-/// All distinct output projections of matches of the shrunk subtree rooted at
-/// `u`, given `u` is matched to `v`.
-fn collect_node(
-    q: &Gtpq,
-    shrunk: &ShrunkPrime,
-    graph: &MatchingGraph,
-    u: QueryNodeId,
-    v: NodeId,
-    memo: &mut HashMap<(QueryNodeId, NodeId), Rc<Vec<Partial>>>,
-) -> Rc<Vec<Partial>> {
-    if let Some(cached) = memo.get(&(u, v)) {
-        return Rc::clone(cached);
-    }
-    let children = shrunk.children_of(u);
-    let own: Partial = if q.is_output(u) { vec![(u, v)] } else { vec![] };
-    let mut partials: Vec<Partial> = vec![own];
-    if !children.is_empty() {
-        let branches = graph.branches_of(u, v);
-        for (ci, &child) in children.iter().enumerate() {
-            let pointed: &[NodeId] = branches.map(|b| b[ci].as_slice()).unwrap_or(&[]);
-            let mut branch_results: Vec<Partial> = Vec::new();
-            for &v2 in pointed {
-                branch_results.extend(
-                    collect_node(q, shrunk, graph, child, v2, memo)
-                        .iter()
-                        .cloned(),
-                );
-            }
-            branch_results.sort();
-            branch_results.dedup();
-            let mut next = Vec::with_capacity(partials.len() * branch_results.len());
-            for base in &partials {
-                for extra in &branch_results {
-                    let mut merged = base.clone();
-                    merged.extend_from_slice(extra);
-                    merged.sort();
-                    next.push(merged);
-                }
-            }
-            partials = next;
-            if partials.is_empty() {
-                break;
-            }
-        }
-    }
-    partials.sort();
-    partials.dedup();
-    let rc = Rc::new(partials);
-    memo.insert((u, v), Rc::clone(&rc));
-    rc
 }
 
 #[cfg(test)]
@@ -166,13 +78,34 @@ mod tests {
             &PruneStep::bottom_up(&q),
             &mut mat,
             &mut stats,
-        );
+            &ExecCtl::unbounded(),
+        )
+        .unwrap();
         let prime = PrimeSubtree::new(&q);
-        prune_upward(&q, &g, &index, &options, &prime, 0, &mut mat, &mut stats);
+        prune_upward(
+            &q,
+            &g,
+            &index,
+            &options,
+            &prime,
+            0,
+            &mut mat,
+            &mut stats,
+            &ExecCtl::unbounded(),
+        )
+        .unwrap();
         for shrink in [true, false] {
             let shrunk = ShrunkPrime::new(&q, &prime, &mat, shrink);
-            let graph =
-                crate::matching::MatchingGraph::build(&q, &g, &index, &shrunk, &mat, &mut stats);
+            let graph = crate::matching::MatchingGraph::build(
+                &q,
+                &g,
+                &index,
+                &shrunk,
+                &mat,
+                &mut stats,
+                &ExecCtl::unbounded(),
+            )
+            .unwrap();
             let results = collect_results(&q, &shrunk, &graph, &mat, &mut stats);
             let expected = example_answer_pairs();
             assert_eq!(results.len(), expected.len(), "shrink={shrink}");

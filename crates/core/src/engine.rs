@@ -6,13 +6,68 @@ use gtpq_graph::DataGraph;
 use gtpq_query::{Gtpq, ResultSet};
 use gtpq_reach::{Reachability, ThreeHop};
 
-use crate::collect::collect_results;
+use crate::exec::{ExecCtl, Interrupt};
 use crate::matching::MatchingGraph;
 use crate::options::GteaOptions;
 use crate::plan::{execute_candidates, Planner, QueryPlan};
 use crate::prime::{PrimeSubtree, ShrunkPrime};
 use crate::prune::{prune_downward, prune_upward};
 use crate::stats::{EvalStats, OperatorStats};
+use crate::stream::MatchStream;
+
+/// Row-window and control parameters of one [`GteaEngine::execute`] call.
+///
+/// The default is the legacy behaviour: no limit, no offset, unbounded
+/// control.
+#[derive(Clone, Debug, Default)]
+pub struct ExecOptions {
+    /// Stop after this many rows have been *emitted* (post-offset).  `None`
+    /// materializes the full answer.
+    pub limit: Option<usize>,
+    /// Skip this many leading rows of the answer (they are still enumerated,
+    /// and counted by [`EvalStats::enumerated_rows`]).
+    pub offset: usize,
+    /// Deadline / cancellation control polled by every pipeline stage.
+    pub ctl: ExecCtl,
+}
+
+impl ExecOptions {
+    /// No limit, no offset, never interrupted.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Sets the row limit.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Sets the row offset.
+    pub fn with_offset(mut self, offset: usize) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Sets the execution control.
+    pub fn with_ctl(mut self, ctl: ExecCtl) -> Self {
+        self.ctl = ctl;
+        self
+    }
+}
+
+/// The outcome of one [`GteaEngine::execute`] call.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// The emitted rows: the requested `offset..offset + limit` window of
+    /// the full answer, in its materialized order.
+    pub results: ResultSet,
+    /// Statistics of the run (planning time excluded; the caller owns it).
+    pub stats: EvalStats,
+    /// Whether the row limit cut enumeration short — `true` exactly when at
+    /// least one more row exists beyond the emitted window.
+    pub truncated: bool,
+}
 
 /// Evaluates GTPQs over one data graph.
 ///
@@ -104,11 +159,87 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
     /// engine probes whatever index it was built with; the query service
     /// resolves recommendations against its shared-index catalog.
     pub fn evaluate_planned(&self, q: &Gtpq, plan: &QueryPlan) -> (ResultSet, EvalStats) {
+        let exec = self
+            .execute(q, plan, ExecOptions::unbounded())
+            .expect("unbounded execution cannot be interrupted");
+        (exec.results, exec.stats)
+    }
+
+    /// Executes `plan` with a row window and an execution control: the
+    /// request-level entry point behind `QueryService::submit`.
+    ///
+    /// `limit`/`offset` push down into result enumeration — the underlying
+    /// [`MatchStream`] stops after `offset + limit` distinct rows (plus one
+    /// look-ahead row to decide [`Execution::truncated`]) instead of
+    /// materializing the full answer — and the deadline/cancellation control
+    /// is polled by candidate selection, both prune rounds, matching-graph
+    /// construction and enumeration.
+    pub fn execute(
+        &self,
+        q: &Gtpq,
+        plan: &QueryPlan,
+        options: ExecOptions,
+    ) -> Result<Execution, Interrupt> {
+        let ExecOptions { limit, offset, ctl } = options;
+        let (mut stream, mut stats) = self.match_stream(q, plan, ctl)?;
+        let mut results = ResultSet::new(q.output_nodes().to_vec());
+        let mut truncated = false;
+        let mut skipped = 0usize;
+        while let Some(row) = stream.next_row()? {
+            if skipped < offset {
+                skipped += 1;
+                continue;
+            }
+            if limit.is_some_and(|l| results.len() >= l) {
+                // The look-ahead row proves more rows exist past the window.
+                truncated = true;
+                break;
+            }
+            results.insert(row);
+        }
+        stats.result_tuples = results.len() as u64;
+        stats.enumerated_rows += stream.rows_enumerated();
+        stats.enumerate_time += stream.enumerate_time();
+        stats.time_to_first_row = stream.time_to_first_row();
+        // The Collect operator reports what the enumerator was asked to do:
+        // under a limit it produces at most the window (plus the look-ahead
+        // row), so the full-answer estimate is capped accordingly — a
+        // perfectly estimated plan must not read as an estimation error just
+        // because the request stopped early.
+        let window_cap = limit.map(|l| (offset.saturating_add(l).saturating_add(1)) as u64);
+        stats.operators.push(OperatorStats {
+            label: "Collect".to_owned(),
+            estimated_rows: window_cap.map_or(plan.collect_estimated_rows, |cap| {
+                plan.collect_estimated_rows.min(cap)
+            }),
+            actual_rows: stream.rows_enumerated(),
+            time: stream.enumerate_time(),
+        });
+        Ok(Execution {
+            results,
+            stats,
+            truncated,
+        })
+    }
+
+    /// Runs the pipeline up to (and including) the maximal matching graph
+    /// and returns a pull-based [`MatchStream`] over the answer, plus the
+    /// statistics of the completed stages.
+    ///
+    /// Rows are produced on demand in materialized-`ResultSet` order; the
+    /// first [`MatchStream::next_row`] call does only the work the first row
+    /// needs, which is what the time-to-first-row benchmark measures.
+    pub fn match_stream(
+        &self,
+        q: &Gtpq,
+        plan: &QueryPlan,
+        ctl: ExecCtl,
+    ) -> Result<(MatchStream, EvalStats), Interrupt> {
         let mut stats = EvalStats::default();
         let g = self.graph;
 
         // Step 1: candidate selection along the plan's access paths.
-        let mut mat = execute_candidates(q, g, plan, &mut stats);
+        let mut mat = execute_candidates(q, g, plan, &mut stats, &ctl)?;
 
         // A backbone node with no candidates at all cannot gain any during
         // pruning: the answer is empty before any reachability work starts.
@@ -116,7 +247,7 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
             .filter(|&u| q.is_backbone(u))
             .any(|u| mat[u.index()].is_empty())
         {
-            return (ResultSet::new(q.output_nodes().to_vec()), stats);
+            return Ok((MatchStream::empty(q, ctl), stats));
         }
 
         // Step 2a: downward structural constraints, in plan order.
@@ -129,14 +260,15 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
             &steps,
             &mut mat,
             &mut stats,
-        );
+            &ctl,
+        )?;
 
         // Early exit: every backbone node needs at least one candidate.
         if q.node_ids()
             .filter(|&u| q.is_backbone(u))
             .any(|u| mat[u.index()].is_empty())
         {
-            return (ResultSet::new(q.output_nodes().to_vec()), stats);
+            return Ok((MatchStream::empty(q, ctl), stats));
         }
 
         // Step 2b: upward structural constraints on the prime subtree.
@@ -152,9 +284,10 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
                 plan.upward_estimated_rows,
                 &mut mat,
                 &mut stats,
-            );
+                &ctl,
+            )?;
             if prime.nodes.iter().any(|&u| mat[u.index()].is_empty()) {
-                return (ResultSet::new(q.output_nodes().to_vec()), stats);
+                return Ok((MatchStream::empty(q, ctl), stats));
             }
         }
 
@@ -162,7 +295,7 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
         let shrunk = ShrunkPrime::new(q, &prime, &mat, self.options.shrink_prime_subtree);
         stats.shrunk_subtree_size = shrunk.len() as u64;
         let matching_start = Instant::now();
-        let matching = MatchingGraph::build(q, g, &self.index, &shrunk, &mat, &mut stats);
+        let matching = MatchingGraph::build(q, g, &self.index, &shrunk, &mat, &mut stats, &ctl)?;
         stats.operators.push(OperatorStats {
             label: "MatchingGraph".to_owned(),
             estimated_rows: plan.matching_estimated_rows,
@@ -170,16 +303,8 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
             time: matching_start.elapsed(),
         });
 
-        // Step 4: enumerate the answer.
-        let collect_start = Instant::now();
-        let results = collect_results(q, &shrunk, &matching, &mat, &mut stats);
-        stats.operators.push(OperatorStats {
-            label: "Collect".to_owned(),
-            estimated_rows: plan.collect_estimated_rows,
-            actual_rows: results.len() as u64,
-            time: collect_start.elapsed(),
-        });
-        (results, stats)
+        // Step 4 is pulled by the caller: the stream enumerates the answer.
+        Ok((MatchStream::build(q, shrunk, matching, mat, ctl), stats))
     }
 }
 

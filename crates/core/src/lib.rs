@@ -41,14 +41,18 @@
 
 pub mod collect;
 pub mod engine;
+pub mod exec;
 pub mod matching;
 pub mod options;
 pub mod plan;
 pub mod prime;
 pub mod prune;
 pub mod stats;
+pub mod stream;
 
-pub use engine::GteaEngine;
+pub use engine::{ExecOptions, Execution, GteaEngine};
+pub use exec::{CancelToken, ExecCtl, Interrupt};
 pub use options::GteaOptions;
 pub use plan::{AccessPath, CandidateStep, Planner, PruneStep, QueryPlan};
 pub use stats::{EvalStats, OperatorStats};
+pub use stream::MatchStream;

@@ -15,6 +15,7 @@ use gtpq_graph::{DataGraph, NodeId};
 use gtpq_query::{EdgeKind, Gtpq, QueryNodeId};
 use gtpq_reach::Reachability;
 
+use crate::exec::{ExecCtl, Interrupt};
 use crate::prime::ShrunkPrime;
 use crate::stats::EvalStats;
 
@@ -33,6 +34,10 @@ pub struct MatchingGraph {
 
 impl MatchingGraph {
     /// Builds the matching graph for the shrunk prime subtree.
+    ///
+    /// `ctl` is polled once per `(query node, candidate)` pair; deadline
+    /// expiry or cancellation aborts with an [`Interrupt`].
+    #[allow(clippy::too_many_arguments)] // the evaluation pipeline state is explicit
     pub fn build<R: Reachability + ?Sized>(
         q: &Gtpq,
         g: &DataGraph,
@@ -40,7 +45,8 @@ impl MatchingGraph {
         shrunk: &ShrunkPrime,
         mat: &[Vec<NodeId>],
         stats: &mut EvalStats,
-    ) -> Self {
+        ctl: &ExecCtl,
+    ) -> Result<Self, Interrupt> {
         let start = Instant::now();
         let lookups_before = index.lookup_count();
         let mut graph = MatchingGraph::default();
@@ -56,6 +62,7 @@ impl MatchingGraph {
                 .map(|c| mat[c.index()].iter().copied().collect())
                 .collect();
             for &v in &mat[u.index()] {
+                ctl.check_sampled()?;
                 let mut lists: Vec<Vec<NodeId>> = Vec::with_capacity(children.len());
                 for (ci, &child) in children.iter().enumerate() {
                     let matched: Vec<NodeId> = match q.incoming_edge(child) {
@@ -85,7 +92,7 @@ impl MatchingGraph {
         stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
         stats.intermediate_size += 2 * (graph.node_count + graph.edge_count) as u64;
         stats.matching_graph_time += start.elapsed();
-        graph
+        Ok(graph)
     }
 
     /// The branch lists of a `(query node, candidate)` pair; one inner list per
@@ -123,11 +130,33 @@ mod tests {
             &PruneStep::bottom_up(&q),
             &mut mat,
             &mut stats,
-        );
+            &ExecCtl::unbounded(),
+        )
+        .unwrap();
         let prime = PrimeSubtree::new(&q);
-        prune_upward(&q, &g, &index, &options, &prime, 0, &mut mat, &mut stats);
+        prune_upward(
+            &q,
+            &g,
+            &index,
+            &options,
+            &prime,
+            0,
+            &mut mat,
+            &mut stats,
+            &ExecCtl::unbounded(),
+        )
+        .unwrap();
         let shrunk = ShrunkPrime::new(&q, &prime, &mat, false);
-        let graph = MatchingGraph::build(&q, &g, &index, &shrunk, &mat, &mut stats);
+        let graph = MatchingGraph::build(
+            &q,
+            &g,
+            &index,
+            &shrunk,
+            &mat,
+            &mut stats,
+            &ExecCtl::unbounded(),
+        )
+        .unwrap();
         // Root candidate v1 has two branch lists (u2 and u3 children).
         let root_branches = graph.branches_of(QueryNodeId(0), NodeId(0)).unwrap();
         assert_eq!(root_branches.len(), 2);

@@ -36,6 +36,7 @@ use gtpq_graph::{DataGraph, NodeId};
 use gtpq_query::{CandidateSelection, EdgeKind, Gtpq, QueryNodeId};
 use gtpq_reach::{select_backend_for_query, BackendKind, GraphProfile};
 
+use crate::exec::{ExecCtl, Interrupt};
 use crate::prime::PrimeSubtree;
 use crate::stats::{EvalStats, OperatorStats};
 
@@ -493,12 +494,16 @@ impl<'g> Planner<'g> {
 /// Robust against hand-written plans: query nodes missing from the plan are
 /// appended as index scans, steps naming unknown nodes are ignored, and
 /// duplicate steps keep the first occurrence.
+///
+/// `ctl` is polled at every step boundary; deadline expiry or cancellation
+/// aborts with an [`Interrupt`].
 pub fn execute_candidates(
     q: &Gtpq,
     g: &DataGraph,
     plan: &QueryPlan,
     stats: &mut EvalStats,
-) -> Vec<Vec<NodeId>> {
+    ctl: &ExecCtl,
+) -> Result<Vec<Vec<NodeId>>, Interrupt> {
     let start = Instant::now();
     let mut order: Vec<CandidateStep> = Vec::with_capacity(q.size());
     let mut seen = vec![false; q.size()];
@@ -519,6 +524,7 @@ pub fn execute_candidates(
     }
     let mut mat: Vec<Vec<NodeId>> = vec![Vec::new(); q.size()];
     for step in &order {
+        ctl.check()?;
         let u = step.node;
         let op_start = Instant::now();
         let nodes = match step.access {
@@ -548,7 +554,7 @@ pub fn execute_candidates(
         }
     }
     stats.candidate_time += start.elapsed();
-    mat
+    Ok(mat)
 }
 
 #[cfg(test)]
@@ -707,7 +713,7 @@ mod tests {
         let mut plan = Planner::new(&g).plan(&q);
         plan.candidates.clear();
         let mut stats = EvalStats::default();
-        let mat = execute_candidates(&q, &g, &plan, &mut stats);
+        let mat = execute_candidates(&q, &g, &plan, &mut stats, &ExecCtl::unbounded()).unwrap();
         for u in q.node_ids() {
             assert_eq!(mat[u.index()], q.candidates(&g, u));
         }

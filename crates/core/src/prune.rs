@@ -7,6 +7,7 @@ use gtpq_logic::valuation::eval_with;
 use gtpq_query::{EdgeKind, Gtpq, QueryNodeId};
 use gtpq_reach::{Probe, Reachability};
 
+use crate::exec::{ExecCtl, Interrupt};
 use crate::options::GteaOptions;
 use crate::plan::PruneStep;
 use crate::prime::PrimeSubtree;
@@ -48,6 +49,11 @@ pub fn initial_candidates(q: &Gtpq, g: &DataGraph, stats: &mut EvalStats) -> Vec
 /// contours + Proposition 7 on 3-hop); PC children are answered exactly
 /// through the adjacency lists.  One [`OperatorStats`] entry is recorded per
 /// step.
+///
+/// `ctl` is polled once per candidate; an expired deadline or a triggered
+/// cancellation aborts mid-round with an [`Interrupt`] (the candidate sets
+/// are left in an unspecified but memory-safe state).
+#[allow(clippy::too_many_arguments)] // the evaluation pipeline state is explicit
 pub fn prune_downward<R: Reachability + ?Sized>(
     q: &Gtpq,
     g: &DataGraph,
@@ -56,7 +62,8 @@ pub fn prune_downward<R: Reachability + ?Sized>(
     steps: &[PruneStep],
     mat: &mut [Vec<NodeId>],
     stats: &mut EvalStats,
-) {
+    ctl: &ExecCtl,
+) -> Result<(), Interrupt> {
     let start = Instant::now();
     // Delta, not reset: the index may be shared with concurrent queries
     // (QueryService), and a reset here would wipe their in-flight counts.
@@ -103,14 +110,16 @@ pub fn prune_downward<R: Reachability + ?Sized>(
             }
         }
 
-        let mut candidates = std::mem::take(&mut mat[u.index()]);
+        let candidates = std::mem::take(&mut mat[u.index()]);
         stats.input_nodes += candidates.len() as u64;
         let adjacency_lookups = std::cell::Cell::new(0u64);
+        let mut kept = Vec::with_capacity(candidates.len());
         {
             let mat_ref: &[Vec<NodeId>] = mat;
             let pool_ref: &[NodeBitSet] = &pc_pool;
-            candidates.retain(|&v| {
-                eval_with(&fext, &|var| {
+            for &v in &candidates {
+                ctl.check_sampled()?;
+                let keep = eval_with(&fext, &|var| {
                     let child = QueryNodeId::from_var(var);
                     let Some(pos) = children.iter().position(|&c| c == child) else {
                         return false;
@@ -127,9 +136,13 @@ pub fn prune_downward<R: Reachability + ?Sized>(
                             None => mat_ref[child.index()].iter().any(|&t| index.reaches(v, t)),
                         },
                     }
-                })
-            });
+                });
+                if keep {
+                    kept.push(v);
+                }
+            }
         }
+        let candidates = kept;
         stats.index_lookups += adjacency_lookups.get();
         stats.operators.push(OperatorStats {
             label: format!("PruneDown {u}"),
@@ -152,6 +165,7 @@ pub fn prune_downward<R: Reachability + ?Sized>(
     }
     stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
     stats.prune_down_time += start.elapsed();
+    Ok(())
 }
 
 /// `PruneUpward` (Procedure 7): removes candidates of prime-subtree nodes that
@@ -172,34 +186,49 @@ pub fn prune_upward<R: Reachability + ?Sized>(
     estimated_rows: u64,
     mat: &mut [Vec<NodeId>],
     stats: &mut EvalStats,
-) {
+    ctl: &ExecCtl,
+) -> Result<(), Interrupt> {
     let start = Instant::now();
     let lookups_before = index.lookup_count();
     // One parent-membership bitset reused across every prime edge.
     let mut parent_bits = NodeBitSet::new(g.node_count());
     for &u in &prime.nodes {
         for &child in prime.children_of(u) {
-            let mut candidates = std::mem::take(&mut mat[child.index()]);
+            let candidates = std::mem::take(&mut mat[child.index()]);
             stats.input_nodes += candidates.len() as u64;
+            let mut kept = Vec::with_capacity(candidates.len());
             match q.incoming_edge(child) {
                 Some(EdgeKind::Child) => {
                     parent_bits.clear();
                     parent_bits.extend_from_slice(&mat[u.index()]);
-                    candidates.retain(|&v| {
+                    for &v in &candidates {
+                        ctl.check_sampled()?;
                         stats.index_lookups += g.in_degree(v) as u64;
-                        g.parents(v).iter().any(|&p| parent_bits.contains(p))
-                    });
+                        if g.parents(v).iter().any(|&p| parent_bits.contains(p)) {
+                            kept.push(v);
+                        }
+                    }
                 }
                 _ => {
                     if options.use_contours {
                         let probe = index.succ_probe(&mat[u.index()]);
-                        candidates.retain(|&v| probe(v));
+                        for &v in &candidates {
+                            ctl.check_sampled()?;
+                            if probe(v) {
+                                kept.push(v);
+                            }
+                        }
                     } else {
-                        candidates.retain(|&v| mat[u.index()].iter().any(|&s| index.reaches(s, v)));
+                        for &v in &candidates {
+                            ctl.check_sampled()?;
+                            if mat[u.index()].iter().any(|&s| index.reaches(s, v)) {
+                                kept.push(v);
+                            }
+                        }
                     }
                 }
             }
-            mat[child.index()] = candidates;
+            mat[child.index()] = kept;
         }
     }
     for &u in &prime.nodes {
@@ -213,6 +242,7 @@ pub fn prune_upward<R: Reachability + ?Sized>(
         time: start.elapsed(),
     });
     stats.prune_up_time += start.elapsed();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -239,7 +269,9 @@ mod tests {
             &PruneStep::bottom_up(&q),
             &mut mat,
             &mut stats,
-        );
+            &ExecCtl::unbounded(),
+        )
+        .unwrap();
         let table = naive::downward_matches(&q, &g);
         for u in q.node_ids() {
             let expected: Vec<NodeId> =
@@ -311,7 +343,9 @@ mod tests {
             &PruneStep::bottom_up(&q),
             &mut with_contours,
             &mut stats,
-        );
+            &ExecCtl::unbounded(),
+        )
+        .unwrap();
         let mut without = initial_candidates(&q, &g, &mut stats);
         prune_downward(
             &q,
@@ -321,7 +355,9 @@ mod tests {
             &PruneStep::bottom_up(&q),
             &mut without,
             &mut stats,
-        );
+            &ExecCtl::unbounded(),
+        )
+        .unwrap();
         assert_eq!(with_contours, without);
     }
 
@@ -341,9 +377,22 @@ mod tests {
             &PruneStep::bottom_up(&q),
             &mut mat,
             &mut stats,
-        );
+            &ExecCtl::unbounded(),
+        )
+        .unwrap();
         let prime = PrimeSubtree::new(&q);
-        prune_upward(&q, &g, &index, &options, &prime, 0, &mut mat, &mut stats);
+        prune_upward(
+            &q,
+            &g,
+            &index,
+            &options,
+            &prime,
+            0,
+            &mut mat,
+            &mut stats,
+            &ExecCtl::unbounded(),
+        )
+        .unwrap();
         // Every surviving candidate of a prime child is reachable from a
         // surviving candidate of its prime parent.
         for &u in &prime.nodes {

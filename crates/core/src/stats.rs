@@ -61,6 +61,12 @@ pub struct EvalStats {
     pub shrunk_subtree_size: u64,
     /// Number of result tuples produced.
     pub result_tuples: u64,
+    /// Rows pulled from the streaming enumerator, including rows skipped by
+    /// an `OFFSET` and the one look-ahead row that decides truncation.  With
+    /// a pushed-down `LIMIT` this stays near `offset + limit + 1`; without
+    /// one it equals the full answer size — the headline counter for how
+    /// much enumeration work limit pushdown avoided.
+    pub enumerated_rows: u64,
     /// Time spent selecting candidates.
     pub candidate_time: Duration,
     /// Time spent in the downward pruning round.
@@ -71,6 +77,9 @@ pub struct EvalStats {
     pub matching_graph_time: Duration,
     /// Time spent enumerating results.
     pub enumerate_time: Duration,
+    /// Wall time from the start of enumeration to the first produced row
+    /// (zero when the answer is empty) — the streaming latency headline.
+    pub time_to_first_row: Duration,
     /// Time spent building the query plan (zero when a pre-built plan was
     /// executed via `evaluate_planned`).
     pub plan_time: Duration,

@@ -4,46 +4,61 @@
 //! crate is the multi-tenant front end the ROADMAP's production scenario
 //! needs.  A [`QueryService`]:
 //!
+//! * serves every query through **one request/outcome pair** —
+//!   [`QueryService::submit`] takes a [`QueryRequest`] (query tree or text,
+//!   row window, deadline, backend, stats/plan switches) and returns
+//!   `Result<`[`QueryOutcome`]`, `[`QueryError`]`>`; `limit`/`offset` and
+//!   deadlines push down into the engine's streaming enumerator, so a
+//!   limited request stops after its window instead of materializing the
+//!   answer,
 //! * owns an `Arc<DataGraph>` and **one shared reachability index**, either
 //!   pinned via [`ServiceConfig::backend`] or chosen by
 //!   [`gtpq_reach::select_backend`] from the graph's statistics (DAG-ness,
 //!   density, condensation size),
-//! * evaluates queries **concurrently** — all methods take `&self`, and
-//!   [`QueryService::evaluate_batch`] fans a batch out over a work-stealing
+//! * evaluates requests **concurrently** — all methods take `&self`, and
+//!   [`QueryService::submit_batch`] fans a batch out over a work-stealing
 //!   thread pool while preserving input order,
 //! * answers repeated queries from an **equivalence-aware LRU result cache**
 //!   ([`ResultCache`]): queries are keyed by a canonical form
 //!   ([`canonicalize`]) so syntactically different spellings of one pattern
-//!   hit the same slot, with `gtpq_analysis::equivalent` confirming every hit,
+//!   hit the same slot, with `gtpq_analysis::equivalent` confirming every
+//!   hit; only *complete* answers are cached, and windows are sliced out of
+//!   hits,
 //! * aggregates **service metrics** ([`MetricsSnapshot`]): QPS, cache hit
-//!   rate, and per-stage timing rollups from the engine's `EvalStats`.
+//!   rate, per-stage timing rollups, and the request-API counters
+//!   (`timed_out`, `cancelled`, `rows_truncated`).
 //!
 //! ```
 //! use std::sync::Arc;
 //! use gtpq_query::fixtures::{example_graph, example_query};
-//! use gtpq_service::QueryService;
+//! use gtpq_service::{QueryRequest, QueryService};
 //!
 //! let service = QueryService::new(Arc::new(example_graph()));
-//! let q = example_query();
-//! let cold = service.evaluate(&q);
-//! let warm = service.evaluate(&q); // served from the cache
-//! assert!(Arc::ptr_eq(&cold, &warm));
+//! let request = QueryRequest::query(example_query());
+//! let cold = service.submit(&request).unwrap();
+//! let warm = service.submit(&request).unwrap(); // served from the cache
+//! assert!(Arc::ptr_eq(&cold.rows, &warm.rows));
 //! assert_eq!(service.metrics().cache_hits, 1);
+//!
+//! // Limit pushdown: ask for one row, stop enumerating after it.
+//! let first = service.submit(&QueryRequest::text("a1 { //d1* }").with_limit(1)).unwrap();
+//! assert_eq!(first.rows.len(), 1);
 //! ```
 //!
-//! Queries also arrive as *text*: [`QueryService::evaluate_text`] parses
-//! the query language of `gtpq_query::parse` (reference:
-//! `docs/QUERY_LANGUAGE.md`) and runs the result through the same cache
-//! and engine path.
+//! The pre-request method zoo (`evaluate`, `evaluate_with_stats`,
+//! `evaluate_text`, `evaluate_batch`, `analyze`) survives as deprecated
+//! shims over `submit`; see each method's `# Migration` note.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod canon;
 pub mod metrics;
+pub mod request;
 pub mod service;
 
 pub use cache::ResultCache;
 pub use canon::{canonicalize, CanonicalQuery};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use request::{QueryError, QueryOutcome, QueryRequest, QuerySource};
 pub use service::{QueryService, ServiceConfig};

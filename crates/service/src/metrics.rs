@@ -35,6 +35,10 @@ pub struct ServiceMetrics {
     estimated_rows: AtomicU64,
     actual_rows: AtomicU64,
     estimation_error_rows: AtomicU64,
+    timed_out: AtomicU64,
+    cancelled: AtomicU64,
+    rows_truncated: AtomicU64,
+    enumerated_rows: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -62,7 +66,23 @@ impl ServiceMetrics {
             estimated_rows: AtomicU64::new(0),
             actual_rows: AtomicU64::new(0),
             estimation_error_rows: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            rows_truncated: AtomicU64::new(0),
+            enumerated_rows: AtomicU64::new(0),
         }
+    }
+
+    pub(crate) fn record_timeout(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_truncated(&self) {
+        self.rows_truncated.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_plan_hit(&self) {
@@ -100,6 +120,8 @@ impl ServiceMetrics {
             .fetch_add(stats.scanned_nodes, Ordering::Relaxed);
         self.result_tuples
             .fetch_add(stats.result_tuples, Ordering::Relaxed);
+        self.enumerated_rows
+            .fetch_add(stats.enumerated_rows, Ordering::Relaxed);
         add(&self.plan_nanos, stats.plan_time);
         self.estimated_rows
             .fetch_add(stats.estimated_rows(), Ordering::Relaxed);
@@ -141,6 +163,10 @@ impl ServiceMetrics {
             estimated_rows: self.estimated_rows.load(Ordering::Relaxed),
             actual_rows: self.actual_rows.load(Ordering::Relaxed),
             estimation_error_rows: self.estimation_error_rows.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            rows_truncated: self.rows_truncated.load(Ordering::Relaxed),
+            enumerated_rows: self.enumerated_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -196,6 +222,17 @@ pub struct MetricsSnapshot {
     /// Sum of per-operator `|estimated − actual|` across engine runs
     /// (absolute, so over- and under-estimates cannot cancel).
     pub estimation_error_rows: u64,
+    /// Requests aborted because their deadline passed.
+    pub timed_out: u64,
+    /// Requests aborted through their cancellation token.
+    pub cancelled: u64,
+    /// Outcomes whose row window was cut short by a `limit` (more rows
+    /// existed past the returned window).
+    pub rows_truncated: u64,
+    /// Rows pulled from the streaming enumerator across engine runs
+    /// (including offset-skipped and look-ahead rows); compare against
+    /// `result_tuples` to see how much enumeration limit pushdown avoided.
+    pub enumerated_rows: u64,
 }
 
 impl MetricsSnapshot {

@@ -1,0 +1,268 @@
+//! The request/outcome query API: [`QueryRequest`] in,
+//! `Result<`[`QueryOutcome`]`, `[`QueryError`]`>` out.
+//!
+//! This is the single public evaluation surface of the service.  The legacy
+//! method zoo (`evaluate`, `evaluate_with_stats`, `evaluate_text`,
+//! `evaluate_batch`, `analyze`) survives as thin deprecated shims over
+//! [`QueryService::submit`](crate::QueryService::submit); new code should
+//! build a request:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gtpq_query::fixtures::example_graph;
+//! use gtpq_service::{QueryRequest, QueryService};
+//!
+//! let service = QueryService::new(Arc::new(example_graph()));
+//! let outcome = service
+//!     .submit(&QueryRequest::text("a1 { //d1* }").with_limit(10))
+//!     .unwrap();
+//! assert!(!outcome.rows.is_empty());
+//! assert!(!outcome.truncated, "fewer than 10 matches exist");
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gtpq_core::{CancelToken, EvalStats, QueryPlan};
+use gtpq_query::{Gtpq, ParseError, ResultSet};
+use gtpq_reach::BackendKind;
+
+/// What to evaluate: an already-built query tree or query-language text.
+#[derive(Clone, Debug)]
+pub enum QuerySource {
+    /// A validated query tree.
+    Query(Gtpq),
+    /// Query-language text (see `docs/QUERY_LANGUAGE.md`), parsed by
+    /// `submit`; a syntax error becomes [`QueryError::Parse`].
+    Text(String),
+}
+
+/// One evaluation request: the query plus its row window, time budget and
+/// execution knobs.
+///
+/// Build with [`QueryRequest::query`] or [`QueryRequest::text`] and chain the
+/// `with_*` setters; the default is the legacy behaviour (full answer, no
+/// deadline, planner-chosen backend, no stats or plan in the outcome).
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// The query to evaluate.
+    pub source: QuerySource,
+    /// Emit at most this many rows (after `offset`); enumeration stops as
+    /// soon as the window is full instead of materializing the answer.
+    pub limit: Option<usize>,
+    /// Skip this many leading rows of the answer.
+    pub offset: usize,
+    /// Time budget from the moment `submit` is called; overrunning it yields
+    /// [`QueryError::Timeout`].
+    pub deadline: Option<Duration>,
+    /// Pin the reachability backend for this request (built into the
+    /// service's shared catalog on first use); `None` lets the planner
+    /// recommend one.
+    pub backend: Option<BackendKind>,
+    /// Include per-stage [`EvalStats`] in the outcome.
+    pub want_stats: bool,
+    /// Include the executed physical plan in the outcome.
+    pub want_plan: bool,
+    /// Skip the result-cache lookup, forcing the engine to run (the
+    /// machinery behind `:explain analyze`); complete answers are still
+    /// written back to the cache.
+    pub bypass_cache: bool,
+    /// Cooperative cancellation: trigger the token from any thread and the
+    /// evaluation stops with [`QueryError::Cancelled`] at its next poll.
+    pub cancel: Option<CancelToken>,
+}
+
+impl QueryRequest {
+    /// A request evaluating an already-built query tree.
+    pub fn query(q: Gtpq) -> Self {
+        Self::new(QuerySource::Query(q))
+    }
+
+    /// A request evaluating query-language text.
+    pub fn text(text: impl Into<String>) -> Self {
+        Self::new(QuerySource::Text(text.into()))
+    }
+
+    fn new(source: QuerySource) -> Self {
+        Self {
+            source,
+            limit: None,
+            offset: 0,
+            deadline: None,
+            backend: None,
+            want_stats: false,
+            want_plan: false,
+            bypass_cache: false,
+            cancel: None,
+        }
+    }
+
+    /// Emit at most `limit` rows (see [`limit`](Self::limit)).
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Skip the first `offset` rows (see [`offset`](Self::offset)).
+    pub fn with_offset(mut self, offset: usize) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Give the evaluation a time budget (see [`deadline`](Self::deadline)).
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Pin the reachability backend for this request.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Ask for per-stage statistics in the outcome.
+    pub fn with_stats(mut self) -> Self {
+        self.want_stats = true;
+        self
+    }
+
+    /// Ask for the executed physical plan in the outcome.
+    pub fn with_plan(mut self) -> Self {
+        self.want_plan = true;
+        self
+    }
+
+    /// Skip the result-cache lookup (see
+    /// [`bypass_cache`](Self::bypass_cache)).
+    pub fn with_bypass_cache(mut self) -> Self {
+        self.bypass_cache = true;
+        self
+    }
+
+    /// Attach a cancellation token (see [`cancel`](Self::cancel)).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// The answer to one [`QueryRequest`].
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The emitted rows: the `offset..offset + limit` window of the full
+    /// answer, in materialized-[`ResultSet`] order.  An unlimited request
+    /// gets the complete answer.
+    pub rows: Arc<ResultSet>,
+    /// Whether the row limit cut enumeration short — `true` exactly when at
+    /// least one more row exists past the returned window.
+    pub truncated: bool,
+    /// Whether the rows were served from the result cache (the engine never
+    /// ran; `stats`, if requested, is then empty).
+    pub from_cache: bool,
+    /// Per-stage engine statistics, when the request set
+    /// [`want_stats`](QueryRequest::want_stats).
+    pub stats: Option<EvalStats>,
+    /// The executed physical plan, when the request set
+    /// [`want_plan`](QueryRequest::want_plan).
+    pub plan: Option<Arc<QueryPlan>>,
+}
+
+impl QueryOutcome {
+    /// Number of emitted rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Everything that can go wrong with a [`QueryRequest`] — the unified error
+/// surface replacing the old mixed signatures (only `evaluate_text` could
+/// fail, and nothing could time out).
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// The request's text does not parse; carries the span-annotated
+    /// diagnostic.
+    Parse(ParseError),
+    /// The evaluation overran [`QueryRequest::deadline`].
+    Timeout {
+        /// The budget that was exceeded.
+        budget: Duration,
+    },
+    /// The request's [`CancelToken`](QueryRequest::cancel) was triggered
+    /// mid-evaluation.
+    Cancelled,
+    /// The query is structurally unsatisfiable: no data graph whatsoever can
+    /// match it (detected by [`gtpq_analysis::is_satisfiable`] before any
+    /// evaluation work).
+    Unsatisfiable,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "parse error: {}", e.message),
+            QueryError::Timeout { budget } => {
+                write!(f, "query timed out (budget {budget:?})")
+            }
+            QueryError::Cancelled => write!(f, "query cancelled"),
+            QueryError::Unsatisfiable => {
+                write!(f, "query is unsatisfiable: no data graph can match it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use gtpq_query::fixtures::example_query;
+
+    use super::*;
+
+    #[test]
+    fn builder_setters_compose() {
+        let req = QueryRequest::query(example_query())
+            .with_limit(7)
+            .with_offset(3)
+            .with_deadline(Duration::from_millis(250))
+            .with_backend(BackendKind::Closure)
+            .with_stats()
+            .with_plan()
+            .with_bypass_cache()
+            .with_cancel(CancelToken::new());
+        assert_eq!(req.limit, Some(7));
+        assert_eq!(req.offset, 3);
+        assert_eq!(req.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(req.backend, Some(BackendKind::Closure));
+        assert!(req.want_stats && req.want_plan && req.bypass_cache);
+        assert!(req.cancel.is_some());
+        assert!(matches!(req.source, QuerySource::Query(_)));
+    }
+
+    #[test]
+    fn errors_render_distinctly() {
+        let timeout = QueryError::Timeout {
+            budget: Duration::from_millis(5),
+        };
+        assert!(timeout.to_string().contains("timed out"));
+        assert!(QueryError::Cancelled.to_string().contains("cancelled"));
+        assert!(QueryError::Unsatisfiable
+            .to_string()
+            .contains("unsatisfiable"));
+        let parse: QueryError = gtpq_query::parse_query("a1 {").unwrap_err().into();
+        assert!(parse.to_string().contains("parse error"));
+    }
+}

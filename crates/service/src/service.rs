@@ -1,11 +1,14 @@
 //! The concurrent query service.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use gtpq_core::{EvalStats, GteaEngine, GteaOptions, Planner, QueryPlan};
+use gtpq_core::{
+    EvalStats, ExecCtl, ExecOptions, GteaEngine, GteaOptions, Interrupt, Planner, QueryPlan,
+};
 use gtpq_graph::DataGraph;
 use gtpq_query::{Gtpq, ParseError, ResultSet};
 use gtpq_reach::{build_selected, BackendKind, BackendSelection, GraphProfile, SharedIndex};
@@ -13,6 +16,7 @@ use gtpq_reach::{build_selected, BackendKind, BackendSelection, GraphProfile, Sh
 use crate::cache::{PlanCache, ResultCache};
 use crate::canon::{canonicalize, CanonicalQuery};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::request::{QueryError, QueryOutcome, QueryRequest, QuerySource};
 
 /// Configuration of a [`QueryService`].
 #[derive(Clone, Debug)]
@@ -20,7 +24,7 @@ pub struct ServiceConfig {
     /// Reachability backend; `None` lets [`gtpq_reach::select_backend`] pick one from the
     /// graph's statistics.
     pub backend: Option<BackendKind>,
-    /// Worker threads used by [`QueryService::evaluate_batch`].  Defaults to
+    /// Worker threads used by [`QueryService::submit_batch`].  Defaults to
     /// the machine's available parallelism.
     pub threads: usize,
     /// Result-cache capacity in result sets; 0 disables caching.
@@ -53,16 +57,17 @@ impl Default for ServiceConfig {
 /// A thread-safe, multi-query front end over the GTEA engine.
 ///
 /// The service owns the data graph and one shared reachability index (built
-/// once, chosen per [`ServiceConfig::backend`]), answers queries through an
-/// equivalence-aware LRU result cache, and fans batches out over a thread
-/// pool.  All methods take `&self`: one service instance can be wrapped in an
-/// `Arc` and shared across any number of request threads.
+/// once, chosen per [`ServiceConfig::backend`]), answers
+/// [`QueryRequest`]s through an equivalence-aware LRU result cache, and fans
+/// batches out over a thread pool.  All methods take `&self`: one service
+/// instance can be wrapped in an `Arc` and shared across any number of
+/// request threads.
 ///
 /// ```
 /// use std::sync::Arc;
 /// use gtpq_graph::GraphBuilder;
 /// use gtpq_query::{AttrPredicate, EdgeKind, GtpqBuilder};
-/// use gtpq_service::QueryService;
+/// use gtpq_service::{QueryRequest, QueryService};
 ///
 /// let mut b = GraphBuilder::new();
 /// let a = b.add_node_with_label("a");
@@ -76,8 +81,9 @@ impl Default for ServiceConfig {
 /// qb.mark_output(child);
 /// let q = qb.build().unwrap();
 ///
-/// assert_eq!(service.evaluate(&q).len(), 1);
-/// assert_eq!(service.evaluate(&q).len(), 1); // served from the cache
+/// let request = QueryRequest::query(q);
+/// assert_eq!(service.submit(&request).unwrap().len(), 1);
+/// assert_eq!(service.submit(&request).unwrap().len(), 1); // served from the cache
 /// assert_eq!(service.metrics().cache_hits, 1);
 /// ```
 pub struct QueryService {
@@ -90,7 +96,8 @@ pub struct QueryService {
     cache: Mutex<ResultCache>,
     plans: Mutex<PlanCache>,
     /// Per-query backend catalog: indexes built on demand by the planner's
-    /// recommendation, shared across all subsequent queries.
+    /// recommendation (or a request's pinned backend), shared across all
+    /// subsequent queries.
     backends: Mutex<HashMap<BackendKind, SharedIndex>>,
     metrics: ServiceMetrics,
 }
@@ -146,44 +153,246 @@ impl QueryService {
         self.selection.as_ref()
     }
 
-    /// Evaluates one query, consulting the result cache first.
-    pub fn evaluate(&self, q: &Gtpq) -> Arc<ResultSet> {
-        self.evaluate_with_stats(q).0
-    }
-
-    /// Parses `text` as the GTPQ query language (see
-    /// [`gtpq_query::parse`]) and evaluates the query, consulting the
-    /// result cache first.
+    /// Serves one [`QueryRequest`]: parse (if textual), check
+    /// satisfiability, consult the result cache, then plan and execute with
+    /// the request's row window, deadline and cancellation pushed down into
+    /// the engine.
     ///
-    /// Textually different spellings of one pattern share a cache slot: the
-    /// cache key is the canonical form of the *parsed* query, which is
-    /// insensitive to whitespace, comments, sibling order and formula
-    /// spelling.
+    /// Caching never mixes windows: only *complete* answers (offset 0, not
+    /// truncated) are written to the result cache, and any window can be
+    /// sliced out of a cached complete answer — so a truncated outcome can
+    /// neither poison the full-result slot nor be served where the full
+    /// answer was asked for.
     ///
     /// ```
     /// use std::sync::Arc;
     /// use gtpq_query::fixtures::example_graph;
-    /// use gtpq_service::QueryService;
+    /// use gtpq_service::{QueryError, QueryRequest, QueryService};
     ///
     /// let service = QueryService::new(Arc::new(example_graph()));
-    /// let cold = service.evaluate_text("a1 { //b1* }").unwrap();
-    /// let warm = service.evaluate_text("a1 {   //b1*   } # same query").unwrap();
-    /// assert!(Arc::ptr_eq(&cold, &warm));
-    /// assert!(service.evaluate_text("a1 { //b1* ").is_err());
+    /// let outcome = service
+    ///     .submit(&QueryRequest::text("a1 { //b1* }").with_stats())
+    ///     .unwrap();
+    /// assert!(!outcome.truncated);
+    /// assert!(outcome.stats.is_some());
+    /// assert!(matches!(
+    ///     service.submit(&QueryRequest::text("a1 { //b1* ")),
+    ///     Err(QueryError::Parse(_))
+    /// ));
     /// ```
+    pub fn submit(&self, request: &QueryRequest) -> Result<QueryOutcome, QueryError> {
+        // The deadline budget counts from the moment `submit` is called —
+        // parsing, planning and lazy backend construction all spend it, so a
+        // request cannot block past its budget in pre-execution stages and
+        // then still get a full budget of evaluation on top.
+        let deadline = request.deadline.map(|budget| {
+            let now = Instant::now();
+            now.checked_add(budget).unwrap_or(now)
+        });
+        let parsed: Cow<'_, Gtpq> = match &request.source {
+            QuerySource::Query(q) => Cow::Borrowed(q),
+            QuerySource::Text(text) => Cow::Owned(gtpq_query::parse_query(text)?),
+        };
+        let q: &Gtpq = &parsed;
+        if !gtpq_analysis::is_satisfiable(q) {
+            return Err(QueryError::Unsatisfiable);
+        }
+        let canon = (self.config.cache_capacity > 0 || self.config.plan_cache_capacity > 0)
+            .then(|| canonicalize(q));
+
+        // Result-cache lookup: entries always hold complete answers, so the
+        // requested window is sliced out of a hit.
+        if self.config.cache_capacity > 0 && !request.bypass_cache {
+            if let Some(canon) = &canon {
+                let hit = self
+                    .cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .lookup(canon, q);
+                if let Some(full) = hit {
+                    self.metrics.record_hit();
+                    let (rows, truncated) = window(&full, request.offset, request.limit);
+                    if truncated {
+                        self.metrics.record_truncated();
+                    }
+                    let plan = request
+                        .want_plan
+                        .then(|| self.obtain_plan(q, Some(canon)).0);
+                    return Ok(QueryOutcome {
+                        rows,
+                        truncated,
+                        from_cache: true,
+                        stats: request.want_stats.then(EvalStats::default),
+                        plan,
+                    });
+                }
+            }
+        }
+
+        // Miss: plan, resolve the backend, execute with pushdown.
+        let (plan, plan_time) = self.obtain_plan(q, canon_ref(&canon));
+        let index = match request.backend {
+            Some(kind) => self.backend_from_catalog(kind),
+            None => self.resolve_backend(&plan),
+        };
+        let mut ctl = ExecCtl::unbounded();
+        if let Some(deadline) = deadline {
+            ctl = ctl.with_deadline(deadline);
+        }
+        if let Some(token) = &request.cancel {
+            ctl = ctl.with_cancel(token.clone());
+        }
+        let engine = GteaEngine::with_backend(&self.graph, index, self.config.options);
+        let options = ExecOptions {
+            limit: request.limit,
+            offset: request.offset,
+            ctl,
+        };
+        let exec = engine.execute(q, &plan, options).map_err(|i| match i {
+            Interrupt::Timeout => {
+                self.metrics.record_timeout();
+                QueryError::Timeout {
+                    budget: request.deadline.unwrap_or_default(),
+                }
+            }
+            Interrupt::Cancelled => {
+                self.metrics.record_cancelled();
+                QueryError::Cancelled
+            }
+        })?;
+        let mut stats = exec.stats;
+        stats.plan_time = plan_time;
+        let rows = Arc::new(exec.results);
+
+        // A windowed answer must never poison the full-result slot: cache
+        // only complete answers.
+        if self.config.cache_capacity > 0 && !exec.truncated && request.offset == 0 {
+            if let Some(canon) = &canon {
+                self.cache.lock().expect("cache lock poisoned").insert(
+                    canon,
+                    Arc::new(q.clone()),
+                    Arc::clone(&rows),
+                );
+            }
+        }
+        self.metrics.record_miss(&stats);
+        if exec.truncated {
+            self.metrics.record_truncated();
+        }
+        Ok(QueryOutcome {
+            rows,
+            truncated: exec.truncated,
+            from_cache: false,
+            stats: request.want_stats.then_some(stats),
+            plan: request.want_plan.then_some(plan),
+        })
+    }
+
+    /// Serves a batch of requests across the worker pool, preserving input
+    /// order in the returned outcomes.
+    ///
+    /// Workers steal requests from a shared cursor, so skewed workloads
+    /// load-balance; outcomes are identical to submitting the batch
+    /// sequentially (the cache is shared, so duplicate queries within one
+    /// batch may be served from it).  Unlike the deprecated
+    /// `evaluate_batch`, every request keeps its own stats, plan and error.
+    pub fn submit_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryOutcome, QueryError>> {
+        self.metrics.record_batch();
+        let workers = self.config.threads.min(requests.len()).max(1);
+        if workers == 1 {
+            return requests.iter().map(|r| self.submit(r)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut answers: Vec<Option<Result<QueryOutcome, QueryError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let chunks = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= requests.len() {
+                                break;
+                            }
+                            local.push((i, self.submit(&requests[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (i, r) in chunks.into_iter().flatten() {
+            answers[i] = Some(r);
+        }
+        answers
+            .into_iter()
+            .map(|r| r.expect("every request was assigned to a worker"))
+            .collect()
+    }
+
+    /// Evaluates one query, consulting the result cache first.
+    ///
+    /// # Migration
+    ///
+    /// Use [`submit`](Self::submit) with
+    /// `QueryRequest::query(q.clone())`; the rows are in
+    /// [`QueryOutcome::rows`].  Unsatisfiable queries, which `submit`
+    /// rejects with [`QueryError::Unsatisfiable`], keep returning an empty
+    /// answer here.
+    #[deprecated(since = "0.1.0", note = "use `submit` with a `QueryRequest`")]
+    pub fn evaluate(&self, q: &Gtpq) -> Arc<ResultSet> {
+        match self.submit(&QueryRequest::query(q.clone())) {
+            Ok(outcome) => outcome.rows,
+            Err(QueryError::Unsatisfiable) => Arc::new(ResultSet::new(q.output_nodes().to_vec())),
+            Err(e) => unreachable!("request without text or deadline cannot fail: {e}"),
+        }
+    }
+
+    /// Parses `text` as the GTPQ query language and evaluates the query,
+    /// consulting the result cache first.
+    ///
+    /// # Migration
+    ///
+    /// Use [`submit`](Self::submit) with `QueryRequest::text(text)`; parse
+    /// failures arrive as [`QueryError::Parse`].
+    #[deprecated(since = "0.1.0", note = "use `submit` with `QueryRequest::text`")]
     pub fn evaluate_text(&self, text: &str) -> Result<Arc<ResultSet>, ParseError> {
+        #[allow(deprecated)]
         Ok(self.evaluate_text_with_stats(text)?.0)
     }
 
-    /// Parses `text` and evaluates it, returning per-query engine statistics
-    /// (see [`evaluate_with_stats`](Self::evaluate_with_stats) for the
-    /// cache-hit behaviour of the stats).
+    /// Parses `text` and evaluates it, returning per-query engine
+    /// statistics.
+    ///
+    /// # Migration
+    ///
+    /// Use [`submit`](Self::submit) with
+    /// `QueryRequest::text(text).with_stats()`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `submit` with `QueryRequest::text(..).with_stats()`"
+    )]
     pub fn evaluate_text_with_stats(
         &self,
         text: &str,
     ) -> Result<(Arc<ResultSet>, EvalStats), ParseError> {
-        let q = gtpq_query::parse_query(text)?;
-        Ok(self.evaluate_with_stats(&q))
+        match self.submit(&QueryRequest::text(text).with_stats()) {
+            Ok(outcome) => Ok((outcome.rows, outcome.stats.unwrap_or_default())),
+            Err(QueryError::Parse(e)) => Err(e),
+            Err(QueryError::Unsatisfiable) => {
+                let q = gtpq_query::parse_query(text).expect("parse succeeded above");
+                Ok((
+                    Arc::new(ResultSet::new(q.output_nodes().to_vec())),
+                    EvalStats::default(),
+                ))
+            }
+            Err(e) => unreachable!("request without deadline cannot fail: {e}"),
+        }
     }
 
     /// Evaluates one query, returning per-query engine statistics.
@@ -191,34 +400,25 @@ impl QueryService {
     /// On a cache hit the engine never runs, so the returned stats are
     /// `EvalStats::default()`; aggregate hit/miss counts live in
     /// [`metrics`](Self::metrics).
+    ///
+    /// # Migration
+    ///
+    /// Use [`submit`](Self::submit) with
+    /// `QueryRequest::query(q.clone()).with_stats()`; the stats are in
+    /// [`QueryOutcome::stats`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `submit` with `QueryRequest::query(..).with_stats()`"
+    )]
     pub fn evaluate_with_stats(&self, q: &Gtpq) -> (Arc<ResultSet>, EvalStats) {
-        let canon = (self.config.cache_capacity > 0 || self.config.plan_cache_capacity > 0)
-            .then(|| canonicalize(q));
-        if self.config.cache_capacity > 0 {
-            if let Some(canon) = &canon {
-                let hit = self
-                    .cache
-                    .lock()
-                    .expect("cache lock poisoned")
-                    .lookup(canon, q);
-                if let Some(results) = hit {
-                    self.metrics.record_hit();
-                    return (results, EvalStats::default());
-                }
-            }
+        match self.submit(&QueryRequest::query(q.clone()).with_stats()) {
+            Ok(outcome) => (outcome.rows, outcome.stats.unwrap_or_default()),
+            Err(QueryError::Unsatisfiable) => (
+                Arc::new(ResultSet::new(q.output_nodes().to_vec())),
+                EvalStats::default(),
+            ),
+            Err(e) => unreachable!("request without text or deadline cannot fail: {e}"),
         }
-        let (results, stats) = self.run_planned(q, canon.as_ref());
-        if self.config.cache_capacity > 0 {
-            if let Some(canon) = &canon {
-                self.cache.lock().expect("cache lock poisoned").insert(
-                    canon,
-                    Arc::new(q.clone()),
-                    Arc::clone(&results),
-                );
-            }
-        }
-        self.metrics.record_miss(&stats);
-        (results, stats)
     }
 
     /// Plans (or recalls the cached plan for) `q` without evaluating it —
@@ -230,25 +430,39 @@ impl QueryService {
     /// evaluation of the same pattern.
     pub fn plan_for(&self, q: &Gtpq) -> Arc<QueryPlan> {
         let canon = (self.config.plan_cache_capacity > 0).then(|| canonicalize(q));
-        self.obtain_plan(q, canon.as_ref()).0
+        self.obtain_plan(q, canon_ref(&canon)).0
     }
 
     /// Evaluates `q` unconditionally through the engine (no result-cache
-    /// lookup or insertion), returning the executed plan alongside the
-    /// answer and statistics — the machinery behind `:explain analyze`.
-    /// Plan cache and metrics behave as for a cache miss.
+    /// lookup), returning the executed plan alongside the answer and
+    /// statistics.
+    ///
+    /// # Migration
+    ///
+    /// Use [`submit`](Self::submit) with
+    /// `QueryRequest::query(q.clone()).with_stats().with_plan().with_bypass_cache()`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `submit` with `QueryRequest::query(..).with_stats().with_plan().with_bypass_cache()`"
+    )]
     pub fn analyze(&self, q: &Gtpq) -> (Arc<ResultSet>, EvalStats, Arc<QueryPlan>) {
-        let canon = (self.config.plan_cache_capacity > 0).then(|| canonicalize(q));
-        let (plan, plan_time) = self.obtain_plan(q, canon.as_ref());
-        let (results, stats) = self.execute_plan(q, &plan, plan_time);
-        self.metrics.record_miss(&stats);
-        (results, stats, plan)
-    }
-
-    /// Runs the planning + execution pipeline for a result-cache miss.
-    fn run_planned(&self, q: &Gtpq, canon: Option<&CanonicalQuery>) -> (Arc<ResultSet>, EvalStats) {
-        let (plan, plan_time) = self.obtain_plan(q, canon);
-        self.execute_plan(q, &plan, plan_time)
+        let request = QueryRequest::query(q.clone())
+            .with_stats()
+            .with_plan()
+            .with_bypass_cache();
+        match self.submit(&request) {
+            Ok(outcome) => (
+                outcome.rows,
+                outcome.stats.unwrap_or_default(),
+                outcome.plan.expect("requested with_plan"),
+            ),
+            Err(QueryError::Unsatisfiable) => (
+                Arc::new(ResultSet::new(q.output_nodes().to_vec())),
+                EvalStats::default(),
+                self.plan_for(q),
+            ),
+            Err(e) => unreachable!("request without text or deadline cannot fail: {e}"),
+        }
     }
 
     /// Looks the plan up in the plan cache, building and caching it on a
@@ -291,35 +505,25 @@ impl QueryService {
         (plan, plan_time)
     }
 
-    /// Executes `plan`, resolving its backend recommendation against the
-    /// shared catalog.
-    fn execute_plan(
-        &self,
-        q: &Gtpq,
-        plan: &QueryPlan,
-        plan_time: Duration,
-    ) -> (Arc<ResultSet>, EvalStats) {
-        let index = self.resolve_backend(plan);
-        let engine = GteaEngine::with_backend(&self.graph, index, self.config.options);
-        let (results, mut stats) = engine.evaluate_planned(q, plan);
-        stats.plan_time = plan_time;
-        (Arc::new(results), stats)
-    }
-
     /// The index the plan runs on: the plan's recommended backend (built
     /// lazily into the catalog, then shared) when per-query selection is
     /// enabled and no backend was pinned; the service default otherwise.
+    fn resolve_backend(&self, plan: &QueryPlan) -> SharedIndex {
+        let per_query = self.config.per_query_backend && self.config.backend.is_none();
+        let Some(kind) = plan.backend.kind.filter(|_| per_query) else {
+            return Arc::clone(&self.index);
+        };
+        self.backend_from_catalog(kind)
+    }
+
+    /// Fetches (or lazily builds and shares) the index for `kind`.
     ///
     /// The catalog lock is never held across an index build — concurrent
     /// queries whose backend is already cataloged must not stall behind a
     /// potentially expensive construction.  Two threads racing on the same
     /// missing backend may both build it; the first insert wins and the
     /// loser's copy is dropped.
-    fn resolve_backend(&self, plan: &QueryPlan) -> SharedIndex {
-        let per_query = self.config.per_query_backend && self.config.backend.is_none();
-        let Some(kind) = plan.backend.kind.filter(|_| per_query) else {
-            return Arc::clone(&self.index);
-        };
+    fn backend_from_catalog(&self, kind: BackendKind) -> SharedIndex {
         {
             let backends = self.backends.lock().expect("backend catalog lock poisoned");
             if let Some(index) = backends.get(&kind) {
@@ -334,45 +538,28 @@ impl QueryService {
     /// Evaluates a batch of queries across the worker pool, preserving input
     /// order in the returned answers.
     ///
-    /// Workers steal queries from a shared cursor, so skewed workloads load-
-    /// balance; answers are identical to evaluating the batch sequentially
-    /// (the cache is shared, so duplicate queries within one batch may be
-    /// served from it).
+    /// # Migration
+    ///
+    /// Use [`submit_batch`](Self::submit_batch), which keeps per-request
+    /// stats and reports per-request errors instead of silently flattening
+    /// them.  As with `evaluate`, unsatisfiable queries keep returning an
+    /// empty answer here.
+    #[deprecated(since = "0.1.0", note = "use `submit_batch` with `QueryRequest`s")]
     pub fn evaluate_batch(&self, queries: &[Gtpq]) -> Vec<Arc<ResultSet>> {
-        self.metrics.record_batch();
-        let workers = self.config.threads.min(queries.len()).max(1);
-        if workers == 1 {
-            return queries.iter().map(|q| self.evaluate(q)).collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let mut answers: Vec<Option<Arc<ResultSet>>> = vec![None; queries.len()];
-        let chunks = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= queries.len() {
-                                break;
-                            }
-                            local.push((i, self.evaluate(&queries[i])));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect::<Vec<_>>()
-        });
-        for (i, r) in chunks.into_iter().flatten() {
-            answers[i] = Some(r);
-        }
-        answers
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .map(|q| QueryRequest::query(q.clone()))
+            .collect();
+        self.submit_batch(&requests)
             .into_iter()
-            .map(|r| r.expect("every query was assigned to a worker"))
+            .zip(queries)
+            .map(|(r, q)| match r {
+                Ok(outcome) => outcome.rows,
+                Err(QueryError::Unsatisfiable) => {
+                    Arc::new(ResultSet::new(q.output_nodes().to_vec()))
+                }
+                Err(e) => unreachable!("request without text or deadline cannot fail: {e}"),
+            })
             .collect()
     }
 
@@ -392,7 +579,7 @@ impl QueryService {
     }
 
     /// Names of the reachability backends built so far (the default plus any
-    /// the planner asked for), in no particular order.
+    /// the planner or a request asked for), in no particular order.
     pub fn built_backends(&self) -> Vec<&'static str> {
         self.backends
             .lock()
@@ -408,6 +595,26 @@ impl QueryService {
     }
 }
 
+/// Slices the `offset..offset + limit` window out of a complete cached
+/// answer; the flag reports whether rows exist past the window's end.
+fn window(full: &Arc<ResultSet>, offset: usize, limit: Option<usize>) -> (Arc<ResultSet>, bool) {
+    let total = full.len();
+    let end = limit.map_or(total, |l| offset.saturating_add(l).min(total));
+    if offset == 0 && end == total {
+        return (Arc::clone(full), false);
+    }
+    let mut out = ResultSet::new(full.output.clone());
+    for tuple in full.iter().skip(offset).take(end.saturating_sub(offset)) {
+        out.insert(tuple.clone());
+    }
+    (Arc::new(out), end < total)
+}
+
+/// `Option<CanonicalQuery> → Option<&CanonicalQuery>` (ergonomics helper).
+fn canon_ref(canon: &Option<CanonicalQuery>) -> Option<&CanonicalQuery> {
+    canon.as_ref()
+}
+
 // The whole point of the service: it can be shared across request threads.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
@@ -416,7 +623,9 @@ const _: () = {
 
 #[cfg(test)]
 mod tests {
+    use gtpq_core::CancelToken;
     use gtpq_graph::GraphBuilder;
+    use gtpq_logic::BoolExpr;
     use gtpq_query::fixtures::{example_graph, example_query};
     use gtpq_query::naive;
     use gtpq_query::{AttrPredicate, EdgeKind, GtpqBuilder};
@@ -427,15 +636,29 @@ mod tests {
         QueryService::new(Arc::new(example_graph()))
     }
 
+    fn submit_rows(service: &QueryService, q: &Gtpq) -> Arc<ResultSet> {
+        service
+            .submit(&QueryRequest::query(q.clone()))
+            .expect("valid query")
+            .rows
+    }
+
     #[test]
-    fn evaluate_matches_naive_and_caches() {
+    fn submit_matches_naive_and_caches() {
         let service = service_for_example();
         let q = example_query();
         let expected = naive::evaluate(&q, service.graph());
-        let cold = service.evaluate(&q);
-        assert!(cold.same_answer(&expected));
-        let warm = service.evaluate(&q);
-        assert!(Arc::ptr_eq(&cold, &warm), "second call must be a cache hit");
+        let request = QueryRequest::query(q);
+        let cold = service.submit(&request).unwrap();
+        assert!(cold.rows.same_answer(&expected));
+        assert!(!cold.from_cache && !cold.truncated);
+        assert!(cold.stats.is_none() && cold.plan.is_none());
+        let warm = service.submit(&request).unwrap();
+        assert!(
+            Arc::ptr_eq(&cold.rows, &warm.rows),
+            "second submit must share the cached rows"
+        );
+        assert!(warm.from_cache);
         let m = service.metrics();
         assert_eq!(m.queries, 2);
         assert_eq!(m.cache_hits, 1);
@@ -445,13 +668,146 @@ mod tests {
     }
 
     #[test]
+    fn limit_and_offset_slice_the_materialized_order() {
+        let service = QueryService::with_config(
+            Arc::new(example_graph()),
+            ServiceConfig {
+                cache_capacity: 0, // engine path
+                ..ServiceConfig::default()
+            },
+        );
+        let q = example_query();
+        let full = submit_rows(&service, &q);
+        let all: Vec<_> = full.iter().cloned().collect();
+        assert!(all.len() >= 3, "example query has several rows");
+        for (offset, limit) in [(0, 1), (1, 2), (0, all.len()), (2, 100), (all.len() + 1, 2)] {
+            let outcome = service
+                .submit(
+                    &QueryRequest::query(q.clone())
+                        .with_limit(limit)
+                        .with_offset(offset),
+                )
+                .unwrap();
+            let expected: Vec<_> = all.iter().skip(offset).take(limit).cloned().collect();
+            let got: Vec<_> = outcome.rows.iter().cloned().collect();
+            assert_eq!(got, expected, "offset {offset} limit {limit}");
+            let more_exist = offset + limit < all.len();
+            assert_eq!(
+                outcome.truncated, more_exist,
+                "offset {offset} limit {limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_outcomes_never_poison_the_cache() {
+        let service = service_for_example();
+        let q = example_query();
+        let limited = service
+            .submit(&QueryRequest::query(q.clone()).with_limit(1))
+            .unwrap();
+        assert!(limited.truncated);
+        assert_eq!(limited.rows.len(), 1);
+        assert_eq!(
+            service.cached_results(),
+            0,
+            "truncated outcome must not be cached"
+        );
+        // The full answer is computed fresh, cached, and later limited
+        // requests are sliced from it.
+        let full = service.submit(&QueryRequest::query(q.clone())).unwrap();
+        assert!(!full.from_cache);
+        let expected = naive::evaluate(&q, service.graph());
+        assert!(full.rows.same_answer(&expected));
+        assert_eq!(service.cached_results(), 1);
+        let sliced = service
+            .submit(&QueryRequest::query(q.clone()).with_limit(1))
+            .unwrap();
+        assert!(sliced.from_cache && sliced.truncated);
+        assert_eq!(sliced.rows.len(), 1);
+        assert_eq!(
+            sliced.rows.iter().next(),
+            full.rows.iter().next(),
+            "cache slice follows materialized order"
+        );
+        assert_eq!(service.metrics().rows_truncated, 2);
+    }
+
+    #[test]
+    fn deadline_zero_times_out_cleanly() {
+        let service = service_for_example();
+        let q = example_query();
+        let err = service
+            .submit(&QueryRequest::query(q).with_deadline(Duration::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Timeout { .. }));
+        assert_eq!(service.metrics().timed_out, 1);
+        assert_eq!(service.metrics().cache_misses, 0, "no answer was produced");
+    }
+
+    #[test]
+    fn cancellation_interrupts_and_is_counted() {
+        let service = service_for_example();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = service
+            .submit(&QueryRequest::query(example_query()).with_cancel(token))
+            .unwrap_err();
+        assert_eq!(err, QueryError::Cancelled);
+        assert_eq!(service.metrics().cancelled, 1);
+    }
+
+    #[test]
+    fn unsatisfiable_queries_are_rejected_up_front() {
+        let service = service_for_example();
+        // Root requires a child AND its negation: structurally contradictory.
+        let mut b = GtpqBuilder::new(AttrPredicate::label("a1"));
+        let root = b.root_id();
+        let p = b.predicate_child(root, EdgeKind::Descendant, AttrPredicate::label("b1"));
+        b.set_structural(
+            root,
+            BoolExpr::and2(
+                BoolExpr::Var(p.var()),
+                BoolExpr::not(BoolExpr::Var(p.var())),
+            ),
+        );
+        b.mark_output(root);
+        let q = b.build().unwrap();
+        let err = service.submit(&QueryRequest::query(q.clone())).unwrap_err();
+        assert_eq!(err, QueryError::Unsatisfiable);
+        // The deprecated shim keeps the old empty-answer contract.
+        #[allow(deprecated)]
+        let empty = service.evaluate(&q);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn per_request_backend_is_honoured_and_cataloged() {
+        let service = service_for_example();
+        let q = example_query();
+        let expected = naive::evaluate(&q, service.graph());
+        let outcome = service
+            .submit(
+                &QueryRequest::query(q)
+                    .with_backend(BackendKind::Closure)
+                    .with_bypass_cache(),
+            )
+            .unwrap();
+        assert!(outcome.rows.same_answer(&expected));
+        assert!(service.built_backends().contains(&"closure"));
+    }
+
+    #[test]
     fn stats_are_reported_on_misses_only() {
         let service = service_for_example();
         let q = example_query();
-        let (_, cold_stats) = service.evaluate_with_stats(&q);
+        let request = QueryRequest::query(q).with_stats();
+        let cold = service.submit(&request).unwrap();
+        let cold_stats = cold.stats.expect("requested stats");
         assert!(cold_stats.initial_candidates > 0);
-        let (_, warm_stats) = service.evaluate_with_stats(&q);
-        assert_eq!(warm_stats.initial_candidates, 0);
+        assert!(cold_stats.enumerated_rows >= cold.rows.len() as u64);
+        let warm = service.submit(&request).unwrap();
+        assert_eq!(warm.stats.expect("requested stats").initial_candidates, 0);
     }
 
     #[test]
@@ -466,9 +822,7 @@ mod tests {
         assert_eq!(service.backend_name(), "sspi");
         assert!(service.backend_selection().is_none());
         let q = example_query();
-        assert!(service
-            .evaluate(&q)
-            .same_answer(&naive::evaluate(&q, service.graph())));
+        assert!(submit_rows(&service, &q).same_answer(&naive::evaluate(&q, service.graph())));
     }
 
     #[test]
@@ -483,7 +837,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_preserves_order_and_matches_sequential() {
+    fn submit_batch_preserves_order_and_matches_sequential() {
         let service = QueryService::with_config(
             Arc::new(example_graph()),
             ServiceConfig {
@@ -492,6 +846,7 @@ mod tests {
                 ..ServiceConfig::default()
             },
         );
+        let mut requests = Vec::new();
         let mut queries = Vec::new();
         for label in ["a1", "b1", "c1", "d1", "e1", "g1"] {
             let mut b = GtpqBuilder::new(AttrPredicate::label(label));
@@ -504,36 +859,52 @@ mod tests {
             b.mark_output(child);
             queries.push(b.build().unwrap());
         }
-        let batched = service.evaluate_batch(&queries);
-        assert_eq!(batched.len(), queries.len());
+        for q in &queries {
+            requests.push(QueryRequest::query(q.clone()).with_stats());
+        }
+        let batched = service.submit_batch(&requests);
+        assert_eq!(batched.len(), requests.len());
         for (q, got) in queries.iter().zip(&batched) {
+            let outcome = got.as_ref().expect("satisfiable queries");
             let expected = naive::evaluate(q, service.graph());
-            assert!(got.same_answer(&expected));
+            assert!(outcome.rows.same_answer(&expected));
+            assert!(
+                outcome.stats.is_some(),
+                "per-request stats survive batching"
+            );
         }
         assert_eq!(service.metrics().batches, 1);
-        assert_eq!(service.metrics().queries, queries.len() as u64);
+        assert_eq!(service.metrics().queries, requests.len() as u64);
     }
 
     #[test]
-    fn evaluate_text_matches_the_builder_query() {
+    fn submit_text_matches_the_builder_query() {
         let service = service_for_example();
         let mut b = GtpqBuilder::new(AttrPredicate::label("a1"));
         let root = b.root_id();
         let child = b.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("d1"));
         b.mark_output(child);
         let built = b.build().unwrap();
-        let from_text = service.evaluate_text("a1 { //d1* }").unwrap();
-        assert!(from_text.same_answer(&service.evaluate(&built)));
+        let from_text = service
+            .submit(&QueryRequest::text("a1 { //d1* }"))
+            .unwrap()
+            .rows;
+        assert!(from_text.same_answer(&submit_rows(&service, &built)));
         // ... and the parsed query shares the cache slot with the built one.
         assert!(service.metrics().cache_hits >= 1);
     }
 
     #[test]
-    fn evaluate_text_reports_parse_errors_with_spans() {
+    fn submit_text_reports_parse_errors_with_spans() {
         let service = service_for_example();
-        let err = service.evaluate_text("a1 { //d1* ").unwrap_err();
-        assert!(err.message.contains("unbalanced `{`"));
-        assert_eq!(err.span.start, 3);
+        let err = service
+            .submit(&QueryRequest::text("a1 { //d1* "))
+            .unwrap_err();
+        let QueryError::Parse(parse) = err else {
+            panic!("expected a parse error");
+        };
+        assert!(parse.message.contains("unbalanced `{`"));
+        assert_eq!(parse.span.start, 3);
     }
 
     #[test]
@@ -546,12 +917,13 @@ mod tests {
             },
         );
         let q = example_query();
+        let request = QueryRequest::query(q).with_stats();
         assert_eq!(service.cached_plans(), 0);
-        let (_, cold) = service.evaluate_with_stats(&q);
+        let cold = service.submit(&request).unwrap().stats.unwrap();
         assert!(cold.plan_time > std::time::Duration::ZERO);
         assert_eq!(service.cached_plans(), 1);
         // Second run re-executes but reuses the plan.
-        let (_, warm) = service.evaluate_with_stats(&q);
+        let warm = service.submit(&request).unwrap().stats.unwrap();
         assert_eq!(warm.plan_time, std::time::Duration::ZERO);
         assert!(warm.initial_candidates > 0, "the engine really ran");
         let m = service.metrics();
@@ -574,23 +946,39 @@ mod tests {
         assert!(rendered.contains("QueryPlan"));
         // plan_for warms the plan cache for the later evaluation.
         assert_eq!(service.cached_plans(), 1);
-        let (_, stats) = service.evaluate_with_stats(&q);
+        let stats = service
+            .submit(&QueryRequest::query(q).with_stats())
+            .unwrap()
+            .stats
+            .unwrap();
         assert_eq!(stats.plan_time, std::time::Duration::ZERO);
     }
 
     #[test]
-    fn analyze_bypasses_the_result_cache_and_reports_actuals() {
+    fn bypass_cache_runs_the_engine_and_reports_actuals() {
         let service = service_for_example();
         let q = example_query();
         let expected = naive::evaluate(&q, service.graph());
-        // Warm the result cache, then analyze: the engine must run anyway.
-        service.evaluate(&q);
-        let (results, stats, plan) = service.analyze(&q);
-        assert!(results.same_answer(&expected));
+        // Warm the result cache, then bypass it: the engine must run anyway.
+        service.submit(&QueryRequest::query(q.clone())).unwrap();
+        let outcome = service
+            .submit(
+                &QueryRequest::query(q.clone())
+                    .with_stats()
+                    .with_plan()
+                    .with_bypass_cache(),
+            )
+            .unwrap();
+        assert!(outcome.rows.same_answer(&expected));
+        assert!(!outcome.from_cache);
+        let stats = outcome.stats.expect("requested stats");
         assert!(!stats.operators.is_empty());
-        let rendered = plan.render_with_actuals(&q, &stats);
+        let rendered = outcome
+            .plan
+            .expect("requested plan")
+            .render_with_actuals(&q, &stats);
         assert!(rendered.contains("actual"));
-        // Cached results stayed untouched (analyze inserted nothing new).
+        // The complete answer re-occupies its slot without duplication.
         assert_eq!(service.cached_results(), 1);
     }
 
@@ -600,8 +988,8 @@ mod tests {
         let q = example_query();
         let before = service.built_backends().len();
         assert_eq!(before, 1, "only the default is prebuilt");
-        let (results, _) = service.evaluate_with_stats(&q);
-        assert!(results.same_answer(&naive::evaluate(&q, service.graph())));
+        let rows = submit_rows(&service, &q);
+        assert!(rows.same_answer(&naive::evaluate(&q, service.graph())));
         // plan_for returns the plan cached by the evaluation, whose
         // recommended backend the executor built into the catalog.
         let plan = service.plan_for(&q);
@@ -622,8 +1010,7 @@ mod tests {
                 ..ServiceConfig::default()
             },
         );
-        let q = example_query();
-        service.evaluate(&q);
+        submit_rows(&service, &example_query());
         assert_eq!(service.built_backends(), vec!["sspi"]);
         assert_eq!(service.default_backend(), BackendKind::Sspi);
     }
@@ -631,7 +1018,35 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         let service = service_for_example();
-        assert!(service.evaluate_batch(&[]).is_empty());
+        assert!(service.submit_batch(&[]).is_empty());
+        #[allow(deprecated)]
+        let legacy = service.evaluate_batch(&[]);
+        assert!(legacy.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_stay_faithful_to_submit() {
+        let service = service_for_example();
+        let q = example_query();
+        let expected = naive::evaluate(&q, service.graph());
+        assert!(service.evaluate(&q).same_answer(&expected));
+        let (rows, stats) = service.evaluate_with_stats(&q);
+        assert!(rows.same_answer(&expected));
+        // Second call hit the cache, so the shim's stats are empty.
+        assert_eq!(stats.initial_candidates, 0);
+        let text = service.evaluate_text("a1 { //d1* }").unwrap();
+        assert!(!text.is_empty());
+        assert!(service.evaluate_text("a1 { //d1* ").is_err());
+        let (rows2, batch_stats, plan) = {
+            let (r, s, p) = service.analyze(&q);
+            (r, s, p)
+        };
+        assert!(rows2.same_answer(&expected));
+        assert!(!batch_stats.operators.is_empty());
+        assert!(plan.candidates.len() == q.size());
+        let batch = service.evaluate_batch(std::slice::from_ref(&q));
+        assert!(batch[0].same_answer(&expected));
     }
 
     #[test]
@@ -651,6 +1066,6 @@ mod tests {
         qb.mark_output(root);
         qb.mark_output(child);
         let q = qb.build().unwrap();
-        assert!(service.evaluate(&q).same_answer(&naive::evaluate(&q, &g)));
+        assert!(submit_rows(&service, &q).same_answer(&naive::evaluate(&q, &g)));
     }
 }

@@ -31,17 +31,23 @@ fn main() {
     let mut queries = vec![xmark_q1(0)];
     queries.extend(random_queries(&graph, &RandomQueryConfig::with_size(4)));
 
-    // Cold: every query runs the full GTEA pipeline, fanned out over the
-    // worker pool.
-    let cold = service.evaluate_batch(&queries);
+    // Cold: every request runs the full GTEA pipeline, fanned out over the
+    // worker pool; each keeps its own outcome (rows, truncation, stats).
+    let requests: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| QueryRequest::query(q.clone()))
+        .collect();
+    let cold = service.submit_batch(&requests);
     println!(
-        "cold batch: {} queries, {} total tuples",
-        queries.len(),
-        cold.iter().map(|r| r.len()).sum::<usize>()
+        "cold batch: {} requests, {} total tuples",
+        requests.len(),
+        cold.iter()
+            .map(|r| r.as_ref().map(|o| o.len()).unwrap_or(0))
+            .sum::<usize>()
     );
 
     // Warm: the same batch is answered from the result cache.
-    service.evaluate_batch(&queries);
+    service.submit_batch(&requests);
 
     let m = service.metrics();
     println!(

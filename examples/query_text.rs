@@ -35,10 +35,11 @@ fn main() {
     println!("\nparsed tree:\n{}", query.to_pretty_string());
     println!("\ncanonical one-liner:\n{query}");
 
-    // `evaluate_text` = parse + canonical cache key + evaluate.
-    let (results, stats) = service
-        .evaluate_text_with_stats(text)
+    // `submit` with text = parse + canonical cache key + evaluate.
+    let outcome = service
+        .submit(&QueryRequest::text(text).with_stats())
         .expect("query parses");
+    let (results, stats) = (outcome.rows, outcome.stats.unwrap_or_default());
     println!(
         "\n{} papers by Alice without Bob ({} initial candidates, {:?} total)",
         results.len(),
@@ -49,7 +50,10 @@ fn main() {
     // A different spelling of the same pattern hits the same cache slot.
     let respelled = "inproceedings { /[label=title] as title* \
                      where !(/[label=author, value=Bob]) & (/[label=author, value=Alice]) }";
-    let again = service.evaluate_text(respelled).expect("query parses");
+    let again = service
+        .submit(&QueryRequest::text(respelled))
+        .expect("query parses")
+        .rows;
     assert!(Arc::ptr_eq(&results, &again));
     println!(
         "respelled query served from the cache (hit rate {:.0}%)",
@@ -58,7 +62,7 @@ fn main() {
 
     // Parse errors carry spans and render as caret diagnostics.
     let broken = "inproceedings { where /[value = 3.5] }";
-    if let Err(e) = service.evaluate_text(broken) {
+    if let Err(QueryError::Parse(e)) = service.submit(&QueryRequest::text(broken)) {
         println!("\nwhat an error looks like:\n{}", e.render(broken));
     }
 }

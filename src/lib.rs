@@ -65,7 +65,10 @@ pub use gtpq_service as service;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use gtpq_core::{EvalStats, GteaEngine, GteaOptions, Planner, QueryPlan};
+    pub use gtpq_core::{
+        CancelToken, EvalStats, ExecCtl, ExecOptions, Execution, GteaEngine, GteaOptions,
+        Interrupt, MatchStream, Planner, QueryPlan,
+    };
     pub use gtpq_graph::{AttrValue, DataGraph, GraphBuilder, NodeId};
     pub use gtpq_logic::BoolExpr;
     pub use gtpq_query::{
@@ -73,5 +76,5 @@ pub mod prelude {
         ResultSet, TextSpan,
     };
     pub use gtpq_reach::{select_backend, BackendKind, Reachability};
-    pub use gtpq_service::{QueryService, ServiceConfig};
+    pub use gtpq_service::{QueryError, QueryOutcome, QueryRequest, QueryService, ServiceConfig};
 }

@@ -87,9 +87,13 @@ fn doc_dataset_examples_evaluate_nonempty() {
             _ => unreachable!(),
         });
         let service = QueryService::new(graph);
-        let results = service
-            .evaluate_text(block)
-            .unwrap_or_else(|e| panic!("{dataset} example failed:\n{}", e.render(block)));
+        let results = match service.submit(&QueryRequest::text(block)) {
+            Ok(outcome) => outcome.rows,
+            Err(gtpq::service::QueryError::Parse(e)) => {
+                panic!("{dataset} example failed:\n{}", e.render(block))
+            }
+            Err(e) => panic!("{dataset} example failed: {e}"),
+        };
         assert!(
             !results.is_empty(),
             "{dataset} doc example returns no rows:\n{block}"
@@ -195,8 +199,11 @@ fn evaluate_text_agrees_with_the_builder_everywhere() {
     b.mark_output(root);
     let built = b.build().unwrap();
 
-    let from_text = service.evaluate_text(text).unwrap();
-    let from_builder = service.evaluate(&built);
+    let from_text = service.submit(&QueryRequest::text(text)).unwrap().rows;
+    let from_builder = service
+        .submit(&QueryRequest::query(built.clone()))
+        .unwrap()
+        .rows;
     assert_eq!(from_text.output, from_builder.output);
     assert_eq!(from_text.tuples, from_builder.tuples);
     assert!(!from_text.is_empty());

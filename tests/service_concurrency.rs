@@ -9,6 +9,15 @@ use gtpq::datagen::{random_queries, xmark_q1, xmark_q2, xmark_q3, RandomQueryCon
 use gtpq::prelude::*;
 use gtpq::query::fixtures::{example_graph, example_query};
 use gtpq::query::naive;
+use gtpq::service::QueryRequest;
+
+/// Submits one query through the request API and unwraps the rows.
+fn submit_rows(service: &QueryService, q: &Gtpq) -> Arc<ResultSet> {
+    service
+        .submit(&QueryRequest::query(q.clone()))
+        .expect("workload queries are satisfiable")
+        .rows
+}
 
 /// A mixed workload over the running-example graph: the paper's example
 /// query plus label point-lookups and descendant probes, some of them
@@ -46,7 +55,7 @@ fn n_threads_of_mixed_queries_match_single_threaded_naive() {
                     // Each thread walks the workload from a different offset
                     // so different queries are in flight at the same time.
                     (0..queries.len())
-                        .map(|i| service.evaluate(&queries[(i + t) % queries.len()]))
+                        .map(|i| submit_rows(&service, &queries[(i + t) % queries.len()]))
                         .collect()
                 })
             })
@@ -92,7 +101,10 @@ fn batch_over_four_threads_matches_sequential_on_xmark() {
             ..ServiceConfig::default()
         },
     );
-    let expected: Vec<Arc<ResultSet>> = queries.iter().map(|q| sequential.evaluate(q)).collect();
+    let expected: Vec<Arc<ResultSet>> = queries
+        .iter()
+        .map(|q| submit_rows(&sequential, q))
+        .collect();
 
     let service = QueryService::with_config(
         Arc::clone(&graph),
@@ -101,19 +113,26 @@ fn batch_over_four_threads_matches_sequential_on_xmark() {
             ..ServiceConfig::default()
         },
     );
-    let batched = service.evaluate_batch(&queries);
+    let requests: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| QueryRequest::query(q.clone()))
+        .collect();
+    let batched = service.submit_batch(&requests);
     assert_eq!(batched.len(), expected.len());
     for ((q, got), want) in queries.iter().zip(&batched).zip(&expected) {
+        let got = got.as_ref().expect("workload queries are satisfiable");
         assert!(
-            got.same_answer(want),
+            got.rows.same_answer(want),
             "batched answer diverged from sequential for {q:?}"
         );
     }
     // Same batch again: answers unchanged, everything served from the cache.
     let hits_before = service.metrics().cache_hits;
-    let warm = service.evaluate_batch(&queries);
+    let warm = service.submit_batch(&requests);
     for (got, want) in warm.iter().zip(&expected) {
-        assert!(got.same_answer(want));
+        let got = got.as_ref().expect("workload queries are satisfiable");
+        assert!(got.rows.same_answer(want));
+        assert!(got.from_cache);
     }
     assert!(service.metrics().cache_hits >= hits_before + queries.len() as u64);
 }
@@ -122,7 +141,7 @@ fn batch_over_four_threads_matches_sequential_on_xmark() {
 fn cache_hit_path_returns_the_same_result_set_as_cold() {
     let service = Arc::new(QueryService::new(Arc::new(example_graph())));
     let q = example_query();
-    let cold = service.evaluate(&q);
+    let cold = submit_rows(&service, &q);
     // Warm hits from many threads at once: all must be the very same set.
     std::thread::scope(|scope| {
         for _ in 0..8 {
@@ -130,7 +149,7 @@ fn cache_hit_path_returns_the_same_result_set_as_cold() {
             let q = q.clone();
             let cold = Arc::clone(&cold);
             scope.spawn(move || {
-                let warm = service.evaluate(&q);
+                let warm = submit_rows(&service, &q);
                 assert!(
                     Arc::ptr_eq(&warm, &cold),
                     "cache hit must return the cold result set, not a copy"
