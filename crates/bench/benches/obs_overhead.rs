@@ -1,0 +1,93 @@
+//! Overhead of the observability subsystem on the service's hot path.
+//!
+//! Three configurations of the same cold (cache-bypassing) workload:
+//!
+//! * `baseline` — tracing off.  Every request still feeds the latency and
+//!   stage histograms (they are always on), so this measures the default
+//!   production cost.
+//! * `traced` — every request records a full span tree
+//!   ([`QueryRequest::with_trace`]); the acceptance bar is < 5% over
+//!   `baseline`.
+//! * `snapshot` — the cost of one [`MetricsSnapshot`] plus its Prometheus
+//!   rendering, the scrape-endpoint hot path.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpq_bench::workloads::arxiv_graph;
+use gtpq_datagen::{random_queries, RandomQueryConfig};
+use gtpq_query::Gtpq;
+use gtpq_service::{QueryRequest, QueryService, ServiceConfig};
+
+fn service() -> (QueryService, Vec<Gtpq>) {
+    // The full arXiv graph with size-6 queries: per-query engine time in
+    // the hundreds of microseconds, the regime the <5% tracing-overhead
+    // acceptance bar is judged against (a span costs a fixed few hundred
+    // nanoseconds, so toy queries would measure the allocator, not the
+    // subsystem).
+    let graph = Arc::new(arxiv_graph());
+    let queries = random_queries(&graph, &RandomQueryConfig::with_size(6));
+    let service = QueryService::with_config(
+        Arc::clone(&graph),
+        ServiceConfig {
+            threads: 1,
+            cache_capacity: 0, // every query runs the engine
+            ..ServiceConfig::default()
+        },
+    );
+    (service, queries)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    if std::env::var("GTPQ_BENCH_QUICK").is_ok_and(|v| v != "0") {
+        group.sample_size(3);
+        group.warm_up_time(std::time::Duration::from_millis(50));
+        group.measurement_time(std::time::Duration::from_millis(200));
+    } else {
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(800));
+    }
+    let (service, queries) = service();
+
+    let untraced: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| QueryRequest::query(q.clone()))
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("submit", "baseline"),
+        &untraced,
+        |b, reqs| {
+            b.iter(|| {
+                reqs.iter()
+                    .map(|r| service.submit(r).expect("workload is satisfiable"))
+                    .collect::<Vec<_>>()
+            })
+        },
+    );
+
+    let traced: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| QueryRequest::query(q.clone()).with_trace())
+        .collect();
+    group.bench_with_input(BenchmarkId::new("submit", "traced"), &traced, |b, reqs| {
+        b.iter(|| {
+            reqs.iter()
+                .map(|r| service.submit(r).expect("workload is satisfiable"))
+                .collect::<Vec<_>>()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("metrics", "snapshot"), |b| {
+        b.iter(|| {
+            let snapshot = service.metrics();
+            snapshot.render_prometheus().len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

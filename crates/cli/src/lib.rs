@@ -29,10 +29,11 @@ use std::io::{BufRead, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
+use gtpq_core::Trace;
 use gtpq_graph::DataGraph;
 use gtpq_query::Gtpq;
 use gtpq_reach::BackendKind;
-use gtpq_service::{QueryError, QueryRequest, QueryService, ServiceConfig};
+use gtpq_service::{QueryError, QueryRequest, QueryService, ServiceConfig, SlowOutcome};
 
 /// Usage text printed by `--help` and on argument errors.
 pub const USAGE: &str = "\
@@ -53,6 +54,10 @@ OPTIONS:
     --limit N         result rows to fetch (pushed into the engine: the
                       enumerator stops after N rows)  [default: 20]
     --timeout MS      per-query deadline in milliseconds [default: none]
+    --slow-ms MS|off  slow-query-log threshold in milliseconds; `off`
+                      disables the log                  [default: 100]
+    --trace-out PATH  with --query: record a span trace of the query and
+                      write it to PATH as Chrome trace_event JSON
     --help            this text
 
 REPL COMMANDS:
@@ -65,7 +70,14 @@ REPL COMMANDS:
     :limit N|none     result rows to fetch (real pushdown, not display trim)
     :timeout MS|off   per-query deadline in milliseconds
     :backend          backend in use (and why it was auto-selected)
-    :metrics          service counters (queries, cache hit rate, timings)
+    :metrics          service counters, latency/first-row percentiles,
+                      recent rates (QPS, hit rate over the last 30s)
+    :trace [on|off]   toggle per-query span tracing; bare `:trace` prints
+                      the span tree of the last traced query
+    :trace save PATH  write the last trace as Chrome trace_event JSON
+                      (load it at chrome://tracing or ui.perfetto.dev)
+    :slowlog          queries that crossed the slow threshold, each with
+                      its latency, outcome and executed plan
     :quit             exit (also :q, :exit, Ctrl-D)
 
 Queries may span multiple lines; input is evaluated once all brackets are
@@ -148,6 +160,13 @@ pub struct CliOptions {
     pub limit: usize,
     /// Per-query deadline in milliseconds; `None` = no deadline.
     pub timeout_ms: Option<u64>,
+    /// Slow-query-log threshold override: outer `None` keeps the service
+    /// default (100ms), `Some(None)` disables the log (`--slow-ms off`),
+    /// `Some(Some(ms))` sets the threshold.
+    pub slow_ms: Option<Option<u64>>,
+    /// With `--query`: trace the query and write Chrome `trace_event` JSON
+    /// to this path.  Also turns tracing on for the session.
+    pub trace_out: Option<String>,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -163,6 +182,8 @@ impl Default for CliOptions {
             show_stats: false,
             limit: 20,
             timeout_ms: None,
+            slow_ms: None,
+            trace_out: None,
             help: false,
         }
     }
@@ -213,6 +234,16 @@ impl CliOptions {
                             .map_err(|_| format!("invalid --timeout `{v}` (expected ms)"))?,
                     );
                 }
+                "--slow-ms" => {
+                    let v = value_of("--slow-ms")?;
+                    opts.slow_ms = Some(match v.as_str() {
+                        "off" | "none" => None,
+                        _ => Some(v.parse().map_err(|_| {
+                            format!("invalid --slow-ms `{v}` (expected ms or off)")
+                        })?),
+                    });
+                }
+                "--trace-out" => opts.trace_out = Some(value_of("--trace-out")?),
                 "--help" | "-h" => opts.help = true,
                 other => return Err(format!("unknown argument `{other}` (try --help)")),
             }
@@ -258,26 +289,52 @@ pub struct Session {
     show_stats: bool,
     limit: Option<usize>,
     timeout: Option<Duration>,
+    trace_on: bool,
+    last_trace: Option<Trace>,
 }
 
 impl Session {
     /// Generates the dataset and builds the service described by `opts`.
     pub fn new(opts: &CliOptions) -> Self {
         let graph = Arc::new(opts.dataset.generate(opts.scale, opts.seed));
-        let service = QueryService::with_config(
-            graph,
-            ServiceConfig {
-                backend: opts.backend,
-                ..ServiceConfig::default()
-            },
-        );
+        let mut config = ServiceConfig {
+            backend: opts.backend,
+            ..ServiceConfig::default()
+        };
+        if let Some(threshold) = opts.slow_ms {
+            config.slow_query_threshold = threshold.map(Duration::from_millis);
+        }
+        let service = QueryService::with_config(graph, config);
         Self {
             service,
             dataset: opts.dataset,
             show_stats: opts.show_stats,
             limit: Some(opts.limit.max(1)),
             timeout: opts.timeout_ms.map(Duration::from_millis),
+            trace_on: opts.trace_out.is_some(),
+            last_trace: None,
         }
+    }
+
+    /// The span tree of the most recent traced query, if tracing was on.
+    pub fn last_trace(&self) -> Option<&Trace> {
+        self.last_trace.as_ref()
+    }
+
+    /// Writes the last recorded trace to `path` as Chrome `trace_event`
+    /// JSON; returns the confirmation line for the REPL (or main) to print.
+    pub fn save_trace(&self, path: &str) -> Result<String, String> {
+        let trace = self.last_trace.as_ref().ok_or_else(|| {
+            "no trace recorded yet (turn on with :trace on, then run a query)".to_owned()
+        })?;
+        let json = trace.to_chrome_json();
+        std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        Ok(format!(
+            "wrote {} span{} ({} bytes) to {path}",
+            trace.spans.len(),
+            if trace.spans.len() == 1 { "" } else { "s" },
+            json.len(),
+        ))
     }
 
     /// The underlying query service (tests compare REPL answers against
@@ -347,7 +404,12 @@ impl Session {
                      index: {} hits, {} scanned nodes, {} lookups; \
                      backends built: {}\n\
                      enumerated rows: {} ({} emitted)\n\
-                     cached result sets: {}, cached plans: {}",
+                     cached result sets: {}, cached plans: {}\n\
+                     latency: p50 {:.3?}, p90 {:.3?}, p99 {:.3?}, \
+                     p999 {:.3?} over {} requests\n\
+                     first row: p50 {:.3?}, p99 {:.3?} over {} streamed runs\n\
+                     last {:?}: {:.1} qps, hit rate {:.0}%\n\
+                     aborted runs: {} ({:.3?} engine time discarded)",
                     m.queries,
                     m.cache_hits,
                     m.cache_misses,
@@ -372,6 +434,19 @@ impl Session {
                     m.result_tuples,
                     self.service.cached_results(),
                     self.service.cached_plans(),
+                    m.latency_percentile(0.50),
+                    m.latency_percentile(0.90),
+                    m.latency_percentile(0.99),
+                    m.latency_percentile(0.999),
+                    m.latency.count,
+                    m.ttfr_percentile(0.50),
+                    m.ttfr_percentile(0.99),
+                    m.ttfr.count,
+                    m.recent_window,
+                    m.recent_qps,
+                    100.0 * m.recent_hit_rate(),
+                    m.aborted,
+                    m.aborted_eval_time,
                 )
             }
             "stats" => {
@@ -413,6 +488,76 @@ impl Session {
                     Err(_) => format!("expected `:timeout MS` or `:timeout off`, got `{rest}`"),
                 },
             },
+            "trace" => match rest {
+                "" => match &self.last_trace {
+                    Some(trace) => format!(
+                        "tracing {}\n{}",
+                        if self.trace_on { "on" } else { "off" },
+                        trace.render_tree().trim_end(),
+                    ),
+                    None => format!(
+                        "tracing {}; no trace recorded yet{}",
+                        if self.trace_on { "on" } else { "off" },
+                        if self.trace_on {
+                            " (run a query)"
+                        } else {
+                            " (`:trace on`, then run a query)"
+                        },
+                    ),
+                },
+                "on" => {
+                    self.trace_on = true;
+                    "trace on (next query records a span tree; view with :trace)".to_owned()
+                }
+                "off" => {
+                    self.trace_on = false;
+                    "trace off".to_owned()
+                }
+                _ => match rest.strip_prefix("save") {
+                    Some(path) if !path.trim().is_empty() => match self.save_trace(path.trim()) {
+                        Ok(line) | Err(line) => line,
+                    },
+                    _ => format!("expected `:trace [on|off|save PATH]`, got `{rest}`"),
+                },
+            },
+            "slowlog" => {
+                let entries = self.service.slow_queries();
+                if entries.is_empty() {
+                    "slow-query log is empty".to_owned()
+                } else {
+                    let mut out = String::new();
+                    for (i, e) in entries.iter().enumerate() {
+                        let outcome = match &e.outcome {
+                            SlowOutcome::Completed { rows, truncated } => format!(
+                                "ok, {} row{}{}",
+                                rows,
+                                if *rows == 1 { "" } else { "s" },
+                                if *truncated { " (truncated)" } else { "" },
+                            ),
+                            SlowOutcome::TimedOut => "timed out".to_owned(),
+                            SlowOutcome::Cancelled => "cancelled".to_owned(),
+                        };
+                        if i > 0 {
+                            out.push('\n');
+                        }
+                        let _ = writeln!(
+                            out,
+                            "#{} {:.3?} — {} — {}",
+                            i + 1,
+                            e.latency,
+                            outcome,
+                            e.query,
+                        );
+                        if let Some(plan) = &e.plan {
+                            for line in plan.trim_end().lines() {
+                                let _ = writeln!(out, "    {line}");
+                            }
+                        }
+                    }
+                    out.truncate(out.trim_end().len());
+                    out
+                }
+            }
             "explain" => {
                 let (analyze, text) = match rest.strip_prefix("analyze") {
                     Some(tail) if tail.starts_with(char::is_whitespace) || tail.is_empty() => {
@@ -516,6 +661,9 @@ impl Session {
         if let Some(budget) = self.timeout {
             request = request.with_deadline(budget);
         }
+        if self.trace_on {
+            request = request.with_trace();
+        }
         let outcome = self.service.submit(&request).map_err(|e| match e {
             QueryError::Parse(parse) => parse.render(text),
             QueryError::Timeout { budget } => {
@@ -526,6 +674,9 @@ impl Session {
             }
             other => other.to_string(),
         })?;
+        if let Some(trace) = &outcome.trace {
+            self.last_trace = Some(trace.clone());
+        }
         let mut out = render_table(self.service.graph(), &q, &outcome.rows, outcome.truncated);
         if self.show_stats {
             let stats = outcome.stats.unwrap_or_default();
@@ -787,6 +938,22 @@ mod tests {
         assert!(opts.show_stats);
         assert_eq!(opts.limit, 5);
         assert_eq!(opts.query.as_deref(), Some("a*"));
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let opts =
+            CliOptions::parse(["--slow-ms", "250", "--trace-out", "/tmp/t.json"].map(String::from))
+                .unwrap();
+        assert_eq!(opts.slow_ms, Some(Some(250)));
+        assert_eq!(opts.trace_out.as_deref(), Some("/tmp/t.json"));
+        let opts = CliOptions::parse(["--slow-ms", "off"].map(String::from)).unwrap();
+        assert_eq!(opts.slow_ms, Some(None));
+        let opts = CliOptions::parse(Vec::new()).unwrap();
+        assert_eq!(opts.slow_ms, None, "default keeps the service threshold");
+        assert!(opts.trace_out.is_none());
+        assert!(CliOptions::parse(["--slow-ms".into(), "soon".into()]).is_err());
+        assert!(CliOptions::parse(["--trace-out".into()]).is_err());
     }
 
     #[test]

@@ -21,7 +21,18 @@ fn main() -> ExitCode {
     let stdout = std::io::stdout();
     match &opts.query {
         Some(query) => match run_once(&mut session, query, stdout.lock()) {
-            Ok(Ok(())) => ExitCode::SUCCESS,
+            Ok(Ok(())) => {
+                if let Some(path) = &opts.trace_out {
+                    match session.save_trace(path) {
+                        Ok(line) => println!("{line}"),
+                        Err(message) => {
+                            eprintln!("error: {message}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                ExitCode::SUCCESS
+            }
             Ok(Err(diagnostic)) => {
                 eprintln!("{diagnostic}");
                 ExitCode::FAILURE

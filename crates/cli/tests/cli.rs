@@ -285,6 +285,127 @@ fn limit_is_pushed_down_not_display_trimmed() {
 }
 
 #[test]
+fn trace_command_records_and_renders_a_span_tree() {
+    let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts);
+    let Outcome::Continue(out) = session.handle(":trace") else {
+        panic!(":trace must not quit")
+    };
+    assert!(out.contains("no trace recorded yet"), "{out}");
+    let Outcome::Continue(out) = session.handle(":trace on") else {
+        panic!(":trace must not quit")
+    };
+    assert!(out.contains("trace on"), "{out}");
+    session.handle("inproceedings { /[label = title]* }");
+    let Outcome::Continue(out) = session.handle(":trace") else {
+        panic!(":trace must not quit")
+    };
+    // The span tree covers the whole request: parse, plan, engine stages.
+    assert!(out.contains("request"), "{out}");
+    assert!(out.contains("plan"), "{out}");
+    assert!(out.contains("candidates"), "{out}");
+    assert!(out.contains("prune_down"), "{out}");
+    assert!(session.last_trace().is_some());
+
+    // `:trace save` writes Chrome trace_event JSON that round-trips
+    // through a JSON parser.
+    let path = std::env::temp_dir().join(format!("gtpq-cli-trace-{}.json", std::process::id()));
+    let Outcome::Continue(out) = session.handle(&format!(":trace save {}", path.display())) else {
+        panic!(":trace must not quit")
+    };
+    assert!(out.contains("wrote"), "{out}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let value = gtpq_obs::json::parse(&json).expect("well-formed trace JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    assert!(events
+        .iter()
+        .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("request")));
+
+    let Outcome::Continue(out) = session.handle(":trace off") else {
+        panic!(":trace must not quit")
+    };
+    assert!(out.contains("trace off"), "{out}");
+    let Outcome::Continue(out) = session.handle(":trace nonsense") else {
+        panic!(":trace must not quit")
+    };
+    assert!(out.contains("expected"), "{out}");
+}
+
+#[test]
+fn slowlog_shows_slow_queries_with_their_plan() {
+    // Threshold 0: every query is "slow", so the log fills deterministically.
+    let opts = CliOptions::parse(["--scale", "0.2", "--slow-ms", "0"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts);
+    let Outcome::Continue(empty) = session.handle(":slowlog") else {
+        panic!(":slowlog must not quit")
+    };
+    assert!(empty.contains("empty"), "{empty}");
+    session.handle("inproceedings { /[label = title]* }");
+    let Outcome::Continue(out) = session.handle(":slowlog") else {
+        panic!(":slowlog must not quit")
+    };
+    assert!(out.contains("#1"), "{out}");
+    assert!(out.contains("ok,"), "{out}");
+    assert!(out.contains("inproceedings"), "{out}");
+    // The entry carries the executed plan with actual row counts.
+    assert!(out.contains("actual"), "{out}");
+}
+
+#[test]
+fn slowlog_stays_empty_when_disabled() {
+    let opts = CliOptions::parse(["--scale", "0.2", "--slow-ms", "off"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts);
+    session.handle("dblp*");
+    let Outcome::Continue(out) = session.handle(":slowlog") else {
+        panic!(":slowlog must not quit")
+    };
+    assert!(out.contains("empty"), "{out}");
+}
+
+#[test]
+fn metrics_report_percentiles_and_recent_rates() {
+    let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts);
+    session.handle("dblp*");
+    let Outcome::Continue(out) = session.handle(":metrics") else {
+        panic!(":metrics must not quit")
+    };
+    assert!(out.contains("p50"), "{out}");
+    assert!(out.contains("p999"), "{out}");
+    assert!(out.contains("over 1 requests"), "{out}");
+    assert!(out.contains("qps"), "{out}");
+    assert!(out.contains("aborted runs: 0"), "{out}");
+}
+
+#[test]
+fn binary_trace_out_writes_chrome_json() {
+    let path = std::env::temp_dir().join(format!("gtpq-trace-out-{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_gtpq-cli"))
+        .args([
+            "--scale",
+            "0.2",
+            "--query",
+            "dblp*",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("wrote"), "{stdout}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let value = gtpq_obs::json::parse(&json).expect("well-formed trace JSON");
+    assert!(value.get("traceEvents").is_some());
+}
+
+#[test]
 fn datasets_generate_at_small_scale() {
     for dataset in [Dataset::Dblp, Dataset::Arxiv, Dataset::Xmark] {
         let g = dataset.generate(0.1, 1);

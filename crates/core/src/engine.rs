@@ -1,5 +1,6 @@
 //! The GTEA evaluation engine.
 
+use std::fmt;
 use std::time::Instant;
 
 use gtpq_graph::DataGraph;
@@ -53,6 +54,33 @@ impl ExecOptions {
     pub fn with_ctl(mut self, ctl: ExecCtl) -> Self {
         self.ctl = ctl;
         self
+    }
+}
+
+/// An evaluation that was interrupted before completing, together with the
+/// statistics of the work it *did* perform.
+///
+/// Stage timings accumulate up to the abort point (the aborted stage's
+/// elapsed time included), so a service can account for the cost of
+/// timed-out and cancelled requests instead of losing it.
+#[derive(Clone, Debug)]
+pub struct Aborted {
+    /// Why the evaluation stopped.
+    pub interrupt: Interrupt,
+    /// Statistics accumulated before the interrupt (boxed to keep the
+    /// `Err` variant small).
+    pub stats: Box<EvalStats>,
+}
+
+impl fmt::Display for Aborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.interrupt.fmt(f)
+    }
+}
+
+impl std::error::Error for Aborted {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.interrupt)
     }
 }
 
@@ -174,29 +202,47 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
     /// materializing the full answer — and the deadline/cancellation control
     /// is polled by candidate selection, both prune rounds, matching-graph
     /// construction and enumeration.
+    ///
+    /// An interrupted run returns [`Aborted`] carrying the statistics of the
+    /// work completed before the interrupt (partial stage timings included).
     pub fn execute(
         &self,
         q: &Gtpq,
         plan: &QueryPlan,
         options: ExecOptions,
-    ) -> Result<Execution, Interrupt> {
+    ) -> Result<Execution, Aborted> {
         let ExecOptions { limit, offset, ctl } = options;
+        let tracer = ctl.tracer().clone();
         let (mut stream, mut stats) = self.match_stream(q, plan, ctl)?;
+        let span = tracer.span("enumerate");
         let mut results = ResultSet::new(q.output_nodes().to_vec());
         let mut truncated = false;
         let mut skipped = 0usize;
-        while let Some(row) = stream.next_row()? {
-            if skipped < offset {
-                skipped += 1;
-                continue;
+        let mut interrupted = None;
+        loop {
+            match stream.next_row() {
+                Err(e) => {
+                    interrupted = Some(e);
+                    break;
+                }
+                Ok(None) => break,
+                Ok(Some(row)) => {
+                    if skipped < offset {
+                        skipped += 1;
+                        continue;
+                    }
+                    if limit.is_some_and(|l| results.len() >= l) {
+                        // The look-ahead row proves more rows exist past the
+                        // window.
+                        truncated = true;
+                        break;
+                    }
+                    results.insert(row);
+                }
             }
-            if limit.is_some_and(|l| results.len() >= l) {
-                // The look-ahead row proves more rows exist past the window.
-                truncated = true;
-                break;
-            }
-            results.insert(row);
         }
+        span.field("rows", stream.rows_enumerated());
+        drop(span);
         stats.result_tuples = results.len() as u64;
         stats.enumerated_rows += stream.rows_enumerated();
         stats.enumerate_time += stream.enumerate_time();
@@ -215,6 +261,12 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
             actual_rows: stream.rows_enumerated(),
             time: stream.enumerate_time(),
         });
+        if let Some(interrupt) = interrupted {
+            return Err(Aborted {
+                interrupt,
+                stats: Box::new(stats),
+            });
+        }
         Ok(Execution {
             results,
             stats,
@@ -229,17 +281,42 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
     /// Rows are produced on demand in materialized-`ResultSet` order; the
     /// first [`MatchStream::next_row`] call does only the work the first row
     /// needs, which is what the time-to-first-row benchmark measures.
+    ///
+    /// An interrupted run returns [`Aborted`] carrying the statistics of the
+    /// stages completed (and partially completed) before the interrupt.
     pub fn match_stream(
         &self,
         q: &Gtpq,
         plan: &QueryPlan,
         ctl: ExecCtl,
-    ) -> Result<(MatchStream, EvalStats), Interrupt> {
+    ) -> Result<(MatchStream, EvalStats), Aborted> {
         let mut stats = EvalStats::default();
+        match self.match_stream_inner(q, plan, ctl, &mut stats) {
+            Ok(stream) => Ok((stream, stats)),
+            Err(interrupt) => Err(Aborted {
+                interrupt,
+                stats: Box::new(stats),
+            }),
+        }
+    }
+
+    /// The pipeline body of [`match_stream`](Self::match_stream): statistics
+    /// accumulate into the caller-owned `stats` so an interrupt loses none of
+    /// the partial figures.
+    fn match_stream_inner(
+        &self,
+        q: &Gtpq,
+        plan: &QueryPlan,
+        ctl: ExecCtl,
+        stats: &mut EvalStats,
+    ) -> Result<MatchStream, Interrupt> {
         let g = self.graph;
 
         // Step 1: candidate selection along the plan's access paths.
-        let mut mat = execute_candidates(q, g, plan, &mut stats, &ctl)?;
+        let span = ctl.tracer().span("candidates");
+        let mut mat = execute_candidates(q, g, plan, stats, &ctl)?;
+        span.field("initial_candidates", stats.initial_candidates);
+        drop(span);
 
         // A backbone node with no candidates at all cannot gain any during
         // pruning: the answer is empty before any reachability work starts.
@@ -247,10 +324,11 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
             .filter(|&u| q.is_backbone(u))
             .any(|u| mat[u.index()].is_empty())
         {
-            return Ok((MatchStream::empty(q, ctl), stats));
+            return Ok(MatchStream::empty(q, ctl));
         }
 
         // Step 2a: downward structural constraints, in plan order.
+        let span = ctl.tracer().span("prune_down");
         let steps = plan.normalized_prune_down(q);
         prune_downward(
             q,
@@ -259,22 +337,25 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
             &self.options,
             &steps,
             &mut mat,
-            &mut stats,
+            stats,
             &ctl,
         )?;
+        span.field("survivors", stats.candidates_after_downward);
+        drop(span);
 
         // Early exit: every backbone node needs at least one candidate.
         if q.node_ids()
             .filter(|&u| q.is_backbone(u))
             .any(|u| mat[u.index()].is_empty())
         {
-            return Ok((MatchStream::empty(q, ctl), stats));
+            return Ok(MatchStream::empty(q, ctl));
         }
 
         // Step 2b: upward structural constraints on the prime subtree.
         let prime = PrimeSubtree::new(q);
         stats.prime_subtree_size = prime.len() as u64;
         if self.options.upward_pruning {
+            let span = ctl.tracer().span("prune_up");
             prune_upward(
                 q,
                 g,
@@ -283,19 +364,27 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
                 &prime,
                 plan.upward_estimated_rows,
                 &mut mat,
-                &mut stats,
+                stats,
                 &ctl,
             )?;
+            span.field("est_rows", plan.upward_estimated_rows);
+            span.field("survivors", stats.candidates_after_upward);
+            drop(span);
             if prime.nodes.iter().any(|&u| mat[u.index()].is_empty()) {
-                return Ok((MatchStream::empty(q, ctl), stats));
+                return Ok(MatchStream::empty(q, ctl));
             }
         }
 
         // Step 3: shrunk prime subtree and its maximal matching graph.
+        let span = ctl.tracer().span("matching");
         let shrunk = ShrunkPrime::new(q, &prime, &mat, self.options.shrink_prime_subtree);
         stats.shrunk_subtree_size = shrunk.len() as u64;
         let matching_start = Instant::now();
-        let matching = MatchingGraph::build(q, g, &self.index, &shrunk, &mat, &mut stats, &ctl)?;
+        let matching = MatchingGraph::build(q, g, &self.index, &shrunk, &mat, stats, &ctl)?;
+        span.field("est_rows", plan.matching_estimated_rows);
+        span.field("nodes", matching.node_count);
+        span.field("edges", matching.edge_count);
+        drop(span);
         stats.operators.push(OperatorStats {
             label: "MatchingGraph".to_owned(),
             estimated_rows: plan.matching_estimated_rows,
@@ -304,7 +393,7 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
         });
 
         // Step 4 is pulled by the caller: the stream enumerates the answer.
-        Ok((MatchStream::build(q, shrunk, matching, mat, ctl), stats))
+        Ok(MatchStream::build(q, shrunk, matching, mat, ctl))
     }
 }
 
@@ -535,6 +624,126 @@ mod tests {
         // evaluate_planned alone reports no plan time; evaluate does.
         let (_, planned_stats) = engine.evaluate_planned(&q, &engine.plan(&q));
         assert_eq!(planned_stats.plan_time, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_budget_aborts_with_stats() {
+        let g = example_graph();
+        let q = example_query();
+        let engine = GteaEngine::new(&g);
+        let plan = engine.plan(&q);
+        let ctl = ExecCtl::unbounded().with_timeout(std::time::Duration::ZERO);
+        let err = engine
+            .execute(&q, &plan, ExecOptions::unbounded().with_ctl(ctl))
+            .unwrap_err();
+        assert_eq!(err.interrupt, Interrupt::Timeout);
+        assert!(err.to_string().contains("deadline"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn mid_pipeline_abort_keeps_partial_stats() {
+        // A backend that cancels the request on its first reachability probe:
+        // candidate selection completes untouched, the downward prune round
+        // aborts mid-way — deterministically, without timing games.
+        struct CancelOnProbe {
+            inner: ThreeHop,
+            token: crate::exec::CancelToken,
+        }
+        impl Reachability for CancelOnProbe {
+            fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+                self.token.cancel();
+                self.inner.reaches(u, v)
+            }
+            fn index_entries(&self) -> usize {
+                self.inner.index_entries()
+            }
+            fn name(&self) -> &'static str {
+                "cancel-on-probe"
+            }
+        }
+        let g = example_graph();
+        let q = example_query();
+        let token = crate::exec::CancelToken::new();
+        let index = CancelOnProbe {
+            inner: ThreeHop::new(&g),
+            token: token.clone(),
+        };
+        let engine = GteaEngine::with_backend(&g, index, GteaOptions::default());
+        let plan = engine.plan(&q);
+        let ctl = ExecCtl::unbounded().with_cancel(token);
+        let err = engine
+            .execute(&q, &plan, ExecOptions::unbounded().with_ctl(ctl))
+            .unwrap_err();
+        assert_eq!(err.interrupt, Interrupt::Cancelled);
+        // The completed candidate stage kept its figures...
+        assert!(err.stats.initial_candidates > 0);
+        assert!(err.stats.operators.iter().any(|o| o.label.contains("Scan")));
+        // ...and the aborted prune round still recorded its elapsed time.
+        assert!(err.stats.prune_down_time > std::time::Duration::ZERO);
+        assert!(err.stats.total_time() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn traced_execution_records_nested_stage_spans() {
+        let g = example_graph();
+        let q = example_query();
+        let engine = GteaEngine::new(&g);
+        let plan = engine.plan(&q);
+        let tracer = crate::Tracer::enabled();
+        let root = tracer.span("request");
+        let ctl = ExecCtl::unbounded().with_tracer(tracer.clone());
+        let exec = engine
+            .execute(&q, &plan, ExecOptions::unbounded().with_ctl(ctl))
+            .unwrap();
+        drop(root);
+        let trace = tracer.finish().unwrap();
+        // Every pipeline stage recorded a span under the request root.
+        for stage in [
+            "candidates",
+            "prune_down",
+            "prune_up",
+            "matching",
+            "enumerate",
+        ] {
+            let span = trace
+                .span(stage)
+                .unwrap_or_else(|| panic!("missing {stage}"));
+            assert_eq!(span.parent, Some(0), "{stage} nests under the root");
+        }
+        // Operator spans carry estimate/actual fields.
+        let op = trace
+            .spans
+            .iter()
+            .find(|s| s.name.starts_with("IndexScan"))
+            .expect("per-operator span");
+        assert!(op.fields.iter().any(|(k, _)| *k == "est_rows"));
+        assert!(op.fields.iter().any(|(k, _)| *k == "actual_rows"));
+        // Per-pull spans nest under `enumerate`.
+        let enumerate_idx = trace
+            .spans
+            .iter()
+            .position(|s| s.name == "enumerate")
+            .unwrap();
+        let pulls = trace
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("pull "))
+            .count();
+        assert!(pulls > 0, "per-pull spans recorded");
+        assert!(trace
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("pull "))
+            .all(|s| s.parent == Some(enumerate_idx)));
+        // The stage spans tile the root: they sum to no more than its
+        // duration, and each nests inside it.
+        let root_span = trace.root().unwrap();
+        let stage_sum: std::time::Duration = trace.children_of(0).map(|s| s.dur).sum();
+        assert!(stage_sum <= root_span.dur);
+        // An untraced run is unaffected.
+        let plain = engine.execute(&q, &plan, ExecOptions::unbounded()).unwrap();
+        assert_eq!(plain.results.len(), exec.results.len());
     }
 
     #[test]

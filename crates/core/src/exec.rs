@@ -14,6 +14,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use gtpq_obs::Tracer;
+
 /// Inner-loop polls between wall-clock reads in [`ExecCtl::check_sampled`].
 pub const SAMPLE_EVERY: u32 = 64;
 
@@ -65,13 +67,20 @@ impl CancelToken {
 /// Per-evaluation deadline + cancellation control, polled by every pipeline
 /// stage.
 ///
-/// Not `Sync` (it keeps an interior poll counter); build one per evaluation
-/// and share the underlying [`CancelToken`] across threads instead.
+/// Neither `Send` nor `Sync` (it keeps an interior poll counter and an
+/// `Rc`-shared [`Tracer`]); build one per evaluation and share the underlying
+/// [`CancelToken`] across threads instead.
+///
+/// The control also carries the request's tracer: every pipeline stage polls
+/// the control anyway, so riding the tracer along gives each stage span
+/// recording without widening any signature.  The default tracer is disabled
+/// and costs nothing.
 #[derive(Clone, Debug, Default)]
 pub struct ExecCtl {
     deadline: Option<Instant>,
     cancel: Option<CancelToken>,
     polls: Cell<u32>,
+    tracer: Tracer,
 }
 
 impl ExecCtl {
@@ -97,6 +106,17 @@ impl ExecCtl {
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
         self
+    }
+
+    /// Attaches a tracer; every pipeline stage records its spans through it.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer the pipeline records spans through (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Whether this control can never interrupt.

@@ -50,8 +50,11 @@ pub mod prune;
 pub mod stats;
 pub mod stream;
 
-pub use engine::{ExecOptions, Execution, GteaEngine};
+pub use engine::{Aborted, ExecOptions, Execution, GteaEngine};
 pub use exec::{CancelToken, ExecCtl, Interrupt};
+// Re-exported so `ExecCtl::with_tracer` callers need no direct `gtpq-obs`
+// dependency.
+pub use gtpq_obs::{Trace, Tracer};
 pub use options::GteaOptions;
 pub use plan::{AccessPath, CandidateStep, Planner, PruneStep, QueryPlan};
 pub use stats::{EvalStats, OperatorStats};

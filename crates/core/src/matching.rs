@@ -37,6 +37,8 @@ impl MatchingGraph {
     ///
     /// `ctl` is polled once per `(query node, candidate)` pair; deadline
     /// expiry or cancellation aborts with an [`Interrupt`].
+    /// `stats.matching_graph_time` (and the lookup / intermediate-size
+    /// rollups, over the partially built graph) are recorded either way.
     #[allow(clippy::too_many_arguments)] // the evaluation pipeline state is explicit
     pub fn build<R: Reachability + ?Sized>(
         q: &Gtpq,
@@ -50,6 +52,25 @@ impl MatchingGraph {
         let start = Instant::now();
         let lookups_before = index.lookup_count();
         let mut graph = MatchingGraph::default();
+        let result = graph.fill(q, g, index, shrunk, mat, stats, ctl);
+        stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
+        stats.intermediate_size += 2 * (graph.node_count + graph.edge_count) as u64;
+        stats.matching_graph_time += start.elapsed();
+        result.map(|()| graph)
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the public entry point
+    fn fill<R: Reachability + ?Sized>(
+        &mut self,
+        q: &Gtpq,
+        g: &DataGraph,
+        index: &R,
+        shrunk: &ShrunkPrime,
+        mat: &[Vec<NodeId>],
+        stats: &mut EvalStats,
+        ctl: &ExecCtl,
+    ) -> Result<(), Interrupt> {
+        let graph = self;
         for &u in &shrunk.nodes {
             graph.node_count += mat[u.index()].len();
             let children = shrunk.children_of(u).to_vec();
@@ -89,10 +110,7 @@ impl MatchingGraph {
                 graph.branches.insert((u, v), lists);
             }
         }
-        stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
-        stats.intermediate_size += 2 * (graph.node_count + graph.edge_count) as u64;
-        stats.matching_graph_time += start.elapsed();
-        Ok(graph)
+        Ok(())
     }
 
     /// The branch lists of a `(query node, candidate)` pair; one inner list per

@@ -496,7 +496,8 @@ impl<'g> Planner<'g> {
 /// duplicate steps keep the first occurrence.
 ///
 /// `ctl` is polled at every step boundary; deadline expiry or cancellation
-/// aborts with an [`Interrupt`].
+/// aborts with an [`Interrupt`].  `stats.candidate_time` accumulates the
+/// elapsed time either way, so aborted requests keep their partial figures.
 pub fn execute_candidates(
     q: &Gtpq,
     g: &DataGraph,
@@ -505,6 +506,18 @@ pub fn execute_candidates(
     ctl: &ExecCtl,
 ) -> Result<Vec<Vec<NodeId>>, Interrupt> {
     let start = Instant::now();
+    let result = execute_candidates_inner(q, g, plan, stats, ctl);
+    stats.candidate_time += start.elapsed();
+    result
+}
+
+fn execute_candidates_inner(
+    q: &Gtpq,
+    g: &DataGraph,
+    plan: &QueryPlan,
+    stats: &mut EvalStats,
+    ctl: &ExecCtl,
+) -> Result<Vec<Vec<NodeId>>, Interrupt> {
     let mut order: Vec<CandidateStep> = Vec::with_capacity(q.size());
     let mut seen = vec![false; q.size()];
     for step in &plan.candidates {
@@ -526,6 +539,9 @@ pub fn execute_candidates(
     for step in &order {
         ctl.check()?;
         let u = step.node;
+        let span = ctl
+            .tracer()
+            .span_with(|| format!("{} {}", step.access.name(), u));
         let op_start = Instant::now();
         let nodes = match step.access {
             AccessPath::IndexScan => {
@@ -541,6 +557,9 @@ pub fn execute_candidates(
                 nodes
             }
         };
+        span.field("est_rows", step.estimated_rows);
+        span.field("actual_rows", nodes.len());
+        drop(span);
         stats.operators.push(OperatorStats {
             label: format!("{} {}", step.access.name(), u),
             estimated_rows: step.estimated_rows,
@@ -553,7 +572,6 @@ pub fn execute_candidates(
             break;
         }
     }
-    stats.candidate_time += start.elapsed();
     Ok(mat)
 }
 

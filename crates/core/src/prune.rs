@@ -52,7 +52,10 @@ pub fn initial_candidates(q: &Gtpq, g: &DataGraph, stats: &mut EvalStats) -> Vec
 ///
 /// `ctl` is polled once per candidate; an expired deadline or a triggered
 /// cancellation aborts mid-round with an [`Interrupt`] (the candidate sets
-/// are left in an unspecified but memory-safe state).
+/// are left in an unspecified but memory-safe state).  The round's rollups —
+/// `candidates_after_downward`, the index-lookup delta and
+/// `prune_down_time` — are recorded even for aborted rounds, over whatever
+/// the candidate sets hold at the abort point.
 #[allow(clippy::too_many_arguments)] // the evaluation pipeline state is explicit
 pub fn prune_downward<R: Reachability + ?Sized>(
     q: &Gtpq,
@@ -68,6 +71,26 @@ pub fn prune_downward<R: Reachability + ?Sized>(
     // Delta, not reset: the index may be shared with concurrent queries
     // (QueryService), and a reset here would wipe their in-flight counts.
     let lookups_before = index.lookup_count();
+    let result = prune_downward_inner(q, g, index, options, steps, mat, stats, ctl);
+    for u in q.node_ids() {
+        stats.candidates_after_downward += mat[u.index()].len() as u64;
+    }
+    stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
+    stats.prune_down_time += start.elapsed();
+    result
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the public entry point
+fn prune_downward_inner<R: Reachability + ?Sized>(
+    q: &Gtpq,
+    g: &DataGraph,
+    index: &R,
+    options: &GteaOptions,
+    steps: &[PruneStep],
+    mat: &mut [Vec<NodeId>],
+    stats: &mut EvalStats,
+    ctl: &ExecCtl,
+) -> Result<(), Interrupt> {
     // Scratch bitsets for PC-child candidate membership, hoisted out of the
     // loop and reused across every internal query node (cleared in
     // O(touched), not re-allocated).
@@ -77,6 +100,7 @@ pub fn prune_downward<R: Reachability + ?Sized>(
         if u.index() >= q.size() || q.node(u).is_leaf() {
             continue;
         }
+        let span = ctl.tracer().span_with(|| format!("prune_down {u}"));
         let op_start = Instant::now();
         let fext = q.fext(u);
         let children = q.children(u);
@@ -144,6 +168,9 @@ pub fn prune_downward<R: Reachability + ?Sized>(
         }
         let candidates = kept;
         stats.index_lookups += adjacency_lookups.get();
+        span.field("est_rows", step.estimated_rows);
+        span.field("actual_rows", candidates.len());
+        drop(span);
         stats.operators.push(OperatorStats {
             label: format!("PruneDown {u}"),
             estimated_rows: step.estimated_rows,
@@ -160,11 +187,6 @@ pub fn prune_downward<R: Reachability + ?Sized>(
             break;
         }
     }
-    for u in q.node_ids() {
-        stats.candidates_after_downward += mat[u.index()].len() as u64;
-    }
-    stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
-    stats.prune_down_time += start.elapsed();
     Ok(())
 }
 
@@ -176,6 +198,8 @@ pub fn prune_downward<R: Reachability + ?Sized>(
 /// exactly through the adjacency lists.  Recorded as one `PruneUp` operator
 /// whose actual rows are the surviving prime-subtree candidates;
 /// `estimated_rows` is the plan's survivor estimate (0 for unplanned calls).
+/// As with [`prune_downward`], the round's rollups and `prune_up_time` are
+/// recorded even when the round is aborted mid-way.
 #[allow(clippy::too_many_arguments)] // mirrors prune_downward plus the plan estimate
 pub fn prune_upward<R: Reachability + ?Sized>(
     q: &Gtpq,
@@ -190,6 +214,32 @@ pub fn prune_upward<R: Reachability + ?Sized>(
 ) -> Result<(), Interrupt> {
     let start = Instant::now();
     let lookups_before = index.lookup_count();
+    let result = prune_upward_inner(q, g, index, options, prime, mat, stats, ctl);
+    for &u in &prime.nodes {
+        stats.candidates_after_upward += mat[u.index()].len() as u64;
+    }
+    stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
+    stats.operators.push(OperatorStats {
+        label: "PruneUp".to_owned(),
+        estimated_rows,
+        actual_rows: stats.candidates_after_upward,
+        time: start.elapsed(),
+    });
+    stats.prune_up_time += start.elapsed();
+    result
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the public entry point
+fn prune_upward_inner<R: Reachability + ?Sized>(
+    q: &Gtpq,
+    g: &DataGraph,
+    index: &R,
+    options: &GteaOptions,
+    prime: &PrimeSubtree,
+    mat: &mut [Vec<NodeId>],
+    stats: &mut EvalStats,
+    ctl: &ExecCtl,
+) -> Result<(), Interrupt> {
     // One parent-membership bitset reused across every prime edge.
     let mut parent_bits = NodeBitSet::new(g.node_count());
     for &u in &prime.nodes {
@@ -231,17 +281,6 @@ pub fn prune_upward<R: Reachability + ?Sized>(
             mat[child.index()] = kept;
         }
     }
-    for &u in &prime.nodes {
-        stats.candidates_after_upward += mat[u.index()].len() as u64;
-    }
-    stats.index_lookups += index.lookup_count().saturating_sub(lookups_before);
-    stats.operators.push(OperatorStats {
-        label: "PruneUp".to_owned(),
-        estimated_rows,
-        actual_rows: stats.candidates_after_upward,
-        time: start.elapsed(),
-    });
-    stats.prune_up_time += start.elapsed();
     Ok(())
 }
 

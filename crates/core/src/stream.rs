@@ -44,6 +44,12 @@ use crate::exec::{ExecCtl, Interrupt};
 use crate::matching::MatchingGraph;
 use crate::prime::ShrunkPrime;
 
+/// Per-pull spans are recorded for the first this-many pulls of a traced
+/// stream; later pulls go untraced so an unbounded enumeration cannot grow
+/// the trace without bound (and so tracing a large answer stays cheap: each
+/// pull span costs an allocation, which would dominate small queries).
+const TRACED_PULLS: u64 = 16;
+
 /// A partial output projection: `(output coordinate, data node)` pairs,
 /// sorted by coordinate.  Two partials over the same coordinate set compare
 /// exactly like the corresponding result-tuple slices.
@@ -375,7 +381,15 @@ impl MatchStream {
     /// Produces the next result tuple, in materialized-`ResultSet` order;
     /// `Ok(None)` once the answer is exhausted, `Err` when the deadline
     /// passes or the request is cancelled mid-enumeration.
+    ///
+    /// When the stream's control carries an enabled tracer, each of the
+    /// first `TRACED_PULLS` (16) pulls records a `pull N` span.
     pub fn next_row(&mut self) -> Result<Option<Vec<NodeId>>, Interrupt> {
+        let _span =
+            (self.ctl.tracer().is_enabled() && self.rows_enumerated < TRACED_PULLS).then(|| {
+                let n = self.rows_enumerated;
+                self.ctl.tracer().span_with(|| format!("pull {n}"))
+            });
         let start = Instant::now();
         let outcome = loop {
             match pull(&self.top, self.cursor, &self.ctl) {

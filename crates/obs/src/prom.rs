@@ -1,0 +1,235 @@
+//! Prometheus text-format (version 0.0.4) exposition helpers.
+//!
+//! [`PromText`] accumulates `# HELP`/`# TYPE` headers plus sample lines for
+//! counters, gauges and histograms; the service's
+//! `MetricsSnapshot::render_prometheus` composes its whole scrape page out of
+//! these.  Histograms recorded in nanoseconds are exported in seconds (the
+//! Prometheus base-unit convention) with cumulative `le` buckets computed
+//! from the snapshot's log-bucket layout.
+
+use std::fmt::Write as _;
+
+use crate::hist::HistogramSnapshot;
+
+/// Default `le` bounds (in seconds) for nanosecond-fed latency histograms:
+/// 1µs to 10s, one per decade, plus `+Inf`.
+pub const LATENCY_BOUNDS_SECONDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// Accumulates a Prometheus text-format scrape page.
+///
+/// ```
+/// use gtpq_obs::PromText;
+///
+/// let mut page = PromText::new();
+/// page.counter("gtpq_queries_total", "Queries answered.", 42.0);
+/// page.gauge("gtpq_cache_hit_ratio", "Cache hit fraction.", 0.5);
+/// let text = page.finish();
+/// assert!(text.contains("# TYPE gtpq_queries_total counter"));
+/// assert!(text.contains("gtpq_queries_total 42"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+}
+
+impl PromText {
+    /// An empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name}");
+        let _ = writeln!(self.buf, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+    }
+
+    /// Appends a counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.buf, "{name} {}", fmt_value(value));
+    }
+
+    /// Appends a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.buf, "{name} {}", fmt_value(value));
+    }
+
+    /// Appends a histogram whose samples are *nanoseconds*, exported in
+    /// seconds: one cumulative `_bucket` line per bound in `bounds_seconds`
+    /// plus `+Inf`, then `_sum` and `_count`.  `labels` are attached to
+    /// every line (alongside `le` on the buckets).
+    pub fn histogram_seconds(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+        bounds_seconds: &[f64],
+    ) {
+        // One header per metric family; histograms sharing a name across
+        // label sets must emit it only once.
+        if !self.buf.contains(&format!("# TYPE {name} ")) {
+            self.header(name, help, "histogram");
+        }
+        for &bound in bounds_seconds {
+            let le = fmt_value(bound);
+            let nanos = (bound * 1e9).min(u64::MAX as f64) as u64;
+            let count = snap.cumulative_le(nanos);
+            let _ = writeln!(
+                self.buf,
+                "{name}_bucket{} {count}",
+                render_labels(labels, Some(&le))
+            );
+        }
+        let _ = writeln!(
+            self.buf,
+            "{name}_bucket{} {}",
+            render_labels(labels, Some("+Inf")),
+            snap.count
+        );
+        let _ = writeln!(
+            self.buf,
+            "{name}_sum{} {}",
+            render_labels(labels, None),
+            fmt_value(snap.sum as f64 / 1e9)
+        );
+        let _ = writeln!(
+            self.buf,
+            "{name}_count{} {}",
+            render_labels(labels, None),
+            snap.count
+        );
+    }
+
+    /// The accumulated page.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// `{a="x",le="0.1"}`, or the empty string when there is nothing to render.
+fn render_labels(labels: &[(&str, &str)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        debug_assert!(valid_label_name(k), "invalid label name {k}");
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a float the Prometheus way: integers without a fraction.
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+    use std::time::Duration;
+
+    #[test]
+    fn counters_and_gauges_render_headers_and_samples() {
+        let mut page = PromText::new();
+        page.counter("x_total", "Help with\nnewline.", 3.0);
+        page.gauge("x_ratio", "A ratio.", 0.25);
+        let text = page.finish();
+        assert!(text.contains("# HELP x_total Help with\\nnewline.\n"));
+        assert!(text.contains("# TYPE x_total counter\nx_total 3\n"));
+        assert!(text.contains("# TYPE x_ratio gauge\nx_ratio 0.25\n"));
+    }
+
+    #[test]
+    fn histograms_expose_cumulative_buckets_in_seconds() {
+        let h = LogHistogram::new();
+        h.record_duration(Duration::from_micros(5)); // 5e-6 s
+        h.record_duration(Duration::from_millis(2)); // 2e-3 s
+        let snap = h.snapshot();
+        let mut page = PromText::new();
+        page.histogram_seconds(
+            "lat_seconds",
+            "Latency.",
+            &[("stage", "candidates")],
+            &snap,
+            LATENCY_BOUNDS_SECONDS,
+        );
+        let text = page.finish();
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{stage=\"candidates\",le=\"0.000001\"} 0"));
+        assert!(text.contains("lat_seconds_bucket{stage=\"candidates\",le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_seconds_count{stage=\"candidates\"} 2"));
+        // Bucket counts are monotone non-decreasing along the bounds.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        // The 1e-5 bound must already include the 5µs sample (bucket
+        // resolution is 12.5%, well under the decade spacing).
+        assert!(text.contains("le=\"0.00001\"} 1"));
+    }
+
+    #[test]
+    fn shared_histogram_family_emits_one_header() {
+        let snap = LogHistogram::new().snapshot();
+        let mut page = PromText::new();
+        page.histogram_seconds("h_seconds", "H.", &[("stage", "a")], &snap, &[1.0]);
+        page.histogram_seconds("h_seconds", "H.", &[("stage", "b")], &snap, &[1.0]);
+        let text = page.finish();
+        assert_eq!(text.matches("# TYPE h_seconds histogram").count(), 1);
+    }
+
+    #[test]
+    fn metric_name_validation() {
+        assert!(valid_metric_name("gtpq_queries_total"));
+        assert!(valid_metric_name(":ns:x"));
+        assert!(!valid_metric_name("9starts_with_digit"));
+        assert!(!valid_metric_name("has-dash"));
+        assert!(!valid_metric_name(""));
+    }
+}

@@ -1,0 +1,171 @@
+//! Windowed event rates: "QPS over the last 30 seconds", not since process
+//! start.
+//!
+//! A [`WindowedCounter`] keeps a ring of per-second slots tagged with the
+//! second they count; recording bumps the current second's slot (lazily
+//! reclaiming stale slots), and a rate query sums the slots inside the
+//! window.  Everything is relaxed atomics — two threads racing a slot across
+//! a second boundary can misattribute a handful of events, which is
+//! acceptable for a rate gauge and keeps the hot path lock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Ring size; rates can be asked over windows up to this many seconds.
+const SLOTS: u64 = 64;
+
+/// Tag of a slot that has never been written.
+const EMPTY: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Slot {
+    /// Which second (since the counter's epoch) this slot currently counts.
+    sec: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A lock-free per-second event counter over a sliding window.
+///
+/// ```
+/// use std::time::Duration;
+/// use gtpq_obs::WindowedCounter;
+///
+/// let c = WindowedCounter::new();
+/// c.record();
+/// c.record_n(4);
+/// assert_eq!(c.sum_window(Duration::from_secs(30)), 5);
+/// assert!(c.rate_per_sec(Duration::from_secs(30)) >= 5.0);
+/// ```
+#[derive(Debug)]
+pub struct WindowedCounter {
+    epoch: Instant,
+    slots: Box<[Slot]>,
+}
+
+impl Default for WindowedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowedCounter {
+    /// A fresh counter; its epoch is the moment of this call.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            slots: (0..SLOTS)
+                .map(|_| Slot {
+                    sec: AtomicU64::new(EMPTY),
+                    count: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Records one event at the current second.
+    pub fn record(&self) {
+        self.record_n(1);
+    }
+
+    /// Records `n` events at the current second.
+    pub fn record_n(&self, n: u64) {
+        let sec = self.epoch.elapsed().as_secs();
+        let slot = &self.slots[(sec % SLOTS) as usize];
+        let tag = slot.sec.load(Ordering::Relaxed);
+        if tag != sec {
+            // Reclaim a stale slot; one racing writer wins, the loser's
+            // exchange fails and it just adds to the (now current) slot.
+            if slot
+                .sec
+                .compare_exchange(tag, sec, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                slot.count.store(0, Ordering::Relaxed);
+            }
+        }
+        slot.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total events recorded within the trailing `window` (clamped to the
+    /// ring size minus one so a slot being reclaimed is never counted).
+    pub fn sum_window(&self, window: Duration) -> u64 {
+        let now = self.epoch.elapsed().as_secs();
+        let span = window.as_secs().clamp(1, SLOTS - 1);
+        self.slots
+            .iter()
+            .filter_map(|slot| {
+                let sec = slot.sec.load(Ordering::Relaxed);
+                (sec != EMPTY && now.saturating_sub(sec) < span)
+                    .then(|| slot.count.load(Ordering::Relaxed))
+            })
+            .sum()
+    }
+
+    /// Events per second over the trailing `window`.  Young counters divide
+    /// by their age (plus the current partial second) instead of the full
+    /// window, so early rates are not under-reported.
+    pub fn rate_per_sec(&self, window: Duration) -> f64 {
+        let now = self.epoch.elapsed().as_secs();
+        let span = window.as_secs().clamp(1, SLOTS - 1);
+        let effective = span.min(now + 1);
+        self.sum_window(window) as f64 / effective as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_window() {
+        let c = WindowedCounter::new();
+        for _ in 0..10 {
+            c.record();
+        }
+        c.record_n(5);
+        assert_eq!(c.sum_window(Duration::from_secs(30)), 15);
+        // A young counter divides by its age, not the whole window.
+        assert!(c.rate_per_sec(Duration::from_secs(30)) >= 15.0);
+    }
+
+    #[test]
+    fn empty_counter_reports_zero() {
+        let c = WindowedCounter::new();
+        assert_eq!(c.sum_window(Duration::from_secs(10)), 0);
+        assert_eq!(c.rate_per_sec(Duration::from_secs(10)), 0.0);
+    }
+
+    #[test]
+    fn oversized_windows_clamp_to_the_ring() {
+        let c = WindowedCounter::new();
+        c.record();
+        assert_eq!(c.sum_window(Duration::from_secs(100_000)), 1);
+        assert_eq!(
+            c.sum_window(Duration::ZERO),
+            1,
+            "window floors at one second"
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_is_close_enough() {
+        let c = std::sync::Arc::new(WindowedCounter::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let sum = c.sum_window(Duration::from_secs(60));
+        // The test runs in well under a second, so nothing can have aged out;
+        // slot races could only drop events at a second boundary.
+        assert!((3900..=4000).contains(&sum), "sum {sum}");
+    }
+}

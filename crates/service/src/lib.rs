@@ -25,8 +25,16 @@
 //!   hit; only *complete* answers are cached, and windows are sliced out of
 //!   hits,
 //! * aggregates **service metrics** ([`MetricsSnapshot`]): QPS, cache hit
-//!   rate, per-stage timing rollups, and the request-API counters
-//!   (`timed_out`, `cancelled`, `rows_truncated`).
+//!   rate, per-stage timing rollups, the request-API counters (`timed_out`,
+//!   `cancelled`, `rows_truncated`, `aborted`), lock-free latency/TTFR
+//!   histograms with percentile queries, windowed recent rates, and a
+//!   Prometheus text encoder ([`MetricsSnapshot::render_prometheus`]),
+//! * records **per-request span traces** on demand
+//!   ([`QueryRequest::with_trace`] → [`QueryOutcome::trace`], exportable as
+//!   Chrome `trace_event` JSON) and keeps a **slow-query log**
+//!   ([`QueryService::slow_queries`]) of requests that crossed
+//!   [`ServiceConfig::slow_query_threshold`], each with its canonical text,
+//!   outcome and executed plan with actual row counts.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -56,9 +64,11 @@ pub mod canon;
 pub mod metrics;
 pub mod request;
 pub mod service;
+pub mod slowlog;
 
 pub use cache::ResultCache;
 pub use canon::{canonicalize, CanonicalQuery};
-pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use metrics::{MetricsSnapshot, ServiceMetrics, StageHistograms, RECENT_WINDOW};
 pub use request::{QueryError, QueryOutcome, QueryRequest, QuerySource};
 pub use service::{QueryService, ServiceConfig};
+pub use slowlog::{SlowOutcome, SlowQueryEntry};

@@ -1,6 +1,9 @@
-//! Aggregate service metrics: QPS, cache hit rate, per-stage timing rollups.
+//! Aggregate service metrics: QPS, cache hit rate, per-stage timing rollups,
+//! latency/TTFR histograms, windowed recent rates, and a Prometheus
+//! text-format encoder.
 //!
-//! All counters are relaxed atomics so the hot path never takes a lock; a
+//! All counters are relaxed atomics and the histograms are lock-free
+//! ([`gtpq_obs::LogHistogram`]), so the hot path never takes a lock; a
 //! [`MetricsSnapshot`] is a consistent-enough point-in-time copy for
 //! dashboards and tests (individual counters may be skewed by in-flight
 //! queries, which is the usual contract for service counters).
@@ -9,6 +12,70 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use gtpq_core::EvalStats;
+use gtpq_obs::{
+    HistogramSnapshot, LogHistogram, PromText, WindowedCounter, LATENCY_BOUNDS_SECONDS,
+};
+
+/// Trailing window of the `recent_*` rates (QPS and hit rate "right now"
+/// rather than since process start).
+pub const RECENT_WINDOW: Duration = Duration::from_secs(30);
+
+/// Lock-free per-stage latency histograms (nanosecond samples).
+#[derive(Debug, Default)]
+struct StageHists {
+    candidates: LogHistogram,
+    prune_down: LogHistogram,
+    prune_up: LogHistogram,
+    matching: LogHistogram,
+    enumerate: LogHistogram,
+    eval: LogHistogram,
+}
+
+impl StageHists {
+    /// Observes one evaluation's stage timings (partial stats from an
+    /// aborted run record only the stages that actually ran).
+    fn observe(&self, stats: &EvalStats) {
+        self.candidates.record_duration(stats.candidate_time);
+        self.prune_down.record_duration(stats.prune_down_time);
+        self.prune_up.record_duration(stats.prune_up_time);
+        self.matching.record_duration(stats.matching_graph_time);
+        self.enumerate.record_duration(stats.enumerate_time);
+        self.eval.record_duration(stats.total_time());
+    }
+}
+
+/// Point-in-time copies of the per-stage histograms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageHistograms {
+    /// Candidate-selection stage.
+    pub candidates: HistogramSnapshot,
+    /// Downward pruning round.
+    pub prune_down: HistogramSnapshot,
+    /// Upward pruning round.
+    pub prune_up: HistogramSnapshot,
+    /// Matching-graph construction.
+    pub matching: HistogramSnapshot,
+    /// Result enumeration.
+    pub enumerate: HistogramSnapshot,
+    /// Whole engine evaluation (planning included).
+    pub eval: HistogramSnapshot,
+}
+
+impl StageHistograms {
+    /// `(stage name, histogram)` pairs in pipeline order — the iteration
+    /// the Prometheus encoder and the CLI's `:metrics` share.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &HistogramSnapshot)> {
+        [
+            ("candidates", &self.candidates),
+            ("prune_down", &self.prune_down),
+            ("prune_up", &self.prune_up),
+            ("matching", &self.matching),
+            ("enumerate", &self.enumerate),
+            ("eval", &self.eval),
+        ]
+        .into_iter()
+    }
+}
 
 /// Internal atomic counters of a [`QueryService`](crate::QueryService).
 #[derive(Debug)]
@@ -39,6 +106,13 @@ pub struct ServiceMetrics {
     cancelled: AtomicU64,
     rows_truncated: AtomicU64,
     enumerated_rows: AtomicU64,
+    aborted: AtomicU64,
+    aborted_eval_nanos: AtomicU64,
+    latency_hist: LogHistogram,
+    ttfr_hist: LogHistogram,
+    stage_hists: StageHists,
+    recent_queries: WindowedCounter,
+    recent_hits: WindowedCounter,
 }
 
 impl ServiceMetrics {
@@ -70,6 +144,13 @@ impl ServiceMetrics {
             cancelled: AtomicU64::new(0),
             rows_truncated: AtomicU64::new(0),
             enumerated_rows: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            aborted_eval_nanos: AtomicU64::new(0),
+            latency_hist: LogHistogram::new(),
+            ttfr_hist: LogHistogram::new(),
+            stage_hists: StageHists::default(),
+            recent_queries: WindowedCounter::new(),
+            recent_hits: WindowedCounter::new(),
         }
     }
 
@@ -93,18 +174,60 @@ impl ServiceMetrics {
         self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Observes the end-to-end `submit` latency of one request (every exit
+    /// path: hit, miss, timeout, cancellation).
+    pub(crate) fn record_latency(&self, latency: Duration) {
+        self.latency_hist.record_duration(latency);
+    }
+
     pub(crate) fn record_hit(&self) {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.recent_queries.record();
+        self.recent_hits.record();
     }
 
     pub(crate) fn record_miss(&self, stats: &EvalStats) {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.recent_queries.record();
+        self.eval_nanos
+            .fetch_add(stats.total_time().as_nanos() as u64, Ordering::Relaxed);
+        self.fold_stages(stats);
+        self.result_tuples
+            .fetch_add(stats.result_tuples, Ordering::Relaxed);
+        self.plan_nanos
+            .fetch_add(stats.plan_time.as_nanos() as u64, Ordering::Relaxed);
+        self.estimated_rows
+            .fetch_add(stats.estimated_rows(), Ordering::Relaxed);
+        self.actual_rows
+            .fetch_add(stats.actual_rows(), Ordering::Relaxed);
+        self.estimation_error_rows
+            .fetch_add(stats.absolute_estimation_error(), Ordering::Relaxed);
+        if stats.time_to_first_row > Duration::ZERO {
+            self.ttfr_hist.record_duration(stats.time_to_first_row);
+        }
+    }
+
+    /// Folds the *partial* statistics of an evaluation that was aborted by
+    /// deadline or cancellation.  The stage rollups, I/O counters and stage
+    /// histograms keep the work that was done; the run is counted under
+    /// `aborted` (with its engine time under `aborted_eval_time`) rather
+    /// than as a query/cache miss, since no answer was produced.
+    pub(crate) fn record_aborted(&self, stats: &EvalStats) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+        self.aborted_eval_nanos
+            .fetch_add(stats.total_time().as_nanos() as u64, Ordering::Relaxed);
+        self.recent_queries.record();
+        self.fold_stages(stats);
+    }
+
+    /// Stage timings, I/O counters and stage histograms shared by complete
+    /// and aborted runs.
+    fn fold_stages(&self, stats: &EvalStats) {
         let add = |counter: &AtomicU64, d: Duration| {
             counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
         };
-        add(&self.eval_nanos, stats.total_time());
         add(&self.candidate_nanos, stats.candidate_time);
         add(&self.prune_down_nanos, stats.prune_down_time);
         add(&self.prune_up_nanos, stats.prune_up_time);
@@ -118,17 +241,9 @@ impl ServiceMetrics {
             .fetch_add(stats.index_hits, Ordering::Relaxed);
         self.scanned_nodes
             .fetch_add(stats.scanned_nodes, Ordering::Relaxed);
-        self.result_tuples
-            .fetch_add(stats.result_tuples, Ordering::Relaxed);
         self.enumerated_rows
             .fetch_add(stats.enumerated_rows, Ordering::Relaxed);
-        add(&self.plan_nanos, stats.plan_time);
-        self.estimated_rows
-            .fetch_add(stats.estimated_rows(), Ordering::Relaxed);
-        self.actual_rows
-            .fetch_add(stats.actual_rows(), Ordering::Relaxed);
-        self.estimation_error_rows
-            .fetch_add(stats.absolute_estimation_error(), Ordering::Relaxed);
+        self.stage_hists.observe(stats);
     }
 
     pub(crate) fn record_batch(&self) {
@@ -167,12 +282,31 @@ impl ServiceMetrics {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             rows_truncated: self.rows_truncated.load(Ordering::Relaxed),
             enumerated_rows: self.enumerated_rows.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            aborted_eval_time: Duration::from_nanos(
+                self.aborted_eval_nanos.load(Ordering::Relaxed),
+            ),
+            latency: self.latency_hist.snapshot(),
+            ttfr: self.ttfr_hist.snapshot(),
+            stages: StageHistograms {
+                candidates: self.stage_hists.candidates.snapshot(),
+                prune_down: self.stage_hists.prune_down.snapshot(),
+                prune_up: self.stage_hists.prune_up.snapshot(),
+                matching: self.stage_hists.matching.snapshot(),
+                enumerate: self.stage_hists.enumerate.snapshot(),
+                eval: self.stage_hists.eval.snapshot(),
+            },
+            recent_window: RECENT_WINDOW,
+            recent_queries: self.recent_queries.sum_window(RECENT_WINDOW),
+            recent_hits: self.recent_hits.sum_window(RECENT_WINDOW),
+            recent_qps: self.recent_queries.rate_per_sec(RECENT_WINDOW),
         }
     }
 }
 
-/// Point-in-time copy of the service counters, with derived rates.
-#[derive(Clone, Copy, Debug)]
+/// Point-in-time copy of the service counters, with derived rates,
+/// latency/TTFR/stage histograms and a Prometheus text encoder.
+#[derive(Clone, Debug, Default)]
 pub struct MetricsSnapshot {
     /// Time since the service was created.
     pub uptime: Duration,
@@ -233,6 +367,30 @@ pub struct MetricsSnapshot {
     /// (including offset-skipped and look-ahead rows); compare against
     /// `result_tuples` to see how much enumeration limit pushdown avoided.
     pub enumerated_rows: u64,
+    /// Engine runs aborted mid-evaluation (timeout or cancellation); their
+    /// partial stage timings are folded into the stage rollups above.
+    pub aborted: u64,
+    /// Engine time spent in runs that were ultimately aborted — work that
+    /// produced no answer, invisible in `eval_time`.
+    pub aborted_eval_time: Duration,
+    /// End-to-end `submit` latency histogram (every request: hits, misses,
+    /// timeouts, cancellations).
+    pub latency: HistogramSnapshot,
+    /// Time-to-first-row histogram across engine runs that produced at least
+    /// one row — the streaming-latency headline.
+    pub ttfr: HistogramSnapshot,
+    /// Per-stage latency histograms across engine runs (aborted runs
+    /// included, with whatever stages they completed).
+    pub stages: StageHistograms,
+    /// Window the `recent_*` figures cover.
+    pub recent_window: Duration,
+    /// Requests observed within the trailing window.
+    pub recent_queries: u64,
+    /// Cache hits observed within the trailing window.
+    pub recent_hits: u64,
+    /// Requests per second over the trailing window (young services divide
+    /// by their age instead, so early rates are not under-reported).
+    pub recent_qps: f64,
 }
 
 impl MetricsSnapshot {
@@ -253,6 +411,26 @@ impl MetricsSnapshot {
         } else {
             self.cache_hits as f64 / self.queries as f64
         }
+    }
+
+    /// Fraction of recent requests served from the cache (0.0 when idle).
+    pub fn recent_hit_rate(&self) -> f64 {
+        if self.recent_queries == 0 {
+            0.0
+        } else {
+            self.recent_hits as f64 / self.recent_queries as f64
+        }
+    }
+
+    /// End-to-end latency at quantile `q` (`0.0 ..= 1.0`): `0.5` is the
+    /// median, `0.99` the p99.
+    pub fn latency_percentile(&self, q: f64) -> Duration {
+        self.latency.percentile_duration(q)
+    }
+
+    /// Time-to-first-row at quantile `q` (`0.0 ..= 1.0`).
+    pub fn ttfr_percentile(&self, q: f64) -> Duration {
+        self.ttfr.percentile_duration(q)
     }
 
     /// Fraction of initial candidates served straight from the inverted
@@ -286,8 +464,141 @@ impl MetricsSnapshot {
         if self.cache_misses == 0 {
             Duration::ZERO
         } else {
-            self.eval_time / self.cache_misses as u32
+            // Divide in u128 space: casting the u64 miss count to u32 would
+            // truncate (a count of exactly 2^32 becomes 0 and panics).
+            Duration::from_nanos((self.eval_time.as_nanos() / u128::from(self.cache_misses)) as u64)
         }
+    }
+
+    /// Renders the snapshot as a Prometheus text-format (0.0.4) scrape page:
+    /// `gtpq_`-prefixed counters and gauges plus the latency, TTFR and
+    /// per-stage histograms in seconds.
+    pub fn render_prometheus(&self) -> String {
+        let mut page = PromText::new();
+        page.counter(
+            "gtpq_queries_total",
+            "Queries answered (cache hits + engine runs).",
+            self.queries as f64,
+        );
+        page.counter(
+            "gtpq_cache_hits_total",
+            "Queries answered from the result cache.",
+            self.cache_hits as f64,
+        );
+        page.counter(
+            "gtpq_cache_misses_total",
+            "Queries that ran the engine.",
+            self.cache_misses as f64,
+        );
+        page.counter(
+            "gtpq_batches_total",
+            "Batch submissions served.",
+            self.batches as f64,
+        );
+        page.counter(
+            "gtpq_timeouts_total",
+            "Requests aborted because their deadline passed.",
+            self.timed_out as f64,
+        );
+        page.counter(
+            "gtpq_cancelled_total",
+            "Requests aborted through their cancellation token.",
+            self.cancelled as f64,
+        );
+        page.counter(
+            "gtpq_aborted_runs_total",
+            "Engine runs aborted mid-evaluation (timeout or cancellation).",
+            self.aborted as f64,
+        );
+        page.counter(
+            "gtpq_rows_truncated_total",
+            "Outcomes whose row window was cut short by a limit.",
+            self.rows_truncated as f64,
+        );
+        page.counter(
+            "gtpq_result_tuples_total",
+            "Result tuples produced by engine runs.",
+            self.result_tuples as f64,
+        );
+        page.counter(
+            "gtpq_enumerated_rows_total",
+            "Rows pulled from the streaming enumerator.",
+            self.enumerated_rows as f64,
+        );
+        page.counter(
+            "gtpq_input_nodes_total",
+            "Data-node accesses across engine runs.",
+            self.input_nodes as f64,
+        );
+        page.counter(
+            "gtpq_index_lookups_total",
+            "Reachability-index element lookups across engine runs.",
+            self.index_lookups as f64,
+        );
+        page.counter(
+            "gtpq_plan_cache_hits_total",
+            "Evaluations that reused a cached physical plan.",
+            self.plan_cache_hits as f64,
+        );
+        page.counter(
+            "gtpq_plan_cache_misses_total",
+            "Evaluations that built a fresh physical plan.",
+            self.plan_cache_misses as f64,
+        );
+        page.counter(
+            "gtpq_eval_seconds_total",
+            "Engine evaluation time across cache misses.",
+            self.eval_time.as_secs_f64(),
+        );
+        page.counter(
+            "gtpq_aborted_eval_seconds_total",
+            "Engine time spent in runs that were ultimately aborted.",
+            self.aborted_eval_time.as_secs_f64(),
+        );
+        page.gauge(
+            "gtpq_uptime_seconds",
+            "Time since the service was created.",
+            self.uptime.as_secs_f64(),
+        );
+        page.gauge(
+            "gtpq_cache_hit_ratio",
+            "Fraction of queries served from the result cache.",
+            self.hit_rate(),
+        );
+        page.gauge(
+            "gtpq_recent_qps",
+            "Requests per second over the trailing window.",
+            self.recent_qps,
+        );
+        page.gauge(
+            "gtpq_recent_cache_hit_ratio",
+            "Fraction of recent requests served from the result cache.",
+            self.recent_hit_rate(),
+        );
+        page.histogram_seconds(
+            "gtpq_request_latency_seconds",
+            "End-to-end submit latency.",
+            &[],
+            &self.latency,
+            LATENCY_BOUNDS_SECONDS,
+        );
+        page.histogram_seconds(
+            "gtpq_time_to_first_row_seconds",
+            "Time from the start of enumeration to the first row.",
+            &[],
+            &self.ttfr,
+            LATENCY_BOUNDS_SECONDS,
+        );
+        for (stage, snap) in self.stages.iter() {
+            page.histogram_seconds(
+                "gtpq_stage_seconds",
+                "Per-stage engine latency.",
+                &[("stage", stage)],
+                snap,
+                LATENCY_BOUNDS_SECONDS,
+            );
+        }
+        page.finish()
     }
 }
 
@@ -326,6 +637,15 @@ mod tests {
         assert_eq!(snap.mean_eval_time(), Duration::from_millis(5));
         assert!((snap.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
         assert!(snap.qps() > 0.0);
+        // The recent window saw all three requests, one of them a hit.
+        assert_eq!(snap.recent_queries, 3);
+        assert_eq!(snap.recent_hits, 1);
+        assert!(snap.recent_qps >= 3.0, "young counter divides by its age");
+        assert!((snap.recent_hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+        // Stage histograms saw one sample per engine run.
+        assert_eq!(snap.stages.candidates.count, 2);
+        assert_eq!(snap.stages.eval.count, 2);
+        assert!(snap.stages.candidates.percentile_duration(0.5) >= Duration::from_millis(2));
     }
 
     #[test]
@@ -336,6 +656,170 @@ mod tests {
         assert_eq!(snap.mean_eval_time(), Duration::ZERO);
         assert_eq!(snap.plan_hit_rate(), 0.0);
         assert_eq!(snap.estimation_error(), 0.0);
+        assert_eq!(snap.recent_hit_rate(), 0.0);
+        assert_eq!(snap.recent_qps, 0.0);
+        assert_eq!(snap.latency_percentile(0.99), Duration::ZERO);
+        assert_eq!(snap.ttfr_percentile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_eval_time_survives_huge_miss_counts() {
+        // The old `cache_misses as u32` cast truncated 2^32 to 0 and
+        // panicked on the division; u128 arithmetic must not.
+        let snap = MetricsSnapshot {
+            cache_misses: 1 << 32,
+            eval_time: Duration::from_secs(1 << 33),
+            ..Default::default()
+        };
+        assert_eq!(snap.mean_eval_time(), Duration::from_secs(2));
+        let uneven = MetricsSnapshot {
+            cache_misses: 3,
+            eval_time: Duration::from_nanos(10),
+            ..Default::default()
+        };
+        assert_eq!(uneven.mean_eval_time(), Duration::from_nanos(3));
+    }
+
+    #[test]
+    fn aborted_runs_fold_partial_stats_without_counting_as_misses() {
+        let m = ServiceMetrics::new();
+        let partial = EvalStats {
+            candidate_time: Duration::from_millis(4),
+            prune_down_time: Duration::from_millis(1),
+            input_nodes: 100,
+            index_lookups: 40,
+            ..Default::default()
+        };
+        m.record_aborted(&partial);
+        m.record_timeout();
+        let snap = m.snapshot();
+        assert_eq!(snap.aborted, 1);
+        assert_eq!(snap.aborted_eval_time, Duration::from_millis(5));
+        assert_eq!(snap.queries, 0, "no answer was produced");
+        assert_eq!(snap.cache_misses, 0);
+        assert_eq!(snap.eval_time, Duration::ZERO);
+        // The partial work is visible in the stage rollups and histograms.
+        assert_eq!(snap.candidate_time, Duration::from_millis(4));
+        assert_eq!(snap.prune_down_time, Duration::from_millis(1));
+        assert_eq!(snap.input_nodes, 100);
+        assert_eq!(snap.index_lookups, 40);
+        assert_eq!(snap.stages.candidates.count, 1);
+        assert_eq!(snap.recent_queries, 1, "aborted requests count as load");
+    }
+
+    #[test]
+    fn latency_and_ttfr_histograms_expose_percentiles() {
+        let m = ServiceMetrics::new();
+        for ms in [1u64, 2, 4, 8, 100] {
+            m.record_latency(Duration::from_millis(ms));
+        }
+        let run = EvalStats {
+            time_to_first_row: Duration::from_micros(300),
+            result_tuples: 1,
+            ..Default::default()
+        };
+        m.record_miss(&run);
+        m.record_miss(&EvalStats::default()); // empty answer: no TTFR sample
+        let snap = m.snapshot();
+        assert_eq!(snap.latency.count, 5);
+        assert!(snap.latency_percentile(0.5) >= Duration::from_millis(4));
+        assert!(snap.latency_percentile(0.99) >= Duration::from_millis(100));
+        assert!(snap.latency_percentile(0.5) <= snap.latency_percentile(0.999));
+        assert_eq!(snap.ttfr.count, 1, "zero TTFR (empty answer) not sampled");
+        assert!(snap.ttfr_percentile(0.5) >= Duration::from_micros(300));
+    }
+
+    #[test]
+    fn prometheus_page_contains_counters_gauges_and_histograms() {
+        let m = ServiceMetrics::new();
+        m.record_miss(&EvalStats {
+            result_tuples: 3,
+            time_to_first_row: Duration::from_micros(50),
+            ..Default::default()
+        });
+        m.record_hit();
+        m.record_latency(Duration::from_millis(2));
+        let page = m.snapshot().render_prometheus();
+        assert!(page.contains("# TYPE gtpq_queries_total counter"));
+        assert!(page.contains("gtpq_queries_total 2"));
+        assert!(page.contains("gtpq_result_tuples_total 3"));
+        assert!(page.contains("# TYPE gtpq_request_latency_seconds histogram"));
+        assert!(page.contains("gtpq_request_latency_seconds_count 1"));
+        assert!(page.contains("gtpq_stage_seconds_bucket{stage=\"candidates\",le=\"+Inf\"} 1"));
+        assert!(page.contains("# TYPE gtpq_recent_qps gauge"));
+        // One header per family even with six stage label sets.
+        assert_eq!(
+            page.matches("# TYPE gtpq_stage_seconds histogram").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_stays_consistent() {
+        use std::sync::atomic::{AtomicBool, Ordering as AtomOrd};
+        use std::sync::Arc;
+
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 500;
+        let m = Arc::new(ServiceMetrics::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // One thread snapshots continuously while the others hammer the
+        // recorders; every intermediate snapshot must be monotone.
+        let observer = {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last = m.snapshot();
+                while !stop.load(AtomOrd::Relaxed) {
+                    let snap = m.snapshot();
+                    assert!(snap.queries >= last.queries);
+                    assert!(snap.cache_hits >= last.cache_hits);
+                    assert!(snap.cache_misses >= last.cache_misses);
+                    assert!(snap.latency.count >= last.latency.count);
+                    assert!(snap.stages.eval.count >= last.stages.eval.count);
+                    assert!(snap.eval_time >= last.eval_time);
+                    last = snap;
+                }
+            })
+        };
+        let writers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let stats = EvalStats {
+                        candidate_time: Duration::from_micros(10),
+                        result_tuples: 1,
+                        time_to_first_row: Duration::from_micros(5),
+                        ..Default::default()
+                    };
+                    for i in 0..PER_THREAD {
+                        if (i + t as u64).is_multiple_of(3) {
+                            m.record_hit();
+                        } else {
+                            m.record_miss(&stats);
+                        }
+                        m.record_latency(Duration::from_micros(i + 1));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, AtomOrd::Relaxed);
+        observer.join().unwrap();
+
+        let total = THREADS as u64 * PER_THREAD;
+        let snap = m.snapshot();
+        assert_eq!(snap.queries, total);
+        assert_eq!(snap.queries, snap.cache_hits + snap.cache_misses);
+        // Histogram totals equal the recorded counts exactly.
+        assert_eq!(snap.latency.count, total);
+        assert_eq!(snap.stages.eval.count, snap.cache_misses);
+        assert_eq!(snap.ttfr.count, snap.cache_misses);
+        let bucket_sum: u64 = snap.latency.nonzero_buckets().map(|(_, c)| c).sum();
+        assert_eq!(bucket_sum, total);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use gtpq_core::{CancelToken, EvalStats, QueryPlan};
+use gtpq_core::{CancelToken, EvalStats, QueryPlan, Trace};
 use gtpq_query::{Gtpq, ParseError, ResultSet};
 use gtpq_reach::BackendKind;
 
@@ -64,6 +64,10 @@ pub struct QueryRequest {
     pub want_stats: bool,
     /// Include the executed physical plan in the outcome.
     pub want_plan: bool,
+    /// Record a structured span trace of the request (parse, plan and every
+    /// engine stage) into [`QueryOutcome::trace`].  Off by default: a
+    /// disabled tracer costs two branches per span site.
+    pub want_trace: bool,
     /// Skip the result-cache lookup, forcing the engine to run (the
     /// machinery behind `:explain analyze`); complete answers are still
     /// written back to the cache.
@@ -93,6 +97,7 @@ impl QueryRequest {
             backend: None,
             want_stats: false,
             want_plan: false,
+            want_trace: false,
             bypass_cache: false,
             cancel: None,
         }
@@ -134,6 +139,13 @@ impl QueryRequest {
         self
     }
 
+    /// Ask for a structured span trace in the outcome (see
+    /// [`want_trace`](Self::want_trace)).
+    pub fn with_trace(mut self) -> Self {
+        self.want_trace = true;
+        self
+    }
+
     /// Skip the result-cache lookup (see
     /// [`bypass_cache`](Self::bypass_cache)).
     pub fn with_bypass_cache(mut self) -> Self {
@@ -167,6 +179,12 @@ pub struct QueryOutcome {
     /// The executed physical plan, when the request set
     /// [`want_plan`](QueryRequest::want_plan).
     pub plan: Option<Arc<QueryPlan>>,
+    /// The recorded span tree, when the request set
+    /// [`want_trace`](QueryRequest::want_trace).  Covers the whole `submit`
+    /// (a `request` root span with parse, plan and engine-stage children);
+    /// export with [`Trace::to_chrome_json`] or render with
+    /// [`Trace::render_tree`].
+    pub trace: Option<Trace>,
 }
 
 impl QueryOutcome {
@@ -241,6 +259,7 @@ mod tests {
             .with_backend(BackendKind::Closure)
             .with_stats()
             .with_plan()
+            .with_trace()
             .with_bypass_cache()
             .with_cancel(CancelToken::new());
         assert_eq!(req.limit, Some(7));
@@ -248,6 +267,7 @@ mod tests {
         assert_eq!(req.deadline, Some(Duration::from_millis(250)));
         assert_eq!(req.backend, Some(BackendKind::Closure));
         assert!(req.want_stats && req.want_plan && req.bypass_cache);
+        assert!(req.want_trace);
         assert!(req.cancel.is_some());
         assert!(matches!(req.source, QuerySource::Query(_)));
     }

@@ -7,7 +7,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gtpq_core::{
-    EvalStats, ExecCtl, ExecOptions, GteaEngine, GteaOptions, Interrupt, Planner, QueryPlan,
+    Aborted, EvalStats, ExecCtl, ExecOptions, GteaEngine, GteaOptions, Interrupt, Planner,
+    QueryPlan, Tracer,
 };
 use gtpq_graph::DataGraph;
 use gtpq_query::{Gtpq, ParseError, ResultSet};
@@ -17,6 +18,7 @@ use crate::cache::{PlanCache, ResultCache};
 use crate::canon::{canonicalize, CanonicalQuery};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::request::{QueryError, QueryOutcome, QueryRequest, QuerySource};
+use crate::slowlog::{SlowOutcome, SlowQueryEntry, SlowQueryLog};
 
 /// Configuration of a [`QueryService`].
 #[derive(Clone, Debug)]
@@ -37,6 +39,13 @@ pub struct ServiceConfig {
     pub per_query_backend: bool,
     /// Engine options forwarded to every evaluation.
     pub options: GteaOptions,
+    /// Requests whose end-to-end latency reaches this threshold are recorded
+    /// in the slow-query log (with their canonical text, outcome and the
+    /// executed plan's actuals); `None` disables the log.
+    pub slow_query_threshold: Option<Duration>,
+    /// Capacity of the slow-query ring buffer; once full, the oldest entry
+    /// is evicted.
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +59,8 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 256,
             per_query_backend: true,
             options: GteaOptions::default(),
+            slow_query_threshold: Some(Duration::from_millis(100)),
+            slow_log_capacity: 32,
         }
     }
 }
@@ -100,6 +111,16 @@ pub struct QueryService {
     /// subsequent queries.
     backends: Mutex<HashMap<BackendKind, SharedIndex>>,
     metrics: ServiceMetrics,
+    slowlog: SlowQueryLog,
+}
+
+/// What `submit_inner` sets aside for a potential slow-query entry: the
+/// canonical query text and the executed plan rendered with actuals.  Filled
+/// only when the slow log is enabled.
+#[derive(Default)]
+struct SlowCapture {
+    query: Option<String>,
+    plan: Option<String>,
 }
 
 impl QueryService {
@@ -124,6 +145,11 @@ impl QueryService {
             }
         };
         let backends = HashMap::from([(default_kind, Arc::clone(&index))]);
+        let slow_capacity = if config.slow_query_threshold.is_some() {
+            config.slow_log_capacity
+        } else {
+            0
+        };
         Self {
             graph,
             index,
@@ -135,6 +161,7 @@ impl QueryService {
             backends: Mutex::new(backends),
             config,
             metrics: ServiceMetrics::new(),
+            slowlog: SlowQueryLog::new(slow_capacity),
         }
     }
 
@@ -181,17 +208,71 @@ impl QueryService {
     /// ));
     /// ```
     pub fn submit(&self, request: &QueryRequest) -> Result<QueryOutcome, QueryError> {
+        let started = Instant::now();
+        let tracer = if request.want_trace {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let mut capture = SlowCapture::default();
+        let result = {
+            let _root = tracer.span("request");
+            self.submit_inner(request, started, &tracer, &mut capture)
+        };
+        let latency = started.elapsed();
+        self.metrics.record_latency(latency);
+        if let Some(threshold) = self.config.slow_query_threshold {
+            if latency >= threshold {
+                let outcome = match &result {
+                    Ok(o) => Some(SlowOutcome::Completed {
+                        rows: o.rows.len(),
+                        truncated: o.truncated,
+                    }),
+                    Err(QueryError::Timeout { .. }) => Some(SlowOutcome::TimedOut),
+                    Err(QueryError::Cancelled) => Some(SlowOutcome::Cancelled),
+                    // Parse errors and unsatisfiable queries never reach the
+                    // engine; a plan with actuals could not help anyway.
+                    Err(_) => None,
+                };
+                if let Some(outcome) = outcome {
+                    self.slowlog.push(
+                        capture.query.unwrap_or_default(),
+                        latency,
+                        outcome,
+                        capture.plan,
+                    );
+                }
+            }
+        }
+        result.map(|mut outcome| {
+            outcome.trace = tracer.finish();
+            outcome
+        })
+    }
+
+    /// The body of [`submit`](Self::submit); the wrapper owns the clock, the
+    /// tracer's `request` root span, latency recording and slow-query
+    /// logging, so every early `return`/`?` exit in here is still observed.
+    fn submit_inner(
+        &self,
+        request: &QueryRequest,
+        started: Instant,
+        tracer: &Tracer,
+        capture: &mut SlowCapture,
+    ) -> Result<QueryOutcome, QueryError> {
         // The deadline budget counts from the moment `submit` is called —
         // parsing, planning and lazy backend construction all spend it, so a
         // request cannot block past its budget in pre-execution stages and
         // then still get a full budget of evaluation on top.
-        let deadline = request.deadline.map(|budget| {
-            let now = Instant::now();
-            now.checked_add(budget).unwrap_or(now)
-        });
+        let deadline = request
+            .deadline
+            .map(|budget| started.checked_add(budget).unwrap_or(started));
         let parsed: Cow<'_, Gtpq> = match &request.source {
             QuerySource::Query(q) => Cow::Borrowed(q),
-            QuerySource::Text(text) => Cow::Owned(gtpq_query::parse_query(text)?),
+            QuerySource::Text(text) => {
+                let _span = tracer.span("parse");
+                Cow::Owned(gtpq_query::parse_query(text)?)
+            }
         };
         let q: &Gtpq = &parsed;
         if !gtpq_analysis::is_satisfiable(q) {
@@ -199,6 +280,11 @@ impl QueryService {
         }
         let canon = (self.config.cache_capacity > 0 || self.config.plan_cache_capacity > 0)
             .then(|| canonicalize(q));
+        if self.config.slow_query_threshold.is_some() {
+            // The Display form is the canonical textual rendering of the
+            // query — re-parseable and human-readable, unlike the cache key.
+            capture.query = Some(q.to_string());
+        }
 
         // Result-cache lookup: entries always hold complete answers, so the
         // requested window is sliced out of a hit.
@@ -224,18 +310,21 @@ impl QueryService {
                         from_cache: true,
                         stats: request.want_stats.then(EvalStats::default),
                         plan,
+                        trace: None, // the wrapper attaches the finished trace
                     });
                 }
             }
         }
 
         // Miss: plan, resolve the backend, execute with pushdown.
+        let plan_span = tracer.span("plan");
         let (plan, plan_time) = self.obtain_plan(q, canon_ref(&canon));
+        drop(plan_span);
         let index = match request.backend {
             Some(kind) => self.backend_from_catalog(kind),
             None => self.resolve_backend(&plan),
         };
-        let mut ctl = ExecCtl::unbounded();
+        let mut ctl = ExecCtl::unbounded().with_tracer(tracer.clone());
         if let Some(deadline) = deadline {
             ctl = ctl.with_deadline(deadline);
         }
@@ -248,20 +337,34 @@ impl QueryService {
             offset: request.offset,
             ctl,
         };
-        let exec = engine.execute(q, &plan, options).map_err(|i| match i {
-            Interrupt::Timeout => {
-                self.metrics.record_timeout();
-                QueryError::Timeout {
-                    budget: request.deadline.unwrap_or_default(),
+        let exec = match engine.execute(q, &plan, options) {
+            Ok(exec) => exec,
+            Err(Aborted { interrupt, stats }) => {
+                // The run produced no answer, but its partial stage timings
+                // and I/O counters are still load — fold them.
+                self.metrics.record_aborted(&stats);
+                if self.config.slow_query_threshold.is_some() {
+                    capture.plan = Some(plan.render_with_actuals(q, &stats));
                 }
+                return Err(match interrupt {
+                    Interrupt::Timeout => {
+                        self.metrics.record_timeout();
+                        QueryError::Timeout {
+                            budget: request.deadline.unwrap_or_default(),
+                        }
+                    }
+                    Interrupt::Cancelled => {
+                        self.metrics.record_cancelled();
+                        QueryError::Cancelled
+                    }
+                });
             }
-            Interrupt::Cancelled => {
-                self.metrics.record_cancelled();
-                QueryError::Cancelled
-            }
-        })?;
+        };
         let mut stats = exec.stats;
         stats.plan_time = plan_time;
+        if self.config.slow_query_threshold.is_some() {
+            capture.plan = Some(plan.render_with_actuals(q, &stats));
+        }
         let rows = Arc::new(exec.results);
 
         // A windowed answer must never poison the full-result slot: cache
@@ -285,6 +388,7 @@ impl QueryService {
             from_cache: false,
             stats: request.want_stats.then_some(stats),
             plan: request.want_plan.then_some(plan),
+            trace: None, // the wrapper attaches the finished trace
         })
     }
 
@@ -563,9 +667,16 @@ impl QueryService {
             .collect()
     }
 
-    /// Point-in-time aggregate metrics (QPS, hit rate, stage rollups).
+    /// Point-in-time aggregate metrics (QPS, hit rate, stage rollups,
+    /// latency/TTFR histograms, recent windowed rates).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The retained slow-query log entries, oldest first (empty when
+    /// [`ServiceConfig::slow_query_threshold`] is `None`).
+    pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.slowlog.entries()
     }
 
     /// Number of result sets currently cached.
@@ -741,8 +852,103 @@ mod tests {
             .submit(&QueryRequest::query(q).with_deadline(Duration::ZERO))
             .unwrap_err();
         assert!(matches!(err, QueryError::Timeout { .. }));
-        assert_eq!(service.metrics().timed_out, 1);
-        assert_eq!(service.metrics().cache_misses, 0, "no answer was produced");
+        let m = service.metrics();
+        assert_eq!(m.timed_out, 1);
+        assert_eq!(m.cache_misses, 0, "no answer was produced");
+        // The aborted run is accounted separately, with its latency sampled.
+        assert_eq!(m.aborted, 1);
+        assert_eq!(m.latency.count, 1);
+    }
+
+    #[test]
+    fn traced_submit_returns_a_span_tree() {
+        let service = service_for_example();
+        let q = example_query();
+        let outcome = service
+            .submit(&QueryRequest::query(q.clone()).with_trace())
+            .unwrap();
+        let trace = outcome.trace.expect("requested a trace");
+        let root = trace.root().expect("request root span");
+        assert_eq!(root.name, "request");
+        for stage in ["plan", "candidates", "prune_down", "prune_up", "matching"] {
+            let span = trace.span(stage).unwrap_or_else(|| panic!("span {stage}"));
+            assert_eq!(span.parent, Some(0), "{stage} nests under the root");
+        }
+        // A warm (cached) request traces the request but runs no engine
+        // stages; an untraced request gets no trace at all.
+        let warm = service
+            .submit(&QueryRequest::query(q.clone()).with_trace())
+            .unwrap();
+        let warm_trace = warm.trace.expect("requested a trace");
+        assert!(warm.from_cache);
+        assert!(warm_trace.span("candidates").is_none());
+        assert!(warm_trace.root().is_some());
+        let untraced = service
+            .submit(&QueryRequest::query(q).with_bypass_cache())
+            .unwrap();
+        assert!(untraced.trace.is_none());
+    }
+
+    #[test]
+    fn slow_log_records_queries_over_threshold_with_their_plan() {
+        let service = QueryService::with_config(
+            Arc::new(example_graph()),
+            ServiceConfig {
+                slow_query_threshold: Some(Duration::ZERO), // everything is slow
+                cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let q = example_query();
+        service.submit(&QueryRequest::query(q.clone())).unwrap();
+        let entries = service.slow_queries();
+        assert_eq!(entries.len(), 1);
+        let entry = &entries[0];
+        assert!(!entry.query.is_empty(), "canonical text is kept");
+        assert!(matches!(
+            entry.outcome,
+            crate::slowlog::SlowOutcome::Completed { rows, .. } if rows > 0
+        ));
+        let plan = entry.plan.as_deref().expect("engine ran: plan captured");
+        assert!(plan.contains("actual"), "plan carries actual row counts");
+        // A timed-out request lands in the log too, with partial actuals.
+        let err = service
+            .submit(&QueryRequest::query(q).with_deadline(Duration::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Timeout { .. }));
+        let entries = service.slow_queries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].outcome, crate::slowlog::SlowOutcome::TimedOut);
+        assert!(entries[1].plan.is_some());
+    }
+
+    #[test]
+    fn disabled_slow_log_stays_empty() {
+        let service = QueryService::with_config(
+            Arc::new(example_graph()),
+            ServiceConfig {
+                slow_query_threshold: None,
+                ..ServiceConfig::default()
+            },
+        );
+        service
+            .submit(&QueryRequest::query(example_query()))
+            .unwrap();
+        assert!(service.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn submit_latency_histogram_sees_every_exit_path() {
+        let service = service_for_example();
+        let q = example_query();
+        service.submit(&QueryRequest::query(q.clone())).unwrap(); // miss
+        service.submit(&QueryRequest::query(q.clone())).unwrap(); // hit
+        let _ = service.submit(&QueryRequest::text("a1 { //d1* ")); // parse error
+        let _ = service.submit(&QueryRequest::query(q).with_deadline(Duration::ZERO));
+        let m = service.metrics();
+        assert_eq!(m.latency.count, 4);
+        assert!(m.latency_percentile(0.5) > Duration::ZERO);
+        assert!(m.ttfr.count >= 1, "the miss produced rows");
     }
 
     #[test]

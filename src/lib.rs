@@ -19,6 +19,7 @@
 //! | [`engine`] | `gtpq-core` | the GTEA evaluation engine |
 //! | [`baselines`] | `gtpq-baselines` | TwigStack, Twig2Stack, TwigStackD, HGJoin, decompose-and-merge |
 //! | [`datagen`] | `gtpq-datagen` | XMark-like / arXiv-like / DBLP-like generators and query workloads |
+//! | [`obs`] | `gtpq-obs` | tracing spans, log-bucketed latency histograms, Prometheus text encoder |
 //! | [`service`] | `gtpq-service` | concurrent query service: shared index, result cache, metrics |
 //!
 //! ## Quickstart
@@ -59,6 +60,7 @@ pub use gtpq_core as engine;
 pub use gtpq_datagen as datagen;
 pub use gtpq_graph as graph;
 pub use gtpq_logic as logic;
+pub use gtpq_obs as obs;
 pub use gtpq_query as query;
 pub use gtpq_reach as reach;
 pub use gtpq_service as service;
