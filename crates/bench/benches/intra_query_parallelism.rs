@@ -1,0 +1,220 @@
+//! Intra-query parallelism: serial vs morsel-parallel execution of a single
+//! query, on the arXiv full-materialization workload (enumeration-bound —
+//! where partitioned streams should approach linear speedup) and its
+//! limit-10 window (setup-bound — where parallel prune rounds carry the
+//! tail-latency win).
+//!
+//! One measurement per parallelism degree: `serial` (threads = 1), then
+//! `t2`, `t4` and `tN` (N = the machine's available parallelism, skipped
+//! when it duplicates 2 or 4).
+//!
+//! A correctness pre-pass asserts that every parallel degree returns
+//! **bit-for-bit** the serial answer (full and windowed) before anything is
+//! timed, and — on machines with at least 4 cores — that the 4-thread full
+//! materialization beats serial by the acceptance ratio recorded in
+//! `crates/bench/baselines/BENCH_intra_query_parallelism.json`.  On smaller
+//! machines the speedup check is skipped (the workers would just time-slice
+//! one core) but the equivalence contract still runs.
+//!
+//! Set `GTPQ_BENCH_QUICK=1` for the CI smoke run.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpq_bench::workloads::arxiv_graph_small;
+use gtpq_core::{ExecCtl, ExecOptions, GteaEngine, QueryPlan};
+use gtpq_graph::{AttrValue, DataGraph};
+use gtpq_query::{AttrPredicate, CmpOp, EdgeKind, Gtpq, GtpqBuilder};
+
+fn quick() -> bool {
+    std::env::var("GTPQ_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The acceptance bar: 4-thread full materialization over serial, asserted
+/// only on machines with >= 4 cores.
+const MIN_SPEEDUP_AT_4: f64 = 2.5;
+
+/// Broad two-output citation joins — the `streaming_latency` arXiv workload:
+/// tens of thousands of result rows, so enumeration dominates the full run.
+fn arxiv_workload() -> Vec<Gtpq> {
+    let mut queries = Vec::new();
+    for (lo, hi) in [(1990, 1999), (1995, 2004), (1992, 2002)] {
+        let mut b = GtpqBuilder::new(
+            AttrPredicate::any()
+                .and("year", CmpOp::Ge, AttrValue::int(lo))
+                .and("year", CmpOp::Le, AttrValue::int(hi)),
+        );
+        let root = b.root_id();
+        let cited = b.backbone_child(
+            root,
+            EdgeKind::Descendant,
+            AttrPredicate::any().and("year", CmpOp::Ge, AttrValue::int(lo - 5)),
+        );
+        b.mark_output(root);
+        b.mark_output(cited);
+        queries.push(b.build().expect("arxiv parallelism query is well formed"));
+    }
+    queries
+}
+
+fn options(limit: Option<usize>, threads: usize) -> ExecOptions {
+    ExecOptions {
+        limit,
+        offset: 0,
+        ctl: ExecCtl::unbounded(),
+        threads,
+    }
+}
+
+/// Full materialization at the given degree; returns total rows.
+fn run_full(engine: &GteaEngine<'_>, work: &[(Gtpq, QueryPlan)], threads: usize) -> usize {
+    work.iter()
+        .map(|(q, plan)| {
+            engine
+                .execute(q, plan, options(None, threads))
+                .expect("unbounded execution cannot be interrupted")
+                .results
+                .len()
+        })
+        .sum()
+}
+
+/// Limit-10 window at the given degree; returns total rows.
+fn run_limit10(engine: &GteaEngine<'_>, work: &[(Gtpq, QueryPlan)], threads: usize) -> usize {
+    work.iter()
+        .map(|(q, plan)| {
+            engine
+                .execute(q, plan, options(Some(10), threads))
+                .expect("unbounded execution cannot be interrupted")
+                .results
+                .len()
+        })
+        .sum()
+}
+
+/// Pre-pass 1: every degree returns bit-for-bit the serial answer, full and
+/// windowed, and the parallel telemetry actually reports fan-out.
+fn assert_equivalence(engine: &GteaEngine<'_>, work: &[(Gtpq, QueryPlan)], degrees: &[usize]) {
+    for (q, plan) in work {
+        let serial = engine
+            .execute(q, plan, options(None, 1))
+            .expect("unbounded execution cannot be interrupted");
+        let serial_window = engine
+            .execute(q, plan, options(Some(10), 1))
+            .expect("unbounded execution cannot be interrupted");
+        for &threads in degrees {
+            let full = engine
+                .execute(q, plan, options(None, threads))
+                .expect("unbounded execution cannot be interrupted");
+            assert_eq!(
+                full.results, serial.results,
+                "{threads}-thread full answer diverged from serial"
+            );
+            if threads > 1 {
+                assert!(
+                    full.stats.parallel_workers > 1,
+                    "{threads}-thread run reported no fan-out"
+                );
+                assert!(full.stats.morsels_dispatched > 0);
+            }
+            let window = engine
+                .execute(q, plan, options(Some(10), threads))
+                .expect("unbounded execution cannot be interrupted");
+            assert_eq!(
+                window.results, serial_window.results,
+                "{threads}-thread limit-10 window diverged from serial"
+            );
+            assert_eq!(window.truncated, serial_window.truncated);
+        }
+    }
+}
+
+/// Pre-pass 2 (machines with >= 4 cores only): 4-thread full materialization
+/// must beat serial by the acceptance ratio.
+fn assert_speedup(engine: &GteaEngine<'_>, work: &[(Gtpq, QueryPlan)]) {
+    let samples = if quick() { 3 } else { 7 };
+    let measure = |threads: usize| -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..samples {
+            let start = Instant::now();
+            run_full(engine, work, threads);
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+    let serial = measure(1);
+    let parallel = measure(4);
+    let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(f64::EPSILON);
+    assert!(
+        speedup >= MIN_SPEEDUP_AT_4,
+        "4-thread full materialization speedup {speedup:.2}x is below the \
+         {MIN_SPEEDUP_AT_4}x acceptance bar (serial {serial:?}, 4-thread {parallel:?})"
+    );
+    eprintln!("intra_query_parallelism: 4-thread speedup {speedup:.2}x over serial");
+}
+
+fn prepare(graph: &DataGraph, queries: Vec<Gtpq>) -> Vec<(Gtpq, QueryPlan)> {
+    queries
+        .into_iter()
+        .map(|q| {
+            let plan = gtpq_core::Planner::new(graph).plan(&q);
+            (q, plan)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intra_query_parallelism");
+    if quick() {
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(50));
+        group.measurement_time(Duration::from_millis(200));
+    } else {
+        group.sample_size(15);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(1500));
+    }
+
+    let graph = arxiv_graph_small();
+    let engine = GteaEngine::new(&graph);
+    let work = prepare(&graph, arxiv_workload());
+
+    let n = cores();
+    let mut degrees = vec![1usize, 2, 4];
+    if !degrees.contains(&n) {
+        degrees.push(n);
+    }
+    assert_equivalence(&engine, &work, &degrees);
+    if n >= 4 {
+        assert_speedup(&engine, &work);
+    } else {
+        eprintln!(
+            "intra_query_parallelism: {n} core(s) available — speedup bar \
+             ({MIN_SPEEDUP_AT_4}x at 4 threads) skipped, equivalence still asserted"
+        );
+    }
+
+    for &threads in &degrees {
+        let label = if threads == 1 {
+            "serial".to_owned()
+        } else {
+            format!("t{threads}")
+        };
+        group.bench_with_input(BenchmarkId::new("full", &label), &work, |b, work| {
+            b.iter(|| run_full(&engine, work, threads))
+        });
+        group.bench_with_input(BenchmarkId::new("limit10", &label), &work, |b, work| {
+            b.iter(|| run_limit10(&engine, work, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! The GTEA evaluation engine.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use gtpq_graph::DataGraph;
@@ -10,17 +11,18 @@ use gtpq_reach::{Reachability, ThreeHop};
 use crate::exec::{ExecCtl, Interrupt};
 use crate::matching::MatchingGraph;
 use crate::options::GteaOptions;
+use crate::parallel::enumerate_parallel;
 use crate::plan::{execute_candidates, Planner, QueryPlan};
 use crate::prime::{PrimeSubtree, ShrunkPrime};
 use crate::prune::{prune_downward, prune_upward};
 use crate::stats::{EvalStats, OperatorStats};
-use crate::stream::MatchStream;
+use crate::stream::{MatchStream, StreamSource};
 
 /// Row-window and control parameters of one [`GteaEngine::execute`] call.
 ///
 /// The default is the legacy behaviour: no limit, no offset, unbounded
-/// control.
-#[derive(Clone, Debug, Default)]
+/// control, serial execution.
+#[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Stop after this many rows have been *emitted* (post-offset).  `None`
     /// materializes the full answer.
@@ -30,6 +32,25 @@ pub struct ExecOptions {
     pub offset: usize,
     /// Deadline / cancellation control polled by every pipeline stage.
     pub ctl: ExecCtl,
+    /// Intra-query parallelism degree: pipeline stages split their work into
+    /// morsels across up to this many worker threads, and enumeration runs
+    /// one partitioned stream per worker behind an ordered merge.  `1` (the
+    /// default) is fully serial.  The engine applies it structurally
+    /// whenever the input is splittable — cost-based gating (is this query
+    /// worth fanning out?) belongs to the caller, see
+    /// [`QueryPlan::recommended_threads`].
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            limit: None,
+            offset: 0,
+            ctl: ExecCtl::default(),
+            threads: 1,
+        }
+    }
 }
 
 impl ExecOptions {
@@ -53,6 +74,12 @@ impl ExecOptions {
     /// Sets the execution control.
     pub fn with_ctl(mut self, ctl: ExecCtl) -> Self {
         self.ctl = ctl;
+        self
+    }
+
+    /// Sets the intra-query parallelism degree (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -211,56 +238,109 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
         plan: &QueryPlan,
         options: ExecOptions,
     ) -> Result<Execution, Aborted> {
-        let ExecOptions { limit, offset, ctl } = options;
+        let ExecOptions {
+            limit,
+            offset,
+            ctl,
+            threads,
+        } = options;
+        let ctl = ctl.with_threads(threads);
         let tracer = ctl.tracer().clone();
-        let (mut stream, mut stats) = self.match_stream(q, plan, ctl)?;
+        let mut stats = EvalStats::default();
+        let source = match self.match_stream_inner(q, plan, &ctl, &mut stats) {
+            Ok(source) => source,
+            Err(interrupt) => {
+                return Err(Aborted {
+                    interrupt,
+                    stats: Box::new(stats),
+                })
+            }
+        };
         let span = tracer.span("enumerate");
         let mut results = ResultSet::new(q.output_nodes().to_vec());
         let mut truncated = false;
-        let mut skipped = 0usize;
         let mut interrupted = None;
-        loop {
-            match stream.next_row() {
-                Err(e) => {
-                    interrupted = Some(e);
-                    break;
-                }
-                Ok(None) => break,
-                Ok(Some(row)) => {
-                    if skipped < offset {
-                        skipped += 1;
-                        continue;
-                    }
-                    if limit.is_some_and(|l| results.len() >= l) {
-                        // The look-ahead row proves more rows exist past the
-                        // window.
-                        truncated = true;
-                        break;
-                    }
-                    results.insert(row);
-                }
-            }
-        }
-        span.field("rows", stream.rows_enumerated());
-        drop(span);
-        stats.result_tuples = results.len() as u64;
-        stats.enumerated_rows += stream.rows_enumerated();
-        stats.enumerate_time += stream.enumerate_time();
-        stats.time_to_first_row = stream.time_to_first_row();
         // The Collect operator reports what the enumerator was asked to do:
         // under a limit it produces at most the window (plus the look-ahead
         // row), so the full-answer estimate is capped accordingly — a
         // perfectly estimated plan must not read as an estimation error just
         // because the request stopped early.
         let window_cap = limit.map(|l| (offset.saturating_add(l).saturating_add(1)) as u64);
-        stats.operators.push(OperatorStats {
-            label: "Collect".to_owned(),
-            estimated_rows: window_cap.map_or(plan.collect_estimated_rows, |cap| {
-                plan.collect_estimated_rows.min(cap)
-            }),
-            actual_rows: stream.rows_enumerated(),
-            time: stream.enumerate_time(),
+        let collect_estimated = window_cap.map_or(plan.collect_estimated_rows, |cap| {
+            plan.collect_estimated_rows.min(cap)
         });
+        let parts = source
+            .as_ref()
+            .map_or(0, |s| ctl.threads().min(s.partition_width()));
+        if parts > 1 {
+            // Partitioned enumeration behind an order-preserving merge: one
+            // `MatchStream` per partition of the widest component's root
+            // candidates, k-way merged with the same adjacent-dedup rule the
+            // serial stream applies internally — bit-for-bit serial order.
+            let source = source.as_ref().expect("parts > 1 implies a source");
+            let (interrupt, collect) = enumerate_parallel(source, parts, limit, offset, &ctl);
+            interrupted = interrupt;
+            span.field("rows", collect.merged_rows);
+            span.field("partitions", collect.workers);
+            for row in collect.rows {
+                results.insert(row);
+            }
+            truncated = collect.truncated;
+            stats.enumerated_rows += collect.merged_rows;
+            stats.enumerate_time += collect.enumerate_time;
+            stats.time_to_first_row = collect.time_to_first_row;
+            stats.worker_rows += collect.worker_rows;
+            stats.worker_busy_time += collect.busy;
+            stats.parallel_workers = stats.parallel_workers.max(collect.workers);
+            stats.morsels_dispatched += collect.workers;
+            stats.max_queue_depth = stats.max_queue_depth.max(collect.max_queue_depth);
+            stats.operators.push(OperatorStats {
+                label: "Collect".to_owned(),
+                estimated_rows: collect_estimated,
+                actual_rows: collect.merged_rows,
+                time: collect.enumerate_time,
+            });
+        } else {
+            let mut stream = match source {
+                Some(source) => MatchStream::from_source(source, ctl.clone()),
+                None => MatchStream::empty(q, ctl.clone()),
+            };
+            let mut skipped = 0usize;
+            loop {
+                match stream.next_row() {
+                    Err(e) => {
+                        interrupted = Some(e);
+                        break;
+                    }
+                    Ok(None) => break,
+                    Ok(Some(row)) => {
+                        if skipped < offset {
+                            skipped += 1;
+                            continue;
+                        }
+                        if limit.is_some_and(|l| results.len() >= l) {
+                            // The look-ahead row proves more rows exist past
+                            // the window.
+                            truncated = true;
+                            break;
+                        }
+                        results.insert(row);
+                    }
+                }
+            }
+            span.field("rows", stream.rows_enumerated());
+            stats.enumerated_rows += stream.rows_enumerated();
+            stats.enumerate_time += stream.enumerate_time();
+            stats.time_to_first_row = stream.time_to_first_row();
+            stats.operators.push(OperatorStats {
+                label: "Collect".to_owned(),
+                estimated_rows: collect_estimated,
+                actual_rows: stream.rows_enumerated(),
+                time: stream.enumerate_time(),
+            });
+        }
+        drop(span);
+        stats.result_tuples = results.len() as u64;
         if let Some(interrupt) = interrupted {
             return Err(Aborted {
                 interrupt,
@@ -291,8 +371,9 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
         ctl: ExecCtl,
     ) -> Result<(MatchStream, EvalStats), Aborted> {
         let mut stats = EvalStats::default();
-        match self.match_stream_inner(q, plan, ctl, &mut stats) {
-            Ok(stream) => Ok((stream, stats)),
+        match self.match_stream_inner(q, plan, &ctl, &mut stats) {
+            Ok(Some(source)) => Ok((MatchStream::from_source(source, ctl), stats)),
+            Ok(None) => Ok((MatchStream::empty(q, ctl), stats)),
             Err(interrupt) => Err(Aborted {
                 interrupt,
                 stats: Box::new(stats),
@@ -302,19 +383,20 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
 
     /// The pipeline body of [`match_stream`](Self::match_stream): statistics
     /// accumulate into the caller-owned `stats` so an interrupt loses none of
-    /// the partial figures.
+    /// the partial figures.  Returns the prepared enumeration source, or
+    /// `None` when pruning proved the answer empty.
     fn match_stream_inner(
         &self,
         q: &Gtpq,
         plan: &QueryPlan,
-        ctl: ExecCtl,
+        ctl: &ExecCtl,
         stats: &mut EvalStats,
-    ) -> Result<MatchStream, Interrupt> {
+    ) -> Result<Option<Arc<StreamSource>>, Interrupt> {
         let g = self.graph;
 
         // Step 1: candidate selection along the plan's access paths.
         let span = ctl.tracer().span("candidates");
-        let mut mat = execute_candidates(q, g, plan, stats, &ctl)?;
+        let mut mat = execute_candidates(q, g, plan, stats, ctl)?;
         span.field("initial_candidates", stats.initial_candidates);
         drop(span);
 
@@ -324,7 +406,7 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
             .filter(|&u| q.is_backbone(u))
             .any(|u| mat[u.index()].is_empty())
         {
-            return Ok(MatchStream::empty(q, ctl));
+            return Ok(None);
         }
 
         // Step 2a: downward structural constraints, in plan order.
@@ -338,7 +420,7 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
             &steps,
             &mut mat,
             stats,
-            &ctl,
+            ctl,
         )?;
         span.field("survivors", stats.candidates_after_downward);
         drop(span);
@@ -348,7 +430,7 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
             .filter(|&u| q.is_backbone(u))
             .any(|u| mat[u.index()].is_empty())
         {
-            return Ok(MatchStream::empty(q, ctl));
+            return Ok(None);
         }
 
         // Step 2b: upward structural constraints on the prime subtree.
@@ -365,13 +447,13 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
                 plan.upward_estimated_rows,
                 &mut mat,
                 stats,
-                &ctl,
+                ctl,
             )?;
             span.field("est_rows", plan.upward_estimated_rows);
             span.field("survivors", stats.candidates_after_upward);
             drop(span);
             if prime.nodes.iter().any(|&u| mat[u.index()].is_empty()) {
-                return Ok(MatchStream::empty(q, ctl));
+                return Ok(None);
             }
         }
 
@@ -380,7 +462,7 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
         let shrunk = ShrunkPrime::new(q, &prime, &mat, self.options.shrink_prime_subtree);
         stats.shrunk_subtree_size = shrunk.len() as u64;
         let matching_start = Instant::now();
-        let matching = MatchingGraph::build(q, g, &self.index, &shrunk, &mat, stats, &ctl)?;
+        let matching = MatchingGraph::build(q, g, &self.index, &shrunk, &mat, stats, ctl)?;
         span.field("est_rows", plan.matching_estimated_rows);
         span.field("nodes", matching.node_count);
         span.field("edges", matching.edge_count);
@@ -392,8 +474,8 @@ impl<'g, R: Reachability> GteaEngine<'g, R> {
             time: matching_start.elapsed(),
         });
 
-        // Step 4 is pulled by the caller: the stream enumerates the answer.
-        Ok(MatchStream::build(q, shrunk, matching, mat, ctl))
+        // Step 4 is pulled by the caller: the source enumerates the answer.
+        Ok(Some(Arc::new(StreamSource::new(q, shrunk, matching, mat))))
     }
 }
 

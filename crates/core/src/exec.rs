@@ -69,18 +69,72 @@ impl CancelToken {
 ///
 /// Neither `Send` nor `Sync` (it keeps an interior poll counter and an
 /// `Rc`-shared [`Tracer`]); build one per evaluation and share the underlying
-/// [`CancelToken`] across threads instead.
+/// [`CancelToken`] across threads instead.  Worker threads of a
+/// morsel-parallel stage rebuild their own controls from the `Send`
+/// ingredients via [`worker`](Self::worker).
 ///
 /// The control also carries the request's tracer: every pipeline stage polls
 /// the control anyway, so riding the tracer along gives each stage span
 /// recording without widening any signature.  The default tracer is disabled
-/// and costs nothing.
-#[derive(Clone, Debug, Default)]
+/// and costs nothing.  It also carries the requested intra-query parallelism
+/// degree ([`threads`](Self::threads)), so every stage can decide whether to
+/// fan out without widening its signature either.
+#[derive(Clone, Debug)]
 pub struct ExecCtl {
     deadline: Option<Instant>,
     cancel: Option<CancelToken>,
+    /// A second cancellation slot, triggered by the *consumer* side of a
+    /// partitioned enumeration to stop its worker streams early (limit
+    /// satisfied).  Kept separate from `cancel` so a consumer-initiated stop
+    /// cannot be mistaken for a request-level cancellation.
+    stop: Option<CancelToken>,
+    threads: usize,
     polls: Cell<u32>,
     tracer: Tracer,
+}
+
+impl Default for ExecCtl {
+    fn default() -> Self {
+        Self {
+            deadline: None,
+            cancel: None,
+            stop: None,
+            threads: 1,
+            polls: Cell::new(0),
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+/// The `Send` ingredients of an [`ExecCtl`]: deadline and cancellation
+/// tokens, without the thread-local poll counter and tracer.  Worker threads
+/// of a parallel stage call [`ctl`](Self::ctl) to rebuild a control that
+/// honours the same deadline and cancellation as the parent.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerCtl {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    stop: Option<CancelToken>,
+}
+
+impl WorkerCtl {
+    /// Adds the consumer-side stop token (see [`ExecCtl::with_stop`]).
+    pub fn with_stop(mut self, token: CancelToken) -> Self {
+        self.stop = Some(token);
+        self
+    }
+
+    /// Builds a single-threaded control with the same deadline and
+    /// cancellation sources as the parent, a fresh poll counter and a
+    /// disabled tracer.
+    pub fn ctl(&self) -> ExecCtl {
+        ExecCtl {
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            stop: self.stop.clone(),
+            ..ExecCtl::default()
+        }
+    }
 }
 
 impl ExecCtl {
@@ -114,20 +168,56 @@ impl ExecCtl {
         self
     }
 
+    /// Sets the intra-query parallelism degree (clamped to at least 1).
+    /// Stages fan out over the worker pool only when this exceeds 1 *and*
+    /// their input is large enough to split.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Adds the consumer-side stop token of a partitioned enumeration: when
+    /// triggered, polls report [`Interrupt::Cancelled`] just like a request
+    /// cancellation, but only the worker streams holding the token see it.
+    pub fn with_stop(mut self, token: CancelToken) -> Self {
+        self.stop = Some(token);
+        self
+    }
+
     /// The tracer the pipeline records spans through (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
     }
 
+    /// The intra-query parallelism degree (1 = serial, the default).
+    pub fn threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// The `Send` ingredients of this control, for rebuilding per-worker
+    /// controls on other threads.
+    pub fn worker(&self) -> WorkerCtl {
+        WorkerCtl {
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+            stop: self.stop.clone(),
+        }
+    }
+
     /// Whether this control can never interrupt.
     pub fn is_unbounded(&self) -> bool {
-        self.deadline.is_none() && self.cancel.is_none()
+        self.deadline.is_none() && self.cancel.is_none() && self.stop.is_none()
     }
 
     /// Full poll for operator boundaries: always checks the cancellation
     /// flag and, when a deadline is set, the wall clock.
     pub fn check(&self) -> Result<(), Interrupt> {
         if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(Interrupt::Cancelled);
+            }
+        }
+        if let Some(token) = &self.stop {
             if token.is_cancelled() {
                 return Err(Interrupt::Cancelled);
             }
@@ -152,6 +242,11 @@ impl ExecCtl {
         if self.deadline.is_some() && !polls.is_multiple_of(SAMPLE_EVERY) {
             // Between clock reads, still honour cancellation (atomic load).
             if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return Err(Interrupt::Cancelled);
+                }
+            }
+            if let Some(token) = &self.stop {
                 if token.is_cancelled() {
                     return Err(Interrupt::Cancelled);
                 }
@@ -214,5 +309,45 @@ mod tests {
     fn interrupts_render_as_errors() {
         assert!(Interrupt::Timeout.to_string().contains("deadline"));
         assert!(Interrupt::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn threads_degree_is_clamped_to_at_least_one() {
+        assert_eq!(ExecCtl::default().threads(), 1);
+        assert_eq!(ExecCtl::unbounded().with_threads(0).threads(), 1);
+        assert_eq!(ExecCtl::unbounded().with_threads(8).threads(), 8);
+    }
+
+    #[test]
+    fn worker_controls_share_deadline_and_cancellation() {
+        let token = CancelToken::new();
+        let parent = ExecCtl::unbounded()
+            .with_cancel(token.clone())
+            .with_timeout(Duration::from_secs(3600))
+            .with_threads(4);
+        let parts = parent.worker();
+        let handle = std::thread::spawn(move || {
+            let wctl = parts.ctl();
+            assert_eq!(wctl.threads(), 1);
+            assert_eq!(wctl.check(), Ok(()));
+            token.cancel();
+            assert_eq!(wctl.check(), Err(Interrupt::Cancelled));
+        });
+        handle.join().unwrap();
+        assert_eq!(parent.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn stop_token_cancels_workers_but_not_the_parent() {
+        let stop = CancelToken::new();
+        let parent = ExecCtl::unbounded().with_timeout(Duration::from_secs(3600));
+        let wctl = parent.worker().with_stop(stop.clone()).ctl();
+        assert_eq!(wctl.check(), Ok(()));
+        assert_eq!(wctl.check_sampled(), Ok(()));
+        stop.cancel();
+        assert_eq!(wctl.check(), Err(Interrupt::Cancelled));
+        assert_eq!(wctl.check_sampled(), Err(Interrupt::Cancelled));
+        // The parent never sees a consumer-side stop.
+        assert_eq!(parent.check(), Ok(()));
     }
 }

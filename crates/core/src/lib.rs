@@ -43,7 +43,9 @@ pub mod collect;
 pub mod engine;
 pub mod exec;
 pub mod matching;
+pub(crate) mod morsel;
 pub mod options;
+pub(crate) mod parallel;
 pub mod plan;
 pub mod prime;
 pub mod prune;
@@ -51,11 +53,11 @@ pub mod stats;
 pub mod stream;
 
 pub use engine::{Aborted, ExecOptions, Execution, GteaEngine};
-pub use exec::{CancelToken, ExecCtl, Interrupt};
+pub use exec::{CancelToken, ExecCtl, Interrupt, WorkerCtl};
 // Re-exported so `ExecCtl::with_tracer` callers need no direct `gtpq-obs`
 // dependency.
-pub use gtpq_obs::{Trace, Tracer};
+pub use gtpq_obs::{SpanCollector, Trace, Tracer};
 pub use options::GteaOptions;
 pub use plan::{AccessPath, CandidateStep, Planner, PruneStep, QueryPlan};
 pub use stats::{EvalStats, OperatorStats};
-pub use stream::MatchStream;
+pub use stream::{MatchStream, StreamSource};

@@ -8,6 +8,7 @@
 //! single edge, so the representation is at most quadratic even when the
 //! number of matches is exponential.
 
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -16,6 +17,7 @@ use gtpq_query::{EdgeKind, Gtpq, QueryNodeId};
 use gtpq_reach::Reachability;
 
 use crate::exec::{ExecCtl, Interrupt};
+use crate::morsel;
 use crate::prime::ShrunkPrime;
 use crate::stats::EvalStats;
 
@@ -82,13 +84,19 @@ impl MatchingGraph {
                 .iter()
                 .map(|c| mat[c.index()].iter().copied().collect())
                 .collect();
-            for &v in &mat[u.index()] {
-                ctl.check_sampled()?;
+            // The per-candidate branch lists are independent of each other,
+            // so the candidate domain splits into morsels; outputs come back
+            // in input order and fold into the graph exactly as the serial
+            // loop would.  PC adjacency lookups ride the per-worker side
+            // counter; reachability-probe counts are picked up by the
+            // `lookup_count` delta in [`MatchingGraph::build`].
+            let candidates = &mat[u.index()];
+            let per_candidate = |&v: &NodeId, lookups: &Cell<u64>| -> Vec<Vec<NodeId>> {
                 let mut lists: Vec<Vec<NodeId>> = Vec::with_capacity(children.len());
                 for (ci, &child) in children.iter().enumerate() {
                     let matched: Vec<NodeId> = match q.incoming_edge(child) {
                         Some(EdgeKind::Child) => {
-                            stats.index_lookups += g.out_degree(v) as u64;
+                            lookups.set(lookups.get() + g.out_degree(v) as u64);
                             g.children(v)
                                 .iter()
                                 .copied()
@@ -104,9 +112,28 @@ impl MatchingGraph {
                                 .collect()
                         }
                     };
-                    graph.edge_count += matched.len();
                     lists.push(matched);
                 }
+                lists
+            };
+            let ranges = morsel::morsel_ranges(candidates.len(), ctl.threads());
+            let (all_lists, pc_lookups) = if ctl.threads() > 1 && ranges.len() > 1 {
+                let (all_lists, round) =
+                    morsel::parallel_map(candidates, &ranges, ctl, per_candidate)?;
+                morsel::fold_round(stats, &round);
+                (all_lists, round.lookups)
+            } else {
+                let counter = Cell::new(0u64);
+                let mut all_lists = Vec::with_capacity(candidates.len());
+                for v in candidates {
+                    ctl.check_sampled()?;
+                    all_lists.push(per_candidate(v, &counter));
+                }
+                (all_lists, counter.get())
+            };
+            stats.index_lookups += pc_lookups;
+            for (&v, lists) in candidates.iter().zip(all_lists) {
+                graph.edge_count += lists.iter().map(Vec::len).sum::<usize>();
                 graph.branches.insert((u, v), lists);
             }
         }

@@ -1,0 +1,342 @@
+//! Morsel-driven parallel-for over candidate slices.
+//!
+//! The pruning rounds, matching-graph construction and full-scan candidate
+//! selection all share one shape: a pure per-item function applied to a large
+//! slice of candidates.  This module splits such a slice into fixed-size
+//! *morsels* and runs them on scoped worker threads with work stealing (an
+//! atomic cursor over the morsel list), then reassembles the per-morsel
+//! outputs in input order — so a parallel round produces bit-for-bit the same
+//! result as the serial loop it replaces.
+//!
+//! Workers rebuild their own [`ExecCtl`] from the parent's `Send` parts
+//! ([`ExecCtl::worker`]) and poll it per item, so deadlines and cancellation
+//! keep their serial responsiveness.  Per-worker side counters (index
+//! lookups) ride in a `Cell` and are summed after the join — order
+//! independent, hence deterministic.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::exec::{ExecCtl, Interrupt};
+use crate::stats::EvalStats;
+
+/// Morsels handed out per worker thread: small enough to steal, large enough
+/// to amortize the cursor bump.
+const MORSELS_PER_WORKER: usize = 4;
+
+/// What one parallel round did, folded into [`EvalStats`] by
+/// [`fold_round`].
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct RoundStats {
+    /// Worker threads the round spawned.
+    pub workers: u64,
+    /// Morsels processed.
+    pub morsels: u64,
+    /// Busy time summed over the workers.
+    pub busy: Duration,
+    /// Side-counter total (adjacency/index lookups) summed over the workers.
+    pub lookups: u64,
+}
+
+/// Folds one round's telemetry into the evaluation stats.  Lookups are *not*
+/// folded here — callers add them to whichever counter the serial code used.
+pub(crate) fn fold_round(stats: &mut EvalStats, round: &RoundStats) {
+    stats.parallel_workers = stats.parallel_workers.max(round.workers);
+    stats.morsels_dispatched += round.morsels;
+    stats.worker_busy_time += round.busy;
+}
+
+/// Splits `0..len` into contiguous morsel ranges sized for `threads`
+/// workers.  Ranges are non-empty, ordered and exactly cover `0..len`.
+pub(crate) fn morsel_ranges(len: usize, threads: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1);
+    let size = len.div_ceil(threads * MORSELS_PER_WORKER).max(1);
+    (0..len)
+        .step_by(size)
+        .map(|start| start..(start + size).min(len))
+        .collect()
+}
+
+/// Extends each morsel boundary forward while the items on both sides of it
+/// belong to the same group (`same_group(i, j)` compares items at positions
+/// `i` and `j`), merging away any range the extension swallowed.  Used to
+/// snap prune morsels to SCC-condensation boundaries so one worker handles a
+/// whole strongly connected component's worth of candidates.
+pub(crate) fn snap_ranges(
+    ranges: &[Range<usize>],
+    same_group: impl Fn(usize, usize) -> bool,
+) -> Vec<Range<usize>> {
+    let Some(last) = ranges.last() else {
+        return Vec::new();
+    };
+    let len = last.end;
+    let mut out: Vec<Range<usize>> = Vec::with_capacity(ranges.len());
+    let mut start = 0usize;
+    for range in ranges {
+        let mut end = range.end.max(start);
+        while end > start && end < len && same_group(end - 1, end) {
+            end += 1;
+        }
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    if start < len {
+        out.push(start..len);
+    }
+    out
+}
+
+/// Applies `f` to every item of `items` across `ctl.threads()` scoped worker
+/// threads and returns the outputs in input order, plus the round's
+/// telemetry.
+///
+/// `f` receives the item and a per-worker side counter (for lookup
+/// accounting); it must be pure with respect to item order.  Workers poll a
+/// rebuilt control per item and the first interrupt (by worker index) wins;
+/// partial outputs are discarded on interrupt, matching the serial loops
+/// which also abandon their partially filtered state.
+pub(crate) fn parallel_map<T, U, F>(
+    items: &[T],
+    ranges: &[Range<usize>],
+    ctl: &ExecCtl,
+    f: F,
+) -> Result<(Vec<U>, RoundStats), Interrupt>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T, &Cell<u64>) -> U + Sync,
+{
+    struct WorkerOutcome<U> {
+        chunks: Vec<(usize, Vec<U>)>,
+        lookups: u64,
+        busy: Duration,
+        fail: Option<Interrupt>,
+    }
+
+    let workers = ctl.threads().min(ranges.len()).max(1);
+    let parts = ctl.worker();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let parts = &parts;
+    let cursor = &cursor;
+    let outcomes: Vec<WorkerOutcome<U>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let wctl = parts.ctl();
+                    let counter = Cell::new(0u64);
+                    let mut chunks: Vec<(usize, Vec<U>)> = Vec::new();
+                    let mut fail = None;
+                    'steal: loop {
+                        let m = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(range) = ranges.get(m) else {
+                            break;
+                        };
+                        let mut out = Vec::with_capacity(range.len());
+                        for item in &items[range.clone()] {
+                            if let Err(e) = wctl.check_sampled() {
+                                fail = Some(e);
+                                break 'steal;
+                            }
+                            out.push(f(item, &counter));
+                        }
+                        chunks.push((m, out));
+                    }
+                    WorkerOutcome {
+                        chunks,
+                        lookups: counter.get(),
+                        busy: start.elapsed(),
+                        fail,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("morsel worker panicked"))
+            .collect()
+    });
+
+    let mut round = RoundStats {
+        workers: workers as u64,
+        ..RoundStats::default()
+    };
+    let mut fail = None;
+    let mut chunks = Vec::new();
+    for outcome in outcomes {
+        round.busy += outcome.busy;
+        round.lookups += outcome.lookups;
+        round.morsels += outcome.chunks.len() as u64;
+        if fail.is_none() {
+            fail = outcome.fail;
+        }
+        chunks.extend(outcome.chunks);
+    }
+    if let Some(interrupt) = fail {
+        return Err(interrupt);
+    }
+    chunks.sort_unstable_by_key(|&(m, _)| m);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, chunk) in chunks {
+        out.extend(chunk);
+    }
+    Ok((out, round))
+}
+
+/// Filters `items` by `keep`, fanning out over `ranges` when the control
+/// allows (`ctl.threads() > 1` and more than one morsel) and falling back to
+/// the serial loop otherwise.  Both paths poll per item and run the same
+/// `keep` closure, so the kept sequence is identical; the returned `u64` is
+/// the side-counter total (adjacency lookups) either way.
+///
+/// The gate is deliberately structural — any splittable input parallelizes —
+/// so property tests on small graphs exercise the parallel code paths; the
+/// *cost-based* decision of whether a query is worth fanning out at all
+/// happens in the planner/service layer before `threads` ever exceeds 1.
+pub(crate) fn parallel_retain<T, F>(
+    items: Vec<T>,
+    ranges: &[Range<usize>],
+    ctl: &ExecCtl,
+    stats: &mut EvalStats,
+    keep: F,
+) -> Result<(Vec<T>, u64), Interrupt>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, &Cell<u64>) -> bool + Sync,
+{
+    if ctl.threads() > 1 && ranges.len() > 1 {
+        let (flags, round) = parallel_map(&items, ranges, ctl, |&v, counter| keep(v, counter))?;
+        fold_round(stats, &round);
+        let kept = items
+            .iter()
+            .zip(&flags)
+            .filter(|&(_, &flag)| flag)
+            .map(|(&v, _)| v)
+            .collect();
+        Ok((kept, round.lookups))
+    } else {
+        let counter = Cell::new(0u64);
+        let mut kept = Vec::with_capacity(items.len());
+        for &v in &items {
+            ctl.check_sampled()?;
+            if keep(v, &counter) {
+                kept.push(v);
+            }
+        }
+        Ok((kept, counter.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::CancelToken;
+
+    fn flatten(ranges: &[Range<usize>]) -> Vec<usize> {
+        ranges.iter().flat_map(|r| r.clone()).collect()
+    }
+
+    #[test]
+    fn ranges_cover_the_domain_exactly() {
+        for len in [0usize, 1, 2, 3, 7, 64, 1000, 1001] {
+            for threads in [1usize, 2, 4, 8] {
+                let ranges = morsel_ranges(len, threads);
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                assert_eq!(flatten(&ranges), (0..len).collect::<Vec<_>>());
+            }
+        }
+        assert!(morsel_ranges(0, 4).is_empty());
+        // Large inputs produce more morsels than workers, so stealing has
+        // something to steal.
+        assert!(morsel_ranges(1000, 4).len() > 4);
+    }
+
+    #[test]
+    fn snapping_never_splits_a_group() {
+        // Groups by value: boundaries may only sit where the value changes.
+        let groups = [0, 0, 0, 1, 1, 1, 1, 2, 3, 3, 3, 3, 3, 4];
+        for threads in [2usize, 3, 5] {
+            let ranges = morsel_ranges(groups.len(), threads);
+            let snapped = snap_ranges(&ranges, |a, b| groups[a] == groups[b]);
+            assert_eq!(flatten(&snapped), (0..groups.len()).collect::<Vec<_>>());
+            for r in &snapped {
+                if r.end < groups.len() {
+                    assert_ne!(groups[r.end - 1], groups[r.end], "split at {r:?}");
+                }
+            }
+        }
+        // One giant group collapses to a single range.
+        let ranges = morsel_ranges(16, 4);
+        let snapped = snap_ranges(&ranges, |_, _| true);
+        assert_eq!(snapped, vec![0..16]);
+        assert!(snap_ranges(&[], |_, _| true).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_order_and_counts() {
+        let items: Vec<u64> = (0..1000).collect();
+        let ctl = ExecCtl::unbounded().with_threads(4);
+        let ranges = morsel_ranges(items.len(), ctl.threads());
+        let (out, round) = parallel_map(&items, &ranges, &ctl, |&x, lookups| {
+            lookups.set(lookups.get() + 2);
+            x * 3 + 1
+        })
+        .unwrap();
+        assert_eq!(out, items.iter().map(|&x| x * 3 + 1).collect::<Vec<_>>());
+        assert_eq!(round.lookups, 2000);
+        assert_eq!(round.morsels as usize, ranges.len());
+        assert_eq!(round.workers, 4);
+        assert!(round.busy > Duration::ZERO);
+        let mut stats = EvalStats::default();
+        fold_round(&mut stats, &round);
+        assert_eq!(stats.parallel_workers, 4);
+        assert_eq!(stats.morsels_dispatched, round.morsels);
+    }
+
+    #[test]
+    fn parallel_map_propagates_interrupts() {
+        let items: Vec<u64> = (0..100).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = ExecCtl::unbounded().with_cancel(token).with_threads(4);
+        let ranges = morsel_ranges(items.len(), ctl.threads());
+        let err = parallel_map(&items, &ranges, &ctl, |&x, _| x).unwrap_err();
+        assert_eq!(err, Interrupt::Cancelled);
+
+        let ctl = ExecCtl::unbounded()
+            .with_timeout(Duration::ZERO)
+            .with_threads(2);
+        let err = parallel_map(&items, &ranges, &ctl, |&x, _| x).unwrap_err();
+        assert_eq!(err, Interrupt::Timeout);
+    }
+
+    #[test]
+    fn retain_parallel_equals_retain_serial() {
+        let items: Vec<u64> = (0..500).collect();
+        let keep = |x: u64, counter: &Cell<u64>| {
+            counter.set(counter.get() + 1);
+            x.is_multiple_of(3)
+        };
+        let serial_ctl = ExecCtl::unbounded();
+        let ranges = morsel_ranges(items.len(), 8);
+        let mut stats = EvalStats::default();
+        let (serial, serial_lookups) =
+            parallel_retain(items.clone(), &ranges, &serial_ctl, &mut stats, keep).unwrap();
+        assert_eq!(stats.parallel_workers, 0, "serial path records no workers");
+        let parallel_ctl = ExecCtl::unbounded().with_threads(8);
+        let (parallel, parallel_lookups) =
+            parallel_retain(items, &ranges, &parallel_ctl, &mut stats, keep).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_lookups, parallel_lookups);
+        assert!(stats.parallel_workers > 1);
+    }
+}

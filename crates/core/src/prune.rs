@@ -1,17 +1,47 @@
 //! The two-round pruning process (§4.2, Procedures 6 and 7).
 
+use std::ops::Range;
 use std::time::Instant;
 
-use gtpq_graph::{DataGraph, NodeBitSet, NodeId};
+use gtpq_graph::{Condensation, DataGraph, NodeBitSet, NodeId};
 use gtpq_logic::valuation::eval_with;
 use gtpq_query::{EdgeKind, Gtpq, QueryNodeId};
 use gtpq_reach::{Probe, Reachability};
 
 use crate::exec::{ExecCtl, Interrupt};
+use crate::morsel;
 use crate::options::GteaOptions;
 use crate::plan::PruneStep;
 use crate::prime::PrimeSubtree;
 use crate::stats::{EvalStats, OperatorStats};
+
+/// Candidate-set size from which parallel prune morsels are snapped to SCC
+/// condensation boundaries: below this, the snap's component lookups cost
+/// more than the locality they buy.
+const SNAP_MIN_CANDIDATES: usize = 4096;
+
+/// Morsel boundaries for one parallel prune round over `candidates`.  Large
+/// rounds snap boundaries to the graph's SCC structure (candidate lists are
+/// sorted by node id, so one component's candidates are contiguous whenever
+/// node ids follow component layout) — one worker then owns each big
+/// component's run of candidates, keeping its contour probes and adjacency
+/// reads on one thread.  The condensation is built once and reused across
+/// the round's steps.
+fn prune_ranges(
+    g: &DataGraph,
+    candidates: &[NodeId],
+    ctl: &ExecCtl,
+    condensation: &mut Option<Condensation>,
+) -> Vec<Range<usize>> {
+    let ranges = morsel::morsel_ranges(candidates.len(), ctl.threads());
+    if ctl.threads() <= 1 || candidates.len() < SNAP_MIN_CANDIDATES {
+        return ranges;
+    }
+    let cond = condensation.get_or_insert_with(|| Condensation::new(g));
+    morsel::snap_ranges(&ranges, |a, b| {
+        cond.component_of(candidates[a]) == cond.component_of(candidates[b])
+    })
+}
 
 /// Selects the initial candidate matching nodes `mat(u)` for every query node
 /// through the graph's attribute inverted index.
@@ -95,6 +125,9 @@ fn prune_downward_inner<R: Reachability + ?Sized>(
     // loop and reused across every internal query node (cleared in
     // O(touched), not re-allocated).
     let mut pc_pool: Vec<NodeBitSet> = Vec::new();
+    // SCC condensation for snapping morsel boundaries, built lazily for the
+    // first large parallel round and shared across steps.
+    let mut condensation: Option<Condensation> = None;
     for step in steps {
         let u = step.node;
         if u.index() >= q.size() || q.node(u).is_leaf() {
@@ -136,14 +169,12 @@ fn prune_downward_inner<R: Reachability + ?Sized>(
 
         let candidates = std::mem::take(&mut mat[u.index()]);
         stats.input_nodes += candidates.len() as u64;
-        let adjacency_lookups = std::cell::Cell::new(0u64);
-        let mut kept = Vec::with_capacity(candidates.len());
-        {
+        let ranges = prune_ranges(g, &candidates, ctl, &mut condensation);
+        let (candidates, adjacency_lookups) = {
             let mat_ref: &[Vec<NodeId>] = mat;
             let pool_ref: &[NodeBitSet] = &pc_pool;
-            for &v in &candidates {
-                ctl.check_sampled()?;
-                let keep = eval_with(&fext, &|var| {
+            let keep = |v: NodeId, lookups: &std::cell::Cell<u64>| {
+                eval_with(&fext, &|var| {
                     let child = QueryNodeId::from_var(var);
                     let Some(pos) = children.iter().position(|&c| c == child) else {
                         return false;
@@ -152,7 +183,7 @@ fn prune_downward_inner<R: Reachability + ?Sized>(
                         Some(EdgeKind::Child) => {
                             let bits =
                                 &pool_ref[pc_slots[pos].expect("PC child has a bitset slot")];
-                            adjacency_lookups.set(adjacency_lookups.get() + g.out_degree(v) as u64);
+                            lookups.set(lookups.get() + g.out_degree(v) as u64);
                             g.children(v).iter().any(|&c| bits.contains(c))
                         }
                         _ => match &ad_probes[pos] {
@@ -160,14 +191,11 @@ fn prune_downward_inner<R: Reachability + ?Sized>(
                             None => mat_ref[child.index()].iter().any(|&t| index.reaches(v, t)),
                         },
                     }
-                });
-                if keep {
-                    kept.push(v);
-                }
-            }
-        }
-        let candidates = kept;
-        stats.index_lookups += adjacency_lookups.get();
+                })
+            };
+            morsel::parallel_retain(candidates, &ranges, ctl, stats, keep)?
+        };
+        stats.index_lookups += adjacency_lookups;
         span.field("est_rows", step.estimated_rows);
         span.field("actual_rows", candidates.len());
         drop(span);
@@ -242,42 +270,35 @@ fn prune_upward_inner<R: Reachability + ?Sized>(
 ) -> Result<(), Interrupt> {
     // One parent-membership bitset reused across every prime edge.
     let mut parent_bits = NodeBitSet::new(g.node_count());
+    let mut condensation: Option<Condensation> = None;
     for &u in &prime.nodes {
         for &child in prime.children_of(u) {
             let candidates = std::mem::take(&mut mat[child.index()]);
             stats.input_nodes += candidates.len() as u64;
-            let mut kept = Vec::with_capacity(candidates.len());
-            match q.incoming_edge(child) {
+            let ranges = prune_ranges(g, &candidates, ctl, &mut condensation);
+            let (kept, lookups) = match q.incoming_edge(child) {
                 Some(EdgeKind::Child) => {
                     parent_bits.clear();
                     parent_bits.extend_from_slice(&mat[u.index()]);
-                    for &v in &candidates {
-                        ctl.check_sampled()?;
-                        stats.index_lookups += g.in_degree(v) as u64;
-                        if g.parents(v).iter().any(|&p| parent_bits.contains(p)) {
-                            kept.push(v);
-                        }
-                    }
+                    let bits = &parent_bits;
+                    morsel::parallel_retain(candidates, &ranges, ctl, stats, |v, lookups| {
+                        lookups.set(lookups.get() + g.in_degree(v) as u64);
+                        g.parents(v).iter().any(|&p| bits.contains(p))
+                    })?
                 }
                 _ => {
                     if options.use_contours {
                         let probe = index.succ_probe(&mat[u.index()]);
-                        for &v in &candidates {
-                            ctl.check_sampled()?;
-                            if probe(v) {
-                                kept.push(v);
-                            }
-                        }
+                        morsel::parallel_retain(candidates, &ranges, ctl, stats, |v, _| probe(v))?
                     } else {
-                        for &v in &candidates {
-                            ctl.check_sampled()?;
-                            if mat[u.index()].iter().any(|&s| index.reaches(s, v)) {
-                                kept.push(v);
-                            }
-                        }
+                        let parents = &mat[u.index()];
+                        morsel::parallel_retain(candidates, &ranges, ctl, stats, |v, _| {
+                            parents.iter().any(|&s| index.reaches(s, v))
+                        })?
                     }
                 }
-            }
+            };
+            stats.index_lookups += lookups;
             mat[child.index()] = kept;
         }
     }

@@ -34,7 +34,9 @@
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::ops::Range;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gtpq_graph::NodeId;
@@ -58,16 +60,97 @@ type Partial = Vec<(usize, NodeId)>;
 /// A shared, lazily produced sorted list of partials.
 type ListHandle = Rc<RefCell<LazyList>>;
 
-/// Immutable context shared by every lazy list of one stream.
-struct StreamCtx {
+/// The immutable, `Send + Sync` inputs of result enumeration: the shrunk
+/// prime subtree, the maximal matching graph, the pruned candidate sets and
+/// the output-coordinate layout.
+///
+/// Extracted from [`MatchStream`] so parallel enumeration can share one
+/// source across worker threads behind an `Arc`, each worker building its
+/// own (thread-local, `Rc`-based) stream over a *partition* of the widest
+/// component's root candidates.
+pub struct StreamSource {
     shrunk: ShrunkPrime,
     matching: MatchingGraph,
     mat: Vec<Vec<NodeId>>,
     /// Output-coordinate of each query node (`None` for non-output nodes).
     rank: Vec<Option<usize>>,
+    /// Constant columns of shrunk-away output nodes.
+    constants: Partial,
+    output_len: usize,
+    /// Index (into `shrunk.roots`) of the component with the most root
+    /// candidates — the axis partitioned streams split on.
+    axis: Option<usize>,
+}
+
+impl StreamSource {
+    /// Captures the enumeration inputs.  `mat` must hold the candidate sets
+    /// *after* both prune rounds, and `matching` the maximal matching graph
+    /// built from them.
+    pub fn new(
+        q: &Gtpq,
+        shrunk: ShrunkPrime,
+        matching: MatchingGraph,
+        mat: Vec<Vec<NodeId>>,
+    ) -> Self {
+        let outputs = q.output_nodes();
+        let mut rank: Vec<Option<usize>> = vec![None; q.size()];
+        for (i, &u) in outputs.iter().enumerate() {
+            rank[u.index()] = Some(i);
+        }
+        let constants: Partial = shrunk
+            .constant_outputs
+            .iter()
+            .filter_map(|&(u, v)| rank[u.index()].map(|r| (r, v)))
+            .collect();
+        // First-widest wins so the axis is deterministic across runs.
+        let mut axis: Option<(usize, usize)> = None;
+        for (i, r) in shrunk.roots.iter().enumerate() {
+            let width = mat[r.index()].len();
+            if axis.is_none_or(|(_, best)| width > best) {
+                axis = Some((i, width));
+            }
+        }
+        Self {
+            shrunk,
+            matching,
+            mat,
+            rank,
+            constants,
+            output_len: outputs.len(),
+            axis: axis.map(|(i, _)| i),
+        }
+    }
+
+    /// Number of output coordinates per row.
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// How many top-level units the partition axis (the component with the
+    /// most root candidates) offers: the upper bound on useful enumeration
+    /// partitions.  Zero when every component was shrunk away.
+    pub fn partition_width(&self) -> usize {
+        self.axis
+            .map(|i| self.mat[self.shrunk.roots[i].index()].len())
+            .unwrap_or(0)
+    }
+}
+
+/// Immutable context shared by every lazy list of one stream: the shared
+/// source plus this stream's thread-local memo table.
+struct StreamCtx {
+    source: Arc<StreamSource>,
     /// Memoized node lists, shared across every parent that points at the
     /// same `(query node, candidate)` pair.
     memo: RefCell<HashMap<(QueryNodeId, NodeId), ListHandle>>,
+}
+
+impl std::ops::Deref for StreamCtx {
+    type Target = StreamSource;
+
+    fn deref(&self) -> &StreamSource {
+        &self.source
+    }
 }
 
 /// A sorted list of distinct partials, extended on demand by its producer.
@@ -312,22 +395,28 @@ impl MatchStream {
         mat: Vec<Vec<NodeId>>,
         ctl: ExecCtl,
     ) -> Self {
-        let outputs = q.output_nodes();
-        let mut rank: Vec<Option<usize>> = vec![None; q.size()];
-        for (i, &u) in outputs.iter().enumerate() {
-            rank[u.index()] = Some(i);
-        }
-        let constants: Partial = shrunk
-            .constant_outputs
-            .iter()
-            .filter_map(|&(u, v)| rank[u.index()].map(|r| (r, v)))
-            .collect();
-        let roots = shrunk.roots.clone();
+        Self::from_source(Arc::new(StreamSource::new(q, shrunk, matching, mat)), ctl)
+    }
+
+    /// Builds the stream over a prepared (possibly shared) source.
+    pub fn from_source(source: Arc<StreamSource>, ctl: ExecCtl) -> Self {
+        Self::over(source, None, ctl)
+    }
+
+    /// Builds a stream restricted to the root candidates at positions
+    /// `part` of the source's partition axis (the widest component); the
+    /// other components enumerate in full.  The union of the streams over a
+    /// partition of `0..partition_width()`, merged in order with
+    /// adjacent-duplicate elimination, is bit-for-bit the serial stream.
+    pub(crate) fn partitioned(source: Arc<StreamSource>, part: Range<usize>, ctl: ExecCtl) -> Self {
+        Self::over(source, Some(part), ctl)
+    }
+
+    fn over(source: Arc<StreamSource>, part: Option<Range<usize>>, ctl: ExecCtl) -> Self {
+        let output_len = source.output_len;
+        let constants = source.constants.clone();
         let ctx = Rc::new(StreamCtx {
-            shrunk,
-            matching,
-            mat,
-            rank,
+            source,
             memo: RefCell::new(HashMap::new()),
         });
         // One deduplicating merge per shrunk component (over the component
@@ -335,13 +424,19 @@ impl MatchStream {
         // constant columns attached.  Zero components (everything shrunk
         // away) yield exactly the constants tuple, matching the
         // materializing semantics.
-        let components: Vec<ListHandle> = roots
+        let components: Vec<ListHandle> = ctx
+            .shrunk
+            .roots
             .iter()
-            .map(|&r| {
-                let sources: Vec<ListHandle> = ctx.mat[r.index()]
-                    .iter()
-                    .map(|&v| node_list(&ctx, r, v))
-                    .collect();
+            .enumerate()
+            .map(|(i, &r)| {
+                let all = ctx.mat[r.index()].as_slice();
+                let cands: &[NodeId] = match (&part, ctx.axis) {
+                    (Some(range), Some(axis)) if axis == i => &all[range.clone()],
+                    _ => all,
+                };
+                let sources: Vec<ListHandle> =
+                    cands.iter().map(|&v| node_list(&ctx, r, v)).collect();
                 LazyList {
                     items: Vec::new(),
                     producer: Some(Producer::Merge(MergeState::new(sources))),
@@ -357,7 +452,7 @@ impl MatchStream {
         Self {
             top,
             cursor: 0,
-            output_len: outputs.len(),
+            output_len,
             ctl,
             rows_enumerated: 0,
             enumerate_time: Duration::ZERO,
@@ -516,5 +611,40 @@ mod tests {
         let mut stream = MatchStream::empty(&q, ExecCtl::unbounded());
         assert_eq!(stream.next_row(), Ok(None));
         assert_eq!(stream.rows_enumerated(), 0);
+    }
+
+    #[test]
+    fn partitioned_streams_union_to_the_serial_stream() {
+        let (q, shrunk, matching, mat) = pruned_example();
+        let source = Arc::new(StreamSource::new(&q, shrunk, matching, mat));
+        let drain = |mut s: MatchStream| {
+            let mut rows = Vec::new();
+            while let Some(row) = s.next_row().unwrap() {
+                rows.push(row);
+            }
+            rows
+        };
+        let serial = drain(MatchStream::from_source(
+            Arc::clone(&source),
+            ExecCtl::unbounded(),
+        ));
+        assert!(!serial.is_empty());
+        let width = source.partition_width();
+        assert!(width >= 1);
+        for parts in 1..=width {
+            let ranges = crate::morsel::morsel_ranges(width, parts);
+            let mut union: Vec<Vec<NodeId>> = Vec::new();
+            for range in ranges {
+                let stream =
+                    MatchStream::partitioned(Arc::clone(&source), range, ExecCtl::unbounded());
+                let rows = drain(stream);
+                // Each partition is itself sorted and distinct.
+                assert!(rows.windows(2).all(|w| w[0] < w[1]));
+                union.extend(rows);
+            }
+            union.sort();
+            union.dedup();
+            assert_eq!(union, serial, "partition count {parts}");
+        }
     }
 }

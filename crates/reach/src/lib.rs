@@ -64,7 +64,10 @@ pub use three_hop::ThreeHop;
 
 /// A prepared membership probe returned by the set-probe methods of
 /// [`Reachability`]: call it once per node to test against the prepared set.
-pub type Probe<'s> = Box<dyn Fn(NodeId) -> bool + 's>;
+///
+/// Probes are `Send + Sync` so one prepared probe can serve every worker of
+/// a morsel-parallel prune round by reference.
+pub type Probe<'s> = Box<dyn Fn(NodeId) -> bool + Send + Sync + 's>;
 
 /// A reachability index: answers whether there is a *non-empty* directed path
 /// from `u` to `v` (the ancestor-descendant relationship of the paper).
@@ -72,7 +75,11 @@ pub type Probe<'s> = Box<dyn Fn(NodeId) -> bool + 's>;
 /// Implementations must be cheap to probe after construction; construction
 /// cost and memory are reported through [`index_entries`](Self::index_entries)
 /// so experiments can compare space/time trade-offs.
-pub trait Reachability {
+///
+/// The trait requires `Send + Sync`: indexes are immutable after
+/// construction (lookup counters are atomics), and the engine's intra-query
+/// parallelism probes one index from several worker threads at once.
+pub trait Reachability: Send + Sync {
     /// Whether `u` reaches `v` by a non-empty path.
     fn reaches(&self, u: NodeId, v: NodeId) -> bool;
 

@@ -106,6 +106,9 @@ pub struct ServiceMetrics {
     cancelled: AtomicU64,
     rows_truncated: AtomicU64,
     enumerated_rows: AtomicU64,
+    worker_busy_nanos: AtomicU64,
+    morsels: AtomicU64,
+    max_queue_depth: AtomicU64,
     aborted: AtomicU64,
     aborted_eval_nanos: AtomicU64,
     latency_hist: LogHistogram,
@@ -144,6 +147,9 @@ impl ServiceMetrics {
             cancelled: AtomicU64::new(0),
             rows_truncated: AtomicU64::new(0),
             enumerated_rows: AtomicU64::new(0),
+            worker_busy_nanos: AtomicU64::new(0),
+            morsels: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
             aborted_eval_nanos: AtomicU64::new(0),
             latency_hist: LogHistogram::new(),
@@ -243,6 +249,12 @@ impl ServiceMetrics {
             .fetch_add(stats.scanned_nodes, Ordering::Relaxed);
         self.enumerated_rows
             .fetch_add(stats.enumerated_rows, Ordering::Relaxed);
+        self.worker_busy_nanos
+            .fetch_add(stats.worker_busy_time.as_nanos() as u64, Ordering::Relaxed);
+        self.morsels
+            .fetch_add(stats.morsels_dispatched, Ordering::Relaxed);
+        self.max_queue_depth
+            .fetch_max(stats.max_queue_depth, Ordering::Relaxed);
         self.stage_hists.observe(stats);
     }
 
@@ -282,6 +294,9 @@ impl ServiceMetrics {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             rows_truncated: self.rows_truncated.load(Ordering::Relaxed),
             enumerated_rows: self.enumerated_rows.load(Ordering::Relaxed),
+            worker_busy_time: Duration::from_nanos(self.worker_busy_nanos.load(Ordering::Relaxed)),
+            morsels: self.morsels.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
             aborted_eval_time: Duration::from_nanos(
                 self.aborted_eval_nanos.load(Ordering::Relaxed),
@@ -367,6 +382,19 @@ pub struct MetricsSnapshot {
     /// (including offset-skipped and look-ahead rows); compare against
     /// `result_tuples` to see how much enumeration limit pushdown avoided.
     pub enumerated_rows: u64,
+    /// Total busy time across intra-query morsel workers (candidate scans,
+    /// prune rounds, matching-graph fill, partitioned enumeration).  Sums
+    /// over workers, so it can exceed `eval_time`; the ratio is the average
+    /// fan-out actually achieved (see
+    /// [`worker_utilization`](Self::worker_utilization)).
+    pub worker_busy_time: Duration,
+    /// Morsels dispatched to intra-query workers across engine runs (every
+    /// parallel stage round counts its work-stealing chunks).
+    pub morsels: u64,
+    /// Deepest partition-consumer queue observed during partitioned
+    /// enumeration (buffered row batches awaiting the ordered merge); a
+    /// persistently high value means producers outrun the merge.
+    pub max_queue_depth: u64,
     /// Engine runs aborted mid-evaluation (timeout or cancellation); their
     /// partial stage timings are folded into the stage rollups above.
     pub aborted: u64,
@@ -459,6 +487,18 @@ impl MetricsSnapshot {
         self.estimation_error_rows as f64 / self.actual_rows.max(1) as f64
     }
 
+    /// Average intra-query fan-out actually achieved: total morsel-worker
+    /// busy time over total engine time (complete and aborted runs).  `0.0`
+    /// when every run was serial; `≈ n` when runs kept `n` workers busy.
+    pub fn worker_utilization(&self) -> f64 {
+        let engine = self.eval_time + self.aborted_eval_time;
+        if engine.is_zero() {
+            0.0
+        } else {
+            self.worker_busy_time.as_secs_f64() / engine.as_secs_f64()
+        }
+    }
+
     /// Mean engine time per cache miss.
     pub fn mean_eval_time(&self) -> Duration {
         if self.cache_misses == 0 {
@@ -549,6 +589,21 @@ impl MetricsSnapshot {
             "gtpq_eval_seconds_total",
             "Engine evaluation time across cache misses.",
             self.eval_time.as_secs_f64(),
+        );
+        page.counter(
+            "gtpq_worker_busy_seconds",
+            "Busy time across intra-query morsel workers (sums over workers).",
+            self.worker_busy_time.as_secs_f64(),
+        );
+        page.counter(
+            "gtpq_morsels_total",
+            "Morsels dispatched to intra-query workers.",
+            self.morsels as f64,
+        );
+        page.gauge(
+            "gtpq_morsel_queue_depth_max",
+            "Deepest partition-consumer queue observed during enumeration.",
+            self.max_queue_depth as f64,
         );
         page.counter(
             "gtpq_aborted_eval_seconds_total",
@@ -820,6 +875,39 @@ mod tests {
         assert_eq!(snap.ttfr.count, snap.cache_misses);
         let bucket_sum: u64 = snap.latency.nonzero_buckets().map(|(_, c)| c).sum();
         assert_eq!(bucket_sum, total);
+    }
+
+    #[test]
+    fn parallel_worker_metrics_roll_up() {
+        let m = ServiceMetrics::new();
+        m.record_miss(&EvalStats {
+            candidate_time: Duration::from_millis(10),
+            parallel_workers: 4,
+            worker_busy_time: Duration::from_millis(30),
+            morsels_dispatched: 12,
+            max_queue_depth: 5,
+            ..Default::default()
+        });
+        // Aborted runs fold their partial parallel work too.
+        m.record_aborted(&EvalStats {
+            worker_busy_time: Duration::from_millis(10),
+            morsels_dispatched: 3,
+            max_queue_depth: 2,
+            ..Default::default()
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.worker_busy_time, Duration::from_millis(40));
+        assert_eq!(snap.morsels, 15);
+        assert_eq!(snap.max_queue_depth, 5, "high-water mark, not a sum");
+        assert!(
+            snap.worker_utilization() > 1.0,
+            "busy time exceeds engine time"
+        );
+        let page = snap.render_prometheus();
+        assert!(page.contains("# TYPE gtpq_worker_busy_seconds counter"));
+        assert!(page.contains("gtpq_morsels_total 15"));
+        assert!(page.contains("# TYPE gtpq_morsel_queue_depth_max gauge"));
+        assert!(page.contains("gtpq_morsel_queue_depth_max 5"));
     }
 
     #[test]

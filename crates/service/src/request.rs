@@ -75,6 +75,12 @@ pub struct QueryRequest {
     /// Cooperative cancellation: trigger the token from any thread and the
     /// evaluation stops with [`QueryError::Cancelled`] at its next poll.
     pub cancel: Option<CancelToken>,
+    /// Intra-query parallelism degree for this request: `Some(1)` forces a
+    /// serial run, `Some(n)` offers `n` worker threads, `None` defers to the
+    /// service configuration.  Either way the planner's cost gate
+    /// ([`QueryPlan::recommended_threads`]) keeps cheap queries serial, and
+    /// results are bit-for-bit identical to a serial run at any degree.
+    pub threads: Option<usize>,
 }
 
 impl QueryRequest {
@@ -100,6 +106,7 @@ impl QueryRequest {
             want_trace: false,
             bypass_cache: false,
             cancel: None,
+            threads: None,
         }
     }
 
@@ -156,6 +163,13 @@ impl QueryRequest {
     /// Attach a cancellation token (see [`cancel`](Self::cancel)).
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Set the intra-query parallelism degree (see
+    /// [`threads`](Self::threads)); `1` forces a serial run.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 }
@@ -261,8 +275,11 @@ mod tests {
             .with_plan()
             .with_trace()
             .with_bypass_cache()
-            .with_cancel(CancelToken::new());
+            .with_cancel(CancelToken::new())
+            .with_threads(4);
         assert_eq!(req.limit, Some(7));
+        assert_eq!(req.threads, Some(4));
+        assert_eq!(QueryRequest::text("a1").with_threads(0).threads, Some(1));
         assert_eq!(req.offset, 3);
         assert_eq!(req.deadline, Some(Duration::from_millis(250)));
         assert_eq!(req.backend, Some(BackendKind::Closure));

@@ -29,6 +29,15 @@ pub struct ServiceConfig {
     /// Worker threads used by [`QueryService::submit_batch`].  Defaults to
     /// the machine's available parallelism.
     pub threads: usize,
+    /// Intra-query parallelism degree offered to every request that does not
+    /// set [`QueryRequest::threads`] itself: morsel-driven candidate
+    /// selection, pruning, matching-graph construction and partitioned
+    /// enumeration fan a single query out over up to this many scoped worker
+    /// threads.  `1` keeps all requests serial.  The planner's cost gate
+    /// ([`QueryPlan::recommended_threads`]) still drops cheap queries to a
+    /// serial run, and results are bit-for-bit identical at any degree.
+    /// Defaults to the machine's available parallelism.
+    pub intra_query_threads: usize,
     /// Result-cache capacity in result sets; 0 disables caching.
     pub cache_capacity: usize,
     /// Plan-cache capacity in physical plans; 0 disables plan caching.
@@ -53,6 +62,9 @@ impl Default for ServiceConfig {
         Self {
             backend: None,
             threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            intra_query_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
             cache_capacity: 256,
@@ -332,10 +344,19 @@ impl QueryService {
             ctl = ctl.with_cancel(token.clone());
         }
         let engine = GteaEngine::with_backend(&self.graph, index, self.config.options);
+        // The request's degree wins over the service default; either way the
+        // planner's cost gate keeps queries serial when the estimated work
+        // would not amortize the fan-out.
+        let requested = request
+            .threads
+            .unwrap_or(self.config.intra_query_threads)
+            .max(1);
+        let threads = plan.recommended_threads(requested);
         let options = ExecOptions {
             limit: request.limit,
             offset: request.offset,
             ctl,
+            threads,
         };
         let exec = match engine.execute(q, &plan, options) {
             Ok(exec) => exec,

@@ -138,6 +138,80 @@ fn batch_over_four_threads_matches_sequential_on_xmark() {
 }
 
 #[test]
+fn oversubscribed_batch_with_intra_query_parallelism_stays_exact() {
+    // Contention stress: 8 batch workers, each request asking for 8 morsel
+    // workers of its own — far more threads than cores.  Broad queries
+    // (any-label roots with wide descendant fans) push the partitioned
+    // enumerator and the parallel prune rounds hard; the assertion is the
+    // strongest one available: every request returns *exactly* the rows a
+    // fully serial service returns, and the batch always joins (no deadlock
+    // on the partition channels, no panic in a worker).
+    let graph = Arc::new(generate_xmark(&XmarkConfig::with_scale(0.15)));
+    let mut queries = Vec::new();
+    for label in ["item", "person", "bidder", "category"] {
+        let mut b = GtpqBuilder::new(AttrPredicate::label(label));
+        let root = b.root_id();
+        let child = b.backbone_child(root, EdgeKind::Descendant, AttrPredicate::any());
+        b.mark_output(root);
+        b.mark_output(child);
+        queries.push(b.build().unwrap());
+    }
+    // Triplicate so identical broad queries race each other too.
+    let workload: Vec<Gtpq> = queries
+        .iter()
+        .cycle()
+        .take(queries.len() * 3)
+        .cloned()
+        .collect();
+    let build_requests = |threads: usize| -> Vec<QueryRequest> {
+        workload
+            .iter()
+            .map(|q| {
+                QueryRequest::query(q.clone())
+                    .with_threads(threads)
+                    .with_limit(25)
+                    .with_offset(3)
+            })
+            .collect()
+    };
+
+    // Serial reference: one batch worker, intra-query parallelism off.
+    let sequential = QueryService::with_config(
+        Arc::clone(&graph),
+        ServiceConfig {
+            threads: 1,
+            intra_query_threads: 1,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    let expected: Vec<_> = build_requests(1)
+        .iter()
+        .map(|r| sequential.submit(r).expect("workload queries evaluate"))
+        .collect();
+
+    let service = QueryService::with_config(
+        Arc::clone(&graph),
+        ServiceConfig {
+            threads: 8,
+            intra_query_threads: 8,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    let batched = service.submit_batch(&build_requests(8));
+    assert_eq!(batched.len(), expected.len());
+    for (i, (got, want)) in batched.iter().zip(&expected).enumerate() {
+        let got = got.as_ref().expect("workload queries evaluate");
+        assert_eq!(
+            got.rows.tuples, want.rows.tuples,
+            "request {i}: oversubscribed batch diverged from serial"
+        );
+        assert_eq!(got.truncated, want.truncated, "request {i}");
+    }
+}
+
+#[test]
 fn cache_hit_path_returns_the_same_result_set_as_cold() {
     let service = Arc::new(QueryService::new(Arc::new(example_graph())));
     let q = example_query();
