@@ -30,7 +30,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gtpq_core::Trace;
-use gtpq_graph::DataGraph;
+use gtpq_datagen::{apply_ops, update_stream, UpdateStreamConfig};
+use gtpq_graph::{DataGraph, GraphHandle};
 use gtpq_query::Gtpq;
 use gtpq_reach::BackendKind;
 use gtpq_service::{QueryError, QueryRequest, QueryService, ServiceConfig, SlowOutcome};
@@ -76,7 +77,11 @@ REPL COMMANDS:
                       `:threads` prints the current degree
     :backend          backend in use (and why it was auto-selected)
     :metrics          service counters, latency/first-row percentiles,
-                      recent rates (QPS, hit rate over the last 30s)
+                      recent rates (QPS, hit rate over the last 30s),
+                      graph epoch and stale-cache evictions
+    :ingest [E] [N]   commit E epochs of N generated mutations each to the
+                      live graph (defaults: 1 epoch of 32 ops); reports
+                      which incremental-maintenance paths the commits took
     :trace [on|off]   toggle per-query span tracing; bare `:trace` prints
                       the span tree of the last traced query
     :trace save PATH  write the last trace as Chrome trace_event JSON
@@ -303,6 +308,7 @@ pub enum Outcome {
 /// behind both the REPL and the one-shot mode.
 pub struct Session {
     service: QueryService,
+    handle: Arc<GraphHandle>,
     dataset: Dataset,
     show_stats: bool,
     limit: Option<usize>,
@@ -315,7 +321,9 @@ pub struct Session {
 impl Session {
     /// Generates the dataset and builds the service described by `opts`.
     pub fn new(opts: &CliOptions) -> Self {
-        let graph = Arc::new(opts.dataset.generate(opts.scale, opts.seed));
+        let handle = Arc::new(GraphHandle::new(
+            opts.dataset.generate(opts.scale, opts.seed),
+        ));
         let mut config = ServiceConfig {
             backend: opts.backend,
             ..ServiceConfig::default()
@@ -323,9 +331,10 @@ impl Session {
         if let Some(threshold) = opts.slow_ms {
             config.slow_query_threshold = threshold.map(Duration::from_millis);
         }
-        let service = QueryService::with_config(graph, config);
+        let service = QueryService::live_with_config(Arc::clone(&handle), config);
         Self {
             service,
+            handle,
             dataset: opts.dataset,
             show_stats: opts.show_stats,
             limit: Some(opts.limit.max(1)),
@@ -361,6 +370,57 @@ impl Session {
     /// direct builder-constructed evaluation through this).
     pub fn service(&self) -> &QueryService {
         &self.service
+    }
+
+    /// The live mutation handle behind the service (tests drive commits
+    /// through this to exercise epoch rotation).
+    pub fn graph_handle(&self) -> &Arc<GraphHandle> {
+        &self.handle
+    }
+
+    /// Applies `epochs` committed batches of `ops_per_epoch` generated
+    /// mutations to the live graph and reports what the incremental index
+    /// maintenance did.  The stream seed advances with the graph epoch, so
+    /// repeated `:ingest` calls produce different (but reproducible)
+    /// mutations.
+    pub fn ingest(&self, epochs: usize, ops_per_epoch: usize) -> String {
+        let before = self.handle.stats();
+        let cfg = UpdateStreamConfig {
+            seed: self.handle.epoch(),
+            epochs,
+            ops_per_epoch,
+            ..UpdateStreamConfig::default()
+        };
+        let stream = update_stream(&self.service.graph(), &cfg);
+        for batch in &stream {
+            apply_ops(&self.handle, batch);
+            self.handle.commit();
+        }
+        let after = self.handle.stats();
+        // Reading the graph through the service rotates its generation
+        // state, so the next query answers for the new epoch immediately.
+        let g = self.service.graph();
+        format!(
+            "ingested {} epoch{} of {} ops: +{} nodes, +{} edges, {} attr upserts\n\
+             maintenance: csr {} merged / {} rebuilt, index {} merged / {} rebuilt, \
+             condensation {} fast / {} re-run\n\
+             graph now at epoch {}: {} nodes, {} edges",
+            epochs,
+            if epochs == 1 { "" } else { "s" },
+            ops_per_epoch,
+            after.nodes_inserted - before.nodes_inserted,
+            after.edges_inserted - before.edges_inserted,
+            after.attrs_upserted - before.attrs_upserted,
+            after.csr_merges - before.csr_merges,
+            after.csr_rebuilds - before.csr_rebuilds,
+            after.index_merges - before.index_merges,
+            after.index_rebuilds - before.index_rebuilds,
+            after.condensation_fast - before.condensation_fast,
+            after.condensation_rebuilds - before.condensation_rebuilds,
+            self.handle.epoch(),
+            g.node_count(),
+            g.edge_count(),
+        )
     }
 
     /// One line describing the loaded graph and backend, shown at REPL start.
@@ -467,7 +527,39 @@ impl Session {
                     100.0 * m.recent_hit_rate(),
                     m.aborted,
                     m.aborted_eval_time,
+                ) + &format!(
+                    "\ngraph: epoch {}, {} rotation{}, {} stale cache evictions",
+                    m.graph_epoch,
+                    m.epoch_rotations,
+                    if m.epoch_rotations == 1 { "" } else { "s" },
+                    m.stale_evictions,
                 )
+            }
+            "ingest" => {
+                let mut parts = rest.split_whitespace();
+                let epochs = match parts.next() {
+                    None => 1,
+                    Some(w) => match w.parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => {
+                            return Outcome::Continue(format!(
+                                "expected `:ingest [EPOCHS] [OPS]` (both > 0), got `{rest}`"
+                            ))
+                        }
+                    },
+                };
+                let ops = match parts.next() {
+                    None => 32,
+                    Some(w) => match w.parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => {
+                            return Outcome::Continue(format!(
+                                "expected `:ingest [EPOCHS] [OPS]` (both > 0), got `{rest}`"
+                            ))
+                        }
+                    },
+                };
+                self.ingest(epochs, ops)
             }
             "stats" => {
                 self.show_stats = match rest {
@@ -718,7 +810,7 @@ impl Session {
         if let Some(trace) = &outcome.trace {
             self.last_trace = Some(trace.clone());
         }
-        let mut out = render_table(self.service.graph(), &q, &outcome.rows, outcome.truncated);
+        let mut out = render_table(&self.service.graph(), &q, &outcome.rows, outcome.truncated);
         if self.show_stats {
             let stats = outcome.stats.unwrap_or_default();
             let _ = write!(out, "\n{}", render_stats(&stats));

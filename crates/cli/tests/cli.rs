@@ -446,3 +446,36 @@ fn datasets_generate_at_small_scale() {
         assert!(g.edge_count() > 0, "{}", dataset.name());
     }
 }
+
+#[test]
+fn ingest_command_mutates_the_live_graph_and_queries_see_it() {
+    let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts);
+    let before = session.service().graph().node_count();
+    assert_eq!(session.service().graph_epoch(), 0);
+
+    let out = match session.handle(":ingest 2 20") {
+        Outcome::Continue(text) => text,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    assert!(out.contains("ingested 2 epochs of 20 ops"), "{out}");
+    assert!(out.contains("graph now at epoch 2"), "{out}");
+
+    // The service rotated: a query answers for the mutated generation.
+    let after = session.service().graph().node_count();
+    assert!(after > before, "ingest inserted no nodes");
+    assert_eq!(session.service().graph_epoch(), 2);
+    assert_eq!(session.graph_handle().epoch(), 2);
+
+    // Metrics surface the epoch line; bad arguments are rejected cleanly.
+    let metrics = match session.handle(":metrics") {
+        Outcome::Continue(text) => text,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    assert!(metrics.contains("graph: epoch 2"), "{metrics}");
+    let err = match session.handle(":ingest nope") {
+        Outcome::Continue(text) => text,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    assert!(err.contains("expected `:ingest"), "{err}");
+}

@@ -61,6 +61,10 @@ pub struct EvalStats {
     pub shrunk_subtree_size: u64,
     /// Number of result tuples produced.
     pub result_tuples: u64,
+    /// Epoch of the graph snapshot the query evaluated against (0 for
+    /// static, never-mutated graphs).  Set by the query service; lets a
+    /// caller verify which generation of a live graph answered.
+    pub graph_epoch: u64,
     /// Rows pulled from the streaming enumerator, including rows skipped by
     /// an `OFFSET` and the one look-ahead row that decides truncation.  With
     /// a pushed-down `LIMIT` this stays near `offset + limit + 1`; without

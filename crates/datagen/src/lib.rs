@@ -16,13 +16,18 @@
 //! * [`dblp`] — the small bibliography graph of Example 1,
 //! * [`queries`] — the paper's query workloads: Q1–Q3 of Fig. 7, the Fig. 11
 //!   GTPQ suite of Tables 3–4, the DBLP queries of Example 1, and the random
-//!   query generator of §5.2.
+//!   query generator of §5.2,
+//! * [`updates`] — deterministic mutation streams (node/attribute/edge
+//!   inserts batched into epochs) replayable on both the live-graph handle
+//!   and a from-scratch builder, for the mutation-oracle tests and the
+//!   mixed read/write benchmark.
 //!
 //! Every generator takes an explicit seed and is fully deterministic.
 
 pub mod arxiv;
 pub mod dblp;
 pub mod queries;
+pub mod updates;
 pub mod xmark;
 
 pub use arxiv::{generate_arxiv, ArxivConfig};
@@ -31,4 +36,5 @@ pub use queries::{
     dblp_queries, fig11_gtpq, fig11_output_variant, random_queries, random_text_query, xmark_q1,
     xmark_q2, xmark_q3, Fig11Predicate, RandomQueryConfig,
 };
+pub use updates::{apply_ops, apply_ops_to_builder, update_stream, UpdateOp, UpdateStreamConfig};
 pub use xmark::{generate_xmark, XmarkConfig};

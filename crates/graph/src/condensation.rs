@@ -5,6 +5,16 @@
 //! node, and reachability between original nodes is answered through the
 //! component DAG.  Two distinct nodes of the same SCC always reach each other;
 //! a node reaches itself iff its SCC contains a cycle (size > 1 or self-loop).
+//!
+//! The representation is *canonical*: components are numbered by their
+//! smallest member node and the topological order is the deterministic Kahn
+//! order (smallest ready component first).  Canonical form is what makes the
+//! incremental path ([`Condensation::apply_insertions`]) bit-identical to a
+//! from-scratch [`Condensation::new`] of the mutated graph — the mutation
+//! oracle tests compare the two with `==`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::csr::Csr;
 use crate::graph::{DataGraph, NodeId};
@@ -28,7 +38,7 @@ impl CompId {
 /// [`predecessors`](Self::predecessors) and [`members`](Self::members) hand
 /// out borrowed slices that reachability backends read directly during index
 /// construction — no per-component heap lists, nothing to copy.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Condensation {
     /// Component of each original node.
     comp_of: Vec<CompId>,
@@ -109,6 +119,25 @@ impl Condensation {
         }
 
         let c = members.len();
+
+        // Canonical renumbering: order components by their smallest member
+        // (each run is sorted, so that is `group[0]`).  Tarjan numbering
+        // depends on traversal order; the canonical form does not, which is
+        // what lets the incremental path reproduce it exactly.
+        let mut order: Vec<u32> = (0..c as u32).collect();
+        order.sort_unstable_by_key(|&ci| members[ci as usize][0]);
+        let mut renumber = vec![0u32; c];
+        for (new, &old) in order.iter().enumerate() {
+            renumber[old as usize] = new as u32;
+        }
+        for slot in comp_of.iter_mut() {
+            *slot = CompId(renumber[slot.index()]);
+        }
+        let members: Vec<Vec<NodeId>> = order
+            .iter()
+            .map(|&old| std::mem::take(&mut members[old as usize]))
+            .collect();
+
         let mut cyclic = vec![false; c];
         let mut out_pairs: Vec<(u32, CompId)> = Vec::new();
         let mut in_pairs: Vec<(u32, CompId)> = Vec::new();
@@ -136,9 +165,7 @@ impl Condensation {
         let comp_out = Csr::from_pairs(c, out_pairs);
         let comp_in = Csr::from_pairs(c, in_pairs);
         let members = Csr::from_runs(c, members);
-
-        // Tarjan emits components in reverse topological order.
-        let topo: Vec<CompId> = (0..c as u32).rev().map(CompId).collect();
+        let topo = kahn_topo(&comp_out, &comp_in);
 
         Self {
             comp_of,
@@ -148,6 +175,100 @@ impl Condensation {
             comp_in,
             topo,
         }
+    }
+
+    /// Incrementally extends the condensation after appending
+    /// `new_node_count - old node count` fresh nodes and the de-duplicated
+    /// edge set `added_edges` (sorted, and disjoint from the old edges).
+    ///
+    /// The fast path applies when every added inter-component edge goes
+    /// *forward* in the extended topological order (existing components in
+    /// their old order, new singleton components after them in node order):
+    /// then no SCCs merge, component numbering is stable, and the structures
+    /// are patched with linear merges.  Any edge that would go backward may
+    /// close a cycle, so the method returns `None` and the caller falls back
+    /// to a full re-condensation.  The result is bit-identical to
+    /// [`Condensation::new`] on the mutated graph.
+    pub fn apply_insertions(
+        &self,
+        new_node_count: usize,
+        added_edges: &[(NodeId, NodeId)],
+    ) -> Option<Condensation> {
+        let old_n = self.comp_of.len();
+        let old_c = self.component_count();
+        debug_assert!(new_node_count >= old_n);
+        let added_nodes = new_node_count - old_n;
+        let new_c = old_c + added_nodes;
+
+        // Position of each existing component in the current topological
+        // order; new singleton components sit after all of them, in node-id
+        // order, so their position is simply their (new) component id.
+        let mut pos = vec![0u32; old_c];
+        for (i, &c) in self.topo.iter().enumerate() {
+            pos[c.index()] = i as u32;
+        }
+        let comp_of_node = |v: NodeId| -> CompId {
+            if v.index() < old_n {
+                self.comp_of[v.index()]
+            } else {
+                CompId((old_c + (v.index() - old_n)) as u32)
+            }
+        };
+        let ext_pos = |c: CompId| -> u32 {
+            if c.index() < old_c {
+                pos[c.index()]
+            } else {
+                c.0
+            }
+        };
+
+        let mut cyclic = self.cyclic.clone();
+        cyclic.resize(new_c, false);
+        let mut out_pairs: Vec<(u32, CompId)> = Vec::new();
+        for &(u, v) in added_edges {
+            let cu = comp_of_node(u);
+            let cv = comp_of_node(v);
+            if cu == cv {
+                // Either a self-loop or an extra edge inside an existing
+                // multi-member (hence already cyclic) component.
+                if u == v {
+                    cyclic[cu.index()] = true;
+                }
+                continue;
+            }
+            if ext_pos(cu) >= ext_pos(cv) {
+                return None; // may close a cycle: re-condense from scratch
+            }
+            if cu.index() < old_c && cv.index() < old_c && self.comp_out.contains(cu.index(), cv) {
+                continue; // parallel condensation edge, already stored
+            }
+            out_pairs.push((cu.0, cv));
+        }
+        out_pairs.sort_unstable();
+        out_pairs.dedup();
+        let mut in_pairs: Vec<(u32, CompId)> = out_pairs
+            .iter()
+            .map(|&(cu, cv)| (cv.0, CompId(cu)))
+            .collect();
+        in_pairs.sort_unstable();
+
+        let comp_out = self.comp_out.merge_additions(new_c, &out_pairs);
+        let comp_in = self.comp_in.merge_additions(new_c, &in_pairs);
+        let members = self
+            .members
+            .with_appended_runs((old_n..new_node_count).map(|v| [NodeId(v as u32)]));
+        let mut comp_of = self.comp_of.clone();
+        comp_of.extend((old_c..new_c).map(|c| CompId(c as u32)));
+        let topo = kahn_topo(&comp_out, &comp_in);
+
+        Some(Self {
+            comp_of,
+            members,
+            cyclic,
+            comp_out,
+            comp_in,
+            topo,
+        })
     }
 
     /// Number of components.
@@ -192,6 +313,32 @@ impl Condensation {
     pub fn input_was_dag(&self) -> bool {
         !self.cyclic.iter().any(|&c| c)
     }
+}
+
+/// Deterministic Kahn topological order over the condensation DAG: among all
+/// ready components the smallest id is emitted first.  Both the full and the
+/// incremental construction paths use this, so equal DAGs give equal orders.
+fn kahn_topo(comp_out: &Csr<CompId>, comp_in: &Csr<CompId>) -> Vec<CompId> {
+    let c = comp_out.len();
+    let mut indegree: Vec<u32> = (0..c).map(|v| comp_in.degree(v) as u32).collect();
+    let mut ready: BinaryHeap<Reverse<u32>> = indegree
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(v, _)| Reverse(v as u32))
+        .collect();
+    let mut topo = Vec::with_capacity(c);
+    while let Some(Reverse(v)) = ready.pop() {
+        topo.push(CompId(v));
+        for &w in comp_out.neighbors(v as usize) {
+            indegree[w.index()] -= 1;
+            if indegree[w.index()] == 0 {
+                ready.push(Reverse(w.0));
+            }
+        }
+    }
+    debug_assert_eq!(topo.len(), c, "condensation DAG contains a cycle");
+    topo
 }
 
 #[cfg(test)]

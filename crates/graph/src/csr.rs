@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// Used with `T = NodeId` for the data graph (forward and reverse) and with
 /// `T = CompId` for the SCC condensation DAG, so reachability backends can
 /// borrow the very same slices during index construction.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Csr<T> {
     /// `offsets[v] .. offsets[v + 1]` delimits the neighbour run of `v`.
     offsets: Vec<u32>,
@@ -120,6 +120,76 @@ impl<T: Copy + Ord> Csr<T> {
     pub fn contains(&self, v: usize, t: T) -> bool {
         self.neighbors(v).binary_search(&t).is_ok()
     }
+
+    /// Builds a new CSR with `n >= self.len()` sources by merging sorted
+    /// `additions` into the existing runs — a single linear pass, no global
+    /// re-sort.  Additions must be sorted by `(source, target)` and free of
+    /// internal duplicates; targets already present in the base run are
+    /// skipped, so the result equals [`Csr::from_pairs`] over the union of
+    /// the old pairs and the additions.
+    ///
+    /// # Panics
+    /// Panics when `n` shrinks the CSR, when an addition's source is `>= n`,
+    /// or when the merged target count overflows the `u32` offsets.
+    pub fn merge_additions(&self, n: usize, additions: &[(u32, T)]) -> Self {
+        assert!(n >= self.len(), "CSR merge cannot drop sources");
+        debug_assert!(additions.windows(2).all(|w| w[0] < w[1]));
+        assert!(
+            self.targets.len() + additions.len() <= u32::MAX as usize,
+            "CSR target count overflows u32 offsets"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.targets.len() + additions.len());
+        offsets.push(0);
+        let mut cursor = 0usize;
+        for v in 0..n {
+            let base: &[T] = if v < self.len() {
+                self.neighbors(v)
+            } else {
+                &[]
+            };
+            let mut bi = 0usize;
+            while cursor < additions.len() && additions[cursor].0 as usize == v {
+                let t = additions[cursor].1;
+                while bi < base.len() && base[bi] < t {
+                    targets.push(base[bi]);
+                    bi += 1;
+                }
+                if bi < base.len() && base[bi] == t {
+                    // Already present in the base run: the addition is a
+                    // duplicate edge and is dropped, exactly as `from_pairs`
+                    // de-duplication would.
+                } else {
+                    targets.push(t);
+                }
+                cursor += 1;
+            }
+            targets.extend_from_slice(&base[bi..]);
+            offsets.push(targets.len() as u32);
+        }
+        assert_eq!(cursor, additions.len(), "addition source out of range");
+        Self { offsets, targets }
+    }
+
+    /// Clones the CSR and appends one run per new source, in order.  The
+    /// existing runs are untouched; each appended run must be sorted.
+    pub fn with_appended_runs<I, R>(&self, runs: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: IntoIterator<Item = T>,
+    {
+        let mut offsets = self.offsets.clone();
+        let mut targets = self.targets.clone();
+        for run in runs {
+            targets.extend(run);
+            assert!(
+                targets.len() <= u32::MAX as usize,
+                "CSR target count overflows u32 offsets"
+            );
+            offsets.push(targets.len() as u32);
+        }
+        Self { offsets, targets }
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +222,30 @@ mod tests {
         let csr: Csr<u32> = Csr::from_pairs(0, Vec::new());
         assert!(csr.is_empty());
         assert_eq!(csr.target_count(), 0);
+    }
+
+    #[test]
+    fn merge_additions_equals_full_rebuild() {
+        let base = Csr::from_pairs(3, vec![(0u32, 1u32), (0, 5), (2, 0)]);
+        // New source 3, duplicate (0, 5), fresh targets interleaved.
+        let adds = vec![(0u32, 0u32), (0, 5), (0, 9), (3, 2)];
+        let merged = base.merge_additions(4, &adds);
+        let full = Csr::from_pairs(
+            4,
+            vec![(0, 1), (0, 5), (2, 0), (0, 0), (0, 5), (0, 9), (3, 2)],
+        );
+        assert_eq!(merged, full);
+        assert_eq!(merged.neighbors(0), &[0, 1, 5, 9]);
+        assert_eq!(merged.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn with_appended_runs_keeps_existing() {
+        let base = Csr::from_pairs(2, vec![(0u32, 3u32)]);
+        let grown = base.with_appended_runs(vec![vec![1u32], vec![]]);
+        assert_eq!(grown.len(), 4);
+        assert_eq!(grown.neighbors(0), &[3]);
+        assert_eq!(grown.neighbors(2), &[1]);
+        assert_eq!(grown.neighbors(3), &[] as &[u32]);
     }
 }

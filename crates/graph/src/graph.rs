@@ -36,7 +36,7 @@ impl std::fmt::Display for NodeId {
 /// `(attribute, value)` pair to its sorted posting list, which is how the
 /// engines select candidates without scanning all nodes (see
 /// [`nodes_with`](Self::nodes_with)).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DataGraph {
     pub(crate) symbols: SymbolTable,
     /// Forward CSR: `fwd.neighbors(v)` = children of `v`, sorted.

@@ -23,9 +23,39 @@ use crate::attr::{AttrValue, Attribute};
 use crate::graph::NodeId;
 use crate::symbol::Symbol;
 
+/// Canonical ordering key for attribute values: ints before strings, each
+/// sorted naturally.  Both the full build and the incremental merge assign
+/// posting slots in `(Symbol, value_key)` order, which is what makes the two
+/// paths produce bit-identical indexes.
+fn value_key(v: &AttrValue) -> (u8, i64, &str) {
+    match v {
+        AttrValue::Int(i) => (0, *i, ""),
+        AttrValue::Str(s) => (1, 0, s.as_str()),
+    }
+}
+
+/// Merges `base \ removed` with `added` (all sorted by node id) into `out`.
+fn merge_posting(base: &[NodeId], removed: &[NodeId], added: &[NodeId], out: &mut Vec<NodeId>) {
+    let mut ri = 0usize;
+    let mut ai = 0usize;
+    for &v in base {
+        if ri < removed.len() && removed[ri] == v {
+            ri += 1;
+            continue;
+        }
+        while ai < added.len() && added[ai] < v {
+            out.push(added[ai]);
+            ai += 1;
+        }
+        out.push(v);
+    }
+    out.extend_from_slice(&added[ai..]);
+    debug_assert_eq!(ri, removed.len(), "removed node missing from base posting");
+}
+
 /// The inverted index over node attributes, built by
 /// [`GraphBuilder::build`](crate::GraphBuilder::build).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct AttrIndex {
     /// attr → value → slot into the value posting arrays.  Two levels so an
     /// equality probe borrows the caller's `&AttrValue` — no owned key, no
@@ -69,13 +99,8 @@ impl AttrIndex {
         let mut value_offsets = Vec::with_capacity(by_value.len() + 1);
         let mut value_nodes = Vec::new();
         value_offsets.push(0);
-        // Deterministic slot order keeps rebuilt indexes comparable.
-        fn value_key(v: &AttrValue) -> (u8, i64, &str) {
-            match v {
-                AttrValue::Int(i) => (0, *i, ""),
-                AttrValue::Str(s) => (1, 0, s.as_str()),
-            }
-        }
+        // Deterministic slot order (see `value_key`) keeps rebuilt indexes
+        // comparable.
         let mut value_keys: Vec<(Symbol, AttrValue)> = by_value.keys().cloned().collect();
         value_keys.sort_unstable_by(|a, b| (a.0, value_key(&a.1)).cmp(&(b.0, value_key(&b.1))));
         for (slot, (sym, value)) in value_keys.into_iter().enumerate() {
@@ -99,6 +124,188 @@ impl AttrIndex {
             name_slots.insert(key, name_slots.len() as u32);
             name_nodes.extend_from_slice(nodes);
             name_offsets.push(name_nodes.len() as u32);
+        }
+
+        Self {
+            value_slots,
+            value_offsets,
+            value_nodes,
+            name_slots,
+            name_offsets,
+            name_nodes,
+            int_runs,
+        }
+    }
+
+    /// Incrementally maintains the index across one mutation epoch by
+    /// sorted-run merges — no full node scan, no global re-sort, and the
+    /// result is bit-identical to [`AttrIndex::build`] over the mutated
+    /// tuples (posting lists stay sorted, so galloping intersection keeps
+    /// working unchanged).
+    ///
+    /// `removed` / `added` are the `(attr, value, node)` entries leaving and
+    /// entering the index; `name_added` lists nodes newly carrying an
+    /// attribute name at all (upserts never remove a name).  Entries may
+    /// arrive in any order — they are sorted into canonical key order here.
+    pub fn merge_updates(
+        &self,
+        mut removed: Vec<(Symbol, AttrValue, NodeId)>,
+        mut added: Vec<(Symbol, AttrValue, NodeId)>,
+        mut name_added: Vec<(Symbol, NodeId)>,
+    ) -> Self {
+        fn ord(sym: Symbol, value: &AttrValue) -> (Symbol, (u8, i64, &str)) {
+            (sym, value_key(value))
+        }
+        removed.sort_unstable_by(|a, b| (ord(a.0, &a.1), a.2).cmp(&(ord(b.0, &b.1), b.2)));
+        added.sort_unstable_by(|a, b| (ord(a.0, &a.1), a.2).cmp(&(ord(b.0, &b.1), b.2)));
+        name_added.sort_unstable();
+
+        // --- value postings: merge the base key stream (already in slot =
+        // canonical order) with the added key stream, re-slotting on the fly.
+        let slot_count = self.value_offsets.len().saturating_sub(1);
+        let mut base_keys: Vec<Option<(Symbol, AttrValue)>> = vec![None; slot_count];
+        for (&sym, map) in &self.value_slots {
+            for (value, &slot) in map {
+                base_keys[slot as usize] = Some((sym, value.clone()));
+            }
+        }
+        let mut value_slots: HashMap<Symbol, HashMap<AttrValue, u32>> = HashMap::new();
+        let mut value_offsets = Vec::with_capacity(slot_count + 1);
+        let mut value_nodes =
+            Vec::with_capacity(self.value_nodes.len() + added.len() - removed.len());
+        value_offsets.push(0);
+        let mut bi = 0usize; // base slot cursor
+        let mut ai = 0usize; // added cursor
+        let mut ri = 0usize; // removed cursor
+        loop {
+            let from_base = base_keys.get(bi).map(|k| {
+                let (sym, value) = k.as_ref().expect("every slot has a key");
+                ord(*sym, value)
+            });
+            let from_added = added.get(ai).map(|(sym, value, _)| ord(*sym, value));
+            let use_base = match (from_base, from_added) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(b), Some(a)) => b <= a,
+            };
+            let (sym, value, base_run): (Symbol, AttrValue, &[NodeId]) = if use_base {
+                let (sym, value) = base_keys[bi].take().expect("every slot has a key");
+                let lo = self.value_offsets[bi] as usize;
+                let hi = self.value_offsets[bi + 1] as usize;
+                bi += 1;
+                (sym, value, &self.value_nodes[lo..hi])
+            } else {
+                let (sym, ref value, _) = added[ai];
+                (sym, value.clone(), &[])
+            };
+            let rstart = ri;
+            while ri < removed.len() && removed[ri].0 == sym && removed[ri].1 == value {
+                ri += 1;
+            }
+            let astart = ai;
+            while ai < added.len() && added[ai].0 == sym && added[ai].1 == value {
+                ai += 1;
+            }
+            let removed_nodes: Vec<NodeId> = removed[rstart..ri].iter().map(|e| e.2).collect();
+            let added_nodes: Vec<NodeId> = added[astart..ai].iter().map(|e| e.2).collect();
+            let start = value_nodes.len();
+            merge_posting(base_run, &removed_nodes, &added_nodes, &mut value_nodes);
+            if value_nodes.len() > start {
+                let slot = value_offsets.len() as u32 - 1;
+                value_slots.entry(sym).or_default().insert(value, slot);
+                value_offsets.push(value_nodes.len() as u32);
+            }
+            // An emptied posting drops its key, exactly as a rebuild would.
+        }
+        debug_assert_eq!(ri, removed.len(), "removed entry under an unknown key");
+
+        // --- name postings: merge-only (upserts never remove a name).
+        let name_count = self.name_offsets.len().saturating_sub(1);
+        let mut base_names: Vec<Option<Symbol>> = vec![None; name_count];
+        for (&sym, &slot) in &self.name_slots {
+            base_names[slot as usize] = Some(sym);
+        }
+        let mut name_slots = HashMap::with_capacity(name_count);
+        let mut name_offsets = Vec::with_capacity(name_count + 1);
+        let mut name_nodes = Vec::with_capacity(self.name_nodes.len() + name_added.len());
+        name_offsets.push(0);
+        let mut bi = 0usize;
+        let mut ai = 0usize;
+        loop {
+            let from_base = base_names.get(bi).map(|k| k.expect("every slot has a key"));
+            let from_added = name_added.get(ai).map(|&(sym, _)| sym);
+            let use_base = match (from_base, from_added) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(b), Some(a)) => b <= a,
+            };
+            let (sym, base_run): (Symbol, &[NodeId]) = if use_base {
+                let sym = base_names[bi].expect("every slot has a key");
+                let lo = self.name_offsets[bi] as usize;
+                let hi = self.name_offsets[bi + 1] as usize;
+                bi += 1;
+                (sym, &self.name_nodes[lo..hi])
+            } else {
+                (from_added.expect("added stream is non-empty"), &[])
+            };
+            let astart = ai;
+            while ai < name_added.len() && name_added[ai].0 == sym {
+                ai += 1;
+            }
+            let added_nodes: Vec<NodeId> = name_added[astart..ai].iter().map(|e| e.1).collect();
+            name_slots.insert(sym, name_slots.len() as u32);
+            merge_posting(base_run, &[], &added_nodes, &mut name_nodes);
+            name_offsets.push(name_nodes.len() as u32);
+        }
+
+        // --- int runs: filter removed pairs out, merge added pairs in.
+        let mut int_removed: HashMap<Symbol, Vec<(i64, NodeId)>> = HashMap::new();
+        for (sym, value, node) in &removed {
+            if let AttrValue::Int(i) = value {
+                int_removed.entry(*sym).or_default().push((*i, *node));
+            }
+        }
+        let mut int_added: HashMap<Symbol, Vec<(i64, NodeId)>> = HashMap::new();
+        for (sym, value, node) in &added {
+            if let AttrValue::Int(i) = value {
+                int_added.entry(*sym).or_default().push((*i, *node));
+            }
+        }
+        let mut int_runs: HashMap<Symbol, Vec<(i64, NodeId)>> = HashMap::new();
+        let empty: Vec<(i64, NodeId)> = Vec::new();
+        let syms: std::collections::BTreeSet<Symbol> = self
+            .int_runs
+            .keys()
+            .chain(int_added.keys())
+            .copied()
+            .collect();
+        for sym in syms {
+            let base = self.int_runs.get(&sym).unwrap_or(&empty);
+            let mut rem = int_removed.remove(&sym).unwrap_or_default();
+            rem.sort_unstable();
+            let mut add = int_added.remove(&sym).unwrap_or_default();
+            add.sort_unstable();
+            let mut run = Vec::with_capacity(base.len() + add.len() - rem.len());
+            let mut rj = 0usize;
+            let mut aj = 0usize;
+            for &pair in base {
+                if rj < rem.len() && rem[rj] == pair {
+                    rj += 1;
+                    continue;
+                }
+                while aj < add.len() && add[aj] < pair {
+                    run.push(add[aj]);
+                    aj += 1;
+                }
+                run.push(pair);
+            }
+            run.extend_from_slice(&add[aj..]);
+            debug_assert_eq!(rj, rem.len(), "removed int pair missing from run");
+            if !run.is_empty() {
+                int_runs.insert(sym, run);
+            }
         }
 
         Self {

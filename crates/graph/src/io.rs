@@ -13,12 +13,29 @@
 //! Attribute values are strings by default; an `:int` suffix on the name
 //! parses the value as an integer.  The format is whitespace separated, so
 //! string values must not contain spaces.
+//!
+//! Live graphs serialize through [`handle_to_text`] / [`handle_from_text`],
+//! which extend the format with the mutation state a [`GraphHandle`] carries
+//! beyond its build-time image: an `epoch N` directive recording the
+//! committed generation, and `pending …` directives recording the staged,
+//! not-yet-compacted delta overlay:
+//!
+//! ```text
+//! epoch 3
+//! node 0 label=person
+//! edge 0 0
+//! pending node
+//! pending attr 1 label=person
+//! pending attr 0 age:int=43
+//! pending edge 0 1
+//! ```
 
 use std::fmt::Write as _;
 
 use crate::attr::AttrValue;
 use crate::builder::GraphBuilder;
 use crate::graph::{DataGraph, NodeId};
+use crate::mutate::{GraphHandle, MutationConfig, PendingOp};
 
 /// Errors produced while parsing the text format.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,6 +52,8 @@ pub enum ParseError {
         expected: u32,
         found: u32,
     },
+    /// An `epoch` / `pending` directive was malformed or misplaced.
+    BadDirective { line: usize, token: String },
 }
 
 impl std::fmt::Display for ParseError {
@@ -55,6 +74,9 @@ impl std::fmt::Display for ParseError {
                 f,
                 "line {line}: node ids must be dense, expected {expected} found {found}"
             ),
+            ParseError::BadDirective { line, token } => {
+                write!(f, "line {line}: bad directive `{token}`")
+            }
         }
     }
 }
@@ -67,15 +89,7 @@ pub fn to_text(g: &DataGraph) -> String {
     for v in g.nodes() {
         let _ = write!(out, "node {}", v.0);
         for attr in g.attributes(v) {
-            let name = g.resolve(attr.name);
-            match &attr.value {
-                AttrValue::Int(i) => {
-                    let _ = write!(out, " {name}:int={i}");
-                }
-                AttrValue::Str(s) => {
-                    let _ = write!(out, " {name}={s}");
-                }
-            }
+            write_attr_token(&mut out, g.resolve(attr.name), &attr.value);
         }
         out.push('\n');
     }
@@ -165,6 +179,167 @@ pub fn from_text(text: &str) -> Result<DataGraph, ParseError> {
     Ok(builder.build())
 }
 
+fn write_attr_token(out: &mut String, name: &str, value: &AttrValue) {
+    match value {
+        AttrValue::Int(i) => {
+            let _ = write!(out, " {name}:int={i}");
+        }
+        AttrValue::Str(s) => {
+            let _ = write!(out, " {name}={s}");
+        }
+    }
+}
+
+fn parse_attr_token(line: usize, tok: &str) -> Result<(String, AttrValue), ParseError> {
+    let (name, value) = tok.split_once('=').ok_or(ParseError::BadAttribute {
+        line,
+        token: tok.to_owned(),
+    })?;
+    if let Some(stripped) = name.strip_suffix(":int") {
+        let i: i64 = value.parse().map_err(|_| ParseError::BadAttribute {
+            line,
+            token: tok.to_owned(),
+        })?;
+        Ok((stripped.to_owned(), AttrValue::Int(i)))
+    } else {
+        Ok((name.to_owned(), AttrValue::str(value)))
+    }
+}
+
+/// Serializes a live [`GraphHandle`] to the text format: the committed
+/// (post-compaction) graph image under an `epoch` directive, followed by the
+/// staged delta overlay as `pending` directives.  [`handle_from_text`]
+/// restores the full mutation state — epoch number, compacted arrays and
+/// pending operations alike.
+pub fn handle_to_text(h: &GraphHandle) -> String {
+    let snapshot = h.snapshot();
+    let mut out = format!("epoch {}\n", snapshot.epoch());
+    out.push_str(&to_text(snapshot.graph()));
+    for op in h.pending_ops() {
+        match op {
+            PendingOp::AddNode => out.push_str("pending node\n"),
+            PendingOp::SetAttr { node, name, value } => {
+                let _ = write!(out, "pending attr {}", node.0);
+                write_attr_token(&mut out, &name, &value);
+                out.push('\n');
+            }
+            PendingOp::AddEdge { from, to } => {
+                let _ = writeln!(out, "pending edge {} {}", from.0, to.0);
+            }
+        }
+    }
+    out
+}
+
+/// Parses a live-graph image produced by [`handle_to_text`] back into a
+/// [`GraphHandle`] (with [`MutationConfig::default`] tuning): committed
+/// epoch, compacted graph, and the pending delta overlay.  Plain graph text
+/// (no `epoch` / `pending` directives) restores as an epoch-0 handle with
+/// nothing staged.
+pub fn handle_from_text(text: &str) -> Result<GraphHandle, ParseError> {
+    let mut epoch = 0u64;
+    let mut base = String::new();
+    let mut ops: Vec<PendingOp> = Vec::new();
+    // Pending directives may only reference nodes already declared above
+    // them (committed `node` lines or earlier `pending node` lines), so ids
+    // are bounds-checked against the running counts with a useful line
+    // number.
+    let mut base_nodes = 0usize;
+    let mut staged_nodes = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            Some("epoch") => {
+                let tok = parts.next().unwrap_or("");
+                epoch = tok.parse().map_err(|_| ParseError::BadDirective {
+                    line,
+                    token: tok.to_owned(),
+                })?;
+            }
+            Some("node") => {
+                base_nodes += 1;
+                base.push_str(trimmed);
+                base.push('\n');
+            }
+            Some("pending") => {
+                let bound = (base_nodes + staged_nodes) as u32;
+                match parts.next() {
+                    Some("node") => {
+                        staged_nodes += 1;
+                        ops.push(PendingOp::AddNode);
+                    }
+                    Some("attr") => {
+                        let id_tok = parts.next().unwrap_or("");
+                        let id: u32 = id_tok.parse().map_err(|_| ParseError::BadId {
+                            line,
+                            token: id_tok.to_owned(),
+                        })?;
+                        if id >= bound {
+                            return Err(ParseError::BadId {
+                                line,
+                                token: id_tok.to_owned(),
+                            });
+                        }
+                        let tok = parts.next().ok_or(ParseError::BadAttribute {
+                            line,
+                            token: trimmed.to_owned(),
+                        })?;
+                        let (name, value) = parse_attr_token(line, tok)?;
+                        ops.push(PendingOp::SetAttr {
+                            node: NodeId(id),
+                            name,
+                            value,
+                        });
+                    }
+                    Some("edge") => {
+                        let u_tok = parts.next().unwrap_or("");
+                        let v_tok = parts.next().unwrap_or("");
+                        let u: u32 = u_tok.parse().map_err(|_| ParseError::BadId {
+                            line,
+                            token: u_tok.to_owned(),
+                        })?;
+                        let v: u32 = v_tok.parse().map_err(|_| ParseError::BadId {
+                            line,
+                            token: v_tok.to_owned(),
+                        })?;
+                        if u >= bound || v >= bound {
+                            return Err(ParseError::BadId {
+                                line,
+                                token: format!("{u}->{v}"),
+                            });
+                        }
+                        ops.push(PendingOp::AddEdge {
+                            from: NodeId(u),
+                            to: NodeId(v),
+                        });
+                    }
+                    other => {
+                        return Err(ParseError::BadDirective {
+                            line,
+                            token: other.unwrap_or("").to_owned(),
+                        })
+                    }
+                }
+            }
+            _ => {
+                // `edge`, comments, blanks and anything unknown go to the
+                // base parser, which owns those diagnostics.
+                base.push_str(trimmed);
+                base.push('\n');
+            }
+        }
+    }
+    let graph = from_text(&base)?;
+    Ok(GraphHandle::restore(
+        graph,
+        epoch,
+        ops,
+        MutationConfig::default(),
+    ))
+}
+
 /// Serializes `g` to Graphviz DOT, labelling nodes with their `label` attribute.
 pub fn to_dot(g: &DataGraph) -> String {
     let mut out = String::from("digraph data {\n");
@@ -232,6 +407,93 @@ mod tests {
     fn dangling_edge_is_rejected() {
         let err = from_text("node 0\nedge 0 3\n").unwrap_err();
         assert!(matches!(err, ParseError::BadId { line: 2, .. }));
+    }
+
+    #[test]
+    fn mutated_handle_round_trips_post_compaction_state() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("person");
+        let c = b.add_node_with_label("paper");
+        b.add_edge(a, c);
+        let handle = crate::mutate::GraphHandle::new(b.build());
+        let d = handle.insert_node_with_label("paper");
+        handle.insert_edge(a, d);
+        handle.set_attr(a, "age", AttrValue::int(42));
+        handle.commit(); // epoch 1, compacted
+
+        let text = handle_to_text(&handle);
+        assert!(text.starts_with("epoch 1\n"));
+        let restored = handle_from_text(&text).unwrap();
+        assert_eq!(restored.epoch(), 1);
+        assert_eq!(restored.pending_op_count(), 0);
+        let orig = handle.snapshot();
+        let back = restored.snapshot();
+        assert_eq!(back.graph().node_count(), 3);
+        assert_eq!(back.graph().edge_count(), 2);
+        assert_eq!(
+            back.graph().attribute_value(a, "age"),
+            Some(&AttrValue::int(42))
+        );
+        assert_eq!(**back.condensation(), **orig.condensation());
+        // Serializing the restored handle reproduces the same image.
+        assert_eq!(handle_to_text(&restored), text);
+    }
+
+    #[test]
+    fn pending_delta_overlay_round_trips() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("x");
+        b.add_edge(a, a);
+        let handle = crate::mutate::GraphHandle::new(b.build());
+        handle.commit(); // nothing staged: still epoch 0
+        let n = handle.insert_node_with_label("y");
+        handle.insert_edge(a, n);
+        handle.set_attr(a, "age", AttrValue::int(7));
+
+        let text = handle_to_text(&handle);
+        assert!(text.contains("pending node"));
+        assert!(text.contains("pending edge 0 1"));
+        assert!(text.contains("pending attr 0 age:int=7"));
+        let restored = handle_from_text(&text).unwrap();
+        assert_eq!(restored.pending_ops(), handle.pending_ops());
+        // Committing both overlays lands on the same epoch-1 graph.
+        let g1 = handle.commit();
+        let g2 = restored.commit();
+        assert_eq!(**g1.graph(), **g2.graph());
+        assert_eq!(g1.epoch(), g2.epoch());
+    }
+
+    #[test]
+    fn plain_graph_text_restores_as_epoch_zero_handle() {
+        let handle = handle_from_text("node 0 label=a\nnode 1 label=b\nedge 0 1\n").unwrap();
+        assert_eq!(handle.epoch(), 0);
+        assert_eq!(handle.pending_op_count(), 0);
+        assert_eq!(handle.snapshot().graph().node_count(), 2);
+    }
+
+    #[test]
+    fn pending_directive_errors_are_reported() {
+        assert!(matches!(
+            handle_from_text("node 0\npending frobnicate\n").unwrap_err(),
+            ParseError::BadDirective { line: 2, .. }
+        ));
+        assert!(matches!(
+            handle_from_text("node 0\npending edge 0 9\n").unwrap_err(),
+            ParseError::BadId { line: 2, .. }
+        ));
+        assert!(matches!(
+            handle_from_text("node 0\npending attr 5 x=y\n").unwrap_err(),
+            ParseError::BadId { line: 2, .. }
+        ));
+        assert!(matches!(
+            handle_from_text("epoch banana\n").unwrap_err(),
+            ParseError::BadDirective { line: 1, .. }
+        ));
+        let err = ParseError::BadDirective {
+            line: 3,
+            token: "x".into(),
+        };
+        assert!(err.to_string().contains("bad directive"));
     }
 
     #[test]

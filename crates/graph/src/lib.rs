@@ -10,7 +10,11 @@
 //! * [`DataGraph`] — an immutable graph with flat CSR adjacency, interned
 //!   attribute names, per-node attribute tuples and a build-time attribute
 //!   inverted index ([`AttrIndex`]),
-//! * [`GraphBuilder`] — the only way to construct a [`DataGraph`],
+//! * [`GraphBuilder`] — batch construction of a [`DataGraph`],
+//! * [`GraphHandle`] — the live-graph mutation path: staged inserts and
+//!   attribute upserts compact into immutable epochs with incrementally
+//!   maintained CSR/index/condensation, read through copy-on-write
+//!   [`GraphSnapshot`]s,
 //! * [`Condensation`] — Tarjan SCC condensation producing the DAG on which
 //!   reachability indexes are built (also CSR-packed),
 //! * [`NodeBitSet`] and galloping sorted-slice intersection — the scratch
@@ -47,6 +51,7 @@ pub mod csr;
 pub mod graph;
 pub mod index;
 pub mod io;
+pub mod mutate;
 pub mod stats;
 pub mod symbol;
 pub mod traversal;
@@ -57,6 +62,7 @@ pub use builder::GraphBuilder;
 pub use condensation::Condensation;
 pub use graph::{DataGraph, NodeId};
 pub use index::AttrIndex;
+pub use mutate::{GraphHandle, GraphSnapshot, MutationConfig, MutationStats, PendingOp};
 pub use stats::GraphStats;
 pub use symbol::{Symbol, SymbolTable};
 

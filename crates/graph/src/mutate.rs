@@ -1,0 +1,672 @@
+//! Live graphs: a mutation path over the immutable [`DataGraph`].
+//!
+//! A [`GraphHandle`] stages inserts and attribute upserts (the *delta
+//! overlay*) and compacts them into a fresh, fully flat [`DataGraph`] at each
+//! [`commit`](GraphHandle::commit) — one epoch per commit.  Compaction is
+//! *incremental*: the CSR adjacency and the attribute inverted index are
+//! extended by linear sorted-run merges, and the SCC condensation is patched
+//! in place whenever every new edge goes forward in the topological order
+//! ([`Condensation::apply_insertions`]); a configurable threshold
+//! ([`MutationConfig::full_rebuild_ratio`]) falls back to a full re-sort /
+//! re-condense when the delta is large.  Either way the result is
+//! **bit-identical** to rebuilding the graph from scratch over the same
+//! logical operation sequence — the `mutation_oracle` test suite compares the
+//! two with `==` after every epoch.
+//!
+//! Reads are snapshot isolated for free: committed graphs are never mutated,
+//! so a [`GraphSnapshot`] (an `Arc` pair pinning one epoch's graph and
+//! condensation) keeps serving a consistent view to in-flight match streams
+//! and morsel workers while writers race ahead.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::attr::{AttrValue, Attribute};
+use crate::condensation::Condensation;
+use crate::csr::Csr;
+use crate::graph::{DataGraph, NodeId};
+use crate::index::AttrIndex;
+use crate::symbol::Symbol;
+use crate::LABEL_ATTR;
+
+/// One immutable epoch of a live graph: the compacted [`DataGraph`] plus its
+/// SCC condensation, pinned together under one epoch number.
+///
+/// Snapshots are handed out as `Arc<GraphSnapshot>` — cloning is two
+/// refcounts, and the underlying arrays are shared with every other reader of
+/// the same epoch.
+#[derive(Clone, Debug)]
+pub struct GraphSnapshot {
+    epoch: u64,
+    graph: Arc<DataGraph>,
+    condensation: Arc<Condensation>,
+}
+
+impl GraphSnapshot {
+    /// Wraps an already-built immutable graph as epoch 0 (computing its
+    /// condensation once).  This is how static, never-mutated deployments
+    /// enter the snapshot world.
+    pub fn freeze(graph: Arc<DataGraph>) -> Self {
+        let condensation = Arc::new(Condensation::new(&graph));
+        Self {
+            epoch: 0,
+            graph,
+            condensation,
+        }
+    }
+
+    /// The epoch this snapshot pins.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The compacted data graph of this epoch.
+    #[inline]
+    pub fn graph(&self) -> &Arc<DataGraph> {
+        &self.graph
+    }
+
+    /// The maintained SCC condensation of this epoch's graph.
+    #[inline]
+    pub fn condensation(&self) -> &Arc<Condensation> {
+        &self.condensation
+    }
+}
+
+/// A staged mutation, recorded in operation order so a replay through
+/// [`GraphBuilder`](crate::GraphBuilder) interns symbols identically.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PendingOp {
+    /// Append a fresh node (ids are dense, continuing the committed range).
+    AddNode,
+    /// Set (or overwrite) one attribute on a committed or staged node.
+    SetAttr {
+        /// The node receiving the attribute.
+        node: NodeId,
+        /// Attribute name (interned at commit time).
+        name: String,
+        /// New attribute value.
+        value: AttrValue,
+    },
+    /// Insert a directed edge between committed or staged nodes.
+    AddEdge {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+    },
+}
+
+/// Tuning knobs for the mutation path.
+#[derive(Clone, Copy, Debug)]
+pub struct MutationConfig {
+    /// When set, any staging call that brings the pending-operation count to
+    /// this threshold triggers an automatic commit — bounding how large the
+    /// delta overlay can grow between explicit epochs.
+    pub auto_commit_ops: Option<usize>,
+    /// Delta-size fraction above which commit abandons the incremental
+    /// sorted-run merges for a full rebuild of the affected structure: the
+    /// CSR re-sorts all pairs when `new edges > ratio * old edges`, the
+    /// inverted index rebuilds when `touched nodes > ratio * old nodes`.
+    pub full_rebuild_ratio: f64,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        Self {
+            auto_commit_ops: None,
+            full_rebuild_ratio: 0.25,
+        }
+    }
+}
+
+/// Counters describing the work the mutation path has done — which commits
+/// took the incremental fast paths and which fell back to full rebuilds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MutationStats {
+    /// Committed epochs (commits with at least one staged operation).
+    pub epochs: u64,
+    /// Nodes inserted across all epochs.
+    pub nodes_inserted: u64,
+    /// Distinct new edges committed (duplicates are dropped at commit).
+    pub edges_inserted: u64,
+    /// `set_attr` operations committed.
+    pub attrs_upserted: u64,
+    /// Commits that extended the CSR by linear sorted-run merge.
+    pub csr_merges: u64,
+    /// Commits that re-sorted the full edge list (delta over threshold).
+    pub csr_rebuilds: u64,
+    /// Commits that merged the inverted index incrementally.
+    pub index_merges: u64,
+    /// Commits that rebuilt the inverted index from the node tuples.
+    pub index_rebuilds: u64,
+    /// Commits where the condensation took the topological fast path.
+    pub condensation_fast: u64,
+    /// Commits that re-ran Tarjan (an edge went backward in topo order).
+    pub condensation_rebuilds: u64,
+    /// Wall-clock microseconds spent in the most recent commit.
+    pub last_commit_micros: u64,
+}
+
+struct Pending {
+    ops: Vec<PendingOp>,
+    /// Committed node count the staged ids are relative to.
+    base_nodes: usize,
+    /// Nodes staged since the last commit.
+    staged_nodes: usize,
+}
+
+/// A mutable handle over a live graph: stage inserts/upserts, then
+/// [`commit`](Self::commit) them as one epoch.
+///
+/// Staging calls and commits serialize on an internal lock (writers are
+/// single-file); [`snapshot`](Self::snapshot) never blocks behind a commit's
+/// heavy phase and readers always observe a fully-built epoch — there are no
+/// torn reads by construction, because epochs are immutable once published.
+pub struct GraphHandle {
+    pending: Mutex<Pending>,
+    current: RwLock<Arc<GraphSnapshot>>,
+    epoch: AtomicU64,
+    config: MutationConfig,
+    stats: Mutex<MutationStats>,
+}
+
+impl std::fmt::Debug for GraphHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphHandle")
+            .field("epoch", &self.epoch())
+            .field("pending_ops", &self.pending_op_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GraphHandle {
+    /// Wraps `graph` as the epoch-0 image of a live graph.
+    pub fn new(graph: DataGraph) -> Self {
+        Self::with_config(graph, MutationConfig::default())
+    }
+
+    /// Wraps `graph` with explicit mutation tuning.
+    pub fn with_config(graph: DataGraph, config: MutationConfig) -> Self {
+        Self::restore(graph, 0, Vec::new(), config)
+    }
+
+    /// Reconstructs a handle from a serialized image: the compacted `graph`
+    /// at `epoch`, plus a still-pending delta overlay (see
+    /// [`crate::io::handle_to_text`]).
+    ///
+    /// # Panics
+    /// Panics when a pending operation references a node id that neither the
+    /// committed graph nor an earlier staged `AddNode` declares.
+    pub fn restore(
+        graph: DataGraph,
+        epoch: u64,
+        ops: Vec<PendingOp>,
+        config: MutationConfig,
+    ) -> Self {
+        let base_nodes = graph.node_count();
+        let mut staged_nodes = 0usize;
+        for op in &ops {
+            let bound = base_nodes + staged_nodes;
+            match op {
+                PendingOp::AddNode => staged_nodes += 1,
+                PendingOp::SetAttr { node, .. } => {
+                    assert!(node.index() < bound, "pending attr on unknown node {node}");
+                }
+                PendingOp::AddEdge { from, to } => {
+                    assert!(
+                        from.index() < bound && to.index() < bound,
+                        "pending edge endpoints must be existing nodes"
+                    );
+                }
+            }
+        }
+        let graph = Arc::new(graph);
+        let condensation = Arc::new(Condensation::new(&graph));
+        let snapshot = Arc::new(GraphSnapshot {
+            epoch,
+            graph,
+            condensation,
+        });
+        Self {
+            pending: Mutex::new(Pending {
+                ops,
+                base_nodes,
+                staged_nodes,
+            }),
+            current: RwLock::new(snapshot),
+            epoch: AtomicU64::new(epoch),
+            config,
+            stats: Mutex::new(MutationStats::default()),
+        }
+    }
+
+    /// The committed epoch number (0 before the first commit).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Pins the current epoch: the returned snapshot keeps serving exactly
+    /// this graph no matter how many commits land afterwards.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        self.current.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// The mutation tuning in effect.
+    pub fn config(&self) -> MutationConfig {
+        self.config
+    }
+
+    /// Work counters accumulated across all commits.
+    pub fn stats(&self) -> MutationStats {
+        self.stats.lock().expect("stats lock poisoned").clone()
+    }
+
+    /// Number of staged, not-yet-committed operations.
+    pub fn pending_op_count(&self) -> usize {
+        self.pending
+            .lock()
+            .expect("pending lock poisoned")
+            .ops
+            .len()
+    }
+
+    /// A copy of the staged operations, in staging order (what
+    /// [`crate::io::handle_to_text`] serializes as the delta overlay).
+    pub fn pending_ops(&self) -> Vec<PendingOp> {
+        self.pending
+            .lock()
+            .expect("pending lock poisoned")
+            .ops
+            .clone()
+    }
+
+    /// Stages a fresh attribute-less node and returns its id (dense,
+    /// continuing the committed range).
+    pub fn insert_node(&self) -> NodeId {
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        let id = NodeId((pending.base_nodes + pending.staged_nodes) as u32);
+        pending.ops.push(PendingOp::AddNode);
+        pending.staged_nodes += 1;
+        self.maybe_auto_commit(pending);
+        id
+    }
+
+    /// Stages a node carrying only a `label` attribute.
+    pub fn insert_node_with_label(&self, label: &str) -> NodeId {
+        self.insert_node_with_attrs([(LABEL_ATTR, AttrValue::str(label))])
+    }
+
+    /// Stages a node with the given `(name, value)` attribute pairs.
+    pub fn insert_node_with_attrs<'a, I>(&self, attrs: I) -> NodeId
+    where
+        I: IntoIterator<Item = (&'a str, AttrValue)>,
+    {
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        let id = NodeId((pending.base_nodes + pending.staged_nodes) as u32);
+        pending.ops.push(PendingOp::AddNode);
+        pending.staged_nodes += 1;
+        for (name, value) in attrs {
+            pending.ops.push(PendingOp::SetAttr {
+                node: id,
+                name: name.to_owned(),
+                value,
+            });
+        }
+        self.maybe_auto_commit(pending);
+        id
+    }
+
+    /// Stages an attribute upsert on a committed or staged node: sets `name`
+    /// to `value`, overwriting any existing value.
+    ///
+    /// # Panics
+    /// Panics when `v` is neither committed nor staged.
+    pub fn set_attr(&self, v: NodeId, name: &str, value: AttrValue) {
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        assert!(
+            v.index() < pending.base_nodes + pending.staged_nodes,
+            "set_attr on unknown node {v}"
+        );
+        pending.ops.push(PendingOp::SetAttr {
+            node: v,
+            name: name.to_owned(),
+            value,
+        });
+        self.maybe_auto_commit(pending);
+    }
+
+    /// Stages a directed edge.  Duplicates of existing edges are tolerated
+    /// and dropped at commit, mirroring [`GraphBuilder`](crate::GraphBuilder)
+    /// de-duplication.
+    ///
+    /// # Panics
+    /// Panics when either endpoint is neither committed nor staged.
+    pub fn insert_edge(&self, u: NodeId, v: NodeId) {
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        let bound = pending.base_nodes + pending.staged_nodes;
+        assert!(
+            u.index() < bound && v.index() < bound,
+            "edge endpoints must be existing nodes"
+        );
+        pending.ops.push(PendingOp::AddEdge { from: u, to: v });
+        self.maybe_auto_commit(pending);
+    }
+
+    fn maybe_auto_commit(&self, pending: std::sync::MutexGuard<'_, Pending>) {
+        if let Some(limit) = self.config.auto_commit_ops {
+            let mut pending = pending;
+            if pending.ops.len() >= limit {
+                self.commit_locked(&mut pending);
+            }
+        }
+    }
+
+    /// Compacts every staged operation into a new epoch and publishes it.
+    /// With nothing staged this is a no-op returning the current snapshot —
+    /// the epoch number only advances when the graph actually changes.
+    pub fn commit(&self) -> Arc<GraphSnapshot> {
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        self.commit_locked(&mut pending)
+    }
+
+    fn commit_locked(&self, pending: &mut Pending) -> Arc<GraphSnapshot> {
+        if pending.ops.is_empty() {
+            return self.snapshot();
+        }
+        let started = Instant::now();
+        let base = self.snapshot();
+        let bg: &DataGraph = base.graph();
+        let old_n = bg.node_count();
+        debug_assert_eq!(pending.base_nodes, old_n, "pending desynced from epoch");
+        let ops = std::mem::take(&mut pending.ops);
+        let staged_nodes = std::mem::replace(&mut pending.staged_nodes, 0);
+
+        // Replay the staged operations over clones of the committed state, in
+        // staging order — symbol interning order therefore matches a from-
+        // scratch replay through `GraphBuilder`, which is what keeps the
+        // result bit-comparable to the rebuild oracle.
+        let mut symbols = bg.symbols.clone();
+        let mut attrs = bg.attrs.clone();
+        let mut touched: BTreeSet<u32> = BTreeSet::new();
+        let mut raw_edges: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut upserts = 0u64;
+        for op in &ops {
+            match op {
+                PendingOp::AddNode => attrs.push(Vec::new()),
+                PendingOp::SetAttr { node, name, value } => {
+                    let sym = symbols.intern(name);
+                    if node.index() < old_n {
+                        touched.insert(node.0);
+                    }
+                    let tuple = &mut attrs[node.index()];
+                    if let Some(existing) = tuple.iter_mut().find(|a| a.name == sym) {
+                        existing.value = value.clone();
+                    } else {
+                        tuple.push(Attribute::new(sym, value.clone()));
+                    }
+                    upserts += 1;
+                }
+                PendingOp::AddEdge { from, to } => raw_edges.push((*from, *to)),
+            }
+        }
+        let n_total = attrs.len();
+        debug_assert_eq!(n_total, old_n + staged_nodes);
+
+        // The true edge delta: staged edges, de-duplicated against each other
+        // and against the committed adjacency.
+        raw_edges.sort_unstable();
+        raw_edges.dedup();
+        raw_edges.retain(|&(u, v)| u.index() >= old_n || !bg.has_edge(u, v));
+        let added_edges = raw_edges;
+        let edge_count = bg.edge_count + added_edges.len();
+
+        // CSR adjacency: linear sorted-run merge of the delta, or a full
+        // re-sort once the delta crosses the compaction threshold.
+        let ratio = self.config.full_rebuild_ratio;
+        let csr_full = (added_edges.len() as f64) > ratio * (bg.edge_count.max(1) as f64);
+        let (fwd, rev) = if csr_full {
+            let mut fwd_pairs: Vec<(u32, NodeId)> = Vec::with_capacity(edge_count);
+            for u in bg.nodes() {
+                for &v in bg.children(u) {
+                    fwd_pairs.push((u.0, v));
+                }
+            }
+            fwd_pairs.extend(added_edges.iter().map(|&(u, v)| (u.0, v)));
+            fwd_pairs.sort_unstable();
+            let mut rev_pairs: Vec<(u32, NodeId)> =
+                fwd_pairs.iter().map(|&(u, v)| (v.0, NodeId(u))).collect();
+            rev_pairs.sort_unstable();
+            (
+                Csr::from_sorted_pairs(n_total, &fwd_pairs),
+                Csr::from_sorted_pairs(n_total, &rev_pairs),
+            )
+        } else {
+            let fwd_adds: Vec<(u32, NodeId)> = added_edges.iter().map(|&(u, v)| (u.0, v)).collect();
+            let mut rev_adds: Vec<(u32, NodeId)> = added_edges
+                .iter()
+                .map(|&(u, v)| (v.0, NodeId(u.0)))
+                .collect();
+            rev_adds.sort_unstable();
+            (
+                bg.fwd.merge_additions(n_total, &fwd_adds),
+                bg.rev.merge_additions(n_total, &rev_adds),
+            )
+        };
+
+        // Inverted index: sorted-run merge of the per-epoch posting deltas,
+        // or a rebuild when too many tuples changed.
+        let index_full = ((touched.len() + staged_nodes) as f64) > ratio * (old_n.max(1) as f64);
+        let index = if index_full {
+            AttrIndex::build(&attrs)
+        } else {
+            let mut removed: Vec<(Symbol, AttrValue, NodeId)> = Vec::new();
+            let mut added: Vec<(Symbol, AttrValue, NodeId)> = Vec::new();
+            let mut name_added: Vec<(Symbol, NodeId)> = Vec::new();
+            for &t in &touched {
+                let v = NodeId(t);
+                let old_tuple = &bg.attrs[t as usize];
+                let new_tuple = &attrs[t as usize];
+                for a in old_tuple {
+                    if !new_tuple
+                        .iter()
+                        .any(|b| b.name == a.name && b.value == a.value)
+                    {
+                        removed.push((a.name, a.value.clone(), v));
+                    }
+                }
+                for b in new_tuple {
+                    if !old_tuple
+                        .iter()
+                        .any(|a| a.name == b.name && a.value == b.value)
+                    {
+                        added.push((b.name, b.value.clone(), v));
+                    }
+                    if !old_tuple.iter().any(|a| a.name == b.name) {
+                        name_added.push((b.name, v));
+                    }
+                }
+            }
+            for (i, tuple) in attrs.iter().enumerate().take(n_total).skip(old_n) {
+                let v = NodeId(i as u32);
+                for a in tuple {
+                    added.push((a.name, a.value.clone(), v));
+                    name_added.push((a.name, v));
+                }
+            }
+            bg.index.merge_updates(removed, added, name_added)
+        };
+
+        let graph = DataGraph {
+            symbols,
+            fwd,
+            rev,
+            attrs,
+            index,
+            edge_count,
+        };
+
+        // SCC condensation: patch in place while every new edge goes forward
+        // in the topological order; re-run Tarjan otherwise.
+        let (condensation, cond_fast) =
+            match base.condensation().apply_insertions(n_total, &added_edges) {
+                Some(c) => (c, true),
+                None => (Condensation::new(&graph), false),
+            };
+
+        let epoch = base.epoch + 1;
+        let snapshot = Arc::new(GraphSnapshot {
+            epoch,
+            graph: Arc::new(graph),
+            condensation: Arc::new(condensation),
+        });
+        *self.current.write().expect("snapshot lock poisoned") = snapshot.clone();
+        self.epoch.store(epoch, Ordering::Release);
+        pending.base_nodes = n_total;
+
+        let mut stats = self.stats.lock().expect("stats lock poisoned");
+        stats.epochs += 1;
+        stats.nodes_inserted += staged_nodes as u64;
+        stats.edges_inserted += added_edges.len() as u64;
+        stats.attrs_upserted += upserts;
+        if csr_full {
+            stats.csr_rebuilds += 1;
+        } else {
+            stats.csr_merges += 1;
+        }
+        if index_full {
+            stats.index_rebuilds += 1;
+        } else {
+            stats.index_merges += 1;
+        }
+        if cond_fast {
+            stats.condensation_fast += 1;
+        } else {
+            stats.condensation_rebuilds += 1;
+        }
+        stats.last_commit_micros = started.elapsed().as_micros() as u64;
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+
+    use super::*;
+
+    fn base() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("a");
+        let c = b.add_node_with_label("b");
+        let d = b.add_node_with_label("b");
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.build()
+    }
+
+    #[test]
+    fn commit_is_bit_identical_to_replay() {
+        let handle = GraphHandle::new(base());
+        let x = handle.insert_node_with_label("c");
+        handle.insert_edge(NodeId(2), x);
+        handle.set_attr(NodeId(0), "year", AttrValue::int(2001));
+        let snap = handle.commit();
+
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("a");
+        let c = b.add_node_with_label("b");
+        let d = b.add_node_with_label("b");
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        let x2 = b.add_node();
+        b.set_attr(x2, crate::LABEL_ATTR, AttrValue::str("c"));
+        b.add_edge(d, x2);
+        b.set_attr(a, "year", AttrValue::int(2001));
+        let oracle = b.build();
+
+        assert_eq!(**snap.graph(), oracle);
+        assert_eq!(**snap.condensation(), Condensation::new(&oracle));
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(handle.epoch(), 1);
+    }
+
+    #[test]
+    fn snapshots_pin_their_epoch() {
+        let handle = GraphHandle::new(base());
+        let before = handle.snapshot();
+        let x = handle.insert_node_with_label("z");
+        handle.insert_edge(NodeId(0), x);
+        handle.commit();
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(before.graph().node_count(), 3);
+        assert_eq!(handle.snapshot().epoch(), 1);
+        assert_eq!(handle.snapshot().graph().node_count(), 4);
+    }
+
+    #[test]
+    fn empty_commit_does_not_advance_the_epoch() {
+        let handle = GraphHandle::new(base());
+        let snap = handle.commit();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(handle.epoch(), 0);
+        assert_eq!(handle.stats().epochs, 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_dropped_at_commit() {
+        let handle = GraphHandle::new(base());
+        handle.insert_edge(NodeId(0), NodeId(1)); // already committed
+        handle.insert_edge(NodeId(0), NodeId(2));
+        handle.insert_edge(NodeId(0), NodeId(2)); // staged twice
+        let snap = handle.commit();
+        assert_eq!(snap.graph().edge_count(), 3);
+        assert_eq!(handle.stats().edges_inserted, 1);
+    }
+
+    #[test]
+    fn backward_edge_falls_back_to_recondense() {
+        let handle = GraphHandle::new(base());
+        handle.insert_edge(NodeId(2), NodeId(0)); // closes the 0->1->2 chain
+        let snap = handle.commit();
+        let stats = handle.stats();
+        assert_eq!(stats.condensation_rebuilds, 1);
+        assert_eq!(stats.condensation_fast, 0);
+        assert_eq!(snap.condensation().component_count(), 1);
+        assert_eq!(**snap.condensation(), Condensation::new(snap.graph()));
+    }
+
+    #[test]
+    fn auto_commit_triggers_on_threshold() {
+        let config = MutationConfig {
+            auto_commit_ops: Some(2),
+            ..MutationConfig::default()
+        };
+        let handle = GraphHandle::with_config(base(), config);
+        handle.insert_node(); // 1 op
+        assert_eq!(handle.epoch(), 0);
+        handle.insert_node(); // 2 ops: auto-commit
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(handle.pending_op_count(), 0);
+        assert_eq!(handle.snapshot().graph().node_count(), 5);
+    }
+
+    #[test]
+    fn large_delta_takes_the_rebuild_paths() {
+        let config = MutationConfig {
+            full_rebuild_ratio: 0.0,
+            ..MutationConfig::default()
+        };
+        let handle = GraphHandle::with_config(base(), config);
+        let x = handle.insert_node_with_label("x");
+        handle.insert_edge(NodeId(0), x);
+        handle.commit();
+        let stats = handle.stats();
+        assert_eq!(stats.csr_rebuilds, 1);
+        assert_eq!(stats.index_rebuilds, 1);
+    }
+}

@@ -28,6 +28,16 @@ pub struct SymbolTable {
     lookup: HashMap<String, Symbol>,
 }
 
+/// Two tables are equal when they intern the same strings in the same order
+/// (the lookup map is derived state and skipped, mirroring serialization).
+impl PartialEq for SymbolTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for SymbolTable {}
+
 impl SymbolTable {
     /// Creates an empty table.
     pub fn new() -> Self {

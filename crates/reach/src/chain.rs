@@ -168,7 +168,12 @@ pub struct ChainCover {
 impl ChainCover {
     /// Builds the dense chain-cover table for `g`.
     pub fn new(g: &DataGraph) -> Self {
-        let cond = Condensation::new(g);
+        Self::with_condensation(Condensation::new(g))
+    }
+
+    /// Builds the table on an already-computed condensation of the target
+    /// graph (the epoch-rotation path of the live-graph service).
+    pub fn with_condensation(cond: Condensation) -> Self {
         let chains = ChainDecomposition::from_condensation(&cond);
         let n = cond.component_count();
         let cc = chains.chain_count();

@@ -59,7 +59,13 @@ pub struct TransitiveClosure {
 impl TransitiveClosure {
     /// Builds the closure for `g`.
     pub fn new(g: &DataGraph) -> Self {
-        let condensation = Condensation::new(g);
+        Self::with_condensation(Condensation::new(g))
+    }
+
+    /// Builds the closure on an already-computed condensation of the target
+    /// graph — the epoch-rotation path, which reuses the incrementally
+    /// maintained condensation instead of re-running Tarjan.
+    pub fn with_condensation(condensation: Condensation) -> Self {
         let n = condensation.component_count();
         let mut rows: Vec<BitRow> = (0..n).map(|_| BitRow::new(n)).collect();
         // Reverse topological order: children before parents.  The borrowed

@@ -148,7 +148,12 @@ pub struct ContourIndex {
 impl ContourIndex {
     /// Builds the materialized successor contours for `g`.
     pub fn new(g: &DataGraph) -> Self {
-        let cond = Condensation::new(g);
+        Self::with_condensation(Condensation::new(g))
+    }
+
+    /// Builds the contours on an already-computed condensation of the target
+    /// graph (the epoch-rotation path of the live-graph service).
+    pub fn with_condensation(cond: Condensation) -> Self {
         let chains = ChainDecomposition::from_condensation(&cond);
         let n = cond.component_count();
         let mut full: Vec<HashMap<ChainId, u32>> = vec![HashMap::new(); n];

@@ -56,8 +56,8 @@ pub use closure::TransitiveClosure;
 pub use contour::{ContourIndex, PredContour, SuccContour};
 pub use interval::IntervalIndex;
 pub use select::{
-    build_selected, select_backend, select_backend_for_query, BackendCostHints, BackendKind,
-    BackendSelection, GraphProfile,
+    build_selected, build_selected_with, select_backend, select_backend_for_query,
+    select_backend_with, BackendCostHints, BackendKind, BackendSelection, GraphProfile,
 };
 pub use sspi::Sspi;
 pub use three_hop::ThreeHop;

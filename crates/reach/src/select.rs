@@ -63,15 +63,24 @@ impl BackendKind {
     /// [`BackendKind::Interval`] falls back to [`ThreeHop`] when `g` is not a
     /// forest (the only fallible construction).
     pub fn build_shared(self, g: &DataGraph) -> SharedIndex {
+        self.build_shared_with(g, &Condensation::new(g))
+    }
+
+    /// Like [`build_shared`](Self::build_shared) but reusing an
+    /// already-computed condensation of `g` — the live-graph service calls
+    /// this on epoch rotation with the incrementally maintained condensation,
+    /// skipping the Tarjan pass every condensation-based backend would
+    /// otherwise repeat.
+    pub fn build_shared_with(self, g: &DataGraph, cond: &Condensation) -> SharedIndex {
         match self {
-            BackendKind::Closure => Arc::new(TransitiveClosure::new(g)),
-            BackendKind::ThreeHop => Arc::new(ThreeHop::new(g)),
-            BackendKind::Chain => Arc::new(ChainCover::new(g)),
-            BackendKind::Contour => Arc::new(ContourIndex::new(g)),
-            BackendKind::Sspi => Arc::new(Sspi::new(g)),
+            BackendKind::Closure => Arc::new(TransitiveClosure::with_condensation(cond.clone())),
+            BackendKind::ThreeHop => Arc::new(ThreeHop::with_condensation(cond.clone())),
+            BackendKind::Chain => Arc::new(ChainCover::with_condensation(cond.clone())),
+            BackendKind::Contour => Arc::new(ContourIndex::with_condensation(cond.clone())),
+            BackendKind::Sspi => Arc::new(Sspi::with_condensation(cond.clone())),
             BackendKind::Interval => match IntervalIndex::new(g) {
                 Ok(idx) => Arc::new(idx),
-                Err(_) => Arc::new(ThreeHop::new(g)),
+                Err(_) => Arc::new(ThreeHop::with_condensation(cond.clone())),
             },
         }
     }
@@ -99,7 +108,11 @@ impl GraphProfile {
     /// Computes the profile of `g` (builds one transient condensation,
     /// O(V + E)).
     pub fn compute(g: &DataGraph) -> Self {
-        let cond = Condensation::new(g);
+        Self::compute_with(g, &Condensation::new(g))
+    }
+
+    /// Computes the profile of `g` reusing an existing condensation of it.
+    pub fn compute_with(g: &DataGraph, cond: &Condensation) -> Self {
         let nodes = g.node_count();
         let edges = g.edge_count();
         let is_dag = cond.input_was_dag();
@@ -204,7 +217,12 @@ const CLOSURE_MAX_COMPONENTS: usize = 4096;
 
 /// Picks a reachability backend for `g` from its statistics.
 pub fn select_backend(g: &DataGraph) -> BackendSelection {
-    let profile = GraphProfile::compute(g);
+    select_backend_with(g, &Condensation::new(g))
+}
+
+/// Like [`select_backend`] but reusing an existing condensation of `g`.
+pub fn select_backend_with(g: &DataGraph, cond: &Condensation) -> BackendSelection {
+    let profile = GraphProfile::compute_with(g, cond);
     let (kind, reason) = if profile.is_forest {
         (BackendKind::Interval, "forest: O(1) interval containment")
     } else if profile.condensation_size <= CLOSURE_MAX_COMPONENTS {
@@ -288,8 +306,13 @@ pub fn select_backend_for_query(
 
 /// Builds the auto-selected backend for `g`.
 pub fn build_selected(g: &DataGraph) -> (SharedIndex, BackendSelection) {
-    let selection = select_backend(g);
-    (selection.kind.build_shared(g), selection)
+    build_selected_with(g, &Condensation::new(g))
+}
+
+/// Like [`build_selected`] but reusing an existing condensation of `g`.
+pub fn build_selected_with(g: &DataGraph, cond: &Condensation) -> (SharedIndex, BackendSelection) {
+    let selection = select_backend_with(g, cond);
+    (selection.kind.build_shared_with(g, cond), selection)
 }
 
 // Compile-time guarantee that every backend can be shared across threads.

@@ -37,7 +37,12 @@ pub struct Sspi {
 impl Sspi {
     /// Builds the index for `g`.
     pub fn new(g: &DataGraph) -> Self {
-        let cond = Condensation::new(g);
+        Self::with_condensation(Condensation::new(g))
+    }
+
+    /// Builds the index on an already-computed condensation of the target
+    /// graph (the epoch-rotation path of the live-graph service).
+    pub fn with_condensation(cond: Condensation) -> Self {
         let n = cond.component_count();
 
         // BFS spanning forest over the condensation, rooted at in-degree-0 comps.

@@ -58,7 +58,12 @@ pub struct ThreeHop {
 impl ThreeHop {
     /// Builds the index for `g`.
     pub fn new(g: &DataGraph) -> Self {
-        let cond = Condensation::new(g);
+        Self::with_condensation(Condensation::new(g))
+    }
+
+    /// Builds the index on an already-computed condensation of the target
+    /// graph (the epoch-rotation path of the live-graph service).
+    pub fn with_condensation(cond: Condensation) -> Self {
         let chains = ChainDecomposition::from_condensation(&cond);
         let n = cond.component_count();
 

@@ -48,11 +48,20 @@ impl CacheEntry {
 }
 
 /// An LRU cache from canonicalized queries to shared result sets.
+///
+/// The cache carries a *graph generation* ([`epoch`](Self::epoch)): every
+/// entry it holds was computed against that generation of the data graph.
+/// [`invalidate`](Self::invalidate) drops everything and advances the
+/// generation when the graph mutates, and [`insert`](Self::insert) refuses
+/// entries stamped with an older generation — a request that pinned the
+/// previous snapshot and finished after a commit cannot poison the new
+/// generation with a pre-write answer.
 pub struct ResultCache {
     capacity: usize,
     buckets: HashMap<String, Vec<CacheEntry>>,
     len: usize,
     tick: u64,
+    epoch: u64,
 }
 
 impl ResultCache {
@@ -64,6 +73,7 @@ impl ResultCache {
             buckets: HashMap::new(),
             len: 0,
             tick: 0,
+            epoch: 0,
         }
     }
 
@@ -75,6 +85,22 @@ impl ResultCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// The graph generation the cached answers belong to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Drops every entry and advances the cache to graph generation
+    /// `epoch`, returning how many entries were evicted.  Inserts stamped
+    /// with an older generation are ignored from then on.
+    pub fn invalidate(&mut self, epoch: u64) -> usize {
+        let evicted = self.len;
+        self.buckets.clear();
+        self.len = 0;
+        self.epoch = epoch;
+        evicted
     }
 
     /// Looks up `q` (with canonical form `canon`), returning results in
@@ -117,12 +143,15 @@ impl ResultCache {
             break;
         }
         let results = permuted?;
-        self.insert(canon, Arc::new(q.clone()), Arc::clone(&results));
+        let epoch = self.epoch;
+        self.insert(epoch, canon, Arc::new(q.clone()), Arc::clone(&results));
         Some(results)
     }
 
-    /// Inserts a freshly computed result set, evicting the LRU entry when
-    /// full.
+    /// Inserts a result set computed against graph generation `epoch`,
+    /// evicting the LRU entry when full.  An insert stamped with a
+    /// generation other than the cache's current one is dropped — the
+    /// answer predates a mutation and must not be served post-write.
     ///
     /// When an entry with the same canonical key is already cached —
     /// concurrent misses on one hot query race lookup-then-insert — the
@@ -131,8 +160,14 @@ impl ResultCache {
     /// cache.  Equivalent queries with *different* keys (other output
     /// orientation or spelling) do get their own entry: that is how
     /// [`lookup`](Self::lookup) caches permuted orientations.
-    pub fn insert(&mut self, canon: &CanonicalQuery, q: Arc<Gtpq>, results: Arc<ResultSet>) {
-        if self.capacity == 0 {
+    pub fn insert(
+        &mut self,
+        epoch: u64,
+        canon: &CanonicalQuery,
+        q: Arc<Gtpq>,
+        results: Arc<ResultSet>,
+    ) {
+        if self.capacity == 0 || epoch != self.epoch {
             return;
         }
         self.tick += 1;
@@ -204,6 +239,7 @@ pub struct PlanCache {
     capacity: usize,
     entries: HashMap<String, PlanEntry>,
     tick: u64,
+    epoch: u64,
 }
 
 impl PlanCache {
@@ -213,6 +249,7 @@ impl PlanCache {
             capacity,
             entries: HashMap::new(),
             tick: 0,
+            epoch: 0,
         }
     }
 
@@ -224,6 +261,16 @@ impl PlanCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Drops every plan and advances the cache to graph generation `epoch`
+    /// (plans embed the old graph's cardinality estimates and backend
+    /// recommendation), returning how many entries were evicted.
+    pub fn invalidate(&mut self, epoch: u64) -> usize {
+        let evicted = self.entries.len();
+        self.entries.clear();
+        self.epoch = epoch;
+        evicted
     }
 
     /// Returns the plan cached under `key` *for exactly this query*,
@@ -240,10 +287,12 @@ impl PlanCache {
         Some(Arc::clone(&entry.plan))
     }
 
-    /// Caches a plan for `q`, evicting the least-recently-used entry when
-    /// full (an existing entry under the same key is replaced in place).
-    pub fn insert(&mut self, key: &str, q: Arc<Gtpq>, plan: Arc<QueryPlan>) {
-        if self.capacity == 0 {
+    /// Caches a plan for `q` built against graph generation `epoch`,
+    /// evicting the least-recently-used entry when full (an existing entry
+    /// under the same key is replaced in place).  Plans stamped with a
+    /// generation other than the cache's current one are dropped.
+    pub fn insert(&mut self, epoch: u64, key: &str, q: Arc<Gtpq>, plan: Arc<QueryPlan>) {
+        if self.capacity == 0 || epoch != self.epoch {
             return;
         }
         self.tick += 1;
@@ -331,7 +380,7 @@ mod tests {
         results.insert(vec![NodeId(1), NodeId(2)]);
         let results = Arc::new(results);
         let mut cache = ResultCache::new(4);
-        cache.insert(&canon, Arc::clone(&q), Arc::clone(&results));
+        cache.insert(0, &canon, Arc::clone(&q), Arc::clone(&results));
         let hit = cache.lookup(&canon, &q).expect("hit");
         assert!(Arc::ptr_eq(&hit, &results));
     }
@@ -347,7 +396,7 @@ mod tests {
         let mut results = ResultSet::new(q1.output_nodes().to_vec());
         results.insert(vec![NodeId(10), NodeId(20)]);
         let mut cache = ResultCache::new(4);
-        cache.insert(&c1, Arc::clone(&q1), Arc::new(results));
+        cache.insert(0, &c1, Arc::clone(&q1), Arc::new(results));
         // q2 marks c first, so its tuples must come back as (c, b).
         let hit = cache.lookup(&c2, &q2).expect("hit");
         assert_eq!(hit.output, q2.output_nodes());
@@ -374,6 +423,7 @@ mod tests {
         let mut cache = ResultCache::new(4);
         let cb = canonicalize(&base);
         cache.insert(
+            0,
             &cb,
             Arc::new(base.clone()),
             Arc::new(ResultSet::new(base.output_nodes().to_vec())),
@@ -395,11 +445,11 @@ mod tests {
         let canons: Vec<_> = queries.iter().map(|q| canonicalize(q)).collect();
         let mut cache = ResultCache::new(2);
         let empty = |q: &Gtpq| Arc::new(ResultSet::new(q.output_nodes().to_vec()));
-        cache.insert(&canons[0], Arc::clone(&queries[0]), empty(&queries[0]));
-        cache.insert(&canons[1], Arc::clone(&queries[1]), empty(&queries[1]));
+        cache.insert(0, &canons[0], Arc::clone(&queries[0]), empty(&queries[0]));
+        cache.insert(0, &canons[1], Arc::clone(&queries[1]), empty(&queries[1]));
         // Touch entry 0 so entry 1 is the LRU victim.
         assert!(cache.lookup(&canons[0], &queries[0]).is_some());
-        cache.insert(&canons[2], Arc::clone(&queries[2]), empty(&queries[2]));
+        cache.insert(0, &canons[2], Arc::clone(&queries[2]), empty(&queries[2]));
         assert_eq!(cache.len(), 2);
         assert!(cache.lookup(&canons[0], &queries[0]).is_some());
         assert!(cache.lookup(&canons[1], &queries[1]).is_none());
@@ -417,11 +467,12 @@ mod tests {
         results.insert(vec![NodeId(1), NodeId(2)]);
         let results = Arc::new(results);
         let mut cache = ResultCache::new(4);
-        cache.insert(&canon, Arc::clone(&q), Arc::clone(&results));
-        cache.insert(&canon, Arc::clone(&q), Arc::clone(&results));
+        cache.insert(0, &canon, Arc::clone(&q), Arc::clone(&results));
+        cache.insert(0, &canon, Arc::clone(&q), Arc::clone(&results));
         assert_eq!(cache.len(), 1, "same key must share one slot");
         let swapped = Arc::new(two_output_query(true));
         cache.insert(
+            0,
             &canonicalize(&swapped),
             Arc::clone(&swapped),
             Arc::clone(&results),
@@ -436,12 +487,41 @@ mod tests {
         let canon = canonicalize(&q);
         let mut cache = ResultCache::new(0);
         cache.insert(
+            0,
             &canon,
             Arc::clone(&q),
             Arc::new(ResultSet::new(q.output_nodes().to_vec())),
         );
         assert!(cache.is_empty());
         assert!(cache.lookup(&canon, &q).is_none());
+    }
+
+    #[test]
+    fn epoch_invalidation_drops_entries_and_refuses_stale_inserts() {
+        let q = Arc::new(two_output_query(false));
+        let canon = canonicalize(&q);
+        let results = Arc::new(ResultSet::new(q.output_nodes().to_vec()));
+        let mut cache = ResultCache::new(4);
+        cache.insert(0, &canon, Arc::clone(&q), Arc::clone(&results));
+        assert_eq!(cache.invalidate(1), 1);
+        assert_eq!(cache.epoch(), 1);
+        assert!(cache.lookup(&canon, &q).is_none());
+        // A late insert from a request that pinned epoch 0 is refused; the
+        // current generation's insert is accepted.
+        cache.insert(0, &canon, Arc::clone(&q), Arc::clone(&results));
+        assert!(cache.is_empty());
+        cache.insert(1, &canon, Arc::clone(&q), Arc::clone(&results));
+        assert_eq!(cache.len(), 1);
+
+        let plan = Arc::new(gtpq_core::QueryPlan::fixed_pipeline(&q));
+        let mut plans = PlanCache::new(4);
+        plans.insert(0, "k", Arc::clone(&q), Arc::clone(&plan));
+        assert_eq!(plans.invalidate(2), 1);
+        assert!(plans.lookup("k", &q).is_none());
+        plans.insert(0, "k", Arc::clone(&q), Arc::clone(&plan));
+        assert!(plans.is_empty());
+        plans.insert(2, "k", Arc::clone(&q), plan);
+        assert_eq!(plans.len(), 1);
     }
 
     #[test]
@@ -457,17 +537,17 @@ mod tests {
         let plan = Arc::new(gtpq_core::QueryPlan::fixed_pipeline(&q));
         let mut cache = PlanCache::new(2);
         assert!(cache.is_empty());
-        cache.insert("a", Arc::clone(&q), Arc::clone(&plan));
-        cache.insert("b", Arc::clone(&q), Arc::clone(&plan));
+        cache.insert(0, "a", Arc::clone(&q), Arc::clone(&plan));
+        cache.insert(0, "b", Arc::clone(&q), Arc::clone(&plan));
         assert!(cache.lookup("a", &q).is_some()); // refresh a
-        cache.insert("c", Arc::clone(&q), Arc::clone(&plan)); // evicts b
+        cache.insert(0, "c", Arc::clone(&q), Arc::clone(&plan)); // evicts b
         assert_eq!(cache.len(), 2);
         assert!(cache.lookup("b", &q).is_none());
         assert!(cache.lookup("a", &q).is_some());
         assert!(cache.lookup("c", &q).is_some());
         // Zero capacity disables insertion.
         let mut off = PlanCache::new(0);
-        off.insert("a", Arc::clone(&q), Arc::clone(&plan));
+        off.insert(0, "a", Arc::clone(&q), Arc::clone(&plan));
         assert!(off.lookup("a", &q).is_none());
     }
 
@@ -480,13 +560,13 @@ mod tests {
         assert_ne!(*planned_for, other);
         let plan = Arc::new(gtpq_core::QueryPlan::fixed_pipeline(&planned_for));
         let mut cache = PlanCache::new(4);
-        cache.insert("shared-key", Arc::clone(&planned_for), plan);
+        cache.insert(0, "shared-key", Arc::clone(&planned_for), plan);
         assert!(cache.lookup("shared-key", &planned_for).is_some());
         assert!(cache.lookup("shared-key", &other).is_none());
         // Re-planning takes over the slot in place.
         let other = Arc::new(other);
         let other_plan = Arc::new(gtpq_core::QueryPlan::fixed_pipeline(&other));
-        cache.insert("shared-key", Arc::clone(&other), other_plan);
+        cache.insert(0, "shared-key", Arc::clone(&other), other_plan);
         assert_eq!(cache.len(), 1);
         assert!(cache.lookup("shared-key", &other).is_some());
         assert!(cache.lookup("shared-key", &planned_for).is_none());

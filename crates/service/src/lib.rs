@@ -11,10 +11,16 @@
 //!   deadlines push down into the engine's streaming enumerator, so a
 //!   limited request stops after its window instead of materializing the
 //!   answer,
-//! * owns an `Arc<DataGraph>` and **one shared reachability index**, either
-//!   pinned via [`ServiceConfig::backend`] or chosen by
-//!   [`gtpq_reach::select_backend`] from the graph's statistics (DAG-ness,
-//!   density, condensation size),
+//! * owns a graph **snapshot** and **one shared reachability index** per
+//!   graph generation, either pinned via [`ServiceConfig::backend`] or
+//!   chosen by [`gtpq_reach::select_backend`] from the graph's statistics
+//!   (DAG-ness, density, condensation size),
+//! * serves **live graphs** — [`QueryService::live`] wraps a
+//!   `gtpq_graph::GraphHandle`, and every committed epoch rotates the
+//!   service's generation state: the result cache, plan cache and backend
+//!   catalog are invalidated (counted as `stale_evictions`), the epoch is
+//!   exported as the `graph_epoch` gauge, and in-flight requests keep
+//!   answering from the snapshot they pinned at submission,
 //! * evaluates requests **concurrently** — all methods take `&self`, and
 //!   [`QueryService::submit_batch`] fans a batch out over a work-stealing
 //!   thread pool while preserving input order,

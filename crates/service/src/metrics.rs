@@ -111,6 +111,9 @@ pub struct ServiceMetrics {
     max_queue_depth: AtomicU64,
     aborted: AtomicU64,
     aborted_eval_nanos: AtomicU64,
+    graph_epoch: AtomicU64,
+    epoch_rotations: AtomicU64,
+    stale_evictions: AtomicU64,
     latency_hist: LogHistogram,
     ttfr_hist: LogHistogram,
     stage_hists: StageHists,
@@ -152,6 +155,9 @@ impl ServiceMetrics {
             max_queue_depth: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
             aborted_eval_nanos: AtomicU64::new(0),
+            graph_epoch: AtomicU64::new(0),
+            epoch_rotations: AtomicU64::new(0),
+            stale_evictions: AtomicU64::new(0),
             latency_hist: LogHistogram::new(),
             ttfr_hist: LogHistogram::new(),
             stage_hists: StageHists::default(),
@@ -262,6 +268,22 @@ impl ServiceMetrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Sets the graph-epoch gauge without counting a rotation (used at
+    /// service construction, where the handle may already carry commits).
+    pub(crate) fn set_graph_epoch(&self, epoch: u64) {
+        self.graph_epoch.fetch_max(epoch, Ordering::Relaxed);
+    }
+
+    /// Records one epoch rotation: the gauge advances to the new epoch
+    /// (monotonically — concurrent rotations cannot walk it backwards) and
+    /// the entries dropped from the result/plan caches are counted as stale
+    /// evictions.
+    pub(crate) fn record_rotation(&self, epoch: u64, evicted: u64) {
+        self.graph_epoch.fetch_max(epoch, Ordering::Relaxed);
+        self.epoch_rotations.fetch_add(1, Ordering::Relaxed);
+        self.stale_evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let queries = self.queries.load(Ordering::Relaxed);
         let hits = self.cache_hits.load(Ordering::Relaxed);
@@ -301,6 +323,9 @@ impl ServiceMetrics {
             aborted_eval_time: Duration::from_nanos(
                 self.aborted_eval_nanos.load(Ordering::Relaxed),
             ),
+            graph_epoch: self.graph_epoch.load(Ordering::Relaxed),
+            epoch_rotations: self.epoch_rotations.load(Ordering::Relaxed),
+            stale_evictions: self.stale_evictions.load(Ordering::Relaxed),
             latency: self.latency_hist.snapshot(),
             ttfr: self.ttfr_hist.snapshot(),
             stages: StageHistograms {
@@ -401,6 +426,16 @@ pub struct MetricsSnapshot {
     /// Engine time spent in runs that were ultimately aborted — work that
     /// produced no answer, invisible in `eval_time`.
     pub aborted_eval_time: Duration,
+    /// Epoch of the graph generation the service currently answers for
+    /// (0 for a frozen graph; advances monotonically with every commit the
+    /// service observed).
+    pub graph_epoch: u64,
+    /// Epoch rotations performed: commits the service noticed and swung its
+    /// generation state (backend, caches, catalog) over to.
+    pub epoch_rotations: u64,
+    /// Result-cache and plan-cache entries dropped by epoch rotations —
+    /// answers and plans that described a pre-write graph.
+    pub stale_evictions: u64,
     /// End-to-end `submit` latency histogram (every request: hits, misses,
     /// timeouts, cancellations).
     pub latency: HistogramSnapshot,
@@ -609,6 +644,21 @@ impl MetricsSnapshot {
             "gtpq_aborted_eval_seconds_total",
             "Engine time spent in runs that were ultimately aborted.",
             self.aborted_eval_time.as_secs_f64(),
+        );
+        page.gauge(
+            "gtpq_graph_epoch",
+            "Epoch of the graph generation the service answers for.",
+            self.graph_epoch as f64,
+        );
+        page.counter(
+            "gtpq_epoch_rotations_total",
+            "Commits the service rotated its generation state over to.",
+            self.epoch_rotations as f64,
+        );
+        page.counter(
+            "gtpq_stale_evictions_total",
+            "Cached results and plans dropped because the graph mutated.",
+            self.stale_evictions as f64,
         );
         page.gauge(
             "gtpq_uptime_seconds",
@@ -908,6 +958,28 @@ mod tests {
         assert!(page.contains("gtpq_morsels_total 15"));
         assert!(page.contains("# TYPE gtpq_morsel_queue_depth_max gauge"));
         assert!(page.contains("gtpq_morsel_queue_depth_max 5"));
+    }
+
+    #[test]
+    fn epoch_metrics_roll_up_and_render() {
+        let m = ServiceMetrics::new();
+        m.set_graph_epoch(3);
+        m.record_rotation(4, 2);
+        m.record_rotation(6, 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.graph_epoch, 6);
+        assert_eq!(snap.epoch_rotations, 2);
+        assert_eq!(snap.stale_evictions, 2);
+        // The gauge is monotone: a racing report of an older epoch is a no-op.
+        m.set_graph_epoch(5);
+        assert_eq!(m.snapshot().graph_epoch, 6);
+        let page = snap.render_prometheus();
+        assert!(page.contains("# TYPE gtpq_graph_epoch gauge"));
+        assert!(page.contains("gtpq_graph_epoch 6"));
+        assert!(page.contains("# TYPE gtpq_epoch_rotations_total counter"));
+        assert!(page.contains("gtpq_epoch_rotations_total 2"));
+        assert!(page.contains("# TYPE gtpq_stale_evictions_total counter"));
+        assert!(page.contains("gtpq_stale_evictions_total 2"));
     }
 
     #[test]

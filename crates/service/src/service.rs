@@ -3,16 +3,16 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use gtpq_core::{
     Aborted, EvalStats, ExecCtl, ExecOptions, GteaEngine, GteaOptions, Interrupt, Planner,
     QueryPlan, Tracer,
 };
-use gtpq_graph::DataGraph;
+use gtpq_graph::{DataGraph, GraphHandle, GraphSnapshot};
 use gtpq_query::{Gtpq, ParseError, ResultSet};
-use gtpq_reach::{build_selected, BackendKind, BackendSelection, GraphProfile, SharedIndex};
+use gtpq_reach::{build_selected_with, BackendKind, BackendSelection, GraphProfile, SharedIndex};
 
 use crate::cache::{PlanCache, ResultCache};
 use crate::canon::{canonicalize, CanonicalQuery};
@@ -110,20 +110,116 @@ impl Default for ServiceConfig {
 /// assert_eq!(service.metrics().cache_hits, 1);
 /// ```
 pub struct QueryService {
-    graph: Arc<DataGraph>,
+    source: GraphSource,
+    /// The current graph generation.  Requests clone the `Arc` once and read
+    /// everything — snapshot, index, catalog — through their pinned copy, so
+    /// a concurrent epoch rotation never mixes generations inside one
+    /// evaluation.
+    state: RwLock<Arc<EpochState>>,
+    config: ServiceConfig,
+    cache: Mutex<ResultCache>,
+    plans: Mutex<PlanCache>,
+    metrics: ServiceMetrics,
+    slowlog: SlowQueryLog,
+}
+
+/// Where the service's graph comes from.
+enum GraphSource {
+    /// A frozen graph: the epoch-0 snapshot built at construction is the
+    /// only generation the service will ever serve.
+    Static,
+    /// A live graph: every [`GraphHandle::commit`] publishes a new epoch,
+    /// and the service rotates its [`EpochState`] (invalidating both caches
+    /// and the backend catalog) before answering the next request.
+    Live(Arc<GraphHandle>),
+}
+
+/// Everything bound to one graph generation: the pinned snapshot, the
+/// reachability index built on it, the selection reasoning, and the lazily
+/// built per-query backend catalog.
+///
+/// Dropping the service's reference on rotation does not free the state
+/// while requests still hold it — in-flight evaluations keep reading the
+/// generation they started on.
+struct EpochState {
+    epoch: u64,
+    snapshot: Arc<GraphSnapshot>,
     index: SharedIndex,
     default_kind: BackendKind,
     selection: Option<BackendSelection>,
     profile: GraphProfile,
-    config: ServiceConfig,
-    cache: Mutex<ResultCache>,
-    plans: Mutex<PlanCache>,
     /// Per-query backend catalog: indexes built on demand by the planner's
     /// recommendation (or a request's pinned backend), shared across all
-    /// subsequent queries.
+    /// subsequent queries of this generation.
     backends: Mutex<HashMap<BackendKind, SharedIndex>>,
-    metrics: ServiceMetrics,
-    slowlog: SlowQueryLog,
+}
+
+impl EpochState {
+    /// Builds the generation state for `snapshot`: profiles the graph,
+    /// builds (or auto-selects) the default reachability backend — reusing
+    /// the snapshot's already-computed condensation — and seeds the catalog
+    /// with it.
+    fn build(snapshot: Arc<GraphSnapshot>, config: &ServiceConfig) -> Self {
+        let g = snapshot.graph();
+        let cond = snapshot.condensation();
+        let (index, default_kind, selection, profile) = match config.backend {
+            Some(kind) => (
+                kind.build_shared_with(g, cond),
+                kind,
+                None,
+                GraphProfile::compute_with(g, cond),
+            ),
+            None => {
+                let (index, selection) = build_selected_with(g, cond);
+                (index, selection.kind, Some(selection), selection.profile)
+            }
+        };
+        let backends = Mutex::new(HashMap::from([(default_kind, Arc::clone(&index))]));
+        Self {
+            epoch: snapshot.epoch(),
+            snapshot,
+            index,
+            default_kind,
+            selection,
+            profile,
+            backends,
+        }
+    }
+
+    /// The data graph of this generation.
+    fn graph(&self) -> &Arc<DataGraph> {
+        self.snapshot.graph()
+    }
+
+    /// The index the plan runs on: the plan's recommended backend (built
+    /// lazily into the catalog, then shared) when per-query selection is
+    /// enabled and no backend was pinned; the generation default otherwise.
+    fn resolve_backend(&self, plan: &QueryPlan, config: &ServiceConfig) -> SharedIndex {
+        let per_query = config.per_query_backend && config.backend.is_none();
+        let Some(kind) = plan.backend.kind.filter(|_| per_query) else {
+            return Arc::clone(&self.index);
+        };
+        self.backend_from_catalog(kind)
+    }
+
+    /// Fetches (or lazily builds and shares) the index for `kind`.
+    ///
+    /// The catalog lock is never held across an index build — concurrent
+    /// queries whose backend is already cataloged must not stall behind a
+    /// potentially expensive construction.  Two threads racing on the same
+    /// missing backend may both build it; the first insert wins and the
+    /// loser's copy is dropped.
+    fn backend_from_catalog(&self, kind: BackendKind) -> SharedIndex {
+        {
+            let backends = self.backends.lock().expect("backend catalog lock poisoned");
+            if let Some(index) = backends.get(&kind) {
+                return Arc::clone(index);
+            }
+        }
+        let built = kind.build_shared_with(self.graph(), self.snapshot.condensation());
+        let mut backends = self.backends.lock().expect("backend catalog lock poisoned");
+        Arc::clone(backends.entry(kind).or_insert(built))
+    }
 }
 
 /// What `submit_inner` sets aside for a potential slow-query entry: the
@@ -142,54 +238,130 @@ impl QueryService {
         Self::with_config(graph, ServiceConfig::default())
     }
 
-    /// Builds a service with an explicit configuration.
+    /// Builds a service over a frozen graph with an explicit configuration.
     pub fn with_config(graph: Arc<DataGraph>, config: ServiceConfig) -> Self {
-        let (index, default_kind, selection, profile) = match config.backend {
-            Some(kind) => (
-                kind.build_shared(&graph),
-                kind,
-                None,
-                GraphProfile::compute(&graph),
-            ),
-            None => {
-                let (index, selection) = build_selected(&graph);
-                (index, selection.kind, Some(selection), selection.profile)
-            }
-        };
-        let backends = HashMap::from([(default_kind, Arc::clone(&index))]);
+        Self::from_source(
+            GraphSource::Static,
+            Arc::new(GraphSnapshot::freeze(graph)),
+            config,
+        )
+    }
+
+    /// Builds a service over a live graph: queries answer against the
+    /// handle's latest committed snapshot, and every commit rotates the
+    /// service to the new epoch (fresh backend, invalidated caches) before
+    /// the next request is served.  In-flight requests keep the snapshot
+    /// they started on.
+    pub fn live(handle: Arc<GraphHandle>) -> Self {
+        Self::live_with_config(handle, ServiceConfig::default())
+    }
+
+    /// Builds a live-graph service with an explicit configuration.
+    pub fn live_with_config(handle: Arc<GraphHandle>, config: ServiceConfig) -> Self {
+        let snapshot = handle.snapshot();
+        Self::from_source(GraphSource::Live(handle), snapshot, config)
+    }
+
+    fn from_source(
+        source: GraphSource,
+        snapshot: Arc<GraphSnapshot>,
+        config: ServiceConfig,
+    ) -> Self {
+        let state = Arc::new(EpochState::build(snapshot, &config));
         let slow_capacity = if config.slow_query_threshold.is_some() {
             config.slow_log_capacity
         } else {
             0
         };
+        let metrics = ServiceMetrics::new();
+        metrics.set_graph_epoch(state.epoch);
+        // Align the cache generations with a handle that committed before
+        // the service was built, so epoch-stamped inserts are accepted.
+        let mut cache = ResultCache::new(config.cache_capacity);
+        cache.invalidate(state.epoch);
+        let mut plans = PlanCache::new(config.plan_cache_capacity);
+        plans.invalidate(state.epoch);
         Self {
-            graph,
-            index,
-            default_kind,
-            selection,
-            profile,
-            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
-            plans: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
-            backends: Mutex::new(backends),
+            source,
+            state: RwLock::new(state),
+            cache: Mutex::new(cache),
+            plans: Mutex::new(plans),
             config,
-            metrics: ServiceMetrics::new(),
+            metrics,
             slowlog: SlowQueryLog::new(slow_capacity),
         }
     }
 
-    /// The data graph the service answers queries over.
-    pub fn graph(&self) -> &Arc<DataGraph> {
-        &self.graph
+    /// The current graph generation, rotating first if the live handle has
+    /// committed since the last request.  The returned `Arc` pins the
+    /// generation: hold it across an entire request.
+    fn current_state(&self) -> Arc<EpochState> {
+        let state = Arc::clone(&self.state.read().expect("state lock poisoned"));
+        let GraphSource::Live(handle) = &self.source else {
+            return state;
+        };
+        if handle.epoch() == state.epoch {
+            return state;
+        }
+        self.rotate(handle)
     }
 
-    /// Name of the reachability backend in use.
+    /// Swings the service to the handle's latest snapshot: builds the new
+    /// generation's backend, invalidates the result and plan caches (the
+    /// evicted entries answered an older graph) and resets the per-epoch
+    /// backend catalog by replacing the whole [`EpochState`].
+    ///
+    /// Double-checked under the write lock: concurrent requests racing on
+    /// the same commit rotate once, and a commit that lands mid-rotation is
+    /// picked up by the next request.
+    fn rotate(&self, handle: &Arc<GraphHandle>) -> Arc<EpochState> {
+        let mut slot = self.state.write().expect("state lock poisoned");
+        let snapshot = handle.snapshot();
+        if snapshot.epoch() == slot.epoch {
+            return Arc::clone(&slot);
+        }
+        let fresh = Arc::new(EpochState::build(snapshot, &self.config));
+        let evicted = self
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .invalidate(fresh.epoch)
+            + self
+                .plans
+                .lock()
+                .expect("plan cache lock poisoned")
+                .invalidate(fresh.epoch);
+        self.metrics.record_rotation(fresh.epoch, evicted as u64);
+        *slot = Arc::clone(&fresh);
+        fresh
+    }
+
+    /// The data graph of the current epoch.  On a live service consecutive
+    /// calls may return different generations; pin one by holding the `Arc`.
+    pub fn graph(&self) -> Arc<DataGraph> {
+        Arc::clone(self.current_state().graph())
+    }
+
+    /// The current epoch's snapshot (graph + condensation, epoch-stamped).
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        Arc::clone(&self.current_state().snapshot)
+    }
+
+    /// Epoch of the graph generation the next request will answer against
+    /// (0 for a frozen graph or a live graph that never committed).
+    pub fn graph_epoch(&self) -> u64 {
+        self.current_state().epoch
+    }
+
+    /// Name of the reachability backend in use for the current epoch.
     pub fn backend_name(&self) -> &'static str {
-        self.index.name()
+        self.current_state().index.name()
     }
 
-    /// The auto-selection decision, when the backend was not pinned.
-    pub fn backend_selection(&self) -> Option<&BackendSelection> {
-        self.selection.as_ref()
+    /// The auto-selection decision for the current epoch, when the backend
+    /// was not pinned.
+    pub fn backend_selection(&self) -> Option<BackendSelection> {
+        self.current_state().selection
     }
 
     /// Serves one [`QueryRequest`]: parse (if textual), check
@@ -272,6 +444,12 @@ impl QueryService {
         tracer: &Tracer,
         capture: &mut SlowCapture,
     ) -> Result<QueryOutcome, QueryError> {
+        // Pin the graph generation before anything else — in particular
+        // before the result-cache lookup, since pinning is what rotates the
+        // service (and invalidates the caches) after a commit.  Everything
+        // below reads through `state`, so a commit landing mid-request
+        // cannot mix generations: this request answers for `state.epoch`.
+        let state = self.current_state();
         // The deadline budget counts from the moment `submit` is called —
         // parsing, planning and lazy backend construction all spend it, so a
         // request cannot block past its budget in pre-execution stages and
@@ -315,12 +493,15 @@ impl QueryService {
                     }
                     let plan = request
                         .want_plan
-                        .then(|| self.obtain_plan(q, Some(canon)).0);
+                        .then(|| self.obtain_plan(q, Some(canon), &state).0);
                     return Ok(QueryOutcome {
                         rows,
                         truncated,
                         from_cache: true,
-                        stats: request.want_stats.then(EvalStats::default),
+                        stats: request.want_stats.then(|| EvalStats {
+                            graph_epoch: state.epoch,
+                            ..EvalStats::default()
+                        }),
                         plan,
                         trace: None, // the wrapper attaches the finished trace
                     });
@@ -330,11 +511,11 @@ impl QueryService {
 
         // Miss: plan, resolve the backend, execute with pushdown.
         let plan_span = tracer.span("plan");
-        let (plan, plan_time) = self.obtain_plan(q, canon_ref(&canon));
+        let (plan, plan_time) = self.obtain_plan(q, canon_ref(&canon), &state);
         drop(plan_span);
         let index = match request.backend {
-            Some(kind) => self.backend_from_catalog(kind),
-            None => self.resolve_backend(&plan),
+            Some(kind) => state.backend_from_catalog(kind),
+            None => state.resolve_backend(&plan, &self.config),
         };
         let mut ctl = ExecCtl::unbounded().with_tracer(tracer.clone());
         if let Some(deadline) = deadline {
@@ -343,7 +524,7 @@ impl QueryService {
         if let Some(token) = &request.cancel {
             ctl = ctl.with_cancel(token.clone());
         }
-        let engine = GteaEngine::with_backend(&self.graph, index, self.config.options);
+        let engine = GteaEngine::with_backend(state.graph(), index, self.config.options);
         // The request's degree wins over the service default; either way the
         // planner's cost gate keeps queries serial when the estimated work
         // would not amortize the fan-out.
@@ -360,7 +541,11 @@ impl QueryService {
         };
         let exec = match engine.execute(q, &plan, options) {
             Ok(exec) => exec,
-            Err(Aborted { interrupt, stats }) => {
+            Err(Aborted {
+                interrupt,
+                mut stats,
+            }) => {
+                stats.graph_epoch = state.epoch;
                 // The run produced no answer, but its partial stage timings
                 // and I/O counters are still load — fold them.
                 self.metrics.record_aborted(&stats);
@@ -383,6 +568,7 @@ impl QueryService {
         };
         let mut stats = exec.stats;
         stats.plan_time = plan_time;
+        stats.graph_epoch = state.epoch;
         if self.config.slow_query_threshold.is_some() {
             capture.plan = Some(plan.render_with_actuals(q, &stats));
         }
@@ -392,7 +578,10 @@ impl QueryService {
         // only complete answers.
         if self.config.cache_capacity > 0 && !exec.truncated && request.offset == 0 {
             if let Some(canon) = &canon {
+                // Stamped with the pinned epoch: if a commit rotated the
+                // cache mid-request, this pre-write answer is dropped.
                 self.cache.lock().expect("cache lock poisoned").insert(
+                    state.epoch,
                     canon,
                     Arc::new(q.clone()),
                     Arc::clone(&rows),
@@ -555,7 +744,8 @@ impl QueryService {
     /// evaluation of the same pattern.
     pub fn plan_for(&self, q: &Gtpq) -> Arc<QueryPlan> {
         let canon = (self.config.plan_cache_capacity > 0).then(|| canonicalize(q));
-        self.obtain_plan(q, canon_ref(&canon)).0
+        let state = self.current_state();
+        self.obtain_plan(q, canon_ref(&canon), &state).0
     }
 
     /// Evaluates `q` unconditionally through the engine (no result-cache
@@ -591,8 +781,14 @@ impl QueryService {
     }
 
     /// Looks the plan up in the plan cache, building and caching it on a
-    /// miss.  Returns the plan and the time spent planning (zero on a hit).
-    fn obtain_plan(&self, q: &Gtpq, canon: Option<&CanonicalQuery>) -> (Arc<QueryPlan>, Duration) {
+    /// miss against the pinned generation.  Returns the plan and the time
+    /// spent planning (zero on a hit).
+    fn obtain_plan(
+        &self,
+        q: &Gtpq,
+        canon: Option<&CanonicalQuery>,
+        state: &EpochState,
+    ) -> (Arc<QueryPlan>, Duration) {
         if let Some(canon) = canon {
             let hit = self
                 .plans
@@ -605,7 +801,7 @@ impl QueryService {
             }
         }
         let start = Instant::now();
-        let prebuilt: Vec<BackendKind> = self
+        let prebuilt: Vec<BackendKind> = state
             .backends
             .lock()
             .expect("backend catalog lock poisoned")
@@ -613,8 +809,8 @@ impl QueryService {
             .copied()
             .collect();
         let plan = Arc::new(
-            Planner::new(&self.graph)
-                .with_profile(self.profile)
+            Planner::new(state.graph())
+                .with_profile(state.profile)
                 .with_prebuilt(&prebuilt)
                 .plan(q),
         );
@@ -622,42 +818,13 @@ impl QueryService {
         self.metrics.record_plan_miss();
         if let Some(canon) = canon {
             self.plans.lock().expect("plan cache lock poisoned").insert(
+                state.epoch,
                 &canon.key,
                 Arc::new(q.clone()),
                 Arc::clone(&plan),
             );
         }
         (plan, plan_time)
-    }
-
-    /// The index the plan runs on: the plan's recommended backend (built
-    /// lazily into the catalog, then shared) when per-query selection is
-    /// enabled and no backend was pinned; the service default otherwise.
-    fn resolve_backend(&self, plan: &QueryPlan) -> SharedIndex {
-        let per_query = self.config.per_query_backend && self.config.backend.is_none();
-        let Some(kind) = plan.backend.kind.filter(|_| per_query) else {
-            return Arc::clone(&self.index);
-        };
-        self.backend_from_catalog(kind)
-    }
-
-    /// Fetches (or lazily builds and shares) the index for `kind`.
-    ///
-    /// The catalog lock is never held across an index build — concurrent
-    /// queries whose backend is already cataloged must not stall behind a
-    /// potentially expensive construction.  Two threads racing on the same
-    /// missing backend may both build it; the first insert wins and the
-    /// loser's copy is dropped.
-    fn backend_from_catalog(&self, kind: BackendKind) -> SharedIndex {
-        {
-            let backends = self.backends.lock().expect("backend catalog lock poisoned");
-            if let Some(index) = backends.get(&kind) {
-                return Arc::clone(index);
-            }
-        }
-        let built = kind.build_shared(&self.graph);
-        let mut backends = self.backends.lock().expect("backend catalog lock poisoned");
-        Arc::clone(backends.entry(kind).or_insert(built))
     }
 
     /// Evaluates a batch of queries across the worker pool, preserving input
@@ -710,10 +877,13 @@ impl QueryService {
         self.plans.lock().expect("plan cache lock poisoned").len()
     }
 
-    /// Names of the reachability backends built so far (the default plus any
-    /// the planner or a request asked for), in no particular order.
+    /// Names of the reachability backends built so far in the current epoch
+    /// (the default plus any the planner or a request asked for), in no
+    /// particular order.  A commit resets the catalog — the old generation's
+    /// indexes describe the old graph.
     pub fn built_backends(&self) -> Vec<&'static str> {
-        self.backends
+        self.current_state()
+            .backends
             .lock()
             .expect("backend catalog lock poisoned")
             .keys()
@@ -721,9 +891,9 @@ impl QueryService {
             .collect()
     }
 
-    /// The backend kind the service was built with (pinned or auto-selected).
+    /// The backend kind of the current epoch (pinned or auto-selected).
     pub fn default_backend(&self) -> BackendKind {
-        self.default_kind
+        self.current_state().default_kind
     }
 }
 
@@ -779,7 +949,7 @@ mod tests {
     fn submit_matches_naive_and_caches() {
         let service = service_for_example();
         let q = example_query();
-        let expected = naive::evaluate(&q, service.graph());
+        let expected = naive::evaluate(&q, &service.graph());
         let request = QueryRequest::query(q);
         let cold = service.submit(&request).unwrap();
         assert!(cold.rows.same_answer(&expected));
@@ -849,7 +1019,7 @@ mod tests {
         // requests are sliced from it.
         let full = service.submit(&QueryRequest::query(q.clone())).unwrap();
         assert!(!full.from_cache);
-        let expected = naive::evaluate(&q, service.graph());
+        let expected = naive::evaluate(&q, &service.graph());
         assert!(full.rows.same_answer(&expected));
         assert_eq!(service.cached_results(), 1);
         let sliced = service
@@ -1012,7 +1182,7 @@ mod tests {
     fn per_request_backend_is_honoured_and_cataloged() {
         let service = service_for_example();
         let q = example_query();
-        let expected = naive::evaluate(&q, service.graph());
+        let expected = naive::evaluate(&q, &service.graph());
         let outcome = service
             .submit(
                 &QueryRequest::query(q)
@@ -1049,7 +1219,7 @@ mod tests {
         assert_eq!(service.backend_name(), "sspi");
         assert!(service.backend_selection().is_none());
         let q = example_query();
-        assert!(submit_rows(&service, &q).same_answer(&naive::evaluate(&q, service.graph())));
+        assert!(submit_rows(&service, &q).same_answer(&naive::evaluate(&q, &service.graph())));
     }
 
     #[test]
@@ -1058,7 +1228,7 @@ mod tests {
         let selection = service.backend_selection().expect("auto mode");
         assert!(!selection.reason.is_empty());
         assert_eq!(
-            selection.kind.build_shared(service.graph()).name(),
+            selection.kind.build_shared(&service.graph()).name(),
             service.backend_name()
         );
     }
@@ -1093,7 +1263,7 @@ mod tests {
         assert_eq!(batched.len(), requests.len());
         for (q, got) in queries.iter().zip(&batched) {
             let outcome = got.as_ref().expect("satisfiable queries");
-            let expected = naive::evaluate(q, service.graph());
+            let expected = naive::evaluate(q, &service.graph());
             assert!(outcome.rows.same_answer(&expected));
             assert!(
                 outcome.stats.is_some(),
@@ -1185,7 +1355,7 @@ mod tests {
     fn bypass_cache_runs_the_engine_and_reports_actuals() {
         let service = service_for_example();
         let q = example_query();
-        let expected = naive::evaluate(&q, service.graph());
+        let expected = naive::evaluate(&q, &service.graph());
         // Warm the result cache, then bypass it: the engine must run anyway.
         service.submit(&QueryRequest::query(q.clone())).unwrap();
         let outcome = service
@@ -1216,7 +1386,7 @@ mod tests {
         let before = service.built_backends().len();
         assert_eq!(before, 1, "only the default is prebuilt");
         let rows = submit_rows(&service, &q);
-        assert!(rows.same_answer(&naive::evaluate(&q, service.graph())));
+        assert!(rows.same_answer(&naive::evaluate(&q, &service.graph())));
         // plan_for returns the plan cached by the evaluation, whose
         // recommended backend the executor built into the catalog.
         let plan = service.plan_for(&q);
@@ -1256,7 +1426,7 @@ mod tests {
     fn deprecated_shims_stay_faithful_to_submit() {
         let service = service_for_example();
         let q = example_query();
-        let expected = naive::evaluate(&q, service.graph());
+        let expected = naive::evaluate(&q, &service.graph());
         assert!(service.evaluate(&q).same_answer(&expected));
         let (rows, stats) = service.evaluate_with_stats(&q);
         assert!(rows.same_answer(&expected));
@@ -1274,6 +1444,80 @@ mod tests {
         assert!(plan.candidates.len() == q.size());
         let batch = service.evaluate_batch(std::slice::from_ref(&q));
         assert!(batch[0].same_answer(&expected));
+    }
+
+    #[test]
+    fn live_service_rotates_on_commit_and_invalidates_caches() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("a");
+        let c = b.add_node_with_label("b");
+        b.add_edge(a, c);
+        let handle = Arc::new(gtpq_graph::GraphHandle::new(b.build()));
+        let service = QueryService::live(Arc::clone(&handle));
+        assert_eq!(service.graph_epoch(), 0);
+        let mut qb = GtpqBuilder::new(AttrPredicate::label("a"));
+        let root = qb.root_id();
+        let child = qb.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
+        qb.mark_output(child);
+        let q = qb.build().unwrap();
+        let cold = service
+            .submit(&QueryRequest::query(q.clone()).with_stats())
+            .unwrap();
+        assert_eq!(cold.rows.len(), 1);
+        assert_eq!(cold.stats.unwrap().graph_epoch, 0);
+        assert_eq!(service.cached_results(), 1);
+        // Staged-but-uncommitted writes stay invisible: same epoch, cache hit.
+        let n = handle.insert_node_with_label("b");
+        handle.insert_edge(a, n);
+        let staged = service
+            .submit(&QueryRequest::query(q.clone()).with_stats())
+            .unwrap();
+        assert!(staged.from_cache);
+        assert_eq!(staged.stats.unwrap().graph_epoch, 0);
+        // The commit publishes epoch 1; the next submit must rotate, drop the
+        // pre-write cache entry, and answer for the new graph.
+        handle.commit();
+        let warm = service
+            .submit(&QueryRequest::query(q.clone()).with_stats())
+            .unwrap();
+        assert!(!warm.from_cache, "pre-write answer must not be served");
+        assert_eq!(warm.rows.len(), 2);
+        assert_eq!(warm.stats.unwrap().graph_epoch, 1);
+        assert!(warm
+            .rows
+            .same_answer(&naive::evaluate(&q, &service.graph())));
+        assert_eq!(service.graph_epoch(), 1);
+        let m = service.metrics();
+        assert_eq!(m.graph_epoch, 1);
+        assert_eq!(m.epoch_rotations, 1);
+        assert!(
+            m.stale_evictions >= 2,
+            "the cached result and its plan were dropped"
+        );
+    }
+
+    #[test]
+    fn live_service_starting_past_epoch_zero_still_caches() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("a");
+        let handle = Arc::new(gtpq_graph::GraphHandle::new(b.build()));
+        let n = handle.insert_node_with_label("b");
+        handle.insert_edge(a, n);
+        handle.commit();
+        // The service is built after the first commit: epoch 1 from the start.
+        let service = QueryService::live(Arc::clone(&handle));
+        assert_eq!(service.graph_epoch(), 1);
+        let mut qb = GtpqBuilder::new(AttrPredicate::label("a"));
+        let root = qb.root_id();
+        let child = qb.backbone_child(root, EdgeKind::Descendant, AttrPredicate::label("b"));
+        qb.mark_output(child);
+        let q = qb.build().unwrap();
+        let request = QueryRequest::query(q);
+        service.submit(&request).unwrap();
+        assert_eq!(service.cached_results(), 1, "epoch-1 inserts are accepted");
+        assert!(service.submit(&request).unwrap().from_cache);
+        assert_eq!(service.metrics().epoch_rotations, 0);
+        assert_eq!(service.metrics().graph_epoch, 1);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Anti-rot tests for the "Mutation & snapshots" section of
+//! `docs/ARCHITECTURE.md`:
+//!
+//! * every `MutationStats` counter the struct actually has must be named
+//!   (backticked) in the section — a new counter without documentation
+//!   fails, as does a documented counter the struct no longer carries
+//!   (field names are recovered from the derived `Debug` output, so the
+//!   check follows the code automatically),
+//! * the epoch metric families the section promises must appear on a real
+//!   Prometheus scrape page after a commit — and, in the other direction,
+//!   every epoch-related family the page emits must be documented,
+//! * every `tests/*.rs` file the section cites must exist,
+//! * the behavioural claims are re-proven in miniature: a pinned snapshot
+//!   survives a commit unchanged, and a live service rotates (no stale
+//!   cache hit, monotone epoch) when the graph mutates under it.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use gtpq::graph::{GraphBuilder, GraphHandle, MutationStats};
+use gtpq::service::{QueryRequest, QueryService};
+
+const ARCHITECTURE_MD: &str = include_str!("../docs/ARCHITECTURE.md");
+
+/// The "Mutation & snapshots" section body (up to the next `## ` heading).
+fn section() -> &'static str {
+    ARCHITECTURE_MD
+        .split("## Mutation & snapshots")
+        .nth(1)
+        .expect("ARCHITECTURE.md has a Mutation & snapshots section")
+        .split("\n## ")
+        .next()
+        .expect("split is non-empty")
+}
+
+/// All backticked tokens in the section.
+fn backticked() -> BTreeSet<String> {
+    let mut tokens = BTreeSet::new();
+    for (i, piece) in section().split('`').enumerate() {
+        if i % 2 == 1 {
+            tokens.insert(piece.to_owned());
+        }
+    }
+    tokens
+}
+
+/// Field names of `MutationStats`, recovered from the derived `Debug`
+/// output (`MutationStats { epochs: 0, ... }`) so the list cannot drift
+/// from the struct definition.
+fn mutation_stats_fields() -> BTreeSet<String> {
+    let rendered = format!("{:?}", MutationStats::default());
+    let body = rendered
+        .split_once('{')
+        .expect("derived Debug uses braces")
+        .1
+        .rsplit_once('}')
+        .expect("derived Debug uses braces")
+        .0;
+    body.split(',')
+        .filter_map(|field| field.split(':').next())
+        .map(|name| name.trim().to_owned())
+        .filter(|name| !name.is_empty())
+        .collect()
+}
+
+#[test]
+fn every_mutation_stats_counter_is_documented() {
+    let documented = backticked();
+    let fields = mutation_stats_fields();
+    assert!(
+        fields.len() >= 10,
+        "Debug parsing broke: only {fields:?} recovered"
+    );
+    for field in &fields {
+        assert!(
+            documented.contains(field),
+            "MutationStats counter `{field}` is not mentioned in the \
+             Mutation & snapshots section of docs/ARCHITECTURE.md"
+        );
+    }
+}
+
+#[test]
+fn cited_test_files_exist() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let cited: Vec<String> = backticked()
+        .into_iter()
+        .filter(|t| t.starts_with("tests/") && t.ends_with(".rs"))
+        .collect();
+    assert!(
+        cited.len() >= 3,
+        "the section should cite its proof suites, found only {cited:?}"
+    );
+    for path in cited {
+        assert!(
+            std::path::Path::new(root).join(&path).exists(),
+            "docs/ARCHITECTURE.md cites `{path}`, which does not exist"
+        );
+    }
+}
+
+#[test]
+fn promised_epoch_metric_families_appear_on_a_real_scrape_page() {
+    // A live service that has rotated once: the families must all be live.
+    let mut b = GraphBuilder::new();
+    let a = b.add_node_with_label("a");
+    let c = b.add_node_with_label("b");
+    b.add_edge(a, c);
+    let handle = Arc::new(GraphHandle::new(b.build()));
+    let service = QueryService::live(Arc::clone(&handle));
+    let request = QueryRequest::text("a { //b* }");
+    service.submit(&request).expect("query evaluates");
+    handle.insert_node_with_label("b");
+    handle.commit();
+    service.submit(&request).expect("query evaluates");
+    let page = service.metrics().render_prometheus();
+
+    let on_page: BTreeSet<String> = page
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .filter(|name| {
+            name.contains("epoch") || name.contains("stale") || name.contains("rotation")
+        })
+        .map(str::to_owned)
+        .collect();
+    let documented: BTreeSet<String> = backticked()
+        .into_iter()
+        .filter(|t| t.starts_with("gtpq_"))
+        .collect();
+
+    for family in &documented {
+        assert!(
+            on_page.contains(family),
+            "docs/ARCHITECTURE.md promises `{family}` but the scrape page \
+             does not emit it:\n{page}"
+        );
+    }
+    for family in &on_page {
+        assert!(
+            documented.contains(family),
+            "the scrape page emits epoch family `{family}` that the \
+             Mutation & snapshots section does not document"
+        );
+    }
+}
+
+#[test]
+fn lifecycle_claims_hold_in_miniature() {
+    // "Anything holding the previous snapshot keeps reading it untouched."
+    let mut b = GraphBuilder::new();
+    let a = b.add_node_with_label("a");
+    let c = b.add_node_with_label("b");
+    b.add_edge(a, c);
+    let handle = Arc::new(GraphHandle::new(b.build()));
+    let pinned = handle.snapshot();
+    handle.insert_node_with_label("b");
+    handle.commit();
+    assert_eq!(pinned.epoch(), 0);
+    assert_eq!(pinned.graph().node_count(), 2);
+    assert_eq!(handle.snapshot().graph().node_count(), 3);
+
+    // "A fresh submit sees the new epoch with no stale cache hit."
+    let service = QueryService::live(Arc::clone(&handle));
+    let request = QueryRequest::text("a { //b* }").with_stats();
+    let cold = service.submit(&request).unwrap();
+    let warm = service.submit(&request).unwrap();
+    assert!(warm.from_cache);
+    let new = handle.insert_node_with_label("b");
+    handle.insert_edge(a, new);
+    handle.commit();
+    let fresh = service.submit(&request).unwrap();
+    assert!(!fresh.from_cache, "stale cache hit across an epoch");
+    assert_eq!(fresh.rows.len(), cold.rows.len() + 1);
+    assert!(
+        fresh.stats.unwrap().graph_epoch > cold.stats.unwrap().graph_epoch,
+        "EvalStats::graph_epoch did not advance with the commit"
+    );
+}

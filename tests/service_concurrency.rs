@@ -212,6 +212,93 @@ fn oversubscribed_batch_with_intra_query_parallelism_stays_exact() {
 }
 
 #[test]
+fn one_writer_eight_readers_never_see_torn_or_stale_answers() {
+    // A live service over `a0 → {b1, b2, b3}`; the writer commits EPOCHS
+    // epochs, each appending one more `b` child of `a0`.  That makes the
+    // oracle *per epoch* deterministic: at epoch `e` the query `a { //b* }`
+    // has exactly `3 + e` rows.  Eight readers hammer `submit_batch` the
+    // whole time; every outcome must be internally consistent — the row
+    // count must match the generation the outcome claims to have answered
+    // for (`EvalStats::graph_epoch`).  A torn read (rows from one epoch,
+    // index or cache entry from another) or a stale cache hit served across
+    // a commit breaks that equation.
+    use gtpq::graph::GraphHandle;
+
+    const EPOCHS: u64 = 24;
+    const READERS: usize = 8;
+    const ROUNDS: usize = 30;
+
+    let mut b = GraphBuilder::new();
+    let a = b.add_node_with_label("a");
+    for _ in 0..3 {
+        let v = b.add_node_with_label("b");
+        b.add_edge(a, v);
+    }
+    let handle = Arc::new(GraphHandle::new(b.build()));
+    let service = Arc::new(QueryService::live(Arc::clone(&handle)));
+
+    std::thread::scope(|scope| {
+        let writer = {
+            let handle = Arc::clone(&handle);
+            scope.spawn(move || {
+                for _ in 0..EPOCHS {
+                    let v = handle.insert_node_with_label("b");
+                    handle.insert_edge(NodeId(0), v);
+                    handle.commit();
+                }
+            })
+        };
+        for reader in 0..READERS {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                let full = QueryRequest::text("a { //b* }").with_stats();
+                let limited = QueryRequest::text("a { //b* }").with_limit(2).with_stats();
+                let mut last_epoch = 0u64;
+                let mut last_gauge = 0u64;
+                for round in 0..ROUNDS {
+                    let outcomes = service.submit_batch(&[full.clone(), limited.clone()]);
+                    let full_out = outcomes[0].as_ref().expect("query evaluates");
+                    let e = full_out.stats.as_ref().unwrap().graph_epoch;
+                    assert!(e <= EPOCHS, "reader {reader}: impossible epoch {e}");
+                    assert_eq!(
+                        full_out.rows.len() as u64,
+                        3 + e,
+                        "reader {reader} round {round}: rows disagree with the \
+                         epoch the outcome claims (torn read or stale cache hit)"
+                    );
+                    // Epochs a single reader observes never move backwards.
+                    assert!(
+                        e >= last_epoch,
+                        "reader {reader} round {round}: epoch went backwards"
+                    );
+                    last_epoch = e;
+
+                    let limited_out = outcomes[1].as_ref().expect("query evaluates");
+                    assert_eq!(limited_out.rows.len(), 2);
+                    assert!(limited_out.stats.as_ref().unwrap().graph_epoch >= e);
+
+                    // The exported gauge is monotone under the writer too.
+                    let gauge = service.metrics().graph_epoch;
+                    assert!(gauge >= last_gauge, "reader {reader}: gauge regressed");
+                    last_gauge = gauge;
+                }
+            });
+        }
+        writer.join().expect("writer panicked");
+    });
+
+    // Quiesced: a final submit answers for the last epoch with all rows.
+    let settled = service
+        .submit(&QueryRequest::text("a { //b* }").with_stats())
+        .unwrap();
+    assert_eq!(settled.stats.as_ref().unwrap().graph_epoch, EPOCHS);
+    assert_eq!(settled.rows.len() as u64, 3 + EPOCHS);
+    let metrics = service.metrics();
+    assert_eq!(metrics.graph_epoch, EPOCHS);
+    assert!(metrics.epoch_rotations >= 1 && metrics.epoch_rotations <= EPOCHS);
+}
+
+#[test]
 fn cache_hit_path_returns_the_same_result_set_as_cold() {
     let service = Arc::new(QueryService::new(Arc::new(example_graph())));
     let q = example_query();
