@@ -31,7 +31,7 @@ use std::time::Duration;
 
 use gtpq_core::Trace;
 use gtpq_datagen::{apply_ops, update_stream, UpdateStreamConfig};
-use gtpq_graph::{DataGraph, GraphHandle};
+use gtpq_graph::{DataGraph, GraphHandle, GraphSnapshot, MutationConfig};
 use gtpq_query::Gtpq;
 use gtpq_reach::BackendKind;
 use gtpq_service::{QueryError, QueryRequest, QueryService, ServiceConfig, SlowOutcome};
@@ -50,6 +50,10 @@ OPTIONS:
     --seed N          generator seed                [default: 42]
     --backend NAME    auto | closure | 3hop | chain | contour | sspi | interval
                                                     [default: auto]
+    --snapshot PATH   serve a saved `.gtpq` binary snapshot instead of
+                      generating a dataset: the file is mapped zero-copy, so
+                      start-up costs page faults, not a text parse
+                      (write one with :save; --dataset/--scale are ignored)
     --query TEXT      one-shot query text (see docs/QUERY_LANGUAGE.md)
     --stats           print per-query evaluation statistics
     --limit N         result rows to fetch (pushed into the engine: the
@@ -82,6 +86,8 @@ REPL COMMANDS:
     :ingest [E] [N]   commit E epochs of N generated mutations each to the
                       live graph (defaults: 1 epoch of 32 ops); reports
                       which incremental-maintenance paths the commits took
+    :save PATH        write the current graph epoch as a `.gtpq` binary
+                      snapshot (reload instantly with --snapshot PATH)
     :trace [on|off]   toggle per-query span tracing; bare `:trace` prints
                       the span tree of the last traced query
     :trace save PATH  write the last trace as Chrome trace_event JSON
@@ -162,6 +168,9 @@ pub struct CliOptions {
     pub seed: u64,
     /// Pinned reachability backend; `None` = auto-select from graph stats.
     pub backend: Option<BackendKind>,
+    /// Serve this `.gtpq` snapshot (mapped zero-copy) instead of generating
+    /// `dataset`; `--dataset`/`--scale`/`--seed` are ignored when set.
+    pub snapshot: Option<String>,
     /// One-shot query; `None` starts the REPL.
     pub query: Option<String>,
     /// Whether to print per-query [`EvalStats`](gtpq_core::EvalStats).
@@ -191,6 +200,7 @@ impl Default for CliOptions {
             scale: 1.0,
             seed: 42,
             backend: None,
+            snapshot: None,
             query: None,
             show_stats: false,
             limit: 20,
@@ -231,6 +241,7 @@ impl CliOptions {
                     let v = value_of("--backend")?;
                     opts.backend = parse_backend(&v)?;
                 }
+                "--snapshot" => opts.snapshot = Some(value_of("--snapshot")?),
                 "--query" => opts.query = Some(value_of("--query")?),
                 "--stats" => opts.show_stats = true,
                 "--limit" => {
@@ -309,7 +320,9 @@ pub enum Outcome {
 pub struct Session {
     service: QueryService,
     handle: Arc<GraphHandle>,
-    dataset: Dataset,
+    /// Where the graph came from, for the banner: a dataset name or
+    /// `snapshot PATH`.
+    source: String,
     show_stats: bool,
     limit: Option<usize>,
     timeout: Option<Duration>,
@@ -319,11 +332,26 @@ pub struct Session {
 }
 
 impl Session {
-    /// Generates the dataset and builds the service described by `opts`.
-    pub fn new(opts: &CliOptions) -> Self {
-        let handle = Arc::new(GraphHandle::new(
-            opts.dataset.generate(opts.scale, opts.seed),
-        ));
+    /// Builds the session described by `opts`: generates the dataset — or,
+    /// with `--snapshot`, maps a saved `.gtpq` file zero-copy — and wires the
+    /// service on top.  `Err` carries the rendered diagnostic when the
+    /// snapshot cannot be opened.
+    pub fn new(opts: &CliOptions) -> Result<Self, String> {
+        let (handle, source) = match &opts.snapshot {
+            Some(path) => {
+                let snapshot = GraphSnapshot::open_mmap(path)
+                    .map_err(|e| format!("cannot open snapshot `{path}`: {e}"))?;
+                // The mapped snapshot seeds a live handle: reads serve from
+                // the mapping, while `:ingest` commits copy-on-write epochs
+                // that never touch the file.
+                let handle = GraphHandle::from_snapshot(snapshot, MutationConfig::default());
+                (Arc::new(handle), format!("snapshot {path}"))
+            }
+            None => {
+                let handle = GraphHandle::new(opts.dataset.generate(opts.scale, opts.seed));
+                (Arc::new(handle), opts.dataset.name().to_owned())
+            }
+        };
         let mut config = ServiceConfig {
             backend: opts.backend,
             ..ServiceConfig::default()
@@ -332,17 +360,37 @@ impl Session {
             config.slow_query_threshold = threshold.map(Duration::from_millis);
         }
         let service = QueryService::live_with_config(Arc::clone(&handle), config);
-        Self {
+        Ok(Self {
             service,
             handle,
-            dataset: opts.dataset,
+            source,
             show_stats: opts.show_stats,
             limit: Some(opts.limit.max(1)),
             timeout: opts.timeout_ms.map(Duration::from_millis),
             threads: opts.threads,
             trace_on: opts.trace_out.is_some(),
             last_trace: None,
-        }
+        })
+    }
+
+    /// Writes the current graph epoch as a `.gtpq` binary snapshot at
+    /// `path`; returns the confirmation line for the REPL (or main) to
+    /// print.  The snapshot captures the *committed* state — pending
+    /// uncommitted mutations are not included.
+    pub fn save_snapshot(&self, path: &str) -> Result<String, String> {
+        let snapshot = self.handle.snapshot();
+        snapshot
+            .save(path)
+            .map_err(|e| format!("cannot save snapshot `{path}`: {e}"))?;
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let g = snapshot.graph();
+        Ok(format!(
+            "saved epoch {}: {} nodes, {} edges ({} bytes) to {path}",
+            snapshot.epoch(),
+            g.node_count(),
+            g.edge_count(),
+            bytes,
+        ))
     }
 
     /// The span tree of the most recent traced query, if tracing was on.
@@ -433,7 +481,7 @@ impl Session {
             .unwrap_or_default();
         format!(
             "dataset {} — {} nodes, {} edges; backend {}{}",
-            self.dataset.name(),
+            self.source,
             g.node_count(),
             g.edge_count(),
             self.service.backend_name(),
@@ -560,6 +608,15 @@ impl Session {
                     },
                 };
                 self.ingest(epochs, ops)
+            }
+            "save" => {
+                if rest.is_empty() {
+                    "expected `:save PATH`".to_owned()
+                } else {
+                    match self.save_snapshot(rest) {
+                        Ok(line) | Err(line) => line,
+                    }
+                }
             }
             "stats" => {
                 self.show_stats = match rest {

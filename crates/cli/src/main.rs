@@ -17,7 +17,13 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let mut session = Session::new(&opts);
+    let mut session = match Session::new(&opts) {
+        Ok(session) => session,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
     let stdout = std::io::stdout();
     match &opts.query {
         Some(query) => match run_once(&mut session, query, stdout.lock()) {

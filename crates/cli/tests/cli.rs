@@ -14,7 +14,7 @@ fn arxiv_session() -> Session {
     let opts =
         CliOptions::parse(["--dataset", "arxiv", "--scale", "0.4", "--stats"].map(String::from))
             .unwrap();
-    Session::new(&opts)
+    Session::new(&opts).unwrap()
 }
 
 #[test]
@@ -67,7 +67,7 @@ fn textual_query_matches_builder_query_on_arxiv() {
 fn repl_accumulates_multiline_queries_and_handles_commands() {
     let opts =
         CliOptions::parse(["--dataset", "dblp", "--scale", "0.3"].map(String::from)).unwrap();
-    let mut session = Session::new(&opts);
+    let mut session = Session::new(&opts).unwrap();
     let input = "\
 :stats on
 inproceedings {
@@ -103,7 +103,7 @@ fn threads_command_and_flag_keep_answers_bit_identical() {
             ["--dataset", "arxiv", "--scale", "0.4", "--threads", threads].map(String::from),
         )
         .unwrap();
-        let mut session = Session::new(&opts);
+        let mut session = Session::new(&opts).unwrap();
         let mut out = Vec::new();
         repl(&mut session, query.as_bytes(), &mut out, false).unwrap();
         String::from_utf8(out).unwrap()
@@ -128,7 +128,7 @@ fn threads_command_and_flag_keep_answers_bit_identical() {
 #[test]
 fn repl_reports_parse_errors_without_dying() {
     let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
-    let mut session = Session::new(&opts);
+    let mut session = Session::new(&opts).unwrap();
     let mut out = Vec::new();
     repl(
         &mut session,
@@ -147,7 +147,7 @@ fn repl_reports_parse_errors_without_dying() {
 #[test]
 fn unterminated_string_does_not_swallow_later_input() {
     let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
-    let mut session = Session::new(&opts);
+    let mut session = Session::new(&opts).unwrap();
     let mut out = Vec::new();
     repl(
         &mut session,
@@ -165,7 +165,7 @@ fn unterminated_string_does_not_swallow_later_input() {
 #[test]
 fn explain_shows_the_tree_and_plan_without_evaluating() {
     let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
-    let mut session = Session::new(&opts);
+    let mut session = Session::new(&opts).unwrap();
     let before = session.service().metrics().queries;
     let Outcome::Continue(out) = session.handle(":explain a* { //b where (//c) | !(//d) }") else {
         panic!("explain must not quit")
@@ -187,7 +187,7 @@ fn explain_shows_the_tree_and_plan_without_evaluating() {
 #[test]
 fn explain_analyze_runs_the_query_and_appends_actuals() {
     let opts = CliOptions::parse(["--scale", "0.3"].map(String::from)).unwrap();
-    let mut session = Session::new(&opts);
+    let mut session = Session::new(&opts).unwrap();
     let Outcome::Continue(out) =
         session.handle(":explain analyze inproceedings { /[label = title]* }")
     else {
@@ -320,7 +320,7 @@ fn limit_is_pushed_down_not_display_trimmed() {
 #[test]
 fn trace_command_records_and_renders_a_span_tree() {
     let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
-    let mut session = Session::new(&opts);
+    let mut session = Session::new(&opts).unwrap();
     let Outcome::Continue(out) = session.handle(":trace") else {
         panic!(":trace must not quit")
     };
@@ -373,7 +373,7 @@ fn trace_command_records_and_renders_a_span_tree() {
 fn slowlog_shows_slow_queries_with_their_plan() {
     // Threshold 0: every query is "slow", so the log fills deterministically.
     let opts = CliOptions::parse(["--scale", "0.2", "--slow-ms", "0"].map(String::from)).unwrap();
-    let mut session = Session::new(&opts);
+    let mut session = Session::new(&opts).unwrap();
     let Outcome::Continue(empty) = session.handle(":slowlog") else {
         panic!(":slowlog must not quit")
     };
@@ -392,7 +392,7 @@ fn slowlog_shows_slow_queries_with_their_plan() {
 #[test]
 fn slowlog_stays_empty_when_disabled() {
     let opts = CliOptions::parse(["--scale", "0.2", "--slow-ms", "off"].map(String::from)).unwrap();
-    let mut session = Session::new(&opts);
+    let mut session = Session::new(&opts).unwrap();
     session.handle("dblp*");
     let Outcome::Continue(out) = session.handle(":slowlog") else {
         panic!(":slowlog must not quit")
@@ -403,7 +403,7 @@ fn slowlog_stays_empty_when_disabled() {
 #[test]
 fn metrics_report_percentiles_and_recent_rates() {
     let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
-    let mut session = Session::new(&opts);
+    let mut session = Session::new(&opts).unwrap();
     session.handle("dblp*");
     let Outcome::Continue(out) = session.handle(":metrics") else {
         panic!(":metrics must not quit")
@@ -448,9 +448,130 @@ fn datasets_generate_at_small_scale() {
 }
 
 #[test]
+fn save_and_snapshot_flag_round_trip_identical_tables() {
+    let path = std::env::temp_dir().join(format!("gtpq-cli-save-{}.gtpq", std::process::id()));
+    let query = "[label = paper3]* { where //auth7 }";
+
+    // Build an arXiv session (no --stats: timings would differ per run),
+    // evaluate the query, and save the graph as a binary snapshot.
+    let opts =
+        CliOptions::parse(["--dataset", "arxiv", "--scale", "0.4"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts).unwrap();
+    let original = session.run_query(query);
+    assert!(original.contains("rows"), "{original}");
+    let Outcome::Continue(saved) = session.handle(&format!(":save {}", path.display())) else {
+        panic!(":save must not quit")
+    };
+    assert!(saved.contains("saved epoch 0"), "{saved}");
+    assert!(saved.contains("nodes"), "{saved}");
+
+    // Reload through --snapshot: the mapped graph renders the identical
+    // result table, and the banner names its source.
+    let opts =
+        CliOptions::parse(["--snapshot".to_owned(), path.display().to_string()].map(String::from))
+            .unwrap();
+    let mut reloaded = Session::new(&opts).unwrap();
+    assert!(
+        reloaded.banner().contains("snapshot"),
+        "{}",
+        reloaded.banner()
+    );
+    assert_eq!(reloaded.run_query(query), original);
+
+    // The snapshot-backed session is still live: `:ingest` commits
+    // copy-on-write epochs while the file on disk stays pristine.
+    let before = std::fs::read(&path).unwrap();
+    let Outcome::Continue(out) = reloaded.handle(":ingest 1 8") else {
+        panic!(":ingest must not quit")
+    };
+    assert!(out.contains("graph now at epoch 1"), "{out}");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        before,
+        "mutating wrote through the mapping"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn snapshot_errors_render_cleanly() {
+    // A missing snapshot fails session construction with a diagnostic.
+    let missing = std::env::temp_dir().join("gtpq-cli-no-such-snapshot.gtpq");
+    let opts = CliOptions::parse(
+        ["--snapshot".to_owned(), missing.display().to_string()].map(String::from),
+    )
+    .unwrap();
+    let err = Session::new(&opts)
+        .err()
+        .expect("missing snapshot must fail");
+    assert!(err.contains("cannot open snapshot"), "{err}");
+
+    // `:save` to an unwritable path reports, it does not panic or quit.
+    let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
+    let mut session = Session::new(&opts).unwrap();
+    let Outcome::Continue(out) = session.handle(":save /no/such/dir/x.gtpq") else {
+        panic!(":save must not quit")
+    };
+    assert!(out.contains("cannot save snapshot"), "{out}");
+    let Outcome::Continue(out) = session.handle(":save") else {
+        panic!(":save must not quit")
+    };
+    assert!(out.contains("expected `:save PATH`"), "{out}");
+}
+
+#[test]
+fn binary_saves_and_reloads_a_snapshot() {
+    let path = std::env::temp_dir().join(format!("gtpq-cli-bin-save-{}.gtpq", std::process::id()));
+    let query = "[label = paper3]* { where //auth7 }";
+
+    // REPL over a pipe: generate arXiv, save, quit.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gtpq-cli"))
+        .args(["--dataset", "arxiv", "--scale", "0.4"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(format!(":save {}\n:quit\n", path.display()).as_bytes())
+        .unwrap();
+    let output = child.wait_with_output().expect("binary exits");
+    assert!(output.status.success(), "{output:?}");
+    assert!(String::from_utf8_lossy(&output.stdout).contains("saved epoch 0"));
+
+    // One-shot from the generated dataset and from the snapshot agree.
+    let generated = Command::new(env!("CARGO_BIN_EXE_gtpq-cli"))
+        .args(["--dataset", "arxiv", "--scale", "0.4", "--query", query])
+        .output()
+        .expect("binary runs");
+    assert!(generated.status.success(), "{generated:?}");
+    let mapped = Command::new(env!("CARGO_BIN_EXE_gtpq-cli"))
+        .args(["--snapshot", path.to_str().unwrap(), "--query", query])
+        .output()
+        .expect("binary runs");
+    assert!(mapped.status.success(), "{mapped:?}");
+    assert_eq!(
+        String::from_utf8(generated.stdout).unwrap(),
+        String::from_utf8(mapped.stdout).unwrap(),
+    );
+    std::fs::remove_file(&path).ok();
+
+    // A bad snapshot path exits with the argument-error code, not a panic.
+    let missing = Command::new(env!("CARGO_BIN_EXE_gtpq-cli"))
+        .args(["--snapshot", "/no/such/file.gtpq", "--query", query])
+        .output()
+        .expect("binary runs");
+    assert_eq!(missing.status.code(), Some(2), "{missing:?}");
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("cannot open snapshot"));
+}
+
+#[test]
 fn ingest_command_mutates_the_live_graph_and_queries_see_it() {
     let opts = CliOptions::parse(["--scale", "0.2"].map(String::from)).unwrap();
-    let mut session = Session::new(&opts);
+    let mut session = Session::new(&opts).unwrap();
     let before = session.service().graph().node_count();
     assert_eq!(session.service().graph_epoch(), 0);
 

@@ -56,59 +56,106 @@ impl ArxivConfig {
             ..Self::default()
         }
     }
+
+    /// A scale tier: node and edge counts grow linearly with `scale`
+    /// (`tier(10)` ≈ 95k nodes, `tier(100)` ≈ 950k nodes), while label
+    /// alphabets grow with its square root, mirroring how real corpora add
+    /// papers much faster than venues.  The big tiers feed the cold-start
+    /// benchmark through the streamed snapshot writer
+    /// ([`crate::stream::write_arxiv_snapshot`]), which never materializes
+    /// the graph in memory.
+    pub fn tier(scale: u32) -> Self {
+        let base = Self::default();
+        let scale = scale.max(1);
+        let label_scale = scale.isqrt().max(1);
+        Self {
+            papers: base.papers * scale as usize,
+            authors: base.authors * scale as usize,
+            paper_labels: base.paper_labels * label_scale,
+            author_labels: base.author_labels * label_scale,
+            ..base
+        }
+    }
 }
 
-/// Generates the arXiv-like data graph.  Paper nodes come first (in
-/// publication order), author nodes afterwards.
-pub fn generate_arxiv(config: &ArxivConfig) -> DataGraph {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut b = GraphBuilder::with_capacity(
-        config.papers + config.authors,
-        (config.papers as f64 * (config.citations_per_paper + config.authors_per_paper)) as usize,
-    );
+/// Receiver of the generator's event stream.  Nodes are emitted first
+/// (papers in publication order, then authors), then every edge; node ids
+/// are dense in emission order, so paper `i` is node `i` and author `j` is
+/// node `papers + j`.
+///
+/// Both the materializing [`generate_arxiv`] and the streamed
+/// [`crate::stream::write_arxiv_snapshot`] drive the *same* emitter (and
+/// therefore the same RNG sequence), which is what makes the streamed
+/// snapshot bit-identical to saving the built graph.
+pub(crate) trait ArxivSink {
+    fn paper(&mut self, label: u32, year: i64);
+    fn author(&mut self, label: u32);
+    fn edge(&mut self, from: u32, to: u32);
+}
 
-    let mut papers: Vec<NodeId> = Vec::with_capacity(config.papers);
+/// Runs the generator, pushing every node and edge into `sink`.
+pub(crate) fn emit_arxiv<S: ArxivSink>(config: &ArxivConfig, sink: &mut S) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
     for i in 0..config.papers {
         let label = rng.gen_range(0..config.paper_labels);
         let year = 1992 + (i * 12 / config.papers.max(1)) as i64;
-        let paper = b.add_node_with_attrs([
-            ("label", AttrValue::Str(format!("paper{label}"))),
-            ("year", AttrValue::Int(year)),
-        ]);
-        papers.push(paper);
+        sink.paper(label, year);
     }
-    let mut authors: Vec<NodeId> = Vec::with_capacity(config.authors);
     for _ in 0..config.authors {
-        let label = rng.gen_range(0..config.author_labels);
-        let author = b.add_node_with_attrs([("label", AttrValue::Str(format!("auth{label}")))]);
-        authors.push(author);
+        sink.author(rng.gen_range(0..config.author_labels));
     }
 
     // Citations: papers cite earlier papers, preferring recent ones, which
     // yields long chains plus dense local neighbourhoods.
-    for (i, &paper) in papers.iter().enumerate().skip(1) {
+    for i in 1..config.papers {
         let n_citations = sample_count(&mut rng, config.citations_per_paper);
         for _ in 0..n_citations {
             // Prefer recent papers: quadratic bias towards the current index.
             let r: f64 = rng.gen::<f64>();
             let target_idx = ((1.0 - r * r) * i as f64) as usize;
-            let target = papers[target_idx.min(i - 1)];
-            if target != paper {
-                b.add_edge(paper, target);
-            }
+            sink.edge(i as u32, target_idx.min(i - 1) as u32);
         }
     }
 
     // Authorship: paper -> author edges.
-    for &paper in &papers {
-        let n_authors = sample_count(&mut rng, config.authors_per_paper).max(1);
-        for _ in 0..n_authors {
-            let author = authors[rng.gen_range(0..authors.len())];
-            b.add_edge(paper, author);
+    if config.authors > 0 {
+        for i in 0..config.papers {
+            let n_authors = sample_count(&mut rng, config.authors_per_paper).max(1);
+            for _ in 0..n_authors {
+                let author = rng.gen_range(0..config.authors);
+                sink.edge(i as u32, (config.papers + author) as u32);
+            }
+        }
+    }
+}
+
+/// Generates the arXiv-like data graph.  Paper nodes come first (in
+/// publication order), author nodes afterwards.
+pub fn generate_arxiv(config: &ArxivConfig) -> DataGraph {
+    struct BuilderSink(GraphBuilder);
+    impl ArxivSink for BuilderSink {
+        fn paper(&mut self, label: u32, year: i64) {
+            self.0.add_node_with_attrs([
+                ("label", AttrValue::Str(format!("paper{label}"))),
+                ("year", AttrValue::Int(year)),
+            ]);
+        }
+        fn author(&mut self, label: u32) {
+            self.0
+                .add_node_with_attrs([("label", AttrValue::Str(format!("auth{label}")))]);
+        }
+        fn edge(&mut self, from: u32, to: u32) {
+            self.0.add_edge(NodeId(from), NodeId(to));
         }
     }
 
-    b.build()
+    let mut sink = BuilderSink(GraphBuilder::with_capacity(
+        config.papers + config.authors,
+        (config.papers as f64 * (config.citations_per_paper + config.authors_per_paper)) as usize,
+    ));
+    emit_arxiv(config, &mut sink);
+    sink.0.build()
 }
 
 fn sample_count(rng: &mut StdRng, mean: f64) -> usize {

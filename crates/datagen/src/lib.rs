@@ -27,6 +27,7 @@
 pub mod arxiv;
 pub mod dblp;
 pub mod queries;
+pub mod stream;
 pub mod updates;
 pub mod xmark;
 
@@ -36,5 +37,6 @@ pub use queries::{
     dblp_queries, fig11_gtpq, fig11_output_variant, random_queries, random_text_query, xmark_q1,
     xmark_q2, xmark_q3, Fig11Predicate, RandomQueryConfig,
 };
+pub use stream::{write_arxiv_snapshot, SnapshotStats};
 pub use updates::{apply_ops, apply_ops_to_builder, update_stream, UpdateOp, UpdateStreamConfig};
 pub use xmark::{generate_xmark, XmarkConfig};

@@ -111,7 +111,7 @@ impl GraphBuilder {
             symbols: self.symbols,
             fwd,
             rev,
-            attrs: self.attrs,
+            attrs: self.attrs.into(),
             index,
             edge_count,
         }

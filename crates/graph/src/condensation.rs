@@ -18,9 +18,14 @@ use std::collections::BinaryHeap;
 
 use crate::csr::Csr;
 use crate::graph::{DataGraph, NodeId};
+use crate::run::IntRun;
 
 /// Identifier of a strongly connected component in a [`Condensation`].
+///
+/// `repr(transparent)` over the raw `u32` so component runs can live directly
+/// inside mapped snapshot sections (see [`crate::run::IntRun`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct CompId(pub u32);
 
 impl CompId {
@@ -41,17 +46,19 @@ impl CompId {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Condensation {
     /// Component of each original node.
-    comp_of: Vec<CompId>,
+    comp_of: IntRun<CompId>,
     /// Members of each component, CSR-packed, each run sorted.
     members: Csr<NodeId>,
-    /// Whether the component contains a cycle (size > 1 or a self-loop).
-    cyclic: Vec<bool>,
+    /// Whether the component contains a cycle (size > 1 or a self-loop),
+    /// one byte per component (`0` / `1`) so the run can live in a mapped
+    /// snapshot section.
+    cyclic: IntRun<u8>,
     /// Sorted, de-duplicated adjacency between components (excluding self
     /// edges), CSR-packed.
     comp_out: Csr<CompId>,
     comp_in: Csr<CompId>,
     /// Components in topological order (sources first).
-    topo: Vec<CompId>,
+    topo: IntRun<CompId>,
 }
 
 impl Condensation {
@@ -138,12 +145,12 @@ impl Condensation {
             .map(|&old| std::mem::take(&mut members[old as usize]))
             .collect();
 
-        let mut cyclic = vec![false; c];
+        let mut cyclic = vec![0u8; c];
         let mut out_pairs: Vec<(u32, CompId)> = Vec::new();
         let mut in_pairs: Vec<(u32, CompId)> = Vec::new();
         for (ci, group) in members.iter().enumerate() {
             if group.len() > 1 {
-                cyclic[ci] = true;
+                cyclic[ci] = 1;
             }
         }
         for u in g.nodes() {
@@ -152,7 +159,7 @@ impl Condensation {
                 let cv = comp_of[v.index()];
                 if cu == cv {
                     if u == v || members[cu.index()].len() > 1 {
-                        cyclic[cu.index()] = true;
+                        cyclic[cu.index()] = 1;
                     }
                 } else {
                     out_pairs.push((cu.0, cv));
@@ -166,14 +173,15 @@ impl Condensation {
         let comp_in = Csr::from_pairs(c, in_pairs);
         let members = Csr::from_runs(c, members);
         let topo = kahn_topo(&comp_out, &comp_in);
+        debug_assert_eq!(topo.len(), c, "condensation DAG contains a cycle");
 
         Self {
-            comp_of,
+            comp_of: comp_of.into(),
             members,
-            cyclic,
+            cyclic: cyclic.into(),
             comp_out,
             comp_in,
-            topo,
+            topo: topo.into(),
         }
     }
 
@@ -222,8 +230,10 @@ impl Condensation {
             }
         };
 
-        let mut cyclic = self.cyclic.clone();
-        cyclic.resize(new_c, false);
+        // `to_vec` is the copy-on-write step: when the base condensation is
+        // a mapped snapshot view, the patched epoch gets fresh owned arrays.
+        let mut cyclic = self.cyclic.to_vec();
+        cyclic.resize(new_c, 0);
         let mut out_pairs: Vec<(u32, CompId)> = Vec::new();
         for &(u, v) in added_edges {
             let cu = comp_of_node(u);
@@ -232,7 +242,7 @@ impl Condensation {
                 // Either a self-loop or an extra edge inside an existing
                 // multi-member (hence already cyclic) component.
                 if u == v {
-                    cyclic[cu.index()] = true;
+                    cyclic[cu.index()] = 1;
                 }
                 continue;
             }
@@ -257,17 +267,18 @@ impl Condensation {
         let members = self
             .members
             .with_appended_runs((old_n..new_node_count).map(|v| [NodeId(v as u32)]));
-        let mut comp_of = self.comp_of.clone();
+        let mut comp_of = self.comp_of.to_vec();
         comp_of.extend((old_c..new_c).map(|c| CompId(c as u32)));
         let topo = kahn_topo(&comp_out, &comp_in);
+        debug_assert_eq!(topo.len(), new_c, "condensation DAG contains a cycle");
 
         Some(Self {
-            comp_of,
+            comp_of: comp_of.into(),
             members,
-            cyclic,
+            cyclic: cyclic.into(),
             comp_out,
             comp_in,
-            topo,
+            topo: topo.into(),
         })
     }
 
@@ -289,7 +300,7 @@ impl Condensation {
 
     /// Whether component `c` contains a cycle.
     pub fn is_cyclic(&self, c: CompId) -> bool {
-        self.cyclic[c.index()]
+        self.cyclic[c.index()] != 0
     }
 
     /// Successor components of `c` in the condensation DAG (a borrowed CSR
@@ -311,7 +322,110 @@ impl Condensation {
 
     /// Whether the original graph was already acyclic.
     pub fn input_was_dag(&self) -> bool {
-        !self.cyclic.iter().any(|&c| c)
+        !self.cyclic.iter().any(|&c| c != 0)
+    }
+
+    /// Builds the condensation of a graph that is expected to be a DAG,
+    /// straight from its adjacency — no [`DataGraph`] required, which is what
+    /// lets streamed snapshot writers (see [`crate::snap`]) emit a
+    /// condensation without ever materializing the graph.
+    ///
+    /// On a self-loop-free DAG every node is its own singleton component and
+    /// canonical numbering makes `comp_of` the identity, so the result is
+    /// bit-identical to [`Condensation::new`].  Self-loops are tolerated
+    /// (they only mark the singleton cyclic, exactly as `new` would).  The
+    /// acyclicity *claim is verified*, not trusted: the deterministic Kahn
+    /// pass must consume every component, and `None` is returned when it
+    /// cannot — the caller's cue to fall back to full Tarjan.
+    pub fn identity_dag(fwd: &Csr<NodeId>, rev: &Csr<NodeId>) -> Option<Self> {
+        let n = fwd.len();
+        assert_eq!(rev.len(), n, "forward/reverse CSRs disagree on node count");
+        let mut cyclic = vec![0u8; n];
+        let mut out_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut out_targets: Vec<CompId> = Vec::with_capacity(fwd.target_count());
+        out_offsets.push(0);
+        for (v, cyc) in cyclic.iter_mut().enumerate() {
+            for &t in fwd.neighbors(v) {
+                if t.index() == v {
+                    *cyc = 1;
+                } else {
+                    out_targets.push(CompId(t.0));
+                }
+            }
+            out_offsets.push(out_targets.len() as u32);
+        }
+        let mut in_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut in_targets: Vec<CompId> = Vec::with_capacity(rev.target_count());
+        in_offsets.push(0);
+        for v in 0..n {
+            for &t in rev.neighbors(v) {
+                if t.index() != v {
+                    in_targets.push(CompId(t.0));
+                }
+            }
+            in_offsets.push(in_targets.len() as u32);
+        }
+        let comp_out = Csr::from_parts(out_offsets.into(), out_targets.into());
+        let comp_in = Csr::from_parts(in_offsets.into(), in_targets.into());
+        let topo = kahn_topo(&comp_out, &comp_in);
+        if topo.len() != n {
+            return None; // a cycle among distinct nodes: not a DAG
+        }
+        let members = Csr::from_runs(n, (0..n).map(|v| [NodeId(v as u32)]));
+        let comp_of: Vec<CompId> = (0..n).map(|v| CompId(v as u32)).collect();
+        Some(Self {
+            comp_of: comp_of.into(),
+            members,
+            cyclic: cyclic.into(),
+            comp_out,
+            comp_in,
+            topo: topo.into(),
+        })
+    }
+
+    /// Assembles a condensation from already-validated snapshot runs (see
+    /// [`crate::snap`]).  Invariants (canonical numbering, topo order) are the
+    /// writer's responsibility; checksums guard the bytes in between.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        comp_of: IntRun<CompId>,
+        members: Csr<NodeId>,
+        cyclic: IntRun<u8>,
+        comp_out: Csr<CompId>,
+        comp_in: Csr<CompId>,
+        topo: IntRun<CompId>,
+    ) -> Self {
+        Self {
+            comp_of,
+            members,
+            cyclic,
+            comp_out,
+            comp_in,
+            topo,
+        }
+    }
+
+    /// Raw parts for the snapshot writer: `(comp_of, members, cyclic,
+    /// comp_out, comp_in, topo)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_parts(
+        &self,
+    ) -> (
+        &[CompId],
+        &Csr<NodeId>,
+        &[u8],
+        &Csr<CompId>,
+        &Csr<CompId>,
+        &[CompId],
+    ) {
+        (
+            &self.comp_of,
+            &self.members,
+            &self.cyclic,
+            &self.comp_out,
+            &self.comp_in,
+            &self.topo,
+        )
     }
 }
 
@@ -337,7 +451,8 @@ fn kahn_topo(comp_out: &Csr<CompId>, comp_in: &Csr<CompId>) -> Vec<CompId> {
             }
         }
     }
-    debug_assert_eq!(topo.len(), c, "condensation DAG contains a cycle");
+    // A short order means the DAG claim was wrong; `identity_dag` turns that
+    // into `None`, the Tarjan-backed callers can never hit it.
     topo
 }
 
@@ -415,5 +530,44 @@ mod tests {
         assert_eq!(c.component_count(), 2);
         let c0 = c.component_of(v[0]);
         assert_eq!(c.successors(c0).len(), 1);
+    }
+
+    #[test]
+    fn identity_dag_matches_tarjan_on_dags_and_rejects_cycles() {
+        // Deterministic pseudo-random DAGs: edges only low -> high id.
+        for seed in 0..12u64 {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let n = 2 + (next() % 20) as usize;
+            let mut b = GraphBuilder::new();
+            let v: Vec<NodeId> = (0..n).map(|_| b.add_node()).collect();
+            for _ in 0..2 * n {
+                let x = (next() % n as u64) as usize;
+                let y = (next() % n as u64) as usize;
+                if x < y {
+                    b.add_edge(v[x], v[y]);
+                } else if x == y {
+                    b.add_edge(v[x], v[x]); // self-loops must be tolerated
+                }
+            }
+            let g = b.build();
+            let fast = Condensation::identity_dag(&g.fwd, &g.rev)
+                .expect("low-to-high edges cannot close a cycle");
+            assert_eq!(fast, Condensation::new(&g), "seed {seed}");
+        }
+
+        // A genuine cycle must be detected, not mis-encoded.
+        let mut b = GraphBuilder::new();
+        let v: Vec<NodeId> = (0..3).map(|_| b.add_node()).collect();
+        b.add_edge(v[0], v[1]);
+        b.add_edge(v[1], v[2]);
+        b.add_edge(v[2], v[0]);
+        let g = b.build();
+        assert!(Condensation::identity_dag(&g.fwd, &g.rev).is_none());
     }
 }

@@ -9,20 +9,56 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::run::{IntRun, RunElem};
+
 /// CSR adjacency from dense `u32`-indexed sources to targets of type `T`.
 ///
 /// Used with `T = NodeId` for the data graph (forward and reverse) and with
 /// `T = CompId` for the SCC condensation DAG, so reachability backends can
 /// borrow the very same slices during index construction.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Csr<T> {
+///
+/// Both arrays are [`IntRun`]s: owned vectors for graphs built in memory,
+/// borrowed windows into the file mapping for graphs loaded from a `.gtpq`
+/// snapshot.  Every accessor goes through the slice view, so the two
+/// representations are indistinguishable to callers.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr<T: RunElem> {
     /// `offsets[v] .. offsets[v + 1]` delimits the neighbour run of `v`.
-    offsets: Vec<u32>,
+    offsets: IntRun<u32>,
     /// All neighbour runs, concatenated in source order; each run is sorted.
-    targets: Vec<T>,
+    targets: IntRun<T>,
 }
 
-impl<T: Copy + Ord> Csr<T> {
+impl<T: RunElem> Csr<T> {
+    /// Assembles a CSR from already-validated runs — the snapshot loader's
+    /// entry point ([`crate::snap`]); `offsets` must be monotone with a
+    /// leading `0` and a final value equal to `targets.len()`.
+    pub(crate) fn from_parts(offsets: IntRun<u32>, targets: IntRun<T>) -> Self {
+        Self { offsets, targets }
+    }
+
+    /// The raw offset array (length `len() + 1`), as snapshot writers store
+    /// it (see [`crate::snap`]).
+    pub fn offsets_raw(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw concatenated target array, as snapshot writers store it.
+    pub fn targets_raw(&self) -> &[T] {
+        &self.targets
+    }
+}
+
+impl<T: RunElem> Default for Csr<T> {
+    fn default() -> Self {
+        Self {
+            offsets: IntRun::new(),
+            targets: IntRun::new(),
+        }
+    }
+}
+
+impl<T: RunElem + Ord> Csr<T> {
     /// Builds the CSR from `(source, target)` pairs.
     ///
     /// Pairs are sorted and de-duplicated here, so callers can hand over the
@@ -57,7 +93,10 @@ impl<T: Copy + Ord> Csr<T> {
             offsets.push(targets.len() as u32);
         }
         assert_eq!(cursor, pairs.len(), "pair source out of range");
-        Self { offsets, targets }
+        Self {
+            offsets: offsets.into(),
+            targets: targets.into(),
+        }
     }
 
     /// Builds a CSR with `n` sources by flattening per-source runs produced in
@@ -80,7 +119,10 @@ impl<T: Copy + Ord> Csr<T> {
             offsets.push(targets.len() as u32);
         }
         assert_eq!(offsets.len(), n + 1, "one run per source expected");
-        Self { offsets, targets }
+        Self {
+            offsets: offsets.into(),
+            targets: targets.into(),
+        }
     }
 
     /// Number of source nodes.
@@ -168,7 +210,10 @@ impl<T: Copy + Ord> Csr<T> {
             offsets.push(targets.len() as u32);
         }
         assert_eq!(cursor, additions.len(), "addition source out of range");
-        Self { offsets, targets }
+        Self {
+            offsets: offsets.into(),
+            targets: targets.into(),
+        }
     }
 
     /// Clones the CSR and appends one run per new source, in order.  The
@@ -178,8 +223,11 @@ impl<T: Copy + Ord> Csr<T> {
         I: IntoIterator<Item = R>,
         R: IntoIterator<Item = T>,
     {
-        let mut offsets = self.offsets.clone();
-        let mut targets = self.targets.clone();
+        // `to_vec` is the copy-on-write step: when the base CSR is a mapped
+        // snapshot view, the new epoch gets fresh owned arrays and the file
+        // bytes are never written through.
+        let mut offsets = self.offsets.to_vec();
+        let mut targets = self.targets.to_vec();
         for run in runs {
             targets.extend(run);
             assert!(
@@ -188,7 +236,10 @@ impl<T: Copy + Ord> Csr<T> {
             );
             offsets.push(targets.len() as u32);
         }
-        Self { offsets, targets }
+        Self {
+            offsets: offsets.into(),
+            targets: targets.into(),
+        }
     }
 }
 

@@ -6,9 +6,14 @@ use crate::attr::{AttrValue, Attribute};
 use crate::csr::Csr;
 use crate::index::AttrIndex;
 use crate::symbol::{Symbol, SymbolTable};
+use crate::tuples::AttrTuples;
 
 /// Identifier of a node in a [`DataGraph`]. Dense, starting at zero.
+///
+/// `repr(transparent)` over the raw `u32` so node-id runs can live directly
+/// inside mapped snapshot sections (see [`crate::run::IntRun`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -43,7 +48,7 @@ pub struct DataGraph {
     pub(crate) fwd: Csr<NodeId>,
     /// Reverse CSR: `rev.neighbors(v)` = parents of `v`, sorted.
     pub(crate) rev: Csr<NodeId>,
-    pub(crate) attrs: Vec<Vec<Attribute>>,
+    pub(crate) attrs: AttrTuples,
     pub(crate) index: AttrIndex,
     pub(crate) edge_count: usize,
 }
@@ -96,9 +101,13 @@ impl DataGraph {
     }
 
     /// The attribute tuple `f(v)` of node `v`.
+    ///
+    /// On a snapshot-loaded graph the first per-node attribute access
+    /// materializes the whole tuple table from the mapped columns (see
+    /// [`AttrTuples`]); index-served predicate evaluation never needs it.
     #[inline]
     pub fn attributes(&self, v: NodeId) -> &[Attribute] {
-        &self.attrs[v.index()]
+        &self.attrs.tuples()[v.index()]
     }
 
     /// Looks up the value of the attribute named `name` on node `v`.
@@ -109,7 +118,7 @@ impl DataGraph {
 
     /// Looks up the value of the attribute with interned name `name` on `v`.
     pub fn attribute_value_sym(&self, v: NodeId, name: Symbol) -> Option<&AttrValue> {
-        self.attrs[v.index()]
+        self.attrs.tuples()[v.index()]
             .iter()
             .find(|a| a.name == name)
             .map(|a| &a.value)
@@ -192,9 +201,9 @@ impl DataGraph {
         self.nodes_with(name, value).to_vec()
     }
 
-    /// Total number of attribute entries across all nodes.
+    /// Total number of attribute entries across all nodes (O(1)).
     pub fn attribute_count(&self) -> usize {
-        self.attrs.iter().map(Vec::len).sum()
+        self.attrs.entry_count()
     }
 }
 

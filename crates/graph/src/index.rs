@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::attr::{AttrValue, Attribute};
 use crate::graph::NodeId;
+use crate::run::IntRun;
 use crate::symbol::Symbol;
 
 /// Canonical ordering key for attribute values: ints before strings, each
@@ -53,6 +54,42 @@ fn merge_posting(base: &[NodeId], removed: &[NodeId], added: &[NodeId], out: &mu
     debug_assert_eq!(ri, removed.len(), "removed node missing from base posting");
 }
 
+/// One per-attribute integer run: the logical `(int value, node)` pairs
+/// sorted by value then node, stored as two parallel flat arrays so both
+/// halves can live in mapped snapshot sections (Rust tuple layout is
+/// unspecified, parallel primitive runs are not).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct IntPairs {
+    pub(crate) values: IntRun<i64>,
+    pub(crate) nodes: IntRun<NodeId>,
+}
+
+impl IntPairs {
+    /// Splits sorted `(value, node)` pairs into the parallel representation.
+    pub(crate) fn from_pairs(pairs: Vec<(i64, NodeId)>) -> Self {
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut nodes = Vec::with_capacity(pairs.len());
+        for (value, node) in pairs {
+            values.push(value);
+            nodes.push(node);
+        }
+        Self {
+            values: values.into(),
+            nodes: nodes.into(),
+        }
+    }
+
+    /// Number of pairs.
+    pub(crate) fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates the logical pairs in order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (i64, NodeId)> + '_ {
+        self.values.iter().copied().zip(self.nodes.iter().copied())
+    }
+}
+
 /// The inverted index over node attributes, built by
 /// [`GraphBuilder::build`](crate::GraphBuilder::build).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -60,15 +97,15 @@ pub struct AttrIndex {
     /// attr → value → slot into the value posting arrays.  Two levels so an
     /// equality probe borrows the caller's `&AttrValue` — no owned key, no
     /// clone on the hot candidate-selection path.
-    value_slots: HashMap<Symbol, HashMap<AttrValue, u32>>,
-    value_offsets: Vec<u32>,
-    value_nodes: Vec<NodeId>,
+    pub(crate) value_slots: HashMap<Symbol, HashMap<AttrValue, u32>>,
+    pub(crate) value_offsets: IntRun<u32>,
+    pub(crate) value_nodes: IntRun<NodeId>,
     /// attr → slot into the name posting arrays.
-    name_slots: HashMap<Symbol, u32>,
-    name_offsets: Vec<u32>,
-    name_nodes: Vec<NodeId>,
-    /// attr → `(int value, node)` pairs sorted by value then node.
-    int_runs: HashMap<Symbol, Vec<(i64, NodeId)>>,
+    pub(crate) name_slots: HashMap<Symbol, u32>,
+    pub(crate) name_offsets: IntRun<u32>,
+    pub(crate) name_nodes: IntRun<NodeId>,
+    /// attr → `(int value, node)` runs sorted by value then node.
+    pub(crate) int_runs: HashMap<Symbol, IntPairs>,
 }
 
 impl AttrIndex {
@@ -94,6 +131,10 @@ impl AttrIndex {
         for run in int_runs.values_mut() {
             run.sort_unstable();
         }
+        let int_runs: HashMap<Symbol, IntPairs> = int_runs
+            .into_iter()
+            .map(|(sym, run)| (sym, IntPairs::from_pairs(run)))
+            .collect();
 
         let mut value_slots: HashMap<Symbol, HashMap<AttrValue, u32>> = HashMap::new();
         let mut value_offsets = Vec::with_capacity(by_value.len() + 1);
@@ -128,11 +169,11 @@ impl AttrIndex {
 
         Self {
             value_slots,
-            value_offsets,
-            value_nodes,
+            value_offsets: value_offsets.into(),
+            value_nodes: value_nodes.into(),
             name_slots,
-            name_offsets,
-            name_nodes,
+            name_offsets: name_offsets.into(),
+            name_nodes: name_nodes.into(),
             int_runs,
         }
     }
@@ -273,8 +314,8 @@ impl AttrIndex {
                 int_added.entry(*sym).or_default().push((*i, *node));
             }
         }
-        let mut int_runs: HashMap<Symbol, Vec<(i64, NodeId)>> = HashMap::new();
-        let empty: Vec<(i64, NodeId)> = Vec::new();
+        let mut int_runs: HashMap<Symbol, IntPairs> = HashMap::new();
+        let empty = IntPairs::default();
         let syms: std::collections::BTreeSet<Symbol> = self
             .int_runs
             .keys()
@@ -290,7 +331,7 @@ impl AttrIndex {
             let mut run = Vec::with_capacity(base.len() + add.len() - rem.len());
             let mut rj = 0usize;
             let mut aj = 0usize;
-            for &pair in base {
+            for pair in base.iter() {
                 if rj < rem.len() && rem[rj] == pair {
                     rj += 1;
                     continue;
@@ -304,17 +345,17 @@ impl AttrIndex {
             run.extend_from_slice(&add[aj..]);
             debug_assert_eq!(rj, rem.len(), "removed int pair missing from run");
             if !run.is_empty() {
-                int_runs.insert(sym, run);
+                int_runs.insert(sym, IntPairs::from_pairs(run));
             }
         }
 
         Self {
             value_slots,
-            value_offsets,
-            value_nodes,
+            value_offsets: value_offsets.into(),
+            value_nodes: value_nodes.into(),
             name_slots,
-            name_offsets,
-            name_nodes,
+            name_offsets: name_offsets.into(),
+            name_nodes: name_nodes.into(),
             int_runs,
         }
     }
@@ -353,9 +394,11 @@ impl AttrIndex {
         let Some(run) = self.int_runs.get(&attr) else {
             return Vec::new();
         };
-        let start = run.partition_point(|&(v, _)| v < lo);
-        let end = run.partition_point(|&(v, _)| v <= hi);
-        let mut nodes: Vec<NodeId> = run[start..end].iter().map(|&(_, v)| v).collect();
+        // Pairs are sorted by `(value, node)`, so partitioning on the value
+        // half alone lands on the same boundaries.
+        let start = run.values.partition_point(|&v| v < lo);
+        let end = run.values.partition_point(|&v| v <= hi);
+        let mut nodes: Vec<NodeId> = run.nodes[start..end].to_vec();
         nodes.sort_unstable();
         nodes
     }
@@ -380,8 +423,8 @@ impl AttrIndex {
         let Some(run) = self.int_runs.get(&attr) else {
             return 0;
         };
-        let start = run.partition_point(|&(v, _)| v < lo);
-        let end = run.partition_point(|&(v, _)| v <= hi);
+        let start = run.values.partition_point(|&v| v < lo);
+        let end = run.values.partition_point(|&v| v <= hi);
         end - start
     }
 
@@ -394,7 +437,7 @@ impl AttrIndex {
     pub fn entry_count(&self) -> usize {
         self.value_nodes.len()
             + self.name_nodes.len()
-            + self.int_runs.values().map(Vec::len).sum::<usize>()
+            + self.int_runs.values().map(IntPairs::len).sum::<usize>()
     }
 
     /// Number of distinct values of attribute `attr` present in the graph.

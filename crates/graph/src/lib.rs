@@ -52,9 +52,12 @@ pub mod graph;
 pub mod index;
 pub mod io;
 pub mod mutate;
+pub mod run;
+pub mod snap;
 pub mod stats;
 pub mod symbol;
 pub mod traversal;
+pub mod tuples;
 
 pub use attr::{AttrValue, Attribute};
 pub use bitset::{intersect_many, intersect_sorted, intersect_sorted_into, NodeBitSet};
@@ -63,8 +66,11 @@ pub use condensation::Condensation;
 pub use graph::{DataGraph, NodeId};
 pub use index::AttrIndex;
 pub use mutate::{GraphHandle, GraphSnapshot, MutationConfig, MutationStats, PendingOp};
+pub use run::{IntRun, RunElem};
+pub use snap::{LoadMode, MetaCounts, SectionElem, SectionKind, SnapshotError, SnapshotWriter};
 pub use stats::GraphStats;
 pub use symbol::{Symbol, SymbolTable};
+pub use tuples::AttrTuples;
 
 /// Attribute name conventionally used for the single "label" of a node in the
 /// synthetic datasets (XMark tags, arXiv label groups, ...).

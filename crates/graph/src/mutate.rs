@@ -57,6 +57,22 @@ impl GraphSnapshot {
         }
     }
 
+    /// Assembles a snapshot from parts that are already consistent — the
+    /// snapshot loader's entry point ([`crate::snap`]), where the stored
+    /// condensation makes re-running Tarjan unnecessary.  `condensation`
+    /// must be the canonical condensation of `graph`.
+    pub(crate) fn from_raw_parts(
+        epoch: u64,
+        graph: Arc<DataGraph>,
+        condensation: Arc<Condensation>,
+    ) -> Self {
+        Self {
+            epoch,
+            graph,
+            condensation,
+        }
+    }
+
     /// The epoch this snapshot pins.
     #[inline]
     pub fn epoch(&self) -> u64 {
@@ -244,6 +260,26 @@ impl GraphHandle {
         }
     }
 
+    /// Wraps a loaded snapshot as a live graph *without* recomputing the
+    /// condensation (the snapshot already pins the canonical one) — the
+    /// `.gtpq` fast path.  Commits on the returned handle copy-on-write the
+    /// mapped runs into owned storage; the backing file is never modified.
+    pub fn from_snapshot(snapshot: GraphSnapshot, config: MutationConfig) -> Self {
+        let epoch = snapshot.epoch();
+        let base_nodes = snapshot.graph().node_count();
+        Self {
+            pending: Mutex::new(Pending {
+                ops: Vec::new(),
+                base_nodes,
+                staged_nodes: 0,
+            }),
+            current: RwLock::new(Arc::new(snapshot)),
+            epoch: AtomicU64::new(epoch),
+            config,
+            stats: Mutex::new(MutationStats::default()),
+        }
+    }
+
     /// The committed epoch number (0 before the first commit).
     #[inline]
     pub fn epoch(&self) -> u64 {
@@ -391,7 +427,7 @@ impl GraphHandle {
         // scratch replay through `GraphBuilder`, which is what keeps the
         // result bit-comparable to the rebuild oracle.
         let mut symbols = bg.symbols.clone();
-        let mut attrs = bg.attrs.clone();
+        let mut attrs = bg.attrs.to_tuples_vec();
         let mut touched: BTreeSet<u32> = BTreeSet::new();
         let mut raw_edges: Vec<(NodeId, NodeId)> = Vec::new();
         let mut upserts = 0u64;
@@ -469,7 +505,7 @@ impl GraphHandle {
             let mut name_added: Vec<(Symbol, NodeId)> = Vec::new();
             for &t in &touched {
                 let v = NodeId(t);
-                let old_tuple = &bg.attrs[t as usize];
+                let old_tuple = &bg.attrs.tuples()[t as usize];
                 let new_tuple = &attrs[t as usize];
                 for a in old_tuple {
                     if !new_tuple
@@ -505,7 +541,7 @@ impl GraphHandle {
             symbols,
             fwd,
             rev,
-            attrs,
+            attrs: attrs.into(),
             index,
             edge_count,
         };

@@ -9,7 +9,11 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 /// An interned string. Cheap to copy and compare.
+///
+/// `repr(transparent)` over the raw `u32` so symbol runs can live directly
+/// inside mapped snapshot sections (see [`crate::run::IntRun`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct Symbol(pub u32);
 
 impl Symbol {

@@ -1,0 +1,282 @@
+//! Owned-or-lazy per-node attribute tuples.
+//!
+//! A built [`DataGraph`](crate::DataGraph) owns its attribute tuples as a
+//! plain `Vec<Vec<Attribute>>`.  A graph loaded from a `.gtpq` snapshot keeps
+//! the four columnar attribute sections (offsets, names, tags, payloads)
+//! *mapped* instead and decodes them into tuples only on the first access
+//! that actually needs per-node attribute data — cold start never pays the
+//! per-node allocations and string clones, and a process that answers purely
+//! index-served queries never touches those file pages at all.
+//!
+//! The decoded form is cached in a [`OnceLock`], so after the first
+//! materialization every access is exactly the pre-lazy borrow.  Operations
+//! that need the whole table anyway (text serialization, snapshot writing,
+//! mutation commits, structural equality) transparently materialize it.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use crate::attr::{AttrValue, Attribute};
+use crate::run::IntRun;
+use crate::symbol::Symbol;
+
+/// Attribute value tag: the payload is the `i64` value itself.
+pub(crate) const TAG_INT: u8 = 0;
+/// Attribute value tag: the payload indexes the string dictionary.
+pub(crate) const TAG_STR: u8 = 1;
+
+/// The columnar snapshot encoding of every node's attribute tuple:
+/// CSR-style offsets plus parallel name/tag/payload runs, and the shared
+/// string dictionary the payloads of string-valued attributes index into.
+#[derive(Clone)]
+pub(crate) struct AttrColumns {
+    pub(crate) offsets: IntRun<u32>,
+    pub(crate) names: IntRun<Symbol>,
+    pub(crate) tags: IntRun<u8>,
+    pub(crate) payloads: IntRun<u64>,
+    pub(crate) strings: Arc<Vec<String>>,
+}
+
+impl AttrColumns {
+    /// Decodes every tuple.  Verifying load modes validate each entry up
+    /// front, but the decode stays defensive regardless — an entry that no
+    /// longer makes sense (plain-mmap load of a file corrupted on disk) is
+    /// skipped rather than panicking.
+    fn decode(&self) -> Vec<Vec<Attribute>> {
+        let n = self.offsets.len().saturating_sub(1);
+        let mut out = Vec::with_capacity(n);
+        for v in 0..n {
+            let lo = self.offsets[v] as usize;
+            let hi = self.offsets[v + 1] as usize;
+            let mut tuple = Vec::with_capacity(hi.saturating_sub(lo));
+            for i in lo..hi {
+                let (Some(&name), Some(&tag), Some(&payload)) =
+                    (self.names.get(i), self.tags.get(i), self.payloads.get(i))
+                else {
+                    continue;
+                };
+                let value = match tag {
+                    TAG_INT => AttrValue::Int(payload as i64),
+                    TAG_STR => match usize::try_from(payload)
+                        .ok()
+                        .and_then(|id| self.strings.get(id))
+                    {
+                        Some(s) => AttrValue::Str(s.clone()),
+                        None => continue,
+                    },
+                    _ => continue,
+                };
+                tuple.push(Attribute::new(name, value));
+            }
+            out.push(tuple);
+        }
+        out
+    }
+}
+
+/// The attribute tuples `f(v)` of a [`DataGraph`](crate::DataGraph):
+/// either an owned table (graphs built in memory) or mapped snapshot columns
+/// decoded lazily on first access and cached from then on.
+///
+/// Cloning an undecoded store clones only the column views (refcount bumps
+/// for mapped runs); equality and [`tuples`](Self::tuples) go through the
+/// materialized table, so an owned store and a lazy store over the same data
+/// compare equal.
+pub struct AttrTuples {
+    /// Node count, known without materializing.
+    len: usize,
+    /// The mapped columns; `None` for stores built from owned tuples.
+    columns: Option<AttrColumns>,
+    /// The materialized table; set at construction for owned stores.
+    tuples: OnceLock<Vec<Vec<Attribute>>>,
+}
+
+impl AttrTuples {
+    pub(crate) fn from_columns(len: usize, columns: AttrColumns) -> Self {
+        Self {
+            len,
+            columns: Some(columns),
+            tuples: OnceLock::new(),
+        }
+    }
+
+    /// Number of nodes (O(1), never materializes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total attribute entries across all nodes (O(1), never materializes).
+    pub fn entry_count(&self) -> usize {
+        match &self.columns {
+            Some(c) => c.names.len(),
+            None => self
+                .tuples
+                .get()
+                .map_or(0, |t| t.iter().map(Vec::len).sum()),
+        }
+    }
+
+    /// The materialized per-node tuples.
+    ///
+    /// The first call on a snapshot-loaded graph decodes every column into
+    /// owned `Attribute`s and caches the result; later calls (and every call
+    /// on a built graph) are a plain borrow.
+    #[inline]
+    pub fn tuples(&self) -> &[Vec<Attribute>] {
+        self.tuples.get_or_init(|| {
+            self.columns
+                .as_ref()
+                .map(AttrColumns::decode)
+                .unwrap_or_default()
+        })
+    }
+
+    /// An owned copy of every tuple — the copy-on-write step of the mutation
+    /// commit path.
+    pub fn to_tuples_vec(&self) -> Vec<Vec<Attribute>> {
+        self.tuples().to_vec()
+    }
+}
+
+impl From<Vec<Vec<Attribute>>> for AttrTuples {
+    fn from(tuples: Vec<Vec<Attribute>>) -> Self {
+        let len = tuples.len();
+        let cell = OnceLock::new();
+        let _ = cell.set(tuples);
+        Self {
+            len,
+            columns: None,
+            tuples: cell,
+        }
+    }
+}
+
+impl Clone for AttrTuples {
+    fn clone(&self) -> Self {
+        match (&self.columns, self.tuples.get()) {
+            // Never decoded: clone the cheap column views and stay lazy.
+            (Some(c), None) => Self::from_columns(self.len, c.clone()),
+            (_, Some(t)) => t.clone().into(),
+            (None, None) => Vec::new().into(),
+        }
+    }
+}
+
+impl PartialEq for AttrTuples {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.tuples() == other.tuples()
+    }
+}
+
+impl fmt::Debug for AttrTuples {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tuples.get() {
+            Some(t) => t.fmt(f),
+            None => f
+                .debug_struct("AttrTuples")
+                .field("len", &self.len)
+                .field("decoded", &false)
+                .finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_store_round_trips() {
+        let raw = vec![
+            vec![Attribute::new(Symbol(0), AttrValue::int(7))],
+            Vec::new(),
+        ];
+        let store: AttrTuples = raw.clone().into();
+        assert_eq!(store.len(), 2);
+        assert!(!store.is_empty());
+        assert_eq!(store.entry_count(), 1);
+        assert_eq!(store.tuples(), &raw[..]);
+        assert_eq!(store.to_tuples_vec(), raw);
+        assert_eq!(store.clone(), store);
+    }
+
+    fn columns(
+        offsets: Vec<u32>,
+        names: Vec<Symbol>,
+        tags: Vec<u8>,
+        payloads: Vec<u64>,
+        strings: Vec<&str>,
+    ) -> AttrColumns {
+        AttrColumns {
+            offsets: offsets.into(),
+            names: names.into(),
+            tags: tags.into(),
+            payloads: payloads.into(),
+            strings: Arc::new(strings.into_iter().map(str::to_owned).collect()),
+        }
+    }
+
+    #[test]
+    fn lazy_store_decodes_on_first_access() {
+        let c = columns(
+            vec![0, 2, 2, 3],
+            vec![Symbol(0), Symbol(1), Symbol(0)],
+            vec![TAG_INT, TAG_STR, TAG_INT],
+            vec![(-3i64) as u64, 0, 42],
+            vec!["hi"],
+        );
+        let store = AttrTuples::from_columns(3, c);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.entry_count(), 3);
+        let want = vec![
+            vec![
+                Attribute::new(Symbol(0), AttrValue::int(-3)),
+                Attribute::new(Symbol(1), AttrValue::str("hi")),
+            ],
+            Vec::new(),
+            vec![Attribute::new(Symbol(0), AttrValue::int(42))],
+        ];
+        assert_eq!(store.tuples(), &want[..]);
+        let owned: AttrTuples = want.into();
+        assert_eq!(store, owned);
+        assert_eq!(store.clone(), owned);
+    }
+
+    #[test]
+    fn corrupt_entries_are_skipped_not_panicked_on() {
+        // Out-of-range string id, unknown tag, offsets past the runs: every
+        // bad entry degrades to an absent attribute.
+        let c = columns(
+            vec![0, 3, 9],
+            vec![Symbol(0), Symbol(1), Symbol(2)],
+            vec![TAG_STR, 77, TAG_INT],
+            vec![999, 0, 5],
+            vec!["only"],
+        );
+        let store = AttrTuples::from_columns(2, c);
+        assert_eq!(
+            store.tuples(),
+            &[
+                vec![Attribute::new(Symbol(2), AttrValue::int(5))],
+                Vec::new(),
+            ][..]
+        );
+    }
+
+    #[test]
+    fn debug_does_not_force_materialization() {
+        let c = columns(vec![0, 1], vec![Symbol(0)], vec![TAG_INT], vec![9], vec![]);
+        let store = AttrTuples::from_columns(1, c);
+        let undecoded = format!("{store:?}");
+        assert!(undecoded.contains("decoded: false"), "{undecoded}");
+        let _ = store.tuples();
+        assert!(!format!("{store:?}").contains("decoded: false"));
+    }
+}

@@ -103,14 +103,28 @@ impl ResultCache {
         evicted
     }
 
-    /// Looks up `q` (with canonical form `canon`), returning results in
-    /// `q`'s own output coordinates on a hit.
+    /// Looks up `q` (with canonical form `canon`) on behalf of a request
+    /// pinned to graph generation `epoch`, returning results in `q`'s own
+    /// output coordinates on a hit.
+    ///
+    /// A request pinned to a generation other than the cache's misses
+    /// unconditionally: after a commit, a reader still holding the old
+    /// epoch state must not be served an answer computed against the new
+    /// graph (the rows would disagree with the epoch the outcome claims).
     ///
     /// A hit through an entry with a different output orientation permutes
     /// the cached tuples once and stores the permuted set as its own entry,
     /// so repeated requests in that spelling are allocation-free after the
     /// first.
-    pub fn lookup(&mut self, canon: &CanonicalQuery, q: &Gtpq) -> Option<Arc<ResultSet>> {
+    pub fn lookup(
+        &mut self,
+        epoch: u64,
+        canon: &CanonicalQuery,
+        q: &Gtpq,
+    ) -> Option<Arc<ResultSet>> {
+        if epoch != self.epoch {
+            return None;
+        }
         self.tick += 1;
         let tick = self.tick;
         let bucket = self.buckets.get_mut(&canon.skeleton)?;
@@ -275,8 +289,13 @@ impl PlanCache {
 
     /// Returns the plan cached under `key` *for exactly this query*,
     /// refreshing its recency.  An entry planned for a differently-numbered
-    /// respelling misses.
-    pub fn lookup(&mut self, key: &str, q: &Gtpq) -> Option<Arc<QueryPlan>> {
+    /// respelling misses, as does a request pinned to a graph generation
+    /// other than the cache's (its plan would embed another graph's
+    /// estimates).
+    pub fn lookup(&mut self, epoch: u64, key: &str, q: &Gtpq) -> Option<Arc<QueryPlan>> {
+        if epoch != self.epoch {
+            return None;
+        }
         self.tick += 1;
         let tick = self.tick;
         let entry = self.entries.get_mut(key)?;
@@ -381,7 +400,7 @@ mod tests {
         let results = Arc::new(results);
         let mut cache = ResultCache::new(4);
         cache.insert(0, &canon, Arc::clone(&q), Arc::clone(&results));
-        let hit = cache.lookup(&canon, &q).expect("hit");
+        let hit = cache.lookup(0, &canon, &q).expect("hit");
         assert!(Arc::ptr_eq(&hit, &results));
     }
 
@@ -398,13 +417,13 @@ mod tests {
         let mut cache = ResultCache::new(4);
         cache.insert(0, &c1, Arc::clone(&q1), Arc::new(results));
         // q2 marks c first, so its tuples must come back as (c, b).
-        let hit = cache.lookup(&c2, &q2).expect("hit");
+        let hit = cache.lookup(0, &c2, &q2).expect("hit");
         assert_eq!(hit.output, q2.output_nodes());
         assert!(hit.contains(&[NodeId(20), NodeId(10)]));
         assert_eq!(hit.len(), 1);
         // The permuted orientation is now cached: the next lookup returns the
         // very same set without re-permuting.
-        let again = cache.lookup(&c2, &q2).expect("hit");
+        let again = cache.lookup(0, &c2, &q2).expect("hit");
         assert!(Arc::ptr_eq(&hit, &again));
         assert_eq!(cache.len(), 2);
     }
@@ -428,7 +447,9 @@ mod tests {
             Arc::new(base.clone()),
             Arc::new(ResultSet::new(base.output_nodes().to_vec())),
         );
-        assert!(cache.lookup(&canonicalize(&q_single), &q_single).is_none());
+        assert!(cache
+            .lookup(0, &canonicalize(&q_single), &q_single)
+            .is_none());
     }
 
     #[test]
@@ -448,12 +469,12 @@ mod tests {
         cache.insert(0, &canons[0], Arc::clone(&queries[0]), empty(&queries[0]));
         cache.insert(0, &canons[1], Arc::clone(&queries[1]), empty(&queries[1]));
         // Touch entry 0 so entry 1 is the LRU victim.
-        assert!(cache.lookup(&canons[0], &queries[0]).is_some());
+        assert!(cache.lookup(0, &canons[0], &queries[0]).is_some());
         cache.insert(0, &canons[2], Arc::clone(&queries[2]), empty(&queries[2]));
         assert_eq!(cache.len(), 2);
-        assert!(cache.lookup(&canons[0], &queries[0]).is_some());
-        assert!(cache.lookup(&canons[1], &queries[1]).is_none());
-        assert!(cache.lookup(&canons[2], &queries[2]).is_some());
+        assert!(cache.lookup(0, &canons[0], &queries[0]).is_some());
+        assert!(cache.lookup(0, &canons[1], &queries[1]).is_none());
+        assert!(cache.lookup(0, &canons[2], &queries[2]).is_some());
     }
 
     #[test]
@@ -478,7 +499,7 @@ mod tests {
             Arc::clone(&results),
         );
         assert_eq!(cache.len(), 2, "other orientation gets its own entry");
-        assert!(cache.lookup(&canon, &q).is_some());
+        assert!(cache.lookup(0, &canon, &q).is_some());
     }
 
     #[test]
@@ -493,7 +514,7 @@ mod tests {
             Arc::new(ResultSet::new(q.output_nodes().to_vec())),
         );
         assert!(cache.is_empty());
-        assert!(cache.lookup(&canon, &q).is_none());
+        assert!(cache.lookup(0, &canon, &q).is_none());
     }
 
     #[test]
@@ -505,19 +526,23 @@ mod tests {
         cache.insert(0, &canon, Arc::clone(&q), Arc::clone(&results));
         assert_eq!(cache.invalidate(1), 1);
         assert_eq!(cache.epoch(), 1);
-        assert!(cache.lookup(&canon, &q).is_none());
+        assert!(cache.lookup(0, &canon, &q).is_none());
         // A late insert from a request that pinned epoch 0 is refused; the
         // current generation's insert is accepted.
         cache.insert(0, &canon, Arc::clone(&q), Arc::clone(&results));
         assert!(cache.is_empty());
         cache.insert(1, &canon, Arc::clone(&q), Arc::clone(&results));
         assert_eq!(cache.len(), 1);
+        // A reader still pinned to epoch 0 must not be served the newer
+        // generation's answer; a reader pinned to the current epoch hits.
+        assert!(cache.lookup(0, &canon, &q).is_none());
+        assert!(cache.lookup(1, &canon, &q).is_some());
 
         let plan = Arc::new(gtpq_core::QueryPlan::fixed_pipeline(&q));
         let mut plans = PlanCache::new(4);
         plans.insert(0, "k", Arc::clone(&q), Arc::clone(&plan));
         assert_eq!(plans.invalidate(2), 1);
-        assert!(plans.lookup("k", &q).is_none());
+        assert!(plans.lookup(2, "k", &q).is_none());
         plans.insert(0, "k", Arc::clone(&q), Arc::clone(&plan));
         assert!(plans.is_empty());
         plans.insert(2, "k", Arc::clone(&q), plan);
@@ -539,16 +564,16 @@ mod tests {
         assert!(cache.is_empty());
         cache.insert(0, "a", Arc::clone(&q), Arc::clone(&plan));
         cache.insert(0, "b", Arc::clone(&q), Arc::clone(&plan));
-        assert!(cache.lookup("a", &q).is_some()); // refresh a
+        assert!(cache.lookup(0, "a", &q).is_some()); // refresh a
         cache.insert(0, "c", Arc::clone(&q), Arc::clone(&plan)); // evicts b
         assert_eq!(cache.len(), 2);
-        assert!(cache.lookup("b", &q).is_none());
-        assert!(cache.lookup("a", &q).is_some());
-        assert!(cache.lookup("c", &q).is_some());
+        assert!(cache.lookup(0, "b", &q).is_none());
+        assert!(cache.lookup(0, "a", &q).is_some());
+        assert!(cache.lookup(0, "c", &q).is_some());
         // Zero capacity disables insertion.
         let mut off = PlanCache::new(0);
         off.insert(0, "a", Arc::clone(&q), Arc::clone(&plan));
-        assert!(off.lookup("a", &q).is_none());
+        assert!(off.lookup(0, "a", &q).is_none());
     }
 
     #[test]
@@ -561,14 +586,14 @@ mod tests {
         let plan = Arc::new(gtpq_core::QueryPlan::fixed_pipeline(&planned_for));
         let mut cache = PlanCache::new(4);
         cache.insert(0, "shared-key", Arc::clone(&planned_for), plan);
-        assert!(cache.lookup("shared-key", &planned_for).is_some());
-        assert!(cache.lookup("shared-key", &other).is_none());
+        assert!(cache.lookup(0, "shared-key", &planned_for).is_some());
+        assert!(cache.lookup(0, "shared-key", &other).is_none());
         // Re-planning takes over the slot in place.
         let other = Arc::new(other);
         let other_plan = Arc::new(gtpq_core::QueryPlan::fixed_pipeline(&other));
         cache.insert(0, "shared-key", Arc::clone(&other), other_plan);
         assert_eq!(cache.len(), 1);
-        assert!(cache.lookup("shared-key", &other).is_some());
-        assert!(cache.lookup("shared-key", &planned_for).is_none());
+        assert!(cache.lookup(0, "shared-key", &other).is_some());
+        assert!(cache.lookup(0, "shared-key", &planned_for).is_none());
     }
 }

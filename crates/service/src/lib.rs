@@ -67,6 +67,7 @@
 
 pub mod cache;
 pub mod canon;
+mod lazy;
 pub mod metrics;
 pub mod request;
 pub mod service;

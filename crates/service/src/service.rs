@@ -10,12 +10,13 @@ use gtpq_core::{
     Aborted, EvalStats, ExecCtl, ExecOptions, GteaEngine, GteaOptions, Interrupt, Planner,
     QueryPlan, Tracer,
 };
-use gtpq_graph::{DataGraph, GraphHandle, GraphSnapshot};
+use gtpq_graph::{DataGraph, GraphHandle, GraphSnapshot, SnapshotError};
 use gtpq_query::{Gtpq, ParseError, ResultSet};
 use gtpq_reach::{build_selected_with, BackendKind, BackendSelection, GraphProfile, SharedIndex};
 
 use crate::cache::{PlanCache, ResultCache};
 use crate::canon::{canonicalize, CanonicalQuery};
+use crate::lazy::LazyIndex;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::request::{QueryError, QueryOutcome, QueryRequest, QuerySource};
 use crate::slowlog::{SlowOutcome, SlowQueryEntry, SlowQueryLog};
@@ -156,15 +157,21 @@ struct EpochState {
 
 impl EpochState {
     /// Builds the generation state for `snapshot`: profiles the graph,
-    /// builds (or auto-selects) the default reachability backend — reusing
-    /// the snapshot's already-computed condensation — and seeds the catalog
-    /// with it.
+    /// resolves the default reachability backend — reusing the snapshot's
+    /// already-computed condensation — and seeds the catalog with it.
+    ///
+    /// A *pinned* backend ([`ServiceConfig::backend`]) is wrapped in a
+    /// [`LazyIndex`] and built on the first reachability probe rather than
+    /// here: cold starts that only run index-served lookups (the mapped
+    /// snapshot pattern) never pay the O(V+E) construction.  Auto-selection
+    /// stays eager — choosing a backend requires profiling the graph, and
+    /// the built index is part of the selection evidence.
     fn build(snapshot: Arc<GraphSnapshot>, config: &ServiceConfig) -> Self {
         let g = snapshot.graph();
         let cond = snapshot.condensation();
         let (index, default_kind, selection, profile) = match config.backend {
             Some(kind) => (
-                kind.build_shared_with(g, cond),
+                LazyIndex::shared(kind, Arc::clone(&snapshot)),
                 kind,
                 None,
                 GraphProfile::compute_with(g, cond),
@@ -260,6 +267,26 @@ impl QueryService {
     pub fn live_with_config(handle: Arc<GraphHandle>, config: ServiceConfig) -> Self {
         let snapshot = handle.snapshot();
         Self::from_source(GraphSource::Live(handle), snapshot, config)
+    }
+
+    /// Builds a service over an existing epoch snapshot — typically one
+    /// loaded from a `.gtpq` file — reusing its stored condensation instead
+    /// of recomputing Tarjan (unlike [`QueryService::with_config`], which
+    /// must condense the bare graph it is given).  The `Arc` may be shared:
+    /// several services (or a service and a mutation handle) can serve from
+    /// one immutable mapped snapshot without copying it.
+    pub fn from_snapshot(snapshot: Arc<GraphSnapshot>, config: ServiceConfig) -> Self {
+        Self::from_source(GraphSource::Static, snapshot, config)
+    }
+
+    /// Opens a `.gtpq` snapshot with zero-copy mapping and serves queries
+    /// straight from the file pages — the O(page-fault) cold-start path.
+    pub fn open_snapshot<P: AsRef<std::path::Path>>(
+        path: P,
+        config: ServiceConfig,
+    ) -> Result<Self, SnapshotError> {
+        let snapshot = Arc::new(GraphSnapshot::open_mmap(path)?);
+        Ok(Self::from_snapshot(snapshot, config))
     }
 
     fn from_source(
@@ -480,11 +507,11 @@ impl QueryService {
         // requested window is sliced out of a hit.
         if self.config.cache_capacity > 0 && !request.bypass_cache {
             if let Some(canon) = &canon {
-                let hit = self
-                    .cache
-                    .lock()
-                    .expect("cache lock poisoned")
-                    .lookup(canon, q);
+                let hit =
+                    self.cache
+                        .lock()
+                        .expect("cache lock poisoned")
+                        .lookup(state.epoch, canon, q);
                 if let Some(full) = hit {
                     self.metrics.record_hit();
                     let (rows, truncated) = window(&full, request.offset, request.limit);
@@ -790,11 +817,11 @@ impl QueryService {
         state: &EpochState,
     ) -> (Arc<QueryPlan>, Duration) {
         if let Some(canon) = canon {
-            let hit = self
-                .plans
-                .lock()
-                .expect("plan cache lock poisoned")
-                .lookup(&canon.key, q);
+            let hit = self.plans.lock().expect("plan cache lock poisoned").lookup(
+                state.epoch,
+                &canon.key,
+                q,
+            );
             if let Some(plan) = hit {
                 self.metrics.record_plan_hit();
                 return (plan, Duration::ZERO);
@@ -877,8 +904,9 @@ impl QueryService {
         self.plans.lock().expect("plan cache lock poisoned").len()
     }
 
-    /// Names of the reachability backends built so far in the current epoch
-    /// (the default plus any the planner or a request asked for), in no
+    /// Names of the reachability backends cataloged so far in the current
+    /// epoch (the default — which a pinned configuration defers until its
+    /// first probe — plus any the planner or a request asked for), in no
     /// particular order.  A commit resets the catalog — the old generation's
     /// indexes describe the old graph.
     pub fn built_backends(&self) -> Vec<&'static str> {
@@ -1220,6 +1248,52 @@ mod tests {
         assert!(service.backend_selection().is_none());
         let q = example_query();
         assert!(submit_rows(&service, &q).same_answer(&naive::evaluate(&q, &service.graph())));
+    }
+
+    #[test]
+    fn pinned_backend_builds_lazily_on_first_reachability_probe() {
+        // A non-forest graph makes the deferral observable through the
+        // public API: `interval` can only fall back to 3-hop when it is
+        // actually *built*, so the reported name flips at the first
+        // reachability probe — not at service construction.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("a");
+        let x = b.add_node_with_label("b");
+        let y = b.add_node_with_label("c");
+        let d = b.add_node_with_label("d");
+        b.add_edge(a, x);
+        b.add_edge(a, y);
+        b.add_edge(x, d);
+        b.add_edge(y, d);
+        let service = QueryService::with_config(
+            Arc::new(b.build()),
+            ServiceConfig {
+                backend: Some(BackendKind::Interval),
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(service.backend_name(), "interval");
+
+        // An index-served point lookup asks no reachability question: the
+        // backend must still be unbuilt afterwards.
+        let first = service
+            .submit(&QueryRequest::text("[label = d]*").with_limit(1))
+            .unwrap();
+        assert_eq!(first.rows.len(), 1);
+        assert_eq!(
+            service.backend_name(),
+            "interval",
+            "an index-served lookup must not force the backend build"
+        );
+
+        // A descendant pattern probes reachability, forcing the build —
+        // which on a non-forest graph is the 3-hop fallback.
+        let rows = service
+            .submit(&QueryRequest::text("a { //d* }"))
+            .unwrap()
+            .rows;
+        assert!(!rows.is_empty());
+        assert_eq!(service.backend_name(), "3-hop");
     }
 
     #[test]

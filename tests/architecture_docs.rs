@@ -13,35 +13,53 @@
 //! * the behavioural claims are re-proven in miniature: a pinned snapshot
 //!   survives a commit unchanged, and a live service rotates (no stale
 //!   cache hit, monotone epoch) when the graph mutates under it.
+//!
+//! The "Snapshot format" section gets the same treatment: the documented
+//! magic and format version must match the `snap` module's constants,
+//! every `LoadMode` variant must be documented (recovered through an
+//! exhaustive match, so a new variant fails the build until this file —
+//! and the docs — learn about it), the cited test suites must exist, and
+//! the headline claims are re-proven in miniature against a real file.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use gtpq::graph::{GraphBuilder, GraphHandle, MutationStats};
+use gtpq::graph::snap::{FORMAT_VERSION, MAGIC};
+use gtpq::graph::{GraphBuilder, GraphHandle, GraphSnapshot, LoadMode, MutationStats};
 use gtpq::service::{QueryRequest, QueryService};
 
 const ARCHITECTURE_MD: &str = include_str!("../docs/ARCHITECTURE.md");
 
-/// The "Mutation & snapshots" section body (up to the next `## ` heading).
-fn section() -> &'static str {
+/// The body of the section titled `heading` (up to the next `## ` heading).
+fn section_named(heading: &str) -> &'static str {
     ARCHITECTURE_MD
-        .split("## Mutation & snapshots")
+        .split(heading)
         .nth(1)
-        .expect("ARCHITECTURE.md has a Mutation & snapshots section")
+        .unwrap_or_else(|| panic!("ARCHITECTURE.md has a {heading} section"))
         .split("\n## ")
         .next()
         .expect("split is non-empty")
 }
 
-/// All backticked tokens in the section.
-fn backticked() -> BTreeSet<String> {
+/// The "Mutation & snapshots" section body.
+fn section() -> &'static str {
+    section_named("## Mutation & snapshots")
+}
+
+/// All backticked tokens in `text`.
+fn backticked_in(text: &str) -> BTreeSet<String> {
     let mut tokens = BTreeSet::new();
-    for (i, piece) in section().split('`').enumerate() {
+    for (i, piece) in text.split('`').enumerate() {
         if i % 2 == 1 {
             tokens.insert(piece.to_owned());
         }
     }
     tokens
+}
+
+/// All backticked tokens in the "Mutation & snapshots" section.
+fn backticked() -> BTreeSet<String> {
+    backticked_in(section())
 }
 
 /// Field names of `MutationStats`, recovered from the derived `Debug`
@@ -143,6 +161,100 @@ fn promised_epoch_metric_families_appear_on_a_real_scrape_page() {
              Mutation & snapshots section does not document"
         );
     }
+}
+
+#[test]
+fn snapshot_section_tracks_the_format_constants_and_load_modes() {
+    let body = section_named("## Snapshot format");
+    let documented = backticked_in(body);
+
+    let magic = std::str::from_utf8(&MAGIC).expect("magic is ASCII");
+    assert!(
+        documented.contains(magic),
+        "the Snapshot format section must name the magic `{magic}`"
+    );
+    let version = format!("currently {FORMAT_VERSION}");
+    assert!(
+        body.contains(&version),
+        "the documented format version went stale: the section must say \
+         \"{version}\" to match snap::FORMAT_VERSION"
+    );
+
+    // Exhaustive match: adding a `LoadMode` variant fails this build until
+    // the list — and therefore the docs — learns about it.
+    fn name(mode: LoadMode) -> &'static str {
+        match mode {
+            LoadMode::Mmap => "Mmap",
+            LoadMode::MmapVerified => "MmapVerified",
+            LoadMode::Heap => "Heap",
+        }
+    }
+    for mode in [LoadMode::Mmap, LoadMode::MmapVerified, LoadMode::Heap] {
+        assert!(
+            documented.contains(name(mode)),
+            "LoadMode `{}` is not documented in the Snapshot format section",
+            name(mode)
+        );
+    }
+}
+
+#[test]
+fn snapshot_section_cites_existing_test_files() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let cited: Vec<String> = backticked_in(section_named("## Snapshot format"))
+        .into_iter()
+        .filter(|t| t.starts_with("tests/") && t.ends_with(".rs"))
+        .collect();
+    assert!(
+        !cited.is_empty(),
+        "the Snapshot format section should cite its proof suites"
+    );
+    for path in cited {
+        assert!(
+            std::path::Path::new(root).join(&path).exists(),
+            "docs/ARCHITECTURE.md cites `{path}`, which does not exist"
+        );
+    }
+}
+
+#[test]
+fn snapshot_claims_hold_in_miniature() {
+    let mut b = GraphBuilder::new();
+    let a = b.add_node_with_label("a");
+    let c = b.add_node_with_label("b");
+    b.add_edge(a, c);
+    let graph = Arc::new(b.build());
+    let path = std::env::temp_dir().join(format!(
+        "gtpq-architecture-docs-{}.gtpq",
+        std::process::id()
+    ));
+    GraphSnapshot::freeze(Arc::clone(&graph))
+        .save(&path)
+        .expect("snapshot saves");
+
+    // "The 64-byte header carries the magic GTPQSNAP": byte-for-byte.
+    let bytes = std::fs::read(&path).expect("snapshot readable");
+    assert_eq!(&bytes[..8], &MAGIC, "file does not start with the magic");
+
+    // Every load mode reconstructs the same graph.
+    for mode in [LoadMode::Mmap, LoadMode::MmapVerified, LoadMode::Heap] {
+        let loaded = GraphSnapshot::open(&path, mode).expect("snapshot loads");
+        assert_eq!(*loaded.graph().as_ref(), *graph, "{mode:?} diverged");
+    }
+
+    // "Corruption surfaces as a typed SnapshotError": a broken magic and a
+    // hard truncation must both fail cleanly, in every mode.
+    let mut broken = bytes.clone();
+    broken[0] ^= 0xff;
+    std::fs::write(&path, &broken).expect("corrupt file written");
+    for mode in [LoadMode::Mmap, LoadMode::MmapVerified, LoadMode::Heap] {
+        assert!(GraphSnapshot::open(&path, mode).is_err(), "{mode:?}");
+    }
+    std::fs::write(&path, &bytes[..10]).expect("truncated file written");
+    for mode in [LoadMode::Mmap, LoadMode::MmapVerified, LoadMode::Heap] {
+        assert!(GraphSnapshot::open(&path, mode).is_err(), "{mode:?}");
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
