@@ -376,7 +376,9 @@ impl Session {
     /// Writes the current graph epoch as a `.gtpq` binary snapshot at
     /// `path`; returns the confirmation line for the REPL (or main) to
     /// print.  The snapshot captures the *committed* state — pending
-    /// uncommitted mutations are not included.
+    /// uncommitted mutations are not included.  The write is atomic (temp
+    /// file + rename), and saving onto the file that backs a `--snapshot`
+    /// session's own live mapping is refused with a diagnostic.
     pub fn save_snapshot(&self, path: &str) -> Result<String, String> {
         let snapshot = self.handle.snapshot();
         snapshot

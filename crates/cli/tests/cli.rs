@@ -478,6 +478,15 @@ fn save_and_snapshot_flag_round_trip_identical_tables() {
     );
     assert_eq!(reloaded.run_query(query), original);
 
+    // `:save` back onto the very file backing the live mapping is refused
+    // with a diagnostic — the file, the mapping and the session all survive.
+    let Outcome::Continue(out) = reloaded.handle(&format!(":save {}", path.display())) else {
+        panic!(":save must not quit")
+    };
+    assert!(out.contains("cannot save snapshot"), "{out}");
+    assert!(out.contains("live mapping"), "{out}");
+    assert_eq!(reloaded.run_query(query), original);
+
     // The snapshot-backed session is still live: `:ingest` commits
     // copy-on-write epochs while the file on disk stays pristine.
     let before = std::fs::read(&path).unwrap();

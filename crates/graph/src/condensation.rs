@@ -387,6 +387,18 @@ impl Condensation {
     /// [`crate::snap`]).  Invariants (canonical numbering, topo order) are the
     /// writer's responsibility; checksums guard the bytes in between.
     #[allow(clippy::too_many_arguments)]
+    /// The `(device, inode)` of the snapshot file any of the runs borrow,
+    /// when this condensation is a mapped view (see [`crate::snap`]).
+    pub(crate) fn backing_file_id(&self) -> Option<(u64, u64)> {
+        self.comp_of
+            .backing_file_id()
+            .or_else(|| self.members.backing_file_id())
+            .or_else(|| self.cyclic.backing_file_id())
+            .or_else(|| self.comp_out.backing_file_id())
+            .or_else(|| self.comp_in.backing_file_id())
+            .or_else(|| self.topo.backing_file_id())
+    }
+
     pub(crate) fn from_parts(
         comp_of: IntRun<CompId>,
         members: Csr<NodeId>,

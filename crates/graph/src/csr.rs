@@ -47,6 +47,14 @@ impl<T: RunElem> Csr<T> {
     pub fn targets_raw(&self) -> &[T] {
         &self.targets
     }
+
+    /// The `(device, inode)` of the snapshot file either run borrows, when
+    /// this CSR is a mapped view (see [`crate::snap`]).
+    pub(crate) fn backing_file_id(&self) -> Option<(u64, u64)> {
+        self.offsets
+            .backing_file_id()
+            .or_else(|| self.targets.backing_file_id())
+    }
 }
 
 impl<T: RunElem> Default for Csr<T> {

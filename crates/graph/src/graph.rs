@@ -71,6 +71,18 @@ impl DataGraph {
         (0..self.node_count() as u32).map(NodeId)
     }
 
+    /// The `(device, inode)` of the `.gtpq` file any of this graph's runs
+    /// borrow, when the graph is a mapped snapshot view (see
+    /// [`crate::snap`]); `None` for graphs built in memory or loaded into a
+    /// heap buffer.
+    pub(crate) fn backing_file_id(&self) -> Option<(u64, u64)> {
+        self.fwd
+            .backing_file_id()
+            .or_else(|| self.rev.backing_file_id())
+            .or_else(|| self.attrs.backing_file_id())
+            .or_else(|| self.index.backing_file_id())
+    }
+
     /// Children (direct successors) of `v`, sorted by id.
     #[inline]
     pub fn children(&self, v: NodeId) -> &[NodeId] {

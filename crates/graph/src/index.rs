@@ -109,6 +109,23 @@ pub struct AttrIndex {
 }
 
 impl AttrIndex {
+    /// The `(device, inode)` of the snapshot file any of the posting runs
+    /// borrow, when this index is a mapped view (see [`crate::snap`]).
+    pub(crate) fn backing_file_id(&self) -> Option<(u64, u64)> {
+        self.value_offsets
+            .backing_file_id()
+            .or_else(|| self.value_nodes.backing_file_id())
+            .or_else(|| self.name_offsets.backing_file_id())
+            .or_else(|| self.name_nodes.backing_file_id())
+            .or_else(|| {
+                self.int_runs.values().find_map(|p| {
+                    p.values
+                        .backing_file_id()
+                        .or_else(|| p.nodes.backing_file_id())
+                })
+            })
+    }
+
     /// Builds the index from the per-node attribute tuples (node order gives
     /// posting lists sorted by id for free).
     pub fn build(attrs: &[Vec<Attribute>]) -> Self {

@@ -156,6 +156,15 @@ impl<T: RunElem> IntRun<T> {
         self.as_slice().to_vec()
     }
 
+    /// The `(device, inode)` of the file a mapped run borrows, when known.
+    /// `None` for owned runs and heap-fallback loads.
+    pub(crate) fn backing_file_id(&self) -> Option<(u64, u64)> {
+        match &self.repr {
+            Repr::Owned(_) => None,
+            Repr::Mapped { bytes, .. } => bytes.mmap_file_id(),
+        }
+    }
+
     /// A sub-run over `range` (element indices).  Mapped runs share the
     /// buffer; owned runs copy the window.
     ///
@@ -258,6 +267,18 @@ impl SnapshotBytes {
             SnapshotBytes::Heap(_) => false,
         }
     }
+
+    /// The `(device, inode)` identity of the file backing a live mapping;
+    /// `None` for heap buffers (nothing on disk is borrowed).  Used by the
+    /// snapshot writer to refuse saving onto the very file it would be
+    /// streaming the mapped runs out of.
+    pub(crate) fn mmap_file_id(&self) -> Option<(u64, u64)> {
+        match self {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            SnapshotBytes::Mmap(m) => m.file_id,
+            SnapshotBytes::Heap(_) => None,
+        }
+    }
 }
 
 /// A heap buffer whose base pointer is 8-byte aligned (backed by `u64`
@@ -305,6 +326,9 @@ impl AlignedBytes {
 pub(crate) struct MmapFile {
     ptr: std::ptr::NonNull<std::ffi::c_void>,
     len: usize,
+    /// `(device, inode)` of the mapped file, when the fstat at map time
+    /// succeeded — identifies the on-disk object independently of its path.
+    file_id: Option<(u64, u64)>,
 }
 
 #[cfg(all(unix, target_pointer_width = "64"))]
@@ -332,10 +356,12 @@ impl MmapFile {
     /// Maps `len` bytes of `file` read-only.  Fails (returns `None`) when the
     /// kernel refuses the mapping; zero-length files are never mapped.
     pub(crate) fn map(file: &std::fs::File, len: usize) -> Option<Self> {
+        use std::os::unix::fs::MetadataExt;
         use std::os::unix::io::AsRawFd;
         if len == 0 {
             return None;
         }
+        let file_id = file.metadata().ok().map(|m| (m.dev(), m.ino()));
         // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of a file we hold
         // open; the kernel validates the fd and length and returns MAP_FAILED
         // on error, which we check for.
@@ -355,6 +381,7 @@ impl MmapFile {
         Some(Self {
             ptr: std::ptr::NonNull::new(ptr)?,
             len,
+            file_id,
         })
     }
 

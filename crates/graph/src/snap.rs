@@ -41,19 +41,37 @@
 //!
 //! # Verification policy
 //!
-//! The header and TOC checksums, the section-table bounds, and the count
-//! cross-checks against the `Meta` section are verified on **every** load.
-//! Sections that are decoded into owned structures anyway (symbol table,
-//! string dictionary, index dictionaries) are always CRC-checked and
-//! validated field by field.  The big mapped runs (adjacency, posting nodes,
-//! condensation arrays, and the attribute tuple columns — decoded lazily,
-//! see [`crate::tuples::AttrTuples`]) are CRC-checked *and* field-validated
-//! by [`LoadMode::Heap`] and [`LoadMode::MmapVerified`]; plain
-//! [`LoadMode::Mmap`] skips them to keep the open truly lazy — use a
-//! verifying mode for files you do not trust (under plain mmap, a malformed
-//! attribute entry degrades to a skipped attribute at access time, never a
-//! panic).  Loading never causes undefined behaviour in any mode: every
-//! mapped window is bounds- and alignment-checked before it is wrapped.
+//! The header and TOC checksums, the section-table bounds, the count
+//! cross-checks against the `Meta` section, and a linear
+//! monotonicity-and-span scan over **every** offsets run are verified on
+//! **every** load — the offsets scan is what lets the slice accessors
+//! (`Csr::neighbors` and friends) index without bounds branches: no corrupt
+//! offset can survive a successful open.  Sections that are decoded into
+//! owned structures anyway (symbol table, string dictionary, index
+//! dictionaries) are always CRC-checked and validated field by field.  The
+//! big mapped runs (adjacency targets, posting nodes, condensation arrays,
+//! and the attribute tuple columns — decoded lazily, see
+//! [`crate::tuples::AttrTuples`]) are CRC-checked *and* field-validated by
+//! [`LoadMode::Heap`] and [`LoadMode::MmapVerified`]; plain
+//! [`LoadMode::Mmap`] skips those passes to keep the open truly lazy — use
+//! a verifying mode for files you do not trust (under plain mmap, a
+//! malformed attribute entry degrades to a skipped attribute at access
+//! time, never a panic).  Loading never causes undefined behaviour in any
+//! mode: every mapped window is bounds- and alignment-checked before it is
+//! wrapped.
+//!
+//! # External modification hazard
+//!
+//! A mapped load ([`LoadMode::Mmap`] / [`LoadMode::MmapVerified`]) borrows
+//! the file's pages for the lifetime of the graph.  The mapping is private
+//! and read-only, but it cannot protect against **another process**
+//! truncating or rewriting the file in place while it is mapped: touching a
+//! page past a new, shorter EOF raises `SIGBUS`, and in-place rewrites can
+//! be observed as torn data.  Replacing the file via `rename(2)` is always
+//! safe — the mapping keeps the old inode alive — and
+//! [`GraphSnapshot::save`] itself only ever publishes by rename.  Where the
+//! file may be truncated or rewritten in place by other software, load with
+//! [`LoadMode::Heap`].
 //!
 //! # Version policy
 //!
@@ -66,7 +84,8 @@ use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::attr::AttrValue;
@@ -96,8 +115,12 @@ const MAX_SECTIONS: u64 = 4096;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LoadMode {
     /// Zero-copy `mmap`; the big runs borrow the mapping and their checksums
-    /// are *not* verified (header, TOC and materialized sections always are).
-    /// Falls back to [`LoadMode::Heap`] when mapping is unavailable.
+    /// are *not* verified (header, TOC, every offsets run and the
+    /// materialized sections always are).  Falls back to [`LoadMode::Heap`]
+    /// when mapping is unavailable.  The file must not be truncated or
+    /// rewritten in place by another process while the graph is alive (see
+    /// the [module docs](crate::snap#external-modification-hazard));
+    /// replacing it via rename — as [`GraphSnapshot::save`] does — is safe.
     Mmap,
     /// Zero-copy `mmap` plus a full checksum pass over every section.
     MmapVerified,
@@ -137,6 +160,15 @@ pub enum SnapshotError {
         /// Human-readable description.
         what: String,
     },
+    /// Refused to save onto the file currently backing this graph's live
+    /// mapping.  Although saves are atomic (temp file + rename, so the
+    /// mapped inode itself would survive), replacing the source of a mapped
+    /// graph with a copy of itself is almost always a mistake — save to a
+    /// different path, or reload with [`LoadMode::Heap`] first.
+    OverwritesMapped {
+        /// The refused target path.
+        path: PathBuf,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -153,6 +185,12 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "snapshot checksum mismatch in {section}")
             }
             SnapshotError::Malformed { what } => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::OverwritesMapped { path } => write!(
+                f,
+                "refusing to save onto `{}`: it backs this graph's live mapping \
+                 (save to a different path, or reload with LoadMode::Heap)",
+                path.display()
+            ),
         }
     }
 }
@@ -462,25 +500,57 @@ struct TocEntry {
 /// one can be dropped as soon as it is on disk, which is what lets the
 /// large-tier datagen stream a snapshot without ever holding the whole graph
 /// (see `gtpq-datagen`).
+///
+/// Saves are **atomic**: the data streams into a hidden temp file next to
+/// the destination and [`finish`](Self::finish) renames it into place, so a
+/// crash or error mid-save never leaves a truncated or half-written file at
+/// the target path — a previously good snapshot there survives untouched.
+/// Dropping an unfinished writer removes the temp file.
 pub struct SnapshotWriter {
     w: BufWriter<File>,
     pos: u64,
     toc: Vec<TocEntry>,
     epoch: u64,
+    /// Final destination; data streams into `tmp_path` until `finish`
+    /// renames it over this.
+    dest: PathBuf,
+    tmp_path: PathBuf,
     finished: bool,
 }
 
+/// A unique hidden sibling of `dest` for in-progress writes (pid + a
+/// process-wide counter, so concurrent writers never collide).
+fn tmp_sibling(dest: &Path) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = dest
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".to_owned());
+    dest.with_file_name(format!(".{name}.{}.{seq}.tmp", std::process::id()))
+}
+
 impl SnapshotWriter {
-    /// Creates `path` (truncating any existing file) and reserves the header.
+    /// Opens a writer targeting `path` and reserves the header.  Nothing
+    /// appears at `path` until [`finish`](Self::finish) atomically renames
+    /// the finished temp file over it.
     pub fn create<P: AsRef<Path>>(path: P, epoch: u64) -> Result<Self, SnapshotError> {
-        let file = File::create(path)?;
+        let dest = path.as_ref().to_path_buf();
+        let tmp_path = tmp_sibling(&dest);
+        let file = File::create(&tmp_path)?;
         let mut w = BufWriter::new(file);
-        w.write_all(&[0u8; HEADER_LEN as usize])?;
+        if let Err(e) = w.write_all(&[0u8; HEADER_LEN as usize]) {
+            drop(w);
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e.into());
+        }
         Ok(Self {
             w,
             pos: HEADER_LEN,
             toc: Vec::new(),
             epoch,
+            dest,
+            tmp_path,
             finished: false,
         })
     }
@@ -550,7 +620,8 @@ impl SnapshotWriter {
         self.section(SectionKind::Meta, &counts.to_words())
     }
 
-    /// Writes the TOC, seeks back to patch the header, and flushes.
+    /// Writes the TOC, seeks back to patch the header, flushes and syncs the
+    /// temp file, then atomically renames it over the destination path.
     pub fn finish(mut self) -> Result<(), SnapshotError> {
         self.pad_to_alignment()?;
         let toc_offset = self.pos;
@@ -582,8 +653,20 @@ impl SnapshotWriter {
         self.w.seek(SeekFrom::Start(0))?;
         self.w.write_all(&header)?;
         self.w.flush()?;
+        // Durability before visibility: the rename must never publish a file
+        // whose pages are still only in the page cache of a dying process.
+        self.w.get_ref().sync_all()?;
+        std::fs::rename(&self.tmp_path, &self.dest)?;
         self.finished = true;
         Ok(())
+    }
+}
+
+impl Drop for SnapshotWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = std::fs::remove_file(&self.tmp_path);
+        }
     }
 }
 
@@ -792,11 +875,39 @@ fn write_condensation_sections(
     Ok(())
 }
 
+/// The `(device, inode)` identity of the file at `path`, when it exists.
+#[cfg(unix)]
+fn file_id_of(path: &Path) -> Option<(u64, u64)> {
+    use std::os::unix::fs::MetadataExt;
+    std::fs::metadata(path).ok().map(|m| (m.dev(), m.ino()))
+}
+
+#[cfg(not(unix))]
+fn file_id_of(_path: &Path) -> Option<(u64, u64)> {
+    None
+}
+
 impl GraphSnapshot {
     /// Serializes this epoch's graph and condensation to `path` as a `.gtpq`
     /// binary snapshot.  Only the *committed* state is written; a live
     /// handle's staged-but-uncommitted operations are not part of a snapshot.
+    ///
+    /// The save is atomic: data streams into a temp file next to `path`
+    /// which is renamed over it only once complete, so a failed save never
+    /// corrupts a previously good snapshot at `path`.  Saving onto the file
+    /// currently backing this graph's own mapping is refused with
+    /// [`SnapshotError::OverwritesMapped`].
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
+        let path = path.as_ref();
+        let backing = self
+            .graph()
+            .backing_file_id()
+            .or_else(|| self.condensation().backing_file_id());
+        if backing.is_some() && backing == file_id_of(path) {
+            return Err(SnapshotError::OverwritesMapped {
+                path: path.to_path_buf(),
+            });
+        }
         let mut w = SnapshotWriter::create(path, self.epoch())?;
         let mut counts = MetaCounts::default();
         write_graph_sections(&mut w, self.graph(), &mut counts)?;
@@ -814,6 +925,14 @@ impl GraphSnapshot {
     /// Zero-copy open: maps the file and serves the big runs straight from
     /// the mapping.  Equivalent to [`GraphSnapshot::open`] with
     /// [`LoadMode::Mmap`].
+    ///
+    /// While the returned graph is alive the file must not be truncated or
+    /// rewritten in place by another process — a changed page under the
+    /// mapping means `SIGBUS` or torn reads (see the
+    /// [module docs](crate::snap#external-modification-hazard)).  Replacing
+    /// the file atomically via rename (what [`GraphSnapshot::save`] does) is
+    /// safe; where in-place modification is possible, use
+    /// [`GraphSnapshot::open_heap`] instead.
     pub fn open_mmap<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
         Self::open(path, LoadMode::Mmap)
     }
@@ -904,9 +1023,13 @@ impl Loader {
         Ok(decode_elems::<T>(&self.bytes.as_slice()[s.offset..s.offset + s.byte_len]).into())
     }
 
-    /// Loads a CSR whose runs were written by the snapshot writer, spot-
-    /// checking the O(1) structural invariants (`offsets[0] == 0`,
-    /// `offsets[n] == target count`).
+    /// Loads a CSR whose runs were written by the snapshot writer, checking
+    /// the structural invariants the slice accessors rely on: `offsets[0] ==
+    /// 0`, `offsets[n] == target count`, and monotonicity.  The linear scan
+    /// runs in **every** load mode (it is O(n) over `u32`s, far cheaper than
+    /// a parse) so a corrupt offset under plain [`LoadMode::Mmap`] surfaces
+    /// as a typed error at load time, never as an out-of-bounds panic inside
+    /// [`Csr::neighbors`] at query time.
     fn csr<T: SectionElem>(
         &self,
         offsets_kind: SectionKind,
@@ -916,15 +1039,28 @@ impl Loader {
     ) -> Result<Csr<T>, SnapshotError> {
         let offsets: IntRun<u32> = self.run(offsets_kind, sources + 1)?;
         let target_run: IntRun<T> = self.run(targets_kind, targets)?;
-        let first = offsets.first().copied().unwrap_or(u32::MAX);
-        let last = offsets.last().copied().unwrap_or(u32::MAX);
-        if first != 0 || last as u64 != targets {
-            return Err(malformed(format!(
-                "CSR {offsets_kind:?} does not span its target run"
-            )));
-        }
+        check_offsets_span(&offsets, targets, kind_name(offsets_kind))?;
         Ok(Csr::from_parts(offsets, target_run))
     }
+}
+
+/// Validates an offsets run: leading `0`, final value equal to the target
+/// count, and monotone throughout — together these bound every `lo..hi`
+/// window an accessor will ever slice out of the target run.
+fn check_offsets_span(
+    offsets: &[u32],
+    targets: u64,
+    what: &'static str,
+) -> Result<(), SnapshotError> {
+    let first = offsets.first().copied().unwrap_or(u32::MAX);
+    let last = offsets.last().copied().unwrap_or(u32::MAX);
+    if first != 0 || last as u64 != targets {
+        return Err(malformed(format!("{what} does not span its target run")));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(malformed(format!("{what} is non-monotone")));
+    }
+    Ok(())
 }
 
 fn kind_name(kind: SectionKind) -> &'static str {
@@ -1188,15 +1324,8 @@ fn decode_graph(l: &Loader) -> Result<DataGraph, SnapshotError> {
     let attr_names: IntRun<Symbol> = l.run(SectionKind::AttrNames, c.attrs)?;
     let attr_tags: IntRun<u8> = l.run(SectionKind::AttrTags, c.attrs)?;
     let attr_payloads: IntRun<u64> = l.run(SectionKind::AttrPayloads, c.attrs)?;
-    if attr_offsets.first().copied() != Some(0)
-        || attr_offsets.last().copied().map(u64::from) != Some(c.attrs)
-    {
-        return Err(malformed("AttrOffsets does not span the attribute runs"));
-    }
+    check_offsets_span(&attr_offsets, c.attrs, "AttrOffsets")?;
     if l.verify_all {
-        if attr_offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(malformed("AttrOffsets is non-monotone"));
-        }
         if attr_names.iter().any(|name| name.index() >= sym_count) {
             return Err(malformed("attribute name symbol out of range"));
         }
@@ -1266,11 +1395,7 @@ fn decode_index(
     let val_payloads: IntRun<u64> = l.run(SectionKind::ValPayloads, c.value_slots)?;
     let value_offsets: IntRun<u32> = l.run(SectionKind::ValOffsets, c.value_slots + 1)?;
     let value_nodes: IntRun<NodeId> = l.run(SectionKind::ValNodes, c.value_nodes)?;
-    if value_offsets.first().copied() != Some(0)
-        || value_offsets.last().copied().map(u64::from) != Some(c.value_nodes)
-    {
-        return Err(malformed("ValOffsets does not span its node run"));
-    }
+    check_offsets_span(&value_offsets, c.value_nodes, "ValOffsets")?;
     let mut value_slots: HashMap<Symbol, HashMap<AttrValue, u32>> = HashMap::new();
     for slot in 0..slot_count {
         let sym = val_syms[slot];
@@ -1293,11 +1418,7 @@ fn decode_index(
     let name_syms: IntRun<Symbol> = l.run(SectionKind::NameSyms, c.name_slots)?;
     let name_offsets: IntRun<u32> = l.run(SectionKind::NameOffsets, c.name_slots + 1)?;
     let name_nodes: IntRun<NodeId> = l.run(SectionKind::NameNodes, c.name_nodes)?;
-    if name_offsets.first().copied() != Some(0)
-        || name_offsets.last().copied().map(u64::from) != Some(c.name_nodes)
-    {
-        return Err(malformed("NameOffsets does not span its node run"));
-    }
+    check_offsets_span(&name_offsets, c.name_nodes, "NameOffsets")?;
     let mut name_slots: HashMap<Symbol, u32> = HashMap::with_capacity(name_count);
     for slot in 0..name_count {
         let sym = name_syms[slot];
@@ -1317,11 +1438,7 @@ fn decode_index(
     let int_offsets: IntRun<u32> = l.run(SectionKind::IntOffsets, c.int_attrs + 1)?;
     let int_values: IntRun<i64> = l.run(SectionKind::IntValues, c.int_pairs)?;
     let int_nodes: IntRun<NodeId> = l.run(SectionKind::IntNodes, c.int_pairs)?;
-    if int_offsets.first().copied() != Some(0)
-        || int_offsets.last().copied().map(u64::from) != Some(c.int_pairs)
-    {
-        return Err(malformed("IntOffsets does not span its pair runs"));
-    }
+    check_offsets_span(&int_offsets, c.int_pairs, "IntOffsets")?;
     let mut int_runs: HashMap<Symbol, IntPairs> = HashMap::with_capacity(int_count);
     for i in 0..int_count {
         let sym = int_syms[i];
@@ -1330,9 +1447,6 @@ fn decode_index(
         }
         let lo = int_offsets[i] as usize;
         let hi = int_offsets[i + 1] as usize;
-        if lo > hi {
-            return Err(malformed("IntOffsets is non-monotone"));
-        }
         let pairs = IntPairs {
             values: int_values.slice(lo..hi),
             nodes: int_nodes.slice(lo..hi),
@@ -1440,6 +1554,117 @@ mod tests {
         // The CSR target run of a loaded graph is a mapped view, not a copy
         // (on any platform: the heap fallback also shares its buffer).
         assert!(loaded.graph().fwd.targets_raw().len() == 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_is_atomic_and_an_abandoned_writer_cleans_up() {
+        let snap = sample_snapshot();
+        // A private directory: the leftover scan below must not observe
+        // other tests' in-flight temp files.
+        let dir = std::env::temp_dir().join("gtpq-snap-unit-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.gtpq");
+        snap.save(&path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // A writer that dies mid-save must leave the good file untouched and
+        // remove its temp sibling.
+        {
+            let mut w = SnapshotWriter::create(&path, 7).unwrap();
+            w.section(SectionKind::FwdOffsets, &[0u32, 1]).unwrap();
+            // dropped without finish()
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), pristine);
+        let dir = path.parent().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+
+        // A completed save over an existing file replaces it wholesale.
+        snap.save(&path).unwrap();
+        GraphSnapshot::open_heap(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refuses_to_save_onto_the_file_backing_its_own_mapping() {
+        let snap = sample_snapshot();
+        let path = tmp("self-save.gtpq");
+        snap.save(&path).unwrap();
+        let loaded = GraphSnapshot::open_mmap(&path).unwrap();
+        if loaded.graph().backing_file_id().is_none() {
+            // Mapping unavailable on this platform: nothing to protect.
+            let _ = std::fs::remove_file(&path);
+            return;
+        }
+        assert!(matches!(
+            loaded.save(&path),
+            Err(SnapshotError::OverwritesMapped { .. })
+        ));
+        // The refusal leaves the file and the live mapping fully intact.
+        assert_eq!(loaded.graph(), snap.graph());
+        GraphSnapshot::open_heap(&path).unwrap();
+        // A different target is fine, even while the mapping is alive.
+        let other = tmp("self-save-other.gtpq");
+        loaded.save(&other).unwrap();
+        GraphSnapshot::open_heap(&other).unwrap();
+        // A heap load borrows nothing, so overwriting its source is allowed.
+        let heap = GraphSnapshot::open_heap(&path).unwrap();
+        heap.save(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&other);
+    }
+
+    /// Locates the file offset of `kind`'s section data by parsing the TOC
+    /// the way a reader would.
+    fn section_offset(bytes: &[u8], kind: SectionKind) -> usize {
+        let section_count = read_u64(bytes, 16) as usize;
+        let toc_offset = read_u64(bytes, 24) as usize;
+        for i in 0..section_count {
+            let at = toc_offset + i * TOC_ENTRY_LEN as usize;
+            if read_u32(bytes, at) == kind as u32 {
+                return read_u64(bytes, at + 8) as usize;
+            }
+        }
+        panic!("section {kind:?} not found");
+    }
+
+    #[test]
+    fn corrupt_middle_offset_fails_typed_under_plain_mmap() {
+        let snap = sample_snapshot();
+        let path = tmp("bad-offsets.gtpq");
+        snap.save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Stomp a middle FwdOffsets entry (plain Mmap never CRCs this run,
+        // so only the load-time monotonicity scan can catch it).
+        let at = section_offset(&good, SectionKind::FwdOffsets) + 4;
+        let mut bad = good.clone();
+        bad[at..at + 4].copy_from_slice(&0xFFFFu32.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        for mode in [LoadMode::Mmap, LoadMode::MmapVerified, LoadMode::Heap] {
+            assert!(
+                GraphSnapshot::open(&path, mode).is_err(),
+                "non-monotone FwdOffsets accepted under {mode:?}"
+            );
+        }
+
+        // Same for a posting offsets run consumed by index probes.
+        let at = section_offset(&good, SectionKind::ValOffsets) + 4;
+        let mut bad = good.clone();
+        bad[at..at + 4].copy_from_slice(&0xFFFFu32.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(
+            GraphSnapshot::open_mmap(&path).is_err(),
+            "non-monotone ValOffsets accepted under plain mmap"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -44,11 +44,20 @@ impl AttrColumns {
     /// skipped rather than panicking.
     fn decode(&self) -> Vec<Vec<Attribute>> {
         let n = self.offsets.len().saturating_sub(1);
+        // Clamp every span to the shortest column so a corrupt offset (a
+        // mapped file damaged on disk after load) degrades to a truncated
+        // tuple — it can neither size a multi-GB allocation nor spin through
+        // billions of per-entry bounds checks below.
+        let entries = self
+            .names
+            .len()
+            .min(self.tags.len())
+            .min(self.payloads.len());
         let mut out = Vec::with_capacity(n);
         for v in 0..n {
-            let lo = self.offsets[v] as usize;
-            let hi = self.offsets[v + 1] as usize;
-            let mut tuple = Vec::with_capacity(hi.saturating_sub(lo));
+            let lo = (self.offsets[v] as usize).min(entries);
+            let hi = (self.offsets[v + 1] as usize).clamp(lo, entries);
+            let mut tuple = Vec::with_capacity(hi - lo);
             for i in lo..hi {
                 let (Some(&name), Some(&tag), Some(&payload)) =
                     (self.names.get(i), self.tags.get(i), self.payloads.get(i))
@@ -142,6 +151,17 @@ impl AttrTuples {
     /// commit path.
     pub fn to_tuples_vec(&self) -> Vec<Vec<Attribute>> {
         self.tuples().to_vec()
+    }
+
+    /// The `(device, inode)` of the snapshot file the columns borrow, when
+    /// this store is a mapped view (see [`crate::snap`]).
+    pub(crate) fn backing_file_id(&self) -> Option<(u64, u64)> {
+        let c = self.columns.as_ref()?;
+        c.offsets
+            .backing_file_id()
+            .or_else(|| c.names.backing_file_id())
+            .or_else(|| c.tags.backing_file_id())
+            .or_else(|| c.payloads.backing_file_id())
     }
 }
 

@@ -281,6 +281,13 @@ impl QueryService {
 
     /// Opens a `.gtpq` snapshot with zero-copy mapping and serves queries
     /// straight from the file pages — the O(page-fault) cold-start path.
+    ///
+    /// While the service is alive the file must not be truncated or
+    /// rewritten in place by another process (`SIGBUS`/torn reads — the
+    /// mmap tradeoff; see `gtpq_graph::snap`'s external-modification-hazard
+    /// docs).  Atomic replacement via rename, which `GraphSnapshot::save`
+    /// always uses, is safe.  Where in-place modification is possible, load
+    /// with `LoadMode::Heap` and use [`QueryService::from_snapshot`].
     pub fn open_snapshot<P: AsRef<std::path::Path>>(
         path: P,
         config: ServiceConfig,
