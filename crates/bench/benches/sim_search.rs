@@ -1,0 +1,121 @@
+//! Similarity search: exact verify-all scan vs. the pivot block-and-verify
+//! filter.
+//!
+//! The embedded-text workload plants near-duplicate clusters whose ground
+//! truth is provable from the generator parameters alone
+//! (`gtpq_datagen::generate_embed`): a radius query at a cluster center with
+//! `EmbedConfig::recall_radius` retrieves exactly that cluster's members.
+//! The verify-all path computes the exact L2 distance to every indexed
+//! vector (O(n · dim) per query — the only path a similarity-blind engine
+//! has); the pivot path runs `SimTable::within_l2`, which discards most
+//! entries with a handful of triangle-inequality tests per entry and only
+//! verifies the survivors.  Both paths are asserted to return the planted
+//! cluster — bit-identical postings — before any sampling starts.
+//!
+//! Set `GTPQ_BENCH_QUICK=1` for the CI smoke run (fewer samples, smaller
+//! corpus); the recorded baseline lives in
+//! `crates/bench/baselines/BENCH_sim_search.json`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtpq_datagen::{generate_embed, EmbedConfig};
+use gtpq_graph::{NodeId, SimTable};
+
+fn quick() -> bool {
+    std::env::var("GTPQ_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn config() -> EmbedConfig {
+    if quick() {
+        EmbedConfig {
+            clusters: 16,
+            cluster_size: 8,
+            dim: 16,
+            ..EmbedConfig::default()
+        }
+    } else {
+        // 1024 documents at dim 32 — large enough that per-query work
+        // dominates, small enough to build in milliseconds.
+        EmbedConfig::default()
+    }
+}
+
+/// The exact-only path: L2 distance to every indexed vector, no filter.
+/// Uses the same `gtpq_sim::l2` kernel as the verify step, so the two paths
+/// differ only in how many exact distances they pay for.
+fn verify_all(table: &SimTable, query: &[f32], radius: f32) -> Vec<NodeId> {
+    (0..table.len())
+        .filter(|&i| gtpq_sim::l2(table.vector(i), query) < radius)
+        .map(|i| table.indexed_nodes()[i])
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = config();
+    let graph = generate_embed(&cfg);
+    let table = graph.sim_table("emb").expect("docs carry `emb` vectors");
+    let radius = cfg.recall_radius();
+    let centers = cfg.centers();
+
+    // Correctness pre-pass: at every cluster center both paths must return
+    // exactly the planted cluster — recall and precision by construction.
+    for (cluster, center) in centers.iter().enumerate() {
+        let expected: Vec<NodeId> = (0..cfg.cluster_size)
+            .map(|m| NodeId((cfg.topics + cluster * cfg.cluster_size + m) as u32))
+            .collect();
+        let exact = verify_all(table, center, radius);
+        assert_eq!(exact, expected, "verify-all misses cluster {cluster}");
+        let filtered = table.within_l2(center, radius, false);
+        assert_eq!(
+            filtered.nodes, expected,
+            "pivot filter misses cluster {cluster}"
+        );
+        assert_eq!(
+            filtered.pruned + filtered.verified,
+            table.len() as u64,
+            "cluster {cluster}: pruning accounting"
+        );
+    }
+
+    let mut group = c.benchmark_group("sim_search");
+    if quick() {
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(50));
+        group.measurement_time(Duration::from_millis(200));
+    } else {
+        group.sample_size(20);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(1500));
+    }
+
+    let queries: Vec<&[f32]> = centers.iter().map(Vec::as_slice).collect();
+    group.bench_with_input(
+        BenchmarkId::new("verify_all", "embed"),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| verify_all(table, q, radius).len())
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("pivot_filter", "embed"),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| table.within_l2(q, radius, false).nodes.len())
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

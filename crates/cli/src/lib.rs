@@ -45,7 +45,10 @@ USAGE:
     gtpq-cli [OPTIONS] --query TEXT    evaluate one query and exit
 
 OPTIONS:
-    --dataset NAME    dblp | arxiv | xmark          [default: dblp]
+    --dataset NAME    dblp | arxiv | xmark | embed  [default: dblp]
+                      (embed: documents with pseudo-embedding vectors and
+                      planted near-duplicate clusters, for `sim(...)`
+                      similarity queries)
     --scale FACTOR    dataset size multiplier       [default: 1.0]
     --seed N          generator seed                [default: 42]
     --backend NAME    auto | closure | 3hop | chain | contour | sspi | interval
@@ -108,6 +111,9 @@ pub enum Dataset {
     Arxiv,
     /// XMark-like auction graph with IDREF cross edges.
     Xmark,
+    /// Embedded-text corpus: documents carrying pseudo-embedding vectors
+    /// with planted near-duplicate clusters (for `sim(...)` queries).
+    Embed,
 }
 
 impl Dataset {
@@ -117,8 +123,9 @@ impl Dataset {
             "dblp" => Ok(Dataset::Dblp),
             "arxiv" => Ok(Dataset::Arxiv),
             "xmark" => Ok(Dataset::Xmark),
+            "embed" => Ok(Dataset::Embed),
             other => Err(format!(
-                "unknown dataset `{other}` (expected dblp, arxiv or xmark)"
+                "unknown dataset `{other}` (expected dblp, arxiv, xmark or embed)"
             )),
         }
     }
@@ -129,6 +136,7 @@ impl Dataset {
             Dataset::Dblp => "dblp",
             Dataset::Arxiv => "arxiv",
             Dataset::Xmark => "xmark",
+            Dataset::Embed => "embed",
         }
     }
 
@@ -152,6 +160,14 @@ impl Dataset {
                 let mut config = gtpq_datagen::XmarkConfig::with_scale(0.1 * scale);
                 config.seed = seed;
                 gtpq_datagen::generate_xmark(&config)
+            }
+            Dataset::Embed => {
+                let base = gtpq_datagen::EmbedConfig::default();
+                gtpq_datagen::generate_embed(&gtpq_datagen::EmbedConfig {
+                    clusters: ((base.clusters as f64 * scale).round() as usize).max(2),
+                    seed,
+                    ..base
+                })
             }
         }
     }

@@ -609,3 +609,54 @@ fn ingest_command_mutates_the_live_graph_and_queries_see_it() {
     };
     assert!(err.contains("expected `:ingest"), "{err}");
 }
+
+#[test]
+fn embed_dataset_answers_sim_queries_one_shot() {
+    // --scale 0.1 → 6 planted clusters of 16 docs each (dim 32).  The query
+    // vector spikes coordinate 0 to 8.0 — cluster 0's planted spike — so a
+    // radius-7 L2 query retrieves exactly cluster 0: every member is within
+    // √31 + noise of the query, every foreign member at least √(7² + 7²)
+    // away (its own spike axis and axis 0 both differ by ≥ 7).
+    let mut components = vec!["8".to_owned()];
+    components.extend(std::iter::repeat_n("0".to_owned(), 31));
+    let query = format!("[label = doc, sim(emb, [{}]) < 7]*", components.join(", "));
+    let opts = CliOptions::parse(
+        [
+            "--dataset",
+            "embed",
+            "--scale",
+            "0.1",
+            "--limit",
+            "100",
+            "--stats",
+        ]
+        .map(String::from),
+    )
+    .unwrap();
+    assert_eq!(opts.dataset, Dataset::Embed);
+    let mut session = Session::new(&opts).unwrap();
+    assert!(session.banner().contains("dataset embed"));
+
+    let mut out = Vec::new();
+    let result = gtpq_cli::run_once(&mut session, &query, &mut out).unwrap();
+    assert!(result.is_ok(), "{result:?}");
+    let out = String::from_utf8(out).unwrap();
+    assert!(out.contains("16 rows"), "{out}");
+
+    // `:explain analyze` surfaces the similarity access path with actuals.
+    let explained = match session.handle(&format!(":explain analyze {query}")) {
+        Outcome::Continue(text) => text,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    assert!(explained.contains("PivotScan u0"), "{explained}");
+    assert!(explained.contains("actual 16 rows"), "{explained}");
+
+    // A malformed vector literal renders a caret-annotated parse error and
+    // a non-zero one-shot outcome.
+    let bad = "[label = doc, sim(emb, [1, oops]) < 3]*";
+    let mut out = Vec::new();
+    let result = gtpq_cli::run_once(&mut session, bad, &mut out).unwrap();
+    let diagnostic = result.expect_err("malformed vector literal must not parse");
+    assert!(diagnostic.contains('^'), "no caret in: {diagnostic}");
+    assert!(diagnostic.contains("oops"), "{diagnostic}");
+}

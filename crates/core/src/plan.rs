@@ -6,12 +6,15 @@
 //! query-node id.  This module makes the pipeline an explicit, inspectable
 //! value — a [`QueryPlan`] — chosen per query by a [`Planner`]:
 //!
-//! * **Candidate selection** becomes one operator per query node, either an
+//! * **Candidate selection** becomes one operator per query node: an
 //!   [`AccessPath::IndexScan`] (posting-list intersection through the
-//!   attribute inverted index) or an [`AccessPath::FullScan`] (predicate test
-//!   per node).  The planner estimates each node's candidate count from
-//!   posting lengths ([`Gtpq::estimate_candidates`]) and falls back to a full
-//!   scan only when the index cannot restrict the node set meaningfully.
+//!   attribute inverted index), an [`AccessPath::PivotScan`] (pivot-filtered
+//!   similarity selection for predicates with `sim(...)` conjuncts), or an
+//!   [`AccessPath::FullScan`] (predicate test per node).  The planner
+//!   estimates each node's candidate count from posting lengths and
+//!   pivot-table statistics ([`Gtpq::estimate_candidates`]) and falls back
+//!   to a full scan only when the index cannot restrict the node set
+//!   meaningfully.
 //! * **Downward pruning** is ordered by estimated candidate-set size instead
 //!   of query-node id: among the internal nodes whose (internal) children
 //!   have already been processed, the cheapest is pruned first, so small
@@ -50,6 +53,8 @@ pub(crate) fn record_selection(selection: &CandidateSelection, stats: &mut EvalS
     stats.input_nodes += selection.verified;
     stats.scanned_nodes += selection.verified;
     stats.index_lookups += selection.posting_entries;
+    stats.sim_pivot_filtered += selection.sim_pivot_filtered;
+    stats.sim_verified += selection.sim_verified;
     if selection.from_index {
         stats.index_hits += selection.nodes.len() as u64;
     }
@@ -61,6 +66,12 @@ pub enum AccessPath {
     /// Posting-list intersection through the attribute inverted index
     /// (per-node verification only for non-indexable comparisons).
     IndexScan,
+    /// Pivot-filtered similarity selection: the predicate carries `sim(...)`
+    /// conjuncts served by the graph's [`gtpq_graph::SimTable`]s — triangle-
+    /// inequality pruning over precomputed pivot distances, exact
+    /// verification only for survivors, intersected with any posting-backed
+    /// scalar comparisons.
+    PivotScan,
     /// Predicate test against every data node.
     FullScan,
 }
@@ -70,6 +81,7 @@ impl AccessPath {
     pub fn name(self) -> &'static str {
         match self {
             AccessPath::IndexScan => "IndexScan",
+            AccessPath::PivotScan => "PivotScan",
             AccessPath::FullScan => "FullScan",
         }
     }
@@ -394,12 +406,17 @@ impl<'g> Planner<'g> {
             .map(|u| {
                 let attr = &q.node(u).attr;
                 let indexable = attr.is_fully_indexable();
-                let access =
-                    if !attr.comparisons.is_empty() && !indexable && est[u.index()] * 10 >= n * 9 {
-                        AccessPath::FullScan
-                    } else {
-                        AccessPath::IndexScan
-                    };
+                let access = if !attr.sims.is_empty() {
+                    // Similarity conjuncts always go through the pivot
+                    // filter; its estimate (from the pivot-table statistics)
+                    // already reflects how selective the sim predicates are.
+                    AccessPath::PivotScan
+                } else if !attr.comparisons.is_empty() && !indexable && est[u.index()] * 10 >= n * 9
+                {
+                    AccessPath::FullScan
+                } else {
+                    AccessPath::IndexScan
+                };
                 CandidateStep {
                     node: u,
                     access,
@@ -570,7 +587,11 @@ fn execute_candidates_inner(
             .span_with(|| format!("{} {}", step.access.name(), u));
         let op_start = Instant::now();
         let nodes = match step.access {
-            AccessPath::IndexScan => {
+            // A pivot scan is the indexed selection with sim conjuncts in
+            // the predicate: `select_candidates` routes them through the
+            // graph's pivot tables and reports the filter counters, which
+            // `record_selection` folds into the sim stats.
+            AccessPath::IndexScan | AccessPath::PivotScan => {
                 let selection = q.candidates_indexed(g, u);
                 record_selection(&selection, stats);
                 selection.nodes
@@ -679,6 +700,50 @@ mod tests {
         let q = b.build().unwrap();
         let plan = Planner::new(&g).plan(&q);
         assert_eq!(plan.candidates[0].access, AccessPath::IndexScan);
+    }
+
+    #[test]
+    fn sim_predicates_plan_and_execute_as_pivot_scans() {
+        // 16 nodes with 4-dim embeddings in two well-separated clusters.
+        let mut b = gtpq_graph::GraphBuilder::new();
+        for i in 0..16u32 {
+            let base = if i % 2 == 0 { 0.0f32 } else { 8.0 };
+            b.add_node_with_attrs([
+                ("label", gtpq_graph::AttrValue::str("doc")),
+                (
+                    "emb",
+                    gtpq_graph::AttrValue::Vec(vec![base + i as f32 * 0.01, base, 0.0, 1.0]),
+                ),
+            ]);
+        }
+        let g = b.build();
+        let q: Gtpq = "[label = doc, sim(emb, [0, 0, 0, 1]) < 1]*"
+            .parse()
+            .unwrap();
+        let plan = Planner::new(&g).plan(&q);
+        assert_eq!(plan.candidates[0].access, AccessPath::PivotScan);
+        assert!(plan.render(&q).contains("PivotScan u0"));
+
+        let mut stats = EvalStats::default();
+        let mat = execute_candidates(&q, &g, &plan, &mut stats, &ExecCtl::unbounded()).unwrap();
+        // Exactly the even (near-origin) cluster survives.
+        assert_eq!(mat[0].len(), 8);
+        assert!(mat[0].iter().all(|v| v.0 % 2 == 0));
+        // The pivot filter discarded the far cluster without verification,
+        // and the counters add up to the indexed vector count.
+        assert!(stats.sim_verified >= 8);
+        assert_eq!(stats.sim_verified + stats.sim_pivot_filtered, 16);
+        assert!(stats.sim_filter_selectivity() > 0.0);
+        // `:explain analyze` gets an estimate-vs-actual row for the scan,
+        // and the estimation-error rollup folds it in.
+        let rendered = plan.render_with_actuals(&q, &stats);
+        assert!(
+            rendered.contains("PivotScan u0") && rendered.contains("actual 8 rows"),
+            "{rendered}"
+        );
+        assert!(stats.operators.iter().any(|o| o.label == "PivotScan u0"));
+        let est = plan.candidates[0].estimated_rows;
+        assert!(est >= 8, "pivot estimate {est} must upper-bound the answer");
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub struct EvalStats {
     /// Nodes whose attribute tuples were individually checked during
     /// candidate selection (verification of non-indexable comparisons).
     pub scanned_nodes: u64,
+    /// Indexed vectors discarded by the pivot filter's triangle-inequality
+    /// check during `sim(...)` candidate selection — each one an exact
+    /// distance computation avoided.
+    pub sim_pivot_filtered: u64,
+    /// Indexed vectors that survived the pivot filter and were verified with
+    /// an exact distance / cosine computation.
+    pub sim_verified: u64,
     /// Candidates remaining after the downward pruning round.
     pub candidates_after_downward: u64,
     /// Candidates of the prime subtree remaining after the upward round.
@@ -171,6 +178,14 @@ impl EvalStats {
     pub fn index_serve_rate(&self) -> f64 {
         serve_rate(self.index_hits, self.scanned_nodes)
     }
+
+    /// Fraction of sim-indexed vectors the pivot filter discarded without an
+    /// exact distance computation (0.0 when no `sim(...)` predicate ran).
+    /// The headline number for how much work the block-and-verify filter
+    /// saved over verifying every indexed vector.
+    pub fn sim_filter_selectivity(&self) -> f64 {
+        serve_rate(self.sim_pivot_filtered, self.sim_verified)
+    }
 }
 
 /// Shared serve-rate formula: index-served over everything touched during
@@ -247,5 +262,16 @@ mod tests {
         };
         assert!((stats.index_serve_rate() - 0.75).abs() < 1e-9);
         assert_eq!(EvalStats::default().index_serve_rate(), 0.0);
+    }
+
+    #[test]
+    fn sim_filter_selectivity_splits_filtered_and_verified() {
+        let stats = EvalStats {
+            sim_pivot_filtered: 90,
+            sim_verified: 10,
+            ..Default::default()
+        };
+        assert!((stats.sim_filter_selectivity() - 0.9).abs() < 1e-9);
+        assert_eq!(EvalStats::default().sim_filter_selectivity(), 0.0);
     }
 }

@@ -14,6 +14,9 @@
 //! * [`arxiv`] — denser and deeper citation/authorship graphs with labelled
 //!   papers (area/journal group) and authors (email-domain group),
 //! * [`dblp`] — the small bibliography graph of Example 1,
+//! * [`embed`] — embedded-text corpora for the similarity access path:
+//!   documents carrying deterministic pseudo-embeddings with planted
+//!   near-duplicate clusters whose recall is checkable by construction,
 //! * [`queries`] — the paper's query workloads: Q1–Q3 of Fig. 7, the Fig. 11
 //!   GTPQ suite of Tables 3–4, the DBLP queries of Example 1, and the random
 //!   query generator of §5.2,
@@ -26,6 +29,7 @@
 
 pub mod arxiv;
 pub mod dblp;
+pub mod embed;
 pub mod queries;
 pub mod stream;
 pub mod updates;
@@ -33,6 +37,7 @@ pub mod xmark;
 
 pub use arxiv::{generate_arxiv, ArxivConfig};
 pub use dblp::generate_dblp;
+pub use embed::{generate_embed, EmbedConfig};
 pub use queries::{
     dblp_queries, fig11_gtpq, fig11_output_variant, random_queries, random_text_query, xmark_q1,
     xmark_q2, xmark_q3, Fig11Predicate, RandomQueryConfig,

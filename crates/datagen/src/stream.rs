@@ -174,6 +174,11 @@ pub fn write_arxiv_snapshot<P: AsRef<Path>>(
     w.section(SectionKind::AttrNames, &attr_names)?;
     w.section(SectionKind::AttrTags, &attr_tags)?;
     w.section(SectionKind::AttrPayloads, &attr_payloads)?;
+    // The arXiv schema has no vector attributes; the v2 layout still carries
+    // an (empty) vector dictionary so the file stays byte-identical to the
+    // canonical save path.
+    w.section(SectionKind::VecOffsets, &[0u32])?;
+    w.section::<f32>(SectionKind::VecData, &[])?;
 
     // Value postings in canonical slot order: `(symbol, value)` with ints
     // before strings per symbol — here all `label` values are strings
@@ -271,6 +276,21 @@ pub fn write_arxiv_snapshot<P: AsRef<Path>>(
     w.section(SectionKind::IntOffsets, &int_offsets)?;
     w.section(SectionKind::IntValues, &cols.years)?;
     w.section(SectionKind::IntNodes, &int_nodes)?;
+
+    // No `sim(...)` tables either — the empty similarity catalog, in the
+    // same section order the canonical writer always emits.
+    w.section::<Symbol>(SectionKind::SimSyms, &[])?;
+    w.section::<u32>(SectionKind::SimDims, &[])?;
+    w.section(SectionKind::SimNodeOffsets, &[0u32])?;
+    w.section::<NodeId>(SectionKind::SimNodes, &[])?;
+    w.section(SectionKind::SimVecOffsets, &[0u32])?;
+    w.section::<f32>(SectionKind::SimVecData, &[])?;
+    w.section(SectionKind::SimPivotOffsets, &[0u32])?;
+    w.section::<f32>(SectionKind::SimPivotData, &[])?;
+    w.section(SectionKind::SimDistOffsets, &[0u32])?;
+    w.section::<f32>(SectionKind::SimDistData, &[])?;
+    w.section::<f32>(SectionKind::SimSortedHead, &[])?;
+    w.section::<f32>(SectionKind::SimNormBounds, &[])?;
 
     w.condensation_sections(&condensation, &mut counts)?;
     w.meta(&counts)?;

@@ -107,12 +107,14 @@ impl GraphBuilder {
         let fwd = crate::csr::Csr::from_sorted_pairs(n, &fwd_pairs);
         let rev = crate::csr::Csr::from_sorted_pairs(n, &rev_pairs);
         let index = crate::index::AttrIndex::build(&self.attrs);
+        let sims = crate::sim_index::SimCatalog::build(&self.attrs);
         DataGraph {
             symbols: self.symbols,
             fwd,
             rev,
             attrs: self.attrs.into(),
             index,
+            sims,
             edge_count,
         }
     }

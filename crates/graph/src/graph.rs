@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::attr::{AttrValue, Attribute};
 use crate::csr::Csr;
 use crate::index::AttrIndex;
+use crate::sim_index::{SimCatalog, SimTable};
 use crate::symbol::{Symbol, SymbolTable};
 use crate::tuples::AttrTuples;
 
@@ -50,6 +51,7 @@ pub struct DataGraph {
     pub(crate) rev: Csr<NodeId>,
     pub(crate) attrs: AttrTuples,
     pub(crate) index: AttrIndex,
+    pub(crate) sims: SimCatalog,
     pub(crate) edge_count: usize,
 }
 
@@ -81,6 +83,7 @@ impl DataGraph {
             .or_else(|| self.rev.backing_file_id())
             .or_else(|| self.attrs.backing_file_id())
             .or_else(|| self.index.backing_file_id())
+            .or_else(|| self.sims.backing_file_id())
     }
 
     /// Children (direct successors) of `v`, sorted by id.
@@ -204,6 +207,22 @@ impl DataGraph {
             Some(sym) => self.index.count_int_range(sym, lo, hi),
             None => 0,
         }
+    }
+
+    /// The similarity tables built alongside the graph (one per attribute
+    /// carrying embedding values).
+    #[inline]
+    pub fn sim_catalog(&self) -> &SimCatalog {
+        &self.sims
+    }
+
+    /// The similarity table for attribute `name`, when one exists.  The
+    /// pivot-filter access path is complete only for query vectors of the
+    /// table's [`dim`](SimTable::dim); callers with another dimensionality
+    /// fall back to [`nodes_with_attr_name`](Self::nodes_with_attr_name) plus
+    /// exact verification.
+    pub fn sim_table(&self, name: &str) -> Option<&SimTable> {
+        self.sims.get(self.symbols.get(name)?)
     }
 
     /// Returns the nodes whose attribute `name` equals `value`, as an owned

@@ -27,12 +27,25 @@ use crate::symbol::Symbol;
 /// Canonical ordering key for attribute values: ints before strings, each
 /// sorted naturally.  Both the full build and the incremental merge assign
 /// posting slots in `(Symbol, value_key)` order, which is what makes the two
-/// paths produce bit-identical indexes.
+/// paths produce bit-identical indexes.  Vector values never reach here —
+/// they are excluded from the equality postings (see [`indexable_by_value`])
+/// — but the key stays total for defensiveness.
 fn value_key(v: &AttrValue) -> (u8, i64, &str) {
     match v {
         AttrValue::Int(i) => (0, *i, ""),
         AttrValue::Str(s) => (1, 0, s.as_str()),
+        AttrValue::Vec(_) => (2, 0, ""),
     }
+}
+
+/// Whether a value participates in the per-`(attribute, value)` equality
+/// postings.  Embeddings do not: no query compares vectors with `=`, and
+/// similarity predicates go through the dedicated sim tables
+/// ([`crate::sim_index`]) instead.  Nodes carrying a vector attribute still
+/// enter the per-name postings — the fallback superset the verify-everything
+/// path scans.
+fn indexable_by_value(v: &AttrValue) -> bool {
+    !matches!(v, AttrValue::Vec(_))
 }
 
 /// Merges `base \ removed` with `added` (all sorted by node id) into `out`.
@@ -135,10 +148,12 @@ impl AttrIndex {
         for (i, tuple) in attrs.iter().enumerate() {
             let v = NodeId(i as u32);
             for attr in tuple {
-                by_value
-                    .entry((attr.name, attr.value.clone()))
-                    .or_default()
-                    .push(v);
+                if indexable_by_value(&attr.value) {
+                    by_value
+                        .entry((attr.name, attr.value.clone()))
+                        .or_default()
+                        .push(v);
+                }
                 by_name.entry(attr.name).or_default().push(v);
                 if let AttrValue::Int(value) = attr.value {
                     int_runs.entry(attr.name).or_default().push((value, v));
@@ -214,6 +229,11 @@ impl AttrIndex {
         fn ord(sym: Symbol, value: &AttrValue) -> (Symbol, (u8, i64, &str)) {
             (sym, value_key(value))
         }
+        // Vector values never enter the equality postings (see
+        // `indexable_by_value`), so their deltas only matter to the per-name
+        // postings, which `name_added` already carries.
+        removed.retain(|e| indexable_by_value(&e.1));
+        added.retain(|e| indexable_by_value(&e.1));
         removed.sort_unstable_by(|a, b| (ord(a.0, &a.1), a.2).cmp(&(ord(b.0, &b.1), b.2)));
         added.sort_unstable_by(|a, b| (ord(a.0, &a.1), a.2).cmp(&(ord(b.0, &b.1), b.2)));
         name_added.sort_unstable();

@@ -11,8 +11,9 @@
 //! ```
 //!
 //! Attribute values are strings by default; an `:int` suffix on the name
-//! parses the value as an integer.  The format is whitespace separated, so
-//! string values must not contain spaces.
+//! parses the value as an integer, and a `:vec` suffix parses it as a
+//! comma-separated f32 embedding (`emb:vec=0.5,1,-2.25`).  The format is
+//! whitespace separated, so string values must not contain spaces.
 //!
 //! Live graphs serialize through [`handle_to_text`] / [`handle_from_text`],
 //! which extend the format with the mutation state a [`GraphHandle`] carries
@@ -129,19 +130,8 @@ pub fn from_text(text: &str) -> Result<DataGraph, ParseError> {
                 }
                 let v = builder.add_node();
                 for tok in parts {
-                    let (name, value) = tok.split_once('=').ok_or(ParseError::BadAttribute {
-                        line,
-                        token: tok.to_owned(),
-                    })?;
-                    if let Some(stripped) = name.strip_suffix(":int") {
-                        let i: i64 = value.parse().map_err(|_| ParseError::BadAttribute {
-                            line,
-                            token: tok.to_owned(),
-                        })?;
-                        builder.set_attr(v, stripped, AttrValue::Int(i));
-                    } else {
-                        builder.set_attr(v, name, AttrValue::str(value));
-                    }
+                    let (name, value) = parse_attr_token(line, tok)?;
+                    builder.set_attr(v, &name, value);
                 }
             }
             Some("edge") => {
@@ -187,6 +177,16 @@ fn write_attr_token(out: &mut String, name: &str, value: &AttrValue) {
         AttrValue::Str(s) => {
             let _ = write!(out, " {name}={s}");
         }
+        AttrValue::Vec(v) => {
+            let _ = write!(out, " {name}:vec=");
+            for (i, x) in v.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                // `{}` prints the shortest digits that round-trip the f32.
+                let _ = write!(out, "{x}");
+            }
+        }
     }
 }
 
@@ -201,6 +201,18 @@ fn parse_attr_token(line: usize, tok: &str) -> Result<(String, AttrValue), Parse
             token: tok.to_owned(),
         })?;
         Ok((stripped.to_owned(), AttrValue::Int(i)))
+    } else if let Some(stripped) = name.strip_suffix(":vec") {
+        let mut floats = Vec::new();
+        if !value.is_empty() {
+            for part in value.split(',') {
+                let x: f32 = part.parse().map_err(|_| ParseError::BadAttribute {
+                    line,
+                    token: tok.to_owned(),
+                })?;
+                floats.push(x);
+            }
+        }
+        Ok((stripped.to_owned(), AttrValue::Vec(floats)))
     } else {
         Ok((name.to_owned(), AttrValue::str(value)))
     }
@@ -381,6 +393,28 @@ mod tests {
         assert_eq!(
             g2.attribute_value(NodeId(1), LABEL_ATTR),
             Some(&AttrValue::str("paper"))
+        );
+    }
+
+    #[test]
+    fn vector_attributes_round_trip() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_label("doc");
+        b.set_attr(a, "emb", AttrValue::Vec(vec![0.5, -1.0, 2.25]));
+        let g = b.build();
+        let text = to_text(&g);
+        assert!(text.contains("emb:vec=0.5,-1,2.25"), "{text}");
+        let g2 = from_text(&text).unwrap();
+        assert_eq!(
+            g2.attribute_value(a, "emb"),
+            Some(&AttrValue::Vec(vec![0.5, -1.0, 2.25]))
+        );
+        assert!(from_text("node 0 emb:vec=1.0,oops\n").is_err());
+        assert_eq!(
+            from_text("node 0 emb:vec=\n")
+                .unwrap()
+                .attribute_value(NodeId(0), "emb"),
+            Some(&AttrValue::Vec(Vec::new()))
         );
     }
 

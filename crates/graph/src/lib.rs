@@ -53,6 +53,7 @@ pub mod index;
 pub mod io;
 pub mod mutate;
 pub mod run;
+pub mod sim_index;
 pub mod snap;
 pub mod stats;
 pub mod symbol;
@@ -67,6 +68,7 @@ pub use graph::{DataGraph, NodeId};
 pub use index::AttrIndex;
 pub use mutate::{GraphHandle, GraphSnapshot, MutationConfig, MutationStats, PendingOp};
 pub use run::{IntRun, RunElem};
+pub use sim_index::{SimCatalog, SimMatches, SimTable};
 pub use snap::{LoadMode, MetaCounts, SectionElem, SectionKind, SnapshotError, SnapshotWriter};
 pub use stats::GraphStats;
 pub use symbol::{Symbol, SymbolTable};

@@ -537,12 +537,20 @@ impl GraphHandle {
             bg.index.merge_updates(removed, added, name_added)
         };
 
+        // The sim catalog rebuilds from the tuples every epoch: pivot
+        // selection is global (farthest-point over all rows), so there is no
+        // incremental merge that stays bit-identical to a from-scratch build.
+        // Vector attributes are rare in mutation-heavy workloads; with none
+        // present this is a no-op scan.
+        let sims = crate::sim_index::SimCatalog::build(&attrs);
+
         let graph = DataGraph {
             symbols,
             fwd,
             rev,
             attrs: attrs.into(),
             index,
+            sims,
             edge_count,
         };
 

@@ -44,6 +44,9 @@ unsafe impl RunElem for u32 {}
 unsafe impl RunElem for u64 {}
 // SAFETY: as above.
 unsafe impl RunElem for i64 {}
+// SAFETY: `f32` is 4 bytes with no padding or niches; every bit pattern is a
+// valid (possibly NaN) float, and its alignment is 4.
+unsafe impl RunElem for f32 {}
 // SAFETY: `NodeId` is `#[repr(transparent)]` over `u32`.
 unsafe impl RunElem for NodeId {}
 // SAFETY: `Symbol` is `#[repr(transparent)]` over `u32`.

@@ -24,7 +24,7 @@
 //! | offset | field | type |
 //! |--------|-------|------|
 //! | 0  | magic `GTPQSNAP` | `[u8; 8]` |
-//! | 8  | format version (= 1) | `u32` |
+//! | 8  | format version (= 2) | `u32` |
 //! | 12 | flags | `u32` |
 //! | 16 | section count | `u64` |
 //! | 24 | TOC byte offset | `u64` |
@@ -79,9 +79,14 @@
 //! unknown kinds); anything else bumps the format version and old readers
 //! reject the file with [`SnapshotError::UnsupportedVersion`].  Section kind
 //! 33 is reserved for serialized reachability-index state.
+//!
+//! Version 2 added the embedding layer: a shared vector-value dictionary
+//! (kinds 34–35) and the per-attribute similarity tables (kinds 36–47, see
+//! [`crate::sim_index`]).  Version-1 files remain loadable — their graphs
+//! simply carry no vector values and an empty sim catalog.
 
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -95,13 +100,15 @@ use crate::graph::{DataGraph, NodeId};
 use crate::index::{AttrIndex, IntPairs};
 use crate::mutate::GraphSnapshot;
 use crate::run::{crc32, AlignedBytes, IntRun, RunElem, SnapshotBytes};
+use crate::sim_index::{SimCatalog, SimTable};
 use crate::symbol::{Symbol, SymbolTable};
-use crate::tuples::{AttrColumns, AttrTuples, TAG_INT, TAG_STR};
+use crate::tuples::{AttrColumns, AttrTuples, VecDict, TAG_INT, TAG_STR, TAG_VEC};
 
 /// `GTPQSNAP`.
 pub const MAGIC: [u8; 8] = *b"GTPQSNAP";
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version.  Version 2 added vector attribute values and the
+/// similarity-table sections; readers accept versions `1..=FORMAT_VERSION`.
+pub const FORMAT_VERSION: u32 = 2;
 /// Section data alignment, in bytes.
 pub const SECTION_ALIGN: u64 = 64;
 
@@ -179,7 +186,7 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadMagic => write!(f, "not a .gtpq snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported snapshot version {found} (this reader supports {FORMAT_VERSION})"
+                "unsupported snapshot version {found} (this reader supports 1..={FORMAT_VERSION})"
             ),
             SnapshotError::ChecksumMismatch { section } => {
                 write!(f, "snapshot checksum mismatch in {section}")
@@ -284,6 +291,36 @@ pub enum SectionKind {
     Topo = 32,
     /// Reserved for serialized reachability-index state (not written today).
     ReachState = 33,
+    /// Vector-value dictionary offsets (`u32`, vectors + 1), in `f32`
+    /// element units into [`SectionKind::VecData`].  Since version 2.
+    VecOffsets = 34,
+    /// Vector-value dictionary data, concatenated (`f32`).
+    VecData = 35,
+    /// Sim-table attribute symbols, one per table (`u32`).
+    SimSyms = 36,
+    /// Sim-table vector dimensionalities, one per table (`u32`).
+    SimDims = 37,
+    /// Sim-table indexed-node offsets (`u32`, tables + 1).
+    SimNodeOffsets = 38,
+    /// Sim-table indexed nodes, concatenated (node ids).
+    SimNodes = 39,
+    /// Sim-table stored-vector offsets (`u32`, tables + 1), in `f32` units.
+    SimVecOffsets = 40,
+    /// Sim-table stored vectors, row-major concatenated (`f32`).
+    SimVecData = 41,
+    /// Sim-table pivot offsets (`u32`, tables + 1), in `f32` units.
+    SimPivotOffsets = 42,
+    /// Sim-table pivot vectors, row-major concatenated (`f32`).
+    SimPivotData = 43,
+    /// Sim-table pivot-distance offsets (`u32`, tables + 1), in `f32` units.
+    SimDistOffsets = 44,
+    /// Sim-table pivot-distance rows, concatenated (`f32`).
+    SimDistData = 45,
+    /// Sim-table sorted first-pivot distances, concatenated (`f32`; spans
+    /// follow [`SectionKind::SimNodeOffsets`], one value per indexed node).
+    SimSortedHead = 46,
+    /// Sim-table norm bounds: `[min, max]` per table (`f32`, 2 × tables).
+    SimNormBounds = 47,
 }
 
 impl SectionKind {
@@ -320,6 +357,20 @@ impl SectionKind {
         SectionKind::CompInOffsets,
         SectionKind::CompIn,
         SectionKind::Topo,
+        SectionKind::VecOffsets,
+        SectionKind::VecData,
+        SectionKind::SimSyms,
+        SectionKind::SimDims,
+        SectionKind::SimNodeOffsets,
+        SectionKind::SimNodes,
+        SectionKind::SimVecOffsets,
+        SectionKind::SimVecData,
+        SectionKind::SimPivotOffsets,
+        SectionKind::SimPivotData,
+        SectionKind::SimDistOffsets,
+        SectionKind::SimDistData,
+        SectionKind::SimSortedHead,
+        SectionKind::SimNormBounds,
         SectionKind::Meta,
     ];
 
@@ -448,6 +499,11 @@ section_elem!(u64, 8, |v| v.to_le_bytes(), |b| u64::from_le_bytes(
 ));
 section_elem!(i64, 8, |v| v.to_le_bytes(), |b| i64::from_le_bytes(
     b[..8].try_into().expect("width-checked slice")
+));
+// Floats travel as their raw bit pattern: bit-exact round trips, NaNs and
+// signed zeros included.
+section_elem!(f32, 4, |v| v.to_bits().to_le_bytes(), |b| f32::from_bits(
+    u32::read_le(b)
 ));
 section_elem!(NodeId, 4, |v| v.0.to_le_bytes(), |b| NodeId(u32::read_le(
     b
@@ -746,9 +802,14 @@ fn write_graph_sections(
     )?;
 
     // Attribute tuples: string values are interned into a first-use-order
-    // dictionary; each attribute becomes (name symbol, tag, payload).
+    // dictionary and vector values into a parallel one (keyed by bit
+    // pattern, so NaN payloads dedupe too); each attribute becomes
+    // (name symbol, tag, payload).
     let mut dict: HashMap<&str, u64> = HashMap::new();
     let mut dict_order: Vec<&str> = Vec::new();
+    let mut vec_dict: HashMap<Vec<u32>, u64> = HashMap::new();
+    let mut vec_offsets: Vec<u32> = vec![0];
+    let mut vec_data: Vec<f32> = Vec::new();
     let mut attr_offsets: Vec<u32> = Vec::with_capacity(n + 1);
     let mut attr_names: Vec<Symbol> = Vec::new();
     let mut attr_tags: Vec<u8> = Vec::new();
@@ -770,6 +831,19 @@ fn write_graph_sections(
                     });
                     attr_payloads.push(id);
                 }
+                AttrValue::Vec(v) => {
+                    attr_tags.push(TAG_VEC);
+                    let bits: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+                    let id = *vec_dict.entry(bits).or_insert_with(|| {
+                        vec_data.extend_from_slice(v);
+                        vec_offsets.push(
+                            u32::try_from(vec_data.len())
+                                .expect("vector dictionary under 4 Gi elements"),
+                        );
+                        (vec_offsets.len() - 2) as u64
+                    });
+                    attr_payloads.push(id);
+                }
             }
         }
         attr_offsets
@@ -785,6 +859,8 @@ fn write_graph_sections(
     w.section(SectionKind::AttrNames, &attr_names)?;
     w.section(SectionKind::AttrTags, &attr_tags)?;
     w.section(SectionKind::AttrPayloads, &attr_payloads)?;
+    w.section(SectionKind::VecOffsets, &vec_offsets)?;
+    w.section(SectionKind::VecData, &vec_data)?;
 
     // Value postings: invert the two-level dictionary into per-slot key
     // arrays (slot order is the canonical build order, so round-tripping
@@ -807,6 +883,12 @@ fn write_graph_sections(
                     val_payloads[slot as usize] = *dict
                         .get(s.as_str())
                         .expect("indexed string value appears on some node");
+                }
+                // Vector values never enter the equality postings (see
+                // `AttrIndex`); a defensive tag keeps this arm panic-free.
+                AttrValue::Vec(_) => {
+                    val_tags[slot as usize] = TAG_VEC;
+                    val_payloads[slot as usize] = 0;
                 }
             }
         }
@@ -851,6 +933,55 @@ fn write_graph_sections(
     w.section(SectionKind::IntOffsets, &int_offsets)?;
     w.section(SectionKind::IntValues, &int_values)?;
     w.section(SectionKind::IntNodes, &int_nodes)?;
+
+    // Similarity tables, flattened CSR-style in catalog (symbol) order.  All
+    // offsets are in element units; table counts are derived from the TOC at
+    // load time, so `MetaCounts` is unchanged.
+    let mut sim_syms: Vec<Symbol> = Vec::new();
+    let mut sim_dims: Vec<u32> = Vec::new();
+    let mut sim_node_offsets: Vec<u32> = vec![0];
+    let mut sim_nodes: Vec<NodeId> = Vec::new();
+    let mut sim_vec_offsets: Vec<u32> = vec![0];
+    let mut sim_vec_data: Vec<f32> = Vec::new();
+    let mut sim_pivot_offsets: Vec<u32> = vec![0];
+    let mut sim_pivot_data: Vec<f32> = Vec::new();
+    let mut sim_dist_offsets: Vec<u32> = vec![0];
+    let mut sim_dist_data: Vec<f32> = Vec::new();
+    let mut sim_sorted_head: Vec<f32> = Vec::new();
+    let mut sim_norm_bounds: Vec<f32> = Vec::new();
+    for (sym, table) in g.sims.iter() {
+        sim_syms.push(sym);
+        sim_dims.push(table.dim);
+        sim_nodes.extend_from_slice(&table.nodes);
+        sim_vec_data.extend_from_slice(&table.vecs);
+        sim_pivot_data.extend_from_slice(&table.pivots);
+        sim_dist_data.extend_from_slice(&table.dists);
+        sim_sorted_head.extend_from_slice(&table.sorted_d0);
+        sim_norm_bounds.push(table.norm_min);
+        sim_norm_bounds.push(table.norm_max);
+        let grown = u32::try_from(sim_nodes.len()).expect("sim-table node count overflows u32");
+        sim_node_offsets.push(grown);
+        let grown = u32::try_from(sim_vec_data.len()).expect("sim-table vector data overflows u32");
+        sim_vec_offsets.push(grown);
+        let grown =
+            u32::try_from(sim_pivot_data.len()).expect("sim-table pivot data overflows u32");
+        sim_pivot_offsets.push(grown);
+        let grown =
+            u32::try_from(sim_dist_data.len()).expect("sim-table distance data overflows u32");
+        sim_dist_offsets.push(grown);
+    }
+    w.section(SectionKind::SimSyms, &sim_syms)?;
+    w.section(SectionKind::SimDims, &sim_dims)?;
+    w.section(SectionKind::SimNodeOffsets, &sim_node_offsets)?;
+    w.section(SectionKind::SimNodes, &sim_nodes)?;
+    w.section(SectionKind::SimVecOffsets, &sim_vec_offsets)?;
+    w.section(SectionKind::SimVecData, &sim_vec_data)?;
+    w.section(SectionKind::SimPivotOffsets, &sim_pivot_offsets)?;
+    w.section(SectionKind::SimPivotData, &sim_pivot_data)?;
+    w.section(SectionKind::SimDistOffsets, &sim_dist_offsets)?;
+    w.section(SectionKind::SimDistData, &sim_dist_data)?;
+    w.section(SectionKind::SimSortedHead, &sim_sorted_head)?;
+    w.section(SectionKind::SimNormBounds, &sim_norm_bounds)?;
     Ok(())
 }
 
@@ -978,6 +1109,12 @@ impl Loader {
             .ok_or_else(|| malformed(format!("missing section {kind:?}")))
     }
 
+    /// Whether the file carries this section at all (version-1 files lack
+    /// the vector and sim-table sections).
+    fn has(&self, kind: SectionKind) -> bool {
+        self.sections.contains_key(&(kind as u32))
+    }
+
     fn section_bytes(&self, kind: SectionKind) -> Result<&[u8], SnapshotError> {
         let s = self.section(kind)?;
         Ok(&self.bytes.as_slice()[s.offset..s.offset + s.byte_len])
@@ -1021,6 +1158,22 @@ impl Loader {
         // Portable decode path (big-endian hosts, or misaligned legacy
         // files): never reinterprets, always copies.
         Ok(decode_elems::<T>(&self.bytes.as_slice()[s.offset..s.offset + s.byte_len]).into())
+    }
+
+    /// Like [`run`](Self::run) but with the element count derived from the
+    /// section's own byte length — used by the sections whose counts are not
+    /// part of [`MetaCounts`] (cross-checks happen against sibling offsets
+    /// runs instead).
+    fn run_sized<T: SectionElem>(&self, kind: SectionKind) -> Result<IntRun<T>, SnapshotError> {
+        let s = self.section(kind)?;
+        if !s.byte_len.is_multiple_of(T::WIDTH) {
+            return Err(malformed(format!(
+                "section {kind:?} holds {} bytes, not a multiple of {}",
+                s.byte_len,
+                T::WIDTH
+            )));
+        }
+        self.run(kind, (s.byte_len / T::WIDTH) as u64)
     }
 
     /// Loads a CSR whose runs were written by the snapshot writer, checking
@@ -1098,6 +1251,20 @@ fn kind_name(kind: SectionKind) -> &'static str {
         SectionKind::CompIn => "CompIn",
         SectionKind::Topo => "Topo",
         SectionKind::ReachState => "ReachState",
+        SectionKind::VecOffsets => "VecOffsets",
+        SectionKind::VecData => "VecData",
+        SectionKind::SimSyms => "SimSyms",
+        SectionKind::SimDims => "SimDims",
+        SectionKind::SimNodeOffsets => "SimNodeOffsets",
+        SectionKind::SimNodes => "SimNodes",
+        SectionKind::SimVecOffsets => "SimVecOffsets",
+        SectionKind::SimVecData => "SimVecData",
+        SectionKind::SimPivotOffsets => "SimPivotOffsets",
+        SectionKind::SimPivotData => "SimPivotData",
+        SectionKind::SimDistOffsets => "SimDistOffsets",
+        SectionKind::SimDistData => "SimDistData",
+        SectionKind::SimSortedHead => "SimSortedHead",
+        SectionKind::SimNormBounds => "SimNormBounds",
     }
 }
 
@@ -1154,7 +1321,7 @@ fn load_from_bytes(
         return Err(SnapshotError::BadMagic);
     }
     let version = read_u32(data, 8);
-    if version != FORMAT_VERSION {
+    if !(1..=FORMAT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion { found: version });
     }
     let header_crc = read_u32(data, 52);
@@ -1258,6 +1425,23 @@ fn load_from_bytes(
         ] {
             loader.check_crc(kind)?;
         }
+        // The vector/sim key and offsets sections are validated eagerly too;
+        // guard on presence — version-1 files do not carry them.  The flat
+        // data runs stay lazy like the posting arrays.
+        for kind in [
+            SectionKind::VecOffsets,
+            SectionKind::SimSyms,
+            SectionKind::SimDims,
+            SectionKind::SimNodeOffsets,
+            SectionKind::SimVecOffsets,
+            SectionKind::SimPivotOffsets,
+            SectionKind::SimDistOffsets,
+            SectionKind::SimNormBounds,
+        ] {
+            if loader.has(kind) {
+                loader.check_crc(kind)?;
+            }
+        }
     }
 
     let graph = decode_graph(&loader)?;
@@ -1325,6 +1509,22 @@ fn decode_graph(l: &Loader) -> Result<DataGraph, SnapshotError> {
     let attr_tags: IntRun<u8> = l.run(SectionKind::AttrTags, c.attrs)?;
     let attr_payloads: IntRun<u64> = l.run(SectionKind::AttrPayloads, c.attrs)?;
     check_offsets_span(&attr_offsets, c.attrs, "AttrOffsets")?;
+
+    // Vector-value dictionary (version 2; absent means empty).  The offsets
+    // run spans the data run, so every `lo..hi` window `VecDict::get` slices
+    // is in bounds after a successful open.
+    let vectors = if l.has(SectionKind::VecOffsets) {
+        let data: IntRun<f32> = l.run_sized(SectionKind::VecData)?;
+        let offsets: IntRun<u32> = l.run_sized(SectionKind::VecOffsets)?;
+        if offsets.is_empty() {
+            return Err(malformed("VecOffsets must hold at least one entry"));
+        }
+        check_offsets_span(&offsets, data.len() as u64, "VecOffsets")?;
+        Arc::new(VecDict { offsets, data })
+    } else {
+        Arc::new(VecDict::default())
+    };
+
     if l.verify_all {
         if attr_names.iter().any(|name| name.index() >= sym_count) {
             return Err(malformed("attribute name symbol out of range"));
@@ -1339,6 +1539,13 @@ fn decode_graph(l: &Loader) -> Result<DataGraph, SnapshotError> {
                         return Err(malformed("string payload out of dictionary range"));
                     }
                 }
+                TAG_VEC => {
+                    let in_dict =
+                        usize::try_from(attr_payloads[i]).is_ok_and(|id| id < vectors.len());
+                    if !in_dict {
+                        return Err(malformed("vector payload out of dictionary range"));
+                    }
+                }
                 other => return Err(malformed(format!("unknown attribute value tag {other}"))),
             }
         }
@@ -1351,18 +1558,76 @@ fn decode_graph(l: &Loader) -> Result<DataGraph, SnapshotError> {
             tags: attr_tags,
             payloads: attr_payloads,
             strings: Arc::clone(&strings),
+            vectors,
         },
     );
 
     let index = decode_index(l, sym_count, &strings)?;
+    let sims = decode_sims(l, sym_count, c.nodes)?;
     Ok(DataGraph {
         symbols,
         fwd,
         rev,
         attrs,
         index,
+        sims,
         edge_count: c.edges as usize,
     })
+}
+
+/// Reconstructs the similarity catalog from the flattened sim-table sections
+/// (version 2; a version-1 file yields an empty catalog).  Each table is
+/// re-validated through [`SimTable::from_parts`], so incoherent spans in a
+/// damaged file surface as [`SnapshotError::Malformed`], never a panic.
+fn decode_sims(l: &Loader, sym_count: usize, nodes: u64) -> Result<SimCatalog, SnapshotError> {
+    if !l.has(SectionKind::SimSyms) {
+        return Ok(SimCatalog::default());
+    }
+    let syms: IntRun<Symbol> = l.run_sized(SectionKind::SimSyms)?;
+    let t = syms.len();
+    let dims: IntRun<u32> = l.run(SectionKind::SimDims, t as u64)?;
+    let node_offsets: IntRun<u32> = l.run(SectionKind::SimNodeOffsets, t as u64 + 1)?;
+    let sim_nodes: IntRun<NodeId> = l.run_sized(SectionKind::SimNodes)?;
+    check_offsets_span(&node_offsets, sim_nodes.len() as u64, "SimNodeOffsets")?;
+    let vec_offsets: IntRun<u32> = l.run(SectionKind::SimVecOffsets, t as u64 + 1)?;
+    let vec_data: IntRun<f32> = l.run_sized(SectionKind::SimVecData)?;
+    check_offsets_span(&vec_offsets, vec_data.len() as u64, "SimVecOffsets")?;
+    let pivot_offsets: IntRun<u32> = l.run(SectionKind::SimPivotOffsets, t as u64 + 1)?;
+    let pivot_data: IntRun<f32> = l.run_sized(SectionKind::SimPivotData)?;
+    check_offsets_span(&pivot_offsets, pivot_data.len() as u64, "SimPivotOffsets")?;
+    let dist_offsets: IntRun<u32> = l.run(SectionKind::SimDistOffsets, t as u64 + 1)?;
+    let dist_data: IntRun<f32> = l.run_sized(SectionKind::SimDistData)?;
+    check_offsets_span(&dist_offsets, dist_data.len() as u64, "SimDistOffsets")?;
+    let sorted_head: IntRun<f32> = l.run(SectionKind::SimSortedHead, sim_nodes.len() as u64)?;
+    let norm_bounds: IntRun<f32> = l.run(SectionKind::SimNormBounds, 2 * t as u64)?;
+
+    let mut tables: BTreeMap<Symbol, SimTable> = BTreeMap::new();
+    for i in 0..t {
+        let sym = syms[i];
+        if sym.index() >= sym_count {
+            return Err(malformed("sim-table symbol out of range"));
+        }
+        let node_span = node_offsets[i] as usize..node_offsets[i + 1] as usize;
+        let nodes_run = sim_nodes.slice(node_span.clone());
+        if nodes_run.iter().any(|v| v.0 as u64 >= nodes) {
+            return Err(malformed("sim-table node id out of range"));
+        }
+        let table = SimTable::from_parts(
+            dims[i],
+            nodes_run,
+            vec_data.slice(vec_offsets[i] as usize..vec_offsets[i + 1] as usize),
+            pivot_data.slice(pivot_offsets[i] as usize..pivot_offsets[i + 1] as usize),
+            dist_data.slice(dist_offsets[i] as usize..dist_offsets[i + 1] as usize),
+            sorted_head.slice(node_span),
+            norm_bounds[2 * i],
+            norm_bounds[2 * i + 1],
+        )
+        .ok_or_else(|| malformed(format!("sim table {i} has incoherent spans")))?;
+        if tables.insert(sym, table).is_some() {
+            return Err(malformed("duplicate sim-table symbol"));
+        }
+    }
+    Ok(SimCatalog::from_tables(tables))
 }
 
 fn decode_value(tag: u8, payload: u64, strings: &[String]) -> Result<AttrValue, SnapshotError> {
@@ -1540,6 +1805,45 @@ mod tests {
                     .nodes_with(LABEL_ATTR, &AttrValue::str("paper")),
                 snap.graph()
                     .nodes_with(LABEL_ATTR, &AttrValue::str("paper")),
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn vector_attributes_and_sim_tables_round_trip() {
+        let mut b = GraphBuilder::new();
+        for i in 0..12u32 {
+            let v = b.add_node_with_label("doc");
+            let emb: Vec<f32> = (0..4).map(|j| (i * 4 + j) as f32 * 0.25 - 1.0).collect();
+            b.set_attr(v, "emb", AttrValue::Vec(emb));
+        }
+        // A shared vector value exercises the dictionary dedup, and an
+        // off-dimension one the modal-dim fallback.
+        let dup = b.add_node_with_label("doc");
+        b.set_attr(dup, "emb", AttrValue::Vec(vec![0.0, 0.25, 0.5, 0.75]));
+        let odd = b.add_node_with_label("doc");
+        b.set_attr(odd, "emb", AttrValue::Vec(vec![1.0, 2.0]));
+        let snap = GraphSnapshot::freeze(Arc::new(b.build()));
+        assert_eq!(snap.graph().sim_table("emb").map(|t| t.len()), Some(13));
+
+        let path = tmp("vectors.gtpq");
+        snap.save(&path).unwrap();
+        for mode in [LoadMode::Mmap, LoadMode::MmapVerified, LoadMode::Heap] {
+            let loaded = GraphSnapshot::open(&path, mode).unwrap();
+            assert_eq!(loaded.graph(), snap.graph(), "mode {mode:?}");
+            let table = loaded.graph().sim_table("emb").unwrap();
+            let q = [0.0f32, 0.25, 0.5, 0.75];
+            assert_eq!(
+                table.within_l2(&q, 0.3, true),
+                snap.graph()
+                    .sim_table("emb")
+                    .unwrap()
+                    .within_l2(&q, 0.3, true),
+            );
+            assert_eq!(
+                loaded.graph().attribute_value(odd, "emb"),
+                Some(&AttrValue::Vec(vec![1.0, 2.0]))
             );
         }
         let _ = std::fs::remove_file(&path);

@@ -24,10 +24,49 @@ use crate::symbol::Symbol;
 pub(crate) const TAG_INT: u8 = 0;
 /// Attribute value tag: the payload indexes the string dictionary.
 pub(crate) const TAG_STR: u8 = 1;
+/// Attribute value tag: the payload indexes the vector dictionary.
+pub(crate) const TAG_VEC: u8 = 2;
+
+/// The snapshot vector dictionary: every distinct embedding stored once as a
+/// window into one flat f32 column, CSR-style.  Like the attribute columns it
+/// is owned-or-mapped — a loaded graph keeps the file pages borrowed and only
+/// copies a vector out when a tuple materializes.
+#[derive(Clone, Default)]
+pub(crate) struct VecDict {
+    /// `entries + 1` offsets into `data`; empty means "no dictionary".
+    pub(crate) offsets: IntRun<u32>,
+    /// Concatenated vector payloads.
+    pub(crate) data: IntRun<f32>,
+}
+
+impl VecDict {
+    /// Number of dictionary entries.
+    pub(crate) fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The floats of entry `id`; `None` when the id or its span is out of
+    /// range (defensive for plain-mmap loads of damaged files).
+    pub(crate) fn get(&self, id: usize) -> Option<&[f32]> {
+        let lo = *self.offsets.get(id)? as usize;
+        let hi = *self.offsets.get(id + 1)? as usize;
+        if lo > hi || hi > self.data.len() {
+            return None;
+        }
+        Some(&self.data[lo..hi])
+    }
+
+    pub(crate) fn backing_file_id(&self) -> Option<(u64, u64)> {
+        self.offsets
+            .backing_file_id()
+            .or_else(|| self.data.backing_file_id())
+    }
+}
 
 /// The columnar snapshot encoding of every node's attribute tuple:
 /// CSR-style offsets plus parallel name/tag/payload runs, and the shared
-/// string dictionary the payloads of string-valued attributes index into.
+/// string/vector dictionaries the payloads of string- and vector-valued
+/// attributes index into.
 #[derive(Clone)]
 pub(crate) struct AttrColumns {
     pub(crate) offsets: IntRun<u32>,
@@ -35,6 +74,7 @@ pub(crate) struct AttrColumns {
     pub(crate) tags: IntRun<u8>,
     pub(crate) payloads: IntRun<u64>,
     pub(crate) strings: Arc<Vec<String>>,
+    pub(crate) vectors: Arc<VecDict>,
 }
 
 impl AttrColumns {
@@ -71,6 +111,13 @@ impl AttrColumns {
                         .and_then(|id| self.strings.get(id))
                     {
                         Some(s) => AttrValue::Str(s.clone()),
+                        None => continue,
+                    },
+                    TAG_VEC => match usize::try_from(payload)
+                        .ok()
+                        .and_then(|id| self.vectors.get(id))
+                    {
+                        Some(v) => AttrValue::Vec(v.to_vec()),
                         None => continue,
                     },
                     _ => continue,
@@ -162,6 +209,7 @@ impl AttrTuples {
             .or_else(|| c.names.backing_file_id())
             .or_else(|| c.tags.backing_file_id())
             .or_else(|| c.payloads.backing_file_id())
+            .or_else(|| c.vectors.backing_file_id())
     }
 }
 
@@ -240,6 +288,7 @@ mod tests {
             tags: tags.into(),
             payloads: payloads.into(),
             strings: Arc::new(strings.into_iter().map(str::to_owned).collect()),
+            vectors: Arc::new(VecDict::default()),
         }
     }
 
@@ -267,6 +316,35 @@ mod tests {
         let owned: AttrTuples = want.into();
         assert_eq!(store, owned);
         assert_eq!(store.clone(), owned);
+    }
+
+    #[test]
+    fn vector_entries_decode_from_the_dictionary() {
+        let mut c = columns(
+            vec![0, 2, 3],
+            vec![Symbol(0), Symbol(1), Symbol(0)],
+            vec![TAG_VEC, TAG_INT, TAG_VEC],
+            vec![1, 5, 99], // 99 is out of dictionary range: skipped
+            vec![],
+        );
+        c.vectors = Arc::new(VecDict {
+            offsets: vec![0u32, 2, 5].into(),
+            data: vec![9.0f32, 8.0, 1.0, 2.0, 3.0].into(),
+        });
+        assert_eq!(c.vectors.len(), 2);
+        assert_eq!(c.vectors.get(0), Some(&[9.0f32, 8.0][..]));
+        assert_eq!(c.vectors.get(2), None);
+        let store = AttrTuples::from_columns(2, c);
+        assert_eq!(
+            store.tuples(),
+            &[
+                vec![
+                    Attribute::new(Symbol(0), AttrValue::Vec(vec![1.0, 2.0, 3.0])),
+                    Attribute::new(Symbol(1), AttrValue::int(5)),
+                ],
+                Vec::new(),
+            ][..]
+        );
     }
 
     #[test]

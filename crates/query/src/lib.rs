@@ -42,6 +42,6 @@ pub mod structural;
 pub use builder::{GtpqBuilder, QueryError};
 pub use node::{EdgeKind, NodeKind, QueryNode, QueryNodeId};
 pub use parse::{parse_query, ParseError, TextSpan};
-pub use predicate::{AttrComparison, AttrPredicate, CandidateSelection, CmpOp};
+pub use predicate::{AttrComparison, AttrPredicate, CandidateSelection, CmpOp, SimComparison};
 pub use query::Gtpq;
 pub use result::ResultSet;

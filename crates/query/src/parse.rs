@@ -18,9 +18,14 @@
 //! ```text
 //! query      = node
 //! node       = pattern [ "as" name ] [ "*" ] [ "{" clause* "}" ]
-//! pattern    = label | string | "*" | "[" [ cmp { "," cmp } ] "]"
+//! pattern    = label | string | "*" | "[" [ item { "," item } ] "]"
+//! item       = cmp | sim
 //! cmp        = (ident | string) op value      op = "=" "!=" "<" "<=" ">" ">="
+//! sim        = "sim" "(" (ident | string) ","
+//!              "[" num { "," num } "]" ")" simop num
+//!                                          simop = "<" "<=" ">" ">="
 //! value      = integer | string | ident
+//! num        = integer | float
 //! clause     = ("/" | "//") node              backbone child
 //!            | "where" formula                structural predicate fs (≤ 1)
 //! formula    = conj { "|" conj }
@@ -37,6 +42,12 @@
 //! node.  Children written as clauses are backbone nodes; nodes introduced
 //! inside a `where` formula are predicate nodes, and the formula over them is
 //! the node's structural predicate.  `#` starts a comment until end of line.
+//!
+//! A `sim` item is a similarity conjunct over an embedding-valued attribute:
+//! `sim(emb, [0.5, -1, 2.25]) < 0.75` keeps nodes whose `emb` vector lies
+//! within L2 distance `0.75` of the query vector, `... > 0.9` keeps nodes
+//! whose cosine similarity exceeds `0.9`.  Floating-point literals are only
+//! meaningful inside `sim(...)`; integers are accepted there as floats.
 //!
 //! ```
 //! use gtpq_query::Gtpq;
@@ -74,7 +85,7 @@ use gtpq_logic::BoolExpr;
 
 use crate::builder::{GtpqBuilder, QueryError};
 use crate::node::{EdgeKind, NodeKind, QueryNodeId};
-use crate::predicate::{AttrComparison, AttrPredicate, CmpOp};
+use crate::predicate::{AttrComparison, AttrPredicate, CmpOp, SimComparison};
 use crate::query::Gtpq;
 
 /// Identifiers with grammatical meaning; they cannot be used bare as node
@@ -177,6 +188,7 @@ impl std::error::Error for ParseError {}
 enum TokKind {
     Ident(String),
     Int(i64),
+    Float(f32),
     Str(String),
     Slash,
     DSlash,
@@ -205,6 +217,7 @@ impl TokKind {
         match self {
             TokKind::Ident(s) => format!("identifier `{s}`"),
             TokKind::Int(i) => format!("integer `{i}`"),
+            TokKind::Float(v) => format!("floating-point literal `{v}`"),
             TokKind::Str(_) => "string literal".to_owned(),
             TokKind::Slash => "`/`".to_owned(),
             TokKind::DSlash => "`//`".to_owned(),
@@ -345,9 +358,9 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, ParseError> {
                 i = end;
             }
             b'-' | b'0'..=b'9' => {
-                let (value, end) = lex_int(input, i)?;
+                let (kind, end) = lex_number(input, i)?;
                 toks.push(Tok {
-                    kind: TokKind::Int(value),
+                    kind,
                     span: TextSpan::new(start, end),
                 });
                 i = end;
@@ -428,7 +441,7 @@ fn lex_string(input: &str, start: usize) -> Result<(String, usize), ParseError> 
     ))
 }
 
-fn lex_int(input: &str, start: usize) -> Result<(i64, usize), ParseError> {
+fn lex_number(input: &str, start: usize) -> Result<(TokKind, usize), ParseError> {
     let bytes = input.as_bytes();
     let mut i = start;
     if bytes[i] == b'-' {
@@ -443,18 +456,22 @@ fn lex_int(input: &str, start: usize) -> Result<(i64, usize), ParseError> {
     while i < bytes.len() && bytes[i].is_ascii_digit() {
         i += 1;
     }
-    // A decimal point is the one value kind the data model does not have;
-    // give it a dedicated message instead of `unexpected character`.
+    // A decimal point makes this a float token.  Floats are only valid
+    // inside `sim(...)`; the parser rejects them at scalar value positions
+    // with a dedicated message.
     if bytes.get(i) == Some(&b'.') {
         let mut j = i + 1;
         while j < bytes.len() && bytes[j].is_ascii_digit() {
             j += 1;
         }
-        return Err(ParseError::new(
-            TextSpan::new(start, j),
-            "unknown attribute value type: floating-point literals are not supported \
-             (attribute values are integers or strings)",
-        ));
+        let text = &input[start..j];
+        let value: f32 = text.parse().map_err(|_| {
+            ParseError::new(
+                TextSpan::new(start, j),
+                format!("invalid floating-point literal `{text}`"),
+            )
+        })?;
+        return Ok((TokKind::Float(value), j));
     }
     let text = &input[start..i];
     let value: i64 = text.parse().map_err(|_| {
@@ -463,7 +480,7 @@ fn lex_int(input: &str, start: usize) -> Result<(i64, usize), ParseError> {
             format!("integer `{text}` out of range for i64"),
         )
     })?;
-    Ok((value, i))
+    Ok((TokKind::Int(value), i))
 }
 
 // ---------------------------------------------------------------------------
@@ -795,9 +812,21 @@ impl Parser {
             TokKind::LBracket => {
                 let open = self.bump();
                 let mut comparisons = Vec::new();
+                let mut sims = Vec::new();
                 if !matches!(self.peek().kind, TokKind::RBracket) {
                     loop {
-                        comparisons.push(self.parse_comparison()?);
+                        // `sim(` starts a similarity conjunct; a bare `sim`
+                        // followed by anything else is an attribute name.
+                        let is_sim = matches!(&self.peek().kind, TokKind::Ident(w) if w == "sim")
+                            && matches!(
+                                self.toks.get(self.pos + 1).map(|t| &t.kind),
+                                Some(TokKind::LParen)
+                            );
+                        if is_sim {
+                            sims.push(self.parse_sim()?);
+                        } else {
+                            comparisons.push(self.parse_comparison()?);
+                        }
                         match &self.peek().kind {
                             TokKind::Comma => {
                                 self.bump();
@@ -819,7 +848,7 @@ impl Parser {
                     }
                 }
                 self.bump(); // the `]`
-                Ok(AttrPredicate { comparisons })
+                Ok(AttrPredicate { comparisons, sims })
             }
             other => Err(self.error_here(format!(
                 "expected a node pattern (a label, a quoted string, `*`, or \
@@ -863,6 +892,16 @@ impl Parser {
         let value = match tok.kind {
             TokKind::Int(i) => AttrValue::Int(i),
             TokKind::Str(s) | TokKind::Ident(s) => AttrValue::Str(s),
+            // A decimal point is the one scalar value kind the data model
+            // does not have; give it a dedicated message instead of the
+            // generic one (floats belong inside `sim(...)`).
+            TokKind::Float(_) => {
+                return Err(ParseError::new(
+                    tok.span,
+                    "unknown attribute value type: floating-point literals are not supported \
+                     (attribute values are integers or strings)",
+                ))
+            }
             other => {
                 return Err(ParseError::new(
                     tok.span,
@@ -874,6 +913,127 @@ impl Parser {
             }
         };
         Ok(AttrComparison { attr, op, value })
+    }
+
+    /// `sim ( attr , [ num { , num } ] ) op num` — the caller has already
+    /// checked that the next two tokens are `sim` and `(`.
+    fn parse_sim(&mut self) -> Result<SimComparison, ParseError> {
+        self.bump(); // `sim`
+        self.bump(); // `(`
+        let tok = self.bump();
+        let attr = match tok.kind {
+            TokKind::Ident(s) | TokKind::Str(s) => s,
+            other => {
+                return Err(ParseError::new(
+                    tok.span,
+                    format!(
+                        "expected an attribute name in `sim(...)`, found {}",
+                        other.describe()
+                    ),
+                ))
+            }
+        };
+        let tok = self.bump();
+        if !matches!(tok.kind, TokKind::Comma) {
+            return Err(ParseError::new(
+                tok.span,
+                format!(
+                    "expected `,` after the attribute name in `sim(...)`, found {}",
+                    tok.kind.describe()
+                ),
+            ));
+        }
+        let open = self.bump();
+        if !matches!(open.kind, TokKind::LBracket) {
+            return Err(ParseError::new(
+                open.span,
+                format!(
+                    "expected `[` starting the query vector in `sim(...)`, found {}",
+                    open.kind.describe()
+                ),
+            ));
+        }
+        if matches!(self.peek().kind, TokKind::RBracket) {
+            return Err(self.error_here("the query vector in `sim(...)` must not be empty"));
+        }
+        let mut query = Vec::new();
+        loop {
+            query.push(self.parse_number()?);
+            match &self.peek().kind {
+                TokKind::Comma => {
+                    self.bump();
+                }
+                TokKind::RBracket => break,
+                TokKind::Eof => {
+                    return Err(ParseError::new(
+                        open.span,
+                        "unbalanced `[`: expected a closing `]` after the query vector",
+                    ))
+                }
+                other => {
+                    return Err(self.error_here(format!(
+                        "expected `,` or `]` in a query vector, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+        self.bump(); // the `]`
+        let tok = self.bump();
+        if !matches!(tok.kind, TokKind::RParen) {
+            return Err(ParseError::new(
+                tok.span,
+                format!(
+                    "expected `)` closing `sim(...)`, found {}",
+                    tok.kind.describe()
+                ),
+            ));
+        }
+        let tok = self.bump();
+        let op = match tok.kind {
+            TokKind::Lt => CmpOp::Lt,
+            TokKind::Le => CmpOp::Le,
+            TokKind::Gt => CmpOp::Gt,
+            TokKind::Ge => CmpOp::Ge,
+            TokKind::Eq | TokKind::Ne => {
+                return Err(ParseError::new(
+                    tok.span,
+                    "`sim(...)` supports only ordering operators (`<`/`<=` bound the L2 \
+                     distance, `>`/`>=` bound the cosine similarity), not `=`/`!=`",
+                ))
+            }
+            other => {
+                return Err(ParseError::new(
+                    tok.span,
+                    format!(
+                        "expected a comparison operator (`<`, `<=`, `>`, `>=`) after \
+                         `sim(...)`, found {}",
+                        other.describe()
+                    ),
+                ))
+            }
+        };
+        let threshold = self.parse_number()?;
+        Ok(SimComparison {
+            attr,
+            query,
+            op,
+            threshold,
+        })
+    }
+
+    /// A numeric literal inside `sim(...)`: floats, with integers accepted
+    /// and widened to `f32`.
+    fn parse_number(&mut self) -> Result<f32, ParseError> {
+        let tok = self.bump();
+        match tok.kind {
+            TokKind::Float(v) => Ok(v),
+            TokKind::Int(i) => Ok(i as f32),
+            other => Err(ParseError::new(
+                tok.span,
+                format!("expected a number, found {}", other.describe()),
+            )),
+        }
     }
 }
 
@@ -929,27 +1089,60 @@ fn write_word(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
 }
 
 fn write_pattern(f: &mut fmt::Formatter<'_>, attr: &AttrPredicate) -> fmt::Result {
-    if attr.comparisons.is_empty() {
+    if attr.comparisons.is_empty() && attr.sims.is_empty() {
         return f.write_str("*");
     }
-    if let [cmp] = attr.comparisons.as_slice() {
-        if cmp.attr == gtpq_graph::LABEL_ATTR && cmp.op == CmpOp::Eq {
-            if let AttrValue::Str(label) = &cmp.value {
-                return write_word(f, label);
+    if attr.sims.is_empty() {
+        if let [cmp] = attr.comparisons.as_slice() {
+            if cmp.attr == gtpq_graph::LABEL_ATTR && cmp.op == CmpOp::Eq {
+                if let AttrValue::Str(label) = &cmp.value {
+                    return write_word(f, label);
+                }
             }
         }
     }
     f.write_str("[")?;
-    for (i, cmp) in attr.comparisons.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for cmp in &attr.comparisons {
+        if !first {
             f.write_str(", ")?;
         }
+        first = false;
         write_word(f, &cmp.attr)?;
         write!(f, " {} ", cmp.op)?;
         match &cmp.value {
             AttrValue::Int(v) => write!(f, "{v}")?,
             AttrValue::Str(s) => write_word(f, s)?,
+            // Unreachable from the parser (vector values only arise in
+            // `sim(...)` conjuncts); printed as a bracketed list so the
+            // output is at least readable, though it does not re-parse.
+            AttrValue::Vec(v) => {
+                f.write_str("[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str("]")?;
+            }
         }
+    }
+    for sim in &attr.sims {
+        if !first {
+            f.write_str(", ")?;
+        }
+        first = false;
+        f.write_str("sim(")?;
+        write_word(f, &sim.attr)?;
+        f.write_str(", [")?;
+        for (i, x) in sim.query.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "]) {} {}", sim.op, sim.threshold)?;
     }
     f.write_str("]")
 }
@@ -1312,6 +1505,53 @@ mod tests {
     }
 
     #[test]
+    fn parses_sim_predicates() {
+        let q = parse("[label = doc, sim(emb, [0.5, -1, 2.25]) > 0.9]*");
+        let attr = &q.node(q.root()).attr;
+        assert_eq!(attr.comparisons.len(), 1);
+        assert_eq!(attr.sims.len(), 1);
+        let sim = &attr.sims[0];
+        assert_eq!(sim.attr, "emb");
+        assert_eq!(sim.query, vec![0.5, -1.0, 2.25]);
+        assert_eq!(sim.op, CmpOp::Gt);
+        assert_eq!(sim.threshold, 0.9);
+        // Distance form; integers widen to floats inside `sim(...)`.
+        let q = parse("[sim(emb, [1, 2]) <= 3]*");
+        let sim = &q.node(q.root()).attr.sims[0];
+        assert_eq!(sim.query, vec![1.0, 2.0]);
+        assert_eq!(sim.op, CmpOp::Le);
+        assert_eq!(sim.threshold, 3.0);
+        // `sim` without `(` stays an ordinary attribute name or label.
+        let q = parse("[sim = 3]*");
+        assert_eq!(q.node(q.root()).attr.sims.len(), 0);
+        assert_eq!(q.node(q.root()).attr.comparisons[0].attr, "sim");
+        let q = parse("sim*");
+        assert_eq!(q.node(q.root()).attr, AttrPredicate::label("sim"));
+    }
+
+    #[test]
+    fn sim_parse_errors() {
+        let e = err("[sim(emb, [1, 2]) = 5]*");
+        assert!(e.message.contains("ordering operators"), "{e}");
+        assert_eq!(e.span, TextSpan::new(18, 19));
+        let e = err("[sim(emb, []) > 0.5]*");
+        assert!(e.message.contains("must not be empty"), "{e}");
+        let e = err("[sim(emb, [0.5, ]) > 0.9]*");
+        assert!(e.message.contains("expected a number"), "{e}");
+        let e = err("[sim(emb, [0.5) > 0.9]*");
+        assert!(e.message.contains("`,` or `]` in a query vector"), "{e}");
+        let e = err("[sim(emb [0.5]) > 0.9]*");
+        assert!(
+            e.message.contains("expected `,` after the attribute name"),
+            "{e}"
+        );
+        // Floats stay rejected outside `sim(...)`, with the dedicated
+        // message and the span of the literal.
+        let e = err("a* { where 1.5 }");
+        assert!(e.message.contains("floating-point literal `1.5`"), "{e}");
+    }
+
+    #[test]
     fn structural_restrictions_error_early() {
         let e = err("a* { where //b { /c } }");
         assert!(e.message.contains("cannot have backbone children"));
@@ -1362,6 +1602,10 @@ mod tests {
             "a* { where ((//b as x) | (//c)) & (x | (//d { where (//e) })) }",
             "a* { where ((//e) | 1) }",
             "a* { where 0 }",
+            "[sim(emb, [0.5, -1, 2.25]) > 0.9]*",
+            "[label = doc, year >= 2000, sim(emb, [1, 0, 0.25, -0.125]) < 0.75]*",
+            r#"[sim("embedding space", [0.1, 0.2]) >= 0.5]*"#,
+            "doc* { //[sim(emb, [1, 2]) <= 3] where (/[sim(emb, [0.5]) > 0]) }",
         ] {
             let q = parse(text);
             let printed = q.to_string();

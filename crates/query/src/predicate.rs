@@ -66,6 +66,84 @@ impl std::fmt::Display for AttrComparison {
     }
 }
 
+/// A similarity conjunct `sim(attr, [q0, q1, ...]) op t` over an
+/// embedding-valued attribute.
+///
+/// `<` / `<=` compare the **L2 distance** between the stored vector and
+/// `query` against `t` (a radius query); `>` / `>=` compare the **cosine
+/// similarity** (a nearness query).  `=` / `!=` are rejected by the parser
+/// and never match.  A node whose attribute is missing, non-vector, or of a
+/// different dimensionality than `query` does not match.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimComparison {
+    /// Attribute name.
+    pub attr: String,
+    /// The query vector.
+    pub query: Vec<f32>,
+    /// Comparison operator applied to the distance (`<`, `<=`) or cosine
+    /// similarity (`>`, `>=`).
+    pub op: CmpOp,
+    /// Threshold compared against.
+    pub threshold: f32,
+}
+
+impl SimComparison {
+    /// Whether a stored attribute value satisfies this conjunct.  This is
+    /// the exact semantics the pivot-filtered access path must reproduce
+    /// bit for bit (same [`gtpq_sim::l2`] / [`gtpq_sim::cosine`] kernels as
+    /// [`gtpq_graph::SimTable`]'s verification step).
+    pub fn matches_value(&self, value: &AttrValue) -> bool {
+        let Some(x) = value.as_vec() else {
+            return false;
+        };
+        if x.len() != self.query.len() {
+            return false;
+        }
+        match self.op {
+            CmpOp::Lt => gtpq_sim::l2(x, &self.query) < self.threshold,
+            CmpOp::Le => gtpq_sim::l2(x, &self.query) <= self.threshold,
+            CmpOp::Gt => gtpq_sim::cosine(x, &self.query) > self.threshold,
+            CmpOp::Ge => gtpq_sim::cosine(x, &self.query) >= self.threshold,
+            CmpOp::Eq | CmpOp::Ne => false,
+        }
+    }
+
+    /// Whether some vector could satisfy this conjunct at all: L2 distances
+    /// are non-negative and cosine similarity never exceeds 1.
+    fn is_satisfiable(&self) -> bool {
+        match self.op {
+            CmpOp::Lt => self.threshold > 0.0,
+            CmpOp::Le => self.threshold >= 0.0,
+            CmpOp::Gt => self.threshold < 1.0,
+            CmpOp::Ge => self.threshold <= 1.0,
+            CmpOp::Eq | CmpOp::Ne => false,
+        }
+    }
+
+    /// Bit-exact query-vector equality (NaN-safe, used by entailment).
+    fn same_query(&self, other: &SimComparison) -> bool {
+        self.query.len() == other.query.len()
+            && self
+                .query
+                .iter()
+                .zip(&other.query)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+impl std::fmt::Display for SimComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sim({}, [", self.attr)?;
+        for (i, x) in self.query.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "]) {} {}", self.op, self.threshold)
+    }
+}
+
 /// The outcome of index-backed candidate selection
 /// ([`AttrPredicate::select_candidates`]).
 #[derive(Clone, Debug)]
@@ -80,15 +158,23 @@ pub struct CandidateSelection {
     pub verified: u64,
     /// Number of inverted-index posting entries read.
     pub posting_entries: u64,
+    /// Indexed vectors dismissed by the pivot filter's triangle-inequality
+    /// screen without an exact distance computation.
+    pub sim_pivot_filtered: u64,
+    /// Pivot-filter survivors whose exact distance / cosine was computed.
+    pub sim_verified: u64,
 }
 
-/// An attribute predicate `fa(u)`: a conjunction of atomic comparisons.
+/// An attribute predicate `fa(u)`: a conjunction of atomic comparisons and
+/// similarity conjuncts.
 ///
 /// The empty predicate is satisfied by every data node (wildcard / `*`).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct AttrPredicate {
-    /// The conjuncts.
+    /// The plain comparison conjuncts.
     pub comparisons: Vec<AttrComparison>,
+    /// The similarity conjuncts.
+    pub sims: Vec<SimComparison>,
 }
 
 impl AttrPredicate {
@@ -110,6 +196,7 @@ impl AttrPredicate {
                 op: CmpOp::Eq,
                 value,
             }],
+            sims: Vec::new(),
         }
     }
 
@@ -123,6 +210,18 @@ impl AttrPredicate {
         self
     }
 
+    /// Adds a similarity conjunct `sim(attr, query) op threshold`, returning
+    /// `self` for chaining (`<`/`<=` = L2 distance, `>`/`>=` = cosine).
+    pub fn and_sim(mut self, attr: &str, op: CmpOp, query: Vec<f32>, threshold: f32) -> Self {
+        self.sims.push(SimComparison {
+            attr: attr.to_owned(),
+            query,
+            op,
+            threshold,
+        });
+        self
+    }
+
     /// Whether data node `v` of graph `g` satisfies the predicate (`v ∼ u`).
     ///
     /// Every comparison must find an attribute of the same name whose value
@@ -132,6 +231,9 @@ impl AttrPredicate {
             g.attribute_value(v, &cmp.attr)
                 .and_then(|actual| actual.partial_cmp_same_kind(&cmp.value))
                 .is_some_and(|ord| cmp.op.eval(ord))
+        }) && self.sims.iter().all(|sim| {
+            g.attribute_value(v, &sim.attr)
+                .is_some_and(|actual| sim.matches_value(actual))
         })
     }
 
@@ -141,6 +243,11 @@ impl AttrPredicate {
     /// Used by the satisfiability and minimization algorithms (§3), which
     /// remove query nodes whose attribute predicate can never hold.
     pub fn is_satisfiable(&self) -> bool {
+        // A similarity conjunct asking for a negative distance or a cosine
+        // above 1 can never hold (NaN thresholds fail every comparison).
+        if self.sims.iter().any(|s| !s.is_satisfiable()) {
+            return false;
+        }
         // Group comparisons by attribute and check that the implied interval /
         // (in)equality constraints are consistent.
         let mut attrs: Vec<&str> = self.comparisons.iter().map(|c| c.attr.as_str()).collect();
@@ -246,7 +353,7 @@ impl AttrPredicate {
     /// indexable comparison — it selects every node without touching any
     /// attribute data.
     pub fn select_candidates(&self, g: &DataGraph) -> CandidateSelection {
-        if self.comparisons.is_empty() {
+        if self.comparisons.is_empty() && self.sims.is_empty() {
             // Wildcard: every node matches and no attribute data is touched,
             // so the selection counts as served without scanning.
             return CandidateSelection {
@@ -254,6 +361,8 @@ impl AttrPredicate {
                 from_index: true,
                 verified: 0,
                 posting_entries: 0,
+                sim_pivot_filtered: 0,
+                sim_verified: 0,
             };
         }
         let index = g.attr_index();
@@ -284,6 +393,8 @@ impl AttrPredicate {
                     from_index: true,
                     verified: 0,
                     posting_entries,
+                    sim_pivot_filtered: 0,
+                    sim_verified: 0,
                 };
             };
             match (cmp.op, &cmp.value) {
@@ -326,6 +437,39 @@ impl AttrPredicate {
             })
             .collect();
         slices.extend(ranges.iter().map(Vec::as_slice));
+
+        // Similarity conjuncts.  A table of the query's dimensionality
+        // answers exactly through the pivot filter (block-and-verify: the
+        // result needs no further per-node check).  With no table — or one
+        // of another dimensionality — restrict to the nodes carrying the
+        // attribute and verify the survivors per node.
+        let mut sim_pivot_filtered = 0u64;
+        let mut sim_verified = 0u64;
+        let mut sim_sets: Vec<Vec<NodeId>> = Vec::new();
+        for sim in &self.sims {
+            match g.sim_table(&sim.attr) {
+                Some(table) if table.dim() == sim.query.len() => {
+                    let m = match sim.op {
+                        CmpOp::Lt => table.within_l2(&sim.query, sim.threshold, false),
+                        CmpOp::Le => table.within_l2(&sim.query, sim.threshold, true),
+                        CmpOp::Gt => table.above_cosine(&sim.query, sim.threshold, false),
+                        CmpOp::Ge => table.above_cosine(&sim.query, sim.threshold, true),
+                        CmpOp::Eq | CmpOp::Ne => gtpq_graph::SimMatches::default(),
+                    };
+                    sim_pivot_filtered += m.pruned;
+                    sim_verified += m.verified;
+                    sim_sets.push(m.nodes);
+                }
+                _ => {
+                    let posting = g.nodes_with_attr_name(&sim.attr);
+                    posting_entries += posting.len() as u64;
+                    sim_sets.push(posting.to_vec());
+                    needs_verify = true;
+                }
+            }
+        }
+        slices.extend(sim_sets.iter().map(Vec::as_slice));
+
         let mut nodes = intersect_many(&slices, g.node_count());
         let mut verified = 0u64;
         if needs_verify {
@@ -337,6 +481,8 @@ impl AttrPredicate {
             from_index: !needs_verify,
             verified,
             posting_entries,
+            sim_pivot_filtered,
+            sim_verified,
         }
     }
 
@@ -344,16 +490,17 @@ impl AttrPredicate {
     /// (no `!=`, no string range): [`select_candidates`](Self::select_candidates)
     /// would return `from_index = true` whenever this holds.
     pub fn is_fully_indexable(&self) -> bool {
-        self.comparisons.iter().all(|cmp| {
-            matches!(
-                (cmp.op, &cmp.value),
-                (CmpOp::Eq, _)
-                    | (CmpOp::Lt, AttrValue::Int(_))
-                    | (CmpOp::Le, AttrValue::Int(_))
-                    | (CmpOp::Gt, AttrValue::Int(_))
-                    | (CmpOp::Ge, AttrValue::Int(_))
-            )
-        })
+        self.sims.is_empty()
+            && self.comparisons.iter().all(|cmp| {
+                matches!(
+                    (cmp.op, &cmp.value),
+                    (CmpOp::Eq, _)
+                        | (CmpOp::Lt, AttrValue::Int(_))
+                        | (CmpOp::Le, AttrValue::Int(_))
+                        | (CmpOp::Gt, AttrValue::Int(_))
+                        | (CmpOp::Ge, AttrValue::Int(_))
+                )
+            })
     }
 
     /// Estimates `|{v | v ∼ self}|` from inverted-index posting lengths
@@ -403,6 +550,22 @@ impl AttrPredicate {
             };
             est = est.min(bound);
         }
+        for sim in &self.sims {
+            let bound = match g.sim_table(&sim.attr) {
+                // The pivot-table statistic: candidates must land in the
+                // first-pivot distance band `[d(q, p0) − r, d(q, p0) + r]`,
+                // counted with two binary searches over the sorted run.  It
+                // upper-bounds the filter's candidate set, which in turn
+                // upper-bounds the exact answer.
+                Some(table) if table.dim() == sim.query.len() => match sim.op {
+                    CmpOp::Lt | CmpOp::Le => table.estimate_within_l2(&sim.query, sim.threshold),
+                    CmpOp::Gt | CmpOp::Ge => table.estimate_above_cosine(&sim.query, sim.threshold),
+                    CmpOp::Eq | CmpOp::Ne => 0,
+                },
+                _ => g.posting_len_attr_name(&sim.attr),
+            };
+            est = est.min(bound);
+        }
         est
     }
 
@@ -426,6 +589,20 @@ impl AttrPredicate {
                     CmpOp::Eq | CmpOp::Ne => ord == std::cmp::Ordering::Equal,
                 }
             })
+        }) && self.sims.iter().all(|s1| {
+            // A sim conjunct is entailed by one on the same attribute with a
+            // bit-identical query vector and a threshold at least as tight:
+            // a smaller radius for distance, a larger floor for cosine.
+            other.sims.iter().any(|s2| {
+                s1.attr == s2.attr
+                    && s1.op == s2.op
+                    && s1.same_query(s2)
+                    && match s1.op {
+                        CmpOp::Lt | CmpOp::Le => s2.threshold <= s1.threshold,
+                        CmpOp::Gt | CmpOp::Ge => s2.threshold >= s1.threshold,
+                        CmpOp::Eq | CmpOp::Ne => false,
+                    }
+            })
         })
     }
 }
@@ -443,14 +620,23 @@ fn merge_bound<'a>(bounds: &mut Vec<(&'a str, i128, i128)>, attr: &'a str, lo: i
 
 impl std::fmt::Display for AttrPredicate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.comparisons.is_empty() {
+        if self.comparisons.is_empty() && self.sims.is_empty() {
             return f.write_str("*");
         }
-        for (i, c) in self.comparisons.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for c in &self.comparisons {
+            if !first {
                 f.write_str(" & ")?;
             }
+            first = false;
             write!(f, "{c}")?;
+        }
+        for s in &self.sims {
+            if !first {
+                f.write_str(" & ")?;
+            }
+            first = false;
+            write!(f, "{s}")?;
         }
         Ok(())
     }
@@ -675,5 +861,113 @@ mod tests {
         assert_eq!(AttrPredicate::any().to_string(), "*");
         let p = AttrPredicate::label("person").and("age", CmpOp::Ge, AttrValue::int(18));
         assert_eq!(p.to_string(), "label = person & age >= 18");
+        let p = p.and_sim("emb", CmpOp::Gt, vec![0.5, -1.0, 2.25], 0.9);
+        assert_eq!(
+            p.to_string(),
+            "label = person & age >= 18 & sim(emb, [0.5, -1, 2.25]) > 0.9"
+        );
+        let solo = AttrPredicate::any().and_sim("emb", CmpOp::Lt, vec![1.0], 2.0);
+        assert_eq!(solo.to_string(), "sim(emb, [1]) < 2");
+    }
+
+    /// A small embedded graph: clustered 4-dim vectors on `emb`, one
+    /// off-dimension vector and one non-vector node.
+    fn embedded_graph() -> gtpq_graph::DataGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..20u32 {
+            let v = b.add_node_with_label("doc");
+            let base = if i % 2 == 0 { 0.0 } else { 4.0 };
+            let emb: Vec<f32> = (0..4).map(|j| base + (i * 4 + j) as f32 * 0.01).collect();
+            b.set_attr(v, "emb", AttrValue::Vec(emb));
+        }
+        let odd = b.add_node_with_label("doc");
+        b.set_attr(odd, "emb", AttrValue::Vec(vec![0.0, 0.0]));
+        b.add_node_with_label("doc"); // no emb at all
+        b.build()
+    }
+
+    #[test]
+    fn sim_selection_agrees_with_the_scan() {
+        let g = embedded_graph();
+        let q = vec![0.05f32, 0.06, 0.07, 0.08];
+        let predicates = [
+            AttrPredicate::any().and_sim("emb", CmpOp::Lt, q.clone(), 1.0),
+            AttrPredicate::any().and_sim("emb", CmpOp::Le, q.clone(), 0.5),
+            AttrPredicate::any().and_sim("emb", CmpOp::Gt, q.clone(), 0.99),
+            AttrPredicate::any().and_sim("emb", CmpOp::Ge, q.clone(), 0.8),
+            AttrPredicate::label("doc").and_sim("emb", CmpOp::Lt, q.clone(), 1.0),
+            // Off-dimension query: served by the name-posting fallback.
+            AttrPredicate::any().and_sim("emb", CmpOp::Lt, vec![0.0, 0.0, 0.0], 10.0),
+            AttrPredicate::any().and_sim("emb", CmpOp::Le, vec![0.1, 0.1], 1.0),
+            // Unknown attribute: nothing matches.
+            AttrPredicate::any().and_sim("missing", CmpOp::Lt, q.clone(), 5.0),
+        ];
+        for p in &predicates {
+            let sel = p.select_candidates(&g);
+            assert_eq!(sel.nodes, scan(p, &g), "predicate {p}");
+            let est = p.estimate_candidates(&g);
+            assert!(
+                est >= sel.nodes.len(),
+                "estimate {est} < actual {} for {p}",
+                sel.nodes.len()
+            );
+        }
+        // A table-served sim reports its filter counters and stays exact
+        // without per-node verification.
+        let sel = AttrPredicate::any()
+            .and_sim("emb", CmpOp::Lt, q.clone(), 1.0)
+            .select_candidates(&g);
+        assert!(sel.from_index);
+        assert_eq!(sel.verified, 0);
+        assert!(sel.sim_verified > 0);
+        assert_eq!(sel.sim_verified + sel.sim_pivot_filtered, 20);
+        // The dimension-fallback path verifies per node instead.
+        let sel = AttrPredicate::any()
+            .and_sim("emb", CmpOp::Le, vec![0.1, 0.1], 1.0)
+            .select_candidates(&g);
+        assert!(!sel.from_index);
+        assert_eq!(sel.sim_verified, 0);
+    }
+
+    #[test]
+    fn sim_satisfiability_and_indexability() {
+        let q = vec![1.0f32];
+        assert!(!AttrPredicate::any()
+            .and_sim("e", CmpOp::Lt, q.clone(), 0.0)
+            .is_satisfiable());
+        assert!(!AttrPredicate::any()
+            .and_sim("e", CmpOp::Le, q.clone(), -0.1)
+            .is_satisfiable());
+        assert!(!AttrPredicate::any()
+            .and_sim("e", CmpOp::Gt, q.clone(), 1.0)
+            .is_satisfiable());
+        assert!(!AttrPredicate::any()
+            .and_sim("e", CmpOp::Ge, q.clone(), 1.5)
+            .is_satisfiable());
+        assert!(!AttrPredicate::any()
+            .and_sim("e", CmpOp::Lt, q.clone(), f32::NAN)
+            .is_satisfiable());
+        let ok = AttrPredicate::any().and_sim("e", CmpOp::Ge, q.clone(), 1.0);
+        assert!(ok.is_satisfiable());
+        assert!(!ok.is_fully_indexable());
+    }
+
+    #[test]
+    fn sim_entailment_orders_thresholds() {
+        let q = vec![0.5f32, 0.25];
+        let loose = AttrPredicate::any().and_sim("e", CmpOp::Lt, q.clone(), 2.0);
+        let tight = AttrPredicate::any().and_sim("e", CmpOp::Lt, q.clone(), 1.0);
+        assert!(loose.entailed_by(&tight));
+        assert!(!tight.entailed_by(&loose));
+        let cos_loose = AttrPredicate::any().and_sim("e", CmpOp::Ge, q.clone(), 0.5);
+        let cos_tight = AttrPredicate::any().and_sim("e", CmpOp::Ge, q.clone(), 0.9);
+        assert!(cos_loose.entailed_by(&cos_tight));
+        assert!(!cos_tight.entailed_by(&cos_loose));
+        // Different query vectors never entail.
+        let other = AttrPredicate::any().and_sim("e", CmpOp::Lt, vec![0.5, 0.26], 1.0);
+        assert!(!loose.entailed_by(&other));
+        // Wildcard is entailed by a sim predicate, not vice versa.
+        assert!(AttrPredicate::any().entailed_by(&tight));
+        assert!(!tight.entailed_by(&AttrPredicate::any()));
     }
 }

@@ -95,6 +95,8 @@ pub struct ServiceMetrics {
     index_lookups: AtomicU64,
     index_hits: AtomicU64,
     scanned_nodes: AtomicU64,
+    sim_pivot_filtered: AtomicU64,
+    sim_verified: AtomicU64,
     result_tuples: AtomicU64,
     plan_nanos: AtomicU64,
     plan_cache_hits: AtomicU64,
@@ -139,6 +141,8 @@ impl ServiceMetrics {
             index_lookups: AtomicU64::new(0),
             index_hits: AtomicU64::new(0),
             scanned_nodes: AtomicU64::new(0),
+            sim_pivot_filtered: AtomicU64::new(0),
+            sim_verified: AtomicU64::new(0),
             result_tuples: AtomicU64::new(0),
             plan_nanos: AtomicU64::new(0),
             plan_cache_hits: AtomicU64::new(0),
@@ -253,6 +257,10 @@ impl ServiceMetrics {
             .fetch_add(stats.index_hits, Ordering::Relaxed);
         self.scanned_nodes
             .fetch_add(stats.scanned_nodes, Ordering::Relaxed);
+        self.sim_pivot_filtered
+            .fetch_add(stats.sim_pivot_filtered, Ordering::Relaxed);
+        self.sim_verified
+            .fetch_add(stats.sim_verified, Ordering::Relaxed);
         self.enumerated_rows
             .fetch_add(stats.enumerated_rows, Ordering::Relaxed);
         self.worker_busy_nanos
@@ -305,6 +313,8 @@ impl ServiceMetrics {
             index_lookups: self.index_lookups.load(Ordering::Relaxed),
             index_hits: self.index_hits.load(Ordering::Relaxed),
             scanned_nodes: self.scanned_nodes.load(Ordering::Relaxed),
+            sim_pivot_filtered: self.sim_pivot_filtered.load(Ordering::Relaxed),
+            sim_verified: self.sim_verified.load(Ordering::Relaxed),
             result_tuples: self.result_tuples.load(Ordering::Relaxed),
             plan_time: Duration::from_nanos(self.plan_nanos.load(Ordering::Relaxed)),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
@@ -381,6 +391,13 @@ pub struct MetricsSnapshot {
     /// Nodes individually verified during candidate selection (the scan
     /// remainder the inverted index could not serve exactly).
     pub scanned_nodes: u64,
+    /// Sim-indexed vectors discarded by the pivot filter's triangle-
+    /// inequality check across engine runs — exact distance computations
+    /// avoided by the block-and-verify access path.
+    pub sim_pivot_filtered: u64,
+    /// Sim-indexed vectors verified with an exact distance / cosine
+    /// computation across engine runs.
+    pub sim_verified: u64,
     /// Result tuples produced by engine runs.
     pub result_tuples: u64,
     /// Planning time rollup (zero for plan-cache hits).
@@ -502,6 +519,14 @@ impl MetricsSnapshot {
         gtpq_core::stats::serve_rate(self.index_hits, self.scanned_nodes)
     }
 
+    /// Fraction of sim-indexed vectors the pivot filter discarded without an
+    /// exact distance computation across engine runs (0.0 when no `sim(...)`
+    /// predicate ran) — same formula as
+    /// [`EvalStats::sim_filter_selectivity`](gtpq_core::EvalStats::sim_filter_selectivity).
+    pub fn sim_filter_selectivity(&self) -> f64 {
+        gtpq_core::stats::serve_rate(self.sim_pivot_filtered, self.sim_verified)
+    }
+
     /// Fraction of engine runs that reused a cached physical plan
     /// (0.0 when no plans were requested).
     pub fn plan_hit_rate(&self) -> f64 {
@@ -609,6 +634,21 @@ impl MetricsSnapshot {
             "gtpq_index_lookups_total",
             "Reachability-index element lookups across engine runs.",
             self.index_lookups as f64,
+        );
+        page.counter(
+            "gtpq_sim_pivot_filtered_total",
+            "Sim-indexed vectors discarded by the pivot filter (exact distance computations avoided).",
+            self.sim_pivot_filtered as f64,
+        );
+        page.counter(
+            "gtpq_sim_verified_total",
+            "Sim-indexed vectors verified with an exact distance or cosine computation.",
+            self.sim_verified as f64,
+        );
+        page.gauge(
+            "gtpq_sim_filter_selectivity",
+            "Fraction of sim-indexed vectors the pivot filter discarded without verification.",
+            self.sim_filter_selectivity(),
         );
         page.counter(
             "gtpq_plan_cache_hits_total",
@@ -980,6 +1020,36 @@ mod tests {
         assert!(page.contains("gtpq_epoch_rotations_total 2"));
         assert!(page.contains("# TYPE gtpq_stale_evictions_total counter"));
         assert!(page.contains("gtpq_stale_evictions_total 2"));
+    }
+
+    #[test]
+    fn sim_metrics_roll_up_and_render() {
+        let m = ServiceMetrics::new();
+        m.record_miss(&EvalStats {
+            sim_pivot_filtered: 90,
+            sim_verified: 10,
+            ..Default::default()
+        });
+        // Aborted runs keep their partial sim work too.
+        m.record_aborted(&EvalStats {
+            sim_pivot_filtered: 10,
+            sim_verified: 10,
+            ..Default::default()
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.sim_pivot_filtered, 100);
+        assert_eq!(snap.sim_verified, 20);
+        assert!((snap.sim_filter_selectivity() - 100.0 / 120.0).abs() < 1e-9);
+        assert_eq!(
+            ServiceMetrics::new().snapshot().sim_filter_selectivity(),
+            0.0
+        );
+        let page = snap.render_prometheus();
+        assert!(page.contains("# TYPE gtpq_sim_pivot_filtered_total counter"));
+        assert!(page.contains("gtpq_sim_pivot_filtered_total 100"));
+        assert!(page.contains("# TYPE gtpq_sim_verified_total counter"));
+        assert!(page.contains("gtpq_sim_verified_total 20"));
+        assert!(page.contains("# TYPE gtpq_sim_filter_selectivity gauge"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`logic`] | `gtpq-logic` | propositional formulas, transforms, DPLL SAT |
 //! | [`query`] | `gtpq-query` | the GTPQ model, structural predicates, naive oracle |
 //! | [`reach`] | `gtpq-reach` | transitive closure, chain cover, 3-hop, interval, SSPI |
+//! | [`sim`] | `gtpq-sim` | pivot-based vector-similarity filtering (block-and-verify) |
 //! | [`analysis`] | `gtpq-analysis` | satisfiability, containment, minimization |
 //! | [`engine`] | `gtpq-core` | the GTEA evaluation engine |
 //! | [`baselines`] | `gtpq-baselines` | TwigStack, Twig2Stack, TwigStackD, HGJoin, decompose-and-merge |
@@ -64,6 +65,7 @@ pub use gtpq_obs as obs;
 pub use gtpq_query as query;
 pub use gtpq_reach as reach;
 pub use gtpq_service as service;
+pub use gtpq_sim as sim;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {

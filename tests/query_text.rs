@@ -11,7 +11,10 @@
 
 use std::sync::Arc;
 
-use gtpq::datagen::{generate_arxiv, generate_dblp, generate_xmark, ArxivConfig, XmarkConfig};
+use gtpq::datagen::{
+    generate_arxiv, generate_dblp, generate_embed, generate_xmark, ArxivConfig, EmbedConfig,
+    XmarkConfig,
+};
 use gtpq::prelude::*;
 use gtpq_datagen::random_text_query;
 
@@ -47,6 +50,7 @@ fn dataset_of(block: &str) -> Option<&'static str> {
         "dblp" => "dblp",
         "arxiv" => "arxiv",
         "xmark" => "xmark",
+        "embed" => "embed",
         other => panic!("unknown dataset tag `{other}` in the doc"),
     })
 }
@@ -73,7 +77,7 @@ fn doc_dataset_examples_evaluate_nonempty() {
         .filter_map(|b| dataset_of(b).map(|d| (d, b)))
         .collect();
     let names: Vec<&str> = tagged.iter().map(|(d, _)| *d).collect();
-    for expected in ["dblp", "arxiv", "xmark"] {
+    for expected in ["dblp", "arxiv", "xmark", "embed"] {
         assert!(
             names.contains(&expected),
             "the doc needs a worked {expected} example (found {names:?})"
@@ -84,6 +88,7 @@ fn doc_dataset_examples_evaluate_nonempty() {
             "dblp" => generate_dblp(240, 42),
             "arxiv" => generate_arxiv(&ArxivConfig::small()),
             "xmark" => generate_xmark(&XmarkConfig::with_scale(0.1)),
+            "embed" => generate_embed(&EmbedConfig::small()),
             _ => unreachable!(),
         });
         let service = QueryService::new(graph);

@@ -43,7 +43,9 @@ fn temp_snapshot(tag: &str, seed: u64) -> PathBuf {
 /// A random attributed graph exercising every serialized surface: labels
 /// from a 4-letter alphabet, an integer attribute on most nodes (negative
 /// values included, so the `i64` payload encoding is covered), a free-text
-/// attribute on some, and random edges (restricted to a DAG on request).
+/// attribute on some, an embedding-vector attribute on some (so the v2
+/// vector dictionary and the similarity catalog's pivot tables serialize
+/// non-trivially), and random edges (restricted to a DAG on request).
 fn random_graph(rng: &mut StdRng, max_nodes: usize, dag_only: bool) -> DataGraph {
     let n = rng.gen_range(2..max_nodes);
     let mut b = GraphBuilder::new();
@@ -60,6 +62,13 @@ fn random_graph(rng: &mut StdRng, max_nodes: usize, dag_only: bool) -> DataGraph
                 "note",
                 AttrValue::str(&format!("t{}", rng.gen_range(0u8..6))),
             );
+        }
+        if rng.gen_bool(0.4) {
+            let dim = rng.gen_range(2usize..5);
+            let emb: Vec<f32> = (0..dim)
+                .map(|_| (rng.gen::<f64>() * 4.0 - 2.0) as f32)
+                .collect();
+            b.set_attr(v, "emb", AttrValue::Vec(emb));
         }
     }
     for _ in 0..rng.gen_range(0..n * 3) {
@@ -211,9 +220,58 @@ fn mapped_snapshots_serve_queries_while_the_handle_advances() {
 }
 
 #[test]
+fn checked_in_v1_fixture_opens_in_every_load_mode() {
+    // `tests/fixtures/v1-tiny.gtpq` is a genuine version-1 file (written
+    // before the vector dictionary and the similarity catalog existed).
+    // Forward compatibility is a promise, not a hope: every load mode must
+    // keep opening it, with no vectors and an empty sim catalog.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v1-tiny.gtpq");
+    let bytes = std::fs::read(path).expect("fixture is checked in");
+    assert_eq!(&bytes[..8], b"GTPQSNAP");
+    assert_eq!(
+        bytes[8], 1,
+        "the fixture must stay a version-1 file; regenerate deliberately, \
+         never by re-saving (that would silently upgrade it to v2)"
+    );
+
+    for mode in [LoadMode::Mmap, LoadMode::MmapVerified, LoadMode::Heap] {
+        let snap = GraphSnapshot::open(path, mode)
+            .unwrap_or_else(|e| panic!("v1 fixture fails to open in {mode:?}: {e}"));
+        let g = snap.graph();
+        assert_eq!(g.node_count(), 3, "{mode:?}");
+        assert_eq!(g.edge_count(), 3, "{mode:?}");
+        let labels: Vec<&AttrValue> = g
+            .nodes()
+            .map(|v| g.attribute_value(v, LABEL_ATTR).expect("labelled"))
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                &AttrValue::str("paper"),
+                &AttrValue::str("paper"),
+                &AttrValue::str("author")
+            ],
+            "{mode:?}"
+        );
+        assert_eq!(g.children(NodeId(0)), &[NodeId(1), NodeId(2)], "{mode:?}");
+        assert_eq!(g.children(NodeId(1)), &[NodeId(2)], "{mode:?}");
+        assert!(
+            g.sim_catalog().is_empty(),
+            "{mode:?}: a v1 file cannot carry sim tables"
+        );
+        assert!(g.sim_table("emb").is_none(), "{mode:?}");
+    }
+}
+
+#[test]
 fn corrupted_snapshots_fail_typed_and_clean_flips_stay_identical() {
     let mut rng = StdRng::seed_from_u64(11);
     let g = random_graph(&mut rng, 22, false);
+    assert!(
+        !g.sim_catalog().is_empty(),
+        "the corruption sweep must run over a v2 file with vectors and \
+         sim tables (pick another seed)"
+    );
     let path = temp_snapshot("corrupt", 11);
     GraphHandle::new(g.clone()).snapshot().save(&path).unwrap();
     let pristine = std::fs::read(&path).unwrap();
@@ -284,6 +342,10 @@ fn plain_mmap_flips_load_typed_or_stay_panic_free_at_access_time() {
     // memory-safe and panic-free, even though the data may be wrong.
     let mut rng = StdRng::seed_from_u64(17);
     let g = random_graph(&mut rng, 22, false);
+    assert!(
+        !g.sim_catalog().is_empty(),
+        "the mmap flip sweep must cover the vector and sim sections"
+    );
     let path = temp_snapshot("mmap-corrupt", 17);
     GraphHandle::new(g).snapshot().save(&path).unwrap();
     let pristine = std::fs::read(&path).unwrap();
@@ -314,6 +376,16 @@ fn plain_mmap_flips_load_typed_or_stay_panic_free_at_access_time() {
         let _ = dg.nodes_with(LABEL_ATTR, &AttrValue::str("l1"));
         let _ = dg.nodes_with_attr_name("year");
         let _ = dg.nodes_with_int_range("year", -3, 2010);
+        // The similarity surface: pivot-filtered queries and raw vector
+        // reads must stay panic-free over whatever data survived the flip.
+        if let Some(table) = dg.sim_table("emb") {
+            let probe = vec![0.25f32; table.dim()];
+            let _ = table.within_l2(&probe, 1.5, true);
+            let _ = table.above_cosine(&probe, 0.5, false);
+            for i in 0..table.len() {
+                let _ = table.vector(i);
+            }
+        }
         let cond = loaded.condensation();
         for c in 0..cond.component_count() {
             let c = CompId(c as u32);
